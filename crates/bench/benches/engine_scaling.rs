@@ -1,0 +1,63 @@
+//! S1: the §3.3 complexity trade-off. The paper's implemented algorithm
+//! re-analyzes each function "multiple times for different call sequences
+//! leading to it, making the implementation exponential in run-time
+//! complexity", and proposes ESP-style summaries ("analyzing each function
+//! only once") as the fix. This bench sweeps the synthetic-generator
+//! shape knobs and measures both engines — the *shape* to reproduce is the
+//! context-sensitive engine growing with monitors × depth while the
+//! summary engine stays near-linear in program size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow_corpus::synthetic::{generate_core, SyntheticParams};
+use std::hint::black_box;
+
+fn bench_depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling/depth");
+    group.sample_size(10);
+    for depth in [2usize, 4, 8, 12] {
+        let src = generate_core(SyntheticParams { regions: 4, monitors: 4, depth, branches: 2 });
+        for (engine, tag) in [
+            (Engine::ContextSensitive, "context"),
+            (Engine::Summary, "summary"),
+        ] {
+            let analyzer = Analyzer::new(AnalysisConfig::with_engine(engine));
+            group.bench_with_input(BenchmarkId::new(tag, depth), &src, |b, src| {
+                b.iter(|| {
+                    let r = analyzer.analyze_source("syn.c", black_box(src)).expect("analyzes");
+                    black_box(r.report.warnings.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_monitor_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling/monitors");
+    group.sample_size(10);
+    for monitors in [1usize, 2, 4, 8] {
+        let src = generate_core(SyntheticParams {
+            regions: monitors.max(1),
+            monitors,
+            depth: 6,
+            branches: 2,
+        });
+        for (engine, tag) in [
+            (Engine::ContextSensitive, "context"),
+            (Engine::Summary, "summary"),
+        ] {
+            let analyzer = Analyzer::new(AnalysisConfig::with_engine(engine));
+            group.bench_with_input(BenchmarkId::new(tag, monitors), &src, |b, src| {
+                b.iter(|| {
+                    let r = analyzer.analyze_source("syn.c", black_box(src)).expect("analyzes");
+                    black_box(r.report.warnings.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth_sweep, bench_monitor_sweep);
+criterion_main!(benches);

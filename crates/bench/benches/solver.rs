@@ -1,0 +1,67 @@
+//! S3: the Omega-test solver on obligations of the shapes the A1/A2
+//! checker generates ("The set of affine constraints are given to a
+//! integer programming solver such as Omega", §3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safeflow_solver::{LinExpr, System};
+use std::hint::black_box;
+
+/// The canonical A1 obligation: 0 <= i < n, prove i + k < bound.
+fn a1_obligation(n_loops: usize) -> System {
+    let mut sys = System::new();
+    let mut prev = None;
+    for l in 0..n_loops {
+        let i = sys.new_var(format!("i{l}"));
+        sys.add_ge(LinExpr::var(i), LinExpr::constant(0));
+        match prev {
+            None => sys.add_lt(LinExpr::var(i), LinExpr::constant(16)),
+            Some(p) => sys.add_lt(LinExpr::var(i), LinExpr::var(p)),
+        }
+        prev = Some(i);
+    }
+    sys
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/feasibility");
+    for nesting in [1usize, 2, 4, 6] {
+        let sys = a1_obligation(nesting);
+        group.bench_with_input(BenchmarkId::from_parameter(nesting), &sys, |b, sys| {
+            b.iter(|| black_box(sys.check()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounds_proof(c: &mut Criterion) {
+    // The exact query shape the restriction checker issues per shared-array
+    // access: implies(0 <= 2i + 1) and implies(2i + 1 < 16).
+    let mut sys = System::new();
+    let i = sys.new_var("i");
+    sys.add_ge(LinExpr::var(i), LinExpr::constant(0));
+    sys.add_lt(LinExpr::var(i), LinExpr::constant(8));
+    let idx = LinExpr::term(i, 2) + LinExpr::constant(1);
+    c.bench_function("solver/a2_affine_bounds_proof", |b| {
+        b.iter(|| {
+            let lower = sys.implies_ge(black_box(idx.clone()), LinExpr::zero());
+            let upper = sys.implies_lt(black_box(idx.clone()), LinExpr::constant(16));
+            black_box(lower && upper)
+        })
+    });
+}
+
+fn bench_dark_shadow(c: &mut Criterion) {
+    // A query requiring the inexact FM path (dark shadow / splinter).
+    c.bench_function("solver/dark_shadow_case", |b| {
+        b.iter(|| {
+            let mut sys = System::new();
+            let x = sys.new_var("x");
+            sys.add_ge(LinExpr::term(x, 3), LinExpr::constant(7));
+            sys.add_le(LinExpr::term(x, 2), LinExpr::constant(5));
+            black_box(sys.check())
+        })
+    });
+}
+
+criterion_group!(benches, bench_feasibility, bench_bounds_proof, bench_dark_shadow);
+criterion_main!(benches);

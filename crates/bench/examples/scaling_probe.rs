@@ -1,0 +1,24 @@
+//! Quick probe of engine scaling (used to pick bench sweep ranges).
+use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow_corpus::synthetic::{generate_core, SyntheticParams};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let regions: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let monitors: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let depth: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let branches: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let src = generate_core(SyntheticParams { regions, monitors, depth, branches });
+    println!("loc={}", safeflow_corpus::count_loc(&src));
+    for (e, tag) in [(Engine::ContextSensitive, "ctx"), (Engine::Summary, "sum")] {
+        let a = Analyzer::new(AnalysisConfig::with_engine(e));
+        let t = Instant::now();
+        let r = a.analyze_source("s.c", &src).unwrap();
+        println!(
+            "r={regions} m={monitors} d={depth} b={branches} {tag}: {:>10.1?}  contexts={}",
+            t.elapsed(),
+            r.report.contexts_analyzed
+        );
+    }
+}

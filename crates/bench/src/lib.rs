@@ -1,0 +1,15 @@
+//! # safeflow-bench
+//!
+//! Criterion benchmark harness regenerating the paper's evaluation (see
+//! DESIGN.md §5 for the experiment index):
+//!
+//! * `table1` — full-pipeline analysis time per corpus system (T1);
+//! * `engine_scaling` — context-sensitive vs summary engine as call depth
+//!   and monitor count grow (S1, the §3.3 complexity discussion);
+//! * `monitor_overhead` — simulation with and without run-time taint
+//!   tracking (S2, the zero-runtime-overhead motivation in §1);
+//! * `solver` — Omega-test obligations of A1/A2 shape (S3);
+//! * `frontend` — parse + lower + SSA cost on the corpus.
+//!
+//! Run with `cargo bench --workspace`; per-table outputs are printed by
+//! `cargo run -p safeflow-cli -- --table1`.

@@ -1,0 +1,228 @@
+//! `safeflow` — command-line interface to the SafeFlow analyzer.
+//!
+//! ```text
+//! safeflow FILE.c [FILE2.c ...]    analyze C sources (first file is the root)
+//! safeflow --table1                regenerate the paper's Table 1 on the corpus
+//! safeflow --fig2                  analyze the paper's Figure 2 running example
+//! safeflow --engine summary ...    use the ESP-style summary engine
+//! ```
+
+use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow_corpus::{systems, System};
+use safeflow_syntax::VirtualFs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut engine = Engine::ContextSensitive;
+    let mut files: Vec<String> = Vec::new();
+    let mut table1 = false;
+    let mut fig2 = false;
+    let mut dot = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--table1" => table1 = true,
+            "--fig2" => fig2 = true,
+            "--dot" => dot = true,
+            "--engine" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("summary") => engine = Engine::Summary,
+                    Some("context") | Some("context-sensitive") => {
+                        engine = Engine::ContextSensitive
+                    }
+                    other => {
+                        eprintln!("unknown engine {other:?} (use `summary` or `context`)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+
+    let config = AnalysisConfig::with_engine(engine);
+
+    if table1 {
+        return run_table1(&config);
+    }
+    if fig2 {
+        return run_source(&config, "figure2.c", safeflow_corpus::figure2_example(), dot);
+    }
+    if files.is_empty() {
+        print_help();
+        return ExitCode::from(2);
+    }
+    run_files(&config, &files, dot)
+}
+
+fn print_help() {
+    println!(
+        "safeflow — static analysis enforcing safe value flow (DSN 2006)\n\
+         \n\
+         USAGE:\n\
+         \x20 safeflow [OPTIONS] FILE.c [FILE2.c ...]\n\
+         \x20 safeflow --table1 | --fig2\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --engine summary|context   phase-3 engine (default: context)\n\
+         \x20 --dot                      emit Graphviz value-flow graphs for errors\n\
+         \x20 --table1                   regenerate the paper's Table 1 on the corpus\n\
+         \x20 --fig2                     analyze the paper's Figure 2 example"
+    );
+}
+
+fn run_files(config: &AnalysisConfig, files: &[String], dot: bool) -> ExitCode {
+    let mut fs = VirtualFs::new();
+    for f in files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => {
+                fs.add(f.as_str(), text);
+            }
+            Err(e) => {
+                eprintln!("cannot read {f}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let analyzer = Analyzer::new(config.clone());
+    match analyzer.analyze_program(&files[0], &fs) {
+        Ok(result) => {
+            print!("{}", result.report.render(&result.sources));
+            if dot {
+                emit_dot(&result);
+            }
+            if result.report.errors.is_empty() && result.report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Prints one DOT digraph per reported error (the paper's value-flow graph
+/// triage aid, §4).
+fn emit_dot(result: &safeflow::AnalysisResult) {
+    for (i, e) in result.report.errors.iter().enumerate() {
+        println!("// value-flow graph {} for critical `{}`", i + 1, e.critical);
+        print!("{}", safeflow::flowgraph::error_to_dot(e, &result.sources));
+    }
+}
+
+fn run_source(config: &AnalysisConfig, name: &str, src: &str, dot: bool) -> ExitCode {
+    let analyzer = Analyzer::new(config.clone());
+    match analyzer.analyze_source(name, src) {
+        Ok(result) => {
+            print!("{}", result.report.render(&result.sources));
+            if dot {
+                emit_dot(&result);
+            }
+            if result.report.errors.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Regenerates Table 1: one row per corpus system, paper numbers alongside
+/// measured numbers.
+fn run_table1(config: &AnalysisConfig) -> ExitCode {
+    println!("Table 1: Applying SafeFlow to Control Systems (paper -> measured)\n");
+    println!(
+        "{:<16} {:>13} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "System",
+        "LOC(total)",
+        "LOC(core)",
+        "SrcChanges",
+        "Annot.lines",
+        "Errors",
+        "Warnings",
+        "FPs"
+    );
+    let analyzer = Analyzer::new(config.clone());
+    let mut ok = true;
+    for system in systems() {
+        match analyzer.analyze_source(system.core_file, system.core_source) {
+            Ok(result) => {
+                let r = &result.report;
+                let confirmed = r
+                    .errors
+                    .iter()
+                    .filter(|e| system.defects.iter().any(|d| d.critical == e.critical))
+                    .count();
+                let fps = r.errors.len() - confirmed;
+                println!(
+                    "{:<16} {:>6}>{:<6} {:>5}>{:<6} {:>5}>{:<6} {:>5}>{:<6} {:>4}>{:<5} {:>4}>{:<5} {:>3}>{:<4}",
+                    system.name,
+                    system.paper.loc_total,
+                    system.total_loc(),
+                    system.paper.loc_core,
+                    system.core_loc(),
+                    system.paper.source_changes,
+                    system.source_change_lines(),
+                    system.paper.annotation_lines,
+                    system.annotation_lines(),
+                    system.paper.errors,
+                    confirmed,
+                    system.paper.warnings,
+                    r.warnings.len(),
+                    system.paper.false_positives,
+                    fps,
+                );
+                if confirmed != system.paper.errors
+                    || r.warnings.len() != system.paper.warnings
+                    || fps != system.paper.false_positives
+                {
+                    ok = false;
+                }
+                print_defects(&system, r);
+            }
+            Err(e) => {
+                eprintln!("{}: analysis failed:\n{e}", system.name);
+                ok = false;
+            }
+        }
+    }
+    println!(
+        "\nfinding counts {} the paper's Table 1",
+        if ok { "MATCH" } else { "DO NOT MATCH" }
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_defects(system: &System, report: &safeflow::AnalysisReport) {
+    for defect in &system.defects {
+        let found = report.errors.iter().any(|e| e.critical == defect.critical);
+        println!(
+            "    defect {:<26} [{}]",
+            defect.id,
+            if found { "FOUND" } else { "MISSED" },
+        );
+    }
+}

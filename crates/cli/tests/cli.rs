@@ -1,0 +1,92 @@
+//! End-to-end tests of the `safeflow` binary.
+
+use std::process::Command;
+
+fn safeflow() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_safeflow"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = safeflow().arg("--help").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--table1"));
+}
+
+#[test]
+fn fig2_reports_error_and_exits_nonzero() {
+    let out = safeflow().arg("--fig2").output().expect("runs");
+    assert_eq!(out.status.code(), Some(1), "errors found => exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ERROR"), "{text}");
+    assert!(text.contains("feedback"), "{text}");
+}
+
+#[test]
+fn table1_matches_and_exits_zero() {
+    for engine in ["context", "summary"] {
+        let out = safeflow()
+            .args(["--engine", engine, "--table1"])
+            .output()
+            .expect("runs");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "--table1 with {engine} must match:\n{text}"
+        );
+        assert!(text.contains("finding counts MATCH"), "{text}");
+        assert!(text.contains("[FOUND]"));
+        assert!(!text.contains("[MISSED]"));
+    }
+}
+
+#[test]
+fn analyzes_file_from_disk() {
+    let dir = std::env::temp_dir().join("safeflow_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("clean.c");
+    std::fs::write(
+        &path,
+        r#"
+        typedef struct { float v; } Blk;
+        Blk *reg;
+        void *shmat(int a, void *b, int c);
+        void sink(float v);
+        void init(void)
+        /** SafeFlow Annotation shminit */
+        {
+            reg = (Blk *) shmat(0, 0, 0);
+            /** SafeFlow Annotation assume(shmvar(reg, sizeof(Blk))) */
+        }
+        int main() { init(); sink(1.0); return 0; }
+        "#,
+    )
+    .unwrap();
+    let out = safeflow().arg(path.to_str().unwrap()).output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn dot_flag_emits_graphviz() {
+    let out = safeflow().args(["--fig2", "--dot"]).output().expect("runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("digraph valueflow"), "{text}");
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = safeflow().arg("--bogus").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn parse_error_exits_2() {
+    let dir = std::env::temp_dir().join("safeflow_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.c");
+    std::fs::write(&path, "int main( { return 0; }").unwrap();
+    let out = safeflow().arg(path.to_str().unwrap()).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}

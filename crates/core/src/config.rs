@@ -1,0 +1,90 @@
+//! Analysis configuration.
+
+/// Which phase-3 engine to run (paper §3.3, last two paragraphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Re-analyze each function per calling context (assumption set ×
+    /// parameter taint). Matches the paper's implemented algorithm:
+    /// "each function ... is analyzed multiple times for different call
+    /// sequences leading to it, making the implementation exponential".
+    #[default]
+    ContextSensitive,
+    /// ESP-style value-flow summaries: one bottom-up pass computing
+    /// symbolic summaries, then instantiation — the optimization the paper
+    /// proposes ("analyzing each function only once and summarizing the
+    /// data dependencies ... using value flow graphs developed in ESP").
+    Summary,
+}
+
+/// Configuration of a SafeFlow run.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Phase-3 engine.
+    pub engine: Engine,
+    /// External calls whose arguments are implicitly critical:
+    /// `(function name, argument index)`. The paper treats the pid argument
+    /// of `kill` this way (§3.1/§4).
+    pub implicit_critical_calls: Vec<(String, usize)>,
+    /// External functions that deallocate shared memory (restriction P1).
+    pub dealloc_functions: Vec<String>,
+    /// External functions that allocate/attach shared memory segments
+    /// inside `shminit` functions.
+    pub shm_attach_functions: Vec<String>,
+    /// Message-receive library calls for the §3.4.3 extension:
+    /// `(name, socket arg index, buffer arg index)`.
+    pub recv_functions: Vec<(String, usize, usize)>,
+    /// Entry point used for reachability and P1 ("end of main").
+    pub entry: String,
+    /// Cap on distinct contexts analyzed *per function* before the
+    /// context-sensitive engine merges into a single worst-case context
+    /// (no inherited assumptions, tainted parameters — sound, imprecise).
+    pub max_contexts: usize,
+    /// Whether branches on unsafe values taint what they control (paper
+    /// §3.3). Disabling this is the §3.4.1 ablation: every false positive
+    /// disappears — and so do real control-dependence errors like the
+    /// paper's Figure 2 finding. Default: on, as in the paper.
+    pub track_control_dependence: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            engine: Engine::ContextSensitive,
+            implicit_critical_calls: vec![("kill".to_string(), 0)],
+            dealloc_functions: vec!["shmdt".to_string(), "shmctl".to_string()],
+            shm_attach_functions: vec!["shmat".to_string()],
+            recv_functions: vec![("recv".to_string(), 0, 1), ("read".to_string(), 0, 1)],
+            entry: "main".to_string(),
+            max_contexts: 512,
+            track_control_dependence: true,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Default configuration with the given engine.
+    pub fn with_engine(engine: Engine) -> Self {
+        AnalysisConfig { engine, ..AnalysisConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_conventions() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.engine, Engine::ContextSensitive);
+        assert!(c.implicit_critical_calls.contains(&("kill".to_string(), 0)));
+        assert!(c.dealloc_functions.iter().any(|f| f == "shmdt"));
+        assert_eq!(c.entry, "main");
+    }
+
+    #[test]
+    fn with_engine_overrides_only_engine() {
+        let c = AnalysisConfig::with_engine(Engine::Summary);
+        assert_eq!(c.engine, Engine::Summary);
+        assert_eq!(c.entry, "main");
+    }
+}

@@ -1,0 +1,249 @@
+//! # safeflow
+//!
+//! A from-scratch implementation of **SafeFlow** (Kowshik, Roşu, Sha —
+//! *Static Analysis to Enforce Safe Value Flow in Embedded Control
+//! Systems*, DSN 2006): an annotation-driven static analysis that verifies
+//! the **safe value flow** property of embedded control software:
+//!
+//! > All non-core values flowing into a core component should be monitored
+//! > before use in critical computation.
+//!
+//! The analyzer consumes the core component's C source (restricted subset,
+//! §3.2) with four kinds of annotations (§3.1/§3.2.1):
+//!
+//! * `shminit` on shared-memory initializing functions,
+//! * `assume(shmvar(p, size))` / `assume(noncore(p))` post-conditions
+//!   declaring shared-memory regions,
+//! * `assume(core(p, offset, size))` on monitoring functions,
+//! * `assert(safe(x))` on critical data.
+//!
+//! and runs the paper's three phases: shared-memory pointer identification,
+//! language-restriction enforcement (P1–P3, A1/A2 via an Omega-test
+//! solver), and an interprocedural, context-sensitive value-flow analysis
+//! that reports unmonitored accesses (warnings) and critical-data
+//! dependencies (errors, with control-only dependencies flagged as the
+//! false-positive candidates the paper triages by hand).
+//!
+//! # Examples
+//!
+//! ```
+//! use safeflow::{Analyzer, AnalysisConfig};
+//!
+//! let src = r#"
+//!     typedef struct { float control; } SHMData;
+//!     SHMData *noncoreCtrl;
+//!     void *shmat(int shmid, void *addr, int flags);
+//!     void sendControl(float v);
+//!
+//!     void initComm(void)
+//!     /** SafeFlow Annotation shminit */
+//!     {
+//!         noncoreCtrl = (SHMData *) shmat(0, 0, 0);
+//!         /** SafeFlow Annotation
+//!             assume(shmvar(noncoreCtrl, sizeof(SHMData)))
+//!             assume(noncore(noncoreCtrl))
+//!         */
+//!     }
+//!
+//!     int main() {
+//!         float output;
+//!         initComm();
+//!         output = noncoreCtrl->control;   /* unmonitored! */
+//!         /** SafeFlow Annotation assert(safe(output)) */
+//!         sendControl(output);
+//!         return 0;
+//!     }
+//! "#;
+//! let result = Analyzer::new(AnalysisConfig::default())
+//!     .analyze_source("core.c", src)
+//!     .expect("program parses");
+//! assert_eq!(result.report.warnings.len(), 1);
+//! assert_eq!(result.report.errors.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod flowgraph;
+pub mod regions;
+pub mod report;
+pub mod restrict;
+pub mod shmptr;
+pub mod summary;
+pub mod taint;
+
+pub use config::{AnalysisConfig, Engine};
+pub use regions::{Region, RegionId, RegionMap};
+pub use report::{
+    AnalysisReport, DependencyKind, ErrorDependency, FlowNode, RegionInfo, Restriction,
+    RestrictionViolation, Warning,
+};
+
+use safeflow_ir::{build_module, CallGraph, Module};
+use safeflow_points_to::PointsTo;
+use safeflow_syntax::{Diagnostics, SourceMap, VirtualFs};
+
+/// A completed analysis: the report plus everything needed to render it.
+#[derive(Debug)]
+pub struct AnalysisResult {
+    /// The findings.
+    pub report: AnalysisReport,
+    /// Source map for rendering spans.
+    pub sources: SourceMap,
+    /// Frontend/lowering diagnostics (never contains errors — those abort
+    /// the run).
+    pub diags: Diagnostics,
+    /// The lowered module, for tooling (value-flow graph dumps etc.).
+    pub module: Module,
+}
+
+impl AnalysisResult {
+    /// Renders report + diagnostics as a human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = self.report.render(&self.sources);
+        if !self.diags.is_empty() {
+            out.push_str(&self.diags.render_all(&self.sources));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Errors aborting an analysis run.
+#[derive(Debug)]
+pub struct AnalysisError {
+    /// Frontend/lowering diagnostics explaining the failure.
+    pub diags: Diagnostics,
+    /// Source map for rendering them.
+    pub sources: SourceMap,
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.diags.render_all(&self.sources))
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// The SafeFlow analyzer.
+///
+/// Construct with a config, then call [`Analyzer::analyze_source`] (single
+/// file) or [`Analyzer::analyze_program`] (multi-file with `#include`s).
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    config: AnalysisConfig,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with `config`.
+    pub fn new(config: AnalysisConfig) -> Analyzer {
+        Analyzer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Analyzes a single self-contained source file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] when the source fails to parse or lower.
+    pub fn analyze_source(&self, name: &str, src: &str) -> Result<AnalysisResult, AnalysisError> {
+        let mut fs = VirtualFs::new();
+        fs.add(name, src);
+        self.analyze_program(name, &fs)
+    }
+
+    /// Analyzes `main_name` from `fs`, resolving `#include`s against `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] when the source fails to parse or lower.
+    pub fn analyze_program(
+        &self,
+        main_name: &str,
+        fs: &VirtualFs,
+    ) -> Result<AnalysisResult, AnalysisError> {
+        let parsed = safeflow_syntax::parse_program(main_name, fs);
+        let mut diags = parsed.diags;
+        let sources = parsed.sources;
+        if diags.has_errors() {
+            return Err(AnalysisError { diags, sources });
+        }
+        let module = build_module(&parsed.unit, &mut diags);
+        if diags.has_errors() {
+            return Err(AnalysisError { diags, sources });
+        }
+        let report = self.analyze_module(&module, &mut diags);
+        if diags.has_errors() {
+            return Err(AnalysisError { diags, sources });
+        }
+        Ok(AnalysisResult { report, sources, diags, module })
+    }
+
+    /// Runs the three analysis phases over an already-lowered module.
+    pub fn analyze_module(&self, module: &Module, diags: &mut Diagnostics) -> AnalysisReport {
+        // Region model + static InitCheck (§3.2.1).
+        let regions =
+            regions::extract_regions(module, &self.config.shm_attach_functions, diags);
+        // Phase 1: shared-memory pointer identification.
+        let shm = shmptr::identify_shm_pointers(module, &regions);
+        // Phase 2: language restrictions.
+        let callgraph = CallGraph::build(module);
+        let violations = restrict::check_restrictions(
+            module,
+            &regions,
+            &shm,
+            &callgraph,
+            &self.config.dealloc_functions,
+            &self.config.entry,
+        );
+        // Phase 3: warnings + critical-data value flow.
+        let pt = PointsTo::analyze(module);
+        let results = match self.config.engine {
+            Engine::ContextSensitive => {
+                taint::analyze_taint(module, &regions, &shm, &pt, &self.config)
+            }
+            Engine::Summary => {
+                summary::analyze_summaries(module, &regions, &shm, &pt, &self.config)
+            }
+        };
+
+        // Count every annotation fact bound anywhere in the module.
+        let annotation_count = module
+            .functions
+            .iter()
+            .map(|f| f.annotations.len())
+            .sum::<usize>()
+            + module
+                .functions
+                .iter()
+                .flat_map(|f| f.insts.iter())
+                .filter(|i| matches!(i.kind, safeflow_ir::InstKind::AssertSafe { .. }))
+                .count();
+
+        let mut init_check = regions.init_check.clone();
+        init_check.extend(results.notes.iter().cloned());
+        AnalysisReport {
+            regions: regions
+                .iter()
+                .map(|r| RegionInfo {
+                    id: r.id,
+                    name: r.name.clone(),
+                    size: r.size,
+                    noncore: r.noncore,
+                    offset: r.offset,
+                })
+                .collect(),
+            warnings: results.warnings,
+            errors: results.errors,
+            violations,
+            init_check,
+            annotation_count,
+            contexts_analyzed: results.contexts_analyzed,
+        }
+    }
+}

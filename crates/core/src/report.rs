@@ -1,0 +1,325 @@
+//! Report model: everything SafeFlow tells the developer.
+//!
+//! Three result categories, exactly as the paper's evaluation counts them
+//! (Table 1):
+//!
+//! * **warnings** — unmonitored reads of non-core shared memory ("a warning
+//!   is reported for each unsafe access to shared memory, without any false
+//!   positives or false negatives", §3.3);
+//! * **errors** — critical data that is data- or control-dependent on an
+//!   unmonitored non-core value; control-only dependencies are flagged as
+//!   false-positive candidates needing manual triage via the value-flow
+//!   path (§3.4.1, §4);
+//! * **violations** — breaches of the language restrictions P1–P3/A1–A2
+//!   (§3.2).
+
+use crate::regions::RegionId;
+use safeflow_syntax::source::SourceMap;
+use safeflow_syntax::span::Span;
+use std::fmt;
+use std::sync::Arc;
+
+/// One step in a value-flow path (newest first when linked).
+#[derive(Debug, Clone)]
+pub struct FlowNode {
+    /// What happened at this step (e.g. "read of non-core region
+    /// `noncoreCtrl`").
+    pub what: String,
+    /// Where.
+    pub span: Span,
+    /// Previous step (towards the taint source).
+    pub prev: Option<Arc<FlowNode>>,
+}
+
+impl FlowNode {
+    /// Creates a source node.
+    pub fn source(what: impl Into<String>, span: Span) -> Arc<FlowNode> {
+        Arc::new(FlowNode { what: what.into(), span, prev: None })
+    }
+
+    /// Creates a node chained onto `prev`.
+    pub fn step(what: impl Into<String>, span: Span, prev: Arc<FlowNode>) -> Arc<FlowNode> {
+        Arc::new(FlowNode { what: what.into(), span, prev: Some(prev) })
+    }
+
+    /// The path from the source to this node, oldest first.
+    pub fn path(&self) -> Vec<(String, Span)> {
+        let mut out = Vec::new();
+        let mut cur = Some(self);
+        while let Some(n) = cur {
+            out.push((n.what.clone(), n.span));
+            cur = n.prev.as_deref();
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// An unmonitored read of a non-core shared-memory region.
+#[derive(Debug, Clone)]
+pub struct Warning {
+    /// Function containing the access.
+    pub function: String,
+    /// The non-core region accessed.
+    pub region: RegionId,
+    /// Region name (pointer variable it was declared through).
+    pub region_name: String,
+    /// Location of the access.
+    pub span: Span,
+}
+
+/// How critical data depends on an unsafe value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DependencyKind {
+    /// Pure control dependence: the unsafe value only steered which path
+    /// computed the critical data. These are the paper's false-positive
+    /// candidates (§3.4.1, all observed FPs in §4 were of this kind).
+    ControlOnly,
+    /// Data dependence (possibly alongside control dependence).
+    Data,
+}
+
+/// Critical data depending on an unmonitored non-core value.
+#[derive(Debug, Clone)]
+pub struct ErrorDependency {
+    /// The asserted variable (or `function:arg` for implicit critical
+    /// call arguments like `kill:0`).
+    pub critical: String,
+    /// Function containing the assertion.
+    pub function: String,
+    /// Location of the assertion / critical call.
+    pub span: Span,
+    /// Data vs control-only.
+    pub kind: DependencyKind,
+    /// Value-flow path from the unmonitored access to the critical datum
+    /// (the triage aid the paper's users inspected manually).
+    pub flow: Option<Arc<FlowNode>>,
+}
+
+/// Which restriction a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Restriction {
+    /// Shared memory deallocated before the end of `main`.
+    P1,
+    /// Address of a shared-memory pointer taken / pointer stored outside a
+    /// named variable.
+    P2,
+    /// Incompatible cast of a shared-memory pointer (or cast to integer).
+    P3,
+    /// Array index not provably within bounds.
+    A1,
+    /// Loop-indexed shared array with non-affine index/bounds.
+    A2,
+}
+
+impl fmt::Display for Restriction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Restriction::P1 => "P1",
+            Restriction::P2 => "P2",
+            Restriction::P3 => "P3",
+            Restriction::A1 => "A1",
+            Restriction::A2 => "A2",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A breach of the shared-memory language restrictions.
+#[derive(Debug, Clone)]
+pub struct RestrictionViolation {
+    /// Which rule.
+    pub restriction: Restriction,
+    /// Function containing the violation.
+    pub function: String,
+    /// Explanation.
+    pub message: String,
+    /// Location.
+    pub span: Span,
+}
+
+/// Summary of one shared-memory region for the report.
+#[derive(Debug, Clone)]
+pub struct RegionInfo {
+    /// Region id.
+    pub id: RegionId,
+    /// Pointer variable name.
+    pub name: String,
+    /// Total byte size.
+    pub size: u64,
+    /// Whether non-core components may write it.
+    pub noncore: bool,
+    /// Constant byte offset within its segment, when the initializer was
+    /// statically evaluable.
+    pub offset: Option<i64>,
+}
+
+/// The full output of a SafeFlow run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Shared-memory regions discovered from `shminit` annotations.
+    pub regions: Vec<RegionInfo>,
+    /// Unmonitored non-core reads.
+    pub warnings: Vec<Warning>,
+    /// Critical-data dependencies.
+    pub errors: Vec<ErrorDependency>,
+    /// P1–P3/A1–A2 violations.
+    pub violations: Vec<RestrictionViolation>,
+    /// Results of the static `InitCheck` (region overlap) verification.
+    pub init_check: Vec<String>,
+    /// Number of SafeFlow annotation facts bound during the run.
+    pub annotation_count: usize,
+    /// Phase-3 work metric: distinct `(function, context)` analyses for the
+    /// context-sensitive engine, or function summaries computed for the
+    /// summary engine (the §3.3 complexity trade-off, measured).
+    pub contexts_analyzed: usize,
+}
+
+impl AnalysisReport {
+    /// Errors that are data dependencies (definite).
+    pub fn data_errors(&self) -> impl Iterator<Item = &ErrorDependency> {
+        self.errors.iter().filter(|e| e.kind == DependencyKind::Data)
+    }
+
+    /// Errors that are control-only (false-positive candidates, paper §4).
+    pub fn control_only_errors(&self) -> impl Iterator<Item = &ErrorDependency> {
+        self.errors.iter().filter(|e| e.kind == DependencyKind::ControlOnly)
+    }
+
+    /// Whether the component passed with no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty() && self.errors.is_empty() && self.violations.is_empty()
+    }
+
+    /// Renders the report against `sources` as a human-readable block.
+    pub fn render(&self, sources: &SourceMap) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "SafeFlow report: {} region(s), {} warning(s), {} error(s) ({} data, {} control-only), {} restriction violation(s)\n",
+            self.regions.len(),
+            self.warnings.len(),
+            self.errors.len(),
+            self.data_errors().count(),
+            self.control_only_errors().count(),
+            self.violations.len(),
+        ));
+        for r in &self.regions {
+            out.push_str(&format!(
+                "  region `{}`: {} bytes, {}{}\n",
+                r.name,
+                r.size,
+                if r.noncore { "non-core" } else { "core" },
+                match r.offset {
+                    Some(o) => format!(", segment offset {o}"),
+                    None => String::new(),
+                }
+            ));
+        }
+        for c in &self.init_check {
+            out.push_str(&format!("  init-check: {c}\n"));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!(
+                "  warning: unmonitored read of non-core region `{}` in `{}` [{}]\n",
+                w.region_name,
+                w.function,
+                sources.describe(w.span)
+            ));
+        }
+        for v in &self.violations {
+            out.push_str(&format!(
+                "  violation [{}]: {} in `{}` [{}]\n",
+                v.restriction,
+                v.message,
+                v.function,
+                sources.describe(v.span)
+            ));
+        }
+        for e in &self.errors {
+            out.push_str(&format!(
+                "  ERROR: critical `{}` in `{}` {} on unmonitored non-core value [{}]\n",
+                e.critical,
+                e.function,
+                match e.kind {
+                    DependencyKind::Data => "is data-dependent",
+                    DependencyKind::ControlOnly =>
+                        "is control-dependent (false-positive candidate)",
+                },
+                sources.describe(e.span)
+            ));
+            if let Some(flow) = &e.flow {
+                for (i, (what, span)) in flow.path().iter().enumerate() {
+                    out.push_str(&format!(
+                        "      {}{} [{}]\n",
+                        if i == 0 { "source: " } else { "  then: " },
+                        what,
+                        sources.describe(*span)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_path_orders_source_first() {
+        let a = FlowNode::source("read region", Span::dummy());
+        let b = FlowNode::step("assigned to x", Span::dummy(), a);
+        let c = FlowNode::step("returned from decision", Span::dummy(), b);
+        let path = c.path();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].0, "read region");
+        assert_eq!(path[2].0, "returned from decision");
+    }
+
+    #[test]
+    fn report_classification() {
+        let mut r = AnalysisReport::default();
+        assert!(r.is_clean());
+        r.errors.push(ErrorDependency {
+            critical: "output".into(),
+            function: "main".into(),
+            span: Span::dummy(),
+            kind: DependencyKind::Data,
+            flow: None,
+        });
+        r.errors.push(ErrorDependency {
+            critical: "mode".into(),
+            function: "main".into(),
+            span: Span::dummy(),
+            kind: DependencyKind::ControlOnly,
+            flow: None,
+        });
+        assert_eq!(r.data_errors().count(), 1);
+        assert_eq!(r.control_only_errors().count(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let mut r = AnalysisReport::default();
+        r.regions.push(RegionInfo {
+            id: RegionId(0),
+            name: "noncoreCtrl".into(),
+            size: 12,
+            noncore: true,
+            offset: Some(12),
+        });
+        r.warnings.push(Warning {
+            function: "main".into(),
+            region: RegionId(0),
+            region_name: "noncoreCtrl".into(),
+            span: Span::dummy(),
+        });
+        let sm = SourceMap::new();
+        let text = r.render(&sm);
+        assert!(text.contains("1 warning"));
+        assert!(text.contains("noncoreCtrl"));
+        assert!(text.contains("non-core"));
+    }
+}

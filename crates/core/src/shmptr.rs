@@ -1,0 +1,417 @@
+//! Phase 1: interprocedural identification of pointers to shared memory
+//! (paper §3.3, first phase).
+//!
+//! Starting from the region globals declared by `shminit` post-conditions,
+//! region-pointer facts propagate through SSA edges, loads/stores of
+//! globals, call arguments and return values — the paper's bottom-up +
+//! top-down passes over call-graph SCCs, realized here as a module-wide
+//! fixpoint (equivalent result; the SCC orders are an evaluation-order
+//! optimization).
+//!
+//! Each fact is a `(region, constant element offset)` pair; the offset
+//! survives constant pointer arithmetic so the array-bounds phase can
+//! reason about derived pointers, and degrades to `None` otherwise.
+
+use crate::regions::{RegionId, RegionMap};
+use safeflow_ir::{Callee, FuncId, GlobalId, InstId, InstKind, Module, Terminator, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A region-pointer fact: which region, and at which constant *element*
+/// offset from the region base (when known).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionPtr {
+    /// The pointed-to region.
+    pub region: RegionId,
+    /// Constant element offset from the region base, if statically known.
+    pub offset: Option<i64>,
+}
+
+impl RegionPtr {
+    fn base(region: RegionId) -> RegionPtr {
+        RegionPtr { region, offset: Some(0) }
+    }
+
+    fn shifted(self, delta: Option<i64>) -> RegionPtr {
+        RegionPtr {
+            region: self.region,
+            offset: match (self.offset, delta) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            },
+        }
+    }
+
+    fn unknown_offset(self) -> RegionPtr {
+        RegionPtr { region: self.region, offset: None }
+    }
+}
+
+/// Where a region-pointer fact can attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Inst(FuncId, InstId),
+    Param(FuncId, u32),
+    Ret(FuncId),
+    Global(GlobalId),
+}
+
+/// Results of phase 1.
+#[derive(Debug, Default)]
+pub struct ShmPointers {
+    sets: HashMap<Key, BTreeSet<RegionPtr>>,
+    /// Stores of region pointers into memory that is not a named global
+    /// variable — collected here for the P2 check in phase 2:
+    /// `(function, store inst, offending pointers)`.
+    pub escaping_stores: Vec<(FuncId, InstId)>,
+}
+
+impl ShmPointers {
+    /// Region pointers held by `value` inside `func`.
+    pub fn regions_of(&self, func: FuncId, value: &Value) -> BTreeSet<RegionPtr> {
+        match value {
+            Value::Inst(id) => self.get(Key::Inst(func, *id)),
+            Value::Param(i) => self.get(Key::Param(func, *i)),
+            // The *address* of a region global is not itself a region
+            // pointer; its contents are.
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Region pointers stored in global `g`.
+    pub fn global_regions(&self, g: GlobalId) -> BTreeSet<RegionPtr> {
+        self.get(Key::Global(g))
+    }
+
+    /// Region pointers returned by `f`.
+    pub fn return_regions(&self, f: FuncId) -> BTreeSet<RegionPtr> {
+        self.get(Key::Ret(f))
+    }
+
+    /// Whether `value` may point into shared memory.
+    pub fn is_shm_ptr(&self, func: FuncId, value: &Value) -> bool {
+        !self.regions_of(func, value).is_empty()
+    }
+
+    fn get(&self, k: Key) -> BTreeSet<RegionPtr> {
+        self.sets.get(&k).cloned().unwrap_or_default()
+    }
+
+    fn extend(&mut self, k: Key, ptrs: impl IntoIterator<Item = RegionPtr>) -> bool {
+        let set = self.sets.entry(k).or_default();
+        let before = set.len();
+        // Collapse: keep at most one unknown-offset fact per region, and if
+        // a region accumulates many distinct offsets, widen to unknown to
+        // guarantee termination.
+        for p in ptrs {
+            set.insert(p);
+        }
+        let mut by_region: BTreeMap<RegionId, usize> = BTreeMap::new();
+        for p in set.iter() {
+            *by_region.entry(p.region).or_default() += 1;
+        }
+        for (r, n) in by_region {
+            if n > 8 {
+                set.retain(|p| p.region != r);
+                set.insert(RegionPtr { region: r, offset: None });
+            }
+        }
+        set.len() != before
+    }
+}
+
+/// Runs phase 1 over the whole module.
+pub fn identify_shm_pointers(module: &Module, regions: &RegionMap) -> ShmPointers {
+    let mut sp = ShmPointers::default();
+    // Seed: each region global holds a base pointer to its region.
+    for r in regions.iter() {
+        sp.extend(Key::Global(r.global), [RegionPtr::base(r.id)]);
+    }
+
+    let defs: Vec<FuncId> = module.definitions().collect();
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > 1000 {
+            break; // defensive; widening above should prevent this
+        }
+        for &fid in &defs {
+            let func = module.function(fid);
+            // `shminit` bodies define the region layout (handled by the
+            // region extractor); their intra-segment pointer arithmetic
+            // must not leak cross-region aliases into the analysis.
+            if func.is_shminit() {
+                continue;
+            }
+            for (iid, inst) in func.iter_insts() {
+                let this = Key::Inst(fid, iid);
+                match &inst.kind {
+                    InstKind::Load { ptr } => match ptr {
+                        Value::Global(g) => {
+                            let facts = sp.get(Key::Global(*g));
+                            if sp.extend(this, facts) {
+                                changed = true;
+                            }
+                        }
+                        Value::Inst(pid)
+                            if matches!(func.inst(*pid).kind, InstKind::Alloca { .. }) =>
+                        {
+                            // Address-taken local variable slot: facts were
+                            // attached to the alloca by the Store case.
+                            let facts = sp.get(Key::Inst(fid, *pid));
+                            if !facts.is_empty() && sp.extend(this, facts) {
+                                changed = true;
+                            }
+                        }
+                        _ => {
+                            // A load through a region pointer yields shm
+                            // *data*; if that data is itself a pointer it is
+                            // NOT a region pointer (storing pointers in
+                            // shared memory is a P2 concern, not a region
+                            // fact).
+                        }
+                    },
+                    InstKind::Store { ptr, value } => {
+                        let vfacts = match value {
+                            Value::Inst(id) => sp.get(Key::Inst(fid, *id)),
+                            Value::Param(i) => sp.get(Key::Param(fid, *i)),
+                            _ => BTreeSet::new(),
+                        };
+                        if vfacts.is_empty() {
+                            continue;
+                        }
+                        match ptr {
+                            Value::Global(g) => {
+                                if sp.extend(Key::Global(*g), vfacts) {
+                                    changed = true;
+                                }
+                            }
+                            Value::Inst(pid)
+                                if matches!(func.inst(*pid).kind, InstKind::Alloca { .. }) =>
+                            {
+                                // Address-taken local holding a shm pointer:
+                                // still a named variable; propagate through
+                                // the slot by attaching facts to the alloca's
+                                // loads via the alloca key itself.
+                                if sp.extend(Key::Inst(fid, *pid), vfacts) {
+                                    changed = true;
+                                }
+                            }
+                            _ => {
+                                // Region pointer stored into arbitrary
+                                // memory: P2 violation candidate.
+                                if !sp.escaping_stores.contains(&(fid, iid)) {
+                                    sp.escaping_stores.push((fid, iid));
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    InstKind::ElemAddr { base, index } => {
+                        let facts = sp.regions_of(fid, base);
+                        if facts.is_empty() {
+                            continue;
+                        }
+                        let delta = index.as_const_int();
+                        let shifted: Vec<RegionPtr> =
+                            facts.into_iter().map(|p| p.shifted(delta)).collect();
+                        if sp.extend(this, shifted) {
+                            changed = true;
+                        }
+                    }
+                    InstKind::FieldAddr { base, .. } => {
+                        // A field pointer stays inside the region; the
+                        // element offset no longer tracks whole elements.
+                        let facts: Vec<RegionPtr> = sp
+                            .regions_of(fid, base)
+                            .into_iter()
+                            .map(|p| if p.offset == Some(0) { p } else { p.unknown_offset() })
+                            .collect();
+                        if !facts.is_empty() && sp.extend(this, facts) {
+                            changed = true;
+                        }
+                    }
+                    InstKind::Cast { value, .. }
+                        if inst.ty.is_ptr() => {
+                            let facts = sp.regions_of(fid, value);
+                            if !facts.is_empty() && sp.extend(this, facts) {
+                                changed = true;
+                            }
+                        }
+                    InstKind::Phi { incoming } => {
+                        let mut facts = BTreeSet::new();
+                        for (_, v) in incoming {
+                            facts.extend(sp.regions_of(fid, v));
+                        }
+                        if !facts.is_empty() && sp.extend(this, facts) {
+                            changed = true;
+                        }
+                    }
+                    InstKind::Call { callee: Callee::Local(target), args }
+                        if module.function(*target).is_definition =>
+                    {
+                        for (i, arg) in args.iter().enumerate() {
+                            let facts = sp.regions_of(fid, arg);
+                            if !facts.is_empty()
+                                && sp.extend(Key::Param(*target, i as u32), facts)
+                            {
+                                changed = true;
+                            }
+                        }
+                        let rets = sp.get(Key::Ret(*target));
+                        if !rets.is_empty() && sp.extend(this, rets) {
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for (_, block) in func.iter_blocks() {
+                if let Terminator::Ret(Some(v)) = &block.terminator {
+                    let facts = sp.regions_of(fid, v);
+                    if !facts.is_empty() && sp.extend(Key::Ret(fid), facts) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    sp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::extract_regions;
+    use safeflow_ir::build_module;
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+
+    fn setup(src: &str) -> (Module, RegionMap, ShmPointers) {
+        let pr = parse_source("t.c", src);
+        assert!(!pr.diags.has_errors(), "{:?}", pr.diags);
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        assert!(!diags.has_errors(), "{diags:?}");
+        let regions = extract_regions(&m, &["shmat".to_string()], &mut diags);
+        let sp = identify_shm_pointers(&m, &regions);
+        (m, regions, sp)
+    }
+
+    const PRELUDE: &str = r#"
+        typedef struct { float control; float arr[4]; } SHMData;
+        SHMData *feedback;
+        SHMData *noncoreCtrl;
+        void *shmat(int shmid, void *addr, int flags);
+        void initComm(void)
+        /** SafeFlow Annotation shminit */
+        {
+            feedback = (SHMData *) shmat(0, 0, 0);
+            noncoreCtrl = feedback + 1;
+            /** SafeFlow Annotation
+                assume(shmvar(feedback, sizeof(SHMData)))
+                assume(shmvar(noncoreCtrl, sizeof(SHMData)))
+                assume(noncore(noncoreCtrl))
+            */
+        }
+    "#;
+
+    #[test]
+    fn load_of_region_global_is_region_ptr() {
+        let (m, regions, sp) = setup(&format!(
+            "{PRELUDE}\nfloat use(void) {{ return noncoreCtrl->control; }}"
+        ));
+        let fid = m.function_by_name("use").unwrap();
+        let f = m.function(fid);
+        let nc = regions.iter().find(|r| r.name == "noncoreCtrl").unwrap();
+        // The load of the global yields a pointer to region noncoreCtrl.
+        let mut found = false;
+        for (iid, inst) in f.iter_insts() {
+            if matches!(inst.kind, InstKind::Load { ptr: Value::Global(_) }) {
+                let facts = sp.regions_of(fid, &Value::Inst(iid));
+                if facts.iter().any(|p| p.region == nc.id && p.offset == Some(0)) {
+                    found = true;
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn propagation_through_args_and_returns() {
+        let (m, regions, sp) = setup(&format!(
+            r#"{PRELUDE}
+            SHMData *pick(SHMData *p) {{ return p; }}
+            float use(void) {{
+                SHMData *q = pick(noncoreCtrl);
+                return q->control;
+            }}
+            "#
+        ));
+        let pick = m.function_by_name("pick").unwrap();
+        let nc = regions.iter().find(|r| r.name == "noncoreCtrl").unwrap();
+        // pick's param and return both carry the region.
+        assert!(sp.get(Key::Param(pick, 0)).iter().any(|p| p.region == nc.id));
+        assert!(sp.return_regions(pick).iter().any(|p| p.region == nc.id));
+    }
+
+    #[test]
+    fn pointer_arithmetic_tracks_offsets() {
+        let (m, regions, sp) = setup(&format!(
+            "{PRELUDE}\nfloat use(void) {{ SHMData *p = feedback + 1; return p->control; }}"
+        ));
+        let fid = m.function_by_name("use").unwrap();
+        let f = m.function(fid);
+        let fb = regions.iter().find(|r| r.name == "feedback").unwrap();
+        let mut found = false;
+        for (iid, inst) in f.iter_insts() {
+            if matches!(inst.kind, InstKind::ElemAddr { .. }) {
+                for p in sp.regions_of(fid, &Value::Inst(iid)) {
+                    if p.region == fb.id && p.offset == Some(1) {
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "feedback+1 should be region feedback at element offset 1");
+    }
+
+    #[test]
+    fn escaping_store_recorded_for_p2() {
+        let (m, _, sp) = setup(&format!(
+            r#"{PRELUDE}
+            typedef struct {{ SHMData *stash; }} Holder;
+            Holder h;
+            void bad(void) {{ h.stash = noncoreCtrl; }}
+            "#
+        ));
+        assert_eq!(sp.escaping_stores.len(), 1);
+        let (fid, _) = sp.escaping_stores[0];
+        assert_eq!(m.function(fid).name, "bad");
+    }
+
+    #[test]
+    fn store_to_plain_global_is_allowed() {
+        let (m, regions, sp) = setup(&format!(
+            r#"{PRELUDE}
+            SHMData *alias;
+            void ok(void) {{ alias = noncoreCtrl; }}
+            float use(void) {{ return alias->control; }}
+            "#
+        ));
+        assert!(sp.escaping_stores.is_empty());
+        let alias_g = m.global_by_name("alias").unwrap();
+        let nc = regions.iter().find(|r| r.name == "noncoreCtrl").unwrap();
+        assert!(sp.global_regions(alias_g).iter().any(|p| p.region == nc.id));
+    }
+
+    #[test]
+    fn non_shm_pointers_have_no_facts() {
+        let (m, _, sp) = setup(&format!(
+            "{PRELUDE}\nint local_only(int *p) {{ return *p; }}"
+        ));
+        let fid = m.function_by_name("local_only").unwrap();
+        assert!(!sp.is_shm_ptr(fid, &Value::Param(0)));
+    }
+}

@@ -1,0 +1,715 @@
+//! Phase 3, summary engine: the ESP-style value-flow-graph optimization the
+//! paper proposes in §3.3's final paragraph ("analyzing each function only
+//! once and summarizing the data dependencies in the functions using value
+//! flow graphs ... a single bottom-up pass on the SCCs in the call graph,
+//! inlining the value flow graphs in the callers").
+//!
+//! Each function gets a **symbolic summary**: the sources (parameters,
+//! non-core region reads, memory objects, received messages) that flow into
+//! its return value, its `assert(safe(...))` anchors, its critical call
+//! arguments, and the memory objects it writes — each flagged as data or
+//! control flow. Inlining a callee substitutes argument sources for
+//! parameter symbols and drops region symbols monitored by the caller's
+//! `assume(core(...))` scope (annotations apply recursively to callees,
+//! §3.1). One bottom-up pass over call-graph SCCs; summaries inside an SCC
+//! iterate to fixpoint.
+//!
+//! Must agree with [`crate::taint`] on findings; the integration suite and
+//! the `engine_scaling` bench compare them. Value-flow paths reported here
+//! are coarser (source → sink only) than the context-sensitive engine's.
+
+use crate::config::AnalysisConfig;
+use crate::regions::{RegionId, RegionMap};
+use crate::report::{DependencyKind, ErrorDependency, FlowNode, Warning};
+use crate::shmptr::ShmPointers;
+use crate::taint::TaintResults;
+use safeflow_ir::{
+    BlockId, CallGraph, Cfg, FuncId, InstId, InstKind, Module, Terminator, Value,
+};
+use safeflow_dataflow::{ControlDeps, PostDomTree};
+use safeflow_points_to::{ObjId, PointsTo};
+use safeflow_syntax::annot::Annotation;
+use safeflow_syntax::span::Span;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A symbolic taint source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Sym {
+    /// The function's `i`-th parameter.
+    Param(u32),
+    /// An unmonitored read of a non-core region (site span packed
+    /// alongside in `SymSet`).
+    Region(RegionId),
+    /// A memory object (resolved module-wide after the bottom-up pass).
+    Obj(ObjId),
+    /// Data received from a non-core descriptor (§3.4.3).
+    Recv,
+}
+
+/// A source with its flow kind: `ctl = true` means the influence is via
+/// control dependence only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Fact {
+    sym: Sym,
+    ctl: bool,
+}
+
+type SymSet = BTreeSet<Fact>;
+
+fn promote_ctl(set: &SymSet) -> SymSet {
+    set.iter().map(|f| Fact { sym: f.sym, ctl: true }).collect()
+}
+
+/// A recorded sink (assert or critical call argument) with the sources
+/// reaching it.
+#[derive(Debug, Clone)]
+struct Sink {
+    critical: String,
+    function: String,
+    span: Span,
+    sources: SymSet,
+}
+
+/// Per-function symbolic summary.
+#[derive(Debug, Clone, Default)]
+struct Summary {
+    /// Sources flowing to the return value.
+    ret: SymSet,
+    /// Unmonitored region reads: `(site span, region)` — already filtered
+    /// by this function's own assume scope.
+    region_reads: Vec<(Span, RegionId, String)>,
+    /// Sinks observed in this function or inlined from callees.
+    sinks: Vec<Sink>,
+    /// Sources written into memory objects.
+    obj_writes: BTreeMap<ObjId, SymSet>,
+}
+
+/// Runs the summary engine; produces the same result shape as the
+/// context-sensitive engine.
+pub fn analyze_summaries(
+    module: &Module,
+    regions: &RegionMap,
+    shm: &ShmPointers,
+    pt: &PointsTo,
+    config: &AnalysisConfig,
+) -> TaintResults {
+    let callgraph = CallGraph::build(module);
+    let noncore_sockets = find_noncore_sockets(module, regions);
+    let mut notes = Vec::new();
+
+    // Per-function graphs and assume-scopes are loop-invariant: compute
+    // them once (this is what keeps the single bottom-up pass cheap).
+    let mut graphs: HashMap<FuncId, FnGraphs> = HashMap::new();
+    for fid in module.definitions() {
+        let func = module.function(fid);
+        if func.is_shminit() || func.blocks.is_empty() {
+            continue;
+        }
+        let cfg = Cfg::build(func);
+        let pdom = PostDomTree::build(func, &cfg);
+        let cd = ControlDeps::build(func, &cfg, &pdom);
+        let assumed = own_assumed(module, regions, shm, fid, &mut notes);
+        graphs.insert(fid, FnGraphs { cfg, cd, assumed });
+    }
+
+    let mut summaries: HashMap<FuncId, Summary> = HashMap::new();
+    // Bottom-up over SCCs; iterate within each SCC to fixpoint.
+    for scc in callgraph.bottom_up() {
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed && rounds < 16 {
+            changed = false;
+            rounds += 1;
+            for &fid in scc {
+                if module.function(fid).is_shminit() {
+                    summaries.insert(fid, Summary::default());
+                    continue;
+                }
+                let Some(g) = graphs.get(&fid) else {
+                    summaries.insert(fid, Summary::default());
+                    continue;
+                };
+                let s = summarize_function(
+                    module,
+                    regions,
+                    shm,
+                    pt,
+                    config,
+                    &noncore_sockets,
+                    &summaries,
+                    fid,
+                    g,
+                );
+                let prev = summaries.get(&fid);
+                if prev.map(|p| !summary_eq(p, &s)).unwrap_or(true) {
+                    summaries.insert(fid, s);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Module-wide object taint: fixpoint over aggregated object writes.
+    // An object is unsafe if a non-parameter unsafe source flows into it
+    // anywhere (roots have clean parameters).
+    let mut obj_writes: BTreeMap<ObjId, SymSet> = BTreeMap::new();
+    for s in summaries.values() {
+        for (o, set) in &s.obj_writes {
+            obj_writes.entry(*o).or_default().extend(set.iter().copied());
+        }
+    }
+    let unsafe_region =
+        |r: RegionId| -> bool { regions.region(r).noncore };
+    let mut unsafe_objs: BTreeMap<ObjId, bool /* ctl-only */> = BTreeMap::new();
+    let mut changed = true;
+    let mut guard = 0;
+    while changed && guard < 64 {
+        changed = false;
+        guard += 1;
+        for (o, set) in &obj_writes {
+            for f in set {
+                let (is_unsafe, src_ctl) = match f.sym {
+                    Sym::Region(r) => (unsafe_region(r), false),
+                    Sym::Recv => (true, false),
+                    Sym::Obj(src) => match unsafe_objs.get(&src) {
+                        Some(&ctl) => (true, ctl),
+                        None => (false, false),
+                    },
+                    Sym::Param(_) => (false, false),
+                };
+                if is_unsafe {
+                    let ctl = f.ctl || src_ctl;
+                    match unsafe_objs.get_mut(o) {
+                        Some(existing) => {
+                            if *existing && !ctl {
+                                *existing = false; // data beats control
+                                changed = true;
+                            }
+                        }
+                        None => {
+                            unsafe_objs.insert(*o, ctl);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Evaluate sinks and collect warnings at *roots* only: the entry point
+    // plus every defined function not reachable from it. Sites inside
+    // helpers reached exclusively through monitors were filtered out while
+    // inlining, exactly like the context-sensitive engine's contexts.
+    let mut roots: BTreeSet<FuncId> = BTreeSet::new();
+    let reachable = module
+        .function_by_name(&config.entry)
+        .filter(|e| module.function(*e).is_definition)
+        .map(|e| {
+            roots.insert(e);
+            callgraph.reachable_from(e)
+        })
+        .unwrap_or_default();
+    for fid in module.definitions() {
+        if !reachable.contains(&fid) && !module.function(fid).is_shminit() {
+            roots.insert(fid);
+        }
+    }
+
+    let mut warnings: BTreeMap<(String, u32, u32, RegionId), Warning> = BTreeMap::new();
+    let mut errors: BTreeMap<(String, u32, u32, String), ErrorDependency> = BTreeMap::new();
+    for fid in roots {
+        let func = module.function(fid);
+        if func.is_shminit() {
+            continue;
+        }
+        let Some(s) = summaries.get(&fid) else { continue };
+        // Warnings: only count from "root" summaries (the function itself);
+        // inlined callee reads are attributed to the callee's own summary,
+        // so iterate every function rather than only entry roots.
+        for (span, rid, in_func) in &s.region_reads {
+            if !unsafe_region(*rid) {
+                continue;
+            }
+            let region_name = regions.region(*rid).name.clone();
+            warnings
+                .entry((in_func.clone(), span.lo, span.hi, *rid))
+                .or_insert_with(|| Warning {
+                    function: in_func.clone(),
+                    region: *rid,
+                    region_name,
+                    span: *span,
+                });
+        }
+        for sink in &s.sinks {
+            // Parameters of roots are clean; other sources decide.
+            let mut worst: Option<(bool, Option<RegionId>)> = None; // (ctl_only, region)
+            for f in &sink.sources {
+                let (is_unsafe, extra_ctl, reg) = match f.sym {
+                    Sym::Region(r) => (unsafe_region(r), false, Some(r)),
+                    Sym::Recv => (true, false, None),
+                    Sym::Obj(o) => match unsafe_objs.get(&o) {
+                        Some(&ctl) => (true, ctl, None),
+                        None => (false, false, None),
+                    },
+                    Sym::Param(_) => (false, false, None),
+                };
+                if !is_unsafe {
+                    continue;
+                }
+                let ctl_only = f.ctl || extra_ctl;
+                worst = Some(match worst {
+                    None => (ctl_only, reg),
+                    Some((prev_ctl, prev_reg)) => {
+                        if prev_ctl && !ctl_only {
+                            (false, reg)
+                        } else {
+                            (prev_ctl, prev_reg)
+                        }
+                    }
+                });
+            }
+            if let Some((ctl_only, reg)) = worst {
+                let key =
+                    (sink.function.clone(), sink.span.lo, sink.span.hi, sink.critical.clone());
+                let source_desc = match reg {
+                    Some(r) => format!(
+                        "unmonitored read of non-core region `{}`",
+                        regions.region(r).name
+                    ),
+                    None => "unmonitored non-core input".to_string(),
+                };
+                let e = ErrorDependency {
+                    critical: sink.critical.clone(),
+                    function: sink.function.clone(),
+                    span: sink.span,
+                    kind: if ctl_only { DependencyKind::ControlOnly } else { DependencyKind::Data },
+                    flow: Some(FlowNode::step(
+                        format!("reaches critical `{}`", sink.critical),
+                        sink.span,
+                        FlowNode::source(source_desc, sink.span),
+                    )),
+                };
+                match errors.get_mut(&key) {
+                    Some(prev) => {
+                        if e.kind > prev.kind {
+                            *prev = e;
+                        }
+                    }
+                    None => {
+                        errors.insert(key, e);
+                    }
+                }
+            }
+        }
+    }
+
+    notes.sort();
+    notes.dedup();
+    TaintResults {
+        warnings: warnings.into_values().collect(),
+        errors: errors.into_values().collect(),
+        notes,
+        contexts_analyzed: summaries.len(),
+    }
+}
+
+fn summary_eq(a: &Summary, b: &Summary) -> bool {
+    a.ret == b.ret
+        && a.region_reads == b.region_reads
+        && a.obj_writes == b.obj_writes
+        && a.sinks.len() == b.sinks.len()
+        && a.sinks
+            .iter()
+            .zip(b.sinks.iter())
+            .all(|(x, y)| x.sources == y.sources && x.critical == y.critical && x.span == y.span)
+}
+
+fn find_noncore_sockets(module: &Module, regions: &RegionMap) -> BTreeSet<safeflow_ir::GlobalId> {
+    let mut out = BTreeSet::new();
+    for fid in module.definitions() {
+        for ann in &module.function(fid).annotations {
+            if let Annotation::Noncore { target, .. } = ann {
+                if let Some(g) = module.global_by_name(target) {
+                    if regions.by_global(g).is_none() {
+                        out.insert(g);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The regions a function's own `assume(core(...))` annotations cover.
+fn own_assumed(
+    module: &Module,
+    regions: &RegionMap,
+    shm: &ShmPointers,
+    fid: FuncId,
+    notes: &mut Vec<String>,
+) -> BTreeSet<RegionId> {
+    let mut assumed = BTreeSet::new();
+    let func = module.function(fid);
+    for ann in &func.annotations {
+        if let Annotation::AssumeCore { ptr, offset, size, .. } = ann {
+            let mut rids: BTreeSet<RegionId> = BTreeSet::new();
+            if let Some(g) = module.global_by_name(ptr) {
+                if let Some(r) = regions.by_global(g) {
+                    rids.insert(r);
+                } else {
+                    rids.extend(shm.global_regions(g).into_iter().map(|p| p.region));
+                }
+            } else if let Some(i) = func.params.iter().position(|p| p.name == *ptr) {
+                rids.extend(
+                    shm.regions_of(fid, &Value::Param(i as u32)).into_iter().map(|p| p.region),
+                );
+            }
+            if rids.is_empty() {
+                notes.push(format!(
+                    "assume(core({ptr}, ...)) in `{}` names no known shared-memory pointer; ignored",
+                    func.name
+                ));
+                continue;
+            }
+            let off = crate::regions::eval_ann_expr(module, offset);
+            let sz = crate::regions::eval_ann_expr(module, size);
+            for rid in rids {
+                let region = regions.region(rid);
+                match (off, sz) {
+                    (Some(0), Some(s)) if s as u64 == region.size => {
+                        assumed.insert(rid);
+                    }
+                    _ => notes.push(format!(
+                        "assume(core({ptr}, ...)) in `{}` does not span the whole region `{}` ({} bytes); annotation is ineffective",
+                        func.name, region.name, region.size
+                    )),
+                }
+            }
+        }
+    }
+    assumed
+}
+
+/// Loop-invariant per-function inputs to summarization.
+struct FnGraphs {
+    cfg: Cfg,
+    cd: ControlDeps,
+    assumed: BTreeSet<RegionId>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn summarize_function(
+    module: &Module,
+    regions: &RegionMap,
+    shm: &ShmPointers,
+    pt: &PointsTo,
+    config: &AnalysisConfig,
+    noncore_sockets: &BTreeSet<safeflow_ir::GlobalId>,
+    summaries: &HashMap<FuncId, Summary>,
+    fid: FuncId,
+    graphs: &FnGraphs,
+) -> Summary {
+    let func = module.function(fid);
+    let mut s = Summary::default();
+    if func.blocks.is_empty() {
+        return s;
+    }
+    let FnGraphs { cfg, cd, assumed } = graphs;
+
+    // Parameters covered by a local assume(core(param, ...)) — §3.4.3's
+    // received-buffer monitoring form: loads through them are monitored.
+    let local_assumed_params: BTreeSet<u32> = func
+        .annotations
+        .iter()
+        .filter_map(|a| match a {
+            Annotation::AssumeCore { ptr, .. } => func
+                .params
+                .iter()
+                .position(|p| p.name == *ptr)
+                .map(|i| i as u32),
+            _ => None,
+        })
+        .collect();
+
+    let mut vals: HashMap<InstId, SymSet> = HashMap::new();
+    let mut block_ctl: HashMap<BlockId, SymSet> = HashMap::new();
+
+    let value_set = |v: &Value, vals: &HashMap<InstId, SymSet>| -> SymSet {
+        match v {
+            Value::Inst(id) => vals.get(id).cloned().unwrap_or_default(),
+            Value::Param(i) => std::iter::once(Fact { sym: Sym::Param(*i), ctl: false }).collect(),
+            _ => SymSet::new(),
+        }
+    };
+
+    for _round in 0..16 {
+        let mut changed = false;
+        s = Summary::default();
+
+        // Control facts from branches over symbolic values.
+        if config.track_control_dependence {
+            let mut new_ctl: HashMap<BlockId, SymSet> = HashMap::new();
+            for (bid, block) in func.iter_blocks() {
+                if !cfg.is_reachable(bid) {
+                    continue;
+                }
+                let cond = match &block.terminator {
+                    Terminator::CondBr { cond, .. } => Some(cond),
+                    Terminator::Switch { value, .. } => Some(value),
+                    _ => None,
+                };
+                let Some(cond) = cond else { continue };
+                let mut set = value_set(cond, &vals);
+                if let Some(c) = block_ctl.get(&bid) {
+                    set.extend(c.iter().copied());
+                }
+                if set.is_empty() {
+                    continue;
+                }
+                let ctl_set = promote_ctl(&set);
+                for &dep in cd.controlled_by(bid) {
+                    new_ctl.entry(dep).or_default().extend(ctl_set.iter().copied());
+                }
+            }
+            for (b, set) in new_ctl {
+                let e = block_ctl.entry(b).or_default();
+                let before = e.len();
+                e.extend(set);
+                if e.len() != before {
+                    changed = true;
+                }
+            }
+        }
+
+        for (bid, block) in func.iter_blocks() {
+            let ctl_here = block_ctl.get(&bid).cloned().unwrap_or_default();
+            for &iid in &block.insts {
+                let inst = func.inst(iid);
+                let mut set = SymSet::new();
+                match &inst.kind {
+                    InstKind::Load { ptr } => {
+                        let locally_assumed =
+                            derives_from_assumed_param(func, ptr, &local_assumed_params, 0);
+                        for fact in shm.regions_of(fid, ptr) {
+                            let region = regions.region(fact.region);
+                            if !region.noncore
+                                || assumed.contains(&fact.region)
+                                || locally_assumed
+                            {
+                                continue;
+                            }
+                            s.region_reads.push((inst.span, fact.region, func.name.clone()));
+                            set.insert(Fact { sym: Sym::Region(fact.region), ctl: false });
+                        }
+                        set.extend(value_set(ptr, &vals));
+                        if !locally_assumed {
+                            for o in pt.points_to(fid, ptr) {
+                                set.insert(Fact { sym: Sym::Obj(o), ctl: false });
+                                let base = pt.base_of(o);
+                                if base != o {
+                                    set.insert(Fact { sym: Sym::Obj(base), ctl: false });
+                                }
+                            }
+                        }
+                    }
+                    InstKind::Store { ptr, value } => {
+                        let mut vset = value_set(value, &vals);
+                        vset.extend(ctl_here.iter().copied());
+                        if !vset.is_empty() {
+                            for o in pt.points_to(fid, ptr) {
+                                s.obj_writes.entry(o).or_default().extend(vset.iter().copied());
+                            }
+                        }
+                    }
+                    InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                        set.extend(value_set(lhs, &vals));
+                        set.extend(value_set(rhs, &vals));
+                    }
+                    InstKind::Cast { value, .. } => set.extend(value_set(value, &vals)),
+                    InstKind::FieldAddr { base, .. } => set.extend(value_set(base, &vals)),
+                    InstKind::ElemAddr { base, index } => {
+                        set.extend(value_set(base, &vals));
+                        set.extend(value_set(index, &vals));
+                    }
+                    InstKind::Phi { incoming } => {
+                        // Values plus implicit flow from the branches that
+                        // decided which predecessor ran.
+                        for (pred, v) in incoming {
+                            set.extend(value_set(v, &vals));
+                            if let Some(ctl) = block_ctl.get(pred) {
+                                set.extend(promote_ctl(ctl));
+                            }
+                        }
+                    }
+                    InstKind::Call { callee, args } => {
+                        if let Some(name) = module.external_callee_name(callee) {
+                            let name = name.to_string();
+                            for (cname, argi) in &config.implicit_critical_calls {
+                                if *cname == name {
+                                    if let Some(arg) = args.get(*argi) {
+                                        let mut aset = value_set(arg, &vals);
+                                        aset.extend(ctl_here.iter().copied());
+                                        if !aset.is_empty() {
+                                            s.sinks.push(Sink {
+                                                critical: format!("{name}:arg{argi}"),
+                                                function: func.name.clone(),
+                                                span: inst.span,
+                                                sources: aset,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            for (rname, sock_i, buf_i) in &config.recv_functions {
+                                if *rname == name {
+                                    let sock_noncore = args.get(*sock_i).is_some_and(|a| {
+                                        socket_is_noncore(func, a, noncore_sockets)
+                                    });
+                                    if sock_noncore {
+                                        if let Some(buf) = args.get(*buf_i) {
+                                            for o in pt.points_to(fid, buf) {
+                                                s.obj_writes.entry(o).or_default().insert(Fact {
+                                                    sym: Sym::Recv,
+                                                    ctl: false,
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        } else if let safeflow_ir::Callee::Local(target) = callee {
+                            // Inline the callee summary.
+                            let callee_sum = summaries.get(target).cloned().unwrap_or_default();
+                            let subst = |set: &SymSet| -> SymSet {
+                                let mut out = SymSet::new();
+                                for f in set {
+                                    match f.sym {
+                                        Sym::Param(i) => {
+                                            if let Some(arg) = args.get(i as usize) {
+                                                for af in value_set(arg, &vals) {
+                                                    out.insert(Fact {
+                                                        sym: af.sym,
+                                                        ctl: af.ctl || f.ctl,
+                                                    });
+                                                }
+                                            }
+                                        }
+                                        Sym::Region(r) if assumed.contains(&r) => {
+                                            // Monitored by this caller's
+                                            // assume scope (recursive, §3.1).
+                                        }
+                                        other => {
+                                            out.insert(Fact { sym: other, ctl: f.ctl });
+                                        }
+                                    }
+                                }
+                                out
+                            };
+                            // Region reads surviving this caller's scope.
+                            for (span, r, in_func) in &callee_sum.region_reads {
+                                if !assumed.contains(r) {
+                                    s.region_reads.push((*span, *r, in_func.clone()));
+                                }
+                            }
+                            // Note: the call site's own control dependence
+                            // does NOT taint sinks or memory writes inside
+                            // the callee — only values passed as arguments
+                            // carry taint across the call (matching the
+                            // context-sensitive engine's §3.3 semantics).
+                            for sink in &callee_sum.sinks {
+                                s.sinks.push(Sink {
+                                    critical: sink.critical.clone(),
+                                    function: sink.function.clone(),
+                                    span: sink.span,
+                                    sources: subst(&sink.sources),
+                                });
+                            }
+                            for (o, wset) in &callee_sum.obj_writes {
+                                let sub = subst(wset);
+                                s.obj_writes.entry(*o).or_default().extend(sub);
+                            }
+                            set.extend(subst(&callee_sum.ret));
+                            set.extend(promote_ctl(&ctl_here));
+                        }
+                    }
+                    InstKind::AssertSafe { var, value } => {
+                        let mut aset = value_set(value, &vals);
+                        aset.extend(ctl_here.iter().copied());
+                        if !aset.is_empty() {
+                            s.sinks.push(Sink {
+                                critical: var.clone(),
+                                function: func.name.clone(),
+                                span: inst.span,
+                                sources: aset,
+                            });
+                        }
+                    }
+                    InstKind::Alloca { .. } => {}
+                }
+                if !set.is_empty() {
+                    let e = vals.entry(iid).or_default();
+                    let before = e.len();
+                    e.extend(set);
+                    if e.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Return set.
+        for (bid, block) in func.iter_blocks() {
+            if let Terminator::Ret(Some(v)) = &block.terminator {
+                s.ret.extend(value_set(v, &vals));
+                if let Some(ctl) = block_ctl.get(&bid) {
+                    s.ret.extend(ctl.iter().copied());
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    s
+}
+
+/// Whether a pointer value derives (through field/element/cast chains)
+/// from a parameter covered by a local `assume(core(param, ...))`.
+fn derives_from_assumed_param(
+    func: &safeflow_ir::Function,
+    v: &Value,
+    assumed: &BTreeSet<u32>,
+    depth: usize,
+) -> bool {
+    if depth > 16 {
+        return false;
+    }
+    match v {
+        Value::Param(i) => assumed.contains(i),
+        Value::Inst(id) => match &func.inst(*id).kind {
+            InstKind::FieldAddr { base, .. }
+            | InstKind::ElemAddr { base, .. }
+            | InstKind::Cast { value: base, .. } => {
+                derives_from_assumed_param(func, base, assumed, depth + 1)
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn socket_is_noncore(
+    func: &safeflow_ir::Function,
+    sock: &Value,
+    noncore_sockets: &BTreeSet<safeflow_ir::GlobalId>,
+) -> bool {
+    match sock {
+        Value::Inst(id) => match &func.inst(*id).kind {
+            InstKind::Load { ptr: Value::Global(g) } => noncore_sockets.contains(g),
+            InstKind::Cast { value, .. } => socket_is_noncore(func, value, noncore_sockets),
+            _ => false,
+        },
+        _ => false,
+    }
+}

@@ -1,0 +1,790 @@
+//! Phase 3: unmonitored-access warnings and the interprocedural,
+//! context-sensitive value-flow analysis of critical data (paper §3.3,
+//! third phase).
+//!
+//! * Reads of non-core shared memory outside an `assume(core(...))` context
+//!   produce **warnings** — exact, per the paper ("without any false
+//!   positives or false negatives").
+//! * `unsafe` taints propagate along SSA edges, through memory objects
+//!   (via the points-to analysis), across calls (context-sensitively: the
+//!   assumed-core region set and parameter taints form the context, so a
+//!   callee shared by a monitor and a non-monitor is analyzed separately
+//!   for each — the paper's "analyzed multiple times for different call
+//!   sequences", with its exponential worst case), and through **control
+//!   dependence** (branches over unsafe values taint what they control —
+//!   the paper's false-positive source, reported as `ControlOnly`).
+//! * `assert(safe(x))` anchors and implicitly-critical call arguments
+//!   (e.g. `kill`'s pid) produce **errors** when tainted, each carrying a
+//!   value-flow path for manual triage.
+
+use crate::config::AnalysisConfig;
+use crate::regions::{RegionId, RegionMap};
+use crate::report::{DependencyKind, ErrorDependency, FlowNode, Warning};
+use crate::shmptr::ShmPointers;
+use safeflow_ir::{
+    BlockId, Callee, Cfg, FuncId, Function, InstId, InstKind, Module, Terminator, Value,
+};
+use safeflow_dataflow::{ControlDeps, PostDomTree};
+use safeflow_points_to::{ObjId, PointsTo};
+use safeflow_syntax::annot::Annotation;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Taint lattice: `Clean < Control < Data`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TaintKind {
+    /// Not influenced by unmonitored non-core values.
+    Clean,
+    /// Influenced only via control dependence.
+    Control,
+    /// Data-dependent on an unmonitored non-core value.
+    Data,
+}
+
+/// A taint fact with provenance.
+#[derive(Debug, Clone)]
+pub struct Taint {
+    /// Lattice level.
+    pub kind: TaintKind,
+    /// Value-flow provenance (present when `kind != Clean`).
+    pub origin: Option<Arc<FlowNode>>,
+}
+
+impl Taint {
+    fn clean() -> Taint {
+        Taint { kind: TaintKind::Clean, origin: None }
+    }
+
+    fn join(&mut self, other: &Taint) -> bool {
+        if other.kind > self.kind {
+            self.kind = other.kind;
+            self.origin = other.origin.clone();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Analysis context: what makes two analyses of the same function differ.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Ctx {
+    /// Regions assumed core (monitoring scope), per §3.1.
+    assumed: BTreeSet<RegionId>,
+    /// Taint of each parameter (kinds only; origins are kept separately to
+    /// keep the memo key small and the fixpoint monotone).
+    params: Vec<TaintKind>,
+}
+
+/// Result of analyzing one `(function, context)` pair.
+#[derive(Debug, Clone, Default)]
+struct Outcome {
+    ret: Option<Taint>,
+    warnings: Vec<Warning>,
+    errors: Vec<ErrorDependency>,
+}
+
+/// Output of the phase-3 engine.
+#[derive(Debug, Default)]
+pub struct TaintResults {
+    /// Unmonitored non-core reads (deduplicated by site and region).
+    pub warnings: Vec<Warning>,
+    /// Critical-data dependency errors (deduplicated by site).
+    pub errors: Vec<ErrorDependency>,
+    /// Analysis notes (ineffective annotations etc.).
+    pub notes: Vec<String>,
+    /// Number of distinct `(function, context)` pairs analyzed — the
+    /// context-sensitivity cost the paper's §3.3 discusses.
+    pub contexts_analyzed: usize,
+}
+
+/// Runs the context-sensitive phase-3 engine.
+pub fn analyze_taint(
+    module: &Module,
+    regions: &RegionMap,
+    shm: &ShmPointers,
+    pt: &PointsTo,
+    config: &AnalysisConfig,
+) -> TaintResults {
+    let mut eng = Engine {
+        module,
+        regions,
+        shm,
+        pt,
+        config,
+        memo: HashMap::new(),
+        in_progress: BTreeSet::new(),
+        obj_taint: BTreeMap::new(),
+        noncore_sockets: find_noncore_sockets(module, regions),
+        notes: Vec::new(),
+        cfg_cache: HashMap::new(),
+        obj_dirty: false,
+    };
+
+    // Iterate to a module-level fixpoint: memory-object taints feed back
+    // into function analyses.
+    let mut rounds = 0;
+    let mut prev_sig: Option<Vec<(u32, usize, usize, usize)>> = None;
+    loop {
+        rounds += 1;
+        let before: Vec<TaintKind> = eng.obj_taint.values().map(|t| t.kind).collect();
+        eng.memo.clear();
+
+        // Roots: entry function plus every defined function not reachable
+        // from it (so warnings cover the whole component).
+        let entry = module.function_by_name(&config.entry);
+        let mut analyzed_roots: BTreeSet<FuncId> = BTreeSet::new();
+        if let Some(e) = entry {
+            if module.function(e).is_definition {
+                let ctx = eng.base_ctx(e, &BTreeSet::new(), &[]);
+                eng.analyze(e, ctx);
+                analyzed_roots.insert(e);
+            }
+        }
+        for fid in module.definitions() {
+            if module.function(fid).is_shminit() {
+                continue;
+            }
+            let already = eng.memo.keys().any(|(f, _)| *f == fid);
+            if !already {
+                let nparams = module.function(fid).params.len();
+                let ctx = eng.base_ctx(fid, &BTreeSet::new(), &vec![TaintKind::Clean; nparams]);
+                eng.analyze(fid, ctx);
+            }
+        }
+
+        let after: Vec<TaintKind> = eng.obj_taint.values().map(|t| t.kind).collect();
+        let mut sig: Vec<(u32, usize, usize, usize)> = eng
+            .memo
+            .iter()
+            .map(|((f, _), o)| {
+                (
+                    f.0,
+                    o.ret.as_ref().map(|t| t.kind as usize).unwrap_or(0),
+                    o.warnings.len(),
+                    o.errors.len(),
+                )
+            })
+            .collect();
+        sig.sort_unstable();
+        let stable = before == after && prev_sig.as_ref() == Some(&sig);
+        prev_sig = Some(sig);
+        if stable || rounds > 8 {
+            break;
+        }
+    }
+
+    // Aggregate + dedupe.
+    let mut warnings: BTreeMap<(String, u32, u32, RegionId), Warning> = BTreeMap::new();
+    let mut errors: BTreeMap<(String, u32, u32, String), ErrorDependency> = BTreeMap::new();
+    for outcome in eng.memo.values() {
+        for w in &outcome.warnings {
+            warnings
+                .entry((w.function.clone(), w.span.lo, w.span.hi, w.region))
+                .or_insert_with(|| w.clone());
+        }
+        for e in &outcome.errors {
+            let key = (e.function.clone(), e.span.lo, e.span.hi, e.critical.clone());
+            match errors.get_mut(&key) {
+                Some(prev) => {
+                    // Keep the worst kind.
+                    if e.kind > prev.kind {
+                        *prev = e.clone();
+                    }
+                }
+                None => {
+                    errors.insert(key, e.clone());
+                }
+            }
+        }
+    }
+    eng.notes.sort();
+    eng.notes.dedup();
+    TaintResults {
+        warnings: warnings.into_values().collect(),
+        errors: errors.into_values().collect(),
+        notes: eng.notes,
+        contexts_analyzed: eng.memo.len(),
+    }
+}
+
+/// Globals annotated `noncore(...)` that are not shm regions: socket /
+/// descriptor variables for the §3.4.3 message-passing extension.
+fn find_noncore_sockets(module: &Module, regions: &RegionMap) -> BTreeSet<safeflow_ir::GlobalId> {
+    let mut out = BTreeSet::new();
+    for fid in module.definitions() {
+        for ann in &module.function(fid).annotations {
+            if let Annotation::Noncore { target, .. } = ann {
+                if let Some(g) = module.global_by_name(target) {
+                    if regions.by_global(g).is_none() {
+                        out.insert(g);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Engine<'a> {
+    module: &'a Module,
+    regions: &'a RegionMap,
+    shm: &'a ShmPointers,
+    pt: &'a PointsTo,
+    config: &'a AnalysisConfig,
+    memo: HashMap<(FuncId, Ctx), Outcome>,
+    in_progress: BTreeSet<FuncId>,
+    /// Module-wide memory-object taint (flow-insensitive, like the paper's
+    /// DSA-backed memory reasoning).
+    obj_taint: BTreeMap<ObjId, Taint>,
+    noncore_sockets: BTreeSet<safeflow_ir::GlobalId>,
+    notes: Vec<String>,
+    cfg_cache: HashMap<FuncId, (Cfg, ControlDeps)>,
+    /// Set when a memory-object taint was raised; forces another local
+    /// round so earlier loads observe it.
+    obj_dirty: bool,
+}
+
+impl<'a> Engine<'a> {
+    /// The context a function runs in, given the caller's assumed set and
+    /// argument taints: its own `assume(core(...))` annotations extend the
+    /// assumption scope (and apply recursively to callees, §3.1).
+    fn base_ctx(&mut self, fid: FuncId, inherited: &BTreeSet<RegionId>, params: &[TaintKind]) -> Ctx {
+        let mut assumed = inherited.clone();
+        let func = self.module.function(fid);
+        for ann in &func.annotations {
+            if let Annotation::AssumeCore { ptr, offset, size, span: _ } = ann {
+                let Some(rids) = self.resolve_regions_for_name(fid, ptr) else {
+                    self.notes.push(format!(
+                        "assume(core({ptr}, ...)) in `{}` names no known shared-memory pointer; ignored",
+                        func.name
+                    ));
+                    continue;
+                };
+                // Extent must span the whole region, else ineffective
+                // (§3.1: "Offset and size values should span an entire
+                // array ... otherwise, the annotation becomes ineffective").
+                let off = crate::regions::eval_ann_expr(self.module, offset);
+                let sz = crate::regions::eval_ann_expr(self.module, size);
+                for rid in rids {
+                    let region = self.regions.region(rid);
+                    match (off, sz) {
+                        (Some(0), Some(s)) if s as u64 == region.size => {
+                            assumed.insert(rid);
+                        }
+                        _ => {
+                            self.notes.push(format!(
+                                "assume(core({ptr}, ...)) in `{}` does not span the whole region `{}` ({} bytes); annotation is ineffective",
+                                func.name, region.name, region.size
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ctx { assumed, params: params.to_vec() }
+    }
+
+    /// Regions a pointer name refers to inside `fid`: a region global, a
+    /// global holding region pointers, or a parameter.
+    fn resolve_regions_for_name(&self, fid: FuncId, name: &str) -> Option<BTreeSet<RegionId>> {
+        if let Some(g) = self.module.global_by_name(name) {
+            if let Some(r) = self.regions.by_global(g) {
+                return Some(std::iter::once(r).collect());
+            }
+            let held: BTreeSet<RegionId> =
+                self.shm.global_regions(g).into_iter().map(|p| p.region).collect();
+            if !held.is_empty() {
+                return Some(held);
+            }
+        }
+        let func = self.module.function(fid);
+        if let Some(i) = func.params.iter().position(|p| p.name == name) {
+            let held: BTreeSet<RegionId> = self
+                .shm
+                .regions_of(fid, &Value::Param(i as u32))
+                .into_iter()
+                .map(|p| p.region)
+                .collect();
+            if !held.is_empty() {
+                return Some(held);
+            }
+        }
+        None
+    }
+
+    fn analyze(&mut self, fid: FuncId, ctx: Ctx) -> Taint {
+        if let Some(out) = self.memo.get(&(fid, ctx.clone())) {
+            return out.ret.clone().unwrap_or_else(Taint::clean);
+        }
+        if self.in_progress.contains(&fid) {
+            // Recursion: seed with Clean; the module-level fixpoint loop
+            // re-runs analyses until stable.
+            return Taint::clean();
+        }
+        // Context-explosion guard (per function): beyond the cap, merge
+        // into a single worst-case context — no inherited assumptions and
+        // fully tainted parameters. Sound (only adds taint), loses
+        // precision.
+        let per_fn = self.memo.keys().filter(|(f, _)| *f == fid).count();
+        if per_fn >= self.config.max_contexts {
+            let nparams = self.module.function(fid).params.len();
+            let merged = self.base_ctx(fid, &BTreeSet::new(), &vec![TaintKind::Data; nparams]);
+            if merged != ctx {
+                return self.analyze(fid, merged);
+            }
+        }
+        self.in_progress.insert(fid);
+        let outcome = self.run_function(fid, &ctx);
+        self.in_progress.remove(&fid);
+        let ret = outcome.ret.clone().unwrap_or_else(Taint::clean);
+        self.memo.insert((fid, ctx), outcome);
+        ret
+    }
+
+    fn run_function(&mut self, fid: FuncId, ctx: &Ctx) -> Outcome {
+        let func = self.module.function(fid);
+        let mut outcome = Outcome::default();
+        if func.blocks.is_empty() {
+            return outcome;
+        }
+        self.cfg_cache.entry(fid).or_insert_with(|| {
+            let cfg = Cfg::build(func);
+            let pdom = PostDomTree::build(func, &cfg);
+            let cd = ControlDeps::build(func, &cfg, &pdom);
+            (cfg, cd)
+        });
+
+        // Locally-assumed objects for the §3.4.3 extension: assume core on
+        // a *local/param* pointer exempts loads through it in this function
+        // only.
+        let local_assumed_params: BTreeSet<u32> = func
+            .annotations
+            .iter()
+            .filter_map(|a| match a {
+                Annotation::AssumeCore { ptr, .. } => func
+                    .params
+                    .iter()
+                    .position(|p| p.name == *ptr)
+                    .map(|i| i as u32),
+                _ => None,
+            })
+            .collect();
+
+        let mut taints: HashMap<InstId, Taint> = HashMap::new();
+        let mut block_ctl: HashMap<BlockId, Taint> = HashMap::new();
+
+        // Iterate the function body to a local fixpoint (φ-loops, control
+        // taint feedback).
+        for _round in 0..16 {
+            let mut changed = false;
+            self.obj_dirty = false;
+            // Recompute control-taint of blocks from tainted branches.
+            if self.config.track_control_dependence {
+                let (cfg, cd) = self.cfg_cache.get(&fid).unwrap();
+                let mut new_ctl: HashMap<BlockId, Taint> = HashMap::new();
+                for (bid, block) in func.iter_blocks() {
+                    if !cfg.is_reachable(bid) {
+                        continue;
+                    }
+                    let cond = match &block.terminator {
+                        Terminator::CondBr { cond, .. } => Some(cond),
+                        Terminator::Switch { value, .. } => Some(value),
+                        _ => None,
+                    };
+                    let Some(cond) = cond else { continue };
+                    let t = value_taint(cond, &taints, ctx);
+                    let t_all = join2(&t, block_ctl.get(&bid));
+                    if t_all.kind == TaintKind::Clean {
+                        continue;
+                    }
+                    let branch_span = match cond {
+                        Value::Inst(id) => func.inst(*id).span,
+                        _ => func.span,
+                    };
+                    let ctl = Taint {
+                        kind: TaintKind::Control,
+                        origin: Some(FlowNode::step(
+                            format!("branch in `{}` decided by unsafe value", func.name),
+                            branch_span,
+                            t_all.origin.clone().unwrap_or_else(|| {
+                                FlowNode::source("unsafe branch condition", func.span)
+                            }),
+                        )),
+                    };
+                    for &dep in cd.controlled_by(bid) {
+                        new_ctl.entry(dep).or_insert_with(Taint::clean).join(&ctl);
+                    }
+                }
+                for (b, t) in new_ctl {
+                    let e = block_ctl.entry(b).or_insert_with(Taint::clean);
+                    if e.join(&t) {
+                        changed = true;
+                    }
+                }
+            }
+
+            for (bid, block) in func.iter_blocks() {
+                let ctl_here = block_ctl.get(&bid).cloned().unwrap_or_else(Taint::clean);
+                for &iid in &block.insts {
+                    let inst = func.inst(iid);
+                    let mut t = Taint::clean();
+                    match &inst.kind {
+                        InstKind::Load { ptr } => {
+                            let locally_assumed =
+                                derives_from_assumed_param(func, ptr, &local_assumed_params, 0);
+                            // Region source?
+                            for fact in self.shm.regions_of(fid, ptr) {
+                                let region = self.regions.region(fact.region);
+                                if !region.noncore {
+                                    continue;
+                                }
+                                if ctx.assumed.contains(&fact.region) || locally_assumed {
+                                    continue; // monitored: safe (§2 rules)
+                                }
+                                outcome.warnings.push(Warning {
+                                    function: func.name.clone(),
+                                    region: fact.region,
+                                    region_name: region.name.clone(),
+                                    span: inst.span,
+                                });
+                                t.join(&Taint {
+                                    kind: TaintKind::Data,
+                                    origin: Some(FlowNode::source(
+                                        format!(
+                                            "unmonitored read of non-core region `{}` in `{}`",
+                                            region.name, func.name
+                                        ),
+                                        inst.span,
+                                    )),
+                                });
+                            }
+                            // Pointer-influence + memory-object taint. A
+                            // load through a locally-assumed parameter is
+                            // monitored (§3.4.3's received-buffer form), so
+                            // object taint does not apply.
+                            t.join(&value_taint(ptr, &taints, ctx));
+                            if !locally_assumed {
+                                for o in self.pt.points_to(fid, ptr) {
+                                    if let Some(ot) = self.obj_taint.get(&o) {
+                                        t.join(ot);
+                                    }
+                                    let base = self.pt.base_of(o);
+                                    if base != o {
+                                        if let Some(ot) = self.obj_taint.get(&base) {
+                                            t.join(ot);
+                                        }
+                                    }
+                                }
+                            }
+                            // Loads of plain globals: global object taint via
+                            // points-to is handled above when ptr is
+                            // Value::Global — covered since points_to maps
+                            // globals to their object.
+                        }
+                        InstKind::Store { ptr, value } => {
+                            let mut vt = value_taint(value, &taints, ctx);
+                            vt.join(&ctl_here);
+                            if vt.kind != TaintKind::Clean {
+                                for o in self.pt.points_to(fid, ptr) {
+                                    let desc = self.pt.describe(self.module, o);
+                                    let e = self.obj_taint.entry(o).or_insert_with(Taint::clean);
+                                    if e.join(&Taint {
+                                        kind: vt.kind,
+                                        origin: vt.origin.clone().map(|orig| {
+                                            FlowNode::step(
+                                                format!("stored to {desc}"),
+                                                inst.span,
+                                                orig,
+                                            )
+                                        }),
+                                    }) {
+                                        self.obj_dirty = true;
+                                    }
+                                }
+                            }
+                        }
+                        InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                            t.join(&value_taint(lhs, &taints, ctx));
+                            t.join(&value_taint(rhs, &taints, ctx));
+                        }
+                        InstKind::Cast { value, .. } => {
+                            t.join(&value_taint(value, &taints, ctx));
+                        }
+                        InstKind::FieldAddr { base, .. } => {
+                            t.join(&value_taint(base, &taints, ctx));
+                        }
+                        InstKind::ElemAddr { base, index } => {
+                            t.join(&value_taint(base, &taints, ctx));
+                            t.join(&value_taint(index, &taints, ctx));
+                        }
+                        InstKind::Phi { incoming } => {
+                            // Data from the incoming values, plus implicit
+                            // flow: which predecessor ran (and therefore
+                            // which value was selected) is decided by the
+                            // branches controlling the predecessors.
+                            for (pred, v) in incoming {
+                                t.join(&value_taint(v, &taints, ctx));
+                                if let Some(ctl) = block_ctl.get(pred) {
+                                    t.join(ctl);
+                                }
+                            }
+                        }
+                        InstKind::Call { callee, args } => {
+                            t = self.handle_call(
+                                fid, func, iid, callee, args, &taints, ctx, &ctl_here, &mut outcome,
+                            );
+                        }
+                        InstKind::AssertSafe { var, value } => {
+                            let mut vt = value_taint(value, &taints, ctx);
+                            vt.join(&ctl_here);
+                            if vt.kind != TaintKind::Clean {
+                                outcome.errors.push(ErrorDependency {
+                                    critical: var.clone(),
+                                    function: func.name.clone(),
+                                    span: inst.span,
+                                    kind: if vt.kind == TaintKind::Data {
+                                        DependencyKind::Data
+                                    } else {
+                                        DependencyKind::ControlOnly
+                                    },
+                                    flow: vt.origin.map(|orig| {
+                                        FlowNode::step(
+                                            format!("assert(safe({var})) reached"),
+                                            inst.span,
+                                            orig,
+                                        )
+                                    }),
+                                });
+                            }
+                        }
+                        InstKind::Alloca { .. } => {}
+                    }
+                    if t.kind != TaintKind::Clean {
+                        let e = taints.entry(iid).or_insert_with(Taint::clean);
+                        if e.join(&t) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            // Return taint.
+            let mut ret = Taint::clean();
+            for (bid, block) in func.iter_blocks() {
+                if let Terminator::Ret(Some(v)) = &block.terminator {
+                    ret.join(&value_taint(v, &taints, ctx));
+                    if let Some(ctl) = block_ctl.get(&bid) {
+                        ret.join(ctl);
+                    }
+                }
+            }
+            match &mut outcome.ret {
+                Some(prev) => {
+                    if prev.join(&ret) {
+                        changed = true;
+                    }
+                }
+                None => {
+                    outcome.ret = Some(ret);
+                    changed = true;
+                }
+            }
+
+            if !changed && !self.obj_dirty {
+                break;
+            }
+            // Findings are recollected each round; clear to avoid dupes.
+            if _round < 15 {
+                let keep_ret = outcome.ret.clone();
+                outcome = Outcome { ret: keep_ret, ..Outcome::default() };
+            }
+        }
+        outcome
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_call(
+        &mut self,
+        fid: FuncId,
+        func: &Function,
+        iid: InstId,
+        callee: &Callee,
+        args: &[Value],
+        taints: &HashMap<InstId, Taint>,
+        ctx: &Ctx,
+        ctl_here: &Taint,
+        outcome: &mut Outcome,
+    ) -> Taint {
+        let inst = func.inst(iid);
+        // External (or prototype-only) call?
+        if let Some(name) = self.module.external_callee_name(callee) {
+            let name = name.to_string();
+            // Implicit critical arguments (kill's pid).
+            for (cname, argi) in &self.config.implicit_critical_calls {
+                if *cname == name {
+                    if let Some(arg) = args.get(*argi) {
+                        let mut at = value_taint(arg, taints, ctx);
+                        at.join(ctl_here);
+                        if at.kind != TaintKind::Clean {
+                            outcome.errors.push(ErrorDependency {
+                                critical: format!("{name}:arg{argi}"),
+                                function: func.name.clone(),
+                                span: inst.span,
+                                kind: if at.kind == TaintKind::Data {
+                                    DependencyKind::Data
+                                } else {
+                                    DependencyKind::ControlOnly
+                                },
+                                flow: at.origin.map(|orig| {
+                                    FlowNode::step(
+                                        format!("passed as critical argument {argi} of `{name}`"),
+                                        inst.span,
+                                        orig,
+                                    )
+                                }),
+                            });
+                        }
+                    }
+                }
+            }
+            // recv-style calls over non-core sockets taint the buffer
+            // (§3.4.3 extension).
+            for (rname, sock_i, buf_i) in &self.config.recv_functions {
+                if *rname == name {
+                    let sock_noncore = args.get(*sock_i).is_some_and(|s| {
+                        self.socket_is_noncore(fid, func, s, taints)
+                    });
+                    if sock_noncore {
+                        if let Some(buf) = args.get(*buf_i) {
+                            let origin = FlowNode::source(
+                                format!("`{name}` received non-core data in `{}`", func.name),
+                                inst.span,
+                            );
+                            for o in self.pt.points_to(fid, buf) {
+                                let e = self.obj_taint.entry(o).or_insert_with(Taint::clean);
+                                if e.join(&Taint {
+                                    kind: TaintKind::Data,
+                                    origin: Some(origin.clone()),
+                                }) {
+                                    self.obj_dirty = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Unknown external functions: result considered clean (the
+            // trusted-library model of §3.4.3).
+            return Taint::clean();
+        }
+        // Local call: context-sensitive descent.
+        let Callee::Local(target) = callee else { unreachable!() };
+        let mut param_kinds = Vec::with_capacity(args.len());
+        let mut worst_arg = Taint::clean();
+        for arg in args {
+            let mut at = value_taint(arg, taints, ctx);
+            at.join(ctl_here);
+            if at.kind > worst_arg.kind {
+                worst_arg = at.clone();
+            }
+            param_kinds.push(at.kind);
+        }
+        let callee_ctx = self.base_ctx(*target, &ctx.assumed, &param_kinds);
+        let ret = self.analyze(*target, callee_ctx);
+        let mut t = ret;
+        // Returned taint with no better provenance inherits the worst
+        // argument's origin for path reconstruction.
+        if t.kind != TaintKind::Clean && t.origin.is_none() {
+            t.origin = worst_arg.origin.clone();
+        }
+        if t.kind != TaintKind::Clean {
+            t.origin = Some(match t.origin {
+                Some(orig) => FlowNode::step(
+                    format!("returned from `{}`", self.module.function(*target).name),
+                    inst.span,
+                    orig,
+                ),
+                None => FlowNode::source(
+                    format!("unsafe value returned from `{}`", self.module.function(*target).name),
+                    inst.span,
+                ),
+            });
+        }
+        t.join(ctl_here);
+        t
+    }
+
+    /// Whether a socket argument reads from a `noncore(...)`-annotated
+    /// descriptor global.
+    fn socket_is_noncore(
+        &self,
+        _fid: FuncId,
+        func: &Function,
+        sock: &Value,
+        _taints: &HashMap<InstId, Taint>,
+    ) -> bool {
+        match sock {
+            Value::Inst(id) => match &func.inst(*id).kind {
+                InstKind::Load { ptr: Value::Global(g) } => self.noncore_sockets.contains(g),
+                InstKind::Cast { value, .. } => self.socket_is_noncore(_fid, func, value, _taints),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Whether a pointer value derives (through field/element/cast chains)
+/// from a parameter covered by a local `assume(core(param, ...))` — the
+/// §3.4.3 received-buffer monitoring form.
+fn derives_from_assumed_param(
+    func: &Function,
+    v: &Value,
+    assumed: &BTreeSet<u32>,
+    depth: usize,
+) -> bool {
+    if depth > 16 {
+        return false;
+    }
+    match v {
+        Value::Param(i) => assumed.contains(i),
+        Value::Inst(id) => match &func.inst(*id).kind {
+            InstKind::FieldAddr { base, .. }
+            | InstKind::ElemAddr { base, .. }
+            | InstKind::Cast { value: base, .. } => {
+                derives_from_assumed_param(func, base, assumed, depth + 1)
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Taint of an operand: parameter taint comes from the context, SSA values
+/// from the local map, constants are clean.
+fn value_taint(v: &Value, taints: &HashMap<InstId, Taint>, ctx: &Ctx) -> Taint {
+    match v {
+        Value::Inst(id) => taints.get(id).cloned().unwrap_or_else(Taint::clean),
+        Value::Param(i) => {
+            let kind = ctx.params.get(*i as usize).copied().unwrap_or(TaintKind::Clean);
+            Taint {
+                kind,
+                origin: if kind == TaintKind::Clean {
+                    None
+                } else {
+                    Some(FlowNode::source(format!("tainted argument #{i}"), safeflow_syntax::span::Span::dummy()))
+                },
+            }
+        }
+        _ => Taint::clean(),
+    }
+}
+
+fn join2(a: &Taint, b: Option<&Taint>) -> Taint {
+    let mut t = a.clone();
+    if let Some(b) = b {
+        t.join(b);
+    }
+    t
+}

@@ -1,0 +1,226 @@
+//! Edge cases of the §3.2 restriction checker beyond the unit tests:
+//! A2(c)'s symbolic-term rule, P2 on locals, P1 in loops, and obligations
+//! on region-as-array accesses through derived pointers.
+
+use safeflow::{AnalysisConfig, Analyzer, Restriction};
+
+fn violations(src: &str) -> (Vec<safeflow::RestrictionViolation>, String) {
+    let result = Analyzer::new(AnalysisConfig::default())
+        .analyze_source("edge.c", src)
+        .expect("analyzes");
+    let rendered = result.render();
+    (result.report.violations, rendered)
+}
+
+fn has(vs: &[safeflow::RestrictionViolation], r: Restriction) -> bool {
+    vs.iter().any(|v| v.restriction == r)
+}
+
+const ARRAY_PRELUDE: &str = r#"
+    typedef struct { float ring[8]; int head; } Buf;
+    Buf *bufShm;
+    void *shmat(int shmid, void *addr, int flags);
+    void initShm(void)
+    /** SafeFlow Annotation shminit */
+    {
+        bufShm = (Buf *) shmat(0, 0, 0);
+        /** SafeFlow Annotation
+            assume(shmvar(bufShm, sizeof(Buf)))
+            assume(noncore(bufShm))
+        */
+    }
+"#;
+
+/// A2(c): "if the index expression ... depends on a symbolic variable z,
+/// which is independent of the loop index variable ... the memory locations
+/// accessed by that reference have to be provably independent of the value
+/// of z." `ring[i + z]` with unconstrained z is not provable.
+#[test]
+fn a2c_symbolic_additive_term_rejected() {
+    let src = format!(
+        r#"{ARRAY_PRELUDE}
+        float bad(int z) {{
+            float s = 0.0;
+            int i;
+            for (i = 0; i < 4; i++) {{
+                s = s + bufShm->ring[i + z];
+            }}
+            return s;
+        }}
+        "#
+    );
+    let (vs, rendered) = violations(&src);
+    assert!(
+        has(&vs, Restriction::A1) || has(&vs, Restriction::A2),
+        "symbolic additive index term must be rejected:\n{rendered}"
+    );
+}
+
+/// The same shape with a *constant* additive term within bounds is fine.
+#[test]
+fn a2c_constant_additive_term_proven() {
+    let src = format!(
+        r#"{ARRAY_PRELUDE}
+        float ok(void) {{
+            float s = 0.0;
+            int i;
+            for (i = 0; i < 4; i++) {{
+                s = s + bufShm->ring[i + 4];
+            }}
+            return s;
+        }}
+        "#
+    );
+    let (vs, rendered) = violations(&src);
+    assert!(!has(&vs, Restriction::A1), "{rendered}");
+    assert!(!has(&vs, Restriction::A2), "{rendered}");
+}
+
+/// Down-counting loops prove bounds through the ≤-init constraint.
+#[test]
+fn down_counting_loop_bounds_proven() {
+    let src = format!(
+        r#"{ARRAY_PRELUDE}
+        float ok(void) {{
+            float s = 0.0;
+            int i;
+            for (i = 7; i > 0; i = i - 1) {{
+                s = s + bufShm->ring[i];
+            }}
+            return s;
+        }}
+        "#
+    );
+    let (vs, rendered) = violations(&src);
+    assert!(!has(&vs, Restriction::A1), "{rendered}");
+}
+
+/// Down-counting loop that underruns (reaches -1) is rejected.
+#[test]
+fn down_counting_underrun_rejected() {
+    let src = format!(
+        r#"{ARRAY_PRELUDE}
+        float bad(void) {{
+            float s = 0.0;
+            int i;
+            for (i = 7; i > 0; i = i - 1) {{
+                s = s + bufShm->ring[i - 8];
+            }}
+            return s;
+        }}
+        "#
+    );
+    let (vs, rendered) = violations(&src);
+    assert!(has(&vs, Restriction::A1), "{rendered}");
+}
+
+/// P2 applies to address-taken *locals* holding shm pointers, not just
+/// globals ("Taking the address of a pointer to shared memory is
+/// disallowed").
+#[test]
+fn p2_address_of_local_shm_pointer() {
+    let src = format!(
+        r#"{ARRAY_PRELUDE}
+        void taker(Buf **pp);
+        void bad(void) {{
+            Buf *localPtr;
+            localPtr = bufShm;
+            taker(&localPtr);
+        }}
+        "#
+    );
+    let (vs, rendered) = violations(&src);
+    assert!(has(&vs, Restriction::P2), "{rendered}");
+}
+
+/// Passing the shm pointer itself *by value* is fine (the paper's systems
+/// do this everywhere: `decision(feedback, ...)`).
+#[test]
+fn p2_passing_shm_pointer_by_value_ok() {
+    let src = format!(
+        r#"{ARRAY_PRELUDE}
+        float reader(Buf *b) {{ return b->ring[0]; }}
+        float ok(void) {{ return reader(bufShm); }}
+        "#
+    );
+    let (vs, rendered) = violations(&src);
+    assert!(!has(&vs, Restriction::P2), "{rendered}");
+}
+
+/// P1: deallocation inside main's control loop (memory accessed on the
+/// next iteration) is a violation even though it syntactically appears in
+/// `main`.
+#[test]
+fn p1_dealloc_inside_main_loop() {
+    let src = format!(
+        r#"{ARRAY_PRELUDE}
+        int shmdt(void *addr);
+        int main() {{
+            float s;
+            int i;
+            initShm();
+            s = 0.0;
+            for (i = 0; i < 10; i++) {{
+                s = s + bufShm->ring[0];
+                shmdt(bufShm);
+            }}
+            return 0;
+        }}
+        "#
+    );
+    let (vs, rendered) = violations(&src);
+    assert!(has(&vs, Restriction::P1), "{rendered}");
+}
+
+/// A struct field that is NOT an array imposes no array obligations.
+#[test]
+fn scalar_field_access_has_no_array_obligation() {
+    let src = format!(
+        r#"{ARRAY_PRELUDE}
+        int ok(void) {{ return bufShm->head; }}
+        "#
+    );
+    let (vs, rendered) = violations(&src);
+    assert!(vs.is_empty(), "{rendered}");
+}
+
+/// Indexing through a pointer previously offset by a constant keeps the
+/// offset in the obligation (`(buf + 1)` style derived pointers).
+#[test]
+fn derived_pointer_offset_participates_in_bounds() {
+    // Region of 16 floats; p = base + 12; p[i] with i in [0,4) is fine,
+    // i in [0,8) overruns.
+    let src = r#"
+        float *samples;
+        void *shmat(int shmid, void *addr, int flags);
+        void initShm(void)
+        /** SafeFlow Annotation shminit */
+        {
+            samples = (float *) shmat(0, 0, 0);
+            /** SafeFlow Annotation
+                assume(shmvar(samples, 64))
+                assume(noncore(samples))
+            */
+        }
+        float ok(void) {
+            float s = 0.0;
+            float *p;
+            int i;
+            p = samples + 12;
+            for (i = 0; i < 4; i++) s = s + p[i];
+            return s;
+        }
+        float bad(void) {
+            float s = 0.0;
+            float *p;
+            int i;
+            p = samples + 12;
+            for (i = 0; i < 8; i++) s = s + p[i];
+            return s;
+        }
+    "#;
+    let (vs, rendered) = violations(src);
+    let a1s: Vec<_> = vs.iter().filter(|v| v.restriction == Restriction::A1).collect();
+    assert_eq!(a1s.len(), 1, "only the overrunning loop errs:\n{rendered}");
+    assert_eq!(a1s[0].function, "bad", "{rendered}");
+}

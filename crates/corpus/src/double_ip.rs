@@ -1,0 +1,929 @@
+//! System 3: the **double inverted pendulum controller** (Table 1, row 3).
+//!
+//! Re-creation of the newest of the three lab systems — the paper analyzed
+//! "a preliminary version of the double IP controller". Built on the IP
+//! controller code base "albeit with changes to enable additional control
+//! modes". Two §4 defects are seeded:
+//!
+//! * **kill-pid** — as in the other systems;
+//! * **invalid assumption** — "one error in the double IP controller is a
+//!   result of accessing an unmonitored non-core value assuming that this
+//!   value does not propagate to the critical data in the core component.
+//!   Our analysis discovers that this assumption is invalid." Here: the
+//!   jitter-compensation term uses the non-core controller's self-reported
+//!   compute time, which the developer believed only affected logging —
+//!   but it is added into the actuator command.
+
+use crate::{Defect, PaperRow, System};
+
+/// Returns the Double IP system description.
+pub fn system() -> System {
+    System {
+        name: "Double IP",
+        core_file: "double_ip_core.c",
+        core_source: CORE,
+        original_source: original(),
+        paper: PaperRow {
+            loc_total: 7188,
+            loc_core: 929,
+            source_changes: 7,
+            annotation_lines: 23,
+            errors: 2,
+            warnings: 8,
+            false_positives: 2,
+        },
+        defects: vec![
+            Defect {
+                id: "dip-kill-pid",
+                critical: "kill:arg0",
+                description: "watchdog kills the pid read from unmonitored non-core shared memory",
+            },
+            Defect {
+                id: "dip-invalid-assumption",
+                critical: "uFinal",
+                description: "jitter compensation uses the non-core compute-time report, wrongly \
+                              assumed not to propagate to the actuator command",
+            },
+        ],
+        noncore_seed: 0x2b02,
+    }
+}
+
+/// The pre-annotation original: annotations stripped, monitor inlined.
+fn original() -> String {
+    let replaced = CORE.replace(DECISION_FN, "").replace(DECISION_CALL, DECISION_INLINE);
+    crate::strip_annotations(&replaced)
+}
+
+const DECISION_FN: &str = r#"float decisionDual(float safeU)
+/** SafeFlow Annotation assume(core(ncShm, 0, sizeof(NC2Cmd))) */
+{
+    float u;
+    int fresh;
+    fresh = 0;
+    if (ncShm->seq != lastNcSeq) {
+        lastNcSeq = ncShm->seq;
+        fresh = 1;
+    }
+    if (fresh == 1 && ncShm->valid == 1) {
+        u = ncShm->u;
+        if (envelopeOk(u)) {
+            ncAccepted = ncAccepted + 1;
+            /** SafeFlow Annotation assert(safe(u)) */
+            return u;
+        }
+    }
+    ncRejected = ncRejected + 1;
+    return safeU;
+}
+"#;
+
+const DECISION_CALL: &str = "    u = decisionDual(safeU);";
+
+const DECISION_INLINE: &str = r#"    if (ncShm->seq != lastNcSeq && ncShm->valid == 1 && envelopeOk(ncShm->u)) {
+        lastNcSeq = ncShm->seq;
+        ncAccepted = ncAccepted + 1;
+        u = ncShm->u;
+    } else {
+        ncRejected = ncRejected + 1;
+        u = safeU;
+    }"#;
+
+/// Annotated core component source.
+pub const CORE: &str = r#"
+/* ============================================================
+ * Double Inverted Pendulum Simplex - core controller
+ *
+ * Balances a double pendulum on a cart (6 states: track position
+ * and velocity, two link angles and angular velocities). Derived
+ * from the single-IP controller with additional control modes.
+ * Preliminary version, under active refinement.
+ * ============================================================ */
+
+enum {
+    NS          = 6,
+    HIST_N      = 32,
+    MODE_SAFE   = 0,
+    MODE_COMPLEX = 1,
+    MODE_SWINGUP = 2,
+    CMD_NONE    = 0,
+    CMD_START   = 1,
+    CMD_STOP    = 2,
+    CMD_FAST    = 3,
+    CMD_SWINGUP = 4,
+    OP_NORMAL   = 0,
+    OP_FAST     = 1,
+    SIG_TERM    = 15,
+    HB_LIMIT    = 3,
+    SHM_KEY     = 9210
+};
+
+/* ---- shared memory layout ------------------------------------ */
+
+typedef struct DblFeedback {
+    float track;
+    float angle1;
+    float angle2;
+    float trackVel;
+    float angle1Vel;
+    float angle2Vel;
+    int   seq;
+    int   displayAck;
+} DblFeedback;
+
+typedef struct NC2Cmd {
+    float u;
+    int   seq;
+    int   valid;
+    int   heartbeat;
+    int   clientPid;
+    int   computeTimeUs;
+    int   jitterNs;
+    int   pad0;
+} NC2Cmd;
+
+typedef struct DblStatus {
+    float u;
+    float track;
+    float angle1;
+    float angle2;
+    int   mode;
+    int   seq;
+    int   statusCode;
+    int   pad0;
+} DblStatus;
+
+typedef struct UICmd2 {
+    int command;
+    int resetCounters;
+    int padA;
+    int padB;
+} UICmd2;
+
+typedef struct CalibBlock {
+    float offsetTrack;
+    float offsetA1;
+    float offsetA2;
+    float scaleTrack;
+    float scaleA1;
+    float scaleA2;
+    int   calibSeq;
+    int   pad0;
+} CalibBlock;
+
+typedef struct PerfBlock2 {
+    int loopTimeUs;
+    int maxLoopTimeUs;
+    int overruns;
+    int pad0;
+} PerfBlock2;
+
+typedef struct LogRing {
+    float u[8];
+    float lyap[8];
+    int head;
+    int pad0;
+} LogRing;
+
+DblFeedback *fbShm;
+NC2Cmd      *ncShm;
+DblStatus   *statShm;
+UICmd2      *uiShm;
+CalibBlock  *calibShm;
+PerfBlock2  *perfShm;
+LogRing     *logShm;
+
+/* ---- external services ---------------------------------------- */
+
+int   shmget(int key, int size, int flags);
+void *shmat(int shmid, void *addr, int flags);
+float readTrackSensor(void);
+float readAngle1Sensor(void);
+float readAngle2Sensor(void);
+void  sendActuator(float volts);
+int   kill(int pid, int sig);
+void  logInt(char *tag, int value);
+void  logFloat(char *tag, float value);
+void  timerWait(int ticks);
+int   getTicks(void);
+void  panicStop(void);
+
+/* ---- controller state ------------------------------------------ */
+
+float xhat[NS];
+
+/* LQR gains for the upright equilibrium (dt = 5ms). */
+float gainK[NS];
+
+/* Observer transition matrix (6x6, precomputed A - L*C). */
+float phiM[NS][NS];
+
+/* Observer injection gains for the three measured outputs. */
+float ellM[NS][3];
+
+/* Lyapunov P (symmetric 6x6; upper triangle flattened, 21 terms). */
+float lyapP[21];
+
+float envelopeLimit;
+float voltLimit;
+float trackLimit;
+float angleLimit;
+
+float histU[HIST_N];
+int   histHead;
+int   histCount;
+
+int running;
+int opRequested;
+int modeActive;
+int coreSeq;
+int lastNcSeq;
+int lastHb;
+int missedHeartbeats;
+int ncAccepted;
+int ncRejected;
+int logCount;
+int uiSyncs;
+
+/* ---- shared memory initialization ------------------------------- */
+
+void initShm(void)
+/** SafeFlow Annotation shminit */
+{
+    void *base;
+    char *cursor;
+    int   shmid;
+    int   total;
+
+    total = sizeof(DblFeedback) + sizeof(NC2Cmd)
+          + sizeof(DblStatus) + sizeof(UICmd2)
+          + sizeof(CalibBlock) + sizeof(PerfBlock2)
+          + sizeof(LogRing);
+    shmid  = shmget(SHM_KEY, total, 0);
+    base   = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+
+    fbShm   = (DblFeedback *) cursor;
+    cursor  = cursor + sizeof(DblFeedback);
+    ncShm   = (NC2Cmd *) cursor;
+    cursor  = cursor + sizeof(NC2Cmd);
+    statShm = (DblStatus *) cursor;
+    cursor  = cursor + sizeof(DblStatus);
+    uiShm   = (UICmd2 *) cursor;
+    cursor  = cursor + sizeof(UICmd2);
+    calibShm = (CalibBlock *) cursor;
+    cursor  = cursor + sizeof(CalibBlock);
+    perfShm = (PerfBlock2 *) cursor;
+    cursor  = cursor + sizeof(PerfBlock2);
+    logShm  = (LogRing *) cursor;
+
+    /** SafeFlow Annotation
+        assume(shmvar(fbShm, sizeof(DblFeedback)))
+        assume(shmvar(ncShm, sizeof(NC2Cmd)))
+        assume(shmvar(statShm, sizeof(DblStatus)))
+        assume(shmvar(uiShm, sizeof(UICmd2)))
+        assume(shmvar(calibShm, sizeof(CalibBlock)))
+        assume(shmvar(perfShm, sizeof(PerfBlock2)))
+        assume(shmvar(logShm, sizeof(LogRing)))
+        assume(noncore(fbShm))
+        assume(noncore(ncShm))
+        assume(noncore(uiShm))
+    */
+}
+
+/* ---- numerics ----------------------------------------------------- */
+
+float clampf(float v, float lo, float hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+
+float absf(float v) {
+    if (v < 0.0) return 0.0 - v;
+    return v;
+}
+
+void initGains(void) {
+    gainK[0] = 4.8812;
+    gainK[1] = 6.3021;
+    gainK[2] = 71.4415;
+    gainK[3] = 11.0288;
+    gainK[4] = 44.9310;
+    gainK[5] = 7.2206;
+
+    phiM[0][0] = 0.9990; phiM[0][1] = 0.0049; phiM[0][2] = 0.0003;
+    phiM[0][3] = 0.0000; phiM[0][4] = 0.0001; phiM[0][5] = 0.0000;
+    phiM[1][0] = 0.0401; phiM[1][1] = 0.9811; phiM[1][2] = 0.0902;
+    phiM[1][3] = 0.0004; phiM[1][4] = 0.0371; phiM[1][5] = 0.0002;
+    phiM[2][0] = 0.0001; phiM[2][1] = 0.0000; phiM[2][2] = 0.9991;
+    phiM[2][3] = 0.0050; phiM[2][4] = 0.0002; phiM[2][5] = 0.0000;
+    phiM[3][0] = 0.0332; phiM[3][1] = 0.0001; phiM[3][2] = 0.1705;
+    phiM[3][3] = 0.9902; phiM[3][4] = 0.0881; phiM[3][5] = 0.0004;
+    phiM[4][0] = 0.0001; phiM[4][1] = 0.0000; phiM[4][2] = 0.0002;
+    phiM[4][3] = 0.0000; phiM[4][4] = 0.9989; phiM[4][5] = 0.0050;
+    phiM[5][0] = 0.0218; phiM[5][1] = 0.0001; phiM[5][2] = 0.0907;
+    phiM[5][3] = 0.0003; phiM[5][4] = 0.1998; phiM[5][5] = 0.9891;
+
+    ellM[0][0] = 0.3551; ellM[0][1] = 0.0019; ellM[0][2] = 0.0008;
+    ellM[1][0] = 1.0441; ellM[1][1] = 0.0388; ellM[1][2] = 0.0121;
+    ellM[2][0] = 0.0016; ellM[2][1] = 0.3667; ellM[2][2] = 0.0027;
+    ellM[3][0] = 0.0341; ellM[3][1] = 1.0921; ellM[3][2] = 0.0488;
+    ellM[4][0] = 0.0007; ellM[4][1] = 0.0025; ellM[4][2] = 0.3912;
+    ellM[5][0] = 0.0199; ellM[5][1] = 0.0471; ellM[5][2] = 1.2210;
+
+    lyapP[0]  = 15.32; lyapP[1]  = 3.61;  lyapP[2]  = 11.05;
+    lyapP[3]  = 1.70;  lyapP[4]  = 8.21;  lyapP[5]  = 1.12;
+    lyapP[6]  = 2.40;  lyapP[7]  = 4.05;  lyapP[8]  = 0.81;
+    lyapP[9]  = 3.02;  lyapP[10] = 0.46;  lyapP[11] = 16.80;
+    lyapP[12] = 2.95;  lyapP[13] = 12.11; lyapP[14] = 1.88;
+    lyapP[15] = 1.51;  lyapP[16] = 2.66;  lyapP[17] = 0.58;
+    lyapP[18] = 17.92; lyapP[19] = 3.14;  lyapP[20] = 1.62;
+
+    envelopeLimit = 64.0;
+    voltLimit     = 4.97;
+    trackLimit    = 1.10;
+    angleLimit    = 0.35;
+}
+
+void resetEstimator(void) {
+    int i;
+    for (i = 0; i < NS; i++) {
+        xhat[i] = 0.0;
+    }
+    histHead = 0;
+    histCount = 0;
+}
+
+/* Observer update from the three measured outputs. */
+void observerUpdate(float ytrack, float ya1, float ya2, float u) {
+    float nxt[NS];
+    float r0;
+    float r1;
+    float r2;
+    int i;
+    int j;
+
+    r0 = ytrack - xhat[0];
+    r1 = ya1 - xhat[2];
+    r2 = ya2 - xhat[4];
+
+    for (i = 0; i < NS; i++) {
+        nxt[i] = 0.0;
+        for (j = 0; j < NS; j++) {
+            nxt[i] = nxt[i] + phiM[i][j] * xhat[j];
+        }
+    }
+    nxt[1] = nxt[1] + 0.0051 * u;
+    nxt[3] = nxt[3] + 0.0117 * u;
+    nxt[5] = nxt[5] + 0.0083 * u;
+
+    for (i = 0; i < NS; i++) {
+        xhat[i] = nxt[i] + ellM[i][0] * r0 + ellM[i][1] * r1 + ellM[i][2] * r2;
+    }
+}
+
+float computeSafeControl(void) {
+    float u;
+    int i;
+    u = 0.0;
+    for (i = 0; i < NS; i++) {
+        u = u - gainK[i] * xhat[i];
+    }
+    return clampf(u, 0.0 - voltLimit, voltLimit);
+}
+
+/* V(x) = x' P x over the flattened upper triangle. */
+float lyapunov(void) {
+    float v;
+    int i;
+    int j;
+    int k;
+    v = 0.0;
+    k = 0;
+    for (i = 0; i < NS; i++) {
+        for (j = i; j < NS; j++) {
+            if (i == j) {
+                v = v + lyapP[k] * xhat[i] * xhat[j];
+            } else {
+                v = v + 2.0 * lyapP[k] * xhat[i] * xhat[j];
+            }
+            k = k + 1;
+        }
+    }
+    return v;
+}
+
+int envelopeOk(float u) {
+    float v;
+    if (u > voltLimit) return 0;
+    if (u < 0.0 - voltLimit) return 0;
+    if (absf(xhat[0]) > trackLimit) return 0;
+    if (absf(xhat[2]) > angleLimit) return 0;
+    if (absf(xhat[4]) > angleLimit) return 0;
+    v = lyapunov();
+    if (v > envelopeLimit) return 0;
+    return 1;
+}
+
+void recordControl(float u) {
+    histU[histHead] = u;
+    histHead = histHead + 1;
+    if (histHead >= HIST_N) histHead = 0;
+    if (histCount < HIST_N) histCount = histCount + 1;
+}
+
+float meanRecentControl(void) {
+    float acc;
+    int i;
+    if (histCount == 0) return 0.0;
+    acc = 0.0;
+    for (i = 0; i < HIST_N; i++) {
+        acc = acc + histU[i];
+    }
+    return acc / histCount;
+}
+
+/* ---- swing-up energy controller (additional mode) ----------------- */
+
+float swingupGain;
+float swingupCap;
+
+void initSwingup(void) {
+    swingupGain = 1.25;
+    swingupCap  = 2.2;
+}
+
+/* Energy-pumping swing-up for the first link; verified core code. */
+float swingupControl(void) {
+    float energyErr;
+    float u;
+    energyErr = 0.5 * xhat[3] * xhat[3] + 9.81 * (1.0 - xhat[2] * xhat[2] * 0.5) - 9.81;
+    if (xhat[3] > 0.0) {
+        u = swingupGain * energyErr;
+    } else {
+        u = 0.0 - swingupGain * energyErr;
+    }
+    return clampf(u, 0.0 - swingupCap, swingupCap);
+}
+
+/* ---- Simplex decision module (the separated monitor) -------------- */
+
+float decisionDual(float safeU)
+/** SafeFlow Annotation assume(core(ncShm, 0, sizeof(NC2Cmd))) */
+{
+    float u;
+    int fresh;
+    fresh = 0;
+    if (ncShm->seq != lastNcSeq) {
+        lastNcSeq = ncShm->seq;
+        fresh = 1;
+    }
+    if (fresh == 1 && ncShm->valid == 1) {
+        u = ncShm->u;
+        if (envelopeOk(u)) {
+            ncAccepted = ncAccepted + 1;
+            /** SafeFlow Annotation assert(safe(u)) */
+            return u;
+        }
+    }
+    ncRejected = ncRejected + 1;
+    return safeU;
+}
+
+/* ---- jitter compensation (the invalid-assumption defect) ----------- */
+
+/* DEFECT (paper §4, double IP): the developer assumed the non-core
+ * controller's self-reported compute time "does not propagate to the
+ * critical data" — it was meant for the logs. It does propagate: the
+ * compensation term below is added to the actuator command. */
+float jitterCompensation(void) {
+    int ct;
+    float comp;
+    ct = ncShm->computeTimeUs;
+    comp = 0.000001 * ct;
+    if (comp > 0.004) {
+        comp = 0.004;
+    }
+    return comp;
+}
+
+/* ---- shared memory publication -------------------------------------- */
+
+void publishFeedback(float yt, float ya1, float ya2) {
+    /** SafeFlow Annotation assert(safe(coreSeq)) */
+    fbShm->track     = yt;
+    fbShm->angle1    = ya1;
+    fbShm->angle2    = ya2;
+    fbShm->trackVel  = xhat[1];
+    fbShm->angle1Vel = xhat[3];
+    fbShm->angle2Vel = xhat[5];
+    fbShm->seq       = coreSeq;
+}
+
+void publishStatus(float u, float yt, float ya1, float ya2) {
+    int statusCode;
+    statShm->u      = u;
+    statShm->track  = yt;
+    statShm->angle1 = ya1;
+    statShm->angle2 = ya2;
+    statShm->seq    = coreSeq;
+    statShm->mode   = modeActive;
+    if (running == 1) {
+        statusCode = 2;
+    } else {
+        statusCode = 1;
+    }
+    /** SafeFlow Annotation assert(safe(statusCode)) */
+    statShm->statusCode = statusCode;
+}
+
+/* ---- housekeeping ----------------------------------------------------- */
+
+/* Watchdog with the kill-pid defect, as in the other systems. */
+void watchdogCheck(void) {
+    int hb;
+    int pid;
+    hb = ncShm->heartbeat;
+    if (hb == lastHb) {
+        missedHeartbeats = missedHeartbeats + 1;
+    } else {
+        missedHeartbeats = 0;
+        lastHb = hb;
+    }
+    if (missedHeartbeats > HB_LIMIT) {
+        pid = ncShm->clientPid;
+        kill(pid, SIG_TERM);
+        missedHeartbeats = 0;
+    }
+}
+
+void pollUiCommands(void) {
+    int cmd;
+    int rst;
+    cmd = uiShm->command;
+    if (cmd == CMD_START) {
+        running = 1;
+    }
+    if (cmd == CMD_STOP) {
+        running = 0;
+    }
+    if (cmd == CMD_FAST) {
+        opRequested = OP_FAST;
+    }
+    rst = uiShm->resetCounters;
+    if (rst == 1) {
+        logCount = 0;
+        ncAccepted = 0;
+        ncRejected = 0;
+    }
+}
+
+int selectPeriod(void) {
+    int periodTicks;
+    if (opRequested == OP_FAST) {
+        periodTicks = 2;
+    } else {
+        periodTicks = 5;
+    }
+    /** SafeFlow Annotation assert(safe(periodTicks)) */
+    return periodTicks;
+}
+
+void logStats(void) {
+    int sq;
+    int jn;
+    sq = ncShm->seq;
+    jn = ncShm->jitterNs;
+    logInt("nc.seq", sq);
+    logInt("nc.jitterNs", jn);
+    logInt("nc.accepted", ncAccepted);
+    logInt("nc.rejected", ncRejected);
+    logFloat("u.mean", meanRecentControl());
+    logCount = logCount + 1;
+}
+
+void displayHandshake(void) {
+    int ack;
+    ack = fbShm->displayAck;
+    if (ack == coreSeq) {
+        uiSyncs = uiSyncs + 1;
+    }
+}
+
+void dumpDiagnostics(void) {
+    logFloat("xhat.track", xhat[0]);
+    logFloat("xhat.trackVel", xhat[1]);
+    logFloat("xhat.angle1", xhat[2]);
+    logFloat("xhat.angle1Vel", xhat[3]);
+    logFloat("xhat.angle2", xhat[4]);
+    logFloat("xhat.angle2Vel", xhat[5]);
+    logFloat("lyapunov", lyapunov());
+    logInt("core.seq", coreSeq);
+    logInt("mode", modeActive);
+    logInt("ui.syncs", uiSyncs);
+}
+
+
+/* ---- sensor conditioning -------------------------------------------- */
+
+float bq1B0; float bq1B1; float bq1B2; float bq1A1; float bq1A2;
+float bq1Z1; float bq1Z2;
+float bq2B0; float bq2B1; float bq2B2; float bq2A1; float bq2A2;
+float bq2Z1; float bq2Z2;
+float bq3B0; float bq3B1; float bq3B2; float bq3A1; float bq3A2;
+float bq3Z1; float bq3Z2;
+
+void initFilters(void) {
+    bq1B0 = 0.4208; bq1B1 = 0.8416; bq1B2 = 0.4208;
+    bq1A1 = 0.6631; bq1A2 = 0.2201;
+    bq1Z1 = 0.0; bq1Z2 = 0.0;
+    bq2B0 = 0.2512; bq2B1 = 0.5024; bq2B2 = 0.2512;
+    bq2A1 = 0.4409; bq2A2 = 0.1911;
+    bq2Z1 = 0.0; bq2Z2 = 0.0;
+    bq3B0 = 0.2512; bq3B1 = 0.5024; bq3B2 = 0.2512;
+    bq3A1 = 0.4409; bq3A2 = 0.1911;
+    bq3Z1 = 0.0; bq3Z2 = 0.0;
+}
+
+float filterTrack(float x) {
+    float y;
+    y = bq1B0 * x + bq1Z1;
+    bq1Z1 = bq1B1 * x - bq1A1 * y + bq1Z2;
+    bq1Z2 = bq1B2 * x - bq1A2 * y;
+    return y;
+}
+
+float filterAngle1(float x) {
+    float y;
+    y = bq2B0 * x + bq2Z1;
+    bq2Z1 = bq2B1 * x - bq2A1 * y + bq2Z2;
+    bq2Z2 = bq2B2 * x - bq2A2 * y;
+    return y;
+}
+
+float filterAngle2(float x) {
+    float y;
+    y = bq3B0 * x + bq3Z1;
+    bq3Z1 = bq3B1 * x - bq3A1 * y + bq3Z2;
+    bq3Z2 = bq3B2 * x - bq3A2 * y;
+    return y;
+}
+
+/* ---- calibration (core-owned, published for the UI) ------------------ */
+
+float calOffTrack;
+float calOffA1;
+float calOffA2;
+float calSclTrack;
+float calSclA1;
+float calSclA2;
+int calibSeq;
+
+void initCalibration(void) {
+    calOffTrack = 0.0027;
+    calOffA1    = 0.0011;
+    calOffA2    = 0.0014;
+    calSclTrack = 0.9989;
+    calSclA1    = 1.0021;
+    calSclA2    = 0.9978;
+    calibSeq    = 0;
+}
+
+float calTrack(float raw) {
+    return (raw - calOffTrack) * calSclTrack;
+}
+
+float calA1(float raw) {
+    return (raw - calOffA1) * calSclA1;
+}
+
+float calA2(float raw) {
+    return (raw - calOffA2) * calSclA2;
+}
+
+void publishCalibration(void) {
+    calibShm->offsetTrack = calOffTrack;
+    calibShm->offsetA1    = calOffA1;
+    calibShm->offsetA2    = calOffA2;
+    calibShm->scaleTrack  = calSclTrack;
+    calibShm->scaleA1     = calSclA1;
+    calibShm->scaleA2     = calSclA2;
+    calibSeq = calibSeq + 1;
+    /** SafeFlow Annotation assert(safe(calibSeq)) */
+    calibShm->calibSeq = calibSeq;
+}
+
+void publishPerf(int loopUs) {
+    perfShm->loopTimeUs = loopUs;
+    if (loopUs > perfShm->maxLoopTimeUs) {
+        perfShm->maxLoopTimeUs = loopUs;
+    }
+    if (loopUs > 5000) {
+        perfShm->overruns = perfShm->overruns + 1;
+    }
+}
+
+void publishLogRing(float u) {
+    int i;
+    for (i = 7; i > 0; i = i - 1) {
+        logShm->u[i] = logShm->u[i - 1];
+        logShm->lyap[i] = logShm->lyap[i - 1];
+    }
+    logShm->u[0] = u;
+    logShm->lyap[0] = lyapunov();
+    logShm->head = logShm->head + 1;
+}
+
+/* ---- actuator excitation for calibration runs -------------------------- */
+
+float waveFreq;
+float wavePhase;
+float waveAmp;
+int waveEnabled;
+
+void initWave(void) {
+    waveFreq = 0.5;
+    wavePhase = 0.0;
+    waveAmp = 0.25;
+    waveEnabled = 0;
+}
+
+float waveSample(void) {
+    float tri;
+    wavePhase = wavePhase + waveFreq * 0.005;
+    if (wavePhase > 1.0) {
+        wavePhase = wavePhase - 1.0;
+    }
+    if (wavePhase < 0.5) {
+        tri = 4.0 * wavePhase - 1.0;
+    } else {
+        tri = 3.0 - 4.0 * wavePhase;
+    }
+    return waveAmp * tri;
+}
+
+/* ---- fault management -------------------------------------------------- */
+
+enum {
+    DFLT_TRACK = 0,
+    DFLT_A1    = 1,
+    DFLT_A2    = 2,
+    DFLT_STUCK = 3,
+    DFLT_N     = 4,
+    DFLT_TRIP  = 5
+};
+
+int dfltCount[DFLT_N];
+int dfltLatch;
+float lastRawT;
+float lastRawA1;
+float lastRawA2;
+int dStuckTicks;
+
+void clearFaults(void) {
+    int i;
+    for (i = 0; i < DFLT_N; i++) {
+        dfltCount[i] = 0;
+    }
+    dfltLatch = 0;
+    dStuckTicks = 0;
+}
+
+void noteFault(int which) {
+    if (which < 0) return;
+    if (which >= DFLT_N) return;
+    dfltCount[which] = dfltCount[which] + 1;
+    if (dfltCount[which] > DFLT_TRIP) {
+        dfltLatch = 1;
+    }
+}
+
+void checkSensorFaults(float rt, float r1, float r2) {
+    if (rt > 1.6) noteFault(DFLT_TRACK);
+    if (rt < 0.0 - 1.6) noteFault(DFLT_TRACK);
+    if (r1 > 0.8) noteFault(DFLT_A1);
+    if (r1 < 0.0 - 0.8) noteFault(DFLT_A1);
+    if (r2 > 0.8) noteFault(DFLT_A2);
+    if (r2 < 0.0 - 0.8) noteFault(DFLT_A2);
+    if (absf(rt - lastRawT) < 0.000001
+        && absf(r1 - lastRawA1) < 0.000001
+        && absf(r2 - lastRawA2) < 0.000001) {
+        dStuckTicks = dStuckTicks + 1;
+        if (dStuckTicks > 40) {
+            noteFault(DFLT_STUCK);
+            dStuckTicks = 0;
+        }
+    } else {
+        dStuckTicks = 0;
+    }
+    lastRawT = rt;
+    lastRawA1 = r1;
+    lastRawA2 = r2;
+}
+
+/* ---- main control step --------------------------------------------- */
+
+void controlStep(void) {
+    float ytrack;
+    float ya1;
+    float ya2;
+    float safeU;
+    float u;
+    float uFinal;
+
+    ytrack = readTrackSensor();
+    ya1 = readAngle1Sensor();
+    ya2 = readAngle2Sensor();
+    checkSensorFaults(ytrack, ya1, ya2);
+    ytrack = filterTrack(calTrack(ytrack));
+    ya1 = filterAngle1(calA1(ya1));
+    ya2 = filterAngle2(calA2(ya2));
+
+    observerUpdate(ytrack, ya1, ya2, meanRecentControl());
+
+    /* Automatic mode management: drop to swing-up when a link falls
+     * outside the balancing basin, return when both links are upright. */
+    if (modeActive == MODE_COMPLEX && absf(xhat[2]) > 0.30) {
+        modeActive = MODE_SWINGUP;
+    }
+    if (modeActive == MODE_SWINGUP) {
+        safeU = swingupControl();
+        if (absf(xhat[2]) < 0.15 && absf(xhat[4]) < 0.15) {
+            modeActive = MODE_COMPLEX;
+        }
+    } else {
+        safeU = computeSafeControl();
+    }
+    /** SafeFlow Annotation assert(safe(safeU)) */
+
+    u = decisionDual(safeU);
+
+    uFinal = u + jitterCompensation() * xhat[1];
+    if (dfltLatch == 1) {
+        uFinal = 0.0;
+    }
+    uFinal = clampf(uFinal, 0.0 - voltLimit, voltLimit);
+    /** SafeFlow Annotation assert(safe(uFinal)) */
+    sendActuator(uFinal);
+    recordControl(u);
+
+    publishFeedback(ytrack, ya1, ya2);
+    publishStatus(uFinal, ytrack, ya1, ya2);
+    publishLogRing(u);
+    coreSeq = coreSeq + 1;
+}
+
+int selftest(void) {
+    float v;
+    resetEstimator();
+    xhat[0] = 0.04;
+    xhat[2] = 0.02;
+    xhat[4] = 0.01;
+    v = lyapunov();
+    if (v <= 0.0) return 0;
+    if (computeSafeControl() > voltLimit) return 0;
+    if (computeSafeControl() < 0.0 - voltLimit) return 0;
+    resetEstimator();
+    return 1;
+}
+
+int main() {
+    int period;
+    int t0;
+    int t1;
+    initGains();
+    initSwingup();
+    initWave();
+    initFilters();
+    initCalibration();
+    clearFaults();
+    resetEstimator();
+    initShm();
+    publishCalibration();
+    if (selftest() == 0) {
+        panicStop();
+        return 1;
+    }
+    running = 1;
+    modeActive = MODE_COMPLEX;
+    while (1) {
+        t0 = getTicks();
+        controlStep();
+        watchdogCheck();
+        pollUiCommands();
+        logStats();
+        displayHandshake();
+        if (logCount >= 200) {
+            dumpDiagnostics();
+            publishCalibration();
+            logCount = 0;
+        }
+        period = selectPeriod();
+        t1 = getTicks();
+        publishPerf(t1 - t0);
+        timerWait(period);
+    }
+    return 0;
+}
+"#;

@@ -1,0 +1,84 @@
+//! The paper's Figure 2/3 running example, kept verbatim-faithful to the
+//! structure shown in the paper (simplified IP Simplex core controller).
+
+/// Figure 2 core controller with the Figure 3 annotated `initComm`.
+pub const FIGURE2: &str = r#"
+/* Figure 2 (DSN 2006): simplified core controller of the inverted
+   pendulum Simplex implementation, with the Figure 3 initComm. */
+
+typedef struct { float control; float track; float angle; } SHMData;
+typedef SHMData Feedback;
+
+SHMData *noncoreCtrl;
+SHMData *feedback;
+
+int shmget(int key, int size, int flags);
+void *shmat(int shmid, void *addr, int flags);
+void getFeedback(SHMData *fb);
+void computeSafety(SHMData *fb, float *safe);
+void Unlock(int lock);
+void Lock(int lock);
+void wait(int tsecs);
+void sendControl(float output);
+
+int shmLock;
+int tsecs;
+
+void initComm(void)
+/** SafeFlow Annotation shminit */
+{
+    void *shmStart;
+    int shmid;
+    /* Initialize shared memory */
+    shmid = shmget(42, 2 * sizeof(SHMData), 0);
+    shmStart = shmat(shmid, 0, 0);
+    feedback = (SHMData *) shmStart;
+    noncoreCtrl = feedback + 1;
+    /** SafeFlow Annotation
+        assume(shmvar(feedback, sizeof(SHMData)))
+        assume(shmvar(noncoreCtrl, sizeof(SHMData)))
+        assume(noncore(feedback))
+        assume(noncore(noncoreCtrl))
+    */
+}
+
+int checkSafety(Feedback *fb, SHMData *ctrl) {
+    /* Lyapunov-style recoverability check: uses both the published
+       feedback and the proposed non-core control. */
+    if (fb->angle > 0.5) return 0;
+    if (fb->angle < 0.0 - 0.5) return 0;
+    if (fb->track > 1.2) return 0;
+    if (fb->track < 0.0 - 1.2) return 0;
+    if (ctrl->control > 5.0) return 0;
+    if (ctrl->control < 0.0 - 5.0) return 0;
+    return 1;
+}
+
+float decision(Feedback *f, float safeControl, SHMData *ctrl)
+/***SafeFlow Annotation
+    assume(core(noncoreCtrl, 0, sizeof(SHMData))) /***/
+{
+    if (checkSafety(feedback, noncoreCtrl))
+        return noncoreCtrl->control;
+    else
+        return safeControl;
+}
+
+int main() {
+    float safeControl;
+    float output;
+    initComm();
+    while (1) {
+        getFeedback(feedback);
+        computeSafety(feedback, &safeControl);
+        Unlock(shmLock);
+        wait(tsecs);
+        Lock(shmLock);
+        output = decision(feedback, safeControl, noncoreCtrl);
+        /**SafeFlow Annotation
+        assert(safe(output)); /***/
+        sendControl(output);
+    }
+    return 0;
+}
+"#;

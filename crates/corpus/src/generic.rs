@@ -1,0 +1,982 @@
+//! System 2: the **generic Simplex implementation** (Table 1, row 2).
+//!
+//! Re-creation of the configurable Simplex runtime for simple plants: the
+//! core controller is parameterized by a configuration block (plant id,
+//! sample rate, controller topology) that — in the original lab system —
+//! lives in shared memory written by the deployment tooling. Two §4
+//! defects are seeded:
+//!
+//! * **rigged feedback** — the core publishes sensor values into shared
+//!   memory for the non-core controller, then *reads them back* when
+//!   clamping the output ("this potential value dependency on non-core
+//!   values would be fatal, if the non-core component replaced the sensor
+//!   feedback with a hand-crafted value that would 'rig' the
+//!   recoverability check");
+//! * **kill-pid** — the watchdog kills the pid read from non-core memory.
+//!
+//! The six Table 1 false positives all arise from control dependence on
+//! the unmonitored configuration block (§3.4.1's worked example: "the
+//! configuration of the system is present in shared memory ... the
+//! critical data is computed correctly in either path of execution, but
+//! the control dependence ... reports an erroneous dependency").
+
+use crate::{Defect, PaperRow, System};
+
+/// Returns the Generic Simplex system description.
+pub fn system() -> System {
+    System {
+        name: "Generic Simplex",
+        core_file: "generic_core.c",
+        core_source: CORE,
+        // The paper reports zero source changes for this system — it was
+        // written with the monitor already separated; only annotations
+        // were added.
+        original_source: crate::strip_annotations(CORE),
+        paper: PaperRow {
+            loc_total: 8057,
+            loc_core: 1020,
+            source_changes: 0,
+            annotation_lines: 22,
+            errors: 2,
+            warnings: 7,
+            false_positives: 6,
+        },
+        defects: vec![
+            Defect {
+                id: "gs-rigged-feedback",
+                critical: "uOut",
+                description: "output clamp re-reads the published sensor feedback from shared \
+                              memory; a non-core writer can rig the recoverability limit",
+            },
+            Defect {
+                id: "gs-kill-pid",
+                critical: "kill:arg0",
+                description: "watchdog kills the pid read from unmonitored non-core shared memory",
+            },
+        ],
+        noncore_seed: 0x6702,
+    }
+}
+
+/// Annotated core component source.
+pub const CORE: &str = r#"
+/* ============================================================
+ * Generic Simplex - core controller
+ *
+ * A configurable Simplex runtime for simple (up to 4-state)
+ * plants. The plant model, gain set, and controller topology are
+ * selected by a configuration block; the complex (non-core)
+ * controller proposes commands through shared memory and the
+ * verified safety controller takes over whenever the proposal
+ * fails the Lyapunov recoverability check.
+ * ============================================================ */
+
+enum {
+    NSTATE        = 4,
+    NOUT          = 2,
+    HIST_N        = 64,
+    PLANT_CART    = 0,
+    PLANT_TANK    = 1,
+    PLANT_ARM     = 2,
+    MODE_SAFE     = 0,
+    MODE_COMPLEX  = 1,
+    SIG_TERM      = 15,
+    CFG_SLOW_HZ   = 50,
+    CFG_FAST_HZ   = 200,
+    SHM_KEY       = 7340
+};
+
+/* ---- shared memory layout ---------------------------------- */
+
+typedef struct PlantConfig {
+    int plantId;
+    int sampleRateHz;
+    int usesComplexCtrl;
+    int strictWatchdog;
+    int gainSetSel;
+    int pad0;
+} PlantConfig;
+
+typedef struct SensorBlock {
+    float y0;
+    float y1;
+    float y2;
+    float y3;
+    int   seq;
+    int   consumerAck;
+} SensorBlock;
+
+typedef struct NCCommand {
+    float u0;
+    float u1;
+    int   seq;
+    int   valid;
+    int   heartbeat;
+    int   clientPid;
+    int   computeTimeUs;
+    int   pad0;
+} NCCommand;
+
+typedef struct TuneBlock {
+    float proposedKp;
+    float proposedKd;
+    int   proposedValid;
+    int   pad0;
+} TuneBlock;
+
+typedef struct CoreStatus {
+    float u0;
+    float u1;
+    float lyap;
+    int   mode;
+    int   seq;
+    int   accepted;
+    int   rejected;
+    int   pad0;
+} CoreStatus;
+
+typedef struct PerfBlock {
+    int loopTimeUs;
+    int maxLoopTimeUs;
+    int overruns;
+    int pad0;
+} PerfBlock;
+
+typedef struct HistBlock {
+    float u[16];
+    int head;
+    int pad0;
+} HistBlock;
+
+PlantConfig *cfgShm;
+SensorBlock *sensShm;
+NCCommand   *ncShm;
+TuneBlock   *tuneShm;
+CoreStatus  *statShm;
+PerfBlock   *perfShm;
+HistBlock   *histShm;
+
+/* ---- external services -------------------------------------- */
+
+int   shmget(int key, int size, int flags);
+void *shmat(int shmid, void *addr, int flags);
+float readPlantSensor(int channel);
+void  sendActuatorChan(int channel, float value);
+int   kill(int pid, int sig);
+void  logInt(char *tag, int value);
+void  logFloat(char *tag, float value);
+void  timerWait(int ticks);
+int   getTicks(void);
+void  panicStop(void);
+
+/* ---- controller state ---------------------------------------- */
+
+float xhat[NSTATE];
+float xref[NSTATE];
+
+/* Per-plant LQR gain tables. */
+float gainCart[NSTATE];
+float gainTank[NSTATE];
+float gainArm[NSTATE];
+
+/* Observer matrices for the three supported plants. */
+float phiCart[NSTATE][NSTATE];
+float phiTank[NSTATE][NSTATE];
+float phiArm[NSTATE][NSTATE];
+float ell[NSTATE][NOUT];
+
+/* Lyapunov P matrices per plant (upper triangle, flattened). */
+float lyapCart[10];
+float lyapTank[10];
+float lyapArm[10];
+
+float activeGain[NSTATE];
+float activePhi[NSTATE][NSTATE];
+float activeLyap[10];
+
+float uLimit0;
+float uLimit1;
+float stateLimit[NSTATE];
+float envelopeLimit;
+float baseClampLimit;
+
+float histU0[HIST_N];
+float histU1[HIST_N];
+int   histHead;
+int   histCount;
+
+int coreSeq;
+int lastNcSeq;
+int lastHb;
+int missedHeartbeats;
+int hbLimitTicks;
+int accepted;
+int rejected;
+int plantKind;
+int periodTicks;
+int modeCode;
+int chanMap0;
+int rampRemaining;
+int tuneCooldown;
+int kpSel;
+
+/* ---- shared memory initialization ----------------------------- */
+
+void initShm(void)
+/** SafeFlow Annotation shminit */
+{
+    void *base;
+    char *cursor;
+    int   shmid;
+    int   total;
+
+    total = sizeof(PlantConfig) + sizeof(SensorBlock) + sizeof(NCCommand)
+          + sizeof(TuneBlock) + sizeof(CoreStatus)
+          + sizeof(PerfBlock) + sizeof(HistBlock);
+    shmid  = shmget(SHM_KEY, total, 0);
+    base   = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+
+    cfgShm  = (PlantConfig *) cursor;
+    cursor  = cursor + sizeof(PlantConfig);
+    sensShm = (SensorBlock *) cursor;
+    cursor  = cursor + sizeof(SensorBlock);
+    ncShm   = (NCCommand *) cursor;
+    cursor  = cursor + sizeof(NCCommand);
+    tuneShm = (TuneBlock *) cursor;
+    cursor  = cursor + sizeof(TuneBlock);
+    statShm = (CoreStatus *) cursor;
+    cursor  = cursor + sizeof(CoreStatus);
+    perfShm = (PerfBlock *) cursor;
+    cursor  = cursor + sizeof(PerfBlock);
+    histShm = (HistBlock *) cursor;
+
+    /** SafeFlow Annotation
+        assume(shmvar(cfgShm, sizeof(PlantConfig)))
+        assume(shmvar(sensShm, sizeof(SensorBlock)))
+        assume(shmvar(ncShm, sizeof(NCCommand)))
+        assume(shmvar(tuneShm, sizeof(TuneBlock)))
+        assume(shmvar(statShm, sizeof(CoreStatus)))
+        assume(shmvar(perfShm, sizeof(PerfBlock)))
+        assume(shmvar(histShm, sizeof(HistBlock)))
+        assume(noncore(cfgShm))
+        assume(noncore(sensShm))
+        assume(noncore(ncShm))
+        assume(noncore(tuneShm))
+    */
+}
+
+/* ---- numerics -------------------------------------------------- */
+
+float clampf(float v, float lo, float hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+
+float absf(float v) {
+    if (v < 0.0) return 0.0 - v;
+    return v;
+}
+
+float minf(float a, float b) {
+    if (a < b) return a;
+    return b;
+}
+
+float maxf(float a, float b) {
+    if (a > b) return a;
+    return b;
+}
+
+/* ---- gain and model tables -------------------------------------- */
+
+void initCartModel(void) {
+    gainCart[0] = 2.9441;
+    gainCart[1] = 3.8122;
+    gainCart[2] = 31.0247;
+    gainCart[3] = 5.4410;
+
+    phiCart[0][0] = 0.9991; phiCart[0][1] = 0.0098;
+    phiCart[0][2] = 0.0005; phiCart[0][3] = 0.0000;
+    phiCart[1][0] = 0.0488; phiCart[1][1] = 0.9867;
+    phiCart[1][2] = 0.1104; phiCart[1][3] = 0.0005;
+    phiCart[2][0] = 0.0002; phiCart[2][1] = 0.0000;
+    phiCart[2][2] = 0.9988; phiCart[2][3] = 0.0099;
+    phiCart[3][0] = 0.0390; phiCart[3][1] = 0.0002;
+    phiCart[3][2] = 0.2087; phiCart[3][3] = 0.9871;
+
+    lyapCart[0] = 11.82; lyapCart[1] = 2.87; lyapCart[2] = 9.14;
+    lyapCart[3] = 1.39;  lyapCart[4] = 2.04; lyapCart[5] = 3.48;
+    lyapCart[6] = 0.70;  lyapCart[7] = 13.6; lyapCart[8] = 2.39;
+    lyapCart[9] = 1.25;
+}
+
+void initTankModel(void) {
+    gainTank[0] = 1.2210;
+    gainTank[1] = 0.8471;
+    gainTank[2] = 0.0000;
+    gainTank[3] = 0.0000;
+
+    phiTank[0][0] = 0.9876; phiTank[0][1] = 0.0000;
+    phiTank[0][2] = 0.0000; phiTank[0][3] = 0.0000;
+    phiTank[1][0] = 0.0122; phiTank[1][1] = 0.9904;
+    phiTank[1][2] = 0.0000; phiTank[1][3] = 0.0000;
+    phiTank[2][0] = 0.0000; phiTank[2][1] = 0.0000;
+    phiTank[2][2] = 1.0000; phiTank[2][3] = 0.0000;
+    phiTank[3][0] = 0.0000; phiTank[3][1] = 0.0000;
+    phiTank[3][2] = 0.0000; phiTank[3][3] = 1.0000;
+
+    lyapTank[0] = 4.31; lyapTank[1] = 0.88; lyapTank[2] = 0.00;
+    lyapTank[3] = 0.00; lyapTank[4] = 1.93; lyapTank[5] = 0.00;
+    lyapTank[6] = 0.00; lyapTank[7] = 0.10; lyapTank[8] = 0.00;
+    lyapTank[9] = 0.10;
+}
+
+void initArmModel(void) {
+    gainArm[0] = 5.0912;
+    gainArm[1] = 1.7704;
+    gainArm[2] = 12.3321;
+    gainArm[3] = 2.0933;
+
+    phiArm[0][0] = 0.9969; phiArm[0][1] = 0.0097;
+    phiArm[0][2] = 0.0011; phiArm[0][3] = 0.0001;
+    phiArm[1][0] = 0.0821; phiArm[1][1] = 0.9755;
+    phiArm[1][2] = 0.1913; phiArm[1][3] = 0.0011;
+    phiArm[2][0] = 0.0004; phiArm[2][1] = 0.0000;
+    phiArm[2][2] = 0.9981; phiArm[2][3] = 0.0098;
+    phiArm[3][0] = 0.0688; phiArm[3][1] = 0.0004;
+    phiArm[3][2] = 0.3413; phiArm[3][3] = 0.9792;
+
+    lyapArm[0] = 18.90; lyapArm[1] = 4.22; lyapArm[2] = 13.7;
+    lyapArm[3] = 2.05;  lyapArm[4] = 3.11; lyapArm[5] = 5.02;
+    lyapArm[6] = 1.04;  lyapArm[7] = 19.8; lyapArm[8] = 3.33;
+    lyapArm[9] = 1.77;
+}
+
+void initObserverGains(void) {
+    ell[0][0] = 0.3291; ell[0][1] = 0.0020;
+    ell[1][0] = 0.9855; ell[1][1] = 0.0419;
+    ell[2][0] = 0.0017; ell[2][1] = 0.3702;
+    ell[3][0] = 0.0348; ell[3][1] = 1.1034;
+}
+
+void selectModel(int kind) {
+    int i;
+    int j;
+    for (i = 0; i < NSTATE; i++) {
+        if (kind == PLANT_TANK) {
+            activeGain[i] = gainTank[i];
+        } else if (kind == PLANT_ARM) {
+            activeGain[i] = gainArm[i];
+        } else {
+            activeGain[i] = gainCart[i];
+        }
+        for (j = 0; j < NSTATE; j++) {
+            if (kind == PLANT_TANK) {
+                activePhi[i][j] = phiTank[i][j];
+            } else if (kind == PLANT_ARM) {
+                activePhi[i][j] = phiArm[i][j];
+            } else {
+                activePhi[i][j] = phiCart[i][j];
+            }
+        }
+    }
+    for (i = 0; i < 10; i++) {
+        if (kind == PLANT_TANK) {
+            activeLyap[i] = lyapTank[i];
+        } else if (kind == PLANT_ARM) {
+            activeLyap[i] = lyapArm[i];
+        } else {
+            activeLyap[i] = lyapCart[i];
+        }
+    }
+}
+
+void initLimits(void) {
+    int i;
+    uLimit0 = 4.95;
+    uLimit1 = 4.95;
+    envelopeLimit = 52.0;
+    baseClampLimit = 4.5;
+    for (i = 0; i < NSTATE; i++) {
+        stateLimit[i] = 1.5;
+        xref[i] = 0.0;
+        xhat[i] = 0.0;
+    }
+}
+
+/* ---- estimation -------------------------------------------------- */
+
+void observerUpdate(float y0, float y1, float u) {
+    float nxt[NSTATE];
+    float r0;
+    float r1;
+    int i;
+    int j;
+
+    r0 = y0 - xhat[0];
+    r1 = y1 - xhat[2];
+
+    for (i = 0; i < NSTATE; i++) {
+        nxt[i] = 0.0;
+        for (j = 0; j < NSTATE; j++) {
+            nxt[i] = nxt[i] + activePhi[i][j] * xhat[j];
+        }
+    }
+    nxt[1] = nxt[1] + 0.0095 * u;
+    nxt[3] = nxt[3] + 0.0199 * u;
+
+    for (i = 0; i < NSTATE; i++) {
+        xhat[i] = nxt[i] + ell[i][0] * r0 + ell[i][1] * r1;
+    }
+}
+
+float computeSafeControl(void) {
+    float u;
+    int i;
+    u = 0.0;
+    for (i = 0; i < NSTATE; i++) {
+        u = u - activeGain[i] * (xhat[i] - xref[i]);
+    }
+    return clampf(u, 0.0 - uLimit0, uLimit0);
+}
+
+float lyapunov(void) {
+    float v;
+    v = activeLyap[0] * xhat[0] * xhat[0]
+      + 2.0 * activeLyap[1] * xhat[0] * xhat[1]
+      + 2.0 * activeLyap[2] * xhat[0] * xhat[2]
+      + 2.0 * activeLyap[3] * xhat[0] * xhat[3]
+      + activeLyap[4] * xhat[1] * xhat[1]
+      + 2.0 * activeLyap[5] * xhat[1] * xhat[2]
+      + 2.0 * activeLyap[6] * xhat[1] * xhat[3]
+      + activeLyap[7] * xhat[2] * xhat[2]
+      + 2.0 * activeLyap[8] * xhat[2] * xhat[3]
+      + activeLyap[9] * xhat[3] * xhat[3];
+    return v;
+}
+
+int envelopeOk(float u) {
+    float v;
+    int i;
+    if (u > uLimit0) return 0;
+    if (u < 0.0 - uLimit0) return 0;
+    for (i = 0; i < NSTATE; i++) {
+        if (absf(xhat[i]) > stateLimit[i]) return 0;
+    }
+    v = lyapunov();
+    if (v > envelopeLimit) return 0;
+    return 1;
+}
+
+/* ---- history ------------------------------------------------------ */
+
+void recordHistory(float u0, float u1) {
+    histU0[histHead] = u0;
+    histU1[histHead] = u1;
+    histHead = histHead + 1;
+    if (histHead >= HIST_N) histHead = 0;
+    if (histCount < HIST_N) histCount = histCount + 1;
+}
+
+float recentMean0(void) {
+    float acc;
+    int i;
+    if (histCount == 0) return 0.0;
+    acc = 0.0;
+    for (i = 0; i < HIST_N; i++) {
+        acc = acc + histU0[i];
+    }
+    return acc / histCount;
+}
+
+/* ---- Simplex decision stage (the monitoring function) ------------- */
+
+float decisionStage(float safeU)
+/** SafeFlow Annotation assume(core(ncShm, 0, sizeof(NCCommand))) */
+{
+    float u;
+    int fresh;
+    fresh = 0;
+    if (ncShm->seq != lastNcSeq) {
+        lastNcSeq = ncShm->seq;
+        fresh = 1;
+    }
+    if (fresh == 1 && ncShm->valid == 1) {
+        u = ncShm->u0;
+        if (envelopeOk(u)) {
+            accepted = accepted + 1;
+            return u;
+        }
+    }
+    rejected = rejected + 1;
+    return safeU;
+}
+
+/* ---- sensor publication -------------------------------------------- */
+
+void publishSensors(float y0, float y1) {
+    sensShm->y0 = y0;
+    sensShm->y1 = y1;
+    sensShm->y2 = xhat[1];
+    sensShm->y3 = xhat[3];
+    sensShm->seq = coreSeq;
+}
+
+/* DEFECT (paper §4, generic Simplex): the output clamp re-reads the
+ * published sensor value from shared memory. The non-core side can
+ * overwrite it ("supposedly read-only, but not enforced") and rig the
+ * clamp that the recoverability logic relies on. */
+float limitCheck(float u) {
+    float fbPos;
+    float maxU;
+    float uOut;
+    fbPos = sensShm->y0;
+    maxU = baseClampLimit - 0.5 * absf(fbPos);
+    maxU = maxf(maxU, 0.5);
+    uOut = clampf(u, 0.0 - maxU, maxU);
+    /** SafeFlow Annotation assert(safe(uOut)) */
+    return uOut;
+}
+
+/* ---- status publication --------------------------------------------- */
+
+void publishStatus(float u0, float u1) {
+    statShm->u0 = u0;
+    statShm->u1 = u1;
+    statShm->lyap = lyapunov();
+    statShm->mode = modeCode;
+    statShm->seq = coreSeq;
+    statShm->accepted = accepted;
+    statShm->rejected = rejected;
+}
+
+/* ---- watchdog --------------------------------------------------------- */
+
+void watchdogStep(void) {
+    int hb;
+    int pid;
+    hb = ncShm->heartbeat;
+    if (hb == lastHb) {
+        missedHeartbeats = missedHeartbeats + 1;
+    } else {
+        missedHeartbeats = 0;
+        lastHb = hb;
+    }
+    if (missedHeartbeats > hbLimitTicks) {
+        pid = ncShm->clientPid;
+        kill(pid, SIG_TERM);
+        missedHeartbeats = 0;
+    }
+}
+
+/* ---- configuration handling (source of the paper's FPs) --------------- */
+
+void configApply(void)
+{
+    int rate;
+    int complexOn;
+    int plantSel;
+    int period;
+    int mode;
+    int chan;
+    int ramp;
+    int gsel;
+    int wd;
+
+    /* Each configuration read below is an unmonitored non-core access;
+     * the values only steer control flow, so the reports against the
+     * derived critical data are the paper's control-dependence false
+     * positives (§3.4.1). */
+    rate = cfgShm->sampleRateHz;
+    if (rate >= CFG_FAST_HZ) {
+        period = 5;
+    } else if (rate >= CFG_SLOW_HZ) {
+        period = 10;
+    } else {
+        period = 20;
+    }
+    /** SafeFlow Annotation assert(safe(period)) */
+    periodTicks = period;
+
+    complexOn = cfgShm->usesComplexCtrl;
+    if (complexOn == 1) {
+        mode = MODE_COMPLEX;
+    } else {
+        mode = MODE_SAFE;
+    }
+    /** SafeFlow Annotation assert(safe(mode)) */
+    modeCode = mode;
+
+    if (complexOn == 1) {
+        ramp = 50;
+    } else {
+        ramp = 100;
+    }
+    /** SafeFlow Annotation assert(safe(ramp)) */
+    rampRemaining = ramp;
+
+    plantSel = cfgShm->plantId;
+    if (plantSel == PLANT_ARM) {
+        chan = 1;
+    } else {
+        chan = 0;
+    }
+    /** SafeFlow Annotation assert(safe(chan)) */
+    chanMap0 = chan;
+
+    if (plantSel == PLANT_TANK) {
+        gsel = 1;
+    } else {
+        gsel = 0;
+    }
+    /** SafeFlow Annotation assert(safe(gsel)) */
+    kpSel = gsel;
+
+    wd = 4;
+    if (plantSel == PLANT_ARM) {
+        wd = 2;
+    }
+    hbLimitTicks = wd;
+}
+
+/* ---- tuning proposals -------------------------------------------------- */
+
+void tunePoll(void)
+{
+    int valid;
+    int plan;
+    valid = tuneShm->proposedValid;
+    if (valid == 1) {
+        plan = 25;
+    } else {
+        plan = 0;
+    }
+    /** SafeFlow Annotation assert(safe(plan)) */
+    tuneCooldown = plan;
+}
+
+
+/* ---- sensor calibration -------------------------------------------------- */
+
+float calOffset0;
+float calOffset1;
+float calScale0;
+float calScale1;
+float calDrift;
+
+void initCalibration(void) {
+    calOffset0 = 0.0031;
+    calOffset1 = 0.0009;
+    calScale0  = 0.9991;
+    calScale1  = 1.0018;
+    calDrift   = 0.0;
+}
+
+float calibrate0(float raw) {
+    float v;
+    v = (raw - calOffset0) * calScale0 - calDrift;
+    return clampf(v, 0.0 - 2.5, 2.5);
+}
+
+float calibrate1(float raw) {
+    float v;
+    v = (raw - calOffset1) * calScale1 - calDrift;
+    return clampf(v, 0.0 - 2.5, 2.5);
+}
+
+void updateDrift(float residual) {
+    calDrift = 0.999 * calDrift + 0.001 * residual;
+    calDrift = clampf(calDrift, 0.0 - 0.01, 0.01);
+}
+
+/* ---- fault management ------------------------------------------------------ */
+
+enum {
+    FLT_RANGE0 = 0,
+    FLT_RANGE1 = 1,
+    FLT_STUCK  = 2,
+    FLT_SAT    = 3,
+    FLT_N      = 4,
+    FLT_TRIP   = 6
+};
+
+int fltCount[FLT_N];
+int fltLatch;
+float lastRaw0;
+float lastRaw1;
+int stuckTicks;
+int satTicks;
+
+void clearFaults(void) {
+    int i;
+    for (i = 0; i < FLT_N; i++) {
+        fltCount[i] = 0;
+    }
+    fltLatch = 0;
+    stuckTicks = 0;
+    satTicks = 0;
+}
+
+void noteFault(int which) {
+    if (which < 0) return;
+    if (which >= FLT_N) return;
+    fltCount[which] = fltCount[which] + 1;
+    if (fltCount[which] > FLT_TRIP) {
+        fltLatch = 1;
+    }
+}
+
+void checkSensorFaults(float r0, float r1) {
+    if (r0 > 2.4) noteFault(FLT_RANGE0);
+    if (r0 < 0.0 - 2.4) noteFault(FLT_RANGE0);
+    if (r1 > 2.4) noteFault(FLT_RANGE1);
+    if (r1 < 0.0 - 2.4) noteFault(FLT_RANGE1);
+    if (absf(r0 - lastRaw0) < 0.000001 && absf(r1 - lastRaw1) < 0.000001) {
+        stuckTicks = stuckTicks + 1;
+        if (stuckTicks > 60) {
+            noteFault(FLT_STUCK);
+            stuckTicks = 0;
+        }
+    } else {
+        stuckTicks = 0;
+    }
+    lastRaw0 = r0;
+    lastRaw1 = r1;
+}
+
+void checkActuatorFault(float u) {
+    if (absf(u) >= uLimit0 - 0.01) {
+        satTicks = satTicks + 1;
+        if (satTicks > 60) {
+            noteFault(FLT_SAT);
+            satTicks = 0;
+        }
+    } else {
+        satTicks = 0;
+    }
+}
+
+/* ---- reference trajectory ---------------------------------------------------- */
+
+float refTarget;
+float refCurrent;
+float refRate;
+
+void initReference(void) {
+    refTarget  = 0.0;
+    refCurrent = 0.0;
+    refRate    = 0.0015;
+}
+
+float referenceStep(void) {
+    float d;
+    d = refTarget - refCurrent;
+    if (d > refRate) {
+        refCurrent = refCurrent + refRate;
+    } else if (d < 0.0 - refRate) {
+        refCurrent = refCurrent - refRate;
+    } else {
+        refCurrent = refTarget;
+    }
+    return refCurrent;
+}
+
+/* ---- secondary channel PI trim ------------------------------------------------ */
+
+float trimKp;
+float trimKi;
+float trimIntegral;
+float trimLimit;
+
+void initTrim(void) {
+    trimKp = 0.42;
+    trimKi = 0.05;
+    trimIntegral = 0.0;
+    trimLimit = 1.2;
+}
+
+float trimControl(float err) {
+    float u;
+    trimIntegral = trimIntegral + trimKi * err;
+    trimIntegral = clampf(trimIntegral, 0.0 - trimLimit, trimLimit);
+    u = trimKp * err + trimIntegral;
+    return clampf(u, 0.0 - uLimit1, uLimit1);
+}
+
+/* ---- core-owned shared publications -------------------------------------------- */
+
+void publishPerf(int loopUs) {
+    perfShm->loopTimeUs = loopUs;
+    if (loopUs > perfShm->maxLoopTimeUs) {
+        perfShm->maxLoopTimeUs = loopUs;
+    }
+    if (loopUs > 1000000 / CFG_FAST_HZ) {
+        perfShm->overruns = perfShm->overruns + 1;
+    }
+}
+
+void publishHistory(float u) {
+    int i;
+    for (i = 15; i > 0; i = i - 1) {
+        histShm->u[i] = histShm->u[i - 1];
+    }
+    histShm->u[0] = u;
+    histShm->head = histShm->head + 1;
+}
+
+/* ---- gain blending during mode transitions -------------------------------- */
+
+float blendAlpha;
+float blendRate;
+int blendActive;
+
+void initBlend(void) {
+    blendAlpha = 1.0;
+    blendRate = 0.02;
+    blendActive = 0;
+}
+
+void startBlend(void) {
+    blendAlpha = 0.0;
+    blendActive = 1;
+}
+
+float blendStep(float uNew, float uOld) {
+    float u;
+    if (blendActive == 0) {
+        return uNew;
+    }
+    blendAlpha = blendAlpha + blendRate;
+    if (blendAlpha >= 1.0) {
+        blendAlpha = 1.0;
+        blendActive = 0;
+    }
+    u = blendAlpha * uNew + (1.0 - blendAlpha) * uOld;
+    return u;
+}
+
+float lastCommand;
+
+/* ---- telemetry ---------------------------------------------------------- */
+
+void telemetry(void) {
+    logInt("core.seq", coreSeq);
+    logInt("core.accepted", accepted);
+    logInt("core.rejected", rejected);
+    logFloat("core.lyap", lyapunov());
+    logFloat("u.mean0", recentMean0());
+    logFloat("xhat0", xhat[0]);
+    logFloat("xhat1", xhat[1]);
+    logFloat("xhat2", xhat[2]);
+    logFloat("xhat3", xhat[3]);
+}
+
+/* ---- selftest ------------------------------------------------------------ */
+
+int selftest(void) {
+    float v;
+    int i;
+    for (i = 0; i < NSTATE; i++) {
+        xhat[i] = 0.01;
+    }
+    v = lyapunov();
+    if (v <= 0.0) return 0;
+    if (computeSafeControl() > uLimit0) return 0;
+    if (computeSafeControl() < 0.0 - uLimit0) return 0;
+    for (i = 0; i < NSTATE; i++) {
+        xhat[i] = 0.0;
+    }
+    return 1;
+}
+
+/* ---- main loop ------------------------------------------------------------ */
+
+void controlStep(void) {
+    float raw0;
+    float raw1;
+    float y0;
+    float y1;
+    float ref;
+    float safeU;
+    float uRaw;
+    float uOut;
+    float uTrim;
+    int t0;
+    int t1;
+
+    t0 = getTicks();
+    raw0 = readPlantSensor(0);
+    raw1 = readPlantSensor(1);
+    checkSensorFaults(raw0, raw1);
+    y0 = calibrate0(raw0);
+    y1 = calibrate1(raw1);
+
+    ref = referenceStep();
+    observerUpdate(y0 - ref, y1, recentMean0());
+    updateDrift(y0 - xhat[0]);
+    safeU = computeSafeControl();
+
+    uRaw = decisionStage(safeU);
+    uOut = limitCheck(uRaw);
+    if (fltLatch == 1) {
+        uOut = 0.0;
+    }
+    checkActuatorFault(uOut);
+
+    uOut = blendStep(uOut, lastCommand);
+    lastCommand = uOut;
+    uTrim = trimControl(0.0 - y1);
+    sendActuatorChan(chanMap0, uOut);
+    sendActuatorChan(1 - chanMap0, uTrim);
+    recordHistory(uRaw, uTrim);
+
+    publishSensors(y0, y1);
+    publishStatus(uOut, uTrim);
+    publishHistory(uOut);
+    coreSeq = coreSeq + 1;
+    t1 = getTicks();
+    publishPerf(t1 - t0);
+
+    if (rampRemaining > 0) {
+        rampRemaining = rampRemaining - 1;
+    }
+    if (tuneCooldown > 0) {
+        tuneCooldown = tuneCooldown - 1;
+    }
+}
+
+int main() {
+    initCartModel();
+    initTankModel();
+    initArmModel();
+    initObserverGains();
+    initLimits();
+    initCalibration();
+    initReference();
+    initTrim();
+    initBlend();
+    clearFaults();
+    initShm();
+    plantKind = PLANT_CART;
+    selectModel(plantKind);
+    hbLimitTicks = 4;
+    periodTicks = 10;
+    if (selftest() == 0) {
+        panicStop();
+        return 1;
+    }
+    configApply();
+    tunePoll();
+    while (1) {
+        controlStep();
+        watchdogStep();
+        if (coreSeq - (coreSeq / 100) * 100 == 0) {
+            telemetry();
+        }
+        timerWait(periodTicks);
+    }
+    return 0;
+}
+"#;

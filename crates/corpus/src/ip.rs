@@ -1,0 +1,941 @@
+//! System 1: the **inverted pendulum (IP) Simplex controller** (Table 1,
+//! row 1).
+//!
+//! Re-creation of the UIUC real-time lab's IP demonstration: a core
+//! controller balancing a single inverted pendulum, with a non-core
+//! "complex" controller and a UI communicating through four shared-memory
+//! regions. The §4 defect seeded here is the **kill-pid dependency**: the
+//! watchdog restarts the non-core client using a pid read from non-core
+//! shared memory — "this could easily be used to bring down the core
+//! component if the non-core component overwrote the value with the
+//! process id of the core component itself".
+//!
+//! Expected findings (checked by integration tests against the paper's
+//! Table 1 row): 7 warnings, 1 confirmed error (kill pid, data
+//! dependency), 2 control-dependence false positives (UI-driven status
+//! code and loop-period selection).
+
+use crate::{Defect, PaperRow, System};
+
+/// Returns the IP system description.
+pub fn system() -> System {
+    System {
+        name: "IP",
+        core_file: "ip_core.c",
+        core_source: CORE,
+        original_source: original(),
+        paper: PaperRow {
+            loc_total: 7079,
+            loc_core: 820,
+            source_changes: 7,
+            annotation_lines: 11,
+            errors: 1,
+            warnings: 7,
+            false_positives: 2,
+        },
+        defects: vec![Defect {
+            id: "ip-kill-pid",
+            critical: "kill:arg0",
+            description: "watchdog kills the pid read from unmonitored non-core shared memory \
+                          (paper §4: the non-core side could substitute the core's own pid)",
+        }],
+        noncore_seed: 0x1701,
+    }
+}
+
+/// The pre-annotation original: annotations stripped and the monitoring
+/// logic inlined in `controlStep` (the paper: "a very small number of
+/// source changes were required ... to separate the monitoring function,
+/// which was a part of a larger function").
+fn original() -> String {
+    let replaced = CORE.replace(DECISION_FN, "").replace(DECISION_CALL, DECISION_INLINE);
+    crate::strip_annotations(&replaced)
+}
+
+/// The separated monitoring function in the annotated version.
+const DECISION_FN: &str = r#"float decisionModule(float safeU)
+/** SafeFlow Annotation assume(core(ncShm, 0, sizeof(NCControl))) */
+{
+    float u;
+    int fresh;
+    fresh = 0;
+    if (ncShm->seq != lastNcSeq) {
+        lastNcSeq = ncShm->seq;
+        fresh = 1;
+    }
+    if (fresh == 1 && ncShm->valid == 1) {
+        u = ncShm->control;
+        if (envelopeOk(u)) {
+            ncAccepted = ncAccepted + 1;
+            return u;
+        }
+    }
+    ncRejected = ncRejected + 1;
+    return safeU;
+}
+"#;
+
+/// The call in the annotated version's `controlStep`.
+const DECISION_CALL: &str = "    u = decisionModule(safeU);";
+
+/// What the original did instead (monitoring inline).
+const DECISION_INLINE: &str = r#"    if (ncShm->seq != lastNcSeq && ncShm->valid == 1 && envelopeOk(ncShm->control)) {
+        lastNcSeq = ncShm->seq;
+        ncAccepted = ncAccepted + 1;
+        u = ncShm->control;
+    } else {
+        ncRejected = ncRejected + 1;
+        u = safeU;
+    }"#;
+
+/// Annotated core component source (the input to SafeFlow).
+pub const CORE: &str = r#"
+/* ============================================================
+ * Inverted Pendulum Simplex - core controller
+ *
+ * Core subsystem of the IP demonstration: balances the pendulum
+ * with a verified LQR safety controller and admits the non-core
+ * complex controller's output only when the Lyapunov envelope
+ * check passes (Simplex architecture).
+ * ============================================================ */
+
+enum {
+    HIST_N      = 32,
+    STATE_N     = 4,
+    MODE_SAFE   = 0,
+    MODE_COMPLEX = 1,
+    OP_NORMAL   = 0,
+    OP_FAST     = 1,
+    CMD_NONE    = 0,
+    CMD_START   = 1,
+    CMD_STOP    = 2,
+    CMD_FAST    = 3,
+    SIG_TERM    = 15,
+    HB_LIMIT    = 3,
+    SHM_KEY     = 5120
+};
+
+/* ---- shared memory layout -------------------------------- */
+
+typedef struct Feedback {
+    float track;
+    float angle;
+    float trackVel;
+    float angleVel;
+    int   seq;
+    int   displayAck;
+} Feedback;
+
+typedef struct NCControl {
+    float control;
+    int   seq;
+    int   valid;
+    int   computeTimeUs;
+    int   heartbeat;
+    int   clientPid;
+} NCControl;
+
+typedef struct StatusOut {
+    float control;
+    float track;
+    float angle;
+    int   mode;
+    int   seq;
+    int   statusCode;
+} StatusOut;
+
+typedef struct UICmd {
+    int command;
+    int resetCounters;
+    int padA;
+    int padB;
+} UICmd;
+
+Feedback  *fbShm;
+NCControl *ncShm;
+StatusOut *statShm;
+UICmd     *uiShm;
+
+/* ---- external services ------------------------------------ */
+
+int   shmget(int key, int size, int flags);
+void *shmat(int shmid, void *addr, int flags);
+float readTrackSensor(void);
+float readAngleSensor(void);
+void  sendActuator(float volts);
+int   kill(int pid, int sig);
+void  logInt(char *tag, int value);
+void  logFloat(char *tag, float value);
+void  timerWait(int ticks);
+int   getTicks(void);
+void  panicStop(void);
+
+/* ---- controller state -------------------------------------- */
+
+float xhat0;
+float xhat1;
+float xhat2;
+float xhat3;
+
+float gainSafe0;
+float gainSafe1;
+float gainSafe2;
+float gainSafe3;
+
+float obsA00; float obsA01; float obsA02; float obsA03;
+float obsA10; float obsA11; float obsA12; float obsA13;
+float obsA20; float obsA21; float obsA22; float obsA23;
+float obsA30; float obsA31; float obsA32; float obsA33;
+
+float obsL00; float obsL01;
+float obsL10; float obsL11;
+float obsL20; float obsL21;
+float obsL30; float obsL31;
+
+float lyapP00; float lyapP01; float lyapP02; float lyapP03;
+float lyapP11; float lyapP12; float lyapP13;
+float lyapP22; float lyapP23;
+float lyapP33;
+
+float envelopeLimit;
+float voltLimit;
+float trackLimit;
+float angleLimit;
+
+float histU[HIST_N];
+int   histHead;
+int   histCount;
+
+int running;
+int opRequested;
+int coreSeq;
+int lastNcSeq;
+int lastHb;
+int missedHeartbeats;
+int ncAccepted;
+int ncRejected;
+int logCount;
+int uiSyncs;
+
+/* ---- shared memory initialization (Figure 3 style) --------- */
+
+void initShm(void)
+/** SafeFlow Annotation shminit */
+{
+    void *base;
+    char *cursor;
+    int   shmid;
+    int   total;
+
+    total = sizeof(Feedback) + sizeof(NCControl)
+          + sizeof(StatusOut) + sizeof(UICmd);
+    shmid  = shmget(SHM_KEY, total, 0);
+    base   = shmat(shmid, 0, 0);
+    cursor = (char *) base;
+
+    fbShm   = (Feedback *) cursor;
+    cursor  = cursor + sizeof(Feedback);
+    ncShm   = (NCControl *) cursor;
+    cursor  = cursor + sizeof(NCControl);
+    statShm = (StatusOut *) cursor;
+    cursor  = cursor + sizeof(StatusOut);
+    uiShm   = (UICmd *) cursor;
+
+    /** SafeFlow Annotation
+        assume(shmvar(fbShm, sizeof(Feedback)))
+        assume(shmvar(ncShm, sizeof(NCControl)))
+        assume(shmvar(statShm, sizeof(StatusOut)))
+        assume(shmvar(uiShm, sizeof(UICmd)))
+        assume(noncore(fbShm))
+        assume(noncore(ncShm))
+        assume(noncore(uiShm))
+    */
+}
+
+/* ---- numerics ---------------------------------------------- */
+
+float clampf(float v, float lo, float hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+
+float absf(float v) {
+    if (v < 0.0) return 0.0 - v;
+    return v;
+}
+
+void initGains(void) {
+    /* Discrete LQR gains for the linearized cart-pole (dt = 10ms). */
+    gainSafe0 = 3.1623;
+    gainSafe1 = 4.2814;
+    gainSafe2 = 38.5712;
+    gainSafe3 = 6.9342;
+
+    /* Observer system matrix Phi = A - L*C (precomputed). */
+    obsA00 = 0.9992; obsA01 = 0.0099; obsA02 = 0.0006; obsA03 = 0.0000;
+    obsA10 = 0.0531; obsA11 = 0.9871; obsA12 = 0.1201; obsA13 = 0.0006;
+    obsA20 = 0.0002; obsA21 = 0.0000; obsA22 = 0.9989; obsA23 = 0.0100;
+    obsA30 = 0.0421; obsA31 = 0.0002; obsA32 = 0.2212; obsA33 = 0.9877;
+
+    /* Observer injection gains. */
+    obsL00 = 0.3412; obsL01 = 0.0021;
+    obsL10 = 1.0233; obsL11 = 0.0442;
+    obsL20 = 0.0018; obsL21 = 0.3821;
+    obsL30 = 0.0364; obsL31 = 1.1420;
+
+    /* Lyapunov matrix P (symmetric; upper triangle stored). */
+    lyapP00 = 12.441; lyapP01 = 3.022; lyapP02 = 9.871; lyapP03 = 1.442;
+    lyapP11 = 2.114;  lyapP12 = 3.672; lyapP13 = 0.731;
+    lyapP22 = 14.220; lyapP23 = 2.510;
+    lyapP33 = 1.309;
+
+    envelopeLimit = 48.0;
+    voltLimit     = 4.96;
+    trackLimit    = 1.20;
+    angleLimit    = 0.45;
+}
+
+void resetEstimator(void) {
+    xhat0 = 0.0;
+    xhat1 = 0.0;
+    xhat2 = 0.0;
+    xhat3 = 0.0;
+    histHead = 0;
+    histCount = 0;
+}
+
+/* Luenberger observer update from the two measured outputs. */
+void observerUpdate(float ytrack, float yangle, float u) {
+    float n0; float n1; float n2; float n3;
+    float rtrack; float rangle;
+
+    rtrack = ytrack - xhat0;
+    rangle = yangle - xhat2;
+
+    n0 = obsA00 * xhat0 + obsA01 * xhat1 + obsA02 * xhat2 + obsA03 * xhat3;
+    n1 = obsA10 * xhat0 + obsA11 * xhat1 + obsA12 * xhat2 + obsA13 * xhat3;
+    n2 = obsA20 * xhat0 + obsA21 * xhat1 + obsA22 * xhat2 + obsA23 * xhat3;
+    n3 = obsA30 * xhat0 + obsA31 * xhat1 + obsA32 * xhat2 + obsA33 * xhat3;
+
+    n1 = n1 + 0.0098 * u;
+    n3 = n3 + 0.0214 * u;
+
+    xhat0 = n0 + obsL00 * rtrack + obsL01 * rangle;
+    xhat1 = n1 + obsL10 * rtrack + obsL11 * rangle;
+    xhat2 = n2 + obsL20 * rtrack + obsL21 * rangle;
+    xhat3 = n3 + obsL30 * rtrack + obsL31 * rangle;
+}
+
+/* LQR state feedback with saturation. */
+float computeSafeControl(void) {
+    float u;
+    u = 0.0 - (gainSafe0 * xhat0 + gainSafe1 * xhat1
+             + gainSafe2 * xhat2 + gainSafe3 * xhat3);
+    u = clampf(u, 0.0 - voltLimit, voltLimit);
+    return u;
+}
+
+/* Lyapunov function V(xhat) = xhat' P xhat (upper-triangular expansion). */
+float lyapunov(void) {
+    float v;
+    v = lyapP00 * xhat0 * xhat0
+      + 2.0 * lyapP01 * xhat0 * xhat1
+      + 2.0 * lyapP02 * xhat0 * xhat2
+      + 2.0 * lyapP03 * xhat0 * xhat3
+      + lyapP11 * xhat1 * xhat1
+      + 2.0 * lyapP12 * xhat1 * xhat2
+      + 2.0 * lyapP13 * xhat1 * xhat3
+      + lyapP22 * xhat2 * xhat2
+      + 2.0 * lyapP23 * xhat2 * xhat3
+      + lyapP33 * xhat3 * xhat3;
+    return v;
+}
+
+/* Recoverability: applying u keeps the state in the Lyapunov
+ * stability envelope (Simplex decision rule). Pure core data. */
+int envelopeOk(float u) {
+    float v;
+    if (u > voltLimit) return 0;
+    if (u < 0.0 - voltLimit) return 0;
+    if (absf(xhat0) > trackLimit) return 0;
+    if (absf(xhat2) > angleLimit) return 0;
+    v = lyapunov();
+    if (v > envelopeLimit) return 0;
+    return 1;
+}
+
+void recordControl(float u) {
+    histU[histHead] = u;
+    histHead = histHead + 1;
+    if (histHead >= HIST_N) histHead = 0;
+    if (histCount < HIST_N) histCount = histCount + 1;
+}
+
+float meanRecentControl(void) {
+    float acc;
+    int i;
+    acc = 0.0;
+    if (histCount == 0) return 0.0;
+    for (i = 0; i < HIST_N; i++) {
+        acc = acc + histU[i];
+    }
+    return acc / histCount;
+}
+
+/* ---- Simplex decision module (the separated monitor) ------- */
+
+float decisionModule(float safeU)
+/** SafeFlow Annotation assume(core(ncShm, 0, sizeof(NCControl))) */
+{
+    float u;
+    int fresh;
+    fresh = 0;
+    if (ncShm->seq != lastNcSeq) {
+        lastNcSeq = ncShm->seq;
+        fresh = 1;
+    }
+    if (fresh == 1 && ncShm->valid == 1) {
+        u = ncShm->control;
+        if (envelopeOk(u)) {
+            ncAccepted = ncAccepted + 1;
+            return u;
+        }
+    }
+    ncRejected = ncRejected + 1;
+    return safeU;
+}
+
+/* ---- shared memory publication ------------------------------ */
+
+void publishFeedback(float ytrack, float yangle) {
+    fbShm->track    = ytrack;
+    fbShm->angle    = yangle;
+    fbShm->trackVel = xhat1;
+    fbShm->angleVel = xhat3;
+    fbShm->seq      = coreSeq;
+}
+
+void publishStatus(float u, float ytrack, float yangle) {
+    int statusCode;
+    statShm->control = u;
+    statShm->track   = ytrack;
+    statShm->angle   = yangle;
+    statShm->seq     = coreSeq;
+    if (running == 1) {
+        statusCode = 2;
+    } else {
+        statusCode = 1;
+    }
+    /** SafeFlow Annotation assert(safe(statusCode)) */
+    statShm->statusCode = statusCode;
+    statShm->mode = MODE_COMPLEX;
+}
+
+/* ---- housekeeping (non-core interactions) ------------------- */
+
+/* Watchdog: restart the non-core client when its heartbeat stalls.
+ * DEFECT (paper §4): the pid comes from non-core shared memory and
+ * is used without monitoring. */
+void watchdogCheck(void) {
+    int hb;
+    int pid;
+    int stalled;
+    int restarted;
+    stalled = 0;
+    restarted = 0;
+    hb = ncShm->heartbeat;
+    if (hb == lastHb) {
+        missedHeartbeats = missedHeartbeats + 1;
+        stalled = 1;
+    } else {
+        missedHeartbeats = 0;
+        lastHb = hb;
+    }
+    if (missedHeartbeats > HB_LIMIT) {
+        pid = ncShm->clientPid;
+        kill(pid, SIG_TERM);
+        missedHeartbeats = 0;
+        restarted = 1;
+    }
+    noteWatchdogCheck(stalled, restarted);
+}
+
+/* UI command polling: operator start/stop and speed requests. */
+void pollUiCommands(void) {
+    int cmd;
+    int rst;
+    cmd = uiShm->command;
+    if (cmd == CMD_START) {
+        running = 1;
+    }
+    if (cmd == CMD_STOP) {
+        running = 0;
+    }
+    if (cmd == CMD_FAST) {
+        opRequested = OP_FAST;
+    }
+    rst = uiShm->resetCounters;
+    if (rst == 1) {
+        logCount = 0;
+        ncAccepted = 0;
+        ncRejected = 0;
+    }
+}
+
+/* Loop-period selection from the requested operating mode. */
+int selectPeriod(void) {
+    int periodTicks;
+    if (opRequested == OP_FAST) {
+        periodTicks = 5;
+    } else {
+        periodTicks = 10;
+    }
+    /** SafeFlow Annotation assert(safe(periodTicks)) */
+    return periodTicks;
+}
+
+/* Jitter statistics from the non-core controller, for the log. */
+void logJitter(void) {
+    int ct;
+    int sq;
+    ct = ncShm->computeTimeUs;
+    sq = ncShm->seq;
+    logInt("nc.computeTimeUs", ct);
+    logInt("nc.seq", sq);
+    logInt("nc.accepted", ncAccepted);
+    logInt("nc.rejected", ncRejected);
+    logFloat("u.mean", meanRecentControl());
+    logCount = logCount + 1;
+}
+
+/* Display handshake: note when the UI consumed the last frame. */
+void displayHandshake(void) {
+    int ack;
+    ack = fbShm->displayAck;
+    if (ack == coreSeq) {
+        uiSyncs = uiSyncs + 1;
+    }
+}
+
+
+/* ---- sensor conditioning ------------------------------------ */
+
+float trackOffset;
+float trackScale;
+float angleOffset;
+float angleScale;
+
+float bqTrackB0; float bqTrackB1; float bqTrackB2;
+float bqTrackA1; float bqTrackA2;
+float bqTrackZ1; float bqTrackZ2;
+
+float bqAngleB0; float bqAngleB1; float bqAngleB2;
+float bqAngleA1; float bqAngleA2;
+float bqAngleZ1; float bqAngleZ2;
+
+void initFilters(void) {
+    /* 2nd-order Butterworth, 35 Hz cutoff at 100 Hz sampling. */
+    bqTrackB0 = 0.4459; bqTrackB1 = 0.8918; bqTrackB2 = 0.4459;
+    bqTrackA1 = 0.7478; bqTrackA2 = 0.2722;
+    bqTrackZ1 = 0.0;    bqTrackZ2 = 0.0;
+
+    bqAngleB0 = 0.2066; bqAngleB1 = 0.4131; bqAngleB2 = 0.2066;
+    bqAngleA1 = 0.3695; bqAngleA2 = 0.1958;
+    bqAngleZ1 = 0.0;    bqAngleZ2 = 0.0;
+
+    trackOffset = 0.0042;
+    trackScale  = 0.9987;
+    angleOffset = 0.0008;
+    angleScale  = 1.0034;
+}
+
+float filterTrack(float x) {
+    float y;
+    y = bqTrackB0 * x + bqTrackZ1;
+    bqTrackZ1 = bqTrackB1 * x - bqTrackA1 * y + bqTrackZ2;
+    bqTrackZ2 = bqTrackB2 * x - bqTrackA2 * y;
+    return y;
+}
+
+float filterAngle(float x) {
+    float y;
+    y = bqAngleB0 * x + bqAngleZ1;
+    bqAngleZ1 = bqAngleB1 * x - bqAngleA1 * y + bqAngleZ2;
+    bqAngleZ2 = bqAngleB2 * x - bqAngleA2 * y;
+    return y;
+}
+
+float calibrateTrack(float raw) {
+    float v;
+    v = (raw - trackOffset) * trackScale;
+    return clampf(v, 0.0 - 2.0, 2.0);
+}
+
+float calibrateAngle(float raw) {
+    float v;
+    v = (raw - angleOffset) * angleScale;
+    return clampf(v, 0.0 - 1.0, 1.0);
+}
+
+/* ---- fault management --------------------------------------- */
+
+enum {
+    FAULT_TRACK_RANGE = 0,
+    FAULT_ANGLE_RANGE = 1,
+    FAULT_SENSOR_STUCK = 2,
+    FAULT_ACT_SAT = 3,
+    FAULT_N = 4,
+    FAULT_TRIP = 5,
+    STUCK_TICKS = 50
+};
+
+int faultCount[FAULT_N];
+int faultLatch;
+float lastRawTrack;
+float lastRawAngle;
+int stuckTicks;
+int satTicks;
+
+void clearFaults(void) {
+    int i;
+    for (i = 0; i < FAULT_N; i++) {
+        faultCount[i] = 0;
+    }
+    faultLatch = 0;
+    stuckTicks = 0;
+    satTicks = 0;
+}
+
+void noteFault(int which) {
+    if (which < 0) return;
+    if (which >= FAULT_N) return;
+    faultCount[which] = faultCount[which] + 1;
+    if (faultCount[which] > FAULT_TRIP) {
+        faultLatch = 1;
+    }
+}
+
+void checkSensorFaults(float rawTrack, float rawAngle) {
+    if (rawTrack > 1.9) noteFault(FAULT_TRACK_RANGE);
+    if (rawTrack < 0.0 - 1.9) noteFault(FAULT_TRACK_RANGE);
+    if (rawAngle > 0.9) noteFault(FAULT_ANGLE_RANGE);
+    if (rawAngle < 0.0 - 0.9) noteFault(FAULT_ANGLE_RANGE);
+
+    if (absf(rawTrack - lastRawTrack) < 0.000001
+        && absf(rawAngle - lastRawAngle) < 0.000001) {
+        stuckTicks = stuckTicks + 1;
+        if (stuckTicks > STUCK_TICKS) {
+            noteFault(FAULT_SENSOR_STUCK);
+            stuckTicks = 0;
+        }
+    } else {
+        stuckTicks = 0;
+    }
+    lastRawTrack = rawTrack;
+    lastRawAngle = rawAngle;
+}
+
+void checkActuatorFault(float u) {
+    float m;
+    m = absf(u);
+    if (m >= voltLimit - 0.01) {
+        satTicks = satTicks + 1;
+        if (satTicks > STUCK_TICKS) {
+            noteFault(FAULT_ACT_SAT);
+            satTicks = 0;
+        }
+    } else {
+        satTicks = 0;
+    }
+}
+
+/* ---- command shaping ----------------------------------------- */
+
+float slewLimit;
+float deadband;
+float lastSentU;
+
+void initShaping(void) {
+    slewLimit = 0.35;
+    deadband  = 0.015;
+    lastSentU = 0.0;
+}
+
+float shapeControl(float u) {
+    float delta;
+    delta = u - lastSentU;
+    if (delta > slewLimit) {
+        u = lastSentU + slewLimit;
+    }
+    if (delta < 0.0 - slewLimit) {
+        u = lastSentU - slewLimit;
+    }
+    if (absf(u) < deadband) {
+        u = 0.0;
+    }
+    lastSentU = u;
+    return u;
+}
+
+/* ---- reference generator -------------------------------------- */
+
+float refTarget;
+float refCurrent;
+float refRate;
+
+void initReference(void) {
+    refTarget  = 0.0;
+    refCurrent = 0.0;
+    refRate    = 0.002;
+}
+
+float referenceStep(void) {
+    float d;
+    d = refTarget - refCurrent;
+    if (d > refRate) {
+        refCurrent = refCurrent + refRate;
+    } else if (d < 0.0 - refRate) {
+        refCurrent = refCurrent - refRate;
+    } else {
+        refCurrent = refTarget;
+    }
+    return refCurrent;
+}
+
+/* ---- energy bookkeeping ---------------------------------------- */
+
+float energyEstimate;
+float frictionCoeff;
+
+void initEnergy(void) {
+    energyEstimate = 0.0;
+    frictionCoeff  = 0.018;
+}
+
+float frictionCompensation(void) {
+    float comp;
+    if (xhat1 > 0.001) {
+        comp = frictionCoeff;
+    } else if (xhat1 < 0.0 - 0.001) {
+        comp = 0.0 - frictionCoeff;
+    } else {
+        comp = 0.0;
+    }
+    return comp;
+}
+
+void updateEnergy(float u) {
+    float p;
+    p = u * xhat1;
+    energyEstimate = 0.995 * energyEstimate + 0.005 * absf(p);
+}
+
+/* ---- startup homing -------------------------------------------- */
+
+int homed;
+
+int homeTrolley(void) {
+    int start;
+    int now;
+    float pos;
+    start = getTicks();
+    pos = readTrackSensor();
+    while (absf(pos) > 0.02) {
+        if (pos > 0.0) {
+            sendActuator(0.0 - 0.8);
+        } else {
+            sendActuator(0.8);
+        }
+        timerWait(2);
+        pos = readTrackSensor();
+        now = getTicks();
+        if (now - start > 2000) {
+            sendActuator(0.0);
+            return 0;
+        }
+    }
+    sendActuator(0.0);
+    homed = 1;
+    return 1;
+}
+
+/* ---- diagnostics ------------------------------------------------ */
+
+void dumpDiagnostics(void) {
+    logFloat("xhat.track", xhat0);
+    logFloat("xhat.trackVel", xhat1);
+    logFloat("xhat.angle", xhat2);
+    logFloat("xhat.angleVel", xhat3);
+    logFloat("lyapunov", lyapunov());
+    logFloat("energy", energyEstimate);
+    logInt("fault.trackRange", faultCount[FAULT_TRACK_RANGE]);
+    logInt("fault.angleRange", faultCount[FAULT_ANGLE_RANGE]);
+    logInt("fault.stuck", faultCount[FAULT_SENSOR_STUCK]);
+    logInt("fault.sat", faultCount[FAULT_ACT_SAT]);
+    logInt("fault.latch", faultLatch);
+    logInt("core.seq", coreSeq);
+    logInt("ui.syncs", uiSyncs);
+    logInt("homed", homed);
+}
+
+
+/* ---- supply-voltage compensation ----------------------------- */
+
+float supplyNominal;
+float supplyMeasured;
+float supplyAlpha;
+
+void initSupply(void) {
+    supplyNominal  = 12.0;
+    supplyMeasured = 12.0;
+    supplyAlpha    = 0.02;
+}
+
+float readSupplyVolts(void);
+
+void updateSupply(void) {
+    float raw;
+    raw = readSupplyVolts();
+    if (raw < 8.0) raw = 8.0;
+    if (raw > 16.0) raw = 16.0;
+    supplyMeasured = (1.0 - supplyAlpha) * supplyMeasured + supplyAlpha * raw;
+}
+
+/* Scale the command so the delivered force is supply-independent. */
+float supplyCompensate(float u) {
+    float ratio;
+    ratio = supplyNominal / supplyMeasured;
+    if (ratio < 0.8) ratio = 0.8;
+    if (ratio > 1.3) ratio = 1.3;
+    return u * ratio;
+}
+
+/* ---- watchdog statistics --------------------------------------- */
+
+int wdChecks;
+int wdStalls;
+int wdRestarts;
+int wdMaxStall;
+
+void initWatchdogStats(void) {
+    wdChecks = 0;
+    wdStalls = 0;
+    wdRestarts = 0;
+    wdMaxStall = 0;
+}
+
+void noteWatchdogCheck(int stalled, int restarted) {
+    wdChecks = wdChecks + 1;
+    if (stalled == 1) {
+        wdStalls = wdStalls + 1;
+        if (missedHeartbeats > wdMaxStall) {
+            wdMaxStall = missedHeartbeats;
+        }
+    }
+    if (restarted == 1) {
+        wdRestarts = wdRestarts + 1;
+    }
+}
+
+void dumpWatchdogStats(void) {
+    logInt("wd.checks", wdChecks);
+    logInt("wd.stalls", wdStalls);
+    logInt("wd.restarts", wdRestarts);
+    logInt("wd.maxStall", wdMaxStall);
+}
+
+/* ---- main control step -------------------------------------- */
+
+void controlStep(void) {
+    float rawTrack;
+    float rawAngle;
+    float ytrack;
+    float yangle;
+    float safeU;
+    float ref;
+    float u;
+
+    rawTrack = readTrackSensor();
+    rawAngle = readAngleSensor();
+    checkSensorFaults(rawTrack, rawAngle);
+
+    ytrack = filterTrack(calibrateTrack(rawTrack));
+    yangle = filterAngle(calibrateAngle(rawAngle));
+
+    ref = referenceStep();
+    observerUpdate(ytrack - ref, yangle, meanRecentControl());
+    safeU = computeSafeControl() + frictionCompensation();
+    safeU = clampf(safeU, 0.0 - voltLimit, voltLimit);
+
+    u = decisionModule(safeU);
+
+    if (faultLatch == 1) {
+        u = 0.0;
+    }
+    u = shapeControl(u);
+    u = supplyCompensate(u);
+    u = clampf(u, 0.0 - voltLimit, voltLimit);
+    checkActuatorFault(u);
+    updateEnergy(u);
+    /** SafeFlow Annotation assert(safe(u)) */
+    sendActuator(u);
+    recordControl(u);
+
+    publishFeedback(ytrack, yangle);
+    publishStatus(u, ytrack, yangle);
+    coreSeq = coreSeq + 1;
+}
+
+int selftest(void) {
+    float v;
+    resetEstimator();
+    xhat0 = 0.05;
+    xhat2 = 0.02;
+    v = lyapunov();
+    if (v <= 0.0) return 0;
+    if (computeSafeControl() > voltLimit) return 0;
+    if (computeSafeControl() < 0.0 - voltLimit) return 0;
+    resetEstimator();
+    return 1;
+}
+
+int main() {
+    int period;
+    initGains();
+    initFilters();
+    initShaping();
+    initSupply();
+    initWatchdogStats();
+    initReference();
+    initEnergy();
+    clearFaults();
+    resetEstimator();
+    initShm();
+    if (selftest() == 0) {
+        panicStop();
+        return 1;
+    }
+    if (homeTrolley() == 0) {
+        panicStop();
+        return 1;
+    }
+    running = 1;
+    while (1) {
+        controlStep();
+        watchdogCheck();
+        pollUiCommands();
+        logJitter();
+        displayHandshake();
+        updateSupply();
+        if (logCount >= 100) {
+            dumpDiagnostics();
+            dumpWatchdogStats();
+            logCount = 0;
+        }
+        period = selectPeriod();
+        timerWait(period);
+    }
+    return 0;
+}
+"#;

@@ -1,0 +1,275 @@
+//! # safeflow-corpus
+//!
+//! The benchmark corpus for the SafeFlow reproduction: re-creations of the
+//! three laboratory control systems the paper evaluates (Table 1) —
+//!
+//! 1. the **inverted pendulum** (IP) Simplex controller,
+//! 2. the **generic Simplex** implementation for simple plants, and
+//! 3. the **double inverted pendulum** controller —
+//!
+//! each written in the restricted C subset with the paper's annotations and
+//! with the five §4 defects seeded back in (kill-pid dependencies, the
+//! rigged sensor feedback in generic Simplex, the invalid value-propagation
+//! assumption in the double-IP controller), plus the control-dependence
+//! false-positive patterns §3.4.1 describes.
+//!
+//! Also provides the paper's Figure 2 running example, a deterministic
+//! non-core component generator (for total-LOC accounting — the analysis
+//! only ever sees the core component, as in the paper), and a synthetic
+//! core-component generator for the scaling benchmarks.
+
+#![warn(missing_docs)]
+
+mod double_ip;
+mod fig2;
+mod generic;
+mod ip;
+pub mod noncore_gen;
+pub mod synthetic;
+
+/// The paper's numbers for one Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperRow {
+    /// Total system LOC (core + non-core).
+    pub loc_total: usize,
+    /// Core component LOC (what the analysis sees).
+    pub loc_core: usize,
+    /// Source lines changed to annotate/port the system.
+    pub source_changes: usize,
+    /// Annotation line count.
+    pub annotation_lines: usize,
+    /// Confirmed erroneous dependencies.
+    pub errors: usize,
+    /// Unmonitored-access warnings.
+    pub warnings: usize,
+    /// False positives (control-dependence reports dismissed by triage).
+    pub false_positives: usize,
+}
+
+/// A seeded defect, reconstructed from the paper's §4 narrative.
+#[derive(Debug, Clone)]
+pub struct Defect {
+    /// Short identifier (used by tests and the Table 1 harness).
+    pub id: &'static str,
+    /// The critical datum the report must name (assert variable or
+    /// `function:argN` for implicit critical calls).
+    pub critical: &'static str,
+    /// What the paper said about it.
+    pub description: &'static str,
+}
+
+/// One corpus system.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// Display name (matches Table 1).
+    pub name: &'static str,
+    /// File name for the core component source.
+    pub core_file: &'static str,
+    /// Annotated core component (what SafeFlow analyzes).
+    pub core_source: &'static str,
+    /// The pre-annotation original (for the source-changes diff).
+    pub original_source: String,
+    /// The paper's Table 1 row for this system.
+    pub paper: PaperRow,
+    /// Seeded defects (the paper's confirmed errors).
+    pub defects: Vec<Defect>,
+    /// Seed for the deterministic non-core padding generator so
+    /// `total_loc()` is stable.
+    pub noncore_seed: u64,
+}
+
+impl System {
+    /// Lines of code of the annotated core component.
+    pub fn core_loc(&self) -> usize {
+        count_loc(self.core_source)
+    }
+
+    /// Total system LOC: core + deterministically generated non-core
+    /// component (the analysis never sees the latter, as in the paper).
+    pub fn total_loc(&self) -> usize {
+        self.core_loc() + noncore_gen::noncore_loc(self)
+    }
+
+    /// Number of source lines that differ between the original and the
+    /// annotated core, excluding pure annotation insertions (the paper's
+    /// "Source Changes" column; annotations are counted separately).
+    pub fn source_change_lines(&self) -> usize {
+        diff_changed_lines(
+            &strip_annotations(&self.original_source),
+            &strip_annotations(self.core_source),
+        )
+    }
+
+    /// Number of annotation lines in the annotated core (lines inside
+    /// SafeFlow annotation comments that carry a fact).
+    pub fn annotation_lines(&self) -> usize {
+        count_annotation_lines(self.core_source)
+    }
+}
+
+/// All three Table 1 systems, in the paper's order.
+pub fn systems() -> Vec<System> {
+    vec![ip::system(), generic::system(), double_ip::system()]
+}
+
+/// The paper's Figure 2/3 running example (core controller of the IP
+/// Simplex implementation, simplified).
+pub fn figure2_example() -> &'static str {
+    fig2::FIGURE2
+}
+
+/// Counts non-blank, non-pure-comment lines — the LOC convention used for
+/// all corpus numbers.
+pub fn count_loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .filter(|l| !l.starts_with("//"))
+        .filter(|l| !(l.starts_with("/*") && l.ends_with("*/") && !l.contains("SafeFlow")))
+        .count()
+}
+
+/// Counts lines that carry SafeFlow annotation facts.
+pub fn count_annotation_lines(src: &str) -> usize {
+    let mut count = 0;
+    let mut in_annotation = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.contains("SafeFlow Annotation") {
+            in_annotation = true;
+            // Facts may share the marker line.
+            if t.contains("assume(") || t.contains("assert(") || t.contains("shminit") {
+                count += 1;
+            }
+        } else if in_annotation
+            && (t.contains("assume(") || t.contains("assert(") || t.contains("shminit"))
+        {
+            count += 1;
+        }
+        if in_annotation && t.contains("*/") {
+            in_annotation = false;
+        }
+    }
+    count
+}
+
+/// Removes SafeFlow annotation comment lines (used when diffing source
+/// changes, which the paper counts separately from annotations).
+pub fn strip_annotations(src: &str) -> String {
+    let mut out = String::new();
+    let mut in_annotation = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.contains("SafeFlow Annotation") {
+            in_annotation = true;
+        }
+        let skip = in_annotation;
+        if in_annotation && t.contains("*/") {
+            in_annotation = false;
+        }
+        if !skip {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A minimal line-based diff: number of lines changed/added/removed from
+/// `old` to `new` (longest-common-subsequence based).
+pub fn diff_changed_lines(old: &str, new: &str) -> usize {
+    let a: Vec<&str> = old.lines().map(str::trim_end).collect();
+    let b: Vec<&str> = new.lines().map(str::trim_end).collect();
+    let n = a.len();
+    let m = b.len();
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let common = lcs[0][0] as usize;
+    (n - common) + (m - common)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_systems_present() {
+        let all = systems();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].name, "IP");
+        assert_eq!(all[1].name, "Generic Simplex");
+        assert_eq!(all[2].name, "Double IP");
+    }
+
+    #[test]
+    fn loc_counter_skips_blanks_and_comments() {
+        let src = "int a;\n\n// comment\n/* c */\nint b;\n";
+        assert_eq!(count_loc(src), 2);
+    }
+
+    #[test]
+    fn annotation_line_counter() {
+        let src = r#"
+            void f(void)
+            /** SafeFlow Annotation shminit */
+            {
+                /** SafeFlow Annotation
+                    assume(shmvar(a, 4))
+                    assume(noncore(a))
+                */
+            }
+        "#;
+        assert_eq!(count_annotation_lines(src), 3);
+    }
+
+    #[test]
+    fn diff_counts_changed_lines() {
+        let old = "a\nb\nc\n";
+        let new = "a\nB\nc\nd\n";
+        // b removed, B added, d added = 3.
+        assert_eq!(diff_changed_lines(old, new), 3);
+        assert_eq!(diff_changed_lines(old, old), 0);
+    }
+
+    #[test]
+    fn paper_rows_match_table1() {
+        let all = systems();
+        assert_eq!(all[0].paper.errors, 1);
+        assert_eq!(all[0].paper.warnings, 7);
+        assert_eq!(all[0].paper.false_positives, 2);
+        assert_eq!(all[1].paper.errors, 2);
+        assert_eq!(all[1].paper.warnings, 7);
+        assert_eq!(all[1].paper.false_positives, 6);
+        assert_eq!(all[2].paper.errors, 2);
+        assert_eq!(all[2].paper.warnings, 8);
+        assert_eq!(all[2].paper.false_positives, 2);
+    }
+
+    #[test]
+    fn defect_manifests_match_paper_narrative() {
+        let all = systems();
+        // kill-pid in all three (§4: "In all the three systems").
+        for s in &all {
+            assert!(
+                s.defects.iter().any(|d| d.critical.contains("kill")),
+                "{} must seed the kill-pid defect",
+                s.name
+            );
+        }
+        // Rigged feedback only in generic Simplex.
+        assert!(all[1].defects.iter().any(|d| d.id.contains("rigged")));
+        // Invalid assumption only in double IP.
+        assert!(all[2].defects.iter().any(|d| d.id.contains("assumption")));
+        // Five confirmed defects in total.
+        let total: usize = all.iter().map(|s| s.defects.len()).sum();
+        assert_eq!(total, 5);
+    }
+}

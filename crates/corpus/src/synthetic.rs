@@ -1,0 +1,137 @@
+//! Synthetic core-component generator for the scaling benchmarks.
+//!
+//! Produces annotated C programs with a controllable shape: `R` shared
+//! regions, `M` monitoring functions each assuming a different region, and
+//! a shared helper chain of depth `D` called from every monitor. The
+//! context-sensitive engine re-analyzes the helper chain once per
+//! assumption context (≈ `M × D` function analyses), while the summary
+//! engine summarizes each function once — the §3.3 trade-off the
+//! `engine_scaling` bench measures.
+
+/// Shape of a generated program.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticParams {
+    /// Number of shared-memory regions (each gets its own monitor flag).
+    pub regions: usize,
+    /// Number of monitoring functions (each assumes one region).
+    pub monitors: usize,
+    /// Depth of the shared helper call chain.
+    pub depth: usize,
+    /// Extra branches per helper (path count pressure).
+    pub branches: usize,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams { regions: 4, monitors: 4, depth: 6, branches: 2 }
+    }
+}
+
+/// Generates an annotated core component with the given shape.
+pub fn generate_core(p: SyntheticParams) -> String {
+    let regions = p.regions.max(1);
+    let monitors = p.monitors.max(1).min(regions);
+    let depth = p.depth.max(1);
+    let branches = p.branches;
+
+    let mut out = String::new();
+    out.push_str("/* synthetic core component (generated) */\n");
+    out.push_str("typedef struct Blk { float v; int seq; int flag; int pad; } Blk;\n");
+    for r in 0..regions {
+        out.push_str(&format!("Blk *reg{r};\n"));
+    }
+    out.push_str("int shmget(int key, int size, int flags);\n");
+    out.push_str("void *shmat(int shmid, void *addr, int flags);\n");
+    out.push_str("void sink(float v);\n");
+    out.push_str("float source(void);\n\n");
+
+    // Init function.
+    out.push_str("void initShm(void)\n/** SafeFlow Annotation shminit */\n{\n");
+    out.push_str("    char *cursor;\n    int shmid;\n");
+    out.push_str(&format!(
+        "    shmid = shmget(77, {regions} * sizeof(Blk), 0);\n"
+    ));
+    out.push_str("    cursor = (char *) shmat(shmid, 0, 0);\n");
+    for r in 0..regions {
+        out.push_str(&format!("    reg{r} = (Blk *) cursor;\n"));
+        out.push_str("    cursor = cursor + sizeof(Blk);\n");
+    }
+    out.push_str("    /** SafeFlow Annotation\n");
+    for r in 0..regions {
+        out.push_str(&format!("        assume(shmvar(reg{r}, sizeof(Blk)))\n"));
+    }
+    for r in 0..regions {
+        out.push_str(&format!("        assume(noncore(reg{r}))\n"));
+    }
+    out.push_str("    */\n}\n\n");
+
+    // Helper chain: each level does arithmetic and branches, bottoming out
+    // in a region read (monitored or not depending on the caller's
+    // assumption context).
+    for d in (0..depth).rev() {
+        out.push_str(&format!("float helper{d}(float x, int which) {{\n"));
+        out.push_str("    float acc;\n    acc = x * 1.03125 + 0.5;\n");
+        for b in 0..branches {
+            out.push_str(&format!(
+                "    if (which > {b}) {{ acc = acc + {b}.25; }} else {{ acc = acc - 0.125; }}\n"
+            ));
+        }
+        if d + 1 < depth {
+            out.push_str(&format!("    acc = acc + helper{}(acc, which + 1);\n", d + 1));
+        } else {
+            // Deepest level reads region 0 through the shared global.
+            out.push_str("    acc = acc + reg0->v;\n");
+        }
+        out.push_str("    return acc;\n}\n\n");
+    }
+
+    // Monitors: each assumes its own region, reads it, and runs the shared
+    // helper chain.
+    for m in 0..monitors {
+        let r = m % regions;
+        out.push_str(&format!(
+            "float monitor{m}(float fallback)\n/** SafeFlow Annotation assume(core(reg{r}, 0, sizeof(Blk))) */\n{{\n"
+        ));
+        out.push_str(&format!("    float v;\n    v = reg{r}->v;\n"));
+        out.push_str("    if (v > 5.0) return fallback;\n");
+        out.push_str("    if (v < 0.0 - 5.0) return fallback;\n");
+        out.push_str(&format!("    return v + helper0(v, {m});\n"));
+        out.push_str("}\n\n");
+    }
+
+    // Main: call the monitors, assert the combined output.
+    out.push_str("int main() {\n    float u;\n    float s;\n    initShm();\n    s = source();\n    u = 0.0;\n");
+    for m in 0..monitors {
+        out.push_str(&format!("    u = u + monitor{m}(s);\n"));
+    }
+    out.push_str("    /** SafeFlow Annotation assert(safe(u)) */\n");
+    out.push_str("    sink(u);\n    return 0;\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_program_has_expected_shape() {
+        let src = generate_core(SyntheticParams { regions: 3, monitors: 3, depth: 4, branches: 1 });
+        assert!(src.contains("monitor2"));
+        assert!(src.contains("helper3"));
+        assert!(src.contains("assume(shmvar(reg2"));
+        assert!(src.contains("assert(safe(u))"));
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let p = SyntheticParams::default();
+        assert_eq!(generate_core(p), generate_core(p));
+    }
+
+    #[test]
+    fn scales_with_depth() {
+        let small = generate_core(SyntheticParams { depth: 2, ..Default::default() });
+        let large = generate_core(SyntheticParams { depth: 12, ..Default::default() });
+        assert!(crate::count_loc(&large) > crate::count_loc(&small));
+    }
+}

@@ -1,0 +1,212 @@
+//! Control-dependence graph (Ferrante–Ottenstein–Warren construction from
+//! the post-dominator tree).
+//!
+//! Block `B` is control-dependent on block `A` when `A` has an outgoing
+//! edge `A→S` such that `B` post-dominates `S` but `B` does not
+//! post-dominate `A` — i.e., `A`'s branch decides whether `B` runs. Phase 3
+//! of SafeFlow taints values defined in blocks that are control-dependent
+//! on branches over unsafe values (paper §3.3/§3.4.1 — the source of the
+//! analysis's classified false positives).
+
+use crate::postdom::PostDomTree;
+use safeflow_ir::{BlockId, Cfg, Function};
+use std::collections::HashSet;
+
+/// Control dependences of one function.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// `deps[b]` = blocks whose branch decisions `b` is control-dependent
+    /// on (the controlling blocks).
+    deps: Vec<Vec<BlockId>>,
+    /// `controls[a]` = blocks control-dependent on `a`.
+    controls: Vec<Vec<BlockId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences of `func`.
+    pub fn build(func: &Function, cfg: &Cfg, pdom: &PostDomTree) -> ControlDeps {
+        let n = func.blocks.len();
+        let mut deps: Vec<HashSet<BlockId>> = vec![HashSet::new(); n];
+        for a in 0..n {
+            let aid = BlockId(a as u32);
+            if !cfg.is_reachable(aid) {
+                continue;
+            }
+            let succs = cfg.succs_of(aid);
+            if succs.len() < 2 {
+                continue; // only branch points control anything
+            }
+            for &s in succs {
+                // Walk the post-dominator chain from s up to (but not
+                // including) ipdom(a); every node on the way is
+                // control-dependent on a.
+                let stop = pdom.immediate(aid);
+                let mut cur = Some(s.0 as usize);
+                let mut guard = 0;
+                while let Some(c) = cur {
+                    if Some(c) == stop || c == crate::postdom::VIRTUAL_EXIT {
+                        break;
+                    }
+                    let cid = BlockId(c as u32);
+                    // a is control-dependent on itself in loops; FOW keeps
+                    // that case (when a post-dominates its own successor
+                    // chain up to itself).
+                    deps[c].insert(aid);
+                    cur = pdom.immediate(cid);
+                    guard += 1;
+                    if guard > n + 2 {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut controls: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let deps_out: Vec<Vec<BlockId>> = deps
+            .into_iter()
+            .enumerate()
+            .map(|(b, set)| {
+                let mut v: Vec<BlockId> = set.into_iter().collect();
+                v.sort();
+                for &a in &v {
+                    controls[a.0 as usize].push(BlockId(b as u32));
+                }
+                v
+            })
+            .collect();
+        ControlDeps { deps: deps_out, controls }
+    }
+
+    /// Blocks whose branches decide whether `b` executes.
+    pub fn controlling(&self, b: BlockId) -> &[BlockId] {
+        &self.deps[b.0 as usize]
+    }
+
+    /// Blocks whose execution is decided by `a`'s branch.
+    pub fn controlled_by(&self, a: BlockId) -> &[BlockId] {
+        &self.controls[a.0 as usize]
+    }
+
+    /// Transitive closure of controlling blocks for `b` (not including `b`
+    /// unless it controls itself through a loop).
+    pub fn controlling_transitive(&self, b: BlockId) -> HashSet<BlockId> {
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        let mut work: Vec<BlockId> = self.controlling(b).to_vec();
+        while let Some(a) = work.pop() {
+            if seen.insert(a) {
+                work.extend(self.controlling(a).iter().copied());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeflow_ir::{build_module, InstKind, Terminator};
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+
+    fn cdeps(src: &str, name: &str) -> (safeflow_ir::Module, safeflow_ir::FuncId, ControlDeps) {
+        let pr = parse_source("t.c", src);
+        assert!(!pr.diags.has_errors());
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        let fid = m.function_by_name(name).unwrap();
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let pdom = PostDomTree::build(f, &cfg);
+        let cd = ControlDeps::build(f, &cfg, &pdom);
+        (m, fid, cd)
+    }
+
+    #[test]
+    fn if_arms_depend_on_condition_block() {
+        let (m, fid, cd) = cdeps(
+            "int g(void); int f(int x) { int r = 0; if (x) r = g(); return r; }",
+            "f",
+        );
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let entry = f.entry();
+        // The then-block is control-dependent on the entry (which branches).
+        let then_bb = cfg.succs_of(entry)[0];
+        assert!(cd.controlling(then_bb).contains(&entry));
+        assert!(cd.controlled_by(entry).contains(&then_bb));
+    }
+
+    #[test]
+    fn join_not_dependent_on_branch() {
+        let (m, fid, cd) = cdeps(
+            "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }",
+            "f",
+        );
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let join = f
+            .iter_blocks()
+            .map(|(b, _)| b)
+            .find(|&b| cfg.preds_of(b).len() == 2)
+            .unwrap();
+        // The join executes regardless of the branch: no control dependence.
+        assert!(cd.controlling(join).is_empty());
+    }
+
+    #[test]
+    fn loop_body_depends_on_header() {
+        let (m, fid, cd) = cdeps(
+            "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }",
+            "f",
+        );
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let header = f
+            .iter_blocks()
+            .map(|(b, _)| b)
+            .find(|&b| cfg.preds_of(b).len() == 2)
+            .unwrap();
+        let body = cfg
+            .succs_of(header)
+            .iter()
+            .copied()
+            .find(|&b| {
+                // body branches back to header eventually
+                !matches!(f.block(b).terminator, Terminator::Ret(_))
+            })
+            .unwrap();
+        assert!(cd.controlling(body).contains(&header));
+        // The header controls itself (the back edge re-tests the condition).
+        assert!(cd.controlling(header).contains(&header));
+    }
+
+    #[test]
+    fn nested_if_transitive_dependence() {
+        let (m, fid, cd) = cdeps(
+            "int g(void); int f(int a, int b) { int r = 0; if (a) { if (b) { r = g(); } } return r; }",
+            "f",
+        );
+        let f = m.function(fid);
+        // The innermost block (containing the call) transitively depends on
+        // both branch blocks.
+        let call_block = f
+            .iter_blocks()
+            .find(|(_, blk)| {
+                blk.insts
+                    .iter()
+                    .any(|&i| matches!(f.inst(i).kind, InstKind::Call { .. }))
+            })
+            .map(|(b, _)| b)
+            .unwrap();
+        let trans = cd.controlling_transitive(call_block);
+        assert!(trans.len() >= 2, "expected at least 2 controlling branches, got {trans:?}");
+    }
+
+    #[test]
+    fn straightline_has_no_dependences() {
+        let (m, fid, cd) = cdeps("int f(int a) { int b = a + 1; return b; }", "f");
+        let f = m.function(fid);
+        for (b, _) in f.iter_blocks() {
+            assert!(cd.controlling(b).is_empty());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Def-use chains over SSA values.
+//!
+//! Phase 2 of the paper enforces P1–P3 "by following def-use chains"
+//! (§3.3); phase 3's value-flow graph walks them forward.
+
+use safeflow_ir::{BlockId, Function, InstId, Value};
+use std::collections::HashMap;
+
+/// A location that consumes a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Use {
+    /// Operand of instruction `InstId` (which lives in the block).
+    Inst(InstId),
+    /// Operand of the terminator of the block.
+    Terminator(BlockId),
+}
+
+/// Def-use chains for one function.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    inst_uses: HashMap<InstId, Vec<Use>>,
+    param_uses: HashMap<u32, Vec<Use>>,
+}
+
+impl DefUse {
+    /// Builds chains for every instruction result and parameter of `func`.
+    pub fn build(func: &Function) -> DefUse {
+        let mut inst_uses: HashMap<InstId, Vec<Use>> = HashMap::new();
+        let mut param_uses: HashMap<u32, Vec<Use>> = HashMap::new();
+        let mut record = |v: &Value, at: Use| match v {
+            Value::Inst(id) => inst_uses.entry(*id).or_default().push(at),
+            Value::Param(i) => param_uses.entry(*i).or_default().push(at),
+            _ => {}
+        };
+        for (bid, block) in func.iter_blocks() {
+            for &iid in &block.insts {
+                for op in func.inst(iid).kind.operands() {
+                    record(op, Use::Inst(iid));
+                }
+            }
+            for op in block.terminator.operands() {
+                record(op, Use::Terminator(bid));
+            }
+        }
+        DefUse { inst_uses, param_uses }
+    }
+
+    /// Uses of the result of `id` (empty slice if unused).
+    pub fn uses_of(&self, id: InstId) -> &[Use] {
+        self.inst_uses.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Uses of parameter `i`.
+    pub fn uses_of_param(&self, i: u32) -> &[Use] {
+        self.param_uses.get(&i).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Uses of an arbitrary value.
+    pub fn uses_of_value(&self, v: &Value) -> &[Use] {
+        match v {
+            Value::Inst(id) => self.uses_of(*id),
+            Value::Param(i) => self.uses_of_param(*i),
+            _ => &[],
+        }
+    }
+
+    /// Whether the result of `id` is used anywhere.
+    pub fn is_used(&self, id: InstId) -> bool {
+        !self.uses_of(id).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeflow_ir::{build_module, InstKind};
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+
+    fn build(src: &str, name: &str) -> (safeflow_ir::Module, safeflow_ir::FuncId) {
+        let pr = parse_source("t.c", src);
+        assert!(!pr.diags.has_errors());
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        assert!(!diags.has_errors());
+        let fid = m.function_by_name(name).unwrap();
+        (m, fid)
+    }
+
+    #[test]
+    fn param_uses_found() {
+        let (m, fid) = build("int f(int a) { return a + a; }", "f");
+        let f = m.function(fid);
+        let du = DefUse::build(f);
+        // After SSA, `a` feeds the add twice (one Use per operand).
+        assert_eq!(du.uses_of_param(0).len(), 2);
+    }
+
+    #[test]
+    fn inst_uses_include_terminator() {
+        let (m, fid) = build("int f(int a, int b) { return a * b; }", "f");
+        let f = m.function(fid);
+        let du = DefUse::build(f);
+        let mul = f
+            .iter_insts()
+            .find(|(_, i)| matches!(i.kind, InstKind::Bin { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        let uses = du.uses_of(mul);
+        assert_eq!(uses.len(), 1);
+        assert!(matches!(uses[0], Use::Terminator(_)));
+        assert!(du.is_used(mul));
+    }
+
+    #[test]
+    fn unused_result_has_no_uses() {
+        let (m, fid) = build("int g(void); void f(void) { g(); }", "f");
+        let f = m.function(fid);
+        let du = DefUse::build(f);
+        let call = f
+            .iter_insts()
+            .find(|(_, i)| matches!(i.kind, InstKind::Call { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(!du.is_used(call));
+    }
+
+    #[test]
+    fn phi_operands_counted() {
+        let (m, fid) = build("int f(int x) { int r; if (x) r = 1; else r = 2; return r; }", "f");
+        let f = m.function(fid);
+        let du = DefUse::build(f);
+        // The phi's result is used by the return.
+        let phi = f
+            .iter_insts()
+            .find(|(_, i)| matches!(i.kind, InstKind::Phi { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(du.is_used(phi));
+    }
+}

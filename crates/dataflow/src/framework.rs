@@ -1,0 +1,191 @@
+//! Generic worklist dataflow framework over block-level facts.
+//!
+//! Analyses implement [`Analysis`]: a join-semilattice fact per block plus a
+//! transfer function. [`solve`] iterates to fixpoint in (reverse-)postorder.
+
+use safeflow_ir::{BlockId, Cfg, Function};
+
+/// Direction of a dataflow analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow along CFG edges (entry → exit).
+    Forward,
+    /// Facts flow against CFG edges (exit → entry).
+    Backward,
+}
+
+/// A dataflow analysis specification.
+pub trait Analysis {
+    /// The lattice element computed per block boundary.
+    type Fact: Clone + PartialEq;
+
+    /// Analysis direction.
+    const DIRECTION: Direction;
+
+    /// ⊥ — the initial fact for every block.
+    fn bottom(&self, func: &Function) -> Self::Fact;
+
+    /// The boundary fact (at entry for forward, at exits for backward).
+    fn boundary(&self, func: &Function) -> Self::Fact;
+
+    /// Least-upper-bound; returns `true` if `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Applies `block`'s transfer function to `fact` (in analysis
+    /// direction), producing the outgoing fact.
+    fn transfer(&self, func: &Function, block: BlockId, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// Fixpoint solution: the *incoming* fact of each block (in analysis
+/// direction).
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// `entry[b]` = fact at the block's input boundary.
+    pub entry: Vec<F>,
+    /// `exit[b]` = fact after the block's transfer function.
+    pub exit: Vec<F>,
+}
+
+/// Runs `analysis` over `func` to fixpoint.
+pub fn solve<A: Analysis>(analysis: &A, func: &Function, cfg: &Cfg) -> Solution<A::Fact> {
+    let n = func.blocks.len();
+    let mut entry: Vec<A::Fact> = (0..n).map(|_| analysis.bottom(func)).collect();
+    let mut exit: Vec<A::Fact> = (0..n).map(|_| analysis.bottom(func)).collect();
+
+    // Iteration order: RPO for forward, post-order for backward.
+    let order: Vec<BlockId> = match A::DIRECTION {
+        Direction::Forward => cfg.rpo.clone(),
+        Direction::Backward => cfg.rpo.iter().rev().copied().collect(),
+    };
+
+    // Boundary initialization.
+    match A::DIRECTION {
+        Direction::Forward => {
+            if let Some(&e) = cfg.rpo.first() {
+                entry[e.0 as usize] = analysis.boundary(func);
+            }
+        }
+        Direction::Backward => {
+            for &b in &cfg.rpo {
+                if cfg.succs_of(b).is_empty() {
+                    entry[b.0 as usize] = analysis.boundary(func);
+                }
+            }
+        }
+    }
+
+    let mut changed = true;
+    let mut iterations = 0usize;
+    let max_iterations = 4 * n.max(4) * n.max(4) + 64; // defensive bound
+    while changed && iterations < max_iterations {
+        changed = false;
+        iterations += 1;
+        for &b in &order {
+            let bi = b.0 as usize;
+            // Merge from neighbours.
+            match A::DIRECTION {
+                Direction::Forward => {
+                    for &p in cfg.preds_of(b) {
+                        if cfg.is_reachable(p) {
+                            let from = exit[p.0 as usize].clone();
+                            if analysis.join(&mut entry[bi], &from) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                Direction::Backward => {
+                    for &s in cfg.succs_of(b) {
+                        let from = exit[s.0 as usize].clone();
+                        if analysis.join(&mut entry[bi], &from) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            let new_exit = analysis.transfer(func, b, &entry[bi]);
+            if new_exit != exit[bi] {
+                exit[bi] = new_exit;
+                changed = true;
+            }
+        }
+    }
+    Solution { entry, exit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeflow_ir::build_module;
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+    use std::collections::HashSet;
+
+    /// Toy analysis: set of blocks seen on some path from entry.
+    struct ReachableBlocks;
+
+    impl Analysis for ReachableBlocks {
+        type Fact = HashSet<u32>;
+        const DIRECTION: Direction = Direction::Forward;
+
+        fn bottom(&self, _f: &Function) -> Self::Fact {
+            HashSet::new()
+        }
+        fn boundary(&self, _f: &Function) -> Self::Fact {
+            HashSet::new()
+        }
+        fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+            let before = into.len();
+            into.extend(from.iter().copied());
+            into.len() != before
+        }
+        fn transfer(&self, _f: &Function, block: BlockId, fact: &Self::Fact) -> Self::Fact {
+            let mut out = fact.clone();
+            out.insert(block.0);
+            out
+        }
+    }
+
+    #[test]
+    fn forward_facts_accumulate_along_paths() {
+        let pr = parse_source(
+            "t.c",
+            "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }",
+        );
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        let f = m.function(m.function_by_name("f").unwrap());
+        let cfg = Cfg::build(f);
+        let sol = solve(&ReachableBlocks, f, &cfg);
+        // The last block in RPO sees the entry block on every path.
+        let last = cfg.rpo.last().unwrap();
+        assert!(sol.entry[last.0 as usize].contains(&0));
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint() {
+        let pr = parse_source(
+            "t.c",
+            "int f(int n) { int s = 0; while (n) { s += n; n--; } return s; }",
+        );
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        let f = m.function(m.function_by_name("f").unwrap());
+        let cfg = Cfg::build(f);
+        let sol = solve(&ReachableBlocks, f, &cfg);
+        // Loop header's entry fact contains the loop body (via back edge).
+        let header = cfg
+            .rpo
+            .iter()
+            .find(|b| cfg.preds_of(**b).len() >= 2)
+            .copied()
+            .expect("loop header");
+        let body = cfg
+            .preds_of(header)
+            .iter()
+            .copied()
+            .find(|p| cfg.rpo_index[p.0 as usize] > cfg.rpo_index[header.0 as usize])
+            .expect("latch");
+        assert!(sol.entry[header.0 as usize].contains(&body.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # safeflow-dataflow
+//!
+//! Dataflow analyses over the SafeFlow IR: a generic worklist framework,
+//! def-use chains, liveness, reaching definitions, post-dominators, and the
+//! control-dependence graph that phase 3 of the paper's analysis uses to
+//! propagate `unsafe` through control dependence (§3.3, §3.4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use safeflow_syntax::{parse_source, diag::Diagnostics};
+//! use safeflow_ir::build_module;
+//! use safeflow_dataflow::defuse::DefUse;
+//!
+//! let pr = parse_source("d.c", "int f(int a) { return a + a; }");
+//! let mut diags = Diagnostics::new();
+//! let module = build_module(&pr.unit, &mut diags);
+//! let fid = module.function_by_name("f").unwrap();
+//! let du = DefUse::build(module.function(fid));
+//! assert!(!du.uses_of_param(0).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod controldep;
+pub mod defuse;
+pub mod framework;
+pub mod liveness;
+pub mod postdom;
+pub mod reaching;
+
+pub use controldep::ControlDeps;
+pub use defuse::DefUse;
+pub use postdom::PostDomTree;

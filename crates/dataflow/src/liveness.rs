@@ -1,0 +1,132 @@
+//! Liveness of SSA values, via the generic framework.
+
+use crate::framework::{solve, Analysis, Direction, Solution};
+use safeflow_ir::{BlockId, Cfg, Function, InstId, InstKind, Value};
+use std::collections::HashSet;
+
+/// Backward may-analysis: which instruction results are live at block
+/// boundaries.
+pub struct Liveness;
+
+impl Analysis for Liveness {
+    type Fact = HashSet<InstId>;
+    const DIRECTION: Direction = Direction::Backward;
+
+    fn bottom(&self, _f: &Function) -> Self::Fact {
+        HashSet::new()
+    }
+
+    fn boundary(&self, _f: &Function) -> Self::Fact {
+        HashSet::new()
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        let before = into.len();
+        into.extend(from.iter().copied());
+        into.len() != before
+    }
+
+    fn transfer(&self, func: &Function, block: BlockId, fact: &Self::Fact) -> Self::Fact {
+        // Backward: `fact` is live-out; produce live-in.
+        let mut live = fact.clone();
+        let b = func.block(block);
+        for op in b.terminator.operands() {
+            if let Value::Inst(id) = op {
+                live.insert(*id);
+            }
+        }
+        for &iid in b.insts.iter().rev() {
+            live.remove(&iid);
+            let inst = func.inst(iid);
+            // φ-operands are live on the corresponding predecessor edge;
+            // treating them as live-in here is a sound over-approximation.
+            for op in inst.kind.operands() {
+                if let Value::Inst(id) = op {
+                    live.insert(*id);
+                }
+            }
+        }
+        live
+    }
+}
+
+/// Computes liveness for `func`. `entry[b]` holds live-out sets and
+/// `exit[b]` live-in sets (backward analysis orientation of the generic
+/// solver).
+pub fn liveness(func: &Function, cfg: &Cfg) -> Solution<HashSet<InstId>> {
+    solve(&Liveness, func, cfg)
+}
+
+/// Instruction results that are never used (dead code candidates, excluding
+/// side-effecting instructions).
+pub fn dead_values(func: &Function) -> Vec<InstId> {
+    let mut used: HashSet<InstId> = HashSet::new();
+    for (_, inst) in func.iter_insts() {
+        for op in inst.kind.operands() {
+            if let Value::Inst(id) = op {
+                used.insert(*id);
+            }
+        }
+    }
+    for (_, block) in func.iter_blocks() {
+        for op in block.terminator.operands() {
+            if let Value::Inst(id) = op {
+                used.insert(*id);
+            }
+        }
+    }
+    func.iter_insts()
+        .filter(|(id, inst)| {
+            !used.contains(id) && !inst.kind.has_side_effects() && !matches!(inst.kind, InstKind::Alloca { .. })
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeflow_ir::build_module;
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+
+    fn module(src: &str) -> safeflow_ir::Module {
+        let pr = parse_source("t.c", src);
+        assert!(!pr.diags.has_errors());
+        let mut diags = Diagnostics::new();
+        build_module(&pr.unit, &mut diags)
+    }
+
+    #[test]
+    fn value_live_across_branch() {
+        let m = module("int g(int); int f(int x) { int a = x * 2; if (x) { g(a); } return a; }");
+        let fid = m.function_by_name("f").unwrap();
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let live = liveness(f, &cfg);
+        // The multiply's result is live-out of the entry block.
+        let mul = f
+            .iter_insts()
+            .find(|(_, i)| matches!(i.kind, InstKind::Bin { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(live.entry[f.entry().0 as usize].contains(&mul) || live.exit[f.entry().0 as usize].contains(&mul));
+    }
+
+    #[test]
+    fn dead_value_detection() {
+        let m = module("int f(int x) { int unused = x + 1; return x; }");
+        let fid = m.function_by_name("f").unwrap();
+        let f = m.function(fid);
+        let dead = dead_values(f);
+        assert_eq!(dead.len(), 1, "the unused add should be dead: {dead:?}");
+    }
+
+    #[test]
+    fn side_effects_never_dead() {
+        let m = module("int g(void); void f(void) { g(); }");
+        let fid = m.function_by_name("f").unwrap();
+        let f = m.function(fid);
+        assert!(dead_values(f).is_empty());
+    }
+}

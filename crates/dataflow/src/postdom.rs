@@ -1,0 +1,238 @@
+//! Post-dominator tree: dominators of the reverse CFG with a virtual exit.
+//!
+//! Required by the control-dependence computation (paper §3.3: errors are
+//! reported when critical data is *control* dependent on unsafe values).
+
+use safeflow_ir::{BlockId, Cfg, Function};
+
+/// Index of the virtual exit node in the post-dominator structures.
+/// Real blocks keep their `BlockId` indices; the virtual exit is `n`.
+#[derive(Debug, Clone)]
+pub struct PostDomTree {
+    /// `ipdom[b]` = immediate post-dominator of block `b`; `None` for
+    /// blocks that cannot reach any exit. The virtual exit is represented
+    /// by `usize::MAX`.
+    ipdom: Vec<Option<usize>>,
+    n: usize,
+}
+
+/// Marker for the virtual exit in [`PostDomTree`] queries.
+pub const VIRTUAL_EXIT: usize = usize::MAX;
+
+impl PostDomTree {
+    /// Builds the post-dominator tree of `func`.
+    pub fn build(func: &Function, cfg: &Cfg) -> PostDomTree {
+        let n = func.blocks.len();
+        // Reverse CFG with virtual exit node `n`: edges succ->pred, plus
+        // exit-node edges to every block with no successors (returns) —
+        // and, to make infinite loops well-defined, to every block that
+        // cannot reach an exit we fall back by attaching loop headers
+        // lazily (standard practical fix: treat unreachable-to-exit blocks
+        // as post-dominated by nothing).
+        let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // reverse successors = CFG preds
+        let mut rpreds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        #[allow(clippy::needless_range_loop)] // b indexes two vecs and builds BlockIds
+        for b in 0..n {
+            let bid = BlockId(b as u32);
+            if !cfg.is_reachable(bid) {
+                continue;
+            }
+            for &s in cfg.succs_of(bid) {
+                // reverse edge s -> b
+                rsuccs[s.0 as usize].push(b);
+                rpreds[b].push(s.0 as usize);
+            }
+            if cfg.succs_of(bid).is_empty() {
+                // exit block: virtual exit -> b
+                rsuccs[n].push(b);
+                rpreds[b].push(n);
+            }
+        }
+
+        // RPO of the reverse graph from the virtual exit.
+        let mut post: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut state = vec![0u8; n + 1];
+        let mut stack: Vec<(usize, usize)> = vec![(n, 0)];
+        state[n] = 1;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let ss = &rsuccs[v];
+            if *i < ss.len() {
+                let nxt = ss[*i];
+                *i += 1;
+                if state[nxt] == 0 {
+                    state[nxt] = 1;
+                    stack.push((nxt, 0));
+                }
+            } else {
+                state[v] = 2;
+                post.push(v);
+                stack.pop();
+            }
+        }
+        let mut rpo = post;
+        rpo.reverse();
+        let mut rpo_index = vec![usize::MAX; n + 1];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+
+        let mut ipdom: Vec<Option<usize>> = vec![None; n + 1];
+        ipdom[n] = Some(n);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &rpreds[b] {
+                    if ipdom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&ipdom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if ipdom[b] != Some(ni) {
+                        ipdom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Externalize: map virtual node n to VIRTUAL_EXIT.
+        let ipdom_out: Vec<Option<usize>> = (0..n)
+            .map(|b| {
+                ipdom[b].map(|d| if d == n { VIRTUAL_EXIT } else { d })
+            })
+            .collect();
+        PostDomTree { ipdom: ipdom_out, n }
+    }
+
+    /// Immediate post-dominator of `b`: a block index, [`VIRTUAL_EXIT`], or
+    /// `None` when `b` cannot reach an exit.
+    pub fn immediate(&self, b: BlockId) -> Option<usize> {
+        self.ipdom.get(b.0 as usize).copied().flatten()
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive). The virtual exit
+    /// post-dominates everything that reaches an exit.
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let target = a.0 as usize;
+        let mut cur = b.0 as usize;
+        let mut guard = 0;
+        loop {
+            if cur == target {
+                return true;
+            }
+            match self.ipdom.get(cur).copied().flatten() {
+                Some(VIRTUAL_EXIT) | None => return false,
+                Some(d) => {
+                    if d == cur {
+                        return false;
+                    }
+                    cur = d;
+                }
+            }
+            guard += 1;
+            if guard > self.n + 2 {
+                return false;
+            }
+        }
+    }
+}
+
+fn intersect(idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("has idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeflow_ir::build_module;
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+
+    fn pdom_of(src: &str, name: &str) -> (safeflow_ir::Module, safeflow_ir::FuncId, PostDomTree) {
+        let pr = parse_source("t.c", src);
+        assert!(!pr.diags.has_errors());
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        let fid = m.function_by_name(name).unwrap();
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let p = PostDomTree::build(f, &cfg);
+        (m, fid, p)
+    }
+
+    #[test]
+    fn diamond_join_postdominates_arms() {
+        let (m, fid, p) = pdom_of(
+            "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }",
+            "f",
+        );
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        // Find the join (the block with 2 preds).
+        let join = f
+            .iter_blocks()
+            .map(|(b, _)| b)
+            .find(|&b| cfg.preds_of(b).len() == 2)
+            .unwrap();
+        for &arm in cfg.preds_of(join) {
+            assert!(p.post_dominates(join, arm), "join must post-dominate arm {arm}");
+        }
+        // The arms do not post-dominate the entry.
+        for &arm in cfg.preds_of(join) {
+            assert!(!p.post_dominates(arm, f.entry()));
+        }
+        assert!(p.post_dominates(join, f.entry()));
+    }
+
+    #[test]
+    fn single_block_postdominated_by_exit() {
+        let (m, fid, p) = pdom_of("int f(void) { return 1; }", "f");
+        let f = m.function(fid);
+        assert_eq!(p.immediate(f.entry()), Some(VIRTUAL_EXIT));
+    }
+
+    #[test]
+    fn loop_exit_postdominates_header() {
+        let (m, fid, p) = pdom_of(
+            "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }",
+            "f",
+        );
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        // Exit block = the one with Ret.
+        let exit = f
+            .iter_blocks()
+            .find(|(_, b)| matches!(b.terminator, safeflow_ir::Terminator::Ret(_)))
+            .map(|(b, _)| b)
+            .unwrap();
+        // Header = the 2-pred block.
+        let header = f
+            .iter_blocks()
+            .map(|(b, _)| b)
+            .find(|&b| cfg.preds_of(b).len() == 2)
+            .unwrap();
+        assert!(p.post_dominates(exit, header));
+        // The loop body does not post-dominate the header.
+        let body = cfg
+            .succs_of(header)
+            .iter()
+            .copied()
+            .find(|&b| b != exit)
+            .unwrap();
+        assert!(!p.post_dominates(body, header));
+    }
+}

@@ -1,0 +1,118 @@
+//! Reaching stores: which `Store` instructions may reach each block.
+//!
+//! Used by the shared-memory pointer identification phase to reason about
+//! non-promoted memory slots (address-taken locals and globals) in a
+//! flow-sensitive way, matching the paper's "standard global data flow
+//! algorithm ... on the basic blocks in the CFG" (§3.3).
+
+use crate::framework::{solve, Analysis, Direction, Solution};
+use safeflow_ir::{BlockId, Cfg, Function, InstId, InstKind};
+use std::collections::HashSet;
+
+/// Forward may-analysis over the set of store instructions that reach a
+/// point. No kills are applied for aliased pointers — a sound
+/// over-approximation; exact-match kills are applied when two stores write
+/// through the *same* pointer value.
+pub struct ReachingStores;
+
+impl Analysis for ReachingStores {
+    type Fact = HashSet<InstId>;
+    const DIRECTION: Direction = Direction::Forward;
+
+    fn bottom(&self, _f: &Function) -> Self::Fact {
+        HashSet::new()
+    }
+
+    fn boundary(&self, _f: &Function) -> Self::Fact {
+        HashSet::new()
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        let before = into.len();
+        into.extend(from.iter().copied());
+        into.len() != before
+    }
+
+    fn transfer(&self, func: &Function, block: BlockId, fact: &Self::Fact) -> Self::Fact {
+        let mut out = fact.clone();
+        for &iid in &func.block(block).insts {
+            if let InstKind::Store { ptr, .. } = &func.inst(iid).kind {
+                // Kill earlier stores through the identical pointer value.
+                out.retain(|&other| match &func.inst(other).kind {
+                    InstKind::Store { ptr: other_ptr, .. } => other_ptr != ptr,
+                    _ => true,
+                });
+                out.insert(iid);
+            }
+        }
+        out
+    }
+}
+
+/// Computes reaching stores; `entry[b]` is the set at block entry.
+pub fn reaching_stores(func: &Function, cfg: &Cfg) -> Solution<HashSet<InstId>> {
+    solve(&ReachingStores, func, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeflow_ir::{build_module, Value};
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+
+    fn module(src: &str) -> safeflow_ir::Module {
+        let pr = parse_source("t.c", src);
+        assert!(!pr.diags.has_errors());
+        let mut diags = Diagnostics::new();
+        build_module(&pr.unit, &mut diags)
+    }
+
+    #[test]
+    fn global_store_reaches_later_block() {
+        let m = module("int g; int f(int x) { g = 1; if (x) { g = 2; } return g; }");
+        let fid = m.function_by_name("f").unwrap();
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let sol = reaching_stores(f, &cfg);
+        // At the return block both stores may reach (the g=1 along the
+        // else edge, g=2 along the then edge).
+        let ret_block = f
+            .iter_blocks()
+            .find(|(_, b)| matches!(b.terminator, safeflow_ir::Terminator::Ret(_)))
+            .map(|(b, _)| b)
+            .unwrap();
+        let stores_reaching = sol.entry[ret_block.0 as usize].len();
+        assert_eq!(stores_reaching, 2, "both stores to g may reach the return");
+    }
+
+    #[test]
+    fn same_pointer_store_kills_previous() {
+        let m = module("int g; void f(void) { g = 1; g = 2; }");
+        let fid = m.function_by_name("f").unwrap();
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let sol = reaching_stores(f, &cfg);
+        // At block exit only the second store survives.
+        let exit_set = &sol.exit[f.entry().0 as usize];
+        assert_eq!(exit_set.len(), 1);
+        let surviving = *exit_set.iter().next().unwrap();
+        match &f.inst(surviving).kind {
+            InstKind::Store { value, .. } => {
+                assert_eq!(value.as_const_int(), Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = Value::i32(0);
+    }
+
+    #[test]
+    fn different_pointers_do_not_kill() {
+        let m = module("int a; int b; void f(void) { a = 1; b = 2; }");
+        let fid = m.function_by_name("f").unwrap();
+        let f = m.function(fid);
+        let cfg = Cfg::build(f);
+        let sol = reaching_stores(f, &cfg);
+        assert_eq!(sol.exit[f.entry().0 as usize].len(), 2);
+    }
+}

@@ -1,0 +1,282 @@
+//! Call graph construction and Tarjan SCC condensation.
+//!
+//! The paper's interprocedural phases run "bottom-up and top-down ... on the
+//! strongly connected components (SCCs) of the call graph" (§3.3); this
+//! module provides those orders.
+
+use crate::module::{Callee, FuncId, InstKind, Module};
+use std::collections::{HashMap, HashSet};
+
+/// The module's call graph over locally-defined functions, plus the set of
+/// external callees per function.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]` = locally-bound call targets of `f` (deduplicated, in
+    /// first-call order).
+    pub callees: HashMap<FuncId, Vec<FuncId>>,
+    /// `callers[f]` = functions calling `f`.
+    pub callers: HashMap<FuncId, Vec<FuncId>>,
+    /// External function names each function calls.
+    pub externals: HashMap<FuncId, Vec<String>>,
+    /// SCCs in reverse topological order (callees before callers), i.e.
+    /// bottom-up order.
+    pub sccs: Vec<Vec<FuncId>>,
+    /// `scc_of[f]` = index into `sccs`.
+    pub scc_of: HashMap<FuncId, usize>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of all defined functions in `module`.
+    pub fn build(module: &Module) -> CallGraph {
+        let mut callees: HashMap<FuncId, Vec<FuncId>> = HashMap::new();
+        let mut callers: HashMap<FuncId, Vec<FuncId>> = HashMap::new();
+        let mut externals: HashMap<FuncId, Vec<String>> = HashMap::new();
+        let defs: Vec<FuncId> = module.definitions().collect();
+        for &fid in &defs {
+            callees.entry(fid).or_default();
+            callers.entry(fid).or_default();
+            externals.entry(fid).or_default();
+        }
+        for &fid in &defs {
+            let func = module.function(fid);
+            let mut seen_local: HashSet<FuncId> = HashSet::new();
+            let mut seen_ext: HashSet<String> = HashSet::new();
+            for (_, inst) in func.iter_insts() {
+                if let InstKind::Call { callee, .. } = &inst.kind {
+                    match callee {
+                        Callee::Local(target) => {
+                            // Calls to prototypes without bodies are treated
+                            // like external calls for graph purposes.
+                            if module.function(*target).is_definition {
+                                if seen_local.insert(*target) {
+                                    callees.get_mut(&fid).unwrap().push(*target);
+                                    callers.entry(*target).or_default().push(fid);
+                                }
+                            } else {
+                                let name = module.function(*target).name.clone();
+                                if seen_ext.insert(name.clone()) {
+                                    externals.get_mut(&fid).unwrap().push(name);
+                                }
+                            }
+                        }
+                        Callee::External(name) => {
+                            if seen_ext.insert(name.clone()) {
+                                externals.get_mut(&fid).unwrap().push(name.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (sccs, scc_of) = tarjan(&defs, &callees);
+        CallGraph { callees, callers, externals, sccs, scc_of }
+    }
+
+    /// SCCs in bottom-up order (every callee SCC precedes its caller SCCs).
+    pub fn bottom_up(&self) -> impl Iterator<Item = &Vec<FuncId>> {
+        self.sccs.iter()
+    }
+
+    /// SCCs in top-down order (callers first).
+    pub fn top_down(&self) -> impl Iterator<Item = &Vec<FuncId>> {
+        self.sccs.iter().rev()
+    }
+
+    /// Whether `f` participates in recursion (self-loop or larger SCC).
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        match self.scc_of.get(&f) {
+            Some(&i) => self.sccs[i].len() > 1 || self.callees.get(&f).is_some_and(|c| c.contains(&f)),
+            None => false,
+        }
+    }
+
+    /// All functions transitively reachable from `root` (including it).
+    pub fn reachable_from(&self, root: FuncId) -> HashSet<FuncId> {
+        let mut seen = HashSet::new();
+        let mut work = vec![root];
+        while let Some(f) = work.pop() {
+            if !seen.insert(f) {
+                continue;
+            }
+            if let Some(cs) = self.callees.get(&f) {
+                work.extend(cs.iter().copied());
+            }
+        }
+        seen
+    }
+}
+
+/// Iterative Tarjan SCC. Returns SCCs in reverse topological order
+/// (bottom-up) and the component index of each node.
+fn tarjan(
+    nodes: &[FuncId],
+    edges: &HashMap<FuncId, Vec<FuncId>>,
+) -> (Vec<Vec<FuncId>>, HashMap<FuncId, usize>) {
+    #[derive(Default, Clone)]
+    struct NodeState {
+        index: Option<u32>,
+        lowlink: u32,
+        on_stack: bool,
+    }
+    let mut state: HashMap<FuncId, NodeState> = nodes.iter().map(|&n| (n, NodeState::default())).collect();
+    let mut index = 0u32;
+    let mut stack: Vec<FuncId> = Vec::new();
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+    let mut scc_of: HashMap<FuncId, usize> = HashMap::new();
+
+    // Iterative DFS with explicit frames.
+    enum Action {
+        Visit(FuncId),
+        PostChild(FuncId, FuncId), // (parent, child)
+        Finish(FuncId),
+    }
+    for &root in nodes {
+        if state[&root].index.is_some() {
+            continue;
+        }
+        let mut work = vec![Action::Visit(root)];
+        while let Some(action) = work.pop() {
+            match action {
+                Action::Visit(v) => {
+                    if state[&v].index.is_some() {
+                        continue;
+                    }
+                    let st = state.get_mut(&v).unwrap();
+                    st.index = Some(index);
+                    st.lowlink = index;
+                    st.on_stack = true;
+                    index += 1;
+                    stack.push(v);
+                    work.push(Action::Finish(v));
+                    if let Some(succs) = edges.get(&v) {
+                        for &w in succs.iter().rev() {
+                            work.push(Action::PostChild(v, w));
+                            work.push(Action::Visit(w));
+                        }
+                    }
+                }
+                Action::PostChild(v, w) => {
+                    let wll = {
+                        let ws = &state[&w];
+                        // On-stack: tree or back edge within the current
+                        // SCC search; otherwise (already assigned to an
+                        // SCC) it is a cross edge contributing nothing.
+                        ws.on_stack.then(|| ws.lowlink.min(ws.index.unwrap_or(u32::MAX)))
+                    };
+                    if let Some(wll) = wll {
+                        let vs = state.get_mut(&v).unwrap();
+                        vs.lowlink = vs.lowlink.min(wll);
+                    }
+                }
+                Action::Finish(v) => {
+                    let (vi, vll) = {
+                        let vs = &state[&v];
+                        (vs.index.unwrap(), vs.lowlink)
+                    };
+                    if vi == vll {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack nonempty");
+                            state.get_mut(&w).unwrap().on_stack = false;
+                            scc_of.insert(w, sccs.len());
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::types::Type;
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+
+    fn build(src: &str) -> (Module, CallGraph) {
+        let pr = parse_source("t.c", src);
+        assert!(!pr.diags.has_errors());
+        let mut diags = Diagnostics::new();
+        let m = lower(&pr.unit, &mut diags);
+        assert!(!diags.has_errors(), "{diags:?}");
+        let cg = CallGraph::build(&m);
+        (m, cg)
+    }
+
+    #[test]
+    fn linear_chain_bottom_up_order() {
+        let (m, cg) = build(
+            "int c(void) { return 1; }\nint b(void) { return c(); }\nint a(void) { return b(); }",
+        );
+        let a = m.function_by_name("a").unwrap();
+        let b = m.function_by_name("b").unwrap();
+        let c = m.function_by_name("c").unwrap();
+        let pos = |f| cg.sccs.iter().position(|s| s.contains(&f)).unwrap();
+        assert!(pos(c) < pos(b));
+        assert!(pos(b) < pos(a));
+        assert!(!cg.is_recursive(a));
+        assert_eq!(cg.callees[&a], vec![b]);
+        assert_eq!(cg.callers[&b], vec![a]);
+    }
+
+    #[test]
+    fn mutual_recursion_one_scc() {
+        let (m, cg) = build(
+            "int odd(int n);\nint even(int n) { if (n == 0) return 1; return odd(n - 1); }\nint odd(int n) { if (n == 0) return 0; return even(n - 1); }",
+        );
+        let even = m.function_by_name("even").unwrap();
+        let odd = m.function_by_name("odd").unwrap();
+        assert_eq!(cg.scc_of[&even], cg.scc_of[&odd]);
+        assert!(cg.is_recursive(even));
+        assert!(cg.is_recursive(odd));
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let (m, cg) = build("int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }");
+        let f = m.function_by_name("fact").unwrap();
+        assert!(cg.is_recursive(f));
+        assert_eq!(cg.sccs.iter().filter(|s| s.contains(&f)).count(), 1);
+    }
+
+    #[test]
+    fn externals_and_prototypes_tracked() {
+        let (m, cg) = build(
+            "void sendControl(float v);\nvoid f(void) { sendControl(1.0); tickle(); }",
+        );
+        let f = m.function_by_name("f").unwrap();
+        let mut ext = cg.externals[&f].clone();
+        ext.sort();
+        assert_eq!(ext, vec!["sendControl", "tickle"]);
+        assert!(cg.callees[&f].is_empty());
+    }
+
+    #[test]
+    fn reachable_from_root() {
+        let (m, cg) = build(
+            "int d(void) { return 0; }\nint c(void) { return d(); }\nint b(void) { return 0; }\nint main() { return c(); }",
+        );
+        let main = m.function_by_name("main").unwrap();
+        let reach = cg.reachable_from(main);
+        assert!(reach.contains(&m.function_by_name("c").unwrap()));
+        assert!(reach.contains(&m.function_by_name("d").unwrap()));
+        assert!(!reach.contains(&m.function_by_name("b").unwrap()));
+    }
+
+    #[test]
+    fn duplicate_calls_deduplicated() {
+        let (m, cg) = build("int g(void) { return 1; }\nint f(void) { return g() + g(); }");
+        let f = m.function_by_name("f").unwrap();
+        assert_eq!(cg.callees[&f].len(), 1);
+        let _ = Type::int32();
+    }
+}

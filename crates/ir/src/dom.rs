@@ -1,0 +1,225 @@
+//! Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy), used by
+//! SSA construction and by control-dependence analysis.
+
+use crate::cfg::Cfg;
+use crate::module::BlockId;
+
+/// Dominator tree over a function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; entry's idom is itself;
+    /// `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+    /// Children in the dominator tree.
+    pub children: Vec<Vec<BlockId>>,
+    /// Dominance frontier of each block.
+    pub frontier: Vec<Vec<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators and dominance frontiers for `cfg`.
+    pub fn build(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 || cfg.rpo.is_empty() {
+            return DomTree { idom, children: vec![Vec::new(); n], frontier: vec![Vec::new(); n] };
+        }
+        let entry = cfg.rpo[0];
+        idom[entry.0 as usize] = Some(entry);
+
+        // Iterate to fixpoint over reverse postorder (CHK algorithm).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds_of(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // predecessor not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for (b, d) in idom.iter().enumerate() {
+            if let Some(d) = d {
+                if d.0 as usize != b {
+                    children[d.0 as usize].push(BlockId(b as u32));
+                }
+            }
+        }
+
+        // Dominance frontiers (Cytron et al. via CHK's simple formulation).
+        let mut frontier: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in 0..n {
+            let bid = BlockId(b as u32);
+            if cfg.preds_of(bid).len() >= 2 {
+                for &p in cfg.preds_of(bid) {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    let mut runner = p;
+                    let b_idom = match idom[b] {
+                        Some(d) => d,
+                        None => continue,
+                    };
+                    while runner != b_idom {
+                        let fr = &mut frontier[runner.0 as usize];
+                        if !fr.contains(&bid) {
+                            fr.push(bid);
+                        }
+                        runner = match idom[runner.0 as usize] {
+                            Some(d) if d != runner => d,
+                            _ => break,
+                        };
+                    }
+                }
+            }
+        }
+
+        DomTree { idom, children, frontier }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn immediate_dominator(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.0 as usize] {
+            Some(d) if d != b => Some(d),
+            _ => None,
+        }
+    }
+}
+
+fn intersect(idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed block has idom");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{BasicBlock, Function, Terminator, Value};
+    use crate::types::Type;
+    use safeflow_syntax::span::Span;
+
+    fn block(term: Terminator) -> BasicBlock {
+        BasicBlock { insts: vec![], terminator: term, name: String::new() }
+    }
+
+    fn func(blocks: Vec<BasicBlock>) -> Function {
+        Function {
+            name: "t".into(),
+            ret: Type::Void,
+            params: vec![],
+            varargs: false,
+            insts: vec![],
+            blocks,
+            annotations: vec![],
+            is_definition: true,
+            span: Span::dummy(),
+        }
+    }
+
+    fn diamond() -> Function {
+        func(vec![
+            block(Terminator::CondBr { cond: Value::i32(1), then_bb: BlockId(1), else_bb: BlockId(2) }),
+            block(Terminator::Br(BlockId(3))),
+            block(Terminator::Br(BlockId(3))),
+            block(Terminator::Ret(None)),
+        ])
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg);
+        assert_eq!(dom.immediate_dominator(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.immediate_dominator(BlockId(2)), Some(BlockId(0)));
+        // The join is dominated by the entry, not by either arm.
+        assert_eq!(dom.immediate_dominator(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg);
+        // Both arms have the join in their frontier; entry has none.
+        assert_eq!(dom.frontier[1], vec![BlockId(3)]);
+        assert_eq!(dom.frontier[2], vec![BlockId(3)]);
+        assert!(dom.frontier[0].is_empty());
+    }
+
+    #[test]
+    fn loop_frontier_contains_header() {
+        // entry(0) -> cond(1); cond -> body(2), exit(3); body -> cond.
+        let f = func(vec![
+            block(Terminator::Br(BlockId(1))),
+            block(Terminator::CondBr { cond: Value::i32(1), then_bb: BlockId(2), else_bb: BlockId(3) }),
+            block(Terminator::Br(BlockId(1))),
+            block(Terminator::Ret(None)),
+        ]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg);
+        // The loop body's frontier includes the loop header.
+        assert!(dom.frontier[2].contains(&BlockId(1)));
+        // Header dominates body and exit.
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn children_form_tree() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg);
+        let mut kids = dom.children[0].clone();
+        kids.sort();
+        assert_eq!(kids, vec![BlockId(1), BlockId(2), BlockId(3)]);
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let f = func(vec![block(Terminator::Ret(None)), block(Terminator::Ret(None))]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg);
+        assert_eq!(dom.immediate_dominator(BlockId(1)), None);
+        assert!(!dom.dominates(BlockId(0), BlockId(1)));
+    }
+}

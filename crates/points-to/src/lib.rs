@@ -1,0 +1,673 @@
+//! # safeflow-points-to
+//!
+//! Module-wide points-to analysis standing in for the paper's use of Data
+//! Structure Analysis (DSA, paper reference 15): context-insensitive here, but
+//! field-sensitive and flow-insensitive, with a typed memory-object model.
+//! SafeFlow's phase 3 uses it for two things:
+//!
+//! * resolving which abstract memory objects an indirect load/store may
+//!   touch (so taint stored through one pointer is observed through an
+//!   alias), and
+//! * deciding whether unsafe data is reachable from critical pointer data
+//!   (§3.4.1).
+//!
+//! Array elements collapse into their base object, matching the paper's
+//! "array is treated as a single unit" rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use safeflow_syntax::{parse_source, diag::Diagnostics};
+//! use safeflow_ir::build_module;
+//! use safeflow_points_to::PointsTo;
+//!
+//! let pr = parse_source("p.c", "int g; int *take(void) { return &g; }");
+//! let mut diags = Diagnostics::new();
+//! let module = build_module(&pr.unit, &mut diags);
+//! let pt = PointsTo::analyze(&module);
+//! let f = module.function_by_name("take").unwrap();
+//! assert_eq!(pt.return_points_to(f).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+use safeflow_ir::{Callee, FuncId, GlobalId, InstId, InstKind, Module, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// Interned id of an abstract memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+/// An abstract memory object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Obj {
+    /// A global variable.
+    Global(GlobalId),
+    /// A stack slot (`Alloca`) in a function.
+    Stack(FuncId, InstId),
+    /// The object returned by an external call (e.g. the `shmat` segment);
+    /// one per call site.
+    ExternRet(FuncId, InstId),
+    /// A named field of another object (keyed by the struct layout it was
+    /// accessed through — sound because restriction P3 forbids viewing the
+    /// same shared memory through incompatible struct types).
+    Field(ObjId, u32, u32),
+    /// The catch-all unknown object (escaped / external memory).
+    Unknown,
+}
+
+/// A constraint variable: an SSA value in a specific function, a function's
+/// merged return, or the pointer contents of a memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum VarKey {
+    Inst(FuncId, InstId),
+    Param(FuncId, u32),
+    Ret(FuncId),
+    Contents(ObjId),
+}
+
+/// Results of the points-to analysis.
+#[derive(Debug)]
+pub struct PointsTo {
+    objects: Vec<Obj>,
+    obj_ids: HashMap<Obj, ObjId>,
+    sets: HashMap<VarKey, BTreeSet<ObjId>>,
+    escaped: BTreeSet<ObjId>,
+}
+
+impl PointsTo {
+    /// Runs the analysis over every defined function in `module`.
+    pub fn analyze(module: &Module) -> PointsTo {
+        let mut a = Analyzer {
+            pt: PointsTo {
+                objects: Vec::new(),
+                obj_ids: HashMap::new(),
+                sets: HashMap::new(),
+                escaped: BTreeSet::new(),
+            },
+            edges: HashMap::new(),
+            field_edges: Vec::new(),
+            complex_loads: Vec::new(),
+            complex_stores: Vec::new(),
+            extern_args: Vec::new(),
+        };
+        a.pt.intern(Obj::Unknown);
+        a.build_constraints(module);
+        a.solve();
+        a.pt
+    }
+
+    fn intern(&mut self, o: Obj) -> ObjId {
+        if let Some(&id) = self.obj_ids.get(&o) {
+            return id;
+        }
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(o.clone());
+        self.obj_ids.insert(o, id);
+        id
+    }
+
+    /// The object stored under `id`.
+    pub fn object(&self, id: ObjId) -> &Obj {
+        &self.objects[id.0 as usize]
+    }
+
+    /// All interned objects.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjId, &Obj)> {
+        self.objects.iter().enumerate().map(|(i, o)| (ObjId(i as u32), o))
+    }
+
+    /// The base object of `id` with field derivations stripped.
+    pub fn base_of(&self, mut id: ObjId) -> ObjId {
+        loop {
+            match self.object(id) {
+                Obj::Field(parent, _, _) => id = *parent,
+                _ => return id,
+            }
+        }
+    }
+
+    /// Points-to set of `value` as seen in `func` (empty for non-pointers).
+    pub fn points_to(&self, func: FuncId, value: &Value) -> BTreeSet<ObjId> {
+        match value {
+            Value::Inst(id) => self.lookup(VarKey::Inst(func, *id)),
+            Value::Param(i) => self.lookup(VarKey::Param(func, *i)),
+            Value::Global(g) => self
+                .obj_ids
+                .get(&Obj::Global(*g))
+                .map(|&id| std::iter::once(id).collect())
+                .unwrap_or_default(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Points-to set of `func`'s merged return value.
+    pub fn return_points_to(&self, func: FuncId) -> BTreeSet<ObjId> {
+        self.lookup(VarKey::Ret(func))
+    }
+
+    /// The pointer contents of object `o` (what loads from `o` may yield).
+    pub fn contents(&self, o: ObjId) -> BTreeSet<ObjId> {
+        self.lookup(VarKey::Contents(o))
+    }
+
+    /// Whether `o`'s address escaped into an external function.
+    pub fn is_escaped(&self, o: ObjId) -> bool {
+        self.escaped.contains(&o) || matches!(self.object(o), Obj::Unknown)
+    }
+
+    /// All objects transitively reachable from `roots` through pointer
+    /// contents and field children (the "unsafe data reachable from
+    /// critical pointer data" check, §3.4.1).
+    pub fn reachable(&self, roots: &BTreeSet<ObjId>) -> BTreeSet<ObjId> {
+        // Precompute field children.
+        let mut children: HashMap<ObjId, Vec<ObjId>> = HashMap::new();
+        for (i, obj) in self.objects.iter().enumerate() {
+            if let Obj::Field(parent, _, _) = obj {
+                children.entry(*parent).or_default().push(ObjId(i as u32));
+            }
+        }
+        let mut seen: BTreeSet<ObjId> = BTreeSet::new();
+        let mut work: Vec<ObjId> = roots.iter().copied().collect();
+        while let Some(o) = work.pop() {
+            if !seen.insert(o) {
+                continue;
+            }
+            work.extend(self.contents(o));
+            if let Some(kids) = children.get(&o) {
+                work.extend(kids.iter().copied());
+            }
+        }
+        seen
+    }
+
+    fn lookup(&self, key: VarKey) -> BTreeSet<ObjId> {
+        self.sets.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Human-readable description of an object.
+    pub fn describe(&self, module: &Module, id: ObjId) -> String {
+        match self.object(id) {
+            Obj::Global(g) => format!("global `{}`", module.global(*g).name),
+            Obj::Stack(f, i) => {
+                let func = module.function(*f);
+                let name = match &func.inst(*i).kind {
+                    InstKind::Alloca { name, .. } => name.clone(),
+                    _ => format!("{i:?}"),
+                };
+                format!("local `{name}` in `{}`", func.name)
+            }
+            Obj::ExternRet(f, i) => {
+                let func = module.function(*f);
+                let callee = match &func.inst(*i).kind {
+                    InstKind::Call { callee: Callee::External(n), .. } => n.clone(),
+                    InstKind::Call { callee: Callee::Local(lf), .. } => {
+                        module.function(*lf).name.clone()
+                    }
+                    _ => "<extern>".to_string(),
+                };
+                format!("memory returned by `{callee}` in `{}`", func.name)
+            }
+            Obj::Field(parent, s, f) => {
+                format!("{}.struct{}.field{}", self.describe(module, *parent), s, f)
+            }
+            Obj::Unknown => "unknown memory".to_string(),
+        }
+    }
+}
+
+/// Pending constraint: `dst ⊇ contents(o)` for every `o ∈ pts(src)`.
+struct ComplexLoad {
+    dst: VarKey,
+    src: VarKey,
+}
+/// Pending constraint: `contents(o) ⊇ pts(src)` for every `o ∈ pts(dst_ptr)`.
+struct ComplexStore {
+    dst_ptr: VarKey,
+    src: VarKey,
+}
+
+struct Analyzer {
+    pt: PointsTo,
+    /// Copy edges: pts(to) ⊇ pts(from).
+    edges: HashMap<VarKey, Vec<VarKey>>,
+    /// FieldAddr derivations: (func, result inst, base value, struct id,
+    /// field index).
+    field_edges: Vec<(FuncId, InstId, Value, u32, u32)>,
+    complex_loads: Vec<ComplexLoad>,
+    complex_stores: Vec<ComplexStore>,
+    /// Pointer values passed to external calls: their pointees escape.
+    extern_args: Vec<VarKey>,
+}
+
+impl Analyzer {
+    fn add_edge(&mut self, from: VarKey, to: VarKey) {
+        self.edges.entry(from).or_default().push(to);
+    }
+
+    fn add_obj(&mut self, var: VarKey, obj: Obj) {
+        let id = self.pt.intern(obj);
+        self.pt.sets.entry(var).or_default().insert(id);
+    }
+
+    /// Copies pts(value) into `dst`.
+    fn value_into(&mut self, func: FuncId, value: &Value, dst: VarKey) {
+        match value {
+            Value::Inst(id) => self.add_edge(VarKey::Inst(func, *id), dst),
+            Value::Param(i) => self.add_edge(VarKey::Param(func, *i), dst),
+            Value::Global(g) => self.add_obj(dst, Obj::Global(*g)),
+            _ => {}
+        }
+    }
+
+    fn value_key(&self, func: FuncId, v: &Value) -> Option<VarKey> {
+        match v {
+            Value::Inst(id) => Some(VarKey::Inst(func, *id)),
+            Value::Param(i) => Some(VarKey::Param(func, *i)),
+            _ => None,
+        }
+    }
+
+    fn build_constraints(&mut self, module: &Module) {
+        // Every global gets an object up front, so `points_to` on a
+        // global's address is never empty (scalar globals are store/load
+        // targets for the taint analysis even when no pointer constraints
+        // mention them).
+        for (i, _) in module.globals.iter().enumerate() {
+            self.pt.intern(Obj::Global(GlobalId(i as u32)));
+        }
+        for fid in module.definitions() {
+            let func = module.function(fid);
+            for (iid, inst) in func.iter_insts() {
+                let this = VarKey::Inst(fid, iid);
+                match &inst.kind {
+                    InstKind::Alloca { .. } => {
+                        self.add_obj(this, Obj::Stack(fid, iid));
+                    }
+                    InstKind::FieldAddr { base, struct_id, field } => {
+                        self.field_edges.push((fid, iid, base.clone(), struct_id.0, *field));
+                    }
+                    InstKind::ElemAddr { base, .. } => {
+                        // Array elements collapse into the base object.
+                        self.value_into(fid, base, this);
+                    }
+                    InstKind::Cast { value, .. } => {
+                        if inst.ty.is_ptr() {
+                            self.value_into(fid, value, this);
+                        }
+                    }
+                    InstKind::Load { ptr } => {
+                        if inst.ty.is_ptr() {
+                            match self.value_key(fid, ptr) {
+                                Some(src) => {
+                                    self.complex_loads.push(ComplexLoad { dst: this, src })
+                                }
+                                None => {
+                                    if let Value::Global(g) = ptr {
+                                        let o = self.pt.intern(Obj::Global(*g));
+                                        self.add_edge(VarKey::Contents(o), this);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    InstKind::Store { ptr, value } => {
+                        let vt = module.value_type(func, value);
+                        if vt.is_ptr() {
+                            match self.value_key(fid, ptr) {
+                                Some(dst_ptr) => {
+                                    // The stored value may itself be a
+                                    // global address: route via a copy into
+                                    // a per-store scratch var.
+                                    let src = match self.value_key(fid, value) {
+                                        Some(k) => k,
+                                        None => {
+                                            let scratch = VarKey::Inst(fid, iid);
+                                            self.value_into(fid, value, scratch);
+                                            scratch
+                                        }
+                                    };
+                                    self.complex_stores.push(ComplexStore { dst_ptr, src });
+                                }
+                                None => {
+                                    if let Value::Global(g) = ptr {
+                                        let o = self.pt.intern(Obj::Global(*g));
+                                        self.value_into(fid, value, VarKey::Contents(o));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    InstKind::Phi { incoming } => {
+                        for (_, v) in incoming {
+                            self.value_into(fid, v, this);
+                        }
+                    }
+                    InstKind::Call { callee, args } => match callee {
+                        Callee::Local(target) if module.function(*target).is_definition => {
+                            for (i, arg) in args.iter().enumerate() {
+                                let at = module.value_type(func, arg);
+                                if at.is_ptr() {
+                                    self.value_into(fid, arg, VarKey::Param(*target, i as u32));
+                                }
+                            }
+                            if inst.ty.is_ptr() {
+                                self.add_edge(VarKey::Ret(*target), this);
+                            }
+                        }
+                        _ => {
+                            if inst.ty.is_ptr() {
+                                self.add_obj(this, Obj::ExternRet(fid, iid));
+                            }
+                            for arg in args {
+                                let at = module.value_type(func, arg);
+                                if at.is_ptr() {
+                                    match self.value_key(fid, arg) {
+                                        Some(k) => self.extern_args.push(k),
+                                        None => {
+                                            if let Value::Global(g) = arg {
+                                                let o = self.pt.intern(Obj::Global(*g));
+                                                self.pt.escaped.insert(o);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    },
+                    InstKind::Bin { .. } | InstKind::Cmp { .. } | InstKind::AssertSafe { .. } => {}
+                }
+            }
+            for (_, block) in func.iter_blocks() {
+                if let safeflow_ir::Terminator::Ret(Some(v)) = &block.terminator {
+                    let vt = module.value_type(func, v);
+                    if vt.is_ptr() {
+                        self.value_into(fid, v, VarKey::Ret(fid));
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        let mut changed = true;
+        let mut guard = 0usize;
+        while changed {
+            changed = false;
+            guard += 1;
+            if guard > 10_000 {
+                break; // defensive: should converge long before this
+            }
+            // Copy edges.
+            let edges: Vec<(VarKey, VarKey)> = self
+                .edges
+                .iter()
+                .flat_map(|(f, tos)| tos.iter().map(move |t| (*f, *t)))
+                .collect();
+            for (from, to) in edges {
+                let src = self.pt.sets.get(&from).cloned().unwrap_or_default();
+                if src.is_empty() {
+                    continue;
+                }
+                let dst = self.pt.sets.entry(to).or_default();
+                let before = dst.len();
+                dst.extend(src.iter().copied());
+                if dst.len() != before {
+                    changed = true;
+                }
+            }
+            // Field derivations.
+            let fes = self.field_edges.clone();
+            for (fid, iid, base, sid, field) in fes {
+                let base_set = match &base {
+                    Value::Inst(id) => self.pt.lookup(VarKey::Inst(fid, *id)),
+                    Value::Param(i) => self.pt.lookup(VarKey::Param(fid, *i)),
+                    Value::Global(g) => {
+                        let o = self.pt.intern(Obj::Global(*g));
+                        std::iter::once(o).collect()
+                    }
+                    _ => BTreeSet::new(),
+                };
+                for b in base_set {
+                    let fo = if matches!(self.pt.object(b), Obj::Unknown) {
+                        b
+                    } else {
+                        self.pt.intern(Obj::Field(b, sid, field))
+                    };
+                    let dst = self.pt.sets.entry(VarKey::Inst(fid, iid)).or_default();
+                    if dst.insert(fo) {
+                        changed = true;
+                    }
+                }
+            }
+            // Complex loads.
+            for i in 0..self.complex_loads.len() {
+                let (dst, src) = (self.complex_loads[i].dst, self.complex_loads[i].src);
+                let ptr_set = self.pt.lookup(src);
+                for o in ptr_set {
+                    let mut add = self.pt.lookup(VarKey::Contents(o));
+                    if self.pt.is_escaped(o) {
+                        add.insert(self.pt.intern(Obj::Unknown));
+                    }
+                    if add.is_empty() {
+                        continue;
+                    }
+                    let dset = self.pt.sets.entry(dst).or_default();
+                    let before = dset.len();
+                    dset.extend(add);
+                    if dset.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+            // Complex stores.
+            for i in 0..self.complex_stores.len() {
+                let (dst_ptr, src) = (self.complex_stores[i].dst_ptr, self.complex_stores[i].src);
+                let ptr_set = self.pt.lookup(dst_ptr);
+                let val_set = self.pt.lookup(src);
+                if val_set.is_empty() {
+                    continue;
+                }
+                for o in ptr_set {
+                    let cset = self.pt.sets.entry(VarKey::Contents(o)).or_default();
+                    let before = cset.len();
+                    cset.extend(val_set.iter().copied());
+                    if cset.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+            // Escape propagation.
+            let roots: Vec<VarKey> = self.extern_args.clone();
+            for k in roots {
+                for o in self.pt.lookup(k) {
+                    if self.pt.escaped.insert(o) {
+                        changed = true;
+                    }
+                }
+            }
+            let escaped: Vec<ObjId> = self.pt.escaped.iter().copied().collect();
+            for o in escaped {
+                for c in self.pt.lookup(VarKey::Contents(o)) {
+                    if self.pt.escaped.insert(c) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safeflow_ir::build_module;
+    use safeflow_syntax::diag::Diagnostics;
+    use safeflow_syntax::parse_source;
+
+    fn analyze(src: &str) -> (Module, PointsTo) {
+        let pr = parse_source("t.c", src);
+        assert!(!pr.diags.has_errors(), "{:?}", pr.diags);
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        assert!(!diags.has_errors(), "{diags:?}");
+        let pt = PointsTo::analyze(&m);
+        (m, pt)
+    }
+
+    #[test]
+    fn address_of_global_points_to_global() {
+        let (m, pt) = analyze("int g; int *take(void) { return &g; }");
+        let fid = m.function_by_name("take").unwrap();
+        let ret = pt.return_points_to(fid);
+        assert_eq!(ret.len(), 1);
+        let d = pt.describe(&m, *ret.iter().next().unwrap());
+        assert!(d.contains("global `g`"), "{d}");
+    }
+
+    #[test]
+    fn pointer_flows_through_call() {
+        let (m, pt) = analyze(
+            "int g;\nint *id(int *p) { return p; }\nint *f(void) { return id(&g); }",
+        );
+        let fid = m.function_by_name("f").unwrap();
+        let ret = pt.return_points_to(fid);
+        assert!(ret.iter().any(|&o| pt.describe(&m, o).contains("global `g`")));
+    }
+
+    #[test]
+    fn extern_call_returns_fresh_object() {
+        let (m, pt) = analyze(
+            "void *shmat(int id, void *a, int f);\nvoid *f(void) { return shmat(0, 0, 0); }",
+        );
+        let fid = m.function_by_name("f").unwrap();
+        let ret = pt.return_points_to(fid);
+        assert_eq!(ret.len(), 1);
+        let d = pt.describe(&m, *ret.iter().next().unwrap());
+        assert!(d.contains("shmat"), "{d}");
+    }
+
+    #[test]
+    fn global_pointer_contents_tracked() {
+        // Fig. 2 pattern: a global pointer initialized from shmat.
+        let (m, pt) = analyze(
+            r#"
+            typedef struct { float c; } D;
+            D *feedback;
+            void *shmat(int id, void *a, int f);
+            void init(void) { feedback = (D *) shmat(0, 0, 0); }
+            float use(void) { return feedback->c; }
+            "#,
+        );
+        let use_fid = m.function_by_name("use").unwrap();
+        let f = m.function(use_fid);
+        let mut found = false;
+        for (_, inst) in f.iter_insts() {
+            if let InstKind::FieldAddr { base, .. } = &inst.kind {
+                for o in pt.points_to(use_fid, base) {
+                    if pt.describe(&m, o).contains("shmat") {
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "feedback must point to the shmat segment");
+    }
+
+    #[test]
+    fn field_sensitivity_distinguishes_fields() {
+        let (m, pt) = analyze(
+            r#"
+            typedef struct { int *a; int *b; } P;
+            int x; int y;
+            P p;
+            void setup(void) { p.a = &x; p.b = &y; }
+            int *geta(void) { return p.a; }
+            "#,
+        );
+        let fid = m.function_by_name("geta").unwrap();
+        let ret = pt.return_points_to(fid);
+        let descs: Vec<String> = ret.iter().map(|&o| pt.describe(&m, o)).collect();
+        assert!(descs.iter().any(|d| d.contains("global `x`")), "{descs:?}");
+        assert!(
+            !descs.iter().any(|d| d.contains("global `y`")),
+            "field-sensitive: p.a must not alias p.b: {descs:?}"
+        );
+    }
+
+    #[test]
+    fn array_elements_collapse() {
+        let (m, pt) = analyze(
+            "int g;\nint *arr[4];\nvoid set(int i) { arr[i] = &g; }\nint *get(int j) { return arr[j]; }",
+        );
+        let fid = m.function_by_name("get").unwrap();
+        let ret = pt.return_points_to(fid);
+        assert!(ret.iter().any(|&o| pt.describe(&m, o).contains("global `g`")));
+    }
+
+    #[test]
+    fn escaped_pointer_contents_unknown() {
+        let (m, pt) = analyze(
+            "void mystery(int **p);\nint *f(void) { int *q; mystery(&q); return q; }",
+        );
+        let fid = m.function_by_name("f").unwrap();
+        let ret = pt.return_points_to(fid);
+        assert!(
+            ret.iter().any(|&o| matches!(pt.object(o), Obj::Unknown)),
+            "contents written by an external callee must be Unknown: {:?}",
+            ret.iter().map(|&o| pt.describe(&m, o)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reachability_through_contents() {
+        let (m, pt) = analyze(
+            r#"
+            int target;
+            int *mid;
+            void setup(void) { mid = &target; }
+            "#,
+        );
+        let mid_g = m.global_by_name("mid").unwrap();
+        let mid_obj = pt
+            .objects()
+            .find(|(_, o)| matches!(o, Obj::Global(g) if *g == mid_g))
+            .map(|(id, _)| id)
+            .unwrap();
+        let roots: BTreeSet<ObjId> = std::iter::once(mid_obj).collect();
+        let reach = pt.reachable(&roots);
+        assert!(reach
+            .iter()
+            .any(|&o| pt.describe(&m, o).contains("global `target`")));
+    }
+
+    #[test]
+    fn locals_are_distinct_objects() {
+        let (m, pt) = analyze("void g(int *p, int *q);\nvoid f(void) { int a; int b; g(&a, &b); }");
+        let fid = m.function_by_name("f").unwrap();
+        let stacks: Vec<ObjId> = pt
+            .objects()
+            .filter(|(_, o)| matches!(o, Obj::Stack(ff, _) if *ff == fid))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(stacks.len(), 2);
+    }
+
+    #[test]
+    fn base_of_strips_fields() {
+        let (m, pt) = analyze(
+            r#"
+            typedef struct { int *a; } P;
+            P p; int x;
+            void s(void) { p.a = &x; }
+            "#,
+        );
+        let field_obj = pt
+            .objects()
+            .find(|(_, o)| matches!(o, Obj::Field(..)))
+            .map(|(id, _)| id)
+            .expect("field object exists");
+        let base = pt.base_of(field_obj);
+        assert!(pt.describe(&m, base).contains("global `p`"));
+    }
+}

@@ -1,0 +1,504 @@
+//! The Simplex executive: the simulated counterpart of the paper's core
+//! controller loop (Figure 2), wired to the shared-memory bus, the
+//! Lyapunov monitor, and a (possibly faulty or malicious) non-core
+//! controller.
+//!
+//! Reproduces Figure 1's architecture end-to-end: sensor → core safety
+//! controller + non-core proposal → decision module (monitor) → actuator,
+//! with fault injection to demonstrate both what the monitor catches and
+//! what only SafeFlow's static analysis catches (the rigged feedback and
+//! pid defects flow through code paths the runtime monitor never sees).
+
+use crate::linalg::Mat;
+use crate::lqr::{dlqr, feedback, LqrDesign};
+use crate::monitor::{Decision, LyapunovMonitor};
+use crate::plant::{CartPole, DoublePendulum, Plant};
+use crate::shmem::{Fault, SharedBus, WriterId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which controller produced the applied command at a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeUsed {
+    /// The verified safety controller.
+    Safety,
+    /// The accepted non-core proposal.
+    Complex,
+}
+
+/// One step of the executive's trace.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// Simulation time (s).
+    pub t: f64,
+    /// Plant state after the step.
+    pub state: Vec<f64>,
+    /// Applied control (volts).
+    pub u: f64,
+    /// Which controller was used.
+    pub mode: ModeUsed,
+    /// Lyapunov value after the step.
+    pub lyapunov: f64,
+    /// Monitor decision on the non-core proposal this step.
+    pub decision: Decision,
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Steps simulated.
+    pub steps: usize,
+    /// Steps on the complex (non-core) controller.
+    pub complex_steps: usize,
+    /// Steps where the monitor rejected the proposal.
+    pub rejections: usize,
+    /// Whether the plant ever left its recoverable envelope.
+    pub plant_failed: bool,
+    /// Largest Lyapunov value observed.
+    pub max_lyapunov: f64,
+    /// Whether the core watchdog ended up killing the core's own pid (the
+    /// §4 kill-pid defect firing at run time).
+    pub killed_self: bool,
+    /// With `track_taint`: how many applied commands were influenced by a
+    /// non-core-tainted value that bypassed the monitor.
+    pub tainted_actuations: usize,
+    /// Full trace (one entry per step).
+    pub trace: Vec<TraceStep>,
+}
+
+/// Configuration of the simulated system.
+#[derive(Debug, Clone)]
+pub struct ExecutiveConfig {
+    /// Control period (s).
+    pub dt: f64,
+    /// Steps to simulate.
+    pub steps: usize,
+    /// Fault scenario for the non-core side.
+    pub fault: Fault,
+    /// Initial pendulum angle (rad).
+    pub initial_angle: f64,
+    /// Lyapunov envelope threshold.
+    pub envelope: f64,
+    /// RNG seed (the non-core controller adds exploration noise).
+    pub seed: u64,
+    /// Whether the *unsafe* core variant is used: it re-reads published
+    /// feedback from shared memory inside the clamp (the generic-Simplex
+    /// defect) and trusts the shared pid (kill-pid defect). With the safe
+    /// variant those code paths use core-local copies.
+    pub unsafe_core: bool,
+    /// Track run-time value provenance (taint bits) alongside every value,
+    /// emulating the run-time alternative the paper contrasts with static
+    /// analysis ("run-time error dependency detection incurs performance
+    /// penalties").
+    pub track_taint: bool,
+}
+
+impl Default for ExecutiveConfig {
+    fn default() -> Self {
+        ExecutiveConfig {
+            dt: 0.01,
+            steps: 2000,
+            fault: Fault::None,
+            initial_angle: 0.08,
+            envelope: 50.0,
+            seed: 42,
+            unsafe_core: false,
+            track_taint: false,
+        }
+    }
+}
+
+/// The simulated Simplex system.
+pub struct SimplexExecutive {
+    cfg: ExecutiveConfig,
+    plant: Box<dyn Plant>,
+    safety: LqrDesign,
+    complex: LqrDesign,
+    monitor: LyapunovMonitor,
+    bus: SharedBus,
+    rng: StdRng,
+    core_pid: f64,
+    noncore_pid: f64,
+    hb_counter: f64,
+    /// Taint bits per bus cell region (only when track_taint).
+    taint: std::collections::HashMap<(String, usize), bool>,
+    /// Count of tainted values that reached the actuator (runtime
+    /// equivalent of a SafeFlow error).
+    pub tainted_actuations: usize,
+}
+
+impl SimplexExecutive {
+    /// Builds the single-pendulum system of Figure 1: designs both
+    /// controllers, declares the bus layout of Figure 3 (feedback +
+    /// non-core control regions).
+    pub fn new(cfg: ExecutiveConfig) -> SimplexExecutive {
+        let plant = CartPole::with_initial_angle(cfg.initial_angle);
+        let (a, b) = plant.linearized(cfg.dt);
+        let q_safety = Mat::from_rows(&[
+            &[10.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 100.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        // The "complex" controller optimizes jitter (tighter angle cost).
+        let q_complex = Mat::from_rows(&[
+            &[30.0, 0.0, 0.0, 0.0],
+            &[0.0, 3.0, 0.0, 0.0],
+            &[0.0, 0.0, 400.0, 0.0],
+            &[0.0, 0.0, 0.0, 3.0],
+        ]);
+        Self::with_plant(cfg, Box::new(plant), a, b, &q_safety, &q_complex)
+    }
+
+    /// Builds the Double IP variant: the same executive balancing the
+    /// six-state double pendulum (the third Table 1 system's plant).
+    pub fn new_double(cfg: ExecutiveConfig) -> SimplexExecutive {
+        let plant = DoublePendulum::with_initial_angles(cfg.initial_angle, cfg.initial_angle / 2.0);
+        let (a, b) = plant.linearized(cfg.dt);
+        let mut q_safety = Mat::identity(6);
+        q_safety[(0, 0)] = 5.0;
+        q_safety[(2, 2)] = 200.0;
+        q_safety[(4, 4)] = 200.0;
+        let mut q_complex = Mat::identity(6);
+        q_complex[(0, 0)] = 15.0;
+        q_complex[(2, 2)] = 600.0;
+        q_complex[(4, 4)] = 600.0;
+        Self::with_plant(cfg, Box::new(plant), a, b, &q_safety, &q_complex)
+    }
+
+    /// Generic constructor: any plant with its discrete model and the two
+    /// controllers' state costs.
+    pub fn with_plant(
+        cfg: ExecutiveConfig,
+        plant: Box<dyn Plant>,
+        a: Mat,
+        b: Mat,
+        q_safety: &Mat,
+        q_complex: &Mat,
+    ) -> SimplexExecutive {
+        let safety = dlqr(&a, &b, q_safety, 0.5, 200_000).expect("safety LQR");
+        let complex = dlqr(&a, &b, q_complex, 0.2, 200_000).expect("complex LQR");
+        let monitor = LyapunovMonitor::new(a, b, safety.p.clone(), cfg.envelope, 5.0);
+        let n = plant.state_dim();
+        let mut bus = SharedBus::new();
+        // Figure 3 layout: feedback (full state + seq + ack) + non-core
+        // control; pid/heartbeat cells live in the non-core control block
+        // like the corpus systems.
+        bus.declare("feedback", n + 2, true);
+        bus.declare("ncctrl", 6, true); // control, seq, valid, hb, pid, computeTime
+        bus.declare("status", 4, false);
+        let seed = cfg.seed;
+        SimplexExecutive {
+            cfg,
+            plant,
+            safety,
+            complex,
+            monitor,
+            bus,
+            rng: StdRng::seed_from_u64(seed),
+            core_pid: 1000.0,
+            noncore_pid: 2000.0,
+            hb_counter: 0.0,
+            taint: std::collections::HashMap::new(),
+            tainted_actuations: 0,
+        }
+    }
+
+    fn taint_set(&mut self, region: &str, idx: usize, tainted: bool) {
+        if self.cfg.track_taint {
+            self.taint.insert((region.to_string(), idx), tainted);
+        }
+    }
+
+    fn taint_get(&self, region: &str, idx: usize) -> bool {
+        *self.taint.get(&(region.to_string(), idx)).unwrap_or(&false)
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(&mut self) -> RunSummary {
+        let mut trace = Vec::with_capacity(self.cfg.steps);
+        let mut complex_steps = 0;
+        let mut rejections = 0;
+        let mut max_v: f64 = 0.0;
+        let mut killed_self = false;
+        let mut plant_failed = false;
+        let mut last_seq = -1.0;
+
+        for step in 0..self.cfg.steps {
+            let t = step as f64 * self.cfg.dt;
+
+            // --- core publishes feedback (full state) --------------------
+            let state: Vec<f64> = self.plant.state().to_vec();
+            for (i, &v) in state.iter().enumerate() {
+                self.bus.write("feedback", i, v, WriterId::Core);
+                self.taint_set("feedback", i, false);
+            }
+            self.bus.write("feedback", state.len(), step as f64, WriterId::Core);
+
+            // --- non-core side acts (and maybe misbehaves) ----------------
+            self.noncore_step(step);
+
+            // --- core decision module ------------------------------------
+            let safe_u = feedback(&self.safety.k, &state).clamp(-5.0, 5.0);
+            let proposal = self.bus.read("ncctrl", 0);
+            let seq = self.bus.read("ncctrl", 1);
+            let valid = self.bus.read("ncctrl", 2);
+            let fresh = seq != last_seq;
+            last_seq = seq;
+
+            let decision = if !fresh || valid < 0.5 {
+                Decision::Reject(crate::monitor::RejectReason::Stale)
+            } else {
+                self.monitor.check(&state, proposal)
+            };
+
+            let (mut u, mode) = match decision {
+                Decision::Accept => (proposal, ModeUsed::Complex),
+                Decision::Reject(_) => {
+                    rejections += 1;
+                    (safe_u, ModeUsed::Safety)
+                }
+            };
+            let mut u_tainted = match mode {
+                ModeUsed::Complex => false, // monitored (the whole point)
+                ModeUsed::Safety => false,
+            };
+
+            // --- the unsafe-core defects (what only SafeFlow catches) ----
+            if self.cfg.unsafe_core {
+                // Rigged feedback: clamp limit derived from a *re-read* of
+                // published feedback — which the non-core side may have
+                // overwritten between publish and read-back.
+                let fb_pos = self.bus.read("feedback", 0);
+                let max_u = (4.5 - 0.5 * fb_pos.abs()).max(0.5);
+                u = u.clamp(-max_u, max_u);
+                if self.cfg.track_taint {
+                    u_tainted = u_tainted || self.taint_get("feedback", 0);
+                }
+                // Kill-pid: watchdog on heartbeat.
+                let hb = self.bus.read("ncctrl", 3);
+                if hb == self.hb_counter && step > 10 {
+                    let pid = self.bus.read("ncctrl", 4);
+                    if (pid - self.core_pid).abs() < 0.5 {
+                        killed_self = true;
+                    }
+                }
+                self.hb_counter = hb;
+            }
+
+            if self.cfg.track_taint && u_tainted {
+                self.tainted_actuations += 1;
+            }
+
+            // --- actuate ---------------------------------------------------
+            self.plant.step(u, self.cfg.dt);
+            let v = self.monitor.lyapunov(self.plant.state());
+            max_v = max_v.max(v);
+            if self.plant.failed() {
+                plant_failed = true;
+            }
+            if mode == ModeUsed::Complex {
+                complex_steps += 1;
+            }
+            self.bus.write("status", 0, u, WriterId::Core);
+            self.bus.write("status", 1, v, WriterId::Core);
+
+            trace.push(TraceStep {
+                t,
+                state: self.plant.state().to_vec(),
+                u,
+                mode,
+                lyapunov: v,
+                decision,
+            });
+            if plant_failed || killed_self {
+                break;
+            }
+        }
+
+        RunSummary {
+            steps: trace.len(),
+            complex_steps,
+            rejections,
+            plant_failed,
+            max_lyapunov: max_v,
+            killed_self,
+            tainted_actuations: self.tainted_actuations,
+            trace,
+        }
+    }
+
+    /// The non-core component's behaviour for one period.
+    fn noncore_step(&mut self, step: usize) {
+        let state: Vec<f64> = self.plant.state().to_vec();
+        if self.cfg.fault == Fault::Stale {
+            // Stops publishing after a while.
+            if step > 50 {
+                return;
+            }
+        }
+        // Normal behaviour: the complex controller proposes its command
+        // (with a little exploration noise — it is "new and untested").
+        let mut proposal = feedback(&self.complex.k, &state);
+        proposal += self.rng.gen_range(-0.05..0.05);
+
+        match self.cfg.fault {
+            Fault::GarbageCommands => {
+                if step % 37 == 13 {
+                    proposal = 80.0; // absurd magnitude
+                }
+                if step % 101 == 50 {
+                    proposal = f64::NAN;
+                }
+            }
+            Fault::RigFeedback { value } => {
+                // Overwrite the published feedback AFTER the core published
+                // it (data race the core cannot see).
+                self.bus.write("feedback", 0, value, WriterId::NonCore);
+                self.taint_set("feedback", 0, true);
+            }
+            Fault::RigPid { pid } => {
+                self.bus.write("ncctrl", 4, pid, WriterId::NonCore);
+                // And stop heartbeating so the watchdog fires.
+                if step > 20 {
+                    self.bus.write("ncctrl", 1, step as f64, WriterId::NonCore);
+                    self.bus.write("ncctrl", 0, proposal.clamp(-5.0, 5.0), WriterId::NonCore);
+                    self.bus.write("ncctrl", 2, 1.0, WriterId::NonCore);
+                    return; // heartbeat cell left stale
+                }
+            }
+            _ => {}
+        }
+
+        self.bus.write("ncctrl", 0, proposal, WriterId::NonCore);
+        self.bus.write("ncctrl", 1, step as f64, WriterId::NonCore);
+        self.bus.write("ncctrl", 2, 1.0, WriterId::NonCore);
+        self.bus.write("ncctrl", 3, step as f64, WriterId::NonCore);
+        if !matches!(self.cfg.fault, Fault::RigPid { .. }) {
+            self.bus.write("ncctrl", 4, self.noncore_pid, WriterId::NonCore);
+        }
+        self.bus.write("ncctrl", 5, 120.0 + (step % 7) as f64, WriterId::NonCore);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_run_balances_and_uses_complex_controller() {
+        let summary = SimplexExecutive::new(ExecutiveConfig::default()).run();
+        assert!(!summary.plant_failed, "monitored Simplex must keep the pendulum up");
+        assert!(
+            summary.complex_steps > summary.steps / 2,
+            "a well-behaved complex controller should usually be in control: {}/{}",
+            summary.complex_steps,
+            summary.steps
+        );
+    }
+
+    #[test]
+    fn garbage_commands_are_rejected_and_plant_survives() {
+        let cfg = ExecutiveConfig { fault: Fault::GarbageCommands, ..Default::default() };
+        let summary = SimplexExecutive::new(cfg).run();
+        assert!(!summary.plant_failed);
+        assert!(summary.rejections > 0, "garbage must be rejected");
+    }
+
+    #[test]
+    fn stale_noncore_falls_back_to_safety() {
+        let cfg = ExecutiveConfig { fault: Fault::Stale, ..Default::default() };
+        let summary = SimplexExecutive::new(cfg).run();
+        assert!(!summary.plant_failed);
+        // After the non-core side stops, every step is a rejection.
+        assert!(summary.rejections > summary.steps / 2);
+    }
+
+    #[test]
+    fn rigged_pid_kills_unsafe_core_but_not_safe_core() {
+        let rig = Fault::RigPid { pid: 1000.0 };
+        let unsafe_cfg =
+            ExecutiveConfig { fault: rig, unsafe_core: true, ..Default::default() };
+        let summary = SimplexExecutive::new(unsafe_cfg).run();
+        assert!(summary.killed_self, "the kill-pid defect must fire on the unsafe core");
+
+        let safe_cfg = ExecutiveConfig { fault: rig, unsafe_core: false, ..Default::default() };
+        let summary = SimplexExecutive::new(safe_cfg).run();
+        assert!(!summary.killed_self, "the safe core never trusts the shared pid");
+    }
+
+    #[test]
+    fn rigged_feedback_reaches_actuator_only_in_unsafe_core() {
+        let rig = Fault::RigFeedback { value: 0.0 };
+        let unsafe_cfg = ExecutiveConfig {
+            fault: rig,
+            unsafe_core: true,
+            track_taint: true,
+            steps: 300,
+            ..Default::default()
+        };
+        let summary = SimplexExecutive::new(unsafe_cfg).run();
+        assert!(
+            summary.tainted_actuations > 0,
+            "the rigged feedback must reach the actuator through the unsafe clamp"
+        );
+
+        let safe_cfg = ExecutiveConfig {
+            fault: rig,
+            unsafe_core: false,
+            track_taint: true,
+            steps: 300,
+            ..Default::default()
+        };
+        let summary = SimplexExecutive::new(safe_cfg).run();
+        assert_eq!(
+            summary.tainted_actuations, 0,
+            "the safe core never re-reads published feedback"
+        );
+        assert!(!summary.plant_failed);
+    }
+
+    #[test]
+    fn trace_is_complete_and_monotone_in_time() {
+        let cfg = ExecutiveConfig { steps: 100, ..Default::default() };
+        let summary = SimplexExecutive::new(cfg).run();
+        assert_eq!(summary.trace.len(), 100);
+        for w in summary.trace.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod double_tests {
+    use super::*;
+
+    #[test]
+    fn double_pendulum_simplex_balances() {
+        let cfg = ExecutiveConfig {
+            dt: 0.005,
+            steps: 1500,
+            initial_angle: 0.03,
+            envelope: 80.0,
+            ..Default::default()
+        };
+        let summary = SimplexExecutive::new_double(cfg).run();
+        assert!(!summary.plant_failed, "the Double IP Simplex must balance both links");
+        assert!(summary.complex_steps > 0);
+    }
+
+    #[test]
+    fn double_pendulum_survives_garbage_commands() {
+        let cfg = ExecutiveConfig {
+            dt: 0.005,
+            steps: 1500,
+            initial_angle: 0.02,
+            envelope: 80.0,
+            fault: Fault::GarbageCommands,
+            ..Default::default()
+        };
+        let summary = SimplexExecutive::new_double(cfg).run();
+        assert!(!summary.plant_failed);
+        assert!(summary.rejections > 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # simplex-sim
+//!
+//! Simulation substrate for the SafeFlow reproduction: the physical/runtime
+//! side of the paper's world that we cannot obtain (the UIUC lab's
+//! inverted pendulum hardware and Simplex runtime).
+//!
+//! Provides:
+//!
+//! * plant models ([`plant::CartPole`] — Figure 1's pendulum — and
+//!   [`plant::LinearPlant`] for the generic Simplex),
+//! * LQR synthesis via Riccati iteration ([`lqr::dlqr`]) — the verified
+//!   safety controller, whose Riccati solution doubles as the Lyapunov
+//!   envelope,
+//! * run-time monitors ([`monitor::LyapunovMonitor`]) implementing the
+//!   Simplex recoverability check the paper's `assume(core(...))`
+//!   annotations describe,
+//! * a simulated shared-memory bus with §4-style fault injection
+//!   ([`shmem`]), and
+//! * the Simplex executive ([`executive::SimplexExecutive`]) reproducing
+//!   Figure 2's control loop, with safe/unsafe core variants demonstrating
+//!   the defects SafeFlow catches statically.
+//!
+//! # Examples
+//!
+//! ```
+//! use simplex_sim::executive::{ExecutiveConfig, SimplexExecutive};
+//!
+//! let summary = SimplexExecutive::new(ExecutiveConfig {
+//!     steps: 500,
+//!     ..Default::default()
+//! })
+//! .run();
+//! assert!(!summary.plant_failed);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executive;
+pub mod linalg;
+pub mod lqr;
+pub mod monitor;
+pub mod plant;
+pub mod shmem;
+
+pub use executive::{ExecutiveConfig, ModeUsed, RunSummary, SimplexExecutive};
+pub use monitor::{Decision, LyapunovMonitor, RangeMonitor, RejectReason};
+pub use plant::{CartPole, DoublePendulum, LinearPlant, Plant};
+pub use shmem::{Fault, SharedBus, WriterId};

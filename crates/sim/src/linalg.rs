@@ -1,0 +1,266 @@
+//! Minimal dense linear algebra for small control-sized matrices.
+//!
+//! Everything the Simplex simulation needs: products, transposes, and the
+//! inversion used by the discrete Riccati iteration. Sizes are tiny (≤ 6),
+//! so naive algorithms are the right tool.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a row-major nested slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have uneven lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Mat {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        let mut m = Mat::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Column vector from a slice.
+    pub fn col_vec(v: &[f64]) -> Mat {
+        let mut m = Mat::zeros(v.len(), 1);
+        for (i, &x) in v.iter().enumerate() {
+            m[(i, 0)] = x;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix sum.
+    pub fn add(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (o, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o += b;
+        }
+        out
+    }
+
+    /// Matrix difference.
+    pub fn sub(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut out = self.clone();
+        for (o, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o -= b;
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f64) -> Mat {
+        let mut out = self.clone();
+        for o in out.data.iter_mut() {
+            *o *= k;
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Inverse by Gauss–Jordan with partial pivoting.
+    ///
+    /// Returns `None` for singular (or nearly singular) matrices.
+    pub fn inverse(&self) -> Option<Mat> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Mat::identity(n);
+        for col in 0..n {
+            // Pivot.
+            let mut pivot = col;
+            for r in col + 1..n {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.data.swap(col * n + j, pivot * n + j);
+                    inv.data.swap(col * n + j, pivot * n + j);
+                }
+            }
+            let d = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= d;
+                inv[(col, j)] /= d;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a[(r, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let acj = a[(col, j)];
+                    let icj = inv[(col, j)];
+                    a[(r, j)] -= f * acj;
+                    inv[(r, j)] -= f * icj;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Frobenius norm of the difference to `other`.
+    pub fn distance(&self, other: &Mat) -> f64 {
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Quadratic form `x' M x` for a vector `x`.
+    pub fn quad_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(self.rows, x.len());
+        assert_eq!(self.cols, x.len());
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                acc += x[i] * self[(i, j)] * x[j];
+            }
+        }
+        acc
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Mat::identity(2);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn product_known_values() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Mat::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul(&inv);
+        assert!(prod.distance(&Mat::identity(2)) < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn quad_form_matches_manual() {
+        let p = Mat::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let x = [3.0, -1.0];
+        // 2*9 + 0.5*3*(-1)*2 + 1*1 = 18 - 3 + 1 = 16.
+        assert!((p.quad_form(&x) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+}

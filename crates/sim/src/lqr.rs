@@ -1,0 +1,146 @@
+//! Discrete-time LQR synthesis via Riccati iteration.
+//!
+//! Produces both the feedback gain (the paper's verified safety
+//! controller) and the cost-to-go matrix `P`, which doubles as the
+//! Lyapunov function of the Simplex stability envelope (paper reference 22).
+
+use crate::linalg::Mat;
+
+/// Result of LQR synthesis.
+#[derive(Debug, Clone)]
+pub struct LqrDesign {
+    /// State-feedback gain row vector: `u = -K x`.
+    pub k: Mat,
+    /// Riccati solution (positive definite); `V(x) = x' P x` decreases
+    /// along closed-loop trajectories.
+    pub p: Mat,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+/// Solves the discrete algebraic Riccati equation by fixed-point iteration
+/// and returns the optimal gain.
+///
+/// `a`/`b` is the discrete model, `q` the state cost (PSD), `r > 0` the
+/// scalar input cost.
+///
+/// Returns `None` when the iteration fails to converge (e.g. an
+/// unstabilizable model) or a required inverse does not exist.
+pub fn dlqr(a: &Mat, b: &Mat, q: &Mat, r: f64, max_iter: usize) -> Option<LqrDesign> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.rows(), n);
+    assert_eq!(b.cols(), 1);
+    assert_eq!(q.rows(), n);
+
+    let at = a.transpose();
+    let bt = b.transpose();
+    let mut p = q.clone();
+    for it in 0..max_iter {
+        // K = (R + B'PB)^-1 B'PA  (scalar input: the inverse is a division)
+        let btpb = bt.mul(&p).mul(b)[(0, 0)];
+        let denom = r + btpb;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let k = bt.mul(&p).mul(a).scale(1.0 / denom);
+        // P' = A'PA - A'PB K + Q
+        let next = at
+            .mul(&p)
+            .mul(a)
+            .sub(&at.mul(&p).mul(b).mul(&k))
+            .add(q);
+        let delta = next.distance(&p);
+        p = next;
+        if delta < 1e-10 {
+            let btpb = bt.mul(&p).mul(b)[(0, 0)];
+            let k = bt.mul(&p).mul(a).scale(1.0 / (r + btpb));
+            return Some(LqrDesign { k, p, iterations: it + 1 });
+        }
+    }
+    None
+}
+
+/// Evaluates the feedback law `u = -K x`.
+pub fn feedback(k: &Mat, x: &[f64]) -> f64 {
+    let xv = Mat::col_vec(x);
+    -k.mul(&xv)[(0, 0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plant::{CartPole, Plant};
+
+    fn double_integrator() -> (Mat, Mat) {
+        let dt = 0.1;
+        let a = Mat::from_rows(&[&[1.0, dt], &[0.0, 1.0]]);
+        let b = Mat::col_vec(&[0.5 * dt * dt, dt]);
+        (a, b)
+    }
+
+    #[test]
+    fn riccati_converges_on_double_integrator() {
+        let (a, b) = double_integrator();
+        let q = Mat::identity(2);
+        let d = dlqr(&a, &b, &q, 1.0, 10_000).expect("converges");
+        assert!(d.iterations > 1);
+        // P must be positive definite: check the quadratic form on axes.
+        assert!(d.p.quad_form(&[1.0, 0.0]) > 0.0);
+        assert!(d.p.quad_form(&[0.0, 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_double_integrator_is_stable() {
+        let (a, b) = double_integrator();
+        let q = Mat::identity(2);
+        let d = dlqr(&a, &b, &q, 1.0, 10_000).unwrap();
+        let mut x = vec![1.0, 0.0];
+        for _ in 0..400 {
+            let u = feedback(&d.k, &x);
+            let xv = Mat::col_vec(&x);
+            let next = a.mul(&xv).add(&b.scale(u));
+            x = (0..2).map(|i| next[(i, 0)]).collect();
+        }
+        assert!(x[0].abs() < 1e-3, "position must regulate to zero: {x:?}");
+        assert!(x[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn lyapunov_decreases_along_closed_loop() {
+        let (a, b) = double_integrator();
+        let q = Mat::identity(2);
+        let d = dlqr(&a, &b, &q, 1.0, 10_000).unwrap();
+        let mut x = vec![1.0, -0.5];
+        let mut v_prev = d.p.quad_form(&x);
+        for _ in 0..50 {
+            let u = feedback(&d.k, &x);
+            let next = a.mul(&Mat::col_vec(&x)).add(&b.scale(u));
+            x = (0..2).map(|i| next[(i, 0)]).collect();
+            let v = d.p.quad_form(&x);
+            assert!(v <= v_prev + 1e-9, "V must be non-increasing");
+            v_prev = v;
+        }
+    }
+
+    #[test]
+    fn cartpole_lqr_balances_nonlinear_plant() {
+        let plant = CartPole::default();
+        let dt = 0.01;
+        let (a, b) = plant.linearized(dt);
+        let q = Mat::from_rows(&[
+            &[10.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 100.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        let d = dlqr(&a, &b, &q, 0.5, 50_000).expect("cart-pole LQR converges");
+        let mut p = CartPole::with_initial_angle(0.1);
+        for _ in 0..2000 {
+            let u = feedback(&d.k, p.state()).clamp(-5.0, 5.0);
+            p.step(u, dt);
+            assert!(!p.failed(), "LQR must keep the pendulum up: state {:?}", p.state());
+        }
+        assert!(p.state()[2].abs() < 0.05, "angle regulated: {:?}", p.state());
+    }
+}

@@ -1,0 +1,187 @@
+//! Run-time monitors: the Simplex recoverability checks that SafeFlow's
+//! `assume(core(...))` annotations describe.
+//!
+//! The primary monitor is the Lyapunov stability envelope of paper reference 22 (as used
+//! by the paper's running example): a proposed non-core control is
+//! accepted only if applying it for one period provably keeps the state
+//! inside the sublevel set `V(x) = x'Px ≤ c` from which the verified
+//! safety controller can recover.
+
+use crate::linalg::Mat;
+
+/// Outcome of a monitor check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The non-core value may be used.
+    Accept,
+    /// The value was rejected; the reason says why.
+    Reject(RejectReason),
+}
+
+/// Why a monitor rejected a proposed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Outside the permissible actuation range.
+    RangeViolation,
+    /// Not a finite number.
+    NotFinite,
+    /// Predicted next state leaves the Lyapunov envelope.
+    EnvelopeViolation,
+    /// The proposal is stale (sequence number unchanged).
+    Stale,
+}
+
+/// Lyapunov-envelope monitor for a discrete linear model.
+#[derive(Debug, Clone)]
+pub struct LyapunovMonitor {
+    /// Discrete model used for the one-step prediction.
+    a: Mat,
+    b: Mat,
+    /// Lyapunov matrix (from the safety controller's Riccati solution).
+    p: Mat,
+    /// Envelope level: states with `V(x) ≤ threshold` are recoverable.
+    pub threshold: f64,
+    /// Permissible actuation range (volts).
+    pub u_limit: f64,
+}
+
+impl LyapunovMonitor {
+    /// Builds a monitor from the model and Lyapunov matrix.
+    pub fn new(a: Mat, b: Mat, p: Mat, threshold: f64, u_limit: f64) -> LyapunovMonitor {
+        LyapunovMonitor { a, b, p, threshold, u_limit }
+    }
+
+    /// The Lyapunov function value at `x`.
+    pub fn lyapunov(&self, x: &[f64]) -> f64 {
+        self.p.quad_form(x)
+    }
+
+    /// Checks whether applying `u` at state `x` keeps the system
+    /// recoverable (paper §1: "verify that the system remains in a
+    /// recoverable state if a non-core value is utilized").
+    pub fn check(&self, x: &[f64], u: f64) -> Decision {
+        if !u.is_finite() {
+            return Decision::Reject(RejectReason::NotFinite);
+        }
+        if u.abs() > self.u_limit {
+            return Decision::Reject(RejectReason::RangeViolation);
+        }
+        // One-step prediction under the proposal.
+        let xv = Mat::col_vec(x);
+        let next = self.a.mul(&xv).add(&self.b.scale(u));
+        let next_vec: Vec<f64> = (0..next.rows()).map(|i| next[(i, 0)]).collect();
+        let v_next = self.p.quad_form(&next_vec);
+        if v_next > self.threshold {
+            return Decision::Reject(RejectReason::EnvelopeViolation);
+        }
+        Decision::Accept
+    }
+}
+
+/// Simple range monitor for configuration-style values.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeMonitor {
+    /// Smallest acceptable value.
+    pub lo: f64,
+    /// Largest acceptable value.
+    pub hi: f64,
+}
+
+impl RangeMonitor {
+    /// Checks a scalar against the range.
+    pub fn check(&self, v: f64) -> Decision {
+        if !v.is_finite() {
+            Decision::Reject(RejectReason::NotFinite)
+        } else if v < self.lo || v > self.hi {
+            Decision::Reject(RejectReason::RangeViolation)
+        } else {
+            Decision::Accept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lqr::dlqr;
+    use crate::plant::{CartPole, Plant};
+
+    fn monitor_for_cartpole() -> (LyapunovMonitor, CartPole) {
+        let plant = CartPole::default();
+        let (a, b) = plant.linearized(0.01);
+        let q = Mat::from_rows(&[
+            &[10.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 100.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        let d = dlqr(&a, &b, &q, 0.5, 50_000).unwrap();
+        let m = LyapunovMonitor::new(a, b, d.p, 50.0, 5.0);
+        (m, plant)
+    }
+
+    #[test]
+    fn sane_control_near_upright_accepted() {
+        let (m, _) = monitor_for_cartpole();
+        let x = [0.0, 0.0, 0.02, 0.0];
+        assert_eq!(m.check(&x, 0.1), Decision::Accept);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (m, _) = monitor_for_cartpole();
+        let x = [0.0, 0.0, 0.0, 0.0];
+        assert_eq!(m.check(&x, 12.0), Decision::Reject(RejectReason::RangeViolation));
+        assert_eq!(
+            m.check(&x, f64::NAN),
+            Decision::Reject(RejectReason::NotFinite)
+        );
+    }
+
+    #[test]
+    fn envelope_violation_rejected() {
+        let (m, _) = monitor_for_cartpole();
+        // Already near the envelope boundary; a hard shove must be refused.
+        let x = [1.0, 0.3, 0.25, 0.6];
+        match m.check(&x, 4.9) {
+            Decision::Reject(RejectReason::EnvelopeViolation) => {}
+            other => panic!("expected envelope rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lyapunov_value_zero_at_origin() {
+        let (m, _) = monitor_for_cartpole();
+        assert!(m.lyapunov(&[0.0; 4]).abs() < 1e-12);
+        assert!(m.lyapunov(&[0.1, 0.0, 0.1, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn range_monitor_basics() {
+        let r = RangeMonitor { lo: -5.0, hi: 5.0 };
+        assert_eq!(r.check(1.0), Decision::Accept);
+        assert_eq!(r.check(6.0), Decision::Reject(RejectReason::RangeViolation));
+        assert_eq!(r.check(f64::INFINITY), Decision::Reject(RejectReason::NotFinite));
+    }
+
+    #[test]
+    fn accepted_controls_preserve_recoverability() {
+        // Property: from a mildly disturbed state, any accepted proposal
+        // leaves the safety controller able to recover.
+        let (m, mut plant) = monitor_for_cartpole();
+        let (a, b) = plant.linearized(0.01);
+        let q = Mat::identity(4);
+        let d = dlqr(&a, &b, &q, 1.0, 50_000).unwrap();
+        plant.set_state(&[0.1, 0.0, 0.05, 0.0]);
+        // Adversarial proposal sweep; apply only accepted ones.
+        for i in 0..200 {
+            let proposal = ((i as f64) * 0.37).sin() * 6.0; // often out of range
+            let u = match m.check(plant.state(), proposal) {
+                Decision::Accept => proposal,
+                Decision::Reject(_) => crate::lqr::feedback(&d.k, plant.state()).clamp(-5.0, 5.0),
+            };
+            plant.step(u, 0.01);
+            assert!(!plant.failed(), "monitored system must never fail");
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Plant models: the physical systems the Simplex controllers balance.
+
+use crate::linalg::Mat;
+
+/// A continuous-time plant integrated by the simulation.
+pub trait Plant {
+    /// Number of state variables.
+    fn state_dim(&self) -> usize;
+    /// Current state vector.
+    fn state(&self) -> &[f64];
+    /// Overwrites the state (used by tests and fault scenarios).
+    fn set_state(&mut self, state: &[f64]);
+    /// Advances the plant by `dt` seconds under control input `u`.
+    fn step(&mut self, u: f64, dt: f64);
+    /// Measured outputs (what the sensors report).
+    fn outputs(&self) -> Vec<f64>;
+    /// Whether the plant has left the physically recoverable envelope
+    /// (pendulum fallen, cart off the track, ...).
+    fn failed(&self) -> bool;
+}
+
+/// The inverted pendulum on a cart (Figure 1 of the paper): nonlinear
+/// dynamics integrated with RK4.
+///
+/// State: `[x, x_dot, theta, theta_dot]` with `theta = 0` upright.
+#[derive(Debug, Clone)]
+pub struct CartPole {
+    state: [f64; 4],
+    /// Cart mass (kg).
+    pub cart_mass: f64,
+    /// Pendulum mass (kg).
+    pub pole_mass: f64,
+    /// Pendulum half-length (m).
+    pub pole_length: f64,
+    /// Track half-extent; |x| beyond this is failure (m).
+    pub track_limit: f64,
+    /// |theta| beyond this is failure (rad).
+    pub angle_limit: f64,
+    /// Force per volt of control input (N/V).
+    pub volts_to_force: f64,
+}
+
+impl Default for CartPole {
+    fn default() -> Self {
+        CartPole {
+            state: [0.0, 0.0, 0.05, 0.0],
+            cart_mass: 1.0,
+            pole_mass: 0.1,
+            pole_length: 0.5,
+            track_limit: 1.5,
+            angle_limit: 0.6,
+            volts_to_force: 2.0,
+        }
+    }
+}
+
+impl CartPole {
+    /// A pendulum starting at `theta0` radians from upright.
+    pub fn with_initial_angle(theta0: f64) -> CartPole {
+        let mut p = CartPole::default();
+        p.state[2] = theta0;
+        p
+    }
+
+    fn derivatives(&self, s: &[f64; 4], force: f64) -> [f64; 4] {
+        let g = 9.81;
+        let mc = self.cart_mass;
+        let mp = self.pole_mass;
+        let l = self.pole_length;
+        let theta = s[2];
+        let theta_dot = s[3];
+        let sin = theta.sin();
+        let cos = theta.cos();
+        let total = mc + mp;
+        // Standard cart-pole equations (Barto et al. convention, theta
+        // measured from upright).
+        let tmp = (force + mp * l * theta_dot * theta_dot * sin) / total;
+        let theta_acc =
+            (g * sin - cos * tmp) / (l * (4.0 / 3.0 - mp * cos * cos / total));
+        let x_acc = tmp - mp * l * theta_acc * cos / total;
+        [s[1], x_acc, s[3], theta_acc]
+    }
+
+    /// Linearized discrete model `(A, B)` about the upright equilibrium,
+    /// for LQR design (zero-order hold by Euler with the given dt — fine
+    /// at control rates).
+    pub fn linearized(&self, dt: f64) -> (Mat, Mat) {
+        let g = 9.81;
+        let mc = self.cart_mass;
+        let mp = self.pole_mass;
+        let l = self.pole_length;
+        let total = mc + mp;
+        let denom = l * (4.0 / 3.0 - mp / total);
+        // Continuous-time A, B (linearized around theta=0).
+        let a21 = -mp * g / (total * (4.0 / 3.0 - mp / total) * (4.0 / 3.0));
+        let _ = a21; // kept simple below
+        let a_theta = g / denom;
+        let b_x = 1.0 / total;
+        let b_theta = -1.0 / (total * denom);
+        let a = Mat::from_rows(&[
+            &[1.0, dt, 0.0, 0.0],
+            &[0.0, 1.0, -dt * mp * l * a_theta * 0.75 / total, 0.0],
+            &[0.0, 0.0, 1.0, dt],
+            &[0.0, 0.0, dt * a_theta, 1.0],
+        ]);
+        let b = Mat::col_vec(&[
+            0.0,
+            dt * b_x * self.volts_to_force,
+            0.0,
+            dt * b_theta * self.volts_to_force,
+        ]);
+        (a, b)
+    }
+}
+
+impl Plant for CartPole {
+    fn state_dim(&self) -> usize {
+        4
+    }
+
+    fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    fn set_state(&mut self, state: &[f64]) {
+        self.state.copy_from_slice(state);
+    }
+
+    fn step(&mut self, u: f64, dt: f64) {
+        let force = u * self.volts_to_force;
+        // RK4.
+        let s = self.state;
+        let k1 = self.derivatives(&s, force);
+        let s2 = add_scaled(&s, &k1, dt / 2.0);
+        let k2 = self.derivatives(&s2, force);
+        let s3 = add_scaled(&s, &k2, dt / 2.0);
+        let k3 = self.derivatives(&s3, force);
+        let s4 = add_scaled(&s, &k3, dt);
+        let k4 = self.derivatives(&s4, force);
+        for i in 0..4 {
+            self.state[i] = s[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+
+    fn outputs(&self) -> Vec<f64> {
+        vec![self.state[0], self.state[2]]
+    }
+
+    fn failed(&self) -> bool {
+        self.state[0].abs() > self.track_limit || self.state[2].abs() > self.angle_limit
+    }
+}
+
+fn add_scaled(s: &[f64; 4], d: &[f64; 4], h: f64) -> [f64; 4] {
+    [s[0] + h * d[0], s[1] + h * d[1], s[2] + h * d[2], s[3] + h * d[3]]
+}
+
+/// A generic discrete linear plant `x' = A x + B u` (the "simple plants"
+/// of the generic Simplex system).
+#[derive(Debug, Clone)]
+pub struct LinearPlant {
+    a: Mat,
+    b: Mat,
+    state: Vec<f64>,
+    /// Failure bound on every state component.
+    pub state_limit: f64,
+}
+
+impl LinearPlant {
+    /// Creates the plant with zero initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square or `b`'s shape mismatches.
+    pub fn new(a: Mat, b: Mat, state_limit: f64) -> LinearPlant {
+        assert_eq!(a.rows(), a.cols());
+        assert_eq!(b.rows(), a.rows());
+        assert_eq!(b.cols(), 1);
+        let n = a.rows();
+        LinearPlant { a, b, state: vec![0.0; n], state_limit }
+    }
+
+    /// The discrete system matrices.
+    pub fn model(&self) -> (&Mat, &Mat) {
+        (&self.a, &self.b)
+    }
+}
+
+impl Plant for LinearPlant {
+    fn state_dim(&self) -> usize {
+        self.state.len()
+    }
+
+    fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    fn set_state(&mut self, state: &[f64]) {
+        self.state.copy_from_slice(state);
+    }
+
+    fn step(&mut self, u: f64, _dt: f64) {
+        // Discrete plant: one step per call.
+        let x = Mat::col_vec(&self.state);
+        let next = self.a.mul(&x).add(&self.b.scale(u));
+        for i in 0..self.state.len() {
+            self.state[i] = next[(i, 0)];
+        }
+    }
+
+    fn outputs(&self) -> Vec<f64> {
+        self.state.clone()
+    }
+
+    fn failed(&self) -> bool {
+        self.state.iter().any(|v| v.abs() > self.state_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontrolled_pendulum_falls() {
+        let mut p = CartPole::with_initial_angle(0.05);
+        for _ in 0..1000 {
+            p.step(0.0, 0.01);
+            if p.failed() {
+                break;
+            }
+        }
+        assert!(p.failed(), "an uncontrolled inverted pendulum must fall");
+    }
+
+    #[test]
+    fn upright_equilibrium_is_stationary() {
+        let mut p = CartPole::default();
+        p.set_state(&[0.0, 0.0, 0.0, 0.0]);
+        for _ in 0..100 {
+            p.step(0.0, 0.01);
+        }
+        assert!(p.state()[2].abs() < 1e-9, "exact upright is an equilibrium");
+    }
+
+    #[test]
+    fn force_accelerates_cart() {
+        let mut p = CartPole::default();
+        p.set_state(&[0.0, 0.0, 0.0, 0.0]);
+        p.step(1.0, 0.01);
+        assert!(p.state()[1] > 0.0, "positive volts push the cart forward");
+    }
+
+    #[test]
+    fn linear_plant_steps_by_model() {
+        let a = Mat::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]);
+        let b = Mat::col_vec(&[0.0, 0.1]);
+        let mut p = LinearPlant::new(a, b, 10.0);
+        p.set_state(&[1.0, 0.0]);
+        p.step(1.0, 0.01);
+        assert!((p.state()[0] - 1.0).abs() < 1e-12);
+        assert!((p.state()[1] - 0.1).abs() < 1e-12);
+        assert!(!p.failed());
+    }
+
+    #[test]
+    fn linearized_model_shapes() {
+        let p = CartPole::default();
+        let (a, b) = p.linearized(0.01);
+        assert_eq!(a.rows(), 4);
+        assert_eq!(a.cols(), 4);
+        assert_eq!(b.rows(), 4);
+        assert_eq!(b.cols(), 1);
+        // Unstable pole: the angle dynamics must feed back positively.
+        assert!(a[(3, 2)] > 0.0);
+    }
+}
+
+/// The double inverted pendulum on a cart (the third corpus system):
+/// two serial links balanced above a cart, linearized about upright.
+///
+/// State: `[x, x_dot, th1, th1_dot, th2, th2_dot]` with both angles
+/// measured from upright. The model integrates the *linearized* dynamics
+/// (adequate near the balancing regime the Double IP controller operates
+/// in) with an optional cubic gravity correction so large excursions
+/// diverge like the real plant.
+#[derive(Debug, Clone)]
+pub struct DoublePendulum {
+    state: [f64; 6],
+    /// Cart mass (kg).
+    pub cart_mass: f64,
+    /// Mass of each link (kg).
+    pub link_mass: f64,
+    /// Half-length of each link (m).
+    pub link_length: f64,
+    /// Track half-extent (m).
+    pub track_limit: f64,
+    /// Failure angle for either link (rad).
+    pub angle_limit: f64,
+    /// Force per volt (N/V).
+    pub volts_to_force: f64,
+}
+
+impl Default for DoublePendulum {
+    fn default() -> Self {
+        DoublePendulum {
+            state: [0.0, 0.0, 0.03, 0.0, 0.02, 0.0],
+            cart_mass: 1.2,
+            link_mass: 0.15,
+            link_length: 0.35,
+            track_limit: 1.2,
+            angle_limit: 0.5,
+            volts_to_force: 2.5,
+        }
+    }
+}
+
+impl DoublePendulum {
+    /// A double pendulum starting with the given link angles.
+    pub fn with_initial_angles(th1: f64, th2: f64) -> DoublePendulum {
+        let mut p = DoublePendulum::default();
+        p.state[2] = th1;
+        p.state[4] = th2;
+        p
+    }
+
+    /// Linearized discrete model `(A, B)` about upright for LQR design,
+    /// from the small-angle Lagrangian of the serial double pendulum on a
+    /// cart (point-mass links): `D q̈ = G q + H F` with
+    /// `q = [x, θ1, θ2]`, discretized by forward Euler.
+    pub fn linearized(&self, dt: f64) -> (Mat, Mat) {
+        let g = 9.81;
+        let mc = self.cart_mass;
+        let m1 = self.link_mass;
+        let m2 = self.link_mass;
+        let l1 = self.link_length;
+        let l2 = self.link_length;
+        // Mass matrix.
+        let d = Mat::from_rows(&[
+            &[mc + m1 + m2, (m1 + m2) * l1, m2 * l2],
+            &[(m1 + m2) * l1, (m1 + m2) * l1 * l1, m2 * l1 * l2],
+            &[m2 * l2, m2 * l1 * l2, m2 * l2 * l2],
+        ]);
+        let dinv = d.inverse().expect("mass matrix is invertible");
+        // Gravity stiffness (destabilizing about upright).
+        let grav = [0.0, (m1 + m2) * g * l1, m2 * g * l2];
+        // Input map (force on the cart).
+        let force = self.volts_to_force;
+        // Continuous 6-state A, B: state [x, ẋ, θ1, θ̇1, θ2, θ̇2].
+        // Accelerations: q̈_i = Σ_j Dinv[i][j] * (grav_j · q_j + H_j F).
+        let mut a = Mat::identity(6);
+        let mut b = Mat::zeros(6, 1);
+        // Position rows integrate velocities.
+        a[(0, 1)] = dt;
+        a[(2, 3)] = dt;
+        a[(4, 5)] = dt;
+        // Velocity rows get the acceleration terms.
+        let qpos = [0usize, 2, 4]; // state index of q_j
+        let vrow = [1usize, 3, 5]; // state row of q̈_i
+        for i in 0..3 {
+            for j in 0..3 {
+                a[(vrow[i], qpos[j])] += dt * dinv[(i, j)] * grav[j];
+            }
+            b[(vrow[i], 0)] = dt * dinv[(i, 0)] * force;
+        }
+        (a, b)
+    }
+}
+
+impl Plant for DoublePendulum {
+    fn state_dim(&self) -> usize {
+        6
+    }
+
+    fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    fn set_state(&mut self, state: &[f64]) {
+        self.state.copy_from_slice(state);
+    }
+
+    fn step(&mut self, u: f64, dt: f64) {
+        let (a, b) = self.linearized(dt);
+        let x = Mat::col_vec(&self.state);
+        let next = a.mul(&x).add(&b.scale(u));
+        for i in 0..6 {
+            self.state[i] = next[(i, 0)];
+        }
+        // Cubic gravity correction: beyond small angles the real plant
+        // diverges faster than the linear model.
+        let th1 = self.state[2];
+        let th2 = self.state[4];
+        self.state[3] += dt * 2.0 * th1 * th1 * th1;
+        self.state[5] += dt * 2.5 * th2 * th2 * th2;
+    }
+
+    fn outputs(&self) -> Vec<f64> {
+        vec![self.state[0], self.state[2], self.state[4]]
+    }
+
+    fn failed(&self) -> bool {
+        self.state[0].abs() > self.track_limit
+            || self.state[2].abs() > self.angle_limit
+            || self.state[4].abs() > self.angle_limit
+    }
+}
+
+#[cfg(test)]
+mod double_pendulum_tests {
+    use super::*;
+    use crate::lqr::{dlqr, feedback};
+
+    #[test]
+    fn uncontrolled_double_pendulum_falls() {
+        let mut p = DoublePendulum::with_initial_angles(0.03, 0.02);
+        for _ in 0..2000 {
+            p.step(0.0, 0.005);
+            if p.failed() {
+                break;
+            }
+        }
+        assert!(p.failed(), "an uncontrolled double pendulum must fall");
+    }
+
+    #[test]
+    fn lqr_balances_double_pendulum() {
+        let plant = DoublePendulum::default();
+        let dt = 0.005;
+        let (a, b) = plant.linearized(dt);
+        let mut q = Mat::identity(6);
+        q[(0, 0)] = 5.0;
+        q[(2, 2)] = 200.0;
+        q[(4, 4)] = 200.0;
+        let d = dlqr(&a, &b, &q, 0.1, 200_000).expect("double-IP LQR converges");
+        let mut p = DoublePendulum::with_initial_angles(0.04, 0.02);
+        for _ in 0..4000 {
+            let u = feedback(&d.k, p.state()).clamp(-5.0, 5.0);
+            p.step(u, dt);
+            assert!(!p.failed(), "LQR must balance both links: {:?}", p.state());
+        }
+        assert!(p.state()[2].abs() < 0.05, "{:?}", p.state());
+        assert!(p.state()[4].abs() < 0.05, "{:?}", p.state());
+    }
+
+    #[test]
+    fn outputs_report_three_measurements() {
+        let p = DoublePendulum::default();
+        assert_eq!(p.outputs().len(), 3);
+        assert_eq!(p.state_dim(), 6);
+    }
+}

@@ -1,0 +1,32 @@
+//! # safeflow-solver
+//!
+//! Affine integer constraint solver — the decision procedure SafeFlow's
+//! restriction checker feeds its array-bounds obligations to. The paper
+//! (§3.3) hands "the set of affine constraints ... to an integer
+//! programming solver such as Omega (paper reference 13)"; this crate implements the core
+//! of Pugh's Omega test: normalization, exact equality elimination via the
+//! modulo trick, and Fourier–Motzkin variable elimination with real/dark
+//! shadows plus splintering, which makes the procedure exact for
+//! conjunctions of affine constraints over integers.
+//!
+//! # Examples
+//!
+//! ```
+//! use safeflow_solver::{System, LinExpr};
+//!
+//! // 0 <= i < 10 and i == 12 is infeasible.
+//! let mut sys = System::new();
+//! let i = sys.new_var("i");
+//! sys.add_ge(LinExpr::var(i), LinExpr::constant(0));   // i >= 0
+//! sys.add_lt(LinExpr::var(i), LinExpr::constant(10));  // i < 10
+//! sys.add_eq(LinExpr::var(i), LinExpr::constant(12));  // i == 12
+//! assert!(!sys.is_satisfiable());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod omega;
+
+pub use expr::{LinExpr, Var};
+pub use omega::{Feasibility, System};

@@ -1,0 +1,120 @@
+//! Property tests: the Omega test agrees with brute-force enumeration on
+//! small boxed systems.
+
+use proptest::prelude::*;
+use safeflow_solver::{Feasibility, LinExpr, System, Var};
+use std::collections::BTreeMap;
+
+/// A random constraint over `nvars` variables with small coefficients.
+#[derive(Debug, Clone)]
+struct RandConstraint {
+    coeffs: Vec<i64>,
+    constant: i64,
+    is_eq: bool,
+}
+
+fn constraint_strategy(nvars: usize) -> impl Strategy<Value = RandConstraint> {
+    (
+        prop::collection::vec(-4i64..=4, nvars),
+        -12i64..=12,
+        prop::bool::weighted(0.25),
+    )
+        .prop_map(|(coeffs, constant, is_eq)| RandConstraint { coeffs, constant, is_eq })
+}
+
+/// Builds the system `cs` plus box constraints `-B <= v <= B` so brute
+/// force is finite and both procedures decide the same question.
+fn build(nvars: usize, cs: &[RandConstraint], bound: i64) -> (System, Vec<Var>) {
+    let mut sys = System::new();
+    let vars: Vec<Var> = (0..nvars).map(|i| sys.new_var(format!("v{i}"))).collect();
+    for &v in &vars {
+        sys.add_ge(LinExpr::var(v), LinExpr::constant(-bound));
+        sys.add_le(LinExpr::var(v), LinExpr::constant(bound));
+    }
+    for c in cs {
+        let mut e = LinExpr::constant(c.constant);
+        for (i, &cf) in c.coeffs.iter().enumerate() {
+            e.add_term(vars[i], cf);
+        }
+        if c.is_eq {
+            sys.add_eq(e, LinExpr::zero());
+        } else {
+            sys.add_ge(e, LinExpr::zero());
+        }
+    }
+    (sys, vars)
+}
+
+fn brute_force_sat(sys: &System, vars: &[Var], bound: i64) -> bool {
+    // Enumerate the box.
+    fn rec(sys: &System, vars: &[Var], bound: i64, i: usize, asn: &mut BTreeMap<Var, i64>) -> bool {
+        if i == vars.len() {
+            return sys.satisfied_by(asn);
+        }
+        for v in -bound..=bound {
+            asn.insert(vars[i], v);
+            if rec(sys, vars, bound, i + 1, asn) {
+                return true;
+            }
+        }
+        asn.remove(&vars[i]);
+        false
+    }
+    let mut asn = BTreeMap::new();
+    rec(sys, vars, bound, 0, &mut asn)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// 2-variable systems: Omega agrees exactly with brute force.
+    #[test]
+    fn omega_matches_brute_force_2vars(
+        cs in prop::collection::vec(constraint_strategy(2), 1..5)
+    ) {
+        let bound = 6;
+        let (sys, vars) = build(2, &cs, bound);
+        let expected = brute_force_sat(&sys, &vars, bound);
+        match sys.check() {
+            Feasibility::Sat => prop_assert!(expected, "omega says SAT, brute force says UNSAT"),
+            Feasibility::Unsat => prop_assert!(!expected, "omega says UNSAT, brute force found a solution"),
+            Feasibility::Unknown => {} // allowed, but should be rare
+        }
+    }
+
+    /// 3-variable systems with tighter bounds.
+    #[test]
+    fn omega_matches_brute_force_3vars(
+        cs in prop::collection::vec(constraint_strategy(3), 1..4)
+    ) {
+        let bound = 3;
+        let (sys, vars) = build(3, &cs, bound);
+        let expected = brute_force_sat(&sys, &vars, bound);
+        match sys.check() {
+            Feasibility::Sat => prop_assert!(expected),
+            Feasibility::Unsat => prop_assert!(!expected),
+            Feasibility::Unknown => {}
+        }
+    }
+
+    /// implies_ge is consistent with check(): if the system is SAT and
+    /// implies e >= 0, then adding e < 0 must be UNSAT.
+    #[test]
+    fn implication_consistency(
+        cs in prop::collection::vec(constraint_strategy(2), 1..4),
+        target in prop::collection::vec(-3i64..=3, 2),
+        tc in -6i64..=6,
+    ) {
+        let bound = 5;
+        let (sys, vars) = build(2, &cs, bound);
+        let mut e = LinExpr::constant(tc);
+        for (i, &cf) in target.iter().enumerate() {
+            e.add_term(vars[i], cf);
+        }
+        if sys.implies_ge(e.clone(), LinExpr::zero()) {
+            let mut neg = sys.clone();
+            neg.add_lt(e, LinExpr::zero());
+            prop_assert_eq!(neg.check(), Feasibility::Unsat);
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! Abstract syntax tree for the C subset.
+//!
+//! The tree is deliberately plain (boxed enums with spans) — the programs the
+//! paper analyzes are small core components, so arena cleverness buys
+//! nothing.
+
+use crate::annot::Annotation;
+use crate::span::Span;
+
+/// Whether an integer type is signed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signedness {
+    /// Default/explicitly signed.
+    Signed,
+    /// Declared `unsigned`.
+    Unsigned,
+}
+
+/// A syntactic type expression (before semantic resolution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeExpr {
+    /// The shape of the type.
+    pub kind: TypeExprKind,
+    /// Where it was written.
+    pub span: Span,
+}
+
+impl TypeExpr {
+    /// Pairs a kind with its span.
+    pub fn new(kind: TypeExprKind, span: Span) -> Self {
+        TypeExpr { kind, span }
+    }
+
+    /// Convenience: `T*` for this type.
+    pub fn ptr_to(self) -> TypeExpr {
+        let span = self.span;
+        TypeExpr::new(TypeExprKind::Ptr(Box::new(self)), span)
+    }
+
+    /// Returns `true` if this is syntactically `void`.
+    pub fn is_void(&self) -> bool {
+        self.kind == TypeExprKind::Void
+    }
+}
+
+/// Type expression shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExprKind {
+    /// `void`.
+    Void,
+    /// `char` / `unsigned char`.
+    Char(Signedness),
+    /// `short` / `unsigned short`.
+    Short(Signedness),
+    /// `int` / `unsigned int`.
+    Int(Signedness),
+    /// `long` / `unsigned long` (also `long long`).
+    Long(Signedness),
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// A typedef name.
+    Named(String),
+    /// `struct Tag`.
+    Struct(String),
+    /// `union Tag`.
+    Union(String),
+    /// `enum Tag`.
+    Enum(String),
+    /// Pointer to another type.
+    Ptr(Box<TypeExpr>),
+    /// Array with an optional constant size expression.
+    Array(Box<TypeExpr>, Option<Box<Expr>>),
+}
+
+/// Storage class on a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Storage {
+    /// No storage class written.
+    #[default]
+    None,
+    /// `static`.
+    Static,
+    /// `extern`.
+    Extern,
+    /// `typedef` (handled structurally, kept for diagnostics).
+    Typedef,
+}
+
+/// A struct/union field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `struct`/`union` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Tag name (anonymous structs are given synthetic names by the parser).
+    pub name: String,
+    /// Declared fields in order.
+    pub fields: Vec<Field>,
+    /// `true` for `union`.
+    pub is_union: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An `enum` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// Tag name if present.
+    pub name: Option<String>,
+    /// Enumerators with optional explicit values.
+    pub variants: Vec<(String, Option<Expr>, Span)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `typedef`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Typedef {
+    /// New type name.
+    pub name: String,
+    /// Aliased type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An initializer: scalar expression or brace list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// `= expr`.
+    Expr(Expr),
+    /// `= { ... }`.
+    List(Vec<Initializer>, Span),
+}
+
+impl Initializer {
+    /// Source location of the initializer.
+    pub fn span(&self) -> Span {
+        match self {
+            Initializer::Expr(e) => e.span,
+            Initializer::List(_, s) => *s,
+        }
+    }
+}
+
+/// A variable declaration (global or local).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Optional initializer.
+    pub init: Option<Initializer>,
+    /// Storage class.
+    pub storage: Storage,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (empty string in prototypes without names).
+    pub name: String,
+    /// Parameter type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: TypeExpr,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// `true` if declared with a trailing `...`.
+    pub varargs: bool,
+    /// Body; `None` for prototypes / extern declarations.
+    pub body: Option<Block>,
+    /// SafeFlow annotations written at the function header (between the
+    /// declarator and `{`, per the paper's Figure 2 style).
+    pub annotations: Vec<Annotation>,
+    /// Storage class.
+    pub storage: Storage,
+    /// Source location (of the declarator).
+    pub span: Span,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements/declarations in order.
+    pub items: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One `case`/`default` arm of a `switch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// Constant label; `None` is `default`.
+    pub label: Option<Expr>,
+    /// Statements until the next label (fallthrough is represented by an
+    /// empty tail and handled during lowering).
+    pub stmts: Vec<Stmt>,
+    /// Source location of the label.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Statement shape.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local variable declaration.
+    Decl(VarDecl),
+    /// Nested block.
+    Block(Block),
+    /// `if (cond) then [else els]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Box<Stmt>,
+        /// Optional else-branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`.
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Init clause: declaration or expression.
+        init: Option<Box<Stmt>>,
+        /// Optional condition.
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `switch (scrutinee) { cases }`.
+    Switch {
+        /// Scrutinee expression.
+        scrutinee: Expr,
+        /// Case arms in order.
+        cases: Vec<SwitchCase>,
+    },
+    /// `return [expr];`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// A SafeFlow annotation in statement position (e.g. `assert(safe(x))`
+    /// before the statement it guards).
+    Annotation(Annotation),
+    /// `;`.
+    Empty,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`.
+    Neg,
+    /// `+` (no-op, kept for fidelity).
+    Plus,
+    /// `!`.
+    Not,
+    /// `~`.
+    BitNot,
+    /// `*`.
+    Deref,
+    /// `&`.
+    AddrOf,
+}
+
+/// Binary operators (excluding assignment and short-circuit forms, which the
+/// AST represents explicitly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&`.
+    BitAnd,
+    /// `^`.
+    BitXor,
+    /// `|`.
+    BitOr,
+}
+
+impl BinOp {
+    /// Whether the operator is a comparison producing a boolean-ish int.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression shape.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Pairs a kind with its span.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// Expression shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer constant.
+    IntLit(i64),
+    /// Floating constant.
+    FloatLit(f64),
+    /// Character constant.
+    CharLit(i64),
+    /// String literal.
+    StrLit(String),
+    /// Variable / function reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Arithmetic/relational/bitwise binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogicalAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogicalOr(Box<Expr>, Box<Expr>),
+    /// Assignment; `op` is `Some` for compound forms like `+=`.
+    Assign {
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+        /// Target lvalue.
+        lhs: Box<Expr>,
+        /// Source value.
+        rhs: Box<Expr>,
+    },
+    /// Ternary conditional.
+    Conditional {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value if nonzero.
+        then: Box<Expr>,
+        /// Value if zero.
+        els: Box<Expr>,
+    },
+    /// Function call. The restricted subset only allows direct calls, so the
+    /// callee is a name.
+    Call {
+        /// Called function name.
+        callee: String,
+        /// Arguments in order.
+        args: Vec<Expr>,
+    },
+    /// Array indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access; `arrow` distinguishes `->` from `.`.
+    Member {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// `true` for `->`.
+        arrow: bool,
+    },
+    /// Type cast.
+    Cast(TypeExpr, Box<Expr>),
+    /// `sizeof(type)`.
+    SizeofType(TypeExpr),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+    /// Pre-increment/decrement; `true` = increment.
+    PreIncDec(Box<Expr>, bool),
+    /// Post-increment/decrement; `true` = increment.
+    PostIncDec(Box<Expr>, bool),
+    /// Comma operator.
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `struct`/`union` definition.
+    Struct(StructDef),
+    /// `enum` definition.
+    Enum(EnumDef),
+    /// `typedef`.
+    Typedef(Typedef),
+    /// Global variable.
+    Global(VarDecl),
+    /// Function definition or prototype.
+    Func(FuncDef),
+}
+
+impl Item {
+    /// Source location of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Struct(s) => s.span,
+            Item::Enum(e) => e.span,
+            Item::Typedef(t) => t.span,
+            Item::Global(g) => g.span,
+            Item::Func(f) => f.span,
+        }
+    }
+
+    /// Declared name of the item, if it has one.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Item::Struct(s) => Some(&s.name),
+            Item::Enum(e) => e.name.as_deref(),
+            Item::Typedef(t) => Some(&t.name),
+            Item::Global(g) => Some(&g.name),
+            Item::Func(f) => Some(&f.name),
+        }
+    }
+}
+
+/// A parsed translation unit (one preprocessed program).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TranslationUnit {
+    /// Items in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl TranslationUnit {
+    /// Iterates over all function definitions (those with bodies).
+    pub fn functions(&self) -> impl Iterator<Item = &FuncDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Func(f) if f.body.is_some() => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Finds a function (definition or prototype) by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDef> {
+        // Prefer a definition over a prototype.
+        let mut proto = None;
+        for item in &self.items {
+            if let Item::Func(f) = item {
+                if f.name == name {
+                    if f.body.is_some() {
+                        return Some(f);
+                    }
+                    proto = Some(f);
+                }
+            }
+        }
+        proto
+    }
+
+    /// Iterates over global variable declarations.
+    pub fn globals(&self) -> impl Iterator<Item = &VarDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// Finds a struct/union definition by tag name.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.items.iter().find_map(|i| match i {
+            Item::Struct(s) if s.name == name => Some(s),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_expr_helpers() {
+        let t = TypeExpr::new(TypeExprKind::Int(Signedness::Signed), Span::dummy());
+        assert!(!t.is_void());
+        let p = t.clone().ptr_to();
+        assert_eq!(p.kind, TypeExprKind::Ptr(Box::new(t)));
+    }
+
+    #[test]
+    fn translation_unit_lookup_prefers_definition() {
+        let proto = FuncDef {
+            name: "f".into(),
+            ret: TypeExpr::new(TypeExprKind::Void, Span::dummy()),
+            params: vec![],
+            varargs: false,
+            body: None,
+            annotations: vec![],
+            storage: Storage::None,
+            span: Span::dummy(),
+        };
+        let mut def = proto.clone();
+        def.body = Some(Block { items: vec![], span: Span::dummy() });
+        let tu = TranslationUnit { items: vec![Item::Func(proto), Item::Func(def)] };
+        assert!(tu.function("f").unwrap().body.is_some());
+        assert_eq!(tu.functions().count(), 1);
+    }
+
+    #[test]
+    fn binop_comparison_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Ne.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::BitOr.is_comparison());
+    }
+}

@@ -1,0 +1,100 @@
+//! # safeflow-syntax
+//!
+//! Frontend for the restricted C subset analyzed by SafeFlow (Kowshik, Roşu,
+//! Sha — *Static Analysis to Enforce Safe Value Flow in Embedded Control
+//! Systems*, DSN 2006).
+//!
+//! The pipeline is: [`pp::preprocess`] (includes, object macros,
+//! conditionals) → [`lexer::lex`] (tokens, SafeFlow annotation comments) →
+//! [`parser::parse`] (AST with attached [`annot::Annotation`]s).
+//!
+//! # Examples
+//!
+//! ```
+//! use safeflow_syntax::{parse_source, ParseResult};
+//!
+//! let src = r#"
+//!     typedef struct { float control; int status; } SHMData;
+//!     SHMData *noncoreCtrl;
+//!
+//!     float decision(float safeControl)
+//!     /** SafeFlow Annotation assume(core(noncoreCtrl, 0, sizeof(SHMData))) */
+//!     {
+//!         return safeControl;
+//!     }
+//! "#;
+//! let ParseResult { unit, diags, .. } = parse_source("demo.c", src);
+//! assert!(!diags.has_errors());
+//! let f = unit.function("decision").unwrap();
+//! assert_eq!(f.annotations.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annot;
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pp;
+pub mod printer;
+pub mod source;
+pub mod span;
+pub mod token;
+
+pub use annot::{AnnExpr, Annotation};
+pub use ast::TranslationUnit;
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use pp::VirtualFs;
+pub use source::SourceMap;
+pub use span::{FileId, Span};
+
+/// Everything produced by parsing one program.
+#[derive(Debug)]
+pub struct ParseResult {
+    /// The parsed translation unit (best-effort if there were errors).
+    pub unit: TranslationUnit,
+    /// All source files touched (main file, includes, annotation bodies).
+    pub sources: SourceMap,
+    /// Diagnostics produced by the preprocessor, lexer, and parser.
+    pub diags: Diagnostics,
+}
+
+impl ParseResult {
+    /// Whether the parse produced a usable AST (no errors).
+    pub fn is_ok(&self) -> bool {
+        !self.diags.has_errors()
+    }
+}
+
+/// Parses a single self-contained source string (no `#include`s outside
+/// `src` itself).
+///
+/// This is the convenience entry point used throughout the tests and
+/// examples; multi-file programs should use [`parse_program`].
+pub fn parse_source(name: &str, src: &str) -> ParseResult {
+    let mut fs = VirtualFs::new();
+    fs.add(name, src);
+    parse_program(name, &fs)
+}
+
+/// Parses `main_name` from `fs`, resolving `#include`s against `fs`.
+///
+/// # Examples
+///
+/// ```
+/// use safeflow_syntax::{parse_program, VirtualFs};
+///
+/// let mut fs = VirtualFs::new();
+/// fs.add("shm.h", "typedef struct { float v; } Data;");
+/// fs.add("main.c", "#include \"shm.h\"\nData *p;");
+/// let result = parse_program("main.c", &fs);
+/// assert!(result.is_ok());
+/// ```
+pub fn parse_program(main_name: &str, fs: &VirtualFs) -> ParseResult {
+    let mut sources = SourceMap::new();
+    let mut diags = Diagnostics::new();
+    let tokens = pp::preprocess(main_name, fs, &mut sources, &mut diags);
+    let unit = parser::parse(tokens, &mut sources, &mut diags);
+    ParseResult { unit, sources, diags }
+}

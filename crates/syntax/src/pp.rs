@@ -1,0 +1,471 @@
+//! A lightweight C preprocessor.
+//!
+//! Supports what embedded control code in the paper's corpus needs:
+//!
+//! * `#include "name"` resolved against a [`VirtualFs`] (cycle-checked),
+//! * object-like `#define NAME tokens...` / `#undef NAME`,
+//! * `#ifdef` / `#ifndef` / `#if <int>` / `#if defined(X)` / `#else` /
+//!   `#endif`,
+//! * `#pragma` (ignored) and `#error` (diagnosed when reached).
+//!
+//! Function-like macros are rejected with a diagnostic: the paper's language
+//! restrictions target analyzable embedded C, and none of the corpus needs
+//! them.
+
+use crate::diag::Diagnostics;
+use crate::lexer::lex;
+use crate::source::SourceMap;
+use crate::token::{Token, TokenKind};
+use std::collections::HashMap;
+
+/// Maximum `#include` nesting depth before the preprocessor assumes a cycle.
+const MAX_INCLUDE_DEPTH: usize = 32;
+
+/// An in-memory file system the preprocessor resolves `#include`s against.
+///
+/// # Examples
+///
+/// ```
+/// use safeflow_syntax::pp::VirtualFs;
+///
+/// let mut fs = VirtualFs::new();
+/// fs.add("shm.h", "#define SHM_SIZE 128\n");
+/// assert!(fs.get("shm.h").is_some());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct VirtualFs {
+    files: HashMap<String, String>,
+}
+
+impl VirtualFs {
+    /// Creates an empty virtual file system.
+    pub fn new() -> Self {
+        VirtualFs::default()
+    }
+
+    /// Adds (or replaces) a file.
+    pub fn add(&mut self, name: impl Into<String>, text: impl Into<String>) -> &mut Self {
+        self.files.insert(name.into(), text.into());
+        self
+    }
+
+    /// Fetches a file's contents by name.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.files.get(name).map(|s| s.as_str())
+    }
+
+    /// Names of all files, sorted for determinism.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.files.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Macro {
+    body: Vec<Token>,
+}
+
+/// Runs the preprocessor on `main_name` (looked up in `fs`), returning the
+/// fully expanded token stream (ending in a single `Eof`).
+///
+/// All files touched are registered in `sources`; problems are reported to
+/// `diags`.
+pub fn preprocess(
+    main_name: &str,
+    fs: &VirtualFs,
+    sources: &mut SourceMap,
+    diags: &mut Diagnostics,
+) -> Vec<Token> {
+    let mut pp = Preprocessor {
+        fs,
+        sources,
+        diags,
+        macros: HashMap::new(),
+        include_stack: Vec::new(),
+        out: Vec::new(),
+    };
+    pp.process_file(main_name, crate::span::Span::dummy());
+    let eof_span = pp.out.last().map(|t| t.span).unwrap_or(crate::span::Span::dummy());
+    pp.out.push(Token::new(TokenKind::Eof, eof_span));
+    pp.out
+}
+
+struct Preprocessor<'a> {
+    fs: &'a VirtualFs,
+    sources: &'a mut SourceMap,
+    diags: &'a mut Diagnostics,
+    macros: HashMap<String, Macro>,
+    include_stack: Vec<String>,
+    out: Vec<Token>,
+}
+
+/// State of one `#if`/`#ifdef` region.
+#[derive(Debug, Clone, Copy)]
+struct CondState {
+    /// Are we currently emitting tokens in this region?
+    active: bool,
+    /// Has any branch of this region been taken yet?
+    taken: bool,
+    /// Was the *enclosing* context active?
+    parent_active: bool,
+}
+
+impl<'a> Preprocessor<'a> {
+    fn process_file(&mut self, name: &str, include_span: crate::span::Span) {
+        if self.include_stack.iter().any(|n| n == name) {
+            self.diags.error(include_span, format!("#include cycle involving \"{name}\""));
+            return;
+        }
+        if self.include_stack.len() >= MAX_INCLUDE_DEPTH {
+            self.diags.error(include_span, "#include nesting too deep");
+            return;
+        }
+        let Some(text) = self.fs.get(name) else {
+            self.diags.error(include_span, format!("included file \"{name}\" not found"));
+            return;
+        };
+        let text = text.to_string();
+        let file_id = self.sources.add_file(name, text.clone());
+        self.include_stack.push(name.to_string());
+        let tokens = lex(file_id, &text, self.diags);
+
+        let mut conds: Vec<CondState> = Vec::new();
+        for tok in tokens {
+            let active = conds.last().map(|c| c.active).unwrap_or(true);
+            match &tok.kind {
+                TokenKind::Directive(d) => {
+                    self.handle_directive(d, tok.span, &mut conds, active);
+                }
+                TokenKind::Eof => {}
+                TokenKind::Ident(name) if active => {
+                    let mut in_progress = Vec::new();
+                    self.expand_ident(name.clone(), tok.clone(), &mut in_progress);
+                }
+                _ if active => self.out.push(tok),
+                _ => {}
+            }
+        }
+        if !conds.is_empty() {
+            self.diags.error(include_span, format!("unterminated #if/#ifdef in \"{name}\""));
+        }
+        self.include_stack.pop();
+    }
+
+    fn expand_ident(&mut self, name: String, tok: Token, in_progress: &mut Vec<String>) {
+        if in_progress.contains(&name) {
+            self.out.push(tok);
+            return;
+        }
+        let Some(mac) = self.macros.get(&name).cloned() else {
+            self.out.push(tok);
+            return;
+        };
+        in_progress.push(name);
+        for body_tok in mac.body {
+            match &body_tok.kind {
+                TokenKind::Ident(inner) => {
+                    self.expand_ident(inner.clone(), body_tok.clone(), in_progress)
+                }
+                _ => self.out.push(body_tok),
+            }
+        }
+        in_progress.pop();
+    }
+
+    fn handle_directive(
+        &mut self,
+        text: &str,
+        span: crate::span::Span,
+        conds: &mut Vec<CondState>,
+        active: bool,
+    ) {
+        let (word, rest) = split_word(text);
+        match word {
+            "include" => {
+                if !active {
+                    return;
+                }
+                let rest = rest.trim();
+                let name = rest
+                    .strip_prefix('"')
+                    .and_then(|r| r.strip_suffix('"'))
+                    .or_else(|| rest.strip_prefix('<').and_then(|r| r.strip_suffix('>')));
+                match name {
+                    Some(n) => self.process_file(n, span),
+                    None => self.diags.error(span, "malformed #include"),
+                }
+            }
+            "define" => {
+                if !active {
+                    return;
+                }
+                let (name, body) = split_word(rest.trim_start());
+                if name.is_empty() {
+                    self.diags.error(span, "#define with no macro name");
+                    return;
+                }
+                if body.starts_with('(') || rest.trim_start().len() > name.len() && rest.trim_start().as_bytes().get(name.len()) == Some(&b'(') {
+                    self.diags.error(
+                        span,
+                        format!("function-like macro `{name}` is not supported by the restricted preprocessor"),
+                    );
+                    return;
+                }
+                let mini = self.sources.add_file(format!("<macro {name}>"), body.to_string());
+                let mut body_toks = lex(mini, body, self.diags);
+                body_toks.retain(|t| t.kind != TokenKind::Eof);
+                self.macros.insert(name.to_string(), Macro { body: body_toks });
+            }
+            "undef" => {
+                if !active {
+                    return;
+                }
+                self.macros.remove(rest.trim());
+            }
+            "ifdef" | "ifndef" => {
+                let defined = self.macros.contains_key(rest.trim());
+                let cond = if word == "ifdef" { defined } else { !defined };
+                conds.push(CondState {
+                    active: active && cond,
+                    taken: active && cond,
+                    parent_active: active,
+                });
+            }
+            "if" => {
+                let cond = self.eval_if_condition(rest.trim(), span);
+                conds.push(CondState {
+                    active: active && cond,
+                    taken: active && cond,
+                    parent_active: active,
+                });
+            }
+            "else" => match conds.last_mut() {
+                Some(c) => {
+                    c.active = c.parent_active && !c.taken;
+                    c.taken = true;
+                }
+                None => self.diags.error(span, "#else without matching #if"),
+            },
+            "elif" => {
+                let cond = self.eval_if_condition(rest.trim(), span);
+                match conds.last_mut() {
+                    Some(c) => {
+                        c.active = c.parent_active && !c.taken && cond;
+                        if c.active {
+                            c.taken = true;
+                        }
+                    }
+                    None => self.diags.error(span, "#elif without matching #if"),
+                }
+            }
+            "endif" => {
+                if conds.pop().is_none() {
+                    self.diags.error(span, "#endif without matching #if");
+                }
+            }
+            "pragma" => {}
+            "error" => {
+                if active {
+                    self.diags.error(span, format!("#error {rest}"));
+                }
+            }
+            other => {
+                if active {
+                    self.diags.error(span, format!("unsupported preprocessor directive `#{other}`"));
+                }
+            }
+        }
+    }
+
+    fn eval_if_condition(&mut self, expr: &str, span: crate::span::Span) -> bool {
+        let expr = expr.trim();
+        if let Ok(v) = expr.parse::<i64>() {
+            return v != 0;
+        }
+        if let Some(inner) = expr
+            .strip_prefix("defined(")
+            .and_then(|r| r.strip_suffix(')'))
+            .or_else(|| expr.strip_prefix("defined ").map(|r| r.trim()))
+        {
+            return self.macros.contains_key(inner.trim());
+        }
+        if let Some(inner) = expr
+            .strip_prefix("!defined(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            return !self.macros.contains_key(inner.trim());
+        }
+        // Fall back: a bare macro name that expands to an int.
+        if let Some(mac) = self.macros.get(expr) {
+            if let Some(Token { kind: TokenKind::IntLit(v), .. }) = mac.body.first() {
+                return *v != 0;
+            }
+        }
+        self.diags
+            .error(span, format!("unsupported #if condition `{expr}` (only integers and defined() are allowed)"));
+        false
+    }
+}
+
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_')) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(main: &str, files: &[(&str, &str)]) -> (Vec<TokenKind>, Diagnostics) {
+        let mut fs = VirtualFs::new();
+        for (n, t) in files {
+            fs.add(*n, *t);
+        }
+        let mut sources = SourceMap::new();
+        let mut diags = Diagnostics::new();
+        let toks = preprocess(main, &fs, &mut sources, &mut diags);
+        (toks.into_iter().map(|t| t.kind).collect(), diags)
+    }
+
+    fn idents(toks: &[TokenKind]) -> Vec<String> {
+        toks.iter()
+            .filter_map(|t| match t {
+                TokenKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn object_macro_expansion() {
+        let (toks, d) = run("m.c", &[("m.c", "#define N 42\nint x = N;")]);
+        assert!(!d.has_errors());
+        assert!(toks.contains(&TokenKind::IntLit(42)));
+        assert!(!idents(&toks).contains(&"N".to_string()));
+    }
+
+    #[test]
+    fn nested_macro_expansion() {
+        let (toks, d) = run("m.c", &[("m.c", "#define A B\n#define B 7\nint x = A;")]);
+        assert!(!d.has_errors());
+        assert!(toks.contains(&TokenKind::IntLit(7)));
+    }
+
+    #[test]
+    fn self_referential_macro_terminates() {
+        let (toks, d) = run("m.c", &[("m.c", "#define X X\nint X;")]);
+        assert!(!d.has_errors());
+        assert!(idents(&toks).contains(&"X".to_string()));
+    }
+
+    #[test]
+    fn include_splices_file() {
+        let (toks, d) = run(
+            "main.c",
+            &[("main.c", "#include \"h.h\"\nint b;"), ("h.h", "int a;")],
+        );
+        assert!(!d.has_errors());
+        assert_eq!(idents(&toks), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn include_cycle_detected() {
+        let (_, d) = run(
+            "a.h",
+            &[("a.h", "#include \"b.h\""), ("b.h", "#include \"a.h\"")],
+        );
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn missing_include_reported() {
+        let (_, d) = run("m.c", &[("m.c", "#include \"nope.h\"")]);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn ifdef_branches() {
+        let src = "#define YES 1\n#ifdef YES\nint a;\n#else\nint b;\n#endif\n#ifdef NO\nint c;\n#else\nint d;\n#endif";
+        let (toks, d) = run("m.c", &[("m.c", src)]);
+        assert!(!d.has_errors());
+        assert_eq!(idents(&toks), vec!["a", "d"]);
+    }
+
+    #[test]
+    fn ifndef_and_undef() {
+        let src = "#define F 1\n#undef F\n#ifndef F\nint ok;\n#endif";
+        let (toks, d) = run("m.c", &[("m.c", src)]);
+        assert!(!d.has_errors());
+        assert_eq!(idents(&toks), vec!["ok"]);
+    }
+
+    #[test]
+    fn if_integer_conditions() {
+        let src = "#if 0\nint a;\n#elif 1\nint b;\n#else\nint c;\n#endif";
+        let (toks, d) = run("m.c", &[("m.c", src)]);
+        assert!(!d.has_errors());
+        assert_eq!(idents(&toks), vec!["b"]);
+    }
+
+    #[test]
+    fn if_defined_condition() {
+        let src = "#define HAVE 1\n#if defined(HAVE)\nint y;\n#endif\n#if !defined(MISSING)\nint z;\n#endif";
+        let (toks, d) = run("m.c", &[("m.c", src)]);
+        assert!(!d.has_errors());
+        assert_eq!(idents(&toks), vec!["y", "z"]);
+    }
+
+    #[test]
+    fn function_like_macro_rejected() {
+        let (_, d) = run("m.c", &[("m.c", "#define SQ(x) ((x)*(x))\n")]);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn unterminated_if_reported() {
+        let (_, d) = run("m.c", &[("m.c", "#ifdef X\nint a;\n")]);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn error_directive_in_inactive_branch_ignored() {
+        let src = "#ifdef NOPE\n#error should not fire\n#endif\nint x;";
+        let (toks, d) = run("m.c", &[("m.c", src)]);
+        assert!(!d.has_errors());
+        assert_eq!(idents(&toks), vec!["x"]);
+    }
+
+    #[test]
+    fn guard_pattern_include_twice() {
+        let h = "#ifndef H_H\n#define H_H 1\nint once;\n#endif";
+        let main = "#include \"h.h\"\n#include \"h2.h\"";
+        // h2.h includes h.h again; the guard must prevent a duplicate.
+        let (toks, d) = run(
+            "main.c",
+            &[("main.c", main), ("h.h", h), ("h2.h", "#include \"h.h\"")],
+        );
+        assert!(!d.has_errors(), "{d:?}");
+        assert_eq!(idents(&toks), vec!["once"]);
+    }
+
+    #[test]
+    fn macros_inactive_branch_not_defined() {
+        let src = "#ifdef NOPE\n#define HIDDEN 5\n#endif\n#ifdef HIDDEN\nint bad;\n#endif\nint good;";
+        let (toks, d) = run("m.c", &[("m.c", src)]);
+        assert!(!d.has_errors());
+        assert_eq!(idents(&toks), vec!["good"]);
+    }
+
+    #[test]
+    fn annotations_survive_preprocessing() {
+        let src = "/** SafeFlow Annotation assert(safe(x)) */ int x;";
+        let (toks, d) = run("m.c", &[("m.c", src)]);
+        assert!(!d.has_errors());
+        assert!(matches!(toks[0], TokenKind::Annotation(_)));
+    }
+}

@@ -1,0 +1,188 @@
+//! Source file management: registering files and resolving spans to
+//! human-readable line/column positions.
+
+use crate::span::{FileId, Span};
+
+/// A single registered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Display name (path or synthetic name like `<fig2.c>`).
+    pub name: String,
+    /// Full file contents.
+    pub text: String,
+    /// Byte offsets at which each line starts (always contains 0).
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    fn new(name: String, text: String) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile { name, text, line_starts }
+    }
+
+    /// 1-based line number containing byte offset `pos`.
+    pub fn line_of(&self, pos: u32) -> u32 {
+        match self.line_starts.binary_search(&pos) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// 1-based (line, column) of byte offset `pos`.
+    pub fn line_col(&self, pos: u32) -> (u32, u32) {
+        let line = self.line_of(pos);
+        let start = self.line_starts[(line - 1) as usize];
+        (line, pos - start + 1)
+    }
+
+    /// The text of 1-based line `line`, without the trailing newline.
+    pub fn line_text(&self, line: u32) -> &str {
+        let i = (line - 1) as usize;
+        let lo = self.line_starts[i] as usize;
+        let hi = self
+            .line_starts
+            .get(i + 1)
+            .map(|&h| h as usize)
+            .unwrap_or(self.text.len());
+        self.text[lo..hi].trim_end_matches(['\n', '\r'])
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+}
+
+/// Registry of all source files participating in a parse.
+///
+/// # Examples
+///
+/// ```
+/// use safeflow_syntax::source::SourceMap;
+///
+/// let mut sm = SourceMap::new();
+/// let id = sm.add_file("demo.c", "int x;\nint y;\n");
+/// let file = sm.file(id);
+/// assert_eq!(file.line_col(7), (2, 1));
+/// assert_eq!(file.line_text(1), "int x;");
+/// ```
+#[derive(Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: impl Into<String>, text: impl Into<String>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile::new(name.into(), text.into()));
+        id
+    }
+
+    /// The file registered under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this map.
+    pub fn file(&self, id: FileId) -> &SourceFile {
+        &self.files[id.0 as usize]
+    }
+
+    /// Looks up a file by display name.
+    pub fn file_by_name(&self, name: &str) -> Option<(FileId, &SourceFile)> {
+        self.files
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FileId(i as u32), f))
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether no file has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Renders `span` as `name:line:col`.
+    pub fn describe(&self, span: Span) -> String {
+        if span.is_dummy() {
+            return "<unknown>".to_string();
+        }
+        let f = self.file(span.file);
+        let (line, col) = f.line_col(span.lo);
+        format!("{}:{}:{}", f.name, line, col)
+    }
+
+    /// The source text covered by `span` (empty for dummy spans).
+    pub fn snippet(&self, span: Span) -> &str {
+        if span.is_dummy() {
+            return "";
+        }
+        let f = self.file(span.file);
+        &f.text[span.lo as usize..span.hi as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_lookup() {
+        let f = SourceFile::new("t".into(), "ab\ncd\nef".into());
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(1), (1, 2));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(6), (3, 1));
+        assert_eq!(f.line_count(), 3);
+        assert_eq!(f.line_text(2), "cd");
+    }
+
+    #[test]
+    fn line_lookup_at_newline() {
+        let f = SourceFile::new("t".into(), "ab\ncd\n".into());
+        // Offset 2 is the '\n' itself: still line 1.
+        assert_eq!(f.line_col(2), (1, 3));
+    }
+
+    #[test]
+    fn describe_and_snippet() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("x.c", "int main() {}\n");
+        let span = Span::new(id, 4, 8);
+        assert_eq!(sm.describe(span), "x.c:1:5");
+        assert_eq!(sm.snippet(span), "main");
+    }
+
+    #[test]
+    fn file_by_name_finds_file() {
+        let mut sm = SourceMap::new();
+        sm.add_file("a.c", "");
+        let id = sm.add_file("b.c", "x");
+        let (found, f) = sm.file_by_name("b.c").unwrap();
+        assert_eq!(found, id);
+        assert_eq!(f.text, "x");
+        assert!(sm.file_by_name("c.c").is_none());
+    }
+
+    #[test]
+    fn crlf_lines_trimmed() {
+        let f = SourceFile::new("t".into(), "ab\r\ncd\r\n".into());
+        assert_eq!(f.line_text(1), "ab");
+        assert_eq!(f.line_text(2), "cd");
+    }
+}

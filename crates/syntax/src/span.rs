@@ -1,0 +1,145 @@
+//! Source positions and spans.
+//!
+//! Every token, AST node, and diagnostic carries a [`Span`] identifying the
+//! byte range it covers within a file registered in a
+//! [`SourceMap`](crate::source::SourceMap).
+
+use std::fmt;
+
+/// Identifier of a file registered in a [`SourceMap`](crate::source::SourceMap).
+///
+/// `FileId(0)` is the first registered file. File ids are only meaningful
+/// relative to the source map that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// A byte range within a single source file.
+///
+/// `lo` is inclusive, `hi` exclusive. The *dummy* span (`Span::dummy()`) is
+/// used for synthesized nodes that have no source location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// File containing this span.
+    pub file: FileId,
+    /// Start byte offset (inclusive).
+    pub lo: u32,
+    /// End byte offset (exclusive).
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a new span covering `lo..hi` in `file`.
+    pub fn new(file: FileId, lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "span lo must not exceed hi");
+        Span { file, lo, hi }
+    }
+
+    /// A placeholder span for synthesized constructs.
+    pub fn dummy() -> Self {
+        Span { file: FileId(u32::MAX), lo: 0, hi: 0 }
+    }
+
+    /// Returns `true` if this is the placeholder span.
+    pub fn is_dummy(&self) -> bool {
+        self.file == FileId(u32::MAX)
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    ///
+    /// If the spans belong to different files (e.g. across an `#include`
+    /// boundary), `self` is returned unchanged.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() || self.file != other.file {
+            return self;
+        }
+        Span::new(self.file, self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dummy() {
+            write!(f, "<dummy>")
+        } else {
+            write!(f, "{}:{}..{}", self.file, self.lo, self.hi)
+        }
+    }
+}
+
+/// A value paired with the span it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+
+    /// Maps the wrapped value, keeping the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned { node: f(self.node), span: self.span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_to_merges_ranges() {
+        let f = FileId(0);
+        let a = Span::new(f, 4, 10);
+        let b = Span::new(f, 8, 20);
+        assert_eq!(a.to(b), Span::new(f, 4, 20));
+        assert_eq!(b.to(a), Span::new(f, 4, 20));
+    }
+
+    #[test]
+    fn span_to_across_files_keeps_self() {
+        let a = Span::new(FileId(0), 0, 5);
+        let b = Span::new(FileId(1), 0, 5);
+        assert_eq!(a.to(b), a);
+    }
+
+    #[test]
+    fn dummy_span_behaviour() {
+        let d = Span::dummy();
+        assert!(d.is_dummy());
+        let a = Span::new(FileId(0), 1, 2);
+        assert_eq!(d.to(a), a);
+        assert_eq!(a.to(d), a);
+    }
+
+    #[test]
+    fn spanned_map_preserves_span() {
+        let s = Spanned::new(3u32, Span::new(FileId(0), 0, 1));
+        let t = s.map(|v| v * 2);
+        assert_eq!(t.node, 6);
+        assert_eq!(t.span, Span::new(FileId(0), 0, 1));
+    }
+}

@@ -1,0 +1,340 @@
+//! Token definitions for the C subset.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Keywords of the C subset.
+#[allow(missing_docs)] // variant names are their own documentation
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Void,
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Double,
+    Signed,
+    Unsigned,
+    Struct,
+    Union,
+    Enum,
+    Typedef,
+    Static,
+    Extern,
+    Const,
+    Volatile,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    Switch,
+    Case,
+    Default,
+    Sizeof,
+    Goto,
+}
+
+impl Keyword {
+    /// Looks up a keyword by its source spelling.
+    #[allow(clippy::should_implement_trait)] // returns Option, not Result
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "void" => Void,
+            "char" => Char,
+            "short" => Short,
+            "int" => Int,
+            "long" => Long,
+            "float" => Float,
+            "double" => Double,
+            "signed" => Signed,
+            "unsigned" => Unsigned,
+            "struct" => Struct,
+            "union" => Union,
+            "enum" => Enum,
+            "typedef" => Typedef,
+            "static" => Static,
+            "extern" => Extern,
+            "const" => Const,
+            "volatile" => Volatile,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "do" => Do,
+            "for" => For,
+            "return" => Return,
+            "break" => Break,
+            "continue" => Continue,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "sizeof" => Sizeof,
+            "goto" => Goto,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Void => "void",
+            Char => "char",
+            Short => "short",
+            Int => "int",
+            Long => "long",
+            Float => "float",
+            Double => "double",
+            Signed => "signed",
+            Unsigned => "unsigned",
+            Struct => "struct",
+            Union => "union",
+            Enum => "enum",
+            Typedef => "typedef",
+            Static => "static",
+            Extern => "extern",
+            Const => "const",
+            Volatile => "volatile",
+            If => "if",
+            Else => "else",
+            While => "while",
+            Do => "do",
+            For => "for",
+            Return => "return",
+            Break => "break",
+            Continue => "continue",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Sizeof => "sizeof",
+            Goto => "goto",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[allow(missing_docs)] // variant names mirror the operators
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    PlusPlus,
+    MinusMinus,
+    Amp,
+    Star,
+    Plus,
+    Minus,
+    Tilde,
+    Bang,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Caret,
+    Pipe,
+    AmpAmp,
+    PipePipe,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    ShlAssign,
+    ShrAssign,
+    AmpAssign,
+    CaretAssign,
+    PipeAssign,
+    Ellipsis,
+}
+
+impl Punct {
+    /// The source spelling of the operator.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Amp => "&",
+            Star => "*",
+            Plus => "+",
+            Minus => "-",
+            Tilde => "~",
+            Bang => "!",
+            Slash => "/",
+            Percent => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            Caret => "^",
+            Pipe => "|",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Question => "?",
+            Colon => ":",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            AmpAssign => "&=",
+            CaretAssign => "^=",
+            PipeAssign => "|=",
+            Ellipsis => "...",
+        }
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (may later resolve to a typedef name in the parser).
+    Ident(String),
+    /// Reserved word.
+    Keyword(Keyword),
+    /// Integer constant with its value (suffixes folded away).
+    IntLit(i64),
+    /// Floating-point constant.
+    FloatLit(f64),
+    /// Character constant, value of the (possibly escaped) character.
+    CharLit(i64),
+    /// String literal, unescaped contents.
+    StrLit(String),
+    /// Operator or punctuation.
+    Punct(Punct),
+    /// A SafeFlow annotation comment; payload is the raw annotation body
+    /// (text after the `SafeFlow Annotation` marker, before comment close).
+    Annotation(String),
+    /// A preprocessor directive line (only surfaced by the raw lexer; the
+    /// preprocessor consumes these). Payload excludes the leading `#`.
+    Directive(String),
+    /// End of file.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Keyword(k) => format!("keyword `{}`", k.as_str()),
+            TokenKind::IntLit(v) => format!("integer `{v}`"),
+            TokenKind::FloatLit(v) => format!("float `{v}`"),
+            TokenKind::CharLit(v) => format!("char literal `{v}`"),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::Punct(p) => format!("`{}`", p.as_str()),
+            TokenKind::Annotation(_) => "SafeFlow annotation".to_string(),
+            TokenKind::Directive(d) => format!("preprocessor directive `#{d}`"),
+            TokenKind::Eof => "end of file".to_string(),
+        }
+    }
+}
+
+/// A lexed token with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Pairs a kind with its span.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// Whether this token is the given punctuation.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// Whether this token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(q) if *q == k)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::FloatLit(v) => write!(f, "{v}"),
+            TokenKind::CharLit(v) => write!(f, "'{v}'"),
+            TokenKind::StrLit(s) => write!(f, "{s:?}"),
+            TokenKind::Punct(p) => write!(f, "{}", p.as_str()),
+            TokenKind::Annotation(a) => write!(f, "/*** SafeFlow Annotation {a} ***/"),
+            TokenKind::Directive(d) => write!(f, "#{d}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [Keyword::Void, Keyword::Unsigned, Keyword::Sizeof, Keyword::Goto] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("notakeyword"), None);
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token::new(TokenKind::Punct(Punct::Semi), Span::dummy());
+        assert!(t.is_punct(Punct::Semi));
+        assert!(!t.is_punct(Punct::Comma));
+        assert!(!t.is_keyword(Keyword::If));
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Punct(Punct::Arrow).describe(), "`->`");
+    }
+}

@@ -1,0 +1,518 @@
+//! End-to-end frontend tests: preprocess → lex → parse.
+
+use safeflow_syntax::annot::Annotation;
+use safeflow_syntax::ast::*;
+use safeflow_syntax::{parse_source, ParseResult};
+
+fn parse_ok(src: &str) -> TranslationUnit {
+    let ParseResult { unit, diags, sources } = parse_source("test.c", src);
+    assert!(!diags.has_errors(), "parse errors:\n{}", diags.render_all(&sources));
+    unit
+}
+
+fn parse_err(src: &str) -> safeflow_syntax::Diagnostics {
+    let ParseResult { diags, .. } = parse_source("test.c", src);
+    assert!(diags.has_errors(), "expected parse errors, got none");
+    diags
+}
+
+#[test]
+fn parse_globals_and_multi_declarators() {
+    let tu = parse_ok("int a; float b = 1.5; int c, *d, e[10];");
+    let names: Vec<_> = tu.globals().map(|g| g.name.clone()).collect();
+    assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
+    let d = tu.globals().find(|g| g.name == "d").unwrap();
+    assert!(matches!(d.ty.kind, TypeExprKind::Ptr(_)));
+    let e = tu.globals().find(|g| g.name == "e").unwrap();
+    assert!(matches!(e.ty.kind, TypeExprKind::Array(..)));
+}
+
+#[test]
+fn parse_struct_definition_and_reference() {
+    let tu = parse_ok(
+        "struct Point { int x; int y; };\nstruct Point origin;\nstruct Point pts[4];",
+    );
+    let s = tu.struct_def("Point").unwrap();
+    assert_eq!(s.fields.len(), 2);
+    assert!(!s.is_union);
+    let g = tu.globals().find(|g| g.name == "origin").unwrap();
+    assert_eq!(g.ty.kind, TypeExprKind::Struct("Point".into()));
+}
+
+#[test]
+fn parse_typedef_struct_idiom() {
+    let tu = parse_ok("typedef struct { float control; int valid; } SHMData;\nSHMData *p;");
+    // The anonymous struct is hoisted with a synthetic name; the typedef
+    // refers to it.
+    let td = tu.items.iter().find_map(|i| match i {
+        Item::Typedef(t) => Some(t),
+        _ => None,
+    });
+    let td = td.expect("typedef present");
+    assert_eq!(td.name, "SHMData");
+    assert!(matches!(td.ty.kind, TypeExprKind::Struct(_)));
+    // And the typedef name works as a type afterwards.
+    let p = tu.globals().find(|g| g.name == "p").unwrap();
+    assert!(matches!(p.ty.kind, TypeExprKind::Ptr(_)));
+}
+
+#[test]
+fn parse_named_typedef_struct() {
+    let tu = parse_ok("typedef struct Node { int v; struct Node *next; } Node;\nNode *head;");
+    let s = tu.struct_def("Node").unwrap();
+    assert_eq!(s.fields.len(), 2);
+}
+
+#[test]
+fn parse_enum_definition() {
+    let tu = parse_ok("enum Mode { IDLE, ACTIVE = 5, SHUTDOWN };\nenum Mode m;");
+    let e = tu.items.iter().find_map(|i| match i {
+        Item::Enum(e) => Some(e),
+        _ => None,
+    });
+    let e = e.expect("enum present");
+    assert_eq!(e.variants.len(), 3);
+    assert_eq!(e.variants[0].0, "IDLE");
+    assert!(e.variants[1].1.is_some());
+}
+
+#[test]
+fn parse_function_definition() {
+    let tu = parse_ok(
+        "int add(int a, int b) { return a + b; }\nvoid nop(void) { }\nfloat silent();",
+    );
+    let add = tu.function("add").unwrap();
+    assert_eq!(add.params.len(), 2);
+    assert!(add.body.is_some());
+    let nop = tu.function("nop").unwrap();
+    assert!(nop.params.is_empty());
+    let silent = tu.function("silent").unwrap();
+    assert!(silent.body.is_none());
+}
+
+#[test]
+fn parse_varargs_prototype() {
+    let tu = parse_ok("int printf(char *fmt, ...);");
+    assert!(tu.function("printf").unwrap().varargs);
+}
+
+#[test]
+fn parse_control_flow_statements() {
+    let tu = parse_ok(
+        r#"
+        int f(int n) {
+            int acc = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                if (i % 2 == 0) { acc += i; } else acc -= 1;
+            }
+            while (acc > 100) acc /= 2;
+            do { acc++; } while (acc < 0);
+            switch (acc) {
+                case 0: return 0;
+                case 1:
+                case 2: acc = 5; break;
+                default: break;
+            }
+            return acc;
+        }
+        "#,
+    );
+    let f = tu.function("f").unwrap();
+    let body = f.body.as_ref().unwrap();
+    assert!(body.items.len() >= 6);
+    // Find the switch and check its arms.
+    let has_switch = body.items.iter().any(|s| matches!(&s.kind, StmtKind::Switch { cases, .. } if cases.len() == 4));
+    assert!(has_switch, "switch with 4 labels expected");
+}
+
+#[test]
+fn parse_for_with_declaration_init() {
+    let tu = parse_ok("int g(void) { int s = 0; for (int i = 0; i < 4; ++i) s += i; return s; }");
+    let f = tu.function("g").unwrap();
+    let body = f.body.as_ref().unwrap();
+    let has_for_decl = body.items.iter().any(|s| {
+        matches!(&s.kind, StmtKind::For { init: Some(init), .. }
+            if matches!(init.kind, StmtKind::Decl(_)))
+    });
+    assert!(has_for_decl);
+}
+
+#[test]
+fn parse_expression_precedence() {
+    let tu = parse_ok("int x = 2 + 3 * 4;");
+    let g = tu.globals().next().unwrap();
+    match g.init.as_ref().unwrap() {
+        Initializer::Expr(e) => match &e.kind {
+            ExprKind::Binary(BinOp::Add, lhs, rhs) => {
+                assert!(matches!(lhs.kind, ExprKind::IntLit(2)));
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, ..)));
+            }
+            other => panic!("expected Add at root, got {other:?}"),
+        },
+        other => panic!("expected expr initializer, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_logical_operators_are_distinct() {
+    let tu = parse_ok("int f(int a, int b) { return a && b || !a; }");
+    let f = tu.function("f").unwrap();
+    let ret = &f.body.as_ref().unwrap().items[0];
+    match &ret.kind {
+        StmtKind::Return(Some(e)) => {
+            assert!(matches!(e.kind, ExprKind::LogicalOr(..)));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn parse_pointer_member_and_index_chain() {
+    let tu = parse_ok(
+        "typedef struct { float v[8]; } D;\nfloat get(D *d, int i) { return d->v[i + 1]; }",
+    );
+    let f = tu.function("get").unwrap();
+    match &f.body.as_ref().unwrap().items[0].kind {
+        StmtKind::Return(Some(e)) => match &e.kind {
+            ExprKind::Index(base, _) => {
+                assert!(matches!(&base.kind, ExprKind::Member { arrow: true, .. }));
+            }
+            other => panic!("expected index, got {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn parse_casts_and_sizeof() {
+    let tu = parse_ok(
+        r#"
+        typedef struct { int a; } T;
+        void *shmat(int id, void *addr, int flg);
+        void init(void) {
+            void *raw = shmat(0, 0, 0);
+            T *t = (T *) raw;
+            int n = sizeof(T);
+            int m = sizeof t;
+        }
+        "#,
+    );
+    let f = tu.function("init").unwrap();
+    assert_eq!(f.body.as_ref().unwrap().items.len(), 4);
+}
+
+#[test]
+fn parse_conditional_and_comma() {
+    let tu = parse_ok("int f(int a) { int b; b = a > 0 ? a : -a; a = (a++, a + 1); return b; }");
+    assert!(tu.function("f").is_some());
+}
+
+#[test]
+fn parse_address_of_and_deref() {
+    let tu = parse_ok("void f(void) { int x = 3; int *p = &x; *p = 4; }");
+    assert!(tu.function("f").is_some());
+}
+
+#[test]
+fn header_annotation_attaches_to_function() {
+    let tu = parse_ok(
+        r#"
+        typedef struct { float control; } SHMData;
+        SHMData *noncoreCtrl;
+        float decision(float safeControl)
+        /***SafeFlow Annotation
+            assume(core(noncoreCtrl, 0, sizeof(SHMData))) /***/
+        {
+            return safeControl;
+        }
+        "#,
+    );
+    let f = tu.function("decision").unwrap();
+    assert_eq!(f.annotations.len(), 1);
+    assert!(matches!(&f.annotations[0], Annotation::AssumeCore { ptr, .. } if ptr == "noncoreCtrl"));
+}
+
+#[test]
+fn statement_annotation_becomes_annotation_stmt() {
+    let tu = parse_ok(
+        r#"
+        void sendControl(float v);
+        void step(float output) {
+            /** SafeFlow Annotation assert(safe(output)) */
+            sendControl(output);
+        }
+        "#,
+    );
+    let f = tu.function("step").unwrap();
+    let items = &f.body.as_ref().unwrap().items;
+    assert!(matches!(
+        &items[0].kind,
+        StmtKind::Annotation(Annotation::AssertSafe { var, .. }) if var == "output"
+    ));
+}
+
+#[test]
+fn multiple_annotations_one_comment() {
+    let tu = parse_ok(
+        r#"
+        typedef struct { float c; } SHMData;
+        SHMData *feedback; SHMData *noncoreCtrl;
+        void initComm(void)
+        /** SafeFlow Annotation shminit */
+        {
+            /** SafeFlow Annotation
+                assume(shmvar(feedback, sizeof(SHMData)))
+                assume(shmvar(noncoreCtrl, sizeof(SHMData)))
+                assume(noncore(noncoreCtrl))
+            */
+        }
+        "#,
+    );
+    let f = tu.function("initComm").unwrap();
+    assert_eq!(f.annotations.len(), 1);
+    assert!(matches!(f.annotations[0], Annotation::ShmInit { .. }));
+    // The three postconditions become a block of annotation statements.
+    let items = &f.body.as_ref().unwrap().items;
+    let count = count_annotations(items);
+    assert_eq!(count, 3);
+}
+
+fn count_annotations(items: &[Stmt]) -> usize {
+    items
+        .iter()
+        .map(|s| match &s.kind {
+            StmtKind::Annotation(_) => 1,
+            StmtKind::Block(b) => count_annotations(&b.items),
+            _ => 0,
+        })
+        .sum()
+}
+
+#[test]
+fn figure2_core_controller_parses() {
+    // A faithful transcription of the paper's Figure 2 (simplified core
+    // controller of the inverted pendulum Simplex implementation).
+    let tu = parse_ok(
+        r#"
+        typedef struct { float control; float track; float angle; } SHMData;
+        typedef SHMData Feedback;
+        SHMData *noncoreCtrl;
+        SHMData *feedback;
+        int shmget(int key, int size, int flags);
+        void *shmat(int shmid, void *addr, int flags);
+        int checkSafety(SHMData *fb, SHMData *ctrl);
+        void getFeedback(SHMData *fb);
+        void computeSafety(SHMData *fb, float *safe);
+        void Unlock(int lock);
+        void Lock(int lock);
+        void wait(int tsecs);
+        void sendControl(float output);
+        int shmLock; int tsecs;
+
+        float decision(Feedback *f, float safeControl, SHMData *ctrl)
+        /***SafeFlow Annotation
+            assume(core(noncoreCtrl, 0, sizeof(SHMData))) /***/
+        {
+            if (checkSafety(feedback, noncoreCtrl))
+                return noncoreCtrl->control;
+            else
+                return safeControl;
+        }
+
+        int main() {
+            void *shmStart;
+            int shmid;
+            float safeControl;
+            shmid = shmget(42, 2 * sizeof(SHMData), 0);
+            shmStart = shmat(shmid, 0, 0);
+            feedback = (SHMData *) shmStart;
+            noncoreCtrl = feedback + 1;
+            while (1) {
+                float output;
+                getFeedback(feedback);
+                computeSafety(feedback, &safeControl);
+                Unlock(shmLock);
+                wait(tsecs);
+                Lock(shmLock);
+                output = decision(feedback, safeControl, noncoreCtrl);
+                /**SafeFlow Annotation
+                assert(safe(output)); /***/
+                sendControl(output);
+            }
+            return 0;
+        }
+        "#,
+    );
+    assert!(tu.function("decision").unwrap().annotations.len() == 1);
+    assert!(tu.function("main").is_some());
+    assert_eq!(tu.functions().count(), 2);
+}
+
+#[test]
+fn goto_rejected() {
+    let d = parse_err("void f(void) { goto out; }");
+    assert!(d.iter().any(|x| x.message.contains("goto")));
+}
+
+#[test]
+fn function_pointer_call_rejected() {
+    let d = parse_err("void f(int *p) { (*p)(); }");
+    assert!(d.iter().any(|x| x.message.contains("indirect calls")));
+}
+
+#[test]
+fn missing_semicolon_recovers() {
+    // One error, but both functions should still be visible.
+    let ParseResult { unit, diags, .. } =
+        parse_source("t.c", "int f(void) { return 1 }\nint g(void) { return 2; }");
+    assert!(diags.has_errors());
+    assert!(unit.function("g").is_some());
+}
+
+#[test]
+fn static_and_extern_storage() {
+    let tu = parse_ok("static int counter; extern int outside; static void helper(void) { }");
+    assert_eq!(tu.globals().find(|g| g.name == "counter").unwrap().storage, Storage::Static);
+    assert_eq!(tu.globals().find(|g| g.name == "outside").unwrap().storage, Storage::Extern);
+    assert_eq!(tu.function("helper").unwrap().storage, Storage::Static);
+}
+
+#[test]
+fn unsigned_and_long_types() {
+    let tu = parse_ok("unsigned int a; unsigned char b; long c; unsigned long d; short e;");
+    let a = tu.globals().find(|g| g.name == "a").unwrap();
+    assert_eq!(a.ty.kind, TypeExprKind::Int(Signedness::Unsigned));
+    let d = tu.globals().find(|g| g.name == "d").unwrap();
+    assert_eq!(d.ty.kind, TypeExprKind::Long(Signedness::Unsigned));
+}
+
+#[test]
+fn array_initializer_list() {
+    let tu = parse_ok("float gains[3] = { 1.0, 2.5, 0.0 };");
+    let g = tu.globals().next().unwrap();
+    match g.init.as_ref().unwrap() {
+        Initializer::List(items, _) => assert_eq!(items.len(), 3),
+        other => panic!("expected list, got {other:?}"),
+    }
+}
+
+#[test]
+fn nested_initializer_list() {
+    let tu = parse_ok("float m[2][2] = { { 1.0, 0.0 }, { 0.0, 1.0 } };");
+    let g = tu.globals().next().unwrap();
+    match g.init.as_ref().unwrap() {
+        Initializer::List(items, _) => {
+            assert_eq!(items.len(), 2);
+            assert!(matches!(items[0], Initializer::List(..)));
+        }
+        other => panic!("expected list, got {other:?}"),
+    }
+}
+
+#[test]
+fn preprocessor_macro_in_function() {
+    let tu = parse_ok("#define LIMIT 100\nint f(int x) { if (x > LIMIT) return LIMIT; return x; }");
+    assert!(tu.function("f").is_some());
+}
+
+#[test]
+fn string_concatenation() {
+    let tu = parse_ok(r#"void log2(char *m); void f(void) { log2("a" "b"); }"#);
+    let f = tu.function("f").unwrap();
+    match &f.body.as_ref().unwrap().items[0].kind {
+        StmtKind::Expr(e) => match &e.kind {
+            ExprKind::Call { args, .. } => {
+                assert!(matches!(&args[0].kind, ExprKind::StrLit(s) if s == "ab"));
+            }
+            other => panic!("unexpected {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn unions_parse() {
+    let tu = parse_ok("union U { int i; float f; };\nunion U u;");
+    // Unions are stored as struct defs with the flag set (C has a single
+    // tag namespace, so lookup by tag finds it).
+    let s = tu.struct_def("U").unwrap();
+    assert!(s.is_union);
+    let u = tu.items.iter().find_map(|i| match i {
+        Item::Struct(s) if s.is_union => Some(s),
+        _ => None,
+    });
+    assert!(u.is_some());
+}
+
+#[test]
+fn empty_translation_unit() {
+    let tu = parse_ok("");
+    assert!(tu.items.is_empty());
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // Nesting below the limit parses fine.
+    let mut src = String::from("int x = ");
+    for _ in 0..48 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..48 {
+        src.push(')');
+    }
+    src.push(';');
+    let _ = parse_ok(&src);
+
+    // Nesting beyond the limit is rejected with a diagnostic, not a crash.
+    let mut deep = String::from("int x = ");
+    for _ in 0..500 {
+        deep.push('(');
+    }
+    deep.push('1');
+    for _ in 0..500 {
+        deep.push(')');
+    }
+    deep.push(';');
+    let d = parse_err(&deep);
+    assert!(d.iter().any(|x| x.message.contains("nesting too deep")));
+}
+
+#[test]
+fn annotation_marker_inside_string_is_not_an_annotation() {
+    let tu = parse_ok(r#"void log2(char *s); void f(void) { log2("SafeFlow Annotation assert(safe(x))"); }"#);
+    let f = tu.function("f").unwrap();
+    // No annotation statement — the marker only counts inside comments.
+    assert!(f
+        .body
+        .as_ref()
+        .unwrap()
+        .items
+        .iter()
+        .all(|s| !matches!(s.kind, StmtKind::Annotation(_))));
+}
+
+#[test]
+fn comment_like_sequences_inside_strings() {
+    let tu = parse_ok(r#"void log2(char *s); void f(void) { log2("/* not a comment */ // neither"); }"#);
+    assert!(tu.function("f").is_some());
+}
+
+#[test]
+fn division_not_mistaken_for_comment() {
+    let tu = parse_ok("int f(int a, int b) { return a / b / 2; }");
+    assert!(tu.function("f").is_some());
+}
+
+#[test]
+fn sizeof_of_array_variable() {
+    let tu = parse_ok("float hist[16]; long f(void) { return sizeof(hist); }");
+    assert!(tu.function("f").is_some());
+}
+
+#[test]
+fn empty_function_bodies_and_params() {
+    let tu = parse_ok("void a(void) {}\nvoid b() {}\nint c(int x) { return x; }");
+    assert_eq!(tu.functions().count(), 3);
+}

@@ -1,0 +1,87 @@
+//! Figure 1 end-to-end: the inverted-pendulum Simplex architecture in
+//! simulation — core safety controller, non-core complex controller, and
+//! the Lyapunov-envelope monitor deciding between them.
+//!
+//! Runs three scenarios: a well-behaved non-core controller, a buggy one
+//! emitting garbage, and one that goes silent. In all three the monitored
+//! core keeps the pendulum upright.
+//!
+//! ```text
+//! cargo run --example pendulum_simplex
+//! ```
+
+use simplex_sim::{ExecutiveConfig, Fault, SimplexExecutive};
+
+fn run_scenario(name: &str, fault: Fault) {
+    let cfg = ExecutiveConfig { fault, steps: 1500, ..Default::default() };
+    let summary = SimplexExecutive::new(cfg).run();
+    println!("--- scenario: {name} ---");
+    println!("  steps simulated      : {}", summary.steps);
+    println!(
+        "  complex controller   : {} steps ({:.0}%)",
+        summary.complex_steps,
+        100.0 * summary.complex_steps as f64 / summary.steps.max(1) as f64
+    );
+    println!("  monitor rejections   : {}", summary.rejections);
+    println!("  max Lyapunov value   : {:.2}", summary.max_lyapunov);
+    println!(
+        "  pendulum             : {}",
+        if summary.plant_failed { "FELL" } else { "stayed upright" }
+    );
+    // A small strip chart of the angle over time.
+    let n = summary.trace.len();
+    if n > 0 {
+        let cols = 60usize;
+        let mut line = String::from("  |");
+        for c in 0..cols {
+            let idx = c * (n - 1) / cols.max(1);
+            let angle = summary.trace[idx].state[2];
+            line.push(if angle.abs() < 0.02 {
+                '-'
+            } else if angle.abs() < 0.1 {
+                '~'
+            } else {
+                '*'
+            });
+        }
+        line.push('|');
+        println!("  angle trace          : {line}  (- upright, ~ wobble, * large)");
+    }
+    println!();
+}
+
+fn run_double_scenario(name: &str, fault: Fault) {
+    let cfg = ExecutiveConfig {
+        dt: 0.005,
+        steps: 1500,
+        initial_angle: 0.03,
+        envelope: 80.0,
+        fault,
+        ..Default::default()
+    };
+    let summary = SimplexExecutive::new_double(cfg).run();
+    println!("--- double pendulum, scenario: {name} ---");
+    println!("  monitor rejections   : {}", summary.rejections);
+    println!(
+        "  both links           : {}",
+        if summary.plant_failed { "FELL" } else { "stayed upright" }
+    );
+    println!();
+}
+
+fn main() {
+    println!("=== Simplex architecture for the inverted pendulum (paper Figure 1) ===\n");
+    run_scenario("well-behaved complex controller", Fault::None);
+    run_scenario("buggy complex controller (garbage commands)", Fault::GarbageCommands);
+    run_scenario("complex controller goes silent", Fault::Stale);
+
+    println!("=== The same executive on the double inverted pendulum (third corpus system) ===\n");
+    run_double_scenario("well-behaved complex controller", Fault::None);
+    run_double_scenario("buggy complex controller", Fault::GarbageCommands);
+
+    println!(
+        "In every scenario the Lyapunov-envelope monitor (paper reference 22) kept the\n\
+         plant recoverable: the run-time monitor is the mechanism SafeFlow's annotations\n\
+         describe, and its guarantees are what unmonitored value flows bypass."
+    );
+}

@@ -1,0 +1,100 @@
+//! The run-time side of the paper's argument: what a Lyapunov-envelope
+//! monitor accepts and rejects, step by step — and why the paper prefers
+//! *static* analysis for the value-flow property ("run-time error
+//! dependency detection incurs performance penalties").
+//!
+//! ```text
+//! cargo run --example runtime_monitor
+//! ```
+
+use simplex_sim::linalg::Mat;
+use simplex_sim::lqr::dlqr;
+use simplex_sim::{CartPole, Decision, LyapunovMonitor, Plant, RangeMonitor};
+use std::time::Instant;
+
+fn main() {
+    // Design the safety controller; its Riccati solution gives the
+    // Lyapunov envelope (Simplex architecture [22]).
+    let plant = CartPole::default();
+    let dt = 0.01;
+    let (a, b) = plant.linearized(dt);
+    let q = Mat::from_rows(&[
+        &[10.0, 0.0, 0.0, 0.0],
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 100.0, 0.0],
+        &[0.0, 0.0, 0.0, 1.0],
+    ]);
+    let design = dlqr(&a, &b, &q, 0.5, 50_000).expect("LQR converges");
+    println!(
+        "LQR designed in {} Riccati iterations; envelope V(x) = x'Px",
+        design.iterations
+    );
+    let monitor = LyapunovMonitor::new(a, b, design.p, 50.0, 5.0);
+
+    // Probe the monitor with proposals from various states.
+    println!("\nstate (x, xdot, th, thdot)      proposal   decision");
+    let cases: &[([f64; 4], f64)] = &[
+        ([0.0, 0.0, 0.01, 0.0], 0.2),
+        ([0.0, 0.0, 0.01, 0.0], 4.9),
+        ([0.0, 0.0, 0.01, 0.0], 7.5),
+        ([0.0, 0.0, 0.01, 0.0], f64::NAN),
+        ([0.8, 0.5, 0.20, 0.8], 4.5),
+        ([0.8, 0.5, 0.20, 0.8], -1.0),
+    ];
+    for (state, u) in cases {
+        let d = monitor.check(state, *u);
+        println!(
+            "({:>4.1}, {:>4.1}, {:>5.2}, {:>4.1})   {:>8.2}   {:?}  (V now = {:.1})",
+            state[0],
+            state[1],
+            state[2],
+            state[3],
+            u,
+            d,
+            monitor.lyapunov(state)
+        );
+    }
+
+    // Range monitors cover configuration-style values (§3.1's examples of
+    // what monitors check when no plant model applies).
+    let pid_monitor = RangeMonitor { lo: 2000.0, hi: 2999.0 };
+    println!("\npid monitor (non-core pids are 2000..2999):");
+    for pid in [2000.0, 2500.0, 1000.0] {
+        println!("  kill({pid}) -> {:?}", pid_monitor.check(pid));
+    }
+
+    // Why static analysis: measure what per-value run-time checking costs.
+    println!("\ncost of monitoring every value at run time:");
+    let mut state = [0.0, 0.0, 0.05, 0.0];
+    let mut p = CartPole::default();
+    p.set_state(&state);
+    let n = 200_000;
+
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        let u = ((i % 100) as f64 / 50.0 - 1.0) * 4.0;
+        acc += u;
+        state[2] = (i % 7) as f64 * 0.01;
+    }
+    let base = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut accepted = 0usize;
+    for i in 0..n {
+        let u = ((i % 100) as f64 / 50.0 - 1.0) * 4.0;
+        state[2] = (i % 7) as f64 * 0.01;
+        if monitor.check(&state, u) == Decision::Accept {
+            accepted += 1;
+        }
+    }
+    let monitored = t1.elapsed();
+    println!("  {n} raw value uses        : {base:?} (accumulator {acc:.1})");
+    println!("  {n} monitored value uses  : {monitored:?} ({accepted} accepted)");
+    println!(
+        "  per-check overhead ≈ {:.0} ns — fine for one control output per period,\n\
+         ruinous if EVERY shared-memory read had to be dynamically checked;\n\
+         SafeFlow moves exactly that burden to compile time.",
+        (monitored.as_nanos() as f64 - base.as_nanos() as f64) / n as f64
+    );
+}
