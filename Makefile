@@ -1,0 +1,39 @@
+# Convenience targets for the SafeFlow workspace.
+#
+# `make smoke` is the pre-merge gate for the parallel engine: a release
+# build, the full test suite, and a determinism spot-check that compares
+# CLI reports at two thread counts byte-for-byte on the whole corpus.
+
+CARGO ?= cargo
+SAFEFLOW = target/release/safeflow
+
+.PHONY: all build test bench smoke golden clean
+
+all: build
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+bench:
+	$(CARGO) bench -q -p safeflow-bench
+
+# Regenerate the golden report snapshots after an intentional change.
+golden:
+	UPDATE_GOLDEN=1 $(CARGO) test -q -p safeflow --test golden
+
+# Build + test + determinism at two thread counts: the summary engine's
+# corpus reports must be byte-identical at --jobs 1 and --jobs 8.
+smoke: build test
+	$(SAFEFLOW) --engine summary --jobs 1 --fig2 > /tmp/safeflow-smoke-j1.txt || true
+	$(SAFEFLOW) --engine summary --jobs 8 --fig2 > /tmp/safeflow-smoke-j8.txt || true
+	cmp /tmp/safeflow-smoke-j1.txt /tmp/safeflow-smoke-j8.txt
+	$(SAFEFLOW) --engine summary --jobs 1 --table1 > /tmp/safeflow-smoke-t1-j1.txt
+	$(SAFEFLOW) --engine summary --jobs 8 --table1 > /tmp/safeflow-smoke-t1-j8.txt
+	cmp /tmp/safeflow-smoke-t1-j1.txt /tmp/safeflow-smoke-t1-j8.txt
+	@echo "smoke OK: reports byte-identical at --jobs 1 and --jobs 8"
+
+clean:
+	$(CARGO) clean

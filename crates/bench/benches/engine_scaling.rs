@@ -7,14 +7,14 @@
 //! context-sensitive engine growing with monitors × depth while the
 //! summary engine stays near-linear in program size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow_bench::Harness;
 use safeflow_corpus::synthetic::{generate_core, SyntheticParams};
 use std::hint::black_box;
 
-fn bench_depth_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_scaling/depth");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::from_args();
+
     for depth in [2usize, 4, 8, 12] {
         let src = generate_core(SyntheticParams { regions: 4, monitors: 4, depth, branches: 2 });
         for (engine, tag) in [
@@ -22,20 +22,13 @@ fn bench_depth_sweep(c: &mut Criterion) {
             (Engine::Summary, "summary"),
         ] {
             let analyzer = Analyzer::new(AnalysisConfig::with_engine(engine));
-            group.bench_with_input(BenchmarkId::new(tag, depth), &src, |b, src| {
-                b.iter(|| {
-                    let r = analyzer.analyze_source("syn.c", black_box(src)).expect("analyzes");
-                    black_box(r.report.warnings.len())
-                })
+            h.bench(&format!("engine_scaling/depth/{tag}/{depth}"), 10, || {
+                let r = analyzer.analyze_source("syn.c", black_box(&src)).expect("analyzes");
+                black_box(r.report.warnings.len())
             });
         }
     }
-    group.finish();
-}
 
-fn bench_monitor_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_scaling/monitors");
-    group.sample_size(10);
     for monitors in [1usize, 2, 4, 8] {
         let src = generate_core(SyntheticParams {
             regions: monitors.max(1),
@@ -48,16 +41,10 @@ fn bench_monitor_sweep(c: &mut Criterion) {
             (Engine::Summary, "summary"),
         ] {
             let analyzer = Analyzer::new(AnalysisConfig::with_engine(engine));
-            group.bench_with_input(BenchmarkId::new(tag, monitors), &src, |b, src| {
-                b.iter(|| {
-                    let r = analyzer.analyze_source("syn.c", black_box(src)).expect("analyzes");
-                    black_box(r.report.warnings.len())
-                })
+            h.bench(&format!("engine_scaling/monitors/{tag}/{monitors}"), 10, || {
+                let r = analyzer.analyze_source("syn.c", black_box(&src)).expect("analyzes");
+                black_box(r.report.warnings.len())
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_depth_sweep, bench_monitor_sweep);
-criterion_main!(benches);

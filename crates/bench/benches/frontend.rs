@@ -2,49 +2,30 @@
 //! construction, measured on the corpus core components. (The paper's
 //! substrate was LLVM; this is our equivalent infrastructure cost.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safeflow_bench::Harness;
 use safeflow_ir::build_module;
 use safeflow_syntax::diag::Diagnostics;
 use safeflow_syntax::parse_source;
 use std::hint::black_box;
 
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("frontend/parse");
-    for system in safeflow_corpus::systems() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(system.name),
-            &system,
-            |b, system| {
-                b.iter(|| {
-                    let r = parse_source(system.core_file, black_box(system.core_source));
-                    assert!(!r.diags.has_errors());
-                    black_box(r.unit.items.len())
-                })
-            },
-        );
-    }
-    group.finish();
-}
+fn main() {
+    let h = Harness::from_args();
 
-fn bench_lower_and_ssa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("frontend/lower_ssa");
+    for system in safeflow_corpus::systems() {
+        h.bench(&format!("frontend/parse/{}", system.name), 10, || {
+            let r = parse_source(system.core_file, black_box(system.core_source));
+            assert!(!r.diags.has_errors());
+            black_box(r.unit.items.len())
+        });
+    }
+
     for system in safeflow_corpus::systems() {
         let parsed = parse_source(system.core_file, system.core_source);
         assert!(!parsed.diags.has_errors());
-        group.bench_with_input(
-            BenchmarkId::from_parameter(system.name),
-            &parsed.unit,
-            |b, unit| {
-                b.iter(|| {
-                    let mut diags = Diagnostics::new();
-                    let module = build_module(black_box(unit), &mut diags);
-                    black_box(module.functions.len())
-                })
-            },
-        );
+        h.bench(&format!("frontend/lower_ssa/{}", system.name), 10, || {
+            let mut diags = Diagnostics::new();
+            let module = build_module(black_box(&parsed.unit), &mut diags);
+            black_box(module.functions.len())
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_parse, bench_lower_and_ssa);
-criterion_main!(benches);

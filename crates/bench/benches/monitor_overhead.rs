@@ -5,59 +5,42 @@
 //! (the `taint-perl`-style alternative), plus the cost of the Lyapunov
 //! monitor itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safeflow_bench::Harness;
 use simplex_sim::linalg::Mat;
 use simplex_sim::lqr::dlqr;
 use simplex_sim::{CartPole, ExecutiveConfig, Fault, LyapunovMonitor, Plant, SimplexExecutive};
 use std::hint::black_box;
 
-fn bench_executive_taint_tracking(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monitor_overhead/executive");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::from_args();
+
     for (tag, track) in [("static_analysis_only", false), ("runtime_taint_tracking", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(tag), &track, |b, &track| {
-            b.iter(|| {
-                let cfg = ExecutiveConfig {
-                    steps: 1000,
-                    fault: Fault::RigFeedback { value: 0.0 },
-                    unsafe_core: true,
-                    track_taint: track,
-                    ..Default::default()
-                };
-                let summary = SimplexExecutive::new(cfg).run();
-                black_box(summary.steps)
-            })
+        h.bench(&format!("monitor_overhead/executive/{tag}"), 10, || {
+            let cfg = ExecutiveConfig {
+                steps: 1000,
+                fault: Fault::RigFeedback { value: 0.0 },
+                unsafe_core: true,
+                track_taint: track,
+                ..Default::default()
+            };
+            let summary = SimplexExecutive::new(cfg).run();
+            black_box(summary.steps)
         });
     }
-    group.finish();
-}
 
-fn bench_lyapunov_check(c: &mut Criterion) {
     let plant = CartPole::default();
     let (a, b) = plant.linearized(0.01);
     let q = Mat::identity(4);
     let d = dlqr(&a, &b, &q, 1.0, 50_000).unwrap();
     let monitor = LyapunovMonitor::new(a, b, d.p, 50.0, 5.0);
     let state = [0.1, 0.0, 0.05, 0.0];
-    c.bench_function("monitor_overhead/single_check", |bch| {
-        bch.iter(|| black_box(monitor.check(black_box(&state), black_box(1.5))))
+    h.bench("monitor_overhead/single_check", 10, || {
+        black_box(monitor.check(black_box(&state), black_box(1.5)))
+    });
+
+    let mut plant = CartPole::default();
+    h.bench("monitor_overhead/plant_step_rk4", 10, || {
+        plant.step(black_box(0.5), 0.01);
+        black_box(plant.state()[2])
     });
 }
-
-fn bench_plant_step(c: &mut Criterion) {
-    c.bench_function("monitor_overhead/plant_step_rk4", |bch| {
-        let mut plant = CartPole::default();
-        bch.iter(|| {
-            plant.step(black_box(0.5), 0.01);
-            black_box(plant.state()[2])
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_executive_taint_tracking,
-    bench_lyapunov_check,
-    bench_plant_step
-);
-criterion_main!(benches);

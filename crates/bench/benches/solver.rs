@@ -2,7 +2,7 @@
 //! checker generates ("The set of affine constraints are given to a
 //! integer programming solver such as Omega", §3.3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safeflow_bench::Harness;
 use safeflow_solver::{LinExpr, System};
 use std::hint::black_box;
 
@@ -22,18 +22,14 @@ fn a1_obligation(n_loops: usize) -> System {
     sys
 }
 
-fn bench_feasibility(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver/feasibility");
+fn main() {
+    let h = Harness::from_args();
+
     for nesting in [1usize, 2, 4, 6] {
         let sys = a1_obligation(nesting);
-        group.bench_with_input(BenchmarkId::from_parameter(nesting), &sys, |b, sys| {
-            b.iter(|| black_box(sys.check()))
-        });
+        h.bench(&format!("solver/feasibility/{nesting}"), 10, || black_box(sys.check()));
     }
-    group.finish();
-}
 
-fn bench_bounds_proof(c: &mut Criterion) {
     // The exact query shape the restriction checker issues per shared-array
     // access: implies(0 <= 2i + 1) and implies(2i + 1 < 16).
     let mut sys = System::new();
@@ -41,27 +37,18 @@ fn bench_bounds_proof(c: &mut Criterion) {
     sys.add_ge(LinExpr::var(i), LinExpr::constant(0));
     sys.add_lt(LinExpr::var(i), LinExpr::constant(8));
     let idx = LinExpr::term(i, 2) + LinExpr::constant(1);
-    c.bench_function("solver/a2_affine_bounds_proof", |b| {
-        b.iter(|| {
-            let lower = sys.implies_ge(black_box(idx.clone()), LinExpr::zero());
-            let upper = sys.implies_lt(black_box(idx.clone()), LinExpr::constant(16));
-            black_box(lower && upper)
-        })
+    h.bench("solver/a2_affine_bounds_proof", 10, || {
+        let lower = sys.implies_ge(black_box(idx.clone()), LinExpr::zero());
+        let upper = sys.implies_lt(black_box(idx.clone()), LinExpr::constant(16));
+        black_box(lower && upper)
     });
-}
 
-fn bench_dark_shadow(c: &mut Criterion) {
     // A query requiring the inexact FM path (dark shadow / splinter).
-    c.bench_function("solver/dark_shadow_case", |b| {
-        b.iter(|| {
-            let mut sys = System::new();
-            let x = sys.new_var("x");
-            sys.add_ge(LinExpr::term(x, 3), LinExpr::constant(7));
-            sys.add_le(LinExpr::term(x, 2), LinExpr::constant(5));
-            black_box(sys.check())
-        })
+    h.bench("solver/dark_shadow_case", 10, || {
+        let mut sys = System::new();
+        let x = sys.new_var("x");
+        sys.add_ge(LinExpr::term(x, 3), LinExpr::constant(7));
+        sys.add_le(LinExpr::term(x, 2), LinExpr::constant(5));
+        black_box(sys.check())
     });
 }
-
-criterion_group!(benches, bench_feasibility, bench_bounds_proof, bench_dark_shadow);
-criterion_main!(benches);

@@ -3,47 +3,32 @@
 //! factor in most development and testing efforts" — this bench quantifies
 //! it for our reproduction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow_bench::Harness;
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::from_args();
     for system in safeflow_corpus::systems() {
         for (engine, tag) in [
             (Engine::ContextSensitive, "context"),
             (Engine::Summary, "summary"),
         ] {
             let analyzer = Analyzer::new(AnalysisConfig::with_engine(engine));
-            group.bench_with_input(
-                BenchmarkId::new(tag, system.name),
-                &system,
-                |b, system| {
-                    b.iter(|| {
-                        let result = analyzer
-                            .analyze_source(system.core_file, black_box(system.core_source))
-                            .expect("corpus analyzes");
-                        black_box(result.report.warnings.len())
-                    })
-                },
-            );
+            h.bench(&format!("table1/{tag}/{}", system.name), 10, || {
+                let result = analyzer
+                    .analyze_source(system.core_file, black_box(system.core_source))
+                    .expect("corpus analyzes");
+                black_box(result.report.warnings.len())
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_figure2(c: &mut Criterion) {
     let analyzer = Analyzer::new(AnalysisConfig::default());
-    c.bench_function("figure2_running_example", |b| {
-        b.iter(|| {
-            let result = analyzer
-                .analyze_source("fig2.c", black_box(safeflow_corpus::figure2_example()))
-                .expect("fig2 analyzes");
-            black_box(result.report.errors.len())
-        })
+    h.bench("figure2_running_example", 10, || {
+        let result = analyzer
+            .analyze_source("fig2.c", black_box(safeflow_corpus::figure2_example()))
+            .expect("fig2 analyzes");
+        black_box(result.report.errors.len())
     });
 }
-
-criterion_group!(benches, bench_table1, bench_figure2);
-criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! safeflow --table1                regenerate the paper's Table 1 on the corpus
 //! safeflow --fig2                  analyze the paper's Figure 2 running example
 //! safeflow --engine summary ...    use the ESP-style summary engine
+//! safeflow --jobs 4 ...            parallel analysis on 4 worker threads
 //! ```
 
 use safeflow::{AnalysisConfig, Analyzer, Engine};
@@ -19,6 +20,7 @@ fn main() -> ExitCode {
     let mut table1 = false;
     let mut fig2 = false;
     let mut dot = false;
+    let mut jobs = 1usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -39,6 +41,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--jobs" | "-j" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("auto") => jobs = safeflow_util::pool::default_jobs(),
+                    Some(n) => match n.parse::<usize>() {
+                        Ok(n) if n >= 1 => jobs = n,
+                        _ => {
+                            eprintln!("--jobs takes a positive integer or `auto`, got {n:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("--jobs requires an argument (a thread count or `auto`)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -52,7 +71,7 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let config = AnalysisConfig::with_engine(engine);
+    let config = AnalysisConfig::with_engine(engine).with_jobs(jobs);
 
     if table1 {
         return run_table1(&config);
@@ -77,6 +96,8 @@ fn print_help() {
          \n\
          OPTIONS:\n\
          \x20 --engine summary|context   phase-3 engine (default: context)\n\
+         \x20 --jobs N|auto, -j N        worker threads for the parallel phases\n\
+         \x20                            (default: 1; reports are identical for any N)\n\
          \x20 --dot                      emit Graphviz value-flow graphs for errors\n\
          \x20 --table1                   regenerate the paper's Table 1 on the corpus\n\
          \x20 --fig2                     analyze the paper's Figure 2 example"

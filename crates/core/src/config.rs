@@ -44,6 +44,11 @@ pub struct AnalysisConfig {
     /// disappears — and so do real control-dependence errors like the
     /// paper's Figure 2 finding. Default: on, as in the paper.
     pub track_control_dependence: bool,
+    /// Worker threads for the parallel phases (summary-engine SCC
+    /// scheduling, per-function graph construction, restriction checks).
+    /// `1` (the default) runs everything sequentially on the calling
+    /// thread; reports are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -57,6 +62,7 @@ impl Default for AnalysisConfig {
             entry: "main".to_string(),
             max_contexts: 512,
             track_control_dependence: true,
+            jobs: 1,
         }
     }
 }
@@ -65,6 +71,13 @@ impl AnalysisConfig {
     /// Default configuration with the given engine.
     pub fn with_engine(engine: Engine) -> Self {
         AnalysisConfig { engine, ..AnalysisConfig::default() }
+    }
+
+    /// This configuration with `jobs` worker threads (builder-style;
+    /// `0` is clamped to `1`).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 }
 
@@ -86,5 +99,12 @@ mod tests {
         let c = AnalysisConfig::with_engine(Engine::Summary);
         assert_eq!(c.engine, Engine::Summary);
         assert_eq!(c.entry, "main");
+    }
+
+    #[test]
+    fn with_jobs_sets_and_clamps() {
+        assert_eq!(AnalysisConfig::default().jobs, 1);
+        assert_eq!(AnalysisConfig::default().with_jobs(8).jobs, 8);
+        assert_eq!(AnalysisConfig::default().with_jobs(0).jobs, 1);
     }
 }

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod flowgraph;
 pub mod regions;
 pub mod report;
@@ -73,6 +74,7 @@ pub mod summary;
 pub mod taint;
 
 pub use config::{AnalysisConfig, Engine};
+pub use engine::CacheStats;
 pub use regions::{Region, RegionId, RegionMap};
 pub use report::{
     AnalysisReport, DependencyKind, ErrorDependency, FlowNode, RegionInfo, Restriction,
@@ -130,20 +132,36 @@ impl std::error::Error for AnalysisError {}
 ///
 /// Construct with a config, then call [`Analyzer::analyze_source`] (single
 /// file) or [`Analyzer::analyze_program`] (multi-file with `#include`s).
+///
+/// The analyzer keeps a content-hashed summary cache across calls: when
+/// the summary engine re-analyzes a program whose functions (and analysis
+/// environment) hash identically to a previous run, their summaries are
+/// replayed instead of recomputed — see [`crate::engine`] and
+/// [`Analyzer::cache_stats`]. With `config.jobs > 1` the summary and
+/// restriction phases run on a work-stealing thread pool; reports are
+/// identical for every worker count.
 #[derive(Debug, Default)]
 pub struct Analyzer {
     config: AnalysisConfig,
+    cache: engine::SummaryCache,
 }
 
 impl Analyzer {
     /// Creates an analyzer with `config`.
     pub fn new(config: AnalysisConfig) -> Analyzer {
-        Analyzer { config }
+        Analyzer { config, cache: engine::SummaryCache::default() }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &AnalysisConfig {
         &self.config
+    }
+
+    /// Summary-cache hit/miss counters, cumulative over every analysis
+    /// this analyzer has run (the context-sensitive engine does not use
+    /// the cache and never moves them).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Analyzes a single self-contained source file.
@@ -200,6 +218,7 @@ impl Analyzer {
             &callgraph,
             &self.config.dealloc_functions,
             &self.config.entry,
+            self.config.jobs,
         );
         // Phase 3: warnings + critical-data value flow.
         let pt = PointsTo::analyze(module);
@@ -208,7 +227,7 @@ impl Analyzer {
                 taint::analyze_taint(module, &regions, &shm, &pt, &self.config)
             }
             Engine::Summary => {
-                summary::analyze_summaries(module, &regions, &shm, &pt, &self.config)
+                summary::analyze_summaries(module, &regions, &shm, &pt, &self.config, &self.cache)
             }
         };
 
@@ -227,7 +246,7 @@ impl Analyzer {
 
         let mut init_check = regions.init_check.clone();
         init_check.extend(results.notes.iter().cloned());
-        AnalysisReport {
+        let mut report = AnalysisReport {
             regions: regions
                 .iter()
                 .map(|r| RegionInfo {
@@ -244,6 +263,8 @@ impl Analyzer {
             init_check,
             annotation_count,
             contexts_analyzed: results.contexts_analyzed,
-        }
+        };
+        report.canonicalize();
+        report
     }
 }

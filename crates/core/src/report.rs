@@ -96,8 +96,9 @@ pub struct ErrorDependency {
     pub flow: Option<Arc<FlowNode>>,
 }
 
-/// Which restriction a violation breaks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which restriction a violation breaks. The derived order (`P1 < P2 <
+/// P3 < A1 < A2`) is part of the canonical report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Restriction {
     /// Shared memory deallocated before the end of `main`.
     P1,
@@ -191,6 +192,34 @@ impl AnalysisReport {
         self.warnings.is_empty() && self.errors.is_empty() && self.violations.is_empty()
     }
 
+    /// Sorts every finding list into the canonical order: `(file, span,
+    /// kind, function, detail)`. The analyzer calls this before returning,
+    /// so rendered reports are byte-identical regardless of worker count,
+    /// scheduling, or cache state. Stable sorts, so equal keys keep their
+    /// producer order.
+    pub fn canonicalize(&mut self) {
+        self.warnings.sort_by(|a, b| {
+            span_key(a.span)
+                .cmp(&span_key(b.span))
+                .then_with(|| a.region.cmp(&b.region))
+                .then_with(|| a.function.cmp(&b.function))
+        });
+        self.violations.sort_by(|a, b| {
+            span_key(a.span)
+                .cmp(&span_key(b.span))
+                .then_with(|| a.restriction.cmp(&b.restriction))
+                .then_with(|| a.function.cmp(&b.function))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        self.errors.sort_by(|a, b| {
+            span_key(a.span)
+                .cmp(&span_key(b.span))
+                .then_with(|| a.critical.cmp(&b.critical))
+                .then_with(|| a.function.cmp(&b.function))
+                .then_with(|| a.kind.cmp(&b.kind))
+        });
+    }
+
     /// Renders the report against `sources` as a human-readable block.
     pub fn render(&self, sources: &SourceMap) -> String {
         let mut out = String::new();
@@ -262,9 +291,43 @@ impl AnalysisReport {
     }
 }
 
+fn span_key(s: Span) -> (u32, u32, u32) {
+    (s.file.0, s.lo, s.hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonicalize_sorts_by_file_span_kind() {
+        let sp = |lo: u32| Span::new(safeflow_syntax::span::FileId(0), lo, lo + 1);
+        let mk = |r: Restriction, lo: u32, f: &str| RestrictionViolation {
+            restriction: r,
+            function: f.into(),
+            message: String::new(),
+            span: sp(lo),
+        };
+        let mut rep = AnalysisReport::default();
+        rep.violations = vec![
+            mk(Restriction::A1, 20, "b"),
+            mk(Restriction::P2, 5, "a"),
+            mk(Restriction::P1, 5, "a"),
+            mk(Restriction::A2, 20, "b"),
+        ];
+        rep.canonicalize();
+        let order: Vec<(u32, Restriction)> =
+            rep.violations.iter().map(|v| (v.span.lo, v.restriction)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (5, Restriction::P1),
+                (5, Restriction::P2),
+                (20, Restriction::A1),
+                (20, Restriction::A2),
+            ]
+        );
+    }
 
     #[test]
     fn flow_path_orders_source_first() {

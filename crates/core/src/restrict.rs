@@ -23,9 +23,16 @@ use safeflow_ir::{
     CallGraph, CastKind, Cfg, DomTree, FuncId, Function, InstId, InstKind, Module, Type, Value,
 };
 use safeflow_solver::{LinExpr, System, Var};
+use safeflow_util::pool::run_map;
 use std::collections::{HashMap, HashSet};
 
 /// Runs all restriction checks, returning the violations found.
+///
+/// The module-wide facts (shminit reachability, the transitive
+/// shm-touching set, phase 1's escaping stores) are computed sequentially;
+/// the per-function P1/P2/P3/A1/A2 scans then run concurrently on `jobs`
+/// worker threads. Results are merged in definition order, so the output
+/// is independent of `jobs`.
 pub fn check_restrictions(
     module: &Module,
     regions: &RegionMap,
@@ -33,13 +40,35 @@ pub fn check_restrictions(
     callgraph: &CallGraph,
     dealloc_functions: &[String],
     entry: &str,
+    jobs: usize,
 ) -> Vec<RestrictionViolation> {
-    let mut out = Vec::new();
     let shminit_reachable = shminit_reachable(module, callgraph);
-    check_p1(module, shm, callgraph, dealloc_functions, entry, &mut out);
-    check_p2(module, shm, &mut out);
-    check_p3(module, shm, &shminit_reachable, &mut out);
-    check_arrays(module, regions, shm, &shminit_reachable, &mut out);
+    let touches = shm_touching_functions(module, shm, callgraph);
+
+    // P2(a): region pointers stored into arbitrary memory (from phase 1).
+    let mut out = Vec::new();
+    for &(fid, iid) in &shm.escaping_stores {
+        let func = module.function(fid);
+        out.push(RestrictionViolation {
+            restriction: Restriction::P2,
+            function: func.name.clone(),
+            message: "shared-memory pointer stored into memory (aliases a shm pointer through a memory location)"
+                .to_string(),
+            span: func.inst(iid).span,
+        });
+    }
+
+    let defs: Vec<FuncId> = module.definitions().collect();
+    let per_fn = run_map(jobs.max(1), defs.len(), |i| {
+        let fid = defs[i];
+        let mut vs = Vec::new();
+        check_p1_in(module, shm, &touches, dealloc_functions, entry, fid, &mut vs);
+        check_p2_in(module, shm, fid, &mut vs);
+        check_p3_in(module, shm, &shminit_reachable, fid, &mut vs);
+        check_arrays_in(module, regions, shm, &shminit_reachable, fid, &mut vs);
+        vs
+    });
+    out.extend(per_fn.into_iter().flatten());
     out
 }
 
@@ -58,15 +87,13 @@ fn shminit_reachable(module: &Module, callgraph: &CallGraph) -> HashSet<FuncId> 
 
 // --------------------------------------------------------------------- P1
 
-fn check_p1(
+/// Functions that (transitively) touch shared memory — the module-wide
+/// input to the per-function P1 scan.
+fn shm_touching_functions(
     module: &Module,
     shm: &ShmPointers,
     callgraph: &CallGraph,
-    dealloc_functions: &[String],
-    entry: &str,
-    out: &mut Vec<RestrictionViolation>,
-) {
-    // Functions that (transitively) touch shared memory.
+) -> HashSet<FuncId> {
     let mut touches: HashSet<FuncId> = HashSet::new();
     for fid in module.definitions() {
         let func = module.function(fid);
@@ -97,60 +124,69 @@ fn check_p1(
             }
         }
     }
+    touches
+}
 
-    for fid in module.definitions() {
-        let func = module.function(fid);
-        for (_bid, block) in func.iter_blocks() {
-            for (pos, &iid) in block.insts.iter().enumerate() {
-                let inst = func.inst(iid);
-                let InstKind::Call { callee, .. } = &inst.kind else { continue };
-                let Some(name) = module.external_callee_name(callee) else { continue };
-                if !dealloc_functions.iter().any(|d| d == name) {
-                    continue;
+fn check_p1_in(
+    module: &Module,
+    shm: &ShmPointers,
+    touches: &HashSet<FuncId>,
+    dealloc_functions: &[String],
+    entry: &str,
+    fid: FuncId,
+    out: &mut Vec<RestrictionViolation>,
+) {
+    let func = module.function(fid);
+    for (_bid, block) in func.iter_blocks() {
+        for (pos, &iid) in block.insts.iter().enumerate() {
+            let inst = func.inst(iid);
+            let InstKind::Call { callee, .. } = &inst.kind else { continue };
+            let Some(name) = module.external_callee_name(callee) else { continue };
+            if !dealloc_functions.iter().any(|d| d == name) {
+                continue;
+            }
+            if func.name != entry {
+                out.push(RestrictionViolation {
+                    restriction: Restriction::P1,
+                    function: func.name.clone(),
+                    message: format!(
+                        "`{name}` deallocates shared memory outside `{entry}` (shared memory must live until the end of `{entry}`)"
+                    ),
+                    span: inst.span,
+                });
+                continue;
+            }
+            // Inside main: any shm access after the call (same block or
+            // reachable block) violates P1.
+            let mut bad = false;
+            for &later in &block.insts[pos + 1..] {
+                if inst_touches_shm(module, shm, fid, func, later, touches) {
+                    bad = true;
                 }
-                if func.name != entry {
-                    out.push(RestrictionViolation {
-                        restriction: Restriction::P1,
-                        function: func.name.clone(),
-                        message: format!(
-                            "`{name}` deallocates shared memory outside `{entry}` (shared memory must live until the end of `{entry}`)"
-                        ),
-                        span: inst.span,
-                    });
-                    continue;
-                }
-                // Inside main: any shm access after the call (same block or
-                // reachable block) violates P1.
-                let mut bad = false;
-                for &later in &block.insts[pos + 1..] {
-                    if inst_touches_shm(module, shm, fid, func, later, &touches) {
-                        bad = true;
+            }
+            if !bad {
+                let cfg = Cfg::build(func);
+                let mut seen = HashSet::new();
+                let mut work: Vec<_> = block.terminator.successors();
+                while let Some(b) = work.pop() {
+                    if !seen.insert(b) {
+                        continue;
                     }
-                }
-                if !bad {
-                    let cfg = Cfg::build(func);
-                    let mut seen = HashSet::new();
-                    let mut work: Vec<_> = block.terminator.successors();
-                    while let Some(b) = work.pop() {
-                        if !seen.insert(b) {
-                            continue;
+                    for &i2 in &func.block(b).insts {
+                        if inst_touches_shm(module, shm, fid, func, i2, touches) {
+                            bad = true;
                         }
-                        for &i2 in &func.block(b).insts {
-                            if inst_touches_shm(module, shm, fid, func, i2, &touches) {
-                                bad = true;
-                            }
-                        }
-                        work.extend(cfg.succs_of(b).iter().copied());
                     }
+                    work.extend(cfg.succs_of(b).iter().copied());
                 }
-                if bad {
-                    out.push(RestrictionViolation {
-                        restriction: Restriction::P1,
-                        function: func.name.clone(),
-                        message: format!("shared memory may be accessed after `{name}` deallocates it"),
-                        span: inst.span,
-                    });
-                }
+            }
+            if bad {
+                out.push(RestrictionViolation {
+                    restriction: Restriction::P1,
+                    function: func.name.clone(),
+                    message: format!("shared memory may be accessed after `{name}` deallocates it"),
+                    span: inst.span,
+                });
             }
         }
     }
@@ -178,129 +214,121 @@ fn inst_touches_shm(
 
 // --------------------------------------------------------------------- P2
 
-fn check_p2(module: &Module, shm: &ShmPointers, out: &mut Vec<RestrictionViolation>) {
-    // (a) Region pointers stored into arbitrary memory (from phase 1).
-    for &(fid, iid) in &shm.escaping_stores {
-        let func = module.function(fid);
-        out.push(RestrictionViolation {
-            restriction: Restriction::P2,
-            function: func.name.clone(),
-            message: "shared-memory pointer stored into memory (aliases a shm pointer through a memory location)"
-                .to_string(),
-            span: func.inst(iid).span,
-        });
+/// P2(b): taking the address of a variable that holds a shm pointer — a
+/// `Value::Global(g)` (the global's address) or an alloca holding shm
+/// facts used anywhere except as the direct pointer of a load/store.
+/// (P2(a), the escaping stores collected in phase 1, is emitted by
+/// [`check_restrictions`] before the parallel per-function pass.)
+fn check_p2_in(
+    module: &Module,
+    shm: &ShmPointers,
+    fid: FuncId,
+    out: &mut Vec<RestrictionViolation>,
+) {
+    let func = module.function(fid);
+    if func.is_shminit() {
+        return;
     }
-
-    // (b) Taking the address of a variable that holds a shm pointer:
-    // a `Value::Global(g)` (the global's address) or an alloca holding shm
-    // facts used anywhere except as the direct pointer of a load/store.
-    for fid in module.definitions() {
-        let func = module.function(fid);
-        if func.is_shminit() {
-            continue;
+    // Allocas holding shm pointers.
+    let mut shm_slots: HashSet<InstId> = HashSet::new();
+    for (iid, inst) in func.iter_insts() {
+        if matches!(inst.kind, InstKind::Alloca { .. })
+            && !shm.regions_of(fid, &Value::Inst(iid)).is_empty()
+        {
+            shm_slots.insert(iid);
         }
-        // Allocas holding shm pointers.
-        let mut shm_slots: HashSet<InstId> = HashSet::new();
-        for (iid, inst) in func.iter_insts() {
-            if matches!(inst.kind, InstKind::Alloca { .. })
-                && !shm.regions_of(fid, &Value::Inst(iid)).is_empty()
-            {
-                shm_slots.insert(iid);
+    }
+    for (_iid, inst) in func.iter_insts() {
+        let bad_use = |v: &Value, exclude_ptr_position: bool| -> bool {
+            if exclude_ptr_position {
+                return false;
             }
-        }
-        for (_iid, inst) in func.iter_insts() {
-            let bad_use = |v: &Value, exclude_ptr_position: bool| -> bool {
-                if exclude_ptr_position {
-                    return false;
+            match v {
+                Value::Global(g) => {
+                    !shm.global_regions(*g).is_empty()
                 }
-                match v {
-                    Value::Global(g) => {
-                        !shm.global_regions(*g).is_empty()
-                    }
-                    Value::Inst(id) => shm_slots.contains(id),
-                    _ => false,
+                Value::Inst(id) => shm_slots.contains(id),
+                _ => false,
+            }
+        };
+        let mut offending = false;
+        match &inst.kind {
+            InstKind::Load { .. } => {}
+            InstKind::Store { ptr: _, value } => {
+                // Using the address *as the stored value* is the
+                // violation; using it as the store target is fine.
+                if bad_use(value, false) {
+                    offending = true;
                 }
-            };
-            let mut offending = false;
-            match &inst.kind {
-                InstKind::Load { .. } => {}
-                InstKind::Store { ptr: _, value } => {
-                    // Using the address *as the stored value* is the
-                    // violation; using it as the store target is fine.
-                    if bad_use(value, false) {
+            }
+            other => {
+                for op in other.operands() {
+                    if bad_use(op, false) {
                         offending = true;
                     }
                 }
-                other => {
-                    for op in other.operands() {
-                        if bad_use(op, false) {
-                            offending = true;
-                        }
-                    }
-                }
             }
-            if offending {
-                out.push(RestrictionViolation {
-                    restriction: Restriction::P2,
-                    function: func.name.clone(),
-                    message: "address of a shared-memory pointer variable is taken".to_string(),
-                    span: inst.span,
-                });
-            }
+        }
+        if offending {
+            out.push(RestrictionViolation {
+                restriction: Restriction::P2,
+                function: func.name.clone(),
+                message: "address of a shared-memory pointer variable is taken".to_string(),
+                span: inst.span,
+            });
         }
     }
 }
 
 // --------------------------------------------------------------------- P3
 
-fn check_p3(
+fn check_p3_in(
     module: &Module,
     shm: &ShmPointers,
     exempt: &HashSet<FuncId>,
+    fid: FuncId,
     out: &mut Vec<RestrictionViolation>,
 ) {
-    for fid in module.definitions() {
-        if exempt.contains(&fid) {
+    if exempt.contains(&fid) {
+        return;
+    }
+    let func = module.function(fid);
+    for (_, inst) in func.iter_insts() {
+        let InstKind::Cast { kind, value } = &inst.kind else { continue };
+        if shm.regions_of(fid, value).is_empty() {
             continue;
         }
-        let func = module.function(fid);
-        for (_, inst) in func.iter_insts() {
-            let InstKind::Cast { kind, value } = &inst.kind else { continue };
-            if shm.regions_of(fid, value).is_empty() {
-                continue;
+        match kind {
+            CastKind::PtrToInt => {
+                out.push(RestrictionViolation {
+                    restriction: Restriction::P3,
+                    function: func.name.clone(),
+                    message: "shared-memory pointer cast to an integer".to_string(),
+                    span: inst.span,
+                });
             }
-            match kind {
-                CastKind::PtrToInt => {
+            CastKind::PtrToPtr => {
+                let from = module.value_type(func, value);
+                let (Some(fp), Some(tp)) = (from.pointee(), inst.ty.pointee()) else {
+                    continue;
+                };
+                if !module.types.compatible_pointees(fp, tp)
+                    && !matches!(fp, Type::Int { bits: 8, .. })
+                    && !matches!(tp, Type::Int { bits: 8, .. })
+                {
                     out.push(RestrictionViolation {
                         restriction: Restriction::P3,
                         function: func.name.clone(),
-                        message: "shared-memory pointer cast to an integer".to_string(),
+                        message: format!(
+                            "shared-memory pointer cast between incompatible types `{}` and `{}`",
+                            module.types.display(&from),
+                            module.types.display(&inst.ty)
+                        ),
                         span: inst.span,
                     });
                 }
-                CastKind::PtrToPtr => {
-                    let from = module.value_type(func, value);
-                    let (Some(fp), Some(tp)) = (from.pointee(), inst.ty.pointee()) else {
-                        continue;
-                    };
-                    if !module.types.compatible_pointees(fp, tp)
-                        && !matches!(fp, Type::Int { bits: 8, .. })
-                        && !matches!(tp, Type::Int { bits: 8, .. })
-                    {
-                        out.push(RestrictionViolation {
-                            restriction: Restriction::P3,
-                            function: func.name.clone(),
-                            message: format!(
-                                "shared-memory pointer cast between incompatible types `{}` and `{}`",
-                                module.types.display(&from),
-                                module.types.display(&inst.ty)
-                            ),
-                            span: inst.span,
-                        });
-                    }
-                }
-                _ => {}
             }
+            _ => {}
         }
     }
 }
@@ -477,68 +505,67 @@ impl<'a> AffineCtx<'a> {
     }
 }
 
-fn check_arrays(
+fn check_arrays_in(
     module: &Module,
     regions: &RegionMap,
     shm: &ShmPointers,
     exempt: &HashSet<FuncId>,
+    fid: FuncId,
     out: &mut Vec<RestrictionViolation>,
 ) {
-    for fid in module.definitions() {
-        if exempt.contains(&fid) {
+    if exempt.contains(&fid) {
+        return;
+    }
+    let func = module.function(fid);
+    if func.blocks.is_empty() {
+        return;
+    }
+    let cfg = Cfg::build(func);
+    let dom = DomTree::build(&cfg);
+    let loops = find_loops(func, &cfg, &dom);
+
+    for (iid, inst) in func.iter_insts() {
+        let InstKind::ElemAddr { base, index } = &inst.kind else { continue };
+        let facts = shm.regions_of(fid, base);
+        if facts.is_empty() {
             continue;
         }
-        let func = module.function(fid);
-        if func.blocks.is_empty() {
+        // The decay step `elemaddr p[0]` is trivially safe.
+        if index.as_const_int() == Some(0) {
             continue;
         }
-        let cfg = Cfg::build(func);
-        let dom = DomTree::build(&cfg);
-        let loops = find_loops(func, &cfg, &dom);
+        // Determine the bound: an array field inside the region, or the
+        // region itself as an array.
+        let (bound, base_offset) = match array_bound(module, func, base, regions, &facts) {
+            Some(b) => b,
+            None => continue,
+        };
 
-        for (iid, inst) in func.iter_insts() {
-            let InstKind::ElemAddr { base, index } = &inst.kind else { continue };
-            let facts = shm.regions_of(fid, base);
-            if facts.is_empty() {
-                continue;
-            }
-            // The decay step `elemaddr p[0]` is trivially safe.
-            if index.as_const_int() == Some(0) {
-                continue;
-            }
-            // Determine the bound: an array field inside the region, or the
-            // region itself as an array.
-            let (bound, base_offset) = match array_bound(module, func, base, regions, &facts) {
-                Some(b) => b,
-                None => continue,
-            };
-
-            let at = func.block_of(iid).unwrap_or(func.entry());
-            let mut ctx = AffineCtx::new(func, &loops);
-            ctx.add_loop_constraints(at);
-            let Some(idx) = ctx.as_affine(index, 0) else {
-                out.push(RestrictionViolation {
-                    restriction: Restriction::A2,
-                    function: func.name.clone(),
-                    message: "shared-array index is not an affine expression of loop induction variables".to_string(),
-                    span: inst.span,
-                });
-                continue;
-            };
-            let full = idx + LinExpr::constant(base_offset);
-            let lower_ok = ctx.sys.implies_ge(full.clone(), LinExpr::zero());
-            let upper_ok = ctx.sys.implies_lt(full, LinExpr::constant(bound as i64));
-            if !lower_ok || !upper_ok {
-                out.push(RestrictionViolation {
-                    restriction: Restriction::A1,
-                    function: func.name.clone(),
-                    message: format!(
-                        "cannot prove shared-array index within bounds [0, {bound}){}",
-                        if !lower_ok { " (lower bound unproven)" } else { " (upper bound unproven)" }
-                    ),
-                    span: inst.span,
-                });
-            }
+        let at = func.block_of(iid).unwrap_or(func.entry());
+        let mut ctx = AffineCtx::new(func, &loops);
+        ctx.add_loop_constraints(at);
+        let Some(idx) = ctx.as_affine(index, 0) else {
+            out.push(RestrictionViolation {
+                restriction: Restriction::A2,
+                function: func.name.clone(),
+                message: "shared-array index is not an affine expression of loop induction variables".to_string(),
+                span: inst.span,
+            });
+            continue;
+        };
+        let full = idx + LinExpr::constant(base_offset);
+        let lower_ok = ctx.sys.implies_ge(full.clone(), LinExpr::zero());
+        let upper_ok = ctx.sys.implies_lt(full, LinExpr::constant(bound as i64));
+        if !lower_ok || !upper_ok {
+            out.push(RestrictionViolation {
+                restriction: Restriction::A1,
+                function: func.name.clone(),
+                message: format!(
+                    "cannot prove shared-array index within bounds [0, {bound}){}",
+                    if !lower_ok { " (lower bound unproven)" } else { " (upper bound unproven)" }
+                ),
+                span: inst.span,
+            });
         }
     }
 }
@@ -611,6 +638,7 @@ mod tests {
             &cg,
             &["shmdt".to_string(), "shmctl".to_string()],
             "main",
+            1,
         )
     }
 

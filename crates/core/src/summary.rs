@@ -19,6 +19,7 @@
 //! are coarser (source → sink only) than the context-sensitive engine's.
 
 use crate::config::AnalysisConfig;
+use crate::engine::SummaryCache;
 use crate::regions::{RegionId, RegionMap};
 use crate::report::{DependencyKind, ErrorDependency, FlowNode, Warning};
 use crate::shmptr::ShmPointers;
@@ -30,7 +31,9 @@ use safeflow_dataflow::{ControlDeps, PostDomTree};
 use safeflow_points_to::{ObjId, PointsTo};
 use safeflow_syntax::annot::Annotation;
 use safeflow_syntax::span::Span;
+use safeflow_util::pool::{run_dag, run_map};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
 
 /// A symbolic taint source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -72,7 +75,7 @@ struct Sink {
 
 /// Per-function symbolic summary.
 #[derive(Debug, Clone, Default)]
-struct Summary {
+pub(crate) struct Summary {
     /// Sources flowing to the return value.
     ret: SymSet,
     /// Unmonitored region reads: `(site span, region)` — already filtered
@@ -86,35 +89,97 @@ struct Summary {
 
 /// Runs the summary engine; produces the same result shape as the
 /// context-sensitive engine.
-pub fn analyze_summaries(
+///
+/// Independent call-graph SCCs are summarized concurrently on
+/// `config.jobs` worker threads, and each SCC's summaries are served from
+/// `cache` when its content hash matches a prior run (see
+/// [`crate::engine`]). Results are bit-identical for every `jobs` value
+/// and for warm vs cold caches.
+pub(crate) fn analyze_summaries(
     module: &Module,
     regions: &RegionMap,
     shm: &ShmPointers,
     pt: &PointsTo,
     config: &AnalysisConfig,
+    cache: &SummaryCache,
 ) -> TaintResults {
     let callgraph = CallGraph::build(module);
     let noncore_sockets = find_noncore_sockets(module, regions);
     let mut notes = Vec::new();
 
-    // Per-function graphs and assume-scopes are loop-invariant: compute
-    // them once (this is what keeps the single bottom-up pass cheap).
-    let mut graphs: HashMap<FuncId, FnGraphs> = HashMap::new();
+    // Assume scopes first, sequentially in definition order: they feed the
+    // report's init-check notes on *every* run (cache-warm included) and
+    // are part of each function's cache key.
+    let mut assumed_of: HashMap<FuncId, BTreeSet<RegionId>> = HashMap::new();
     for fid in module.definitions() {
         let func = module.function(fid);
         if func.is_shminit() || func.blocks.is_empty() {
             continue;
         }
+        assumed_of.insert(fid, own_assumed(module, regions, shm, fid, &mut notes));
+    }
+
+    // Content hashes chained bottom-up over the SCC DAG, then one cache
+    // probe per SCC (counters tally per member function).
+    let deps = callgraph.scc_dependencies();
+    let hashes = crate::engine::scc_hashes(
+        module,
+        regions,
+        shm,
+        pt,
+        config,
+        &noncore_sockets,
+        &callgraph,
+        &deps,
+        &assumed_of,
+    );
+    let cached: Vec<Option<Arc<Vec<Summary>>>> = callgraph
+        .sccs
+        .iter()
+        .enumerate()
+        .map(|(i, scc)| cache.get(hashes[i], scc.len()))
+        .collect();
+
+    let jobs = config.jobs.max(1);
+
+    // Per-function graphs are loop-invariant; build them concurrently, and
+    // only for functions whose SCC actually needs recomputation — on a
+    // fully warm cache this builds nothing.
+    let need: Vec<FuncId> = callgraph
+        .sccs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| cached[*i].is_none())
+        .flat_map(|(_, scc)| scc.iter().copied())
+        .filter(|&fid| {
+            let func = module.function(fid);
+            func.is_definition && !func.is_shminit() && !func.blocks.is_empty()
+        })
+        .collect();
+    let built = run_map(jobs, need.len(), |i| {
+        let fid = need[i];
+        let func = module.function(fid);
         let cfg = Cfg::build(func);
         let pdom = PostDomTree::build(func, &cfg);
         let cd = ControlDeps::build(func, &cfg, &pdom);
-        let assumed = own_assumed(module, regions, shm, fid, &mut notes);
-        graphs.insert(fid, FnGraphs { cfg, cd, assumed });
-    }
+        let assumed = assumed_of.get(&fid).cloned().unwrap_or_default();
+        FnGraphs { cfg, cd, assumed }
+    });
+    let graphs: HashMap<FuncId, FnGraphs> = need.iter().copied().zip(built).collect();
 
-    let mut summaries: HashMap<FuncId, Summary> = HashMap::new();
-    // Bottom-up over SCCs; iterate within each SCC to fixpoint.
-    for scc in callgraph.bottom_up() {
+    // Bottom-up over SCCs on the dependency-DAG pool; independent SCCs run
+    // concurrently, each publishing its members' summaries (in member
+    // order) into a slot its dependents read. Iteration to fixpoint stays
+    // *inside* an SCC's task, so the result per SCC is schedule-invariant.
+    let slots: Vec<OnceLock<Arc<Vec<Summary>>>> =
+        (0..callgraph.sccs.len()).map(|_| OnceLock::new()).collect();
+    run_dag(jobs, &deps, |i| {
+        if let Some(hit) = &cached[i] {
+            let _ = slots[i].set(hit.clone());
+            return;
+        }
+        let scc = &callgraph.sccs[i];
+        let mut local: HashMap<FuncId, Summary> = HashMap::new();
         let mut changed = true;
         let mut rounds = 0;
         while changed && rounds < 16 {
@@ -122,13 +187,14 @@ pub fn analyze_summaries(
             rounds += 1;
             for &fid in scc {
                 if module.function(fid).is_shminit() {
-                    summaries.insert(fid, Summary::default());
+                    local.entry(fid).or_default();
                     continue;
                 }
                 let Some(g) = graphs.get(&fid) else {
-                    summaries.insert(fid, Summary::default());
+                    local.entry(fid).or_default();
                     continue;
                 };
+                let view = SummaryView { callgraph: &callgraph, slots: &slots, local: &local };
                 let s = summarize_function(
                     module,
                     regions,
@@ -136,16 +202,29 @@ pub fn analyze_summaries(
                     pt,
                     config,
                     &noncore_sockets,
-                    &summaries,
+                    &view,
                     fid,
                     g,
                 );
-                let prev = summaries.get(&fid);
+                let prev = local.get(&fid);
                 if prev.map(|p| !summary_eq(p, &s)).unwrap_or(true) {
-                    summaries.insert(fid, s);
+                    local.insert(fid, s);
                     changed = true;
                 }
             }
+        }
+        let computed: Vec<Summary> =
+            scc.iter().map(|fid| local.remove(fid).unwrap_or_default()).collect();
+        let arc = Arc::new(computed);
+        cache.insert(hashes[i], arc.clone());
+        let _ = slots[i].set(arc);
+    });
+
+    let mut summaries: HashMap<FuncId, Summary> = HashMap::new();
+    for (i, scc) in callgraph.sccs.iter().enumerate() {
+        let arc = slots[i].get().expect("every SCC task ran");
+        for (k, &fid) in scc.iter().enumerate() {
+            summaries.insert(fid, arc[k].clone());
         }
     }
 
@@ -397,6 +476,27 @@ struct FnGraphs {
     assumed: BTreeSet<RegionId>,
 }
 
+/// Callee-summary lookup for [`summarize_function`]: in-SCC members come
+/// from the task-local fixpoint state, everything below from the published
+/// per-SCC slots (complete before this task started, by DAG order).
+struct SummaryView<'a> {
+    callgraph: &'a CallGraph,
+    slots: &'a [OnceLock<Arc<Vec<Summary>>>],
+    local: &'a HashMap<FuncId, Summary>,
+}
+
+impl SummaryView<'_> {
+    fn get(&self, f: FuncId) -> Option<&Summary> {
+        if let Some(s) = self.local.get(&f) {
+            return Some(s);
+        }
+        let &scc = self.callgraph.scc_of.get(&f)?;
+        let published = self.slots[scc].get()?;
+        let pos = self.callgraph.sccs[scc].iter().position(|&m| m == f)?;
+        published.get(pos)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn summarize_function(
     module: &Module,
@@ -405,7 +505,7 @@ fn summarize_function(
     pt: &PointsTo,
     config: &AnalysisConfig,
     noncore_sockets: &BTreeSet<safeflow_ir::GlobalId>,
-    summaries: &HashMap<FuncId, Summary>,
+    summaries: &SummaryView<'_>,
     fid: FuncId,
     graphs: &FnGraphs,
 ) -> Summary {
@@ -579,7 +679,7 @@ fn summarize_function(
                             }
                         } else if let safeflow_ir::Callee::Local(target) = callee {
                             // Inline the callee summary.
-                            let callee_sum = summaries.get(target).cloned().unwrap_or_default();
+                            let callee_sum = summaries.get(*target).cloned().unwrap_or_default();
                             let subst = |set: &SymSet| -> SymSet {
                                 let mut out = SymSet::new();
                                 for f in set {

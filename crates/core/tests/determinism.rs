@@ -1,0 +1,77 @@
+//! Determinism lockdown for the parallel engine (ISSUE 1).
+//!
+//! The contract: the serialized analysis report is **byte-identical** for
+//! every worker count and across repeated runs. The parallel schedule may
+//! vary freely; the output may not. Checked over the whole corpus (the
+//! three Table 1 systems, the Figure 2 example, and a generated wide
+//! program whose SCC fan actually exercises concurrent scheduling) under
+//! both engines, several iterations per thread count.
+
+use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow_corpus::synthetic::{generate_wide, WideParams};
+use safeflow_corpus::{figure2_example, systems};
+
+/// Every corpus program the suite locks down, as (name, source) pairs.
+fn corpus_programs() -> Vec<(String, String)> {
+    let mut progs: Vec<(String, String)> = systems()
+        .into_iter()
+        .map(|s| (s.core_file.to_string(), s.core_source.to_string()))
+        .collect();
+    progs.push(("figure2.c".to_string(), figure2_example().to_string()));
+    progs.push((
+        "wide.c".to_string(),
+        generate_wide(WideParams { families: 12, depth: 3, regions: 4, branches: 2 }),
+    ));
+    progs
+}
+
+fn render(engine: Engine, jobs: usize, file: &str, src: &str) -> String {
+    Analyzer::new(AnalysisConfig::with_engine(engine).with_jobs(jobs))
+        .analyze_source(file, src)
+        .unwrap_or_else(|e| panic!("{file} must analyze: {e}"))
+        .render()
+}
+
+/// Reports are byte-identical at `--jobs 1`, `4` and `8`, across several
+/// iterations each.
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    for (file, src) in corpus_programs() {
+        for engine in [Engine::ContextSensitive, Engine::Summary] {
+            let reference = render(engine, 1, &file, &src);
+            assert!(!reference.is_empty());
+            for jobs in [1usize, 4, 8] {
+                for round in 0..3 {
+                    let got = render(engine, jobs, &file, &src);
+                    assert_eq!(
+                        got, reference,
+                        "{file} ({engine:?}) diverged at jobs={jobs} round={round}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Re-analysis on one `Analyzer` (warm summary cache) is also
+/// byte-identical to the cold run at every thread count.
+#[test]
+fn warm_cache_reports_match_cold_at_every_thread_count() {
+    for (file, src) in corpus_programs() {
+        let reference = render(Engine::Summary, 1, &file, &src);
+        for jobs in [1usize, 4, 8] {
+            let analyzer =
+                Analyzer::new(AnalysisConfig::with_engine(Engine::Summary).with_jobs(jobs));
+            for round in 0..3 {
+                let got = analyzer
+                    .analyze_source(&file, &src)
+                    .unwrap_or_else(|e| panic!("{file} must analyze: {e}"))
+                    .render();
+                assert_eq!(
+                    got, reference,
+                    "{file} warm run diverged at jobs={jobs} round={round}"
+                );
+            }
+        }
+    }
+}

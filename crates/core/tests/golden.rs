@@ -1,0 +1,79 @@
+//! Golden-report snapshots for the corpus programs (ISSUE 1).
+//!
+//! Each corpus program's rendered report is pinned byte-for-byte under
+//! `tests/golden/`. Any change to finding content, ordering, or rendering
+//! shows up as a readable diff here — the canonical-order guarantee of
+//! `AnalysisReport::canonicalize` is what keeps these stable across the
+//! parallel schedule.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p safeflow --test golden
+//! ```
+
+use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow_corpus::{figure2_example, systems};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str, file: &str, src: &str) {
+    // Golden content covers both engines so a divergence between them is
+    // also a snapshot diff, at a thread count that exercises the pool.
+    let mut got = String::new();
+    for (label, engine) in
+        [("context-sensitive", Engine::ContextSensitive), ("summary", Engine::Summary)]
+    {
+        let rendered = Analyzer::new(AnalysisConfig::with_engine(engine).with_jobs(4))
+            .analyze_source(file, src)
+            .unwrap_or_else(|e| panic!("{file} must analyze: {e}"))
+            .render();
+        got.push_str(&format!("==== engine: {label} ====\n{rendered}\n"));
+    }
+
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test -p safeflow --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "report for `{name}` differs from {}; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p safeflow --test golden",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_ip() {
+    let s = systems().into_iter().find(|s| s.name == "IP").expect("IP system");
+    check_golden("ip", s.core_file, s.core_source);
+}
+
+#[test]
+fn golden_double_ip() {
+    let s = systems().into_iter().find(|s| s.name == "Double IP").expect("Double IP system");
+    check_golden("double_ip", s.core_file, s.core_source);
+}
+
+#[test]
+fn golden_generic() {
+    let s = systems().into_iter().find(|s| s.name == "Generic Simplex").expect("Generic system");
+    check_golden("generic", s.core_file, s.core_source);
+}
+
+#[test]
+fn golden_fig2() {
+    check_golden("fig2", "figure2.c", figure2_example());
+}

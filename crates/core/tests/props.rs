@@ -5,9 +5,12 @@
 //! any false positives or false negatives." We generate random programs
 //! with a *known* set of unmonitored non-core reads and check the analyzer
 //! reports exactly those sites — under both engines.
+//!
+//! The summary cache rides the same generator: a cache-warm re-analysis
+//! must reproduce the cold report byte-for-byte with zero re-summarizations.
 
-use proptest::prelude::*;
 use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow_util::prop::{run_cases, Gen};
 
 /// Shape of one generated access function.
 #[derive(Debug, Clone)]
@@ -33,27 +36,16 @@ struct ProgramSpec {
     asserts: bool,
 }
 
-fn spec_strategy() -> impl Strategy<Value = ProgramSpec> {
-    (1usize..4)
-        .prop_flat_map(|regions| {
-            (
-                Just(regions),
-                prop::collection::vec(prop::bool::ANY, regions),
-                prop::collection::vec(
-                    (0..regions, prop::bool::ANY, 1usize..3, prop::bool::ANY).prop_map(
-                        |(region, monitored, reads, returns_it)| AccessFn {
-                            region,
-                            monitored,
-                            reads,
-                            returns_it,
-                        },
-                    ),
-                    1..5,
-                ),
-                prop::bool::ANY,
-            )
-        })
-        .prop_map(|(regions, noncore, fns, asserts)| ProgramSpec { regions, noncore, fns, asserts })
+fn gen_spec(g: &mut Gen) -> ProgramSpec {
+    let regions = g.usize(1, 4);
+    let noncore = (0..regions).map(|_| g.bool()).collect();
+    let fns = g.vec_of(1, 5, |g| AccessFn {
+        region: g.usize(0, regions),
+        monitored: g.bool(),
+        reads: g.usize(1, 3),
+        returns_it: g.bool(),
+    });
+    ProgramSpec { regions, noncore, fns, asserts: g.bool() }
 }
 
 fn render_program(spec: &ProgramSpec) -> String {
@@ -137,18 +129,17 @@ fn expect_assert_error(spec: &ProgramSpec) -> bool {
             .any(|f| spec.noncore[f.region] && !f.monitored && f.returns_it)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Warnings are exact: no false positives, no false negatives (§3.3).
-    #[test]
-    fn warnings_are_exact(spec in spec_strategy()) {
+/// Warnings are exact: no false positives, no false negatives (§3.3).
+#[test]
+fn warnings_are_exact() {
+    run_cases(64, |g| {
+        let spec = gen_spec(g);
         let src = render_program(&spec);
         for engine in [Engine::ContextSensitive, Engine::Summary] {
             let result = Analyzer::new(AnalysisConfig::with_engine(engine))
                 .analyze_source("gen.c", &src)
                 .expect("generated program analyzes");
-            prop_assert_eq!(
+            assert_eq!(
                 result.report.warnings.len(),
                 expected_warnings(&spec),
                 "{:?} on:\n{}\nreport:\n{}",
@@ -157,18 +148,21 @@ proptest! {
                 result.render()
             );
         }
-    }
+    });
+}
 
-    /// The assert errs exactly when an unmonitored noncore value flows to it.
-    #[test]
-    fn assert_errors_match_ground_truth(spec in spec_strategy()) {
+/// The assert errs exactly when an unmonitored noncore value flows to it.
+#[test]
+fn assert_errors_match_ground_truth() {
+    run_cases(64, |g| {
+        let spec = gen_spec(g);
         let src = render_program(&spec);
         for engine in [Engine::ContextSensitive, Engine::Summary] {
             let result = Analyzer::new(AnalysisConfig::with_engine(engine))
                 .analyze_source("gen.c", &src)
                 .expect("generated program analyzes");
             let has_total_error = result.report.errors.iter().any(|e| e.critical == "total");
-            prop_assert_eq!(
+            assert_eq!(
                 has_total_error,
                 expect_assert_error(&spec),
                 "{:?} on:\n{}\nreport:\n{}",
@@ -177,11 +171,14 @@ proptest! {
                 result.render()
             );
         }
-    }
+    });
+}
 
-    /// Both engines always agree on counts for this program family.
-    #[test]
-    fn engines_agree(spec in spec_strategy()) {
+/// Both engines always agree on counts for this program family.
+#[test]
+fn engines_agree() {
+    run_cases(64, |g| {
+        let spec = gen_spec(g);
         let src = render_program(&spec);
         let cs = Analyzer::new(AnalysisConfig::with_engine(Engine::ContextSensitive))
             .analyze_source("gen.c", &src)
@@ -189,14 +186,17 @@ proptest! {
         let sm = Analyzer::new(AnalysisConfig::with_engine(Engine::Summary))
             .analyze_source("gen.c", &src)
             .expect("sm");
-        prop_assert_eq!(cs.report.warnings.len(), sm.report.warnings.len());
-        prop_assert_eq!(cs.report.errors.len(), sm.report.errors.len());
-        prop_assert_eq!(cs.report.violations.len(), sm.report.violations.len());
-    }
+        assert_eq!(cs.report.warnings.len(), sm.report.warnings.len());
+        assert_eq!(cs.report.errors.len(), sm.report.errors.len());
+        assert_eq!(cs.report.violations.len(), sm.report.violations.len());
+    });
+}
 
-    /// Fully monitored programs are clean regardless of shape.
-    #[test]
-    fn fully_monitored_programs_are_clean(mut spec in spec_strategy()) {
+/// Fully monitored programs are clean regardless of shape.
+#[test]
+fn fully_monitored_programs_are_clean() {
+    run_cases(64, |g| {
+        let mut spec = gen_spec(g);
         for f in &mut spec.fns {
             f.monitored = true;
         }
@@ -204,7 +204,98 @@ proptest! {
         let result = Analyzer::new(AnalysisConfig::default())
             .analyze_source("gen.c", &src)
             .expect("analyzes");
-        prop_assert!(result.report.warnings.is_empty(), "{}", result.render());
-        prop_assert!(result.report.errors.is_empty(), "{}", result.render());
-    }
+        assert!(result.report.warnings.is_empty(), "{}", result.render());
+        assert!(result.report.errors.is_empty(), "{}", result.render());
+    });
+}
+
+/// Cache-warm re-analysis reproduces the cold report byte-for-byte and
+/// re-summarizes nothing: the second run over the same module must be all
+/// cache hits, zero misses, at any thread count.
+#[test]
+fn cache_warm_reanalysis_is_identical_and_free() {
+    run_cases(48, |g| {
+        let spec = gen_spec(g);
+        let src = render_program(&spec);
+        for jobs in [1, 4] {
+            let analyzer = Analyzer::new(
+                AnalysisConfig::with_engine(Engine::Summary).with_jobs(jobs),
+            );
+            let cold = analyzer.analyze_source("gen.c", &src).expect("cold analyzes");
+            let stats_cold = analyzer.cache_stats();
+            assert_eq!(stats_cold.hits, 0, "first run over an empty cache has no hits");
+            assert!(stats_cold.misses > 0, "cold run must summarize something");
+
+            let warm = analyzer.analyze_source("gen.c", &src).expect("warm analyzes");
+            let stats_warm = analyzer.cache_stats();
+            assert_eq!(
+                stats_warm.misses, stats_cold.misses,
+                "warm run re-summarized a function (jobs = {jobs}) on:\n{src}"
+            );
+            assert_eq!(
+                stats_warm.hits,
+                stats_cold.misses,
+                "warm run must hit once per summarized function (jobs = {jobs})"
+            );
+            assert_eq!(
+                cold.render(),
+                warm.render(),
+                "cache-warm report differs (jobs = {jobs}) on:\n{src}"
+            );
+        }
+    });
+}
+
+/// A warm cache is also a *correct* cache: the warm report still matches
+/// the ground truth the generator knows.
+#[test]
+fn cache_warm_report_matches_ground_truth() {
+    run_cases(48, |g| {
+        let spec = gen_spec(g);
+        let src = render_program(&spec);
+        let analyzer = Analyzer::new(AnalysisConfig::with_engine(Engine::Summary));
+        let _ = analyzer.analyze_source("gen.c", &src).expect("cold");
+        let warm = analyzer.analyze_source("gen.c", &src).expect("warm");
+        assert_eq!(warm.report.warnings.len(), expected_warnings(&spec), "{}", warm.render());
+        let has_total_error = warm.report.errors.iter().any(|e| e.critical == "total");
+        assert_eq!(has_total_error, expect_assert_error(&spec), "{}", warm.render());
+    });
+}
+
+/// Editing one function invalidates exactly its own summary and its
+/// (transitive) callers' — the Merkle chain — while unrelated functions
+/// replay from the cache.
+#[test]
+fn cache_invalidation_is_limited_to_the_mutated_chain() {
+    let base = r#"
+        int leaf(int x) { return x + 1; }
+        int mid(int x) { return leaf(x) * 2; }
+        int other(int x) { return x - 3; }
+        int main() { return mid(4) + other(5); }
+    "#;
+    let analyzer = Analyzer::new(AnalysisConfig::with_engine(Engine::Summary));
+    analyzer.analyze_source("t.c", base).expect("base analyzes");
+    let cold = analyzer.cache_stats();
+    assert_eq!(cold.hits, 0);
+    assert_eq!(cold.misses, 4, "four functions summarized cold");
+
+    // Mutate a constant inside `leaf` (same byte length, so spans of the
+    // other functions are untouched): `leaf`, `mid`, `main` must be
+    // re-summarized; `other` must replay from the cache.
+    let edited = base.replace("x + 1", "x + 7");
+    assert_ne!(base, edited);
+    analyzer.analyze_source("t.c", &edited).expect("edited analyzes");
+    let warm = analyzer.cache_stats();
+    assert_eq!(warm.hits - cold.hits, 1, "`other` alone should hit");
+    assert_eq!(
+        warm.misses - cold.misses,
+        3,
+        "`leaf` and its caller chain (`mid`, `main`) should miss"
+    );
+
+    // Re-analyzing the edited program again is now fully warm.
+    analyzer.analyze_source("t.c", &edited).expect("re-analyzes");
+    let warm2 = analyzer.cache_stats();
+    assert_eq!(warm2.misses, warm.misses);
+    assert_eq!(warm2.hits - warm.hits, 4);
 }

@@ -8,8 +8,7 @@
 //! seed, and reports its LOC.
 
 use crate::System;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use safeflow_util::SplitMix64;
 
 /// Lines of code of the generated non-core component for `system`
 /// (total target minus the *paper's* core size, so the split matches the
@@ -26,7 +25,7 @@ pub fn noncore_loc(system: &System) -> usize {
 /// component), but examples and docs can show it.
 pub fn generate_noncore(system: &System) -> String {
     let target = noncore_loc(system);
-    let mut rng = StdRng::seed_from_u64(system.noncore_seed);
+    let mut rng = SplitMix64::seed_from_u64(system.noncore_seed);
     let mut out = String::new();
     out.push_str(&format!(
         "/* Non-core component for {} (generated, {} LOC target).\n",
@@ -38,13 +37,13 @@ pub fn generate_noncore(system: &System) -> String {
     let mut func = 0usize;
     while loc + 8 < target {
         func += 1;
-        let stmts = rng.gen_range(4..14).min(target - loc - 3);
+        let stmts = rng.usize_range(4, 14).min(target - loc - 3);
         out.push_str(&format!("static float nc_stage_{func}(float x, int k) {{\n"));
         out.push_str("    float acc = x;\n");
         loc += 2;
         for s in 0..stmts {
-            let a: f64 = rng.gen_range(0.01..2.0);
-            let b = rng.gen_range(1..9);
+            let a: f64 = rng.f64_range(0.01, 2.0);
+            let b = rng.i64_range(1, 9);
             match s % 4 {
                 0 => out.push_str(&format!("    acc = acc * {a:.4}f + (float)(k % {b});\n")),
                 1 => out.push_str(&format!("    if (acc > {a:.3}f) acc = acc - {a:.3}f;\n")),

@@ -109,6 +109,112 @@ pub fn generate_core(p: SyntheticParams) -> String {
     out
 }
 
+/// Shape of a generated *wide* program (see [`generate_wide`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WideParams {
+    /// Number of independent call-chain families.
+    pub families: usize,
+    /// Depth of each family's helper chain.
+    pub depth: usize,
+    /// Number of shared-memory regions (families cycle through them).
+    pub regions: usize,
+    /// Extra branches per helper (per-function analysis pressure).
+    pub branches: usize,
+}
+
+impl Default for WideParams {
+    fn default() -> Self {
+        WideParams { families: 32, depth: 3, regions: 8, branches: 4 }
+    }
+}
+
+/// Generates a *wide* annotated core component: `families` mutually
+/// independent helper chains, each `depth` deep, all called from `main`.
+///
+/// The call-graph condensation is a shallow fan of `families` parallel
+/// paths, so the SCC-scheduled summary engine and the per-function
+/// restriction checks can spread the work across every worker — the
+/// workload for the `parallel_scaling` bench. Each helper carries
+/// branches, a bounded shared-array loop (solver pressure for A1) and a
+/// region read, so per-function analysis cost dominates scheduling
+/// overhead.
+pub fn generate_wide(p: WideParams) -> String {
+    let families = p.families.max(1);
+    let depth = p.depth.max(1);
+    let regions = p.regions.max(1);
+    let branches = p.branches;
+
+    let mut out = String::new();
+    out.push_str("/* synthetic wide core component (generated) */\n");
+    out.push_str("typedef struct Wide { float v; float arr[16]; int seq; } Wide;\n");
+    for r in 0..regions {
+        out.push_str(&format!("Wide *wreg{r};\n"));
+    }
+    out.push_str("int shmget(int key, int size, int flags);\n");
+    out.push_str("void *shmat(int shmid, void *addr, int flags);\n");
+    out.push_str("void sink(float v);\n");
+    out.push_str("float source(void);\n\n");
+
+    out.push_str("void initShm(void)\n/** SafeFlow Annotation shminit */\n{\n");
+    out.push_str("    char *cursor;\n    int shmid;\n");
+    out.push_str(&format!("    shmid = shmget(99, {regions} * sizeof(Wide), 0);\n"));
+    out.push_str("    cursor = (char *) shmat(shmid, 0, 0);\n");
+    for r in 0..regions {
+        out.push_str(&format!("    wreg{r} = (Wide *) cursor;\n"));
+        out.push_str("    cursor = cursor + sizeof(Wide);\n");
+    }
+    out.push_str("    /** SafeFlow Annotation\n");
+    for r in 0..regions {
+        out.push_str(&format!("        assume(shmvar(wreg{r}, sizeof(Wide)))\n"));
+    }
+    for r in 0..regions {
+        out.push_str(&format!("        assume(noncore(wreg{r}))\n"));
+    }
+    out.push_str("    */\n}\n\n");
+
+    // Families: independent chains fam{f}_h0 -> ... -> fam{f}_h{depth-1};
+    // no function is shared between families, so distinct families are
+    // independent SCCs in the condensation.
+    for f in 0..families {
+        let r = f % regions;
+        for d in (0..depth).rev() {
+            out.push_str(&format!("float fam{f}_h{d}(float x, int which)\n"));
+            if d == 0 {
+                // Chain heads monitor their region, so deeper reads are
+                // covered (keeps the report small and stable as the
+                // program scales).
+                out.push_str(&format!(
+                    "/** SafeFlow Annotation assume(core(wreg{r}, 0, sizeof(Wide))) */\n"
+                ));
+            }
+            out.push_str("{\n    float acc;\n    int i;\n");
+            out.push_str(&format!("    acc = x * 1.0625 + {}.125;\n", d + 1));
+            for b in 0..branches {
+                out.push_str(&format!(
+                    "    if (which > {b}) {{ acc = acc + {b}.5; }} else {{ acc = acc - 0.25; }}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "    for (i = 0; i < 16; i++) {{ acc = acc + wreg{r}->arr[i]; }}\n"
+            ));
+            if d + 1 < depth {
+                out.push_str(&format!("    acc = acc + fam{f}_h{}(acc, which + 1);\n", d + 1));
+            } else {
+                out.push_str(&format!("    acc = acc + wreg{r}->v;\n"));
+            }
+            out.push_str("    return acc;\n}\n\n");
+        }
+    }
+
+    out.push_str("int main() {\n    float u;\n    float s;\n    initShm();\n    s = source();\n    u = 0.0;\n");
+    for f in 0..families {
+        out.push_str(&format!("    u = u + fam{f}_h0(s, {f});\n"));
+    }
+    out.push_str("    /** SafeFlow Annotation assert(safe(u)) */\n");
+    out.push_str("    sink(u);\n    return 0;\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +239,22 @@ mod tests {
         let small = generate_core(SyntheticParams { depth: 2, ..Default::default() });
         let large = generate_core(SyntheticParams { depth: 12, ..Default::default() });
         assert!(crate::count_loc(&large) > crate::count_loc(&small));
+    }
+
+    #[test]
+    fn wide_program_has_independent_families() {
+        let p = WideParams { families: 5, depth: 2, regions: 3, branches: 1 };
+        let src = generate_wide(p);
+        assert!(src.contains("fam4_h0"));
+        assert!(src.contains("fam4_h1"));
+        assert!(src.contains("assume(shmvar(wreg2"));
+        assert!(src.contains("assert(safe(u))"));
+        // No cross-family calls: fam0 functions never mention fam1.
+        for line in src.lines() {
+            if line.contains("fam0_") {
+                assert!(!line.contains("fam1_"), "{line}");
+            }
+        }
+        assert_eq!(generate_wide(p), generate_wide(p));
     }
 }

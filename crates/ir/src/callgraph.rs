@@ -82,6 +82,30 @@ impl CallGraph {
         self.sccs.iter().rev()
     }
 
+    /// The condensation DAG as a dependency list over SCC indices:
+    /// `deps[i]` are the SCC indices that SCC `i` calls into (excluding
+    /// itself), sorted ascending and deduplicated. Because [`CallGraph::sccs`]
+    /// is in bottom-up order, every dependency index is `< i` — the list
+    /// feeds a DAG scheduler directly: an SCC may be summarized as soon as
+    /// all of its dependencies are done, independent of its topological
+    /// siblings.
+    pub fn scc_dependencies(&self) -> Vec<Vec<usize>> {
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); self.sccs.len()];
+        for (i, scc) in self.sccs.iter().enumerate() {
+            let mut seen: HashSet<usize> = HashSet::new();
+            for f in scc {
+                for callee in &self.callees[f] {
+                    let j = self.scc_of[callee];
+                    if j != i && seen.insert(j) {
+                        deps[i].push(j);
+                    }
+                }
+            }
+            deps[i].sort_unstable();
+        }
+        deps
+    }
+
     /// Whether `f` participates in recursion (self-loop or larger SCC).
     pub fn is_recursive(&self, f: FuncId) -> bool {
         match self.scc_of.get(&f) {
@@ -270,6 +294,33 @@ mod tests {
         assert!(reach.contains(&m.function_by_name("c").unwrap()));
         assert!(reach.contains(&m.function_by_name("d").unwrap()));
         assert!(!reach.contains(&m.function_by_name("b").unwrap()));
+    }
+
+    #[test]
+    fn scc_dependencies_form_bottom_up_dag() {
+        let (m, cg) = build(
+            "int leaf1(void) { return 1; }\nint leaf2(void) { return 2; }\nint mid(void) { return leaf1() + leaf2(); }\nint odd(int n);\nint even(int n) { if (n == 0) return 1; return odd(n - 1); }\nint odd(int n) { if (n == 0) return 0; return even(n - 1) + leaf2(); }\nint main() { return mid() + even(3); }",
+        );
+        let deps = cg.scc_dependencies();
+        assert_eq!(deps.len(), cg.sccs.len());
+        for (i, ds) in deps.iter().enumerate() {
+            // Bottom-up: dependencies strictly precede their dependents.
+            assert!(ds.iter().all(|&j| j < i), "scc {i} depends on {ds:?}");
+            // Sorted and deduplicated.
+            assert!(ds.windows(2).all(|w| w[0] < w[1]));
+        }
+        // main's SCC depends on mid's and the even/odd SCC, not the leaves.
+        let main = m.function_by_name("main").unwrap();
+        let mid = m.function_by_name("mid").unwrap();
+        let even = m.function_by_name("even").unwrap();
+        let leaf1 = m.function_by_name("leaf1").unwrap();
+        let main_deps = &deps[cg.scc_of[&main]];
+        assert!(main_deps.contains(&cg.scc_of[&mid]));
+        assert!(main_deps.contains(&cg.scc_of[&even]));
+        assert!(!main_deps.contains(&cg.scc_of[&leaf1]));
+        // The mutual-recursion SCC records no self-dependency.
+        let even_deps = &deps[cg.scc_of[&even]];
+        assert!(!even_deps.contains(&cg.scc_of[&even]));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::cfg::Cfg;
 use crate::dom::DomTree;
 use crate::module::*;
 use crate::types::Type;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Promotes eligible allocas in every defined function of `module`.
 ///
@@ -48,8 +48,11 @@ pub fn promote_to_ssa(func: &mut Function) -> usize {
     }
 
     // ---- φ placement ----------------------------------------------------
-    // def_blocks[a] = blocks storing to alloca a.
-    let mut def_blocks: HashMap<InstId, HashSet<BlockId>> = HashMap::new();
+    // def_blocks[a] = blocks storing to alloca a. Ordered maps/sets
+    // throughout: φ ids are allocated (and φs prepended to blocks) in
+    // iteration order, and the summary cache content-hashes the IR, so the
+    // construction must be reproducible run to run.
+    let mut def_blocks: BTreeMap<InstId, BTreeSet<BlockId>> = BTreeMap::new();
     for (bid, block) in func.iter_blocks() {
         for &iid in &block.insts {
             if let InstKind::Store { ptr: Value::Inst(a), .. } = &func.inst(iid).kind {
@@ -61,7 +64,7 @@ pub fn promote_to_ssa(func: &mut Function) -> usize {
     }
 
     // phis[(block, alloca)] = phi inst id.
-    let mut phis: HashMap<(BlockId, InstId), InstId> = HashMap::new();
+    let mut phis: BTreeMap<(BlockId, InstId), InstId> = BTreeMap::new();
     for (&alloca, defs) in &def_blocks {
         let ty = match &func.inst(alloca).kind {
             InstKind::Alloca { ty, .. } => ty.clone(),
@@ -69,7 +72,7 @@ pub fn promote_to_ssa(func: &mut Function) -> usize {
         };
         let mut work: Vec<BlockId> = defs.iter().copied().collect();
         let mut placed: HashSet<BlockId> = HashSet::new();
-        let mut considered: HashSet<BlockId> = defs.clone();
+        let mut considered: BTreeSet<BlockId> = defs.clone();
         while let Some(b) = work.pop() {
             if !cfg.is_reachable(b) {
                 continue;
@@ -196,7 +199,7 @@ fn rename_block(
     cfg: &Cfg,
     block: BlockId,
     promotable: &HashSet<InstId>,
-    phis: &HashMap<(BlockId, InstId), InstId>,
+    phis: &BTreeMap<(BlockId, InstId), InstId>,
     stacks: &mut HashMap<InstId, Vec<Value>>,
     replace: &mut HashMap<InstId, Value>,
     dead: &mut HashSet<InstId>,

@@ -2,10 +2,10 @@
 //! must lower cleanly, and the result must satisfy the verifier's SSA and
 //! CFG invariants — before and after mem2reg.
 
-use proptest::prelude::*;
 use safeflow_ir::{lower::lower, ssa::promote_module, verify::verify_module, Cfg, DomTree};
 use safeflow_syntax::diag::Diagnostics;
 use safeflow_syntax::parse_source;
+use safeflow_util::prop::{run_cases, Gen};
 
 /// A tiny statement-level program generator: straight-line arithmetic,
 /// nested ifs, while loops with bounded shapes, all over a fixed set of
@@ -29,43 +29,51 @@ enum GenExpr {
 
 const NVARS: usize = 4;
 
-fn expr_strategy() -> impl Strategy<Value = GenExpr> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(GenExpr::Var),
-        (-50i32..50).prop_map(GenExpr::Const),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GenExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GenExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| GenExpr::Lt(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_expr(g: &mut Gen, depth: u32) -> GenExpr {
+    if depth == 0 || g.chance(0.4) {
+        if g.bool() {
+            GenExpr::Var(g.usize(0, NVARS))
+        } else {
+            GenExpr::Const(g.i32(-50, 50))
+        }
+    } else {
+        let a = Box::new(gen_expr(g, depth - 1));
+        let b = Box::new(gen_expr(g, depth - 1));
+        match g.usize(0, 3) {
+            0 => GenExpr::Add(a, b),
+            1 => GenExpr::Mul(a, b),
+            _ => GenExpr::Lt(a, b),
+        }
+    }
 }
 
-fn stmt_strategy(depth: u32) -> BoxedStrategy<GenStmt> {
+fn gen_stmt(g: &mut Gen, depth: u32) -> GenStmt {
     if depth == 0 {
-        prop_oneof![
-            ((0..NVARS), expr_strategy()).prop_map(|(v, e)| GenStmt::Assign(v, e)),
-            expr_strategy().prop_map(GenStmt::Return),
-        ]
-        .boxed()
+        if g.chance(0.8) {
+            GenStmt::Assign(g.usize(0, NVARS), gen_expr(g, 3))
+        } else {
+            GenStmt::Return(gen_expr(g, 3))
+        }
     } else {
-        prop_oneof![
-            3 => ((0..NVARS), expr_strategy()).prop_map(|(v, e)| GenStmt::Assign(v, e)),
-            1 => (
-                expr_strategy(),
-                prop::collection::vec(stmt_strategy(depth - 1), 1..3),
-                prop::collection::vec(stmt_strategy(depth - 1), 0..3)
-            )
-                .prop_map(|(c, t, e)| GenStmt::If(c, t, e)),
-            1 => ((0..NVARS), prop::collection::vec(stmt_strategy(depth - 1), 1..3))
-                .prop_map(|(v, b)| GenStmt::While(v, b)),
-        ]
-        .boxed()
+        match g.usize(0, 5) {
+            0 => {
+                let c = gen_expr(g, 3);
+                let t = g.vec_of(1, 3, |g| gen_stmt(g, depth - 1));
+                let e = g.vec_of(0, 3, |g| gen_stmt(g, depth - 1));
+                GenStmt::If(c, t, e)
+            }
+            1 => {
+                let v = g.usize(0, NVARS);
+                let b = g.vec_of(1, 3, |g| gen_stmt(g, depth - 1));
+                GenStmt::While(v, b)
+            }
+            _ => GenStmt::Assign(g.usize(0, NVARS), gen_expr(g, 3)),
+        }
     }
+}
+
+fn gen_stmts(g: &mut Gen) -> Vec<GenStmt> {
+    g.vec_of(1, 8, |g| gen_stmt(g, 2))
 }
 
 fn render_expr(e: &GenExpr) -> String {
@@ -124,26 +132,23 @@ fn render_program(stmts: &[GenStmt]) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Generated programs lower without diagnostics and verify before and
-    /// after SSA promotion.
-    #[test]
-    fn lower_and_ssa_preserve_invariants(
-        stmts in prop::collection::vec(stmt_strategy(2), 1..8)
-    ) {
+/// Generated programs lower without diagnostics and verify before and
+/// after SSA promotion.
+#[test]
+fn lower_and_ssa_preserve_invariants() {
+    run_cases(128, |g| {
+        let stmts = gen_stmts(g);
         let src = render_program(&stmts);
         let parsed = parse_source("gen.c", &src);
-        prop_assert!(!parsed.diags.has_errors(), "parse failed on:\n{src}");
+        assert!(!parsed.diags.has_errors(), "parse failed on:\n{src}");
         let mut diags = Diagnostics::new();
         let mut module = lower(&parsed.unit, &mut diags);
-        prop_assert!(!diags.has_errors(), "lowering failed on:\n{src}");
+        assert!(!diags.has_errors(), "lowering failed on:\n{src}");
         let pre = verify_module(&module);
-        prop_assert!(pre.is_empty(), "pre-SSA verify failed on:\n{src}\n{pre:?}");
+        assert!(pre.is_empty(), "pre-SSA verify failed on:\n{src}\n{pre:?}");
         promote_module(&mut module);
         let post = verify_module(&module);
-        prop_assert!(post.is_empty(), "post-SSA verify failed on:\n{src}\n{post:?}");
+        assert!(post.is_empty(), "post-SSA verify failed on:\n{src}\n{post:?}");
         // Scalars must be fully promoted.
         for fid in module.definitions() {
             let f = module.function(fid);
@@ -151,16 +156,21 @@ proptest! {
                 .iter_insts()
                 .filter(|(_, i)| matches!(i.kind, safeflow_ir::InstKind::Alloca { .. }))
                 .count();
-            prop_assert_eq!(allocas, 0, "all scalar locals promote on:\n{}", src);
+            assert_eq!(allocas, 0, "all scalar locals promote on:\n{src}");
         }
-    }
+    });
+}
 
-    /// Dominator facts are consistent with reachability on generated CFGs.
-    #[test]
-    fn dominators_consistent(stmts in prop::collection::vec(stmt_strategy(2), 1..8)) {
+/// Dominator facts are consistent with reachability on generated CFGs.
+#[test]
+fn dominators_consistent() {
+    run_cases(128, |g| {
+        let stmts = gen_stmts(g);
         let src = render_program(&stmts);
         let parsed = parse_source("gen.c", &src);
-        prop_assume!(!parsed.diags.has_errors());
+        if parsed.diags.has_errors() {
+            return;
+        }
         let mut diags = Diagnostics::new();
         let mut module = lower(&parsed.unit, &mut diags);
         promote_module(&mut module);
@@ -174,20 +184,20 @@ proptest! {
             // The entry dominates every reachable block; nothing dominates
             // the entry except itself.
             for &b in &cfg.rpo {
-                prop_assert!(dom.dominates(f.entry(), b));
+                assert!(dom.dominates(f.entry(), b));
                 if b != f.entry() {
-                    prop_assert!(!dom.dominates(b, f.entry()));
+                    assert!(!dom.dominates(b, f.entry()));
                 }
             }
             // idom is a strict ancestor in RPO.
             for &b in &cfg.rpo {
                 if let Some(d) = dom.immediate_dominator(b) {
-                    prop_assert!(
+                    assert!(
                         cfg.rpo_index[d.0 as usize] < cfg.rpo_index[b.0 as usize],
                         "idom must precede in RPO"
                     );
                 }
             }
         }
-    }
+    });
 }

@@ -32,7 +32,7 @@
 #![warn(missing_docs)]
 
 use safeflow_ir::{Callee, FuncId, GlobalId, InstId, InstKind, Module, Value};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Interned id of an abstract memory object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -58,7 +58,11 @@ pub enum Obj {
 
 /// A constraint variable: an SSA value in a specific function, a function's
 /// merged return, or the pointer contents of a memory object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordered so the solver visits copy edges in a stable order: field objects
+/// are interned lazily *during* solving, so `ObjId` numbering (and with it
+/// the summary-cache content hashes) must not depend on map iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum VarKey {
     Inst(FuncId, InstId),
     Param(FuncId, u32),
@@ -85,7 +89,7 @@ impl PointsTo {
                 sets: HashMap::new(),
                 escaped: BTreeSet::new(),
             },
-            edges: HashMap::new(),
+            edges: BTreeMap::new(),
             field_edges: Vec::new(),
             complex_loads: Vec::new(),
             complex_stores: Vec::new(),
@@ -229,8 +233,9 @@ struct ComplexStore {
 
 struct Analyzer {
     pt: PointsTo,
-    /// Copy edges: pts(to) ⊇ pts(from).
-    edges: HashMap<VarKey, Vec<VarKey>>,
+    /// Copy edges: pts(to) ⊇ pts(from), keyed in deterministic order (see
+    /// [`VarKey`]).
+    edges: BTreeMap<VarKey, Vec<VarKey>>,
     /// FieldAddr derivations: (func, result inst, base value, struct id,
     /// field index).
     field_edges: Vec<(FuncId, InstId, Value, u32, u32)>,

@@ -14,8 +14,7 @@ use crate::lqr::{dlqr, feedback, LqrDesign};
 use crate::monitor::{Decision, LyapunovMonitor};
 use crate::plant::{CartPole, DoublePendulum, Plant};
 use crate::shmem::{Fault, SharedBus, WriterId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use safeflow_util::SplitMix64;
 
 /// Which controller produced the applied command at a step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,7 +115,7 @@ pub struct SimplexExecutive {
     complex: LqrDesign,
     monitor: LyapunovMonitor,
     bus: SharedBus,
-    rng: StdRng,
+    rng: SplitMix64,
     core_pid: f64,
     noncore_pid: f64,
     hb_counter: f64,
@@ -195,7 +194,7 @@ impl SimplexExecutive {
             complex,
             monitor,
             bus,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             core_pid: 1000.0,
             noncore_pid: 2000.0,
             hb_counter: 0.0,
@@ -340,7 +339,7 @@ impl SimplexExecutive {
         // Normal behaviour: the complex controller proposes its command
         // (with a little exploration noise — it is "new and untested").
         let mut proposal = feedback(&self.complex.k, &state);
-        proposal += self.rng.gen_range(-0.05..0.05);
+        proposal += self.rng.f64_range(-0.05, 0.05);
 
         match self.cfg.fault {
             Fault::GarbageCommands => {

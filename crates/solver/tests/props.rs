@@ -1,8 +1,8 @@
 //! Property tests: the Omega test agrees with brute-force enumeration on
 //! small boxed systems.
 
-use proptest::prelude::*;
 use safeflow_solver::{Feasibility, LinExpr, System, Var};
+use safeflow_util::prop::{run_cases, Gen};
 use std::collections::BTreeMap;
 
 /// A random constraint over `nvars` variables with small coefficients.
@@ -13,13 +13,12 @@ struct RandConstraint {
     is_eq: bool,
 }
 
-fn constraint_strategy(nvars: usize) -> impl Strategy<Value = RandConstraint> {
-    (
-        prop::collection::vec(-4i64..=4, nvars),
-        -12i64..=12,
-        prop::bool::weighted(0.25),
-    )
-        .prop_map(|(coeffs, constant, is_eq)| RandConstraint { coeffs, constant, is_eq })
+fn gen_constraint(g: &mut Gen, nvars: usize) -> RandConstraint {
+    RandConstraint {
+        coeffs: (0..nvars).map(|_| g.i64(-4, 5)).collect(),
+        constant: g.i64(-12, 13),
+        is_eq: g.chance(0.25),
+    }
 }
 
 /// Builds the system `cs` plus box constraints `-B <= v <= B` so brute
@@ -64,47 +63,48 @@ fn brute_force_sat(sys: &System, vars: &[Var], bound: i64) -> bool {
     rec(sys, vars, bound, 0, &mut asn)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// 2-variable systems: Omega agrees exactly with brute force.
-    #[test]
-    fn omega_matches_brute_force_2vars(
-        cs in prop::collection::vec(constraint_strategy(2), 1..5)
-    ) {
+/// 2-variable systems: Omega agrees exactly with brute force.
+#[test]
+fn omega_matches_brute_force_2vars() {
+    run_cases(200, |g| {
+        let cs = g.vec_of(1, 5, |g| gen_constraint(g, 2));
         let bound = 6;
         let (sys, vars) = build(2, &cs, bound);
         let expected = brute_force_sat(&sys, &vars, bound);
         match sys.check() {
-            Feasibility::Sat => prop_assert!(expected, "omega says SAT, brute force says UNSAT"),
-            Feasibility::Unsat => prop_assert!(!expected, "omega says UNSAT, brute force found a solution"),
+            Feasibility::Sat => assert!(expected, "omega says SAT, brute force says UNSAT"),
+            Feasibility::Unsat => {
+                assert!(!expected, "omega says UNSAT, brute force found a solution")
+            }
             Feasibility::Unknown => {} // allowed, but should be rare
         }
-    }
+    });
+}
 
-    /// 3-variable systems with tighter bounds.
-    #[test]
-    fn omega_matches_brute_force_3vars(
-        cs in prop::collection::vec(constraint_strategy(3), 1..4)
-    ) {
+/// 3-variable systems with tighter bounds.
+#[test]
+fn omega_matches_brute_force_3vars() {
+    run_cases(200, |g| {
+        let cs = g.vec_of(1, 4, |g| gen_constraint(g, 3));
         let bound = 3;
         let (sys, vars) = build(3, &cs, bound);
         let expected = brute_force_sat(&sys, &vars, bound);
         match sys.check() {
-            Feasibility::Sat => prop_assert!(expected),
-            Feasibility::Unsat => prop_assert!(!expected),
+            Feasibility::Sat => assert!(expected),
+            Feasibility::Unsat => assert!(!expected),
             Feasibility::Unknown => {}
         }
-    }
+    });
+}
 
-    /// implies_ge is consistent with check(): if the system is SAT and
-    /// implies e >= 0, then adding e < 0 must be UNSAT.
-    #[test]
-    fn implication_consistency(
-        cs in prop::collection::vec(constraint_strategy(2), 1..4),
-        target in prop::collection::vec(-3i64..=3, 2),
-        tc in -6i64..=6,
-    ) {
+/// implies_ge is consistent with check(): if the system is SAT and
+/// implies e >= 0, then adding e < 0 must be UNSAT.
+#[test]
+fn implication_consistency() {
+    run_cases(200, |g| {
+        let cs = g.vec_of(1, 4, |g| gen_constraint(g, 2));
+        let target: Vec<i64> = (0..2).map(|_| g.i64(-3, 4)).collect();
+        let tc = g.i64(-6, 7);
         let bound = 5;
         let (sys, vars) = build(2, &cs, bound);
         let mut e = LinExpr::constant(tc);
@@ -114,7 +114,7 @@ proptest! {
         if sys.implies_ge(e.clone(), LinExpr::zero()) {
             let mut neg = sys.clone();
             neg.add_lt(e, LinExpr::zero());
-            prop_assert_eq!(neg.check(), Feasibility::Unsat);
+            assert_eq!(neg.check(), Feasibility::Unsat);
         }
-    }
+    });
 }

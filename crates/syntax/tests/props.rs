@@ -3,93 +3,110 @@
 //! The frontend must never panic: arbitrary bytes produce diagnostics, not
 //! crashes. This matters because SafeFlow is run over user-supplied C code.
 
-use proptest::prelude::*;
 use safeflow_syntax::annot::parse_annotation_body;
 use safeflow_syntax::diag::Diagnostics;
 use safeflow_syntax::lexer::lex;
 use safeflow_syntax::source::SourceMap;
 use safeflow_syntax::span::{FileId, Span};
 use safeflow_syntax::{parse_source, pp::VirtualFs};
+use safeflow_util::prop::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The lexer terminates with an Eof token on arbitrary input.
-    #[test]
-    fn lexer_never_panics(src in ".*") {
+/// The lexer terminates with an Eof token on arbitrary input.
+#[test]
+fn lexer_never_panics() {
+    run_cases(256, |g| {
+        let src = g.arbitrary_string(200);
         let mut diags = Diagnostics::new();
         let toks = lex(FileId(0), &src, &mut diags);
-        prop_assert!(!toks.is_empty());
-        prop_assert_eq!(&toks.last().unwrap().kind, &safeflow_syntax::token::TokenKind::Eof);
-    }
+        assert!(!toks.is_empty());
+        assert_eq!(toks.last().unwrap().kind, safeflow_syntax::token::TokenKind::Eof);
+    });
+}
 
-    /// The full pipeline (pp → lex → parse) never panics on arbitrary input.
-    #[test]
-    fn parser_never_panics(src in ".{0,400}") {
+/// The full pipeline (pp → lex → parse) never panics on arbitrary input.
+#[test]
+fn parser_never_panics() {
+    run_cases(256, |g| {
+        let src = g.arbitrary_string(400);
         let _ = parse_source("fuzz.c", &src);
-    }
+    });
+}
 
-    /// The pipeline never panics on inputs biased toward C-looking token
-    /// soup (more likely to reach deep parser paths than pure noise).
-    #[test]
-    fn parser_never_panics_on_c_soup(
-        parts in prop::collection::vec(
-            prop::sample::select(vec![
-                "int", "float", "struct", "typedef", "if", "else", "while",
-                "for", "return", "(", ")", "{", "}", "[", "]", ";", ",",
-                "*", "&", "=", "==", "->", ".", "x", "y", "main", "42",
-                "3.5", "\"s\"", "'c'", "sizeof", "switch", "case", "default",
-                "/** SafeFlow Annotation assert(safe(x)) */",
-            ]),
-            0..80,
-        )
-    ) {
+/// The pipeline never panics on inputs biased toward C-looking token soup
+/// (more likely to reach deep parser paths than pure noise).
+#[test]
+fn parser_never_panics_on_c_soup() {
+    const VOCAB: &[&str] = &[
+        "int", "float", "struct", "typedef", "if", "else", "while", "for", "return", "(", ")",
+        "{", "}", "[", "]", ";", ",", "*", "&", "=", "==", "->", ".", "x", "y", "main", "42",
+        "3.5", "\"s\"", "'c'", "sizeof", "switch", "case", "default",
+        "/** SafeFlow Annotation assert(safe(x)) */",
+    ];
+    run_cases(256, |g| {
+        let parts = g.vec_of(0, 80, |g| *g.pick(VOCAB));
         let src = parts.join(" ");
         let _ = parse_source("soup.c", &src);
-    }
+    });
+}
 
-    /// The annotation mini-parser never panics.
-    #[test]
-    fn annotation_parser_never_panics(body in ".{0,120}") {
+/// The annotation mini-parser never panics.
+#[test]
+fn annotation_parser_never_panics() {
+    run_cases(256, |g| {
+        let body = g.arbitrary_string(120);
         let mut sources = SourceMap::new();
         let mut diags = Diagnostics::new();
         let _ = parse_annotation_body(&body, Span::dummy(), &mut sources, &mut diags);
-    }
+    });
+}
 
-    /// The preprocessor never panics on arbitrary directive soup.
-    #[test]
-    fn preprocessor_never_panics(
-        lines in prop::collection::vec(
-            prop::sample::select(vec![
-                "#define A 1", "#define B A", "#undef A", "#ifdef A",
-                "#ifndef B", "#else", "#endif", "#if 1", "#if 0", "#elif 1",
-                "#include \"x.h\"", "#pragma once", "int x;", "A", "B",
-            ]),
-            0..30,
-        )
-    ) {
+/// The preprocessor never panics on arbitrary directive soup.
+#[test]
+fn preprocessor_never_panics() {
+    const LINES: &[&str] = &[
+        "#define A 1", "#define B A", "#undef A", "#ifdef A", "#ifndef B", "#else", "#endif",
+        "#if 1", "#if 0", "#elif 1", "#include \"x.h\"", "#pragma once", "int x;", "A", "B",
+    ];
+    run_cases(256, |g| {
+        let lines = g.vec_of(0, 30, |g| *g.pick(LINES));
         let mut fs = VirtualFs::new();
         fs.add("x.h", "int from_header;");
         fs.add("main.c", lines.join("\n"));
         let _ = safeflow_syntax::parse_program("main.c", &fs);
-    }
+    });
+}
 
-    /// Integer literals round-trip through the lexer.
-    #[test]
-    fn int_literals_round_trip(v in 0i64..=i64::from(i32::MAX)) {
+/// Integer literals round-trip through the lexer.
+#[test]
+fn int_literals_round_trip() {
+    run_cases(256, |g| {
+        let v = g.i64(0, i64::from(i32::MAX));
         let mut diags = Diagnostics::new();
         let toks = lex(FileId(0), &format!("{v}"), &mut diags);
-        prop_assert!(!diags.has_errors());
-        prop_assert_eq!(&toks[0].kind, &safeflow_syntax::token::TokenKind::IntLit(v));
-    }
+        assert!(!diags.has_errors());
+        assert_eq!(toks[0].kind, safeflow_syntax::token::TokenKind::IntLit(v));
+    });
+}
 
-    /// Identifiers round-trip through the lexer.
-    #[test]
-    fn identifiers_round_trip(name in "[a-zA-Z_][a-zA-Z0-9_]{0,20}") {
-        prop_assume!(safeflow_syntax::token::Keyword::from_str(&name).is_none());
+/// Identifiers round-trip through the lexer.
+#[test]
+fn identifiers_round_trip() {
+    const HEAD: &[char] = &[
+        'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Q', 'Z', '_',
+    ];
+    const TAIL: &[char] = &[
+        'a', 'e', 'k', 'p', 'w', 'B', 'R', 'X', '_', '0', '3', '7', '9',
+    ];
+    run_cases(256, |g| {
+        let mut name = String::new();
+        name.push(*g.pick(HEAD));
+        name.push_str(&g.string_of(TAIL, 0, 21));
+        if safeflow_syntax::token::Keyword::from_str(&name).is_some() {
+            return; // keyword collision: skip the case
+        }
         let mut diags = Diagnostics::new();
         let toks = lex(FileId(0), &name, &mut diags);
-        prop_assert!(!diags.has_errors());
-        prop_assert_eq!(&toks[0].kind, &safeflow_syntax::token::TokenKind::Ident(name));
-    }
+        assert!(!diags.has_errors());
+        assert_eq!(toks[0].kind, safeflow_syntax::token::TokenKind::Ident(name));
+    });
 }

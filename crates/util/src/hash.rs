@@ -1,0 +1,123 @@
+//! Stable 64-bit hashing for content-addressed caching.
+//!
+//! The std `DefaultHasher` is explicitly not guaranteed stable across Rust
+//! releases, and `HashMap`'s per-instance random keys make it useless for
+//! cache keys that must be reproducible across processes. FNV-1a is tiny,
+//! fast on the short keys the analysis hashes (IR instruction streams,
+//! names, id lists), and bit-stable forever.
+
+use std::hash::Hasher;
+
+/// 64-bit FNV-1a hasher. Implements [`std::hash::Hasher`] so `#[derive(Hash)]`
+/// types can feed it directly.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher.
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Feeds a string (length-prefixed, so `("ab","c")` ≠ `("a","bc")`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Current hash value (same as [`Hasher::finish`], without consuming).
+    pub fn value(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// Hash of a byte slice.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hash of a string.
+pub fn hash_str(s: &str) -> u64 {
+    hash_bytes(s.as_bytes())
+}
+
+/// Combines two hashes order-sensitively (for Merkle-style chains).
+pub fn combine(a: u64, b: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(a);
+    h.write_u64(b);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer() {
+        // FNV-1a 64 reference vectors.
+        assert_eq!(hash_str(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_str("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_str("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn write_str_is_length_prefixed() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+}

@@ -1,0 +1,29 @@
+//! # safeflow-util
+//!
+//! Dependency-free shared infrastructure for the SafeFlow workspace:
+//!
+//! * [`rng`] — a small, fast, deterministic PRNG (SplitMix64) used by the
+//!   corpus generators and the Simplex simulation, so results are
+//!   bit-reproducible across platforms and runs;
+//! * [`hash`] — a stable 64-bit FNV-1a hasher used for content-addressed
+//!   summary caching (stability across processes matters, which rules out
+//!   the randomly-keyed std hasher);
+//! * [`pool`] — a work-stealing thread pool with dependency-DAG
+//!   scheduling, used by the parallel analysis engine to run call-graph
+//!   SCCs concurrently;
+//! * [`prop`] — a miniature deterministic property-test harness
+//!   (seeded-case loops with seed reporting on failure).
+//!
+//! Everything here is built on `std` only: the workspace builds and tests
+//! fully offline.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod pool;
+pub mod prop;
+pub mod rng;
+
+pub use hash::Fnv64;
+pub use pool::{run_dag, run_map};
+pub use rng::SplitMix64;

@@ -1,0 +1,358 @@
+//! A work-stealing thread pool with dependency-DAG scheduling.
+//!
+//! [`run_dag`] executes `n` tasks subject to a dependency relation: task
+//! `i` may start only after every task in `deps[i]` has completed. Ready
+//! tasks are distributed over per-worker deques; an idle worker first pops
+//! from its own deque (LIFO, for locality — a task it just unblocked), then
+//! steals from the other workers' deques (FIFO, taking the oldest work),
+//! then parks on a condition variable until new work is enqueued or the
+//! run completes.
+//!
+//! Results are returned **indexed by task**, so the output is a pure
+//! function of the task closure — independent of worker count, scheduling
+//! order, and steal interleavings. This is what the analysis engine's
+//! determinism guarantee rests on: parallelism changes only *when* a task
+//! runs, never *what* is returned.
+//!
+//! A panic inside any task aborts the run: remaining tasks are abandoned,
+//! all workers drain, and the panic is re-raised on the caller's thread.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Runs `n = deps.len()` tasks respecting `deps` (a DAG: `deps[i]` are the
+/// task indices that must complete before task `i` starts), on `jobs`
+/// worker threads. Returns the task results indexed by task.
+///
+/// With `jobs <= 1` the tasks run sequentially on the caller's thread in
+/// a deterministic topological order (ready tasks by ascending index) —
+/// the reference schedule the parallel runs must agree with.
+///
+/// # Panics
+///
+/// Panics if `deps` contains an out-of-range index or a dependency cycle,
+/// or if a task panics (the task's panic is propagated).
+pub fn run_dag<T, F>(jobs: usize, deps: &[Vec<usize>], task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = deps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    for ds in deps {
+        for &d in ds {
+            assert!(d < n, "run_dag: dependency index {d} out of range (n = {n})");
+        }
+    }
+    let jobs = jobs.max(1).min(n);
+    if jobs == 1 {
+        return run_sequential(deps, task);
+    }
+    // Workers park while waiting for dependencies; a cyclic "DAG" would
+    // park them forever. Reject it up front (cheap Kahn pass).
+    assert_acyclic(deps);
+
+    let dependents = invert(deps);
+    let remaining: Vec<AtomicUsize> =
+        deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    // Seed: initially-ready tasks round-robin over the workers.
+    {
+        let mut w = 0;
+        for (i, ds) in deps.iter().enumerate() {
+            if ds.is_empty() {
+                queues[w].lock().unwrap().push_back(i);
+                w = (w + 1) % jobs;
+            }
+        }
+    }
+
+    let shared = Shared {
+        dependents: &dependents,
+        remaining: &remaining,
+        queues: &queues,
+        results: &results,
+        done: AtomicUsize::new(0),
+        total: n,
+        idle: Mutex::new(()),
+        wake: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let shared = &shared;
+            let task = &task;
+            scope.spawn(move || worker(w, jobs, shared, task));
+        }
+    });
+
+    if let Some(payload) = shared.panic.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
+    let completed = shared.done.load(Ordering::SeqCst);
+    assert_eq!(completed, n, "run_dag: dependency cycle ({completed}/{n} tasks ran)");
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().unwrap().expect("completed task has a result"))
+        .collect()
+}
+
+/// Runs `n` independent tasks on `jobs` workers ([`run_dag`] with no
+/// dependencies). Results are indexed by task.
+pub fn run_map<T, F>(jobs: usize, n: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_dag(jobs, &vec![Vec::new(); n], task)
+}
+
+/// A sensible default worker count for this machine.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+fn run_sequential<T, F>(deps: &[Vec<usize>], task: F) -> Vec<T>
+where
+    F: Fn(usize) -> T,
+{
+    let n = deps.len();
+    let dependents = invert(deps);
+    let mut remaining: Vec<usize> = deps.iter().map(Vec::len).collect();
+    // Ready tasks processed in ascending index order (min-heap).
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&i| remaining[i] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut ran = 0usize;
+    while let Some(std::cmp::Reverse(i)) = ready.pop() {
+        results[i] = Some(task(i));
+        ran += 1;
+        for &j in &dependents[i] {
+            remaining[j] -= 1;
+            if remaining[j] == 0 {
+                ready.push(std::cmp::Reverse(j));
+            }
+        }
+    }
+    assert_eq!(ran, n, "run_dag: dependency cycle ({ran}/{n} tasks ran)");
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+fn assert_acyclic(deps: &[Vec<usize>]) {
+    let n = deps.len();
+    let dependents = invert(deps);
+    let mut remaining: Vec<usize> = deps.iter().map(Vec::len).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+    let mut ran = 0usize;
+    while let Some(i) = ready.pop() {
+        ran += 1;
+        for &j in &dependents[i] {
+            remaining[j] -= 1;
+            if remaining[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    assert_eq!(ran, n, "run_dag: dependency cycle ({ran}/{n} tasks reachable)");
+}
+
+fn invert(deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); deps.len()];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            dependents[d].push(i);
+        }
+    }
+    dependents
+}
+
+struct Shared<'a, T> {
+    dependents: &'a [Vec<usize>],
+    remaining: &'a [AtomicUsize],
+    queues: &'a [Mutex<VecDeque<usize>>],
+    results: &'a [Mutex<Option<T>>],
+    done: AtomicUsize,
+    total: usize,
+    idle: Mutex<()>,
+    wake: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<T> Shared<'_, T> {
+    fn finished(&self) -> bool {
+        self.done.load(Ordering::SeqCst) >= self.total
+    }
+
+    /// Records a task panic and releases every worker.
+    fn abort(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        drop(slot);
+        // Drain: mark the run complete so workers exit their loops.
+        self.done.store(self.total, Ordering::SeqCst);
+        let _g = self.idle.lock().unwrap();
+        self.wake.notify_all();
+    }
+}
+
+fn worker<T, F>(me: usize, jobs: usize, shared: &Shared<'_, T>, task: &F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    loop {
+        if shared.finished() {
+            return;
+        }
+        // 1. Own deque, newest first (locality: tasks this worker just
+        //    unblocked are hot in cache).
+        let mut next = shared.queues[me].lock().unwrap().pop_back();
+        // 2. Steal oldest work from the other workers.
+        if next.is_none() {
+            for k in 1..jobs {
+                let victim = (me + k) % jobs;
+                if let Some(i) = shared.queues[victim].lock().unwrap().pop_front() {
+                    next = Some(i);
+                    break;
+                }
+            }
+        }
+        let Some(i) = next else {
+            // 3. Park until new work is enqueued or the run finishes. The
+            //    re-check under the idle lock closes the lost-wakeup race:
+            //    every enqueue acquires this lock before notifying.
+            let mut guard = shared.idle.lock().unwrap();
+            loop {
+                if shared.finished() || shared.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+                {
+                    break;
+                }
+                guard = shared.wake.wait(guard).unwrap();
+            }
+            continue;
+        };
+
+        match catch_unwind(AssertUnwindSafe(|| task(i))) {
+            Ok(value) => {
+                *shared.results[i].lock().unwrap() = Some(value);
+                // Release dependents whose last dependency this was.
+                let mut released = false;
+                for &j in &shared.dependents[i] {
+                    if shared.remaining[j].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        shared.queues[me].lock().unwrap().push_back(j);
+                        released = true;
+                    }
+                }
+                let now_done = shared.done.fetch_add(1, Ordering::SeqCst) + 1;
+                if released || now_done >= shared.total {
+                    let _g = shared.idle.lock().unwrap();
+                    shared.wake.notify_all();
+                }
+            }
+            Err(payload) => {
+                shared.abort(payload);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn map_returns_indexed_results() {
+        for jobs in [1, 2, 4, 8] {
+            let out = run_map(jobs, 100, |i| i * i);
+            assert_eq!(out.len(), 100);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i, "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_respects_dependencies() {
+        // Chain 0 -> 1 -> 2 -> ... : each task observes its predecessor's
+        // completion flag.
+        let n = 64;
+        let deps: Vec<Vec<usize>> = (0..n).map(|i| if i == 0 { vec![] } else { vec![i - 1] }).collect();
+        for jobs in [1, 3, 8] {
+            let flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+            let out = run_dag(jobs, &deps, |i| {
+                if i > 0 {
+                    assert!(flags[i - 1].load(Ordering::SeqCst), "dep of {i} not done");
+                }
+                flags[i].store(true, Ordering::SeqCst);
+                i
+            });
+            assert_eq!(out, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn diamond_and_fan_shapes() {
+        // 0 -> {1..=8} -> 9.
+        let mut deps = vec![vec![]];
+        for _ in 0..8 {
+            deps.push(vec![0]);
+        }
+        deps.push((1..=8).collect());
+        let sum_at_join: Vec<usize> = run_dag(4, &deps, |i| i);
+        assert_eq!(sum_at_join.iter().sum::<usize>(), (0..=9).sum());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let deps: Vec<Vec<usize>> = (0..50)
+            .map(|i| (0..i).filter(|d| i % (d + 2) == 0).collect())
+            .collect();
+        let seq = run_dag(1, &deps, |i| i * 3 + 1);
+        for jobs in [2, 4, 7] {
+            assert_eq!(run_dag(jobs, &deps, |i| i * 3 + 1), seq);
+        }
+    }
+
+    #[test]
+    fn empty_dag() {
+        let out: Vec<usize> = run_dag(4, &[], |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panic_propagates() {
+        run_dag(4, &vec![vec![]; 16], |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected_sequential() {
+        let _ = run_dag(1, &[vec![1], vec![0]], |i| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected_parallel() {
+        let _ = run_dag(4, &[vec![1], vec![0], vec![]], |i| i);
+    }
+}

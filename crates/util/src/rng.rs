@@ -1,0 +1,135 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! SplitMix64 (Steele, Lea, Flood — "Fast Splittable Pseudorandom Number
+//! Generators", OOPSLA 2014): a 64-bit state PRNG with excellent
+//! statistical quality for non-cryptographic use, one multiply-xorshift
+//! chain per output, and trivially reproducible across platforms. All
+//! randomized corpus generation and simulation noise in the workspace
+//! draws from this generator so every artifact is bit-stable.
+
+/// A SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Requires `lo < hi`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `u64` in `[0, n)` via Lemire-style rejection (unbiased).
+    /// Requires `n > 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Rejection zone to remove modulo bias.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Requires `lo < hi`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`. Requires `lo < hi`.
+    pub fn i64_range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform `i32` in `[lo, hi)`. Requires `lo < hi`.
+    pub fn i32_range(&mut self, lo: i32, hi: i32) -> i32 {
+        self.i64_range(lo as i64, hi as i64) as i32
+    }
+
+    /// A uniformly random bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize_range(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(SplitMix64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // First outputs for seed 0 (reference SplitMix64 values).
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = r.usize_range(3, 9);
+            assert!((3..9).contains(&u));
+            let i = r.i64_range(-5, 5);
+            assert!((-5..5).contains(&i));
+            let f = r.f64_range(0.25, 0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
