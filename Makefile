@@ -7,7 +7,7 @@
 CARGO ?= cargo
 SAFEFLOW = target/release/safeflow
 
-.PHONY: all build test bench smoke golden clean
+.PHONY: all build test bench smoke fuzz-smoke golden clean
 
 all: build
 
@@ -20,9 +20,16 @@ test:
 bench:
 	$(CARGO) bench -q -p safeflow-bench
 
-# Regenerate the golden report snapshots after an intentional change.
+# Regenerate the golden report snapshots (clean + degraded) after an
+# intentional change.
 golden:
 	UPDATE_GOLDEN=1 $(CARGO) test -q -p safeflow --test golden
+	UPDATE_GOLDEN=1 $(CARGO) test -q -p safeflow --test faults
+
+# Longer run of the parser-robustness fuzz smoke test (the same cases run
+# at a small count on every `cargo test`).
+fuzz-smoke:
+	FUZZ_CASES=2000 $(CARGO) test -q -p safeflow-syntax --test fuzz_smoke
 
 # Build + test + determinism at two thread counts: the summary engine's
 # corpus reports must be byte-identical at --jobs 1 and --jobs 8.
@@ -33,7 +40,14 @@ smoke: build test
 	$(SAFEFLOW) --engine summary --jobs 1 --table1 > /tmp/safeflow-smoke-t1-j1.txt
 	$(SAFEFLOW) --engine summary --jobs 8 --table1 > /tmp/safeflow-smoke-t1-j8.txt
 	cmp /tmp/safeflow-smoke-t1-j1.txt /tmp/safeflow-smoke-t1-j8.txt
-	@echo "smoke OK: reports byte-identical at --jobs 1 and --jobs 8"
+	# Degradation contract: a fault-injected run (panic in SCC 0's task)
+	# must stay deterministic across thread counts and exit 3.
+	$(SAFEFLOW) --engine summary --inject scc:0 --jobs 1 --fig2 > /tmp/safeflow-smoke-fault-j1.txt; \
+	  test $$? -eq 3
+	$(SAFEFLOW) --engine summary --inject scc:0 --jobs 8 --fig2 > /tmp/safeflow-smoke-fault-j8.txt; \
+	  test $$? -eq 3
+	cmp /tmp/safeflow-smoke-fault-j1.txt /tmp/safeflow-smoke-fault-j8.txt
+	@echo "smoke OK: reports byte-identical at --jobs 1 and --jobs 8 (incl. fault-injected)"
 
 clean:
 	$(CARGO) clean

@@ -6,14 +6,37 @@
 //! safeflow --fig2                  analyze the paper's Figure 2 running example
 //! safeflow --engine summary ...    use the ESP-style summary engine
 //! safeflow --jobs 4 ...            parallel analysis on 4 worker threads
+//! safeflow --budget K=V[,..] ...   bound solver/fixpoint/instruction budgets
 //! ```
+//!
+//! Exit codes form the degradation contract: `0` clean, `1` warnings only,
+//! `2` errors/violations (or unusable input), `3` internal error (a
+//! contained panic degraded part of the run), `4` a resource budget was
+//! exhausted. Degraded runs still print every finding reached plus a
+//! `DEGRADED RUN` block naming the affected functions.
 
-use safeflow::{AnalysisConfig, Analyzer, Engine};
+use safeflow::{AnalysisConfig, Analyzer, Budget, Engine, FaultKind, FaultPlan, FaultSite};
 use safeflow_corpus::{systems, System};
 use safeflow_syntax::VirtualFs;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Last-resort containment: anything that escapes the analyzer's own
+    // panic isolation still maps onto the exit-code contract (3 =
+    // internal error) instead of the process's default 101.
+    match std::panic::catch_unwind(run) {
+        Ok(code) => code,
+        Err(payload) => {
+            eprintln!(
+                "safeflow: internal error: {}",
+                safeflow_util::pool::panic_message(&*payload)
+            );
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn run() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut engine = Engine::ContextSensitive;
     let mut files: Vec<String> = Vec::new();
@@ -21,6 +44,9 @@ fn main() -> ExitCode {
     let mut fig2 = false;
     let mut dot = false;
     let mut jobs = 1usize;
+    let mut budget = Budget::unlimited();
+    let mut injects: Vec<(FaultSite, Option<u64>, FaultKind)> = Vec::new();
+    let mut fault_seed: Option<(u64, f64)> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -28,6 +54,45 @@ fn main() -> ExitCode {
             "--table1" => table1 = true,
             "--fig2" => fig2 = true,
             "--dot" => dot = true,
+            "--budget" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("--budget requires an argument (e.g. solver-steps=1000)");
+                    return ExitCode::from(2);
+                };
+                if let Err(e) = parse_budget(spec, &mut budget) {
+                    eprintln!("--budget: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            "--inject" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("--inject requires an argument (SITE[:KEY][:KIND])");
+                    return ExitCode::from(2);
+                };
+                match parse_inject(spec) {
+                    Ok(rule) => injects.push(rule),
+                    Err(e) => {
+                        eprintln!("--inject: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--fault-seed" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("--fault-seed requires an argument (SEED[:RATE])");
+                    return ExitCode::from(2);
+                };
+                match parse_fault_seed(spec) {
+                    Ok(sr) => fault_seed = Some(sr),
+                    Err(e) => {
+                        eprintln!("--fault-seed: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--engine" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {
@@ -71,7 +136,17 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let config = AnalysisConfig::with_engine(engine).with_jobs(jobs);
+    let mut config = AnalysisConfig::with_engine(engine).with_jobs(jobs).with_budget(budget);
+    if fault_seed.is_some() || !injects.is_empty() {
+        let mut plan = match fault_seed {
+            Some((seed, rate)) => FaultPlan::seeded(seed, rate),
+            None => FaultPlan::new(),
+        };
+        for (site, key, kind) in injects {
+            plan = plan.with_fault(site, key, kind);
+        }
+        config = config.with_fault_plan(plan);
+    }
 
     if table1 {
         return run_table1(&config);
@@ -86,6 +161,87 @@ fn main() -> ExitCode {
     run_files(&config, &files, dot)
 }
 
+/// Parses a `--budget` spec (`key=value[,key=value...]`) into `budget`.
+/// Keys: `solver-steps`, `fixpoint-rounds`, `max-insts`, `deadline-ms`.
+fn parse_budget(spec: &str, budget: &mut Budget) -> Result<(), String> {
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("`{part}` is not of the form key=value"))?;
+        let parse = |what: &str| -> Result<u64, String> {
+            value.parse::<u64>().map_err(|_| format!("{what} takes a number, got `{value}`"))
+        };
+        match key {
+            "solver-steps" => budget.solver_steps = Some(parse("solver-steps")?),
+            "fixpoint-rounds" => {
+                let n = parse("fixpoint-rounds")?;
+                budget.fixpoint_rounds =
+                    Some(u32::try_from(n).map_err(|_| format!("fixpoint-rounds `{n}` too large"))?);
+            }
+            "max-insts" => budget.max_function_insts = Some(parse("max-insts")? as usize),
+            "deadline-ms" => budget.deadline_ms = Some(parse("deadline-ms")?),
+            other => {
+                return Err(format!(
+                    "unknown budget key `{other}` \
+                     (use solver-steps, fixpoint-rounds, max-insts, deadline-ms)"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses an `--inject` spec: `SITE[:KEY][:KIND]` where SITE is
+/// `scc`/`solver`/`cache`, KEY a number (omitted or `*` = every key), and
+/// KIND `panic` (default) or `budget`.
+fn parse_inject(spec: &str) -> Result<(FaultSite, Option<u64>, FaultKind), String> {
+    let mut parts = spec.split(':');
+    let site = match parts.next() {
+        Some("scc") => FaultSite::SccAnalysis,
+        Some("solver") => FaultSite::Solver,
+        Some("cache") => FaultSite::SummaryCache,
+        other => {
+            return Err(format!("unknown site {other:?} (use scc, solver, or cache)"));
+        }
+    };
+    let mut key = None;
+    let mut kind = FaultKind::Panic;
+    for part in parts {
+        match part {
+            "panic" => kind = FaultKind::Panic,
+            "budget" => kind = FaultKind::BudgetExhaustion,
+            "*" => key = None,
+            n => {
+                key = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| format!("`{n}` is not a key number, `*`, `panic`, or `budget`"))?,
+                );
+            }
+        }
+    }
+    Ok((site, key, kind))
+}
+
+/// Parses a `--fault-seed` spec: `SEED[:RATE]` (rate defaults to 0.1).
+fn parse_fault_seed(spec: &str) -> Result<(u64, f64), String> {
+    let (seed, rate) = match spec.split_once(':') {
+        Some((s, r)) => (s, Some(r)),
+        None => (spec, None),
+    };
+    let seed = seed.parse::<u64>().map_err(|_| format!("seed `{seed}` is not a number"))?;
+    let rate = match rate {
+        Some(r) => {
+            let r = r.parse::<f64>().map_err(|_| format!("rate `{r}` is not a number"))?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("rate {r} outside [0, 1]"));
+            }
+            r
+        }
+        None => 0.1,
+    };
+    Ok((seed, rate))
+}
+
 fn print_help() {
     println!(
         "safeflow — static analysis enforcing safe value flow (DSN 2006)\n\
@@ -98,9 +254,20 @@ fn print_help() {
          \x20 --engine summary|context   phase-3 engine (default: context)\n\
          \x20 --jobs N|auto, -j N        worker threads for the parallel phases\n\
          \x20                            (default: 1; reports are identical for any N)\n\
+         \x20 --budget K=V[,K=V...]      resource budgets; exhaustion degrades the\n\
+         \x20                            affected scope conservatively (exit 4).\n\
+         \x20                            Keys: solver-steps, fixpoint-rounds,\n\
+         \x20                            max-insts, deadline-ms\n\
+         \x20 --inject SITE[:KEY][:KIND] inject a deterministic fault (testing);\n\
+         \x20                            SITE: scc|solver|cache, KIND: panic|budget\n\
+         \x20 --fault-seed SEED[:RATE]   seeded random fault plan (testing)\n\
          \x20 --dot                      emit Graphviz value-flow graphs for errors\n\
          \x20 --table1                   regenerate the paper's Table 1 on the corpus\n\
-         \x20 --fig2                     analyze the paper's Figure 2 example"
+         \x20 --fig2                     analyze the paper's Figure 2 example\n\
+         \n\
+         EXIT CODES:\n\
+         \x20 0 clean   1 warnings only   2 errors/violations or unusable input\n\
+         \x20 3 internal error (contained panic)   4 budget exhausted"
     );
 }
 
@@ -124,11 +291,7 @@ fn run_files(config: &AnalysisConfig, files: &[String], dot: bool) -> ExitCode {
             if dot {
                 emit_dot(&result);
             }
-            if result.report.errors.is_empty() && result.report.violations.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
+            ExitCode::from(result.report.exit_code())
         }
         Err(e) => {
             eprintln!("{e}");
@@ -154,11 +317,7 @@ fn run_source(config: &AnalysisConfig, name: &str, src: &str, dot: bool) -> Exit
             if dot {
                 emit_dot(&result);
             }
-            if result.report.errors.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
+            ExitCode::from(result.report.exit_code())
         }
         Err(e) => {
             eprintln!("{e}");

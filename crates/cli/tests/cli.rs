@@ -18,10 +18,36 @@ fn help_prints_usage() {
 #[test]
 fn fig2_reports_error_and_exits_nonzero() {
     let out = safeflow().arg("--fig2").output().expect("runs");
-    assert_eq!(out.status.code(), Some(1), "errors found => exit 1");
+    assert_eq!(out.status.code(), Some(2), "errors found => exit 2");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("ERROR"), "{text}");
     assert!(text.contains("feedback"), "{text}");
+}
+
+#[test]
+fn injected_scc_panic_is_contained_and_exits_3() {
+    let out = safeflow()
+        .args(["--engine", "summary", "--inject", "scc", "--fig2"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "contained panic => exit 3");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DEGRADED RUN"), "{text}");
+    assert!(text.contains("internal error (contained)"), "{text}");
+}
+
+#[test]
+fn bad_budget_spec_exits_2() {
+    let out = safeflow().args(["--budget", "warp-factor=9", "--fig2"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown budget key"), "{err}");
+}
+
+#[test]
+fn bad_inject_site_exits_2() {
+    let out = safeflow().args(["--inject", "moon:1", "--fig2"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

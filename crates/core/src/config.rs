@@ -1,5 +1,44 @@
 //! Analysis configuration.
 
+use safeflow_util::fault::FaultPlan;
+
+/// Resource budgets for one analysis run.
+///
+/// Every field defaults to `None` ("the engine's built-in bound"), so the
+/// default budget reproduces historical behavior exactly. When a bound is
+/// set and exhausted, the affected scope degrades *conservatively* — facts
+/// become unknown-unsafe, solver obligations become unproven — and the
+/// report carries a `BudgetExhausted` degradation note instead of the run
+/// hanging or aborting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Total Omega-solver step pool per function (shared by all of that
+    /// function's array-bounds obligations).
+    pub solver_steps: Option<u64>,
+    /// Cap on dataflow fixpoint iterations (per function and per SCC).
+    /// When the cap is hit before convergence the scope degrades.
+    pub fixpoint_rounds: Option<u32>,
+    /// Functions with more instructions than this are not analyzed in
+    /// depth; their effects degrade to conservative top.
+    pub max_function_insts: Option<usize>,
+    /// Wall-clock deadline for the whole run, in milliseconds. Scopes that
+    /// start after the deadline degrade. This is the one budget whose
+    /// effect is machine-dependent; determinism tests never set it.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no explicit bounds (the default).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// `true` if no explicit bound is set.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::default()
+    }
+}
+
 /// Which phase-3 engine to run (paper §3.3, last two paragraphs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
@@ -49,6 +88,11 @@ pub struct AnalysisConfig {
     /// `1` (the default) runs everything sequentially on the calling
     /// thread; reports are identical for every value.
     pub jobs: usize,
+    /// Resource budgets; the default is unlimited (built-in bounds only).
+    pub budget: Budget,
+    /// Deterministic fault injection for testing the degradation paths;
+    /// `None` (the default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for AnalysisConfig {
@@ -63,6 +107,8 @@ impl Default for AnalysisConfig {
             max_contexts: 512,
             track_control_dependence: true,
             jobs: 1,
+            budget: Budget::default(),
+            fault_plan: None,
         }
     }
 }
@@ -77,6 +123,19 @@ impl AnalysisConfig {
     /// `0` is clamped to `1`).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// This configuration with the given resource budget (builder-style).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// This configuration with the given fault plan (builder-style;
+    /// testing hook — injected faults exercise the degradation paths).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }

@@ -73,13 +73,14 @@ pub mod shmptr;
 pub mod summary;
 pub mod taint;
 
-pub use config::{AnalysisConfig, Engine};
+pub use config::{AnalysisConfig, Budget, Engine};
 pub use engine::CacheStats;
 pub use regions::{Region, RegionId, RegionMap};
 pub use report::{
-    AnalysisReport, DependencyKind, ErrorDependency, FlowNode, RegionInfo, Restriction,
-    RestrictionViolation, Warning,
+    AnalysisReport, Degradation, DegradationKind, DependencyKind, ErrorDependency, FlowNode,
+    RegionInfo, Restriction, RestrictionViolation, Warning,
 };
+pub use safeflow_util::fault::{FaultKind, FaultPlan, FaultSite};
 
 use safeflow_ir::{build_module, CallGraph, Module};
 use safeflow_points_to::PointsTo;
@@ -157,6 +158,13 @@ impl Analyzer {
         &self.config
     }
 
+    /// Mutable access to the configuration, e.g. to arm a
+    /// [`FaultPlan`] or tighten the [`Budget`] between runs while keeping
+    /// the summary cache warm.
+    pub fn config_mut(&mut self) -> &mut AnalysisConfig {
+        &mut self.config
+    }
+
     /// Summary-cache hit/miss counters, cumulative over every analysis
     /// this analyzer has run (the context-sensitive engine does not use
     /// the cache and never moves them).
@@ -203,7 +211,19 @@ impl Analyzer {
     }
 
     /// Runs the three analysis phases over an already-lowered module.
+    ///
+    /// Failures inside the phases do not abort the run: contained panics
+    /// and exhausted budgets degrade the affected scopes conservatively
+    /// and surface as [`Degradation`] entries on the report (see
+    /// [`AnalysisReport::exit_code`]).
     pub fn analyze_module(&self, module: &Module, diags: &mut Diagnostics) -> AnalysisReport {
+        // One wall-clock deadline for the whole run (the only
+        // machine-dependent budget; determinism tests never set it).
+        let deadline = self
+            .config
+            .budget
+            .deadline_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         // Region model + static InitCheck (§3.2.1).
         let regions =
             regions::extract_regions(module, &self.config.shm_attach_functions, diags);
@@ -211,25 +231,31 @@ impl Analyzer {
         let shm = shmptr::identify_shm_pointers(module, &regions);
         // Phase 2: language restrictions.
         let callgraph = CallGraph::build(module);
-        let violations = restrict::check_restrictions(
+        let (violations, mut degradations) = restrict::check_restrictions(
             module,
             &regions,
             &shm,
             &callgraph,
-            &self.config.dealloc_functions,
-            &self.config.entry,
-            self.config.jobs,
+            &self.config,
+            deadline,
         );
         // Phase 3: warnings + critical-data value flow.
         let pt = PointsTo::analyze(module);
         let results = match self.config.engine {
             Engine::ContextSensitive => {
-                taint::analyze_taint(module, &regions, &shm, &pt, &self.config)
+                taint::analyze_taint(module, &regions, &shm, &pt, &self.config, deadline)
             }
-            Engine::Summary => {
-                summary::analyze_summaries(module, &regions, &shm, &pt, &self.config, &self.cache)
-            }
+            Engine::Summary => summary::analyze_summaries(
+                module,
+                &regions,
+                &shm,
+                &pt,
+                &self.config,
+                &self.cache,
+                deadline,
+            ),
         };
+        degradations.extend(results.degradations.iter().cloned());
 
         // Count every annotation fact bound anywhere in the module.
         let annotation_count = module
@@ -263,6 +289,7 @@ impl Analyzer {
             init_check,
             annotation_count,
             contexts_analyzed: results.contexts_analyzed,
+            degradations,
         };
         report.canonicalize();
         report

@@ -139,6 +139,32 @@ pub struct RestrictionViolation {
     pub span: Span,
 }
 
+/// Why part of an analysis degraded (the paper's conservatism contract
+/// extended to the tool's own failures: degrade loudly, never silently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationKind {
+    /// A resource budget ran out; the affected scope was treated
+    /// conservatively (facts unknown-unsafe, obligations unproven).
+    BudgetExhausted,
+    /// The analyzer itself panicked while analyzing the scope; its results
+    /// degraded to conservative top and the fault is surfaced here.
+    InternalError,
+}
+
+/// A note that some functions were analyzed in degraded (conservative)
+/// mode. Findings attributed to these functions may be missing or
+/// over-approximate; findings elsewhere are unaffected or strictly more
+/// conservative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Internal error vs budget exhaustion.
+    pub kind: DegradationKind,
+    /// The affected functions, sorted by name.
+    pub functions: Vec<String>,
+    /// Deterministic detail (panic message, exhausted bound, ...).
+    pub detail: String,
+}
+
 /// Summary of one shared-memory region for the report.
 #[derive(Debug, Clone)]
 pub struct RegionInfo {
@@ -174,6 +200,10 @@ pub struct AnalysisReport {
     /// context-sensitive engine, or function summaries computed for the
     /// summary engine (the §3.3 complexity trade-off, measured).
     pub contexts_analyzed: usize,
+    /// Scopes analyzed in degraded (conservative) mode; empty on a clean
+    /// run. A non-empty list means "verified as far as possible", not
+    /// "verified safe" — the CLI maps it to a distinct exit code.
+    pub degradations: Vec<Degradation>,
 }
 
 impl AnalysisReport {
@@ -187,9 +217,42 @@ impl AnalysisReport {
         self.errors.iter().filter(|e| e.kind == DependencyKind::ControlOnly)
     }
 
-    /// Whether the component passed with no findings at all.
+    /// Whether the component passed with no findings at all — and no
+    /// degradations: a degraded run is "verified as far as possible",
+    /// never "verified safe".
     pub fn is_clean(&self) -> bool {
-        self.warnings.is_empty() && self.errors.is_empty() && self.violations.is_empty()
+        self.warnings.is_empty()
+            && self.errors.is_empty()
+            && self.violations.is_empty()
+            && self.degradations.is_empty()
+    }
+
+    /// The documented CLI exit code for this report:
+    ///
+    /// | code | meaning |
+    /// |------|---------|
+    /// | 0 | clean — verified safe |
+    /// | 1 | warnings only |
+    /// | 2 | errors or restriction violations |
+    /// | 3 | internal error contained — results incomplete |
+    /// | 4 | budget exhausted — verified as far as the budget allowed |
+    ///
+    /// Degradations dominate findings (3 > 4 > 2 > 1 > 0): a degraded
+    /// report may be missing findings, so "there are errors" is less
+    /// informative than "the run did not complete cleanly". The rendered
+    /// report still lists every finding either way.
+    pub fn exit_code(&self) -> u8 {
+        if self.degradations.iter().any(|d| d.kind == DegradationKind::InternalError) {
+            3
+        } else if !self.degradations.is_empty() {
+            4
+        } else if !self.errors.is_empty() || !self.violations.is_empty() {
+            2
+        } else if !self.warnings.is_empty() {
+            1
+        } else {
+            0
+        }
     }
 
     /// Sorts every finding list into the canonical order: `(file, span,
@@ -218,6 +281,17 @@ impl AnalysisReport {
                 .then_with(|| a.function.cmp(&b.function))
                 .then_with(|| a.kind.cmp(&b.kind))
         });
+        for d in &mut self.degradations {
+            d.functions.sort();
+            d.functions.dedup();
+        }
+        self.degradations.sort_by(|a, b| {
+            a.kind
+                .cmp(&b.kind)
+                .then_with(|| a.functions.cmp(&b.functions))
+                .then_with(|| a.detail.cmp(&b.detail))
+        });
+        self.degradations.dedup();
     }
 
     /// Renders the report against `sources` as a human-readable block.
@@ -232,6 +306,24 @@ impl AnalysisReport {
             self.control_only_errors().count(),
             self.violations.len(),
         ));
+        if !self.degradations.is_empty() {
+            out.push_str(&format!(
+                "  DEGRADED RUN: {} scope(s) analyzed conservatively — \
+                 findings below are \"as far as possible\", not \"verified safe\"\n",
+                self.degradations.len()
+            ));
+            for d in &self.degradations {
+                out.push_str(&format!(
+                    "    {}: {} (functions: {})\n",
+                    match d.kind {
+                        DegradationKind::InternalError => "internal error (contained)",
+                        DegradationKind::BudgetExhausted => "budget exhausted",
+                    },
+                    d.detail,
+                    if d.functions.is_empty() { "-".to_string() } else { d.functions.join(", ") },
+                ));
+            }
+        }
         for r in &self.regions {
             out.push_str(&format!(
                 "  region `{}`: {} bytes, {}{}\n",
@@ -361,6 +453,62 @@ mod tests {
         assert_eq!(r.data_errors().count(), 1);
         assert_eq!(r.control_only_errors().count(), 1);
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn exit_codes_follow_severity_order() {
+        let mut r = AnalysisReport::default();
+        assert_eq!(r.exit_code(), 0);
+        r.warnings.push(Warning {
+            function: "main".into(),
+            region: RegionId(0),
+            region_name: "n".into(),
+            span: Span::dummy(),
+        });
+        assert_eq!(r.exit_code(), 1);
+        r.errors.push(ErrorDependency {
+            critical: "output".into(),
+            function: "main".into(),
+            span: Span::dummy(),
+            kind: DependencyKind::Data,
+            flow: None,
+        });
+        assert_eq!(r.exit_code(), 2);
+        r.degradations.push(Degradation {
+            kind: DegradationKind::BudgetExhausted,
+            functions: vec!["f".into()],
+            detail: "solver step budget".into(),
+        });
+        assert_eq!(r.exit_code(), 4);
+        r.degradations.push(Degradation {
+            kind: DegradationKind::InternalError,
+            functions: vec!["g".into()],
+            detail: "panic".into(),
+        });
+        assert_eq!(r.exit_code(), 3);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn degradations_render_and_canonicalize() {
+        let mut r = AnalysisReport::default();
+        r.degradations.push(Degradation {
+            kind: DegradationKind::InternalError,
+            functions: vec!["zeta".into(), "alpha".into(), "alpha".into()],
+            detail: "injected".into(),
+        });
+        r.degradations.push(Degradation {
+            kind: DegradationKind::BudgetExhausted,
+            functions: vec!["beta".into()],
+            detail: "rounds".into(),
+        });
+        r.canonicalize();
+        assert_eq!(r.degradations[0].kind, DegradationKind::BudgetExhausted);
+        assert_eq!(r.degradations[1].functions, vec!["alpha".to_string(), "zeta".to_string()]);
+        let text = r.render(&SourceMap::new());
+        assert!(text.contains("DEGRADED RUN: 2 scope(s)"));
+        assert!(text.contains("internal error (contained): injected (functions: alpha, zeta)"));
+        assert!(text.contains("budget exhausted: rounds (functions: beta)"));
     }
 
     #[test]

@@ -15,33 +15,44 @@
 //! (§3.3 once says "restrictions P1–P4"; the paper only ever defines
 //! P1–P3, so we treat "P4" as a typo for P3.)
 
+use crate::config::AnalysisConfig;
 use crate::regions::RegionMap;
-use crate::report::{Restriction, RestrictionViolation};
+use crate::report::{Degradation, DegradationKind, Restriction, RestrictionViolation};
 use crate::shmptr::ShmPointers;
 use safeflow_ir::{
     loops::{find_loops, Loop},
     CallGraph, CastKind, Cfg, DomTree, FuncId, Function, InstId, InstKind, Module, Type, Value,
 };
-use safeflow_solver::{LinExpr, System, Var};
-use safeflow_util::pool::run_map;
+use safeflow_solver::{Entailment, LinExpr, SolverLimits, System, Var};
+use safeflow_util::fault::FaultSite;
+use safeflow_util::pool::{panic_message, run_map};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
-/// Runs all restriction checks, returning the violations found.
+/// Runs all restriction checks, returning the violations found plus any
+/// degradations (panicking or over-budget per-function scans).
 ///
 /// The module-wide facts (shminit reachability, the transitive
 /// shm-touching set, phase 1's escaping stores) are computed sequentially;
-/// the per-function P1/P2/P3/A1/A2 scans then run concurrently on `jobs`
-/// worker threads. Results are merged in definition order, so the output
-/// is independent of `jobs`.
+/// the per-function P1/P2/P3/A1/A2 scans then run concurrently on
+/// `config.jobs` worker threads. Results are merged in definition order,
+/// so the output is independent of `jobs`.
+///
+/// A panic inside one function's scan is contained: that function's
+/// checks degrade (recorded as an `InternalError` degradation — no silent
+/// pass), every other function completes. Solver obligations share a
+/// per-function step pool from `config.budget.solver_steps`; exhaustion
+/// leaves the obligation *unproven* (still an A1 violation, conservative)
+/// and records a `BudgetExhausted` degradation.
 pub fn check_restrictions(
     module: &Module,
     regions: &RegionMap,
     shm: &ShmPointers,
     callgraph: &CallGraph,
-    dealloc_functions: &[String],
-    entry: &str,
-    jobs: usize,
-) -> Vec<RestrictionViolation> {
+    config: &AnalysisConfig,
+    deadline: Option<Instant>,
+) -> (Vec<RestrictionViolation>, Vec<Degradation>) {
     let shminit_reachable = shminit_reachable(module, callgraph);
     let touches = shm_touching_functions(module, shm, callgraph);
 
@@ -59,17 +70,66 @@ pub fn check_restrictions(
     }
 
     let defs: Vec<FuncId> = module.definitions().collect();
-    let per_fn = run_map(jobs.max(1), defs.len(), |i| {
+    let per_fn = run_map(config.jobs.max(1), defs.len(), |i| {
         let fid = defs[i];
-        let mut vs = Vec::new();
-        check_p1_in(module, shm, &touches, dealloc_functions, entry, fid, &mut vs);
-        check_p2_in(module, shm, fid, &mut vs);
-        check_p3_in(module, shm, &shminit_reachable, fid, &mut vs);
-        check_arrays_in(module, regions, shm, &shminit_reachable, fid, &mut vs);
-        vs
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut vs = Vec::new();
+            let mut budget_notes: Vec<String> = Vec::new();
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    budget_notes
+                        .push("wall-clock deadline exceeded before restriction checks".into());
+                    return (vs, budget_notes);
+                }
+            }
+            check_p1_in(
+                module,
+                shm,
+                &touches,
+                &config.dealloc_functions,
+                &config.entry,
+                fid,
+                &mut vs,
+            );
+            check_p2_in(module, shm, fid, &mut vs);
+            check_p3_in(module, shm, &shminit_reachable, fid, &mut vs);
+            check_arrays_in(
+                module,
+                regions,
+                shm,
+                &shminit_reachable,
+                fid,
+                config,
+                &mut vs,
+                &mut budget_notes,
+            );
+            (vs, budget_notes)
+        }))
+        .map_err(|p| panic_message(&*p))
     });
-    out.extend(per_fn.into_iter().flatten());
-    out
+
+    let mut degradations = Vec::new();
+    for (i, r) in per_fn.into_iter().enumerate() {
+        let name = module.function(defs[i]).name.clone();
+        match r {
+            Ok((vs, notes)) => {
+                out.extend(vs);
+                for n in notes {
+                    degradations.push(Degradation {
+                        kind: DegradationKind::BudgetExhausted,
+                        functions: vec![name.clone()],
+                        detail: n,
+                    });
+                }
+            }
+            Err(msg) => degradations.push(Degradation {
+                kind: DegradationKind::InternalError,
+                functions: vec![name],
+                detail: format!("restriction checks panicked: {msg}"),
+            }),
+        }
+    }
+    (out, degradations)
 }
 
 /// Functions exempt from P3: `shminit` functions and everything they call
@@ -505,13 +565,16 @@ impl<'a> AffineCtx<'a> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_arrays_in(
     module: &Module,
     regions: &RegionMap,
     shm: &ShmPointers,
     exempt: &HashSet<FuncId>,
     fid: FuncId,
+    config: &AnalysisConfig,
     out: &mut Vec<RestrictionViolation>,
+    budget_notes: &mut Vec<String>,
 ) {
     if exempt.contains(&fid) {
         return;
@@ -520,6 +583,22 @@ fn check_arrays_in(
     if func.blocks.is_empty() {
         return;
     }
+    // Per-function Omega step pool, shared by every bounds obligation in
+    // the function. The solver fault site keys on the function id, so an
+    // injected fault lands on the same function at any thread count (a
+    // Panic unwinds into the per-function `catch_unwind`; a
+    // BudgetExhaustion empties the step pool).
+    let mut limits = SolverLimits::default();
+    if let Some(steps) = config.budget.solver_steps {
+        limits.max_steps = steps;
+    }
+    if let Some(plan) = &config.fault_plan {
+        if plan.trip(FaultSite::Solver, fid.0 as u64) {
+            limits.max_steps = 0;
+        }
+    }
+    let mut steps_used: u64 = 0;
+    let mut exhausted = false;
     let cfg = Cfg::build(func);
     let dom = DomTree::build(&cfg);
     let loops = find_loops(func, &cfg, &dom);
@@ -554,19 +633,39 @@ fn check_arrays_in(
             continue;
         };
         let full = idx + LinExpr::constant(base_offset);
-        let lower_ok = ctx.sys.implies_ge(full.clone(), LinExpr::zero());
-        let upper_ok = ctx.sys.implies_lt(full, LinExpr::constant(bound as i64));
+        let lower = ctx.sys.implies_ge_within(full.clone(), LinExpr::zero(), &limits, &mut steps_used);
+        let upper =
+            ctx.sys.implies_lt_within(full, LinExpr::constant(bound as i64), &limits, &mut steps_used);
+        let lower_ok = lower == Entailment::Proved;
+        let upper_ok = upper == Entailment::Proved;
+        let hit_budget =
+            lower == Entailment::BudgetExhausted || upper == Entailment::BudgetExhausted;
+        if hit_budget {
+            exhausted = true;
+        }
         if !lower_ok || !upper_ok {
             out.push(RestrictionViolation {
                 restriction: Restriction::A1,
                 function: func.name.clone(),
                 message: format!(
                     "cannot prove shared-array index within bounds [0, {bound}){}",
-                    if !lower_ok { " (lower bound unproven)" } else { " (upper bound unproven)" }
+                    if hit_budget {
+                        " (solver step budget exhausted)"
+                    } else if !lower_ok {
+                        " (lower bound unproven)"
+                    } else {
+                        " (upper bound unproven)"
+                    }
                 ),
                 span: inst.span,
             });
         }
+    }
+    if exhausted {
+        budget_notes.push(format!(
+            "Omega solver step budget ({} step(s)) exhausted while checking shared-array bounds",
+            limits.max_steps
+        ));
     }
 }
 
@@ -631,15 +730,10 @@ mod tests {
         let regions = extract_regions(&m, &["shmat".to_string()], &mut diags);
         let shm = identify_shm_pointers(&m, &regions);
         let cg = CallGraph::build(&m);
-        check_restrictions(
-            &m,
-            &regions,
-            &shm,
-            &cg,
-            &["shmdt".to_string(), "shmctl".to_string()],
-            "main",
-            1,
-        )
+        let config = AnalysisConfig::default();
+        let (vs, degradations) = check_restrictions(&m, &regions, &shm, &cg, &config, None);
+        assert!(degradations.is_empty(), "{degradations:?}");
+        vs
     }
 
     const PRELUDE: &str = r#"

@@ -21,7 +21,9 @@
 use crate::config::AnalysisConfig;
 use crate::engine::SummaryCache;
 use crate::regions::{RegionId, RegionMap};
-use crate::report::{DependencyKind, ErrorDependency, FlowNode, Warning};
+use crate::report::{
+    Degradation, DegradationKind, DependencyKind, ErrorDependency, FlowNode, Warning,
+};
 use crate::shmptr::ShmPointers;
 use crate::taint::TaintResults;
 use safeflow_ir::{
@@ -31,9 +33,11 @@ use safeflow_dataflow::{ControlDeps, PostDomTree};
 use safeflow_points_to::{ObjId, PointsTo};
 use safeflow_syntax::annot::Annotation;
 use safeflow_syntax::span::Span;
-use safeflow_util::pool::{run_dag, run_map};
+use safeflow_util::fault::FaultSite;
+use safeflow_util::pool::{run_dag_isolated, run_map};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// A symbolic taint source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -47,6 +51,11 @@ enum Sym {
     Obj(ObjId),
     /// Data received from a non-core descriptor (§3.4.3).
     Recv,
+    /// Conservative top: the value may depend on *any* unsafe source.
+    /// Produced only when analysis of a scope degraded (contained panic or
+    /// exhausted budget) — always treated as unsafe downstream, so a
+    /// degraded callee can add findings but never hide one.
+    Unknown,
 }
 
 /// A source with its flow kind: `ctl = true` means the influence is via
@@ -87,6 +96,20 @@ pub(crate) struct Summary {
     obj_writes: BTreeMap<ObjId, SymSet>,
 }
 
+impl Summary {
+    /// The conservative top summary substituted for a function whose
+    /// analysis degraded: its return value depends on an unknown unsafe
+    /// source. Its side effects (region reads, sinks, object writes) are
+    /// recovered separately by the degraded-scope sweep, which scans the
+    /// raw IR instead of trusting a summary that was never computed.
+    fn top() -> Summary {
+        Summary {
+            ret: std::iter::once(Fact { sym: Sym::Unknown, ctl: false }).collect(),
+            ..Summary::default()
+        }
+    }
+}
+
 /// Runs the summary engine; produces the same result shape as the
 /// context-sensitive engine.
 ///
@@ -95,6 +118,13 @@ pub(crate) struct Summary {
 /// `cache` when its content hash matches a prior run (see
 /// [`crate::engine`]). Results are bit-identical for every `jobs` value
 /// and for warm vs cold caches.
+///
+/// A panic inside one SCC's task (or an exhausted budget) degrades that
+/// SCC — and only it — to conservative top: independent SCCs complete,
+/// callers analyze against an unknown callee, the degraded scope's own
+/// sites are re-collected conservatively from its IR, and the report
+/// carries a [`Degradation`] naming the affected functions. Degraded
+/// summaries are never written to the cache.
 pub(crate) fn analyze_summaries(
     module: &Module,
     regions: &RegionMap,
@@ -102,6 +132,7 @@ pub(crate) fn analyze_summaries(
     pt: &PointsTo,
     config: &AnalysisConfig,
     cache: &SummaryCache,
+    deadline: Option<Instant>,
 ) -> TaintResults {
     let callgraph = CallGraph::build(module);
     let noncore_sockets = find_noncore_sockets(module, regions);
@@ -156,46 +187,96 @@ pub(crate) fn analyze_summaries(
             func.is_definition && !func.is_shminit() && !func.blocks.is_empty()
         })
         .collect();
-    let built = run_map(jobs, need.len(), |i| {
-        let fid = need[i];
-        let func = module.function(fid);
-        let cfg = Cfg::build(func);
-        let pdom = PostDomTree::build(func, &cfg);
-        let cd = ControlDeps::build(func, &cfg, &pdom);
-        let assumed = assumed_of.get(&fid).cloned().unwrap_or_default();
-        FnGraphs { cfg, cd, assumed }
-    });
+    let built = run_map(jobs, need.len(), |i| build_fn_graphs(module, &assumed_of, need[i]));
     let graphs: HashMap<FuncId, FnGraphs> = need.iter().copied().zip(built).collect();
 
     // Bottom-up over SCCs on the dependency-DAG pool; independent SCCs run
     // concurrently, each publishing its members' summaries (in member
     // order) into a slot its dependents read. Iteration to fixpoint stays
     // *inside* an SCC's task, so the result per SCC is schedule-invariant.
-    let slots: Vec<OnceLock<Arc<Vec<Summary>>>> =
+    //
+    // Each slot carries a `tainted` flag: `true` means the summaries were
+    // influenced by a degraded scope (its own budget ran out, or a
+    // dependency was degraded) and must not be cached — the content hash
+    // cannot tell a clean result from a degraded one. A slot left *unset*
+    // means the task panicked (contained by `run_dag_isolated`); readers
+    // substitute [`Summary::top`].
+    let slots: Vec<OnceLock<(Arc<Vec<Summary>>, bool)>> =
         (0..callgraph.sccs.len()).map(|_| OnceLock::new()).collect();
-    run_dag(jobs, &deps, |i| {
-        if let Some(hit) = &cached[i] {
-            let _ = slots[i].set(hit.clone());
-            return;
-        }
+    let publish_top = |i: usize| {
+        let tops = Arc::new(vec![Summary::top(); callgraph.sccs[i].len()]);
+        let _ = slots[i].set((tops, true));
+    };
+    let rounds_cap = config.budget.fixpoint_rounds.map(|r| r.max(1) as usize).unwrap_or(16);
+    let task_results = run_dag_isolated(jobs, &deps, |i| -> Option<String> {
         let scc = &callgraph.sccs[i];
+        // Injected faults: a panic is contained by the pool (slot stays
+        // unset); a budget fault degrades the SCC like a real exhaustion.
+        if let Some(plan) = &config.fault_plan {
+            if plan.trip(FaultSite::SccAnalysis, i as u64) {
+                publish_top(i);
+                return Some("injected budget exhaustion".to_string());
+            }
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                publish_top(i);
+                return Some("wall-clock deadline exceeded before SCC analysis".to_string());
+            }
+        }
+        if let Some(cap) = config.budget.max_function_insts {
+            if let Some(&big) = scc.iter().find(|&&f| module.function(f).insts.len() > cap) {
+                publish_top(i);
+                return Some(format!(
+                    "function `{}` exceeds the {cap}-instruction budget ({} instructions)",
+                    module.function(big).name,
+                    module.function(big).insts.len()
+                ));
+            }
+        }
+        // A degraded dependency poisons this SCC's result too: recompute
+        // against the tops (never replay the cache — the cached value was
+        // computed against clean callees and would make warm degraded runs
+        // differ from cold ones) and keep the result out of the cache.
+        let dep_tainted =
+            deps[i].iter().any(|&d| slots[d].get().map(|(_, t)| *t).unwrap_or(true));
+        if !dep_tainted {
+            if let Some(hit) = &cached[i] {
+                let _ = slots[i].set((hit.clone(), false));
+                return None;
+            }
+        }
         let mut local: HashMap<FuncId, Summary> = HashMap::new();
+        let mut local_graphs: HashMap<FuncId, FnGraphs> = HashMap::new();
         let mut changed = true;
         let mut rounds = 0;
-        while changed && rounds < 16 {
+        let mut inner_converged = true;
+        while changed && rounds < rounds_cap {
             changed = false;
             rounds += 1;
+            inner_converged = true;
             for &fid in scc {
-                if module.function(fid).is_shminit() {
+                let func = module.function(fid);
+                if func.is_shminit() || !func.is_definition || func.blocks.is_empty() {
                     local.entry(fid).or_default();
                     continue;
                 }
-                let Some(g) = graphs.get(&fid) else {
-                    local.entry(fid).or_default();
-                    continue;
+                // `graphs` covers cache-miss SCCs; a cache-hit SCC forced
+                // to recompute by a tainted dependency builds its graphs
+                // here (deterministic either way).
+                let g = match graphs.get(&fid) {
+                    Some(g) => g,
+                    None => local_graphs
+                        .entry(fid)
+                        .or_insert_with(|| build_fn_graphs(module, &assumed_of, fid)),
                 };
-                let view = SummaryView { callgraph: &callgraph, slots: &slots, local: &local };
-                let s = summarize_function(
+                let view = SummaryView {
+                    callgraph: &callgraph,
+                    slots: &slots,
+                    local: &local,
+                    own_scc: i,
+                };
+                let (s, converged) = summarize_function(
                     module,
                     regions,
                     shm,
@@ -205,7 +286,9 @@ pub(crate) fn analyze_summaries(
                     &view,
                     fid,
                     g,
+                    rounds_cap,
                 );
+                inner_converged &= converged;
                 let prev = local.get(&fid);
                 if prev.map(|p| !summary_eq(p, &s)).unwrap_or(true) {
                     local.insert(fid, s);
@@ -213,18 +296,76 @@ pub(crate) fn analyze_summaries(
                 }
             }
         }
+        // Non-convergence only degrades under an *explicit* cap: the
+        // built-in bound of 16 keeps its historical silent behavior.
+        if config.budget.fixpoint_rounds.is_some() && (changed || !inner_converged) {
+            publish_top(i);
+            return Some(format!(
+                "summary fixpoint did not converge within {rounds_cap} round(s)"
+            ));
+        }
         let computed: Vec<Summary> =
             scc.iter().map(|fid| local.remove(fid).unwrap_or_default()).collect();
         let arc = Arc::new(computed);
-        cache.insert(hashes[i], arc.clone());
-        let _ = slots[i].set(arc);
+        let mut cache_ok = !dep_tainted;
+        if let Some(plan) = &config.fault_plan {
+            // Injected cache fault: a panic here leaves the slot unset
+            // (poisoning the SCC); a budget fault just bypasses the insert.
+            if plan.trip(FaultSite::SummaryCache, i as u64) {
+                cache_ok = false;
+            }
+        }
+        if cache_ok {
+            cache.insert(hashes[i], arc.clone());
+        }
+        let _ = slots[i].set((arc, dep_tainted));
+        None
     });
+
+    // Degradation records: one per SCC that panicked (contained) or ran
+    // out of budget. These SCCs also get the conservative re-collection
+    // sweep below.
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut degraded_sccs: Vec<usize> = Vec::new();
+    let member_names = |i: usize| -> Vec<String> {
+        callgraph.sccs[i].iter().map(|&f| module.function(f).name.clone()).collect()
+    };
+    for (i, r) in task_results.iter().enumerate() {
+        match r {
+            Err(p) => {
+                degraded_sccs.push(i);
+                degradations.push(Degradation {
+                    kind: DegradationKind::InternalError,
+                    functions: member_names(i),
+                    detail: format!("summary analysis panicked: {}", p.message),
+                });
+            }
+            Ok(Some(detail)) => {
+                degraded_sccs.push(i);
+                degradations.push(Degradation {
+                    kind: DegradationKind::BudgetExhausted,
+                    functions: member_names(i),
+                    detail: detail.clone(),
+                });
+            }
+            Ok(None) => {}
+        }
+    }
 
     let mut summaries: HashMap<FuncId, Summary> = HashMap::new();
     for (i, scc) in callgraph.sccs.iter().enumerate() {
-        let arc = slots[i].get().expect("every SCC task ran");
-        for (k, &fid) in scc.iter().enumerate() {
-            summaries.insert(fid, arc[k].clone());
+        match slots[i].get() {
+            Some((arc, _)) => {
+                for (k, &fid) in scc.iter().enumerate() {
+                    summaries.insert(fid, arc[k].clone());
+                }
+            }
+            // Panicked task: conservative top for every member.
+            None => {
+                for &fid in scc {
+                    summaries.insert(fid, Summary::top());
+                }
+            }
         }
     }
 
@@ -235,6 +376,46 @@ pub(crate) fn analyze_summaries(
     for s in summaries.values() {
         for (o, set) in &s.obj_writes {
             obj_writes.entry(*o).or_default().extend(set.iter().copied());
+        }
+    }
+    // Degraded members have top summaries with *no* obj_writes — their
+    // actual stores vanished with the panicked/over-budget analysis. Scan
+    // their raw IR and mark every store target (and configured receive
+    // buffer) as written with Unknown, so objects they may have tainted
+    // stay unsafe for every other reader.
+    let degraded_fns: BTreeSet<FuncId> = degraded_sccs
+        .iter()
+        .flat_map(|&i| callgraph.sccs[i].iter().copied())
+        .filter(|&fid| {
+            let f = module.function(fid);
+            f.is_definition && !f.is_shminit() && !f.blocks.is_empty()
+        })
+        .collect();
+    for &fid in &degraded_fns {
+        for (_, inst) in module.function(fid).iter_insts() {
+            let targets: Vec<&Value> = match &inst.kind {
+                InstKind::Store { ptr, .. } => vec![ptr],
+                InstKind::Call { callee, args } => {
+                    match module.external_callee_name(callee) {
+                        Some(name) => config
+                            .recv_functions
+                            .iter()
+                            .filter(|(rname, _, _)| rname == name)
+                            .filter_map(|(_, _, buf_i)| args.get(*buf_i))
+                            .collect(),
+                        None => Vec::new(),
+                    }
+                }
+                _ => Vec::new(),
+            };
+            for ptr in targets {
+                for o in pt.points_to(fid, ptr) {
+                    obj_writes
+                        .entry(o)
+                        .or_default()
+                        .insert(Fact { sym: Sym::Unknown, ctl: false });
+                }
+            }
         }
     }
     let unsafe_region =
@@ -249,7 +430,7 @@ pub(crate) fn analyze_summaries(
             for f in set {
                 let (is_unsafe, src_ctl) = match f.sym {
                     Sym::Region(r) => (unsafe_region(r), false),
-                    Sym::Recv => (true, false),
+                    Sym::Recv | Sym::Unknown => (true, false),
                     Sym::Obj(src) => match unsafe_objs.get(&src) {
                         Some(&ctl) => (true, ctl),
                         None => (false, false),
@@ -325,7 +506,7 @@ pub(crate) fn analyze_summaries(
             for f in &sink.sources {
                 let (is_unsafe, extra_ctl, reg) = match f.sym {
                     Sym::Region(r) => (unsafe_region(r), false, Some(r)),
-                    Sym::Recv => (true, false, None),
+                    Sym::Recv | Sym::Unknown => (true, false, None),
                     Sym::Obj(o) => match unsafe_objs.get(&o) {
                         Some(&ctl) => (true, ctl, None),
                         None => (false, false, None),
@@ -382,6 +563,77 @@ pub(crate) fn analyze_summaries(
         }
     }
 
+    // Conservative sweep over degraded scopes: findings inlined *through*
+    // a degraded function vanished with its summary (sinks and reads flow
+    // to roots only by bottom-up inlining). Re-collect them directly from
+    // the IR of every function reachable from a degraded member —
+    // unfiltered by caller assume scopes and with every sink treated as
+    // reached by unsafe data. Strictly a superset of what a clean run
+    // reports for those scopes: degraded runs add findings, never lose
+    // them.
+    let mut swept: BTreeSet<FuncId> = BTreeSet::new();
+    for &fid in &degraded_fns {
+        swept.extend(callgraph.reachable_from(fid));
+    }
+    for fid in swept {
+        let func = module.function(fid);
+        if !func.is_definition || func.is_shminit() || func.blocks.is_empty() {
+            continue;
+        }
+        let assumed = assumed_of.get(&fid).cloned().unwrap_or_default();
+        let local_assumed_params: BTreeSet<u32> = func
+            .annotations
+            .iter()
+            .filter_map(|a| match a {
+                Annotation::AssumeCore { ptr, .. } => {
+                    func.params.iter().position(|p| p.name == *ptr).map(|i| i as u32)
+                }
+                _ => None,
+            })
+            .collect();
+        for (_, inst) in func.iter_insts() {
+            match &inst.kind {
+                InstKind::Load { ptr } => {
+                    if derives_from_assumed_param(func, ptr, &local_assumed_params, 0) {
+                        continue;
+                    }
+                    for fact in shm.regions_of(fid, ptr) {
+                        let region = regions.region(fact.region);
+                        if !region.noncore || assumed.contains(&fact.region) {
+                            continue;
+                        }
+                        warnings
+                            .entry((func.name.clone(), inst.span.lo, inst.span.hi, fact.region))
+                            .or_insert_with(|| Warning {
+                                function: func.name.clone(),
+                                region: fact.region,
+                                region_name: region.name.clone(),
+                                span: inst.span,
+                            });
+                    }
+                }
+                InstKind::AssertSafe { var, .. } => {
+                    push_conservative_error(&mut errors, var.clone(), func, inst.span);
+                }
+                InstKind::Call { callee, args } => {
+                    if let Some(name) = module.external_callee_name(callee) {
+                        for (cname, argi) in &config.implicit_critical_calls {
+                            if cname == name && args.get(*argi).is_some() {
+                                push_conservative_error(
+                                    &mut errors,
+                                    format!("{name}:arg{argi}"),
+                                    func,
+                                    inst.span,
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     notes.sort();
     notes.dedup();
     TaintResults {
@@ -389,6 +641,39 @@ pub(crate) fn analyze_summaries(
         errors: errors.into_values().collect(),
         notes,
         contexts_analyzed: summaries.len(),
+        degradations,
+    }
+}
+
+/// Records a worst-case (`Data`) error for a sink inside a degraded scope:
+/// the analysis that would have decided whether unsafe data reaches it is
+/// gone, so it is reported as reached — loud, never a silent pass.
+fn push_conservative_error(
+    errors: &mut BTreeMap<(String, u32, u32, String), ErrorDependency>,
+    critical: String,
+    func: &safeflow_ir::Function,
+    span: Span,
+) {
+    let key = (func.name.clone(), span.lo, span.hi, critical.clone());
+    let e = ErrorDependency {
+        critical,
+        function: func.name.clone(),
+        span,
+        kind: DependencyKind::Data,
+        flow: Some(FlowNode::source(
+            format!("analysis of `{}` (or a function it reaches) degraded; conservatively assumed unsafe", func.name),
+            span,
+        )),
+    };
+    match errors.get_mut(&key) {
+        Some(prev) => {
+            if e.kind > prev.kind {
+                *prev = e;
+            }
+        }
+        None => {
+            errors.insert(key, e);
+        }
     }
 }
 
@@ -476,27 +761,60 @@ struct FnGraphs {
     assumed: BTreeSet<RegionId>,
 }
 
+fn build_fn_graphs(
+    module: &Module,
+    assumed_of: &HashMap<FuncId, BTreeSet<RegionId>>,
+    fid: FuncId,
+) -> FnGraphs {
+    let func = module.function(fid);
+    let cfg = Cfg::build(func);
+    let pdom = PostDomTree::build(func, &cfg);
+    let cd = ControlDeps::build(func, &cfg, &pdom);
+    FnGraphs { cfg, cd, assumed: assumed_of.get(&fid).cloned().unwrap_or_default() }
+}
+
 /// Callee-summary lookup for [`summarize_function`]: in-SCC members come
 /// from the task-local fixpoint state, everything below from the published
 /// per-SCC slots (complete before this task started, by DAG order).
+///
+/// The two "missing" cases are deliberately different: an in-SCC member
+/// not yet in `local` is *pending* and reads as bottom (the usual
+/// fixpoint seed), while an unset slot of a *dependency* SCC means its
+/// task panicked — that callee reads as [`Summary::top`], never silently
+/// as bottom.
 struct SummaryView<'a> {
     callgraph: &'a CallGraph,
-    slots: &'a [OnceLock<Arc<Vec<Summary>>>],
+    slots: &'a [OnceLock<(Arc<Vec<Summary>>, bool)>],
     local: &'a HashMap<FuncId, Summary>,
+    /// Index of the SCC this view's task is computing.
+    own_scc: usize,
 }
 
 impl SummaryView<'_> {
-    fn get(&self, f: FuncId) -> Option<&Summary> {
+    fn get(&self, f: FuncId) -> Option<Summary> {
         if let Some(s) = self.local.get(&f) {
-            return Some(s);
+            return Some(s.clone());
         }
         let &scc = self.callgraph.scc_of.get(&f)?;
-        let published = self.slots[scc].get()?;
-        let pos = self.callgraph.sccs[scc].iter().position(|&m| m == f)?;
-        published.get(pos)
+        if scc == self.own_scc {
+            // Same SCC, not yet computed this round: bottom seed.
+            return None;
+        }
+        match self.slots[scc].get() {
+            Some((published, _)) => {
+                let pos = self.callgraph.sccs[scc].iter().position(|&m| m == f)?;
+                published.get(pos).cloned()
+            }
+            // Dependency SCC poisoned by a contained panic.
+            None => Some(Summary::top()),
+        }
     }
 }
 
+/// Summarizes one function body, iterating its local dataflow to a
+/// fixpoint (capped at `rounds_cap`). The second return value is `false`
+/// when the cap stopped the iteration before convergence — callers with
+/// an explicit [`crate::config::Budget::fixpoint_rounds`] degrade the SCC.
 #[allow(clippy::too_many_arguments)]
 fn summarize_function(
     module: &Module,
@@ -508,11 +826,12 @@ fn summarize_function(
     summaries: &SummaryView<'_>,
     fid: FuncId,
     graphs: &FnGraphs,
-) -> Summary {
+    rounds_cap: usize,
+) -> (Summary, bool) {
     let func = module.function(fid);
     let mut s = Summary::default();
     if func.blocks.is_empty() {
-        return s;
+        return (s, true);
     }
     let FnGraphs { cfg, cd, assumed } = graphs;
 
@@ -542,7 +861,8 @@ fn summarize_function(
         }
     };
 
-    for _round in 0..16 {
+    let mut converged = false;
+    for _round in 0..rounds_cap {
         let mut changed = false;
         s = Summary::default();
 
@@ -678,8 +998,11 @@ fn summarize_function(
                                 }
                             }
                         } else if let safeflow_ir::Callee::Local(target) = callee {
-                            // Inline the callee summary.
-                            let callee_sum = summaries.get(*target).cloned().unwrap_or_default();
+                            // Inline the callee summary. `None` only for
+                            // in-SCC members pending this fixpoint round
+                            // (bottom seed); a poisoned dependency comes
+                            // back as `Summary::top()` from the view.
+                            let callee_sum = summaries.get(*target).unwrap_or_default();
                             let subst = |set: &SymSet| -> SymSet {
                                 let mut out = SymSet::new();
                                 for f in set {
@@ -768,10 +1091,11 @@ fn summarize_function(
         }
 
         if !changed {
+            converged = true;
             break;
         }
     }
-    s
+    (s, converged)
 }
 
 /// Whether a pointer value derives (through field/element/cast chains)

@@ -19,7 +19,7 @@
 
 use crate::config::AnalysisConfig;
 use crate::regions::{RegionId, RegionMap};
-use crate::report::{DependencyKind, ErrorDependency, FlowNode, Warning};
+use crate::report::{Degradation, DegradationKind, DependencyKind, ErrorDependency, FlowNode, Warning};
 use crate::shmptr::ShmPointers;
 use safeflow_ir::{
     BlockId, Callee, Cfg, FuncId, Function, InstId, InstKind, Module, Terminator, Value,
@@ -29,6 +29,7 @@ use safeflow_points_to::{ObjId, PointsTo};
 use safeflow_syntax::annot::Annotation;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Taint lattice: `Clean < Control < Data`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -96,15 +97,25 @@ pub struct TaintResults {
     /// Number of distinct `(function, context)` pairs analyzed — the
     /// context-sensitivity cost the paper's §3.3 discusses.
     pub contexts_analyzed: usize,
+    /// Scopes analyzed in degraded (conservative) mode — empty on a clean
+    /// run.
+    pub degradations: Vec<Degradation>,
 }
 
 /// Runs the context-sensitive phase-3 engine.
+///
+/// When `config.budget` sets explicit bounds (fixpoint rounds, function
+/// size, or the wall-clock `deadline`), scopes exceeding them degrade
+/// conservatively: their non-core reads all become warnings, their sinks
+/// all become `Data` errors, their stores taint the written objects, and
+/// the result carries a [`Degradation`] naming them.
 pub fn analyze_taint(
     module: &Module,
     regions: &RegionMap,
     shm: &ShmPointers,
     pt: &PointsTo,
     config: &AnalysisConfig,
+    deadline: Option<Instant>,
 ) -> TaintResults {
     let mut eng = Engine {
         module,
@@ -119,6 +130,8 @@ pub fn analyze_taint(
         notes: Vec::new(),
         cfg_cache: HashMap::new(),
         obj_dirty: false,
+        deadline,
+        degraded: BTreeMap::new(),
     };
 
     // Iterate to a module-level fixpoint: memory-object taints feed back
@@ -200,11 +213,21 @@ pub fn analyze_taint(
     }
     eng.notes.sort();
     eng.notes.dedup();
+    let degradations = eng
+        .degraded
+        .iter()
+        .map(|(name, (kind, detail))| Degradation {
+            kind: *kind,
+            functions: vec![name.clone()],
+            detail: detail.clone(),
+        })
+        .collect();
     TaintResults {
         warnings: warnings.into_values().collect(),
         errors: errors.into_values().collect(),
         notes: eng.notes,
         contexts_analyzed: eng.memo.len(),
+        degradations,
     }
 }
 
@@ -243,6 +266,11 @@ struct Engine<'a> {
     /// Set when a memory-object taint was raised; forces another local
     /// round so earlier loads observe it.
     obj_dirty: bool,
+    /// Wall-clock deadline for the run, from `Budget::deadline_ms`.
+    deadline: Option<Instant>,
+    /// Functions whose analysis degraded, with why (keyed by name so the
+    /// record survives the memo clears of the module-level fixpoint).
+    degraded: BTreeMap<String, (DegradationKind, String)>,
 }
 
 impl<'a> Engine<'a> {
@@ -348,6 +376,30 @@ impl<'a> Engine<'a> {
         if func.blocks.is_empty() {
             return outcome;
         }
+        // Explicit budgets: scopes beyond them are not analyzed in depth —
+        // they degrade to a conservative outcome instead (loud, never a
+        // silent pass).
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return self.conservative_outcome(
+                    fid,
+                    ctx,
+                    "wall-clock deadline exceeded".to_string(),
+                );
+            }
+        }
+        if let Some(cap) = self.config.budget.max_function_insts {
+            if func.insts.len() > cap {
+                return self.conservative_outcome(
+                    fid,
+                    ctx,
+                    format!(
+                        "function exceeds the {cap}-instruction budget ({} instructions)",
+                        func.insts.len()
+                    ),
+                );
+            }
+        }
         self.cfg_cache.entry(fid).or_insert_with(|| {
             let cfg = Cfg::build(func);
             let pdom = PostDomTree::build(func, &cfg);
@@ -375,8 +427,13 @@ impl<'a> Engine<'a> {
         let mut block_ctl: HashMap<BlockId, Taint> = HashMap::new();
 
         // Iterate the function body to a local fixpoint (φ-loops, control
-        // taint feedback).
-        for _round in 0..16 {
+        // taint feedback). The built-in bound of 16 rounds keeps its
+        // historical silent behavior; an explicit `fixpoint_rounds` budget
+        // degrades the function when the cap stops the iteration early.
+        let rounds_cap =
+            self.config.budget.fixpoint_rounds.map(|r| r.max(1) as usize).unwrap_or(16);
+        let mut converged = false;
+        for _round in 0..rounds_cap {
             let mut changed = false;
             self.obj_dirty = false;
             // Recompute control-taint of blocks from tainted branches.
@@ -592,12 +649,121 @@ impl<'a> Engine<'a> {
             }
 
             if !changed && !self.obj_dirty {
+                converged = true;
                 break;
             }
             // Findings are recollected each round; clear to avoid dupes.
-            if _round < 15 {
+            if _round + 1 < rounds_cap {
                 let keep_ret = outcome.ret.clone();
                 outcome = Outcome { ret: keep_ret, ..Outcome::default() };
+            }
+        }
+        if !converged && self.config.budget.fixpoint_rounds.is_some() {
+            return self.conservative_outcome(
+                fid,
+                ctx,
+                format!("taint fixpoint did not converge within {rounds_cap} round(s)"),
+            );
+        }
+        outcome
+    }
+
+    /// The degraded result for a function whose analysis ran out of
+    /// budget: every unmonitored non-core read is a warning, every sink is
+    /// a `Data` error, every store (and configured receive buffer) taints
+    /// its memory objects, and the return value is `Data`-tainted — a
+    /// strict superset of anything the full analysis could report.
+    fn conservative_outcome(&mut self, fid: FuncId, ctx: &Ctx, reason: String) -> Outcome {
+        let func = self.module.function(fid);
+        self.degraded
+            .entry(func.name.clone())
+            .or_insert((DegradationKind::BudgetExhausted, reason));
+        let origin = FlowNode::source(
+            format!("analysis of `{}` degraded; conservatively assumed unsafe", func.name),
+            func.span,
+        );
+        let mut outcome = Outcome::default();
+        outcome.ret = Some(Taint { kind: TaintKind::Data, origin: Some(origin.clone()) });
+        for (_, inst) in func.iter_insts() {
+            match &inst.kind {
+                InstKind::Load { ptr } => {
+                    for fact in self.shm.regions_of(fid, ptr) {
+                        let region = self.regions.region(fact.region);
+                        if !region.noncore || ctx.assumed.contains(&fact.region) {
+                            continue;
+                        }
+                        outcome.warnings.push(Warning {
+                            function: func.name.clone(),
+                            region: fact.region,
+                            region_name: region.name.clone(),
+                            span: inst.span,
+                        });
+                    }
+                }
+                InstKind::Store { ptr, .. } => {
+                    for o in self.pt.points_to(fid, ptr) {
+                        let e = self.obj_taint.entry(o).or_insert_with(Taint::clean);
+                        if e.join(&Taint { kind: TaintKind::Data, origin: Some(origin.clone()) })
+                        {
+                            self.obj_dirty = true;
+                        }
+                    }
+                }
+                InstKind::AssertSafe { var, .. } => {
+                    outcome.errors.push(ErrorDependency {
+                        critical: var.clone(),
+                        function: func.name.clone(),
+                        span: inst.span,
+                        kind: DependencyKind::Data,
+                        flow: Some(origin.clone()),
+                    });
+                }
+                InstKind::Call { callee, args } => {
+                    // Local callees are still analyzed — in the worst-case
+                    // context (no inherited assumptions, tainted
+                    // parameters), so findings that a precise caller
+                    // context would have produced cannot silently vanish.
+                    if let Callee::Local(target) = callee {
+                        if self.module.function(*target).is_definition {
+                            let n = self.module.function(*target).params.len();
+                            let worst =
+                                self.base_ctx(*target, &BTreeSet::new(), &vec![TaintKind::Data; n]);
+                            self.analyze(*target, worst);
+                        }
+                    }
+                    if let Some(name) = self.module.external_callee_name(callee) {
+                        for (cname, argi) in &self.config.implicit_critical_calls {
+                            if cname == name && args.get(*argi).is_some() {
+                                outcome.errors.push(ErrorDependency {
+                                    critical: format!("{name}:arg{argi}"),
+                                    function: func.name.clone(),
+                                    span: inst.span,
+                                    kind: DependencyKind::Data,
+                                    flow: Some(origin.clone()),
+                                });
+                            }
+                        }
+                        for (rname, _, buf_i) in &self.config.recv_functions {
+                            if rname == name {
+                                if let Some(buf) = args.get(*buf_i) {
+                                    for o in self.pt.points_to(fid, buf) {
+                                        let e = self
+                                            .obj_taint
+                                            .entry(o)
+                                            .or_insert_with(Taint::clean);
+                                        if e.join(&Taint {
+                                            kind: TaintKind::Data,
+                                            origin: Some(origin.clone()),
+                                        }) {
+                                            self.obj_dirty = true;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         outcome

@@ -1,0 +1,365 @@
+//! Fault-injection suite (ISSUE 2): degraded runs must be deterministic,
+//! canonically ordered, and *strictly more conservative* than clean runs.
+//!
+//! The [`safeflow::FaultPlan`] hooks let these tests inject panics and
+//! budget exhaustion at stable sites (SCC tasks, the Omega solver, the
+//! summary cache) and then assert the degradation contract:
+//!
+//! * a contained panic never aborts the run and never changes with the
+//!   worker count — rendered reports are byte-identical at `--jobs 1/4/8`;
+//! * no injected fault drops a clean-run finding (monotone conservatism):
+//!   every clean warning/error/violation either survives into the degraded
+//!   report or its function is named by a degradation entry;
+//! * poisoned summary-cache entries are never replayed — a clean run after
+//!   a degraded run reproduces the original clean report exactly.
+//!
+//! Degraded-report *content* is pinned by golden snapshots under
+//! `tests/golden/degraded_*.txt` (regenerate with `UPDATE_GOLDEN=1`).
+
+use safeflow::{
+    AnalysisConfig, Analyzer, Budget, DegradationKind, Engine, FaultKind, FaultPlan, FaultSite,
+};
+use safeflow_corpus::{figure2_example, systems};
+use safeflow_util::prop::run_cases;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Every corpus program: (name, file, source).
+fn corpus() -> Vec<(String, String, String)> {
+    let mut programs: Vec<(String, String, String)> = systems()
+        .into_iter()
+        .map(|s| (s.name.to_string(), s.core_file.to_string(), s.core_source.to_string()))
+        .collect();
+    programs.push(("fig2".to_string(), "figure2.c".to_string(), figure2_example().to_string()));
+    programs
+}
+
+fn render_with(config: &AnalysisConfig, file: &str, src: &str) -> (String, u8) {
+    let result = Analyzer::new(config.clone())
+        .analyze_source(file, src)
+        .unwrap_or_else(|e| panic!("{file} must analyze: {e}"));
+    (result.render(), result.report.exit_code())
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of degraded runs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn contained_panic_is_deterministic_across_thread_counts() {
+    // Panic in *every* SCC task: the worst case for scheduling-dependent
+    // output, since all containment paths fire at once.
+    let plan = FaultPlan::new().with_fault(FaultSite::SccAnalysis, None, FaultKind::Panic);
+    for (name, file, src) in corpus() {
+        let base = AnalysisConfig::with_engine(Engine::Summary).with_fault_plan(plan.clone());
+        let (want, code) = render_with(&base.clone().with_jobs(1), &file, &src);
+        assert_eq!(code, 3, "{name}: contained panic must exit 3");
+        assert!(want.contains("DEGRADED RUN"), "{name}:\n{want}");
+        for jobs in [4usize, 8] {
+            let (got, got_code) = render_with(&base.clone().with_jobs(jobs), &file, &src);
+            assert_eq!(got_code, 3, "{name} at --jobs {jobs}");
+            assert_eq!(
+                got, want,
+                "{name}: degraded report differs between --jobs 1 and --jobs {jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_plans_are_deterministic_across_thread_counts() {
+    for seed in [1u64, 7, 42] {
+        let plan = FaultPlan::seeded(seed, 0.4);
+        for (name, file, src) in corpus() {
+            let base = AnalysisConfig::with_engine(Engine::Summary).with_fault_plan(plan.clone());
+            let (want, _) = render_with(&base.clone().with_jobs(1), &file, &src);
+            let (got, _) = render_with(&base.clone().with_jobs(8), &file, &src);
+            assert_eq!(got, want, "{name} seed {seed}: --jobs 1 vs --jobs 8");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Budget exhaustion
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tiny_fixpoint_budget_degrades_with_exit_4() {
+    let budget = Budget { fixpoint_rounds: Some(1), ..Budget::unlimited() };
+    for engine in [Engine::ContextSensitive, Engine::Summary] {
+        let config = AnalysisConfig::with_engine(engine).with_budget(budget.clone());
+        let result = Analyzer::new(config)
+            .analyze_source("figure2.c", figure2_example())
+            .expect("fig2 analyzes");
+        let report = &result.report;
+        assert!(!report.degradations.is_empty(), "{engine:?}: 1 round cannot converge");
+        assert!(
+            report.degradations.iter().all(|d| d.kind == DegradationKind::BudgetExhausted),
+            "{engine:?}: budget exhaustion must not masquerade as an internal error"
+        );
+        assert_eq!(report.exit_code(), 4, "{engine:?}");
+    }
+}
+
+#[test]
+fn injected_solver_exhaustion_marks_bounds_unproven() {
+    // Exhaust the solver step pool everywhere: A1 obligations degrade to
+    // "unproven" violations instead of silently passing.
+    let plan = FaultPlan::new().with_fault(FaultSite::Solver, None, FaultKind::BudgetExhaustion);
+    for (name, file, src) in corpus() {
+        let clean = AnalysisConfig::default();
+        let faulty = clean.clone().with_fault_plan(plan.clone());
+        let clean_report =
+            Analyzer::new(clean).analyze_source(&file, &src).expect("analyzes").report;
+        let faulty_report =
+            Analyzer::new(faulty).analyze_source(&file, &src).expect("analyzes").report;
+        assert!(
+            faulty_report.violations.len() >= clean_report.violations.len(),
+            "{name}: exhausted solver must never prove more than the clean run"
+        );
+    }
+}
+
+#[test]
+fn unlimited_budget_reproduces_clean_report() {
+    // `Budget::unlimited()` must be behaviorally identical to no budget at
+    // all — the built-in bounds are unchanged.
+    for engine in [Engine::ContextSensitive, Engine::Summary] {
+        let plain = AnalysisConfig::with_engine(engine);
+        let budgeted = plain.clone().with_budget(Budget::unlimited());
+        let (a, code_a) = render_with(&plain, "figure2.c", figure2_example());
+        let (b, code_b) = render_with(&budgeted, "figure2.c", figure2_example());
+        assert_eq!(a, b);
+        assert_eq!(code_a, code_b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache poisoning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn poisoned_cache_entries_are_never_reused() {
+    let fig2 = figure2_example();
+    let config = AnalysisConfig::with_engine(Engine::Summary);
+    let mut analyzer = Analyzer::new(config);
+
+    // 1. Clean run, cold cache.
+    let clean = analyzer.analyze_source("figure2.c", fig2).expect("analyzes").render();
+
+    // 2. Degraded run against the warm cache: every SCC that computes a
+    //    summary is forbidden from caching it, and SCC 0's task panics.
+    *analyzer.config_mut() = analyzer
+        .config()
+        .clone()
+        .with_fault_plan(
+            FaultPlan::panic_at(FaultSite::SccAnalysis, 0)
+                .with_fault(FaultSite::SummaryCache, None, FaultKind::Panic),
+        );
+    let degraded = analyzer.analyze_source("figure2.c", fig2).expect("analyzes");
+    assert_eq!(degraded.report.exit_code(), 3);
+    assert!(degraded.render().contains("DEGRADED RUN"));
+
+    // 3. Disarm the plan: the next run must reproduce the clean report
+    //    byte-for-byte. If a top/poisoned summary had leaked into the
+    //    cache, findings would change here.
+    analyzer.config_mut().fault_plan = None;
+    let replay = analyzer.analyze_source("figure2.c", fig2).expect("analyzes").render();
+    assert_eq!(replay, clean, "a degraded run must not poison the summary cache");
+
+    // 4. And a degraded run repeated against the (clean) warm cache must
+    //    match the cold degraded run: cache hits for tainted dependents
+    //    are forced to recompute, not replayed.
+    *analyzer.config_mut() = analyzer
+        .config()
+        .clone()
+        .with_fault_plan(FaultPlan::panic_at(FaultSite::SccAnalysis, 0));
+    let warm = analyzer.analyze_source("figure2.c", fig2).expect("analyzes").render();
+    let cold = Analyzer::new(analyzer.config().clone())
+        .analyze_source("figure2.c", fig2)
+        .expect("analyzes")
+        .render();
+    assert_eq!(warm, cold, "warm-cache and cold-cache degraded runs must agree");
+}
+
+// ---------------------------------------------------------------------------
+// Monotone conservatism
+// ---------------------------------------------------------------------------
+
+/// Keys identifying a finding independent of flow details.
+fn warning_keys(r: &safeflow::AnalysisReport) -> BTreeSet<String> {
+    r.warnings.iter().map(|w| format!("{}|{}|{:?}", w.function, w.region_name, w.span)).collect()
+}
+
+fn error_keys(r: &safeflow::AnalysisReport) -> BTreeSet<String> {
+    r.errors.iter().map(|e| format!("{}|{}|{:?}", e.function, e.critical, e.span)).collect()
+}
+
+fn violation_keys(r: &safeflow::AnalysisReport) -> BTreeSet<String> {
+    r.violations
+        .iter()
+        .map(|v| format!("{:?}|{}|{:?}", v.restriction, v.function, v.span))
+        .collect()
+}
+
+fn degraded_functions(r: &safeflow::AnalysisReport) -> BTreeSet<String> {
+    r.degradations.iter().flat_map(|d| d.functions.iter().cloned()).collect()
+}
+
+/// Every clean finding must survive into the degraded report, or at the
+/// very least its function must be named by a degradation entry (so the
+/// reader knows coverage was lost *there*, never silently).
+fn assert_monotone(
+    name: &str,
+    what: &str,
+    clean: &BTreeSet<String>,
+    degraded: &BTreeSet<String>,
+    excused: &BTreeSet<String>,
+) {
+    for key in clean {
+        if degraded.contains(key) {
+            continue;
+        }
+        let function = key.split('|').next().unwrap_or_default();
+        assert!(
+            excused.contains(function),
+            "{name}: clean-run {what} `{key}` vanished from the degraded report \
+             and its function is not covered by any degradation entry"
+        );
+    }
+}
+
+#[test]
+fn no_injected_fault_drops_a_clean_finding() {
+    let programs = corpus();
+    let clean_reports: Vec<_> = programs
+        .iter()
+        .map(|(_, file, src)| {
+            Analyzer::new(AnalysisConfig::with_engine(Engine::Summary))
+                .analyze_source(file, src)
+                .expect("analyzes")
+                .report
+        })
+        .collect();
+
+    run_cases(24, |gen| {
+        let seed = gen.i64(0, i64::MAX) as u64;
+        let rate = gen.f64(0.05, 0.6);
+        let plan = FaultPlan::seeded(seed, rate);
+        for ((name, file, src), clean) in programs.iter().zip(&clean_reports) {
+            let config = AnalysisConfig::with_engine(Engine::Summary)
+                .with_fault_plan(plan.clone())
+                .with_jobs(4);
+            let degraded =
+                Analyzer::new(config).analyze_source(file, src).expect("analyzes").report;
+            let excused = degraded_functions(&degraded);
+            assert_monotone(name, "warning", &warning_keys(clean), &warning_keys(&degraded), &excused);
+            assert_monotone(name, "error", &error_keys(clean), &error_keys(&degraded), &excused);
+            assert_monotone(
+                name,
+                "violation",
+                &violation_keys(clean),
+                &violation_keys(&degraded),
+                &excused,
+            );
+        }
+    });
+}
+
+#[test]
+fn context_engine_budget_degradation_is_monotone() {
+    // The context-sensitive engine has no SCC tasks, but its fixpoint
+    // budget must obey the same contract.
+    let budget = Budget { fixpoint_rounds: Some(1), ..Budget::unlimited() };
+    for (name, file, src) in corpus() {
+        let clean = Analyzer::new(AnalysisConfig::default())
+            .analyze_source(&file, &src)
+            .expect("analyzes")
+            .report;
+        let degraded = Analyzer::new(AnalysisConfig::default().with_budget(budget.clone()))
+            .analyze_source(&file, &src)
+            .expect("analyzes")
+            .report;
+        let excused = degraded_functions(&degraded);
+        assert_monotone(&name, "warning", &warning_keys(&clean), &warning_keys(&degraded), &excused);
+        assert_monotone(&name, "error", &error_keys(&clean), &error_keys(&degraded), &excused);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical order
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degradation_entries_are_canonically_ordered() {
+    let plan = FaultPlan::seeded(9, 0.5);
+    for (name, file, src) in corpus() {
+        let config =
+            AnalysisConfig::with_engine(Engine::Summary).with_fault_plan(plan.clone()).with_jobs(8);
+        let report = Analyzer::new(config).analyze_source(&file, &src).expect("analyzes").report;
+        let mut sorted = report.degradations.clone();
+        sorted.sort_by(|a, b| {
+            a.kind
+                .cmp(&b.kind)
+                .then_with(|| a.functions.cmp(&b.functions))
+                .then_with(|| a.detail.cmp(&b.detail))
+        });
+        assert_eq!(report.degradations, sorted, "{name}: degradations out of canonical order");
+        for d in &report.degradations {
+            let mut fns = d.functions.clone();
+            fns.sort();
+            fns.dedup();
+            assert_eq!(d.functions, fns, "{name}: degradation functions must be sorted/deduped");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden degraded snapshots
+// ---------------------------------------------------------------------------
+
+fn check_degraded_golden(name: &str, config: &AnalysisConfig) {
+    let got = Analyzer::new(config.clone())
+        .analyze_source("figure2.c", figure2_example())
+        .expect("fig2 analyzes")
+        .render();
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test -p safeflow --test faults",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "degraded report `{name}` differs from {}; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p safeflow --test faults",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_degraded_scc_panic() {
+    check_degraded_golden(
+        "degraded_scc_panic",
+        &AnalysisConfig::with_engine(Engine::Summary)
+            .with_fault_plan(FaultPlan::panic_at(FaultSite::SccAnalysis, 0))
+            .with_jobs(4),
+    );
+}
+
+#[test]
+fn golden_degraded_tiny_solver_budget() {
+    check_degraded_golden(
+        "degraded_tiny_solver_budget",
+        &AnalysisConfig::with_engine(Engine::Summary)
+            .with_budget(Budget { solver_steps: Some(1), ..Budget::unlimited() }),
+    );
+}

@@ -29,4 +29,4 @@ pub mod expr;
 pub mod omega;
 
 pub use expr::{LinExpr, Var};
-pub use omega::{Feasibility, System};
+pub use omega::{Entailment, Feasibility, SolverLimits, System};

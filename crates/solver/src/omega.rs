@@ -51,6 +51,53 @@ pub struct System {
 const MAX_RECURSION: usize = 64;
 const MAX_CONSTRAINTS: usize = 4096;
 
+/// Resource limits for a (sequence of) solver invocations.
+///
+/// `max_steps` counts recursive `solve` activations and is shared across
+/// calls through the caller-owned step counter, so one pathological
+/// obligation cannot starve the rest of a run: when the pool is spent the
+/// solver answers [`Feasibility::Unknown`] instead of grinding on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverLimits {
+    /// Total `solve` activations allowed across the shared step counter.
+    pub max_steps: u64,
+    /// Recursion-depth cap (the historical built-in bound by default).
+    pub max_recursion: usize,
+    /// Constraint-count cap (the historical built-in bound by default).
+    pub max_constraints: usize,
+}
+
+impl Default for SolverLimits {
+    fn default() -> SolverLimits {
+        SolverLimits {
+            max_steps: u64::MAX,
+            max_recursion: MAX_RECURSION,
+            max_constraints: MAX_CONSTRAINTS,
+        }
+    }
+}
+
+impl SolverLimits {
+    /// Default limits with a step budget of `max_steps`.
+    pub fn steps(max_steps: u64) -> SolverLimits {
+        SolverLimits { max_steps, ..SolverLimits::default() }
+    }
+}
+
+/// Outcome of a budgeted entailment query (see [`System::implies_ge_within`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entailment {
+    /// The implication is proved (negation is infeasible).
+    Proved,
+    /// The implication could not be proved within the solver's intrinsic
+    /// bounds (the negation is satisfiable or the solver gave up for a
+    /// non-budget reason). Conservative callers treat this as "violation".
+    Unproved,
+    /// The step budget ran out mid-query. Also "unproved", but worth a
+    /// distinct diagnostic: a bigger `--budget` might still prove it.
+    BudgetExhausted,
+}
+
 impl System {
     /// Creates an empty (trivially satisfiable) system.
     pub fn new() -> System {
@@ -101,8 +148,17 @@ impl System {
 
     /// Exact feasibility check.
     pub fn check(&self) -> Feasibility {
+        let mut steps = 0u64;
+        self.check_within(&SolverLimits::default(), &mut steps)
+    }
+
+    /// Feasibility check under explicit resource limits. `steps` is a
+    /// caller-owned counter accumulated across calls; when it exceeds
+    /// `limits.max_steps` the check (and any later check sharing the
+    /// counter) returns [`Feasibility::Unknown`].
+    pub fn check_within(&self, limits: &SolverLimits, steps: &mut u64) -> Feasibility {
         let mut next_var = self.names.len() as u32;
-        solve(self.constraints.clone(), &mut next_var, 0)
+        solve(self.constraints.clone(), &mut next_var, 0, limits, steps)
     }
 
     /// `true` unless the system is *provably* infeasible ([`Feasibility::Unknown`]
@@ -127,6 +183,33 @@ impl System {
         neg.check() == Feasibility::Unsat
     }
 
+    /// Budgeted form of [`System::implies_ge`]: distinguishes "unproved"
+    /// from "step budget ran out". Both are conservative (not proved).
+    pub fn implies_ge_within(
+        &self,
+        lhs: LinExpr,
+        rhs: LinExpr,
+        limits: &SolverLimits,
+        steps: &mut u64,
+    ) -> Entailment {
+        let mut neg = self.clone();
+        neg.add_lt(lhs, rhs);
+        entailment_of(neg.check_within(limits, steps), limits, *steps)
+    }
+
+    /// Budgeted form of [`System::implies_lt`].
+    pub fn implies_lt_within(
+        &self,
+        lhs: LinExpr,
+        rhs: LinExpr,
+        limits: &SolverLimits,
+        steps: &mut u64,
+    ) -> Entailment {
+        let mut neg = self.clone();
+        neg.add_ge(lhs, rhs);
+        entailment_of(neg.check_within(limits, steps), limits, *steps)
+    }
+
     /// Verifies a satisfying assignment (testing hook).
     pub fn satisfied_by(&self, assignment: &BTreeMap<Var, i64>) -> bool {
         self.constraints.iter().all(|c| match c {
@@ -146,8 +229,26 @@ fn smod(a: i64, m: i64) -> i64 {
     }
 }
 
-fn solve(mut cs: Vec<C>, next_var: &mut u32, depth: usize) -> Feasibility {
-    if depth > MAX_RECURSION || cs.len() > MAX_CONSTRAINTS {
+fn entailment_of(result: Feasibility, limits: &SolverLimits, steps: u64) -> Entailment {
+    match result {
+        Feasibility::Unsat => Entailment::Proved,
+        Feasibility::Unknown if steps > limits.max_steps => Entailment::BudgetExhausted,
+        Feasibility::Sat | Feasibility::Unknown => Entailment::Unproved,
+    }
+}
+
+fn solve(
+    mut cs: Vec<C>,
+    next_var: &mut u32,
+    depth: usize,
+    limits: &SolverLimits,
+    steps: &mut u64,
+) -> Feasibility {
+    *steps += 1;
+    if *steps > limits.max_steps {
+        return Feasibility::Unknown;
+    }
+    if depth > limits.max_recursion || cs.len() > limits.max_constraints {
         return Feasibility::Unknown;
     }
 
@@ -219,7 +320,7 @@ fn solve(mut cs: Vec<C>, next_var: &mut u32, depth: usize) -> Feasibility {
                     C::Eq(e) => C::Eq(e.substitute(v, &replacement)),
                 })
                 .collect();
-            return solve(new_cs, next_var, depth + 1);
+            return solve(new_cs, next_var, depth + 1, limits, steps);
         }
         // Pugh's modulo trick: shrink coefficients with a fresh variable.
         let (k, ak) = eq
@@ -250,7 +351,7 @@ fn solve(mut cs: Vec<C>, next_var: &mut u32, depth: usize) -> Feasibility {
             })
             .collect();
         new_cs.push(C::Eq(eq.substitute(k, &replacement)));
-        return solve(new_cs, next_var, depth + 1);
+        return solve(new_cs, next_var, depth + 1, limits, steps);
     }
 
     // ---- only inequalities left: Fourier–Motzkin ---------------------------
@@ -306,7 +407,7 @@ fn solve(mut cs: Vec<C>, next_var: &mut u32, depth: usize) -> Feasibility {
             })
             .cloned()
             .collect();
-        return solve(rest, next_var, depth + 1);
+        return solve(rest, next_var, depth + 1, limits, steps);
     }
 
     // Shadows.
@@ -350,16 +451,16 @@ fn solve(mut cs: Vec<C>, next_var: &mut u32, depth: usize) -> Feasibility {
     }
 
     if exact {
-        return solve(real, next_var, depth + 1);
+        return solve(real, next_var, depth + 1, limits, steps);
     }
 
     // Inexact: dark-shadow SAT ⇒ SAT; real-shadow UNSAT ⇒ UNSAT.
-    match solve(dark, next_var, depth + 1) {
+    match solve(dark, next_var, depth + 1, limits, steps) {
         Feasibility::Sat => return Feasibility::Sat,
         Feasibility::Unknown => return Feasibility::Unknown,
         Feasibility::Unsat => {}
     }
-    match solve(real.clone(), next_var, depth + 1) {
+    match solve(real.clone(), next_var, depth + 1, limits, steps) {
         Feasibility::Unsat => return Feasibility::Unsat,
         Feasibility::Unknown => return Feasibility::Unknown,
         Feasibility::Sat => {}
@@ -381,7 +482,7 @@ fn solve(mut cs: Vec<C>, next_var: &mut u32, depth: usize) -> Feasibility {
             let mut eqe = LinExpr::term(x, a) + e1.clone();
             eqe.add_constant(-i);
             splinter.push(C::Eq(eqe));
-            match solve(splinter, next_var, depth + 1) {
+            match solve(splinter, next_var, depth + 1, limits, steps) {
                 Feasibility::Sat => return Feasibility::Sat,
                 Feasibility::Unknown => return Feasibility::Unknown,
                 Feasibility::Unsat => {}
@@ -567,6 +668,57 @@ mod tests {
         let (mut s, v) = var_sys(2);
         s.add_ge(LinExpr::var(v[0]), LinExpr::var(v[1]));
         assert_eq!(s.check(), Feasibility::Sat);
+    }
+
+    #[test]
+    fn zero_step_budget_is_unknown() {
+        let (mut s, v) = var_sys(1);
+        s.add_ge(LinExpr::var(v[0]), LinExpr::constant(0));
+        let mut steps = 0u64;
+        assert_eq!(s.check_within(&SolverLimits::steps(0), &mut steps), Feasibility::Unknown);
+        assert_eq!(
+            s.implies_ge_within(
+                LinExpr::var(v[0]),
+                LinExpr::constant(0),
+                &SolverLimits::steps(0),
+                &mut steps
+            ),
+            Entailment::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted() {
+        let (mut s, v) = var_sys(2);
+        let (i, n) = (v[0], v[1]);
+        s.add_ge(LinExpr::var(i), LinExpr::constant(0));
+        s.add_lt(LinExpr::var(i), LinExpr::var(n));
+        s.add_eq(LinExpr::var(n), LinExpr::constant(16));
+        let limits = SolverLimits::steps(1_000_000);
+        let mut steps = 0u64;
+        assert_eq!(
+            s.implies_lt_within(LinExpr::var(i), LinExpr::constant(16), &limits, &mut steps),
+            Entailment::Proved
+        );
+        assert_eq!(
+            s.implies_lt_within(LinExpr::var(i), LinExpr::constant(15), &limits, &mut steps),
+            Entailment::Unproved
+        );
+        assert!(steps > 0 && steps < 1_000_000);
+    }
+
+    #[test]
+    fn shared_step_counter_spends_across_calls() {
+        // A counter already past the limit makes the next query exhausted
+        // immediately: the pool is shared, not per-call.
+        let (mut s, v) = var_sys(1);
+        s.add_ge(LinExpr::var(v[0]), LinExpr::constant(0));
+        let limits = SolverLimits::steps(5);
+        let mut steps = 100u64;
+        assert_eq!(
+            s.implies_ge_within(LinExpr::var(v[0]), LinExpr::constant(0), &limits, &mut steps),
+            Entailment::BudgetExhausted
+        );
     }
 
     #[test]

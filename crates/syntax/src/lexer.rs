@@ -201,7 +201,10 @@ impl<'a, 'd> Lexer<'a, 'd> {
         while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
             self.bump();
         }
-        let s = std::str::from_utf8(&self.bytes[lo..self.pos]).unwrap().to_string();
+        // The scanned bytes are ASCII alphanumerics/underscores, so this
+        // never allocates a replacement; `from_utf8_lossy` just avoids a
+        // panicking path in the hottest loop of the lexer.
+        let s = String::from_utf8_lossy(&self.bytes[lo..self.pos]).into_owned();
         let kind = match Keyword::from_str(&s) {
             Some(k) => TokenKind::Keyword(k),
             None => TokenKind::Ident(s),
@@ -219,8 +222,8 @@ impl<'a, 'd> Lexer<'a, 'd> {
             while self.peek().is_ascii_hexdigit() {
                 self.bump();
             }
-            let digits = std::str::from_utf8(&self.bytes[digits_lo..self.pos]).unwrap();
-            let value = i64::from_str_radix(digits, 16).unwrap_or_else(|_| {
+            let digits = String::from_utf8_lossy(&self.bytes[digits_lo..self.pos]);
+            let value = i64::from_str_radix(&digits, 16).unwrap_or_else(|_| {
                 self.diags.error(self.span_from(lo), "invalid hexadecimal constant");
                 0
             });
@@ -250,7 +253,7 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 self.bump();
             }
         }
-        let text = std::str::from_utf8(&self.bytes[lo..self.pos]).unwrap();
+        let text = String::from_utf8_lossy(&self.bytes[lo..self.pos]);
         if is_float || (self.peek() | 0x20) == b'f' && text.contains('.') {
             let value: f64 = text.parse().unwrap_or_else(|_| {
                 self.diags.error(self.span_from(lo), "invalid floating-point constant");
@@ -299,9 +302,13 @@ impl<'a, 'd> Lexer<'a, 'd> {
             b'f' => 12,
             b'v' => 11,
             b'x' => {
+                // Wrapping: `"\xfff...f"` with enough digits would overflow
+                // an i64 — escapes truncate like C chars do, they don't
+                // abort the lexer.
                 let mut v: i64 = 0;
                 while self.peek().is_ascii_hexdigit() {
-                    v = v * 16 + (self.bump() as char).to_digit(16).unwrap() as i64;
+                    let d = (self.bump() as char).to_digit(16).unwrap_or(0) as i64;
+                    v = v.wrapping_mul(16).wrapping_add(d);
                 }
                 v
             }

@@ -1,0 +1,122 @@
+//! Parser-robustness fuzz smoke test (ISSUE 2 satellite).
+//!
+//! The frontend's contract is *diagnostics, not panics*: any byte soup —
+//! random ASCII/exotic strings, truncated corpus programs, corpus programs
+//! with random single-byte mutations — must come back from
+//! [`safeflow_syntax::parse_source`] as a `ParseResult` whose failures are
+//! ordinary diagnostics. Seeds come from the deterministic SplitMix64
+//! property harness, so a failing case prints its replay seed.
+//!
+//! This is a *smoke* test: a few hundred cases in a couple of seconds, run
+//! on every `cargo test` and via `make fuzz-smoke` (which cranks the case
+//! count up through `FUZZ_CASES`).
+
+use safeflow_corpus::{figure2_example, systems};
+use safeflow_syntax::parse_source;
+use safeflow_util::prop::run_cases;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn cases() -> u64 {
+    std::env::var("FUZZ_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+}
+
+/// Parsing must return (it may diagnose anything it likes) — a panic is
+/// the only failure.
+fn must_not_panic(name: &str, src: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let parsed = parse_source(name, src);
+        // Touch the diagnostics so rendering is exercised too.
+        let _ = parsed.diags.render_all(&parsed.sources);
+    }));
+    assert!(
+        outcome.is_ok(),
+        "parser panicked on {name} (len {}): {:?}...",
+        src.len(),
+        src.chars().take(120).collect::<String>()
+    );
+}
+
+fn corpus_sources() -> Vec<&'static str> {
+    let mut srcs: Vec<&'static str> = systems().into_iter().map(|s| s.core_source).collect();
+    srcs.push(figure2_example());
+    srcs
+}
+
+#[test]
+fn random_garbage_yields_diagnostics_not_panics() {
+    run_cases(cases(), |gen| {
+        let src = gen.arbitrary_string(400);
+        must_not_panic("garbage.c", &src);
+    });
+}
+
+#[test]
+fn tokeny_garbage_yields_diagnostics_not_panics() {
+    // Strings biased toward the lexer's interesting alphabet: numbers,
+    // escapes, comment/annotation openers, operators.
+    let alphabet: Vec<char> =
+        "0123456789abcdefxXeE.+-*/\\'\"{}()[];,<>=!&|%^~# \n\t_ASfloatint".chars().collect();
+    run_cases(cases(), |gen| {
+        let src = gen.string_of(&alphabet, 0, 400);
+        must_not_panic("tokeny.c", &src);
+    });
+}
+
+#[test]
+fn truncated_corpus_programs_never_panic() {
+    let srcs = corpus_sources();
+    run_cases(cases(), |gen| {
+        let src = gen.pick(&srcs);
+        // Truncate at an arbitrary *byte* (may split a UTF-8 char: use a
+        // lossy re-decode like a real tool reading a torn file would).
+        let cut = gen.usize(0, src.len() + 1);
+        let truncated = String::from_utf8_lossy(&src.as_bytes()[..cut]);
+        must_not_panic("truncated.c", &truncated);
+    });
+}
+
+#[test]
+fn mutated_corpus_programs_never_panic() {
+    let srcs = corpus_sources();
+    run_cases(cases(), |gen| {
+        let src = gen.pick(&srcs);
+        let mut bytes = src.as_bytes().to_vec();
+        for _ in 0..gen.usize(1, 8) {
+            let at = gen.usize(0, bytes.len());
+            match gen.usize(0, 3) {
+                0 => bytes[at] = gen.usize(0, 256) as u8,
+                1 => {
+                    bytes.insert(at, gen.usize(0, 256) as u8);
+                }
+                _ => {
+                    bytes.remove(at);
+                }
+            }
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        must_not_panic("mutated.c", &mutated);
+    });
+}
+
+#[test]
+fn pathological_literals_never_panic() {
+    // Directed cases for historically panic-prone lexer paths: overlong
+    // hex escapes (i64 overflow), unterminated constructs, bare prefixes.
+    for src in [
+        r#"char c = '\xffffffffffffffffffffff';"#,
+        r#"char *s = "\xffffffffffffffffffffff";"#,
+        "int x = 0x;",
+        "int x = 0xFFFFFFFFFFFFFFFFFFFF;",
+        "int x = 099999999999999999999;",
+        "float f = 1e99999999;",
+        "float f = .5e+;",
+        "int x = 'a",
+        "char *s = \"never closed",
+        "/* never closed",
+        "/** SafeFlow Annotation assume(shmvar(p,",
+        "/** SafeFlow Annotation ***",
+        "#include \"missing.h\"\nint main() { return 0; }",
+    ] {
+        must_not_panic("pathological.c", src);
+    }
+}

@@ -1,0 +1,189 @@
+//! Deterministic fault injection for the analysis pipeline.
+//!
+//! A [`FaultPlan`] decides, for a named [`FaultSite`] and a *stable* key
+//! (an SCC index, a function id — never a global occurrence counter),
+//! whether to inject a [`FaultKind`] there. Decisions are a pure function
+//! of `(plan, site, key)`, so the same plan injects the same faults at
+//! `--jobs 1` and `--jobs 8` regardless of scheduling — which is what lets
+//! the fault-injection suite assert byte-identical degraded reports across
+//! thread counts.
+//!
+//! Plans come in two flavors that compose:
+//!
+//! * **targeted rules** ([`FaultPlan::with_fault`] / [`FaultPlan::panic_at`])
+//!   pin a fault to one site+key — used by the golden degraded-report
+//!   snapshots and the CLI `--inject` flag;
+//! * **seeded plans** ([`FaultPlan::seeded`]) draw per-(site, key)
+//!   decisions from a [`SplitMix64`] stream keyed by a hash of the
+//!   coordinates — used by the monotone-conservatism property test to
+//!   sweep many fault combinations.
+
+use crate::rng::SplitMix64;
+
+/// A named injection point in the analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The per-SCC summary-analysis task (key: SCC index).
+    SccAnalysis,
+    /// A constraint-solver invocation (key: function id).
+    Solver,
+    /// The summary cache (key: SCC index).
+    SummaryCache,
+}
+
+/// What kind of fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the site (exercises containment).
+    Panic,
+    /// Force the site's resource budget to read as exhausted (exercises
+    /// graceful degradation).
+    BudgetExhaustion,
+}
+
+#[derive(Debug, Clone)]
+struct FaultRule {
+    site: FaultSite,
+    /// `None` matches every key at the site.
+    key: Option<u64>,
+    kind: FaultKind,
+}
+
+/// A deterministic schedule of injected faults (see module docs).
+///
+/// The default plan injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    seeded: Option<(u64, f64)>,
+}
+
+fn site_salt(site: FaultSite) -> u64 {
+    match site {
+        FaultSite::SccAnalysis => 0x5CC0_0001,
+        FaultSite::Solver => 0x501F_0002,
+        FaultSite::SummaryCache => 0xCAC8_0003,
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a targeted rule: inject `kind` at `site` for `key` (or every
+    /// key there if `key` is `None`).
+    pub fn with_fault(mut self, site: FaultSite, key: Option<u64>, kind: FaultKind) -> FaultPlan {
+        self.rules.push(FaultRule { site, key, kind });
+        self
+    }
+
+    /// A plan with a single targeted panic at `site`/`key`.
+    pub fn panic_at(site: FaultSite, key: u64) -> FaultPlan {
+        FaultPlan::new().with_fault(site, Some(key), FaultKind::Panic)
+    }
+
+    /// A plan with a single targeted budget exhaustion at `site`/`key`.
+    pub fn exhaust_at(site: FaultSite, key: u64) -> FaultPlan {
+        FaultPlan::new().with_fault(site, Some(key), FaultKind::BudgetExhaustion)
+    }
+
+    /// A seeded plan: each `(site, key)` pair independently faults with
+    /// probability `rate`, choosing panic vs budget exhaustion by a second
+    /// coin flip. Decisions depend only on `(seed, site, key)`.
+    pub fn seeded(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan { rules: Vec::new(), seeded: Some((seed, rate)) }
+    }
+
+    /// `true` if the plan injects nothing anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.seeded.is_none()
+    }
+
+    /// The fault (if any) this plan injects at `site` for `key`.
+    pub fn fault_at(&self, site: FaultSite, key: u64) -> Option<FaultKind> {
+        for r in &self.rules {
+            if r.site == site && r.key.map_or(true, |k| k == key) {
+                return Some(r.kind);
+            }
+        }
+        if let Some((seed, rate)) = self.seeded {
+            // Key the stream by the coordinates, not by call order: the
+            // decision must not depend on scheduling.
+            let mix = seed
+                ^ site_salt(site).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ key.wrapping_mul(0xA24B_AED4_963E_E407);
+            let mut rng = SplitMix64::seed_from_u64(mix);
+            if rng.chance(rate) {
+                return Some(if rng.bool() { FaultKind::Panic } else { FaultKind::BudgetExhaustion });
+            }
+        }
+        None
+    }
+
+    /// Panics with a deterministic message if the plan injects
+    /// [`FaultKind::Panic`] at `site`/`key`; returns `true` if it injects
+    /// [`FaultKind::BudgetExhaustion`] there (the caller degrades), and
+    /// `false` if the site is clean.
+    pub fn trip(&self, site: FaultSite, key: u64) -> bool {
+        match self.fault_at(site, key) {
+            Some(FaultKind::Panic) => {
+                panic!("injected fault: panic at {site:?} (key {key})")
+            }
+            Some(FaultKind::BudgetExhaustion) => true,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_rule_hits_only_its_key() {
+        let plan = FaultPlan::panic_at(FaultSite::SccAnalysis, 3);
+        assert_eq!(plan.fault_at(FaultSite::SccAnalysis, 3), Some(FaultKind::Panic));
+        assert_eq!(plan.fault_at(FaultSite::SccAnalysis, 2), None);
+        assert_eq!(plan.fault_at(FaultSite::Solver, 3), None);
+    }
+
+    #[test]
+    fn wildcard_rule_hits_every_key() {
+        let plan =
+            FaultPlan::new().with_fault(FaultSite::Solver, None, FaultKind::BudgetExhaustion);
+        for key in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(plan.fault_at(FaultSite::Solver, key), Some(FaultKind::BudgetExhaustion));
+        }
+    }
+
+    #[test]
+    fn seeded_decisions_are_stable_and_order_independent() {
+        let plan = FaultPlan::seeded(42, 0.5);
+        let forward: Vec<_> = (0..64).map(|k| plan.fault_at(FaultSite::SccAnalysis, k)).collect();
+        let backward: Vec<_> =
+            (0..64).rev().map(|k| plan.fault_at(FaultSite::SccAnalysis, k)).collect();
+        let mut backward_rev = backward;
+        backward_rev.reverse();
+        assert_eq!(forward, backward_rev);
+        // A 0.5-rate plan over 64 keys should fault somewhere and stay
+        // clean somewhere.
+        assert!(forward.iter().any(Option::is_some));
+        assert!(forward.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn seeded_sites_are_decorrelated() {
+        let plan = FaultPlan::seeded(7, 0.5);
+        let a: Vec<_> = (0..64).map(|k| plan.fault_at(FaultSite::SccAnalysis, k)).collect();
+        let b: Vec<_> = (0..64).map(|k| plan.fault_at(FaultSite::SummaryCache, k)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic at SccAnalysis (key 5)")]
+    fn trip_panics_deterministically() {
+        FaultPlan::panic_at(FaultSite::SccAnalysis, 5).trip(FaultSite::SccAnalysis, 5);
+    }
+}

@@ -10,20 +10,25 @@
 //!   the randomly-keyed std hasher);
 //! * [`pool`] — a work-stealing thread pool with dependency-DAG
 //!   scheduling, used by the parallel analysis engine to run call-graph
-//!   SCCs concurrently;
+//!   SCCs concurrently, with per-task panic containment
+//!   ([`pool::PoolPolicy`]);
 //! * [`prop`] — a miniature deterministic property-test harness
-//!   (seeded-case loops with seed reporting on failure).
+//!   (seeded-case loops with seed reporting on failure);
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) for
+//!   exercising the analyzer's degradation paths.
 //!
 //! Everything here is built on `std` only: the workspace builds and tests
 //! fully offline.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod hash;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use hash::Fnv64;
-pub use pool::{run_dag, run_map};
+pub use pool::{run_dag, run_dag_isolated, run_map, PoolPolicy, TaskPanic};
 pub use rng::SplitMix64;

@@ -14,13 +14,56 @@
 //! determinism guarantee rests on: parallelism changes only *when* a task
 //! runs, never *what* is returned.
 //!
-//! A panic inside any task aborts the run: remaining tasks are abandoned,
-//! all workers drain, and the panic is re-raised on the caller's thread.
+//! Panics inside tasks are handled according to a [`PoolPolicy`]:
+//! [`run_dag`] uses [`PoolPolicy::Propagate`] (fail-stop: remaining tasks
+//! are abandoned, all workers drain, and the panic is re-raised on the
+//! caller's thread), while [`run_dag_isolated`] uses
+//! [`PoolPolicy::Isolate`] (the panicking task is recorded as a
+//! [`TaskPanic`] in its result slot, its dependents still run, and every
+//! independent task completes normally). Isolation is what lets the
+//! analysis engine contain a fault to one SCC instead of losing the whole
+//! run.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+
+/// What the pool does when a task panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolPolicy {
+    /// Fail-stop: abandon remaining tasks and re-raise the panic on the
+    /// caller's thread (the historical [`run_dag`] behavior).
+    Propagate,
+    /// Contain: record the panic as a [`TaskPanic`] in the task's result
+    /// slot and keep going — dependents and independent tasks still run.
+    Isolate,
+}
+
+/// A contained task panic (see [`PoolPolicy::Isolate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the task that panicked.
+    pub index: usize,
+    /// The panic payload rendered as a string (`&str` / `String` payloads
+    /// are preserved verbatim; anything else becomes a fixed placeholder
+    /// so reports stay deterministic).
+    pub message: String,
+}
+
+/// Renders a panic payload as a deterministic string: `&str` / `String`
+/// payloads are preserved verbatim, anything else becomes a fixed
+/// placeholder. Exposed so other crates containing panics themselves
+/// (e.g. via `catch_unwind`) normalize messages the same way.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Runs `n = deps.len()` tasks respecting `deps` (a DAG: `deps[i]` are the
 /// task indices that must complete before task `i` starts), on `jobs`
@@ -39,6 +82,44 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_dag_inner(jobs, deps, PoolPolicy::Propagate, task)
+        .into_iter()
+        .map(|r| r.expect("Propagate policy re-raises panics before returning"))
+        .collect()
+}
+
+/// Like [`run_dag`], but with [`PoolPolicy::Isolate`]: a panicking task is
+/// recorded as `Err(TaskPanic)` in its result slot instead of aborting the
+/// run. Dependents of a panicked task still run (they observe whatever
+/// side channel the caller uses to publish results — under this pool the
+/// only signal is the `Err` slot), and all independent tasks complete
+/// normally.
+///
+/// The returned vector is still a pure function of the task closure and
+/// the panic set — independent of worker count and scheduling, so the
+/// determinism guarantee survives containment.
+pub fn run_dag_isolated<T, F>(
+    jobs: usize,
+    deps: &[Vec<usize>],
+    task: F,
+) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_dag_inner(jobs, deps, PoolPolicy::Isolate, task)
+}
+
+fn run_dag_inner<T, F>(
+    jobs: usize,
+    deps: &[Vec<usize>],
+    policy: PoolPolicy,
+    task: F,
+) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let n = deps.len();
     if n == 0 {
         return Vec::new();
@@ -50,7 +131,7 @@ where
     }
     let jobs = jobs.max(1).min(n);
     if jobs == 1 {
-        return run_sequential(deps, task);
+        return run_sequential(deps, policy, task);
     }
     // Workers park while waiting for dependencies; a cyclic "DAG" would
     // park them forever. Reject it up front (cheap Kahn pass).
@@ -61,7 +142,8 @@ where
         deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
 
     // Seed: initially-ready tasks round-robin over the workers.
     {
@@ -84,6 +166,7 @@ where
         idle: Mutex::new(()),
         wake: Condvar::new(),
         panic: Mutex::new(None),
+        policy,
     };
 
     std::thread::scope(|scope| {
@@ -120,7 +203,7 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
-fn run_sequential<T, F>(deps: &[Vec<usize>], task: F) -> Vec<T>
+fn run_sequential<T, F>(deps: &[Vec<usize>], policy: PoolPolicy, task: F) -> Vec<Result<T, TaskPanic>>
 where
     F: Fn(usize) -> T,
 {
@@ -132,10 +215,19 @@ where
         .filter(|&i| remaining[i] == 0)
         .map(std::cmp::Reverse)
         .collect();
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<Result<T, TaskPanic>>> = (0..n).map(|_| None).collect();
     let mut ran = 0usize;
     while let Some(std::cmp::Reverse(i)) = ready.pop() {
-        results[i] = Some(task(i));
+        match catch_unwind(AssertUnwindSafe(|| task(i))) {
+            Ok(value) => results[i] = Some(Ok(value)),
+            Err(payload) => match policy {
+                PoolPolicy::Propagate => resume_unwind(payload),
+                PoolPolicy::Isolate => {
+                    results[i] =
+                        Some(Err(TaskPanic { index: i, message: panic_message(&*payload) }));
+                }
+            },
+        }
         ran += 1;
         for &j in &dependents[i] {
             remaining[j] -= 1;
@@ -180,12 +272,13 @@ struct Shared<'a, T> {
     dependents: &'a [Vec<usize>],
     remaining: &'a [AtomicUsize],
     queues: &'a [Mutex<VecDeque<usize>>],
-    results: &'a [Mutex<Option<T>>],
+    results: &'a [Mutex<Option<Result<T, TaskPanic>>>],
     done: AtomicUsize,
     total: usize,
     idle: Mutex<()>,
     wake: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    policy: PoolPolicy,
 }
 
 impl<T> Shared<'_, T> {
@@ -244,27 +337,33 @@ where
             continue;
         };
 
-        match catch_unwind(AssertUnwindSafe(|| task(i))) {
-            Ok(value) => {
-                *shared.results[i].lock().unwrap() = Some(value);
-                // Release dependents whose last dependency this was.
-                let mut released = false;
-                for &j in &shared.dependents[i] {
-                    if shared.remaining[j].fetch_sub(1, Ordering::AcqRel) == 1 {
-                        shared.queues[me].lock().unwrap().push_back(j);
-                        released = true;
-                    }
+        let outcome = match catch_unwind(AssertUnwindSafe(|| task(i))) {
+            Ok(value) => Ok(value),
+            Err(payload) => match shared.policy {
+                PoolPolicy::Propagate => {
+                    shared.abort(payload);
+                    return;
                 }
-                let now_done = shared.done.fetch_add(1, Ordering::SeqCst) + 1;
-                if released || now_done >= shared.total {
-                    let _g = shared.idle.lock().unwrap();
-                    shared.wake.notify_all();
+                PoolPolicy::Isolate => {
+                    Err(TaskPanic { index: i, message: panic_message(&*payload) })
                 }
+            },
+        };
+        *shared.results[i].lock().unwrap() = Some(outcome);
+        // Release dependents whose last dependency this was. Under Isolate
+        // a panicked task still releases its dependents: they run and see
+        // the `Err` slot instead of being silently abandoned.
+        let mut released = false;
+        for &j in &shared.dependents[i] {
+            if shared.remaining[j].fetch_sub(1, Ordering::AcqRel) == 1 {
+                shared.queues[me].lock().unwrap().push_back(j);
+                released = true;
             }
-            Err(payload) => {
-                shared.abort(payload);
-                return;
-            }
+        }
+        let now_done = shared.done.fetch_add(1, Ordering::SeqCst) + 1;
+        if released || now_done >= shared.total {
+            let _g = shared.idle.lock().unwrap();
+            shared.wake.notify_all();
         }
     }
 }
@@ -339,6 +438,62 @@ mod tests {
         run_dag(4, &vec![vec![]; 16], |i| {
             if i == 7 {
                 panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn isolated_panic_is_contained() {
+        // 0 -> 1 -> 2 with 1 panicking: 0 and 2 still run, 1 is an Err.
+        let deps = vec![vec![], vec![0], vec![1]];
+        for jobs in [1, 2, 4] {
+            let out = run_dag_isolated(jobs, &deps, |i| {
+                if i == 1 {
+                    panic!("scc 1 exploded");
+                }
+                i * 10
+            });
+            assert_eq!(out[0].as_ref().unwrap(), &0, "jobs = {jobs}");
+            let e = out[1].as_ref().unwrap_err();
+            assert_eq!((e.index, e.message.as_str()), (1, "scc 1 exploded"));
+            assert_eq!(out[2].as_ref().unwrap(), &20, "dependent of panicked task must run");
+        }
+    }
+
+    #[test]
+    fn isolated_results_independent_of_jobs() {
+        let deps: Vec<Vec<usize>> = (0..40)
+            .map(|i| (0..i).filter(|d| i % (d + 2) == 0).collect())
+            .collect();
+        let run = |jobs| {
+            run_dag_isolated(jobs, &deps, |i| {
+                if i % 7 == 3 {
+                    panic!("task {i} down");
+                }
+                i * 2
+            })
+        };
+        let seq = run(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(run(jobs), seq);
+        }
+    }
+
+    #[test]
+    fn isolated_nonstring_payload_is_normalized() {
+        let out = run_dag_isolated(1, &[vec![]], |_| -> usize {
+            std::panic::panic_any(42i32)
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().message, "non-string panic payload");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom-seq")]
+    fn task_panic_propagates_sequential() {
+        run_dag(1, &vec![vec![]; 4], |i| {
+            if i == 2 {
+                panic!("boom-seq");
             }
             i
         });
