@@ -7,7 +7,7 @@
 CARGO ?= cargo
 SAFEFLOW = target/release/safeflow
 
-.PHONY: all build test bench smoke fuzz-smoke golden clean
+.PHONY: all build test lint bench smoke metrics-demo fuzz-smoke golden clean
 
 all: build
 
@@ -16,6 +16,10 @@ build:
 
 test:
 	$(CARGO) test -q
+
+lint:
+	$(CARGO) fmt --all --check
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
 bench:
 	$(CARGO) bench -q -p safeflow-bench
@@ -31,9 +35,11 @@ golden:
 fuzz-smoke:
 	FUZZ_CASES=2000 $(CARGO) test -q -p safeflow-syntax --test fuzz_smoke
 
-# Build + test + determinism at two thread counts: the summary engine's
-# corpus reports must be byte-identical at --jobs 1 and --jobs 8.
-smoke: build test
+# Lint + build + test + determinism at two thread counts: the summary
+# engine's corpus reports must be byte-identical at --jobs 1 and --jobs 8.
+# (The `--format json` byte-identity contract, with volatile metric
+# sections stripped, is covered by crates/core/tests/observability.rs.)
+smoke: lint build test
 	$(SAFEFLOW) --engine summary --jobs 1 --fig2 > /tmp/safeflow-smoke-j1.txt || true
 	$(SAFEFLOW) --engine summary --jobs 8 --fig2 > /tmp/safeflow-smoke-j8.txt || true
 	cmp /tmp/safeflow-smoke-j1.txt /tmp/safeflow-smoke-j8.txt
@@ -48,6 +54,11 @@ smoke: build test
 	  test $$? -eq 3
 	cmp /tmp/safeflow-smoke-fault-j1.txt /tmp/safeflow-smoke-fault-j8.txt
 	@echo "smoke OK: reports byte-identical at --jobs 1 and --jobs 8 (incl. fault-injected)"
+
+# Reproduce the paper's Table 1 with the observability layer on: per-phase
+# timings, solver/taint counters, and summary-cache statistics.
+metrics-demo: build
+	$(SAFEFLOW) --table1 --metrics
 
 clean:
 	$(CARGO) clean

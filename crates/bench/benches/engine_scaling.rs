@@ -17,10 +17,7 @@ fn main() {
 
     for depth in [2usize, 4, 8, 12] {
         let src = generate_core(SyntheticParams { regions: 4, monitors: 4, depth, branches: 2 });
-        for (engine, tag) in [
-            (Engine::ContextSensitive, "context"),
-            (Engine::Summary, "summary"),
-        ] {
+        for (engine, tag) in [(Engine::ContextSensitive, "context"), (Engine::Summary, "summary")] {
             let analyzer = Analyzer::new(AnalysisConfig::with_engine(engine));
             h.bench(&format!("engine_scaling/depth/{tag}/{depth}"), 10, || {
                 let r = analyzer.analyze_source("syn.c", black_box(&src)).expect("analyzes");
@@ -36,10 +33,7 @@ fn main() {
             depth: 6,
             branches: 2,
         });
-        for (engine, tag) in [
-            (Engine::ContextSensitive, "context"),
-            (Engine::Summary, "summary"),
-        ] {
+        for (engine, tag) in [(Engine::ContextSensitive, "context"), (Engine::Summary, "summary")] {
             let analyzer = Analyzer::new(AnalysisConfig::with_engine(engine));
             h.bench(&format!("engine_scaling/monitors/{tag}/{monitors}"), 10, || {
                 let r = analyzer.analyze_source("syn.c", black_box(&src)).expect("analyzes");

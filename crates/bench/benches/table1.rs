@@ -10,10 +10,7 @@ use std::hint::black_box;
 fn main() {
     let h = Harness::from_args();
     for system in safeflow_corpus::systems() {
-        for (engine, tag) in [
-            (Engine::ContextSensitive, "context"),
-            (Engine::Summary, "summary"),
-        ] {
+        for (engine, tag) in [(Engine::ContextSensitive, "context"), (Engine::Summary, "summary")] {
             let analyzer = Analyzer::new(AnalysisConfig::with_engine(engine));
             h.bench(&format!("table1/{tag}/{}", system.name), 10, || {
                 let result = analyzer

@@ -7,6 +7,8 @@
 //! safeflow --engine summary ...    use the ESP-style summary engine
 //! safeflow --jobs 4 ...            parallel analysis on 4 worker threads
 //! safeflow --budget K=V[,..] ...   bound solver/fixpoint/instruction budgets
+//! safeflow --format json ...       machine-readable report (stable schema)
+//! safeflow --metrics[=json] ...    append the run's observability metrics
 //! ```
 //!
 //! Exit codes form the degradation contract: `0` clean, `1` warnings only,
@@ -36,13 +38,38 @@ fn main() -> ExitCode {
     }
 }
 
+/// How `--metrics` renders the run's observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsOut {
+    Text,
+    Json,
+}
+
+/// Output options threaded from the argument parser to the runners.
+#[derive(Debug, Clone, Copy, Default)]
+struct OutputOpts {
+    dot: bool,
+    /// `--format json`: print the stable `safeflow-report-v1` document
+    /// instead of the human-readable report.
+    format_json: bool,
+    metrics: Option<MetricsOut>,
+}
+
+/// Reports an argument error: the message plus the USAGE block, both on
+/// stderr, then exit code 2 (unusable input).
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("safeflow: {msg}");
+    eprintln!("\n{USAGE}");
+    ExitCode::from(2)
+}
+
 fn run() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut engine = Engine::ContextSensitive;
     let mut files: Vec<String> = Vec::new();
     let mut table1 = false;
     let mut fig2 = false;
-    let mut dot = false;
+    let mut out = OutputOpts::default();
     let mut jobs = 1usize;
     let mut budget = Budget::unlimited();
     let mut injects: Vec<(FaultSite, Option<u64>, FaultKind)> = Vec::new();
@@ -53,44 +80,49 @@ fn run() -> ExitCode {
         match args[i].as_str() {
             "--table1" => table1 = true,
             "--fig2" => fig2 = true,
-            "--dot" => dot = true,
+            "--dot" => out.dot = true,
+            "--metrics" => out.metrics = Some(MetricsOut::Text),
+            "--metrics=json" => out.metrics = Some(MetricsOut::Json),
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => out.format_json = true,
+                    Some("text") => out.format_json = false,
+                    Some(other) => {
+                        return usage_error(&format!(
+                            "unknown format `{other}` (use `json` or `text`)"
+                        ))
+                    }
+                    None => return usage_error("--format requires an argument (json or text)"),
+                }
+            }
             "--budget" => {
                 i += 1;
                 let Some(spec) = args.get(i) else {
-                    eprintln!("--budget requires an argument (e.g. solver-steps=1000)");
-                    return ExitCode::from(2);
+                    return usage_error("--budget requires an argument (e.g. solver-steps=1000)");
                 };
                 if let Err(e) = parse_budget(spec, &mut budget) {
-                    eprintln!("--budget: {e}");
-                    return ExitCode::from(2);
+                    return usage_error(&format!("--budget: {e}"));
                 }
             }
             "--inject" => {
                 i += 1;
                 let Some(spec) = args.get(i) else {
-                    eprintln!("--inject requires an argument (SITE[:KEY][:KIND])");
-                    return ExitCode::from(2);
+                    return usage_error("--inject requires an argument (SITE[:KEY][:KIND])");
                 };
                 match parse_inject(spec) {
                     Ok(rule) => injects.push(rule),
-                    Err(e) => {
-                        eprintln!("--inject: {e}");
-                        return ExitCode::from(2);
-                    }
+                    Err(e) => return usage_error(&format!("--inject: {e}")),
                 }
             }
             "--fault-seed" => {
                 i += 1;
                 let Some(spec) = args.get(i) else {
-                    eprintln!("--fault-seed requires an argument (SEED[:RATE])");
-                    return ExitCode::from(2);
+                    return usage_error("--fault-seed requires an argument (SEED[:RATE])");
                 };
                 match parse_fault_seed(spec) {
                     Ok(sr) => fault_seed = Some(sr),
-                    Err(e) => {
-                        eprintln!("--fault-seed: {e}");
-                        return ExitCode::from(2);
-                    }
+                    Err(e) => return usage_error(&format!("--fault-seed: {e}")),
                 }
             }
             "--engine" => {
@@ -101,8 +133,9 @@ fn run() -> ExitCode {
                         engine = Engine::ContextSensitive
                     }
                     other => {
-                        eprintln!("unknown engine {other:?} (use `summary` or `context`)");
-                        return ExitCode::from(2);
+                        return usage_error(&format!(
+                            "unknown engine {other:?} (use `summary` or `context`)"
+                        ))
                     }
                 }
             }
@@ -113,13 +146,15 @@ fn run() -> ExitCode {
                     Some(n) => match n.parse::<usize>() {
                         Ok(n) if n >= 1 => jobs = n,
                         _ => {
-                            eprintln!("--jobs takes a positive integer or `auto`, got {n:?}");
-                            return ExitCode::from(2);
+                            return usage_error(&format!(
+                                "--jobs takes a positive integer or `auto`, got {n:?}"
+                            ))
                         }
                     },
                     None => {
-                        eprintln!("--jobs requires an argument (a thread count or `auto`)");
-                        return ExitCode::from(2);
+                        return usage_error(
+                            "--jobs requires an argument (a thread count or `auto`)",
+                        )
                     }
                 }
             }
@@ -128,8 +163,7 @@ fn run() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
-                eprintln!("unknown flag `{flag}` (try --help)");
-                return ExitCode::from(2);
+                return usage_error(&format!("unknown flag `{flag}` (try --help)"));
             }
             file => files.push(file.to_string()),
         }
@@ -149,25 +183,24 @@ fn run() -> ExitCode {
     }
 
     if table1 {
-        return run_table1(&config);
+        return run_table1(&config, &out);
     }
     if fig2 {
-        return run_source(&config, "figure2.c", safeflow_corpus::figure2_example(), dot);
+        return run_source(&config, "figure2.c", safeflow_corpus::figure2_example(), &out);
     }
     if files.is_empty() {
         print_help();
         return ExitCode::from(2);
     }
-    run_files(&config, &files, dot)
+    run_files(&config, &files, &out)
 }
 
 /// Parses a `--budget` spec (`key=value[,key=value...]`) into `budget`.
 /// Keys: `solver-steps`, `fixpoint-rounds`, `max-insts`, `deadline-ms`.
 fn parse_budget(spec: &str, budget: &mut Budget) -> Result<(), String> {
     for part in spec.split(',').filter(|p| !p.is_empty()) {
-        let (key, value) = part
-            .split_once('=')
-            .ok_or_else(|| format!("`{part}` is not of the form key=value"))?;
+        let (key, value) =
+            part.split_once('=').ok_or_else(|| format!("`{part}` is not of the form key=value"))?;
         let parse = |what: &str| -> Result<u64, String> {
             value.parse::<u64>().map_err(|_| format!("{what} takes a number, got `{value}`"))
         };
@@ -212,10 +245,9 @@ fn parse_inject(spec: &str) -> Result<(FaultSite, Option<u64>, FaultKind), Strin
             "budget" => kind = FaultKind::BudgetExhaustion,
             "*" => key = None,
             n => {
-                key = Some(
-                    n.parse::<u64>()
-                        .map_err(|_| format!("`{n}` is not a key number, `*`, `panic`, or `budget`"))?,
-                );
+                key = Some(n.parse::<u64>().map_err(|_| {
+                    format!("`{n}` is not a key number, `*`, `panic`, or `budget`")
+                })?);
             }
         }
     }
@@ -242,6 +274,13 @@ fn parse_fault_seed(spec: &str) -> Result<(u64, f64), String> {
     Ok((seed, rate))
 }
 
+/// The USAGE block, shared by `--help` (stdout) and argument-error
+/// reporting (stderr).
+const USAGE: &str = "USAGE:\n\
+     \x20 safeflow [OPTIONS] FILE.c [FILE2.c ...]\n\
+     \x20 safeflow --table1 | --fig2\n\
+     (run `safeflow --help` for the full option list)";
+
 fn print_help() {
     println!(
         "safeflow — static analysis enforcing safe value flow (DSN 2006)\n\
@@ -261,6 +300,10 @@ fn print_help() {
          \x20 --inject SITE[:KEY][:KIND] inject a deterministic fault (testing);\n\
          \x20                            SITE: scc|solver|cache, KIND: panic|budget\n\
          \x20 --fault-seed SEED[:RATE]   seeded random fault plan (testing)\n\
+         \x20 --format json|text         report format (default: text); json emits\n\
+         \x20                            the stable `safeflow-report-v1` document\n\
+         \x20 --metrics[=json]           append the run's observability metrics\n\
+         \x20                            (counters/work/sched/dist/timings sections)\n\
          \x20 --dot                      emit Graphviz value-flow graphs for errors\n\
          \x20 --table1                   regenerate the paper's Table 1 on the corpus\n\
          \x20 --fig2                     analyze the paper's Figure 2 example\n\
@@ -271,7 +314,38 @@ fn print_help() {
     );
 }
 
-fn run_files(config: &AnalysisConfig, files: &[String], dot: bool) -> ExitCode {
+/// Renders one completed analysis according to `out`, returning the
+/// report's exit code.
+fn emit_result(
+    analyzer: &Analyzer,
+    result: &safeflow::AnalysisResult,
+    out: &OutputOpts,
+) -> ExitCode {
+    if out.format_json {
+        println!("{}", analyzer.report_json(result).render());
+    } else {
+        print!("{}", result.report.render(&result.sources));
+    }
+    if out.dot {
+        emit_dot(result);
+    }
+    emit_metrics(analyzer, out);
+    ExitCode::from(result.report.exit_code())
+}
+
+/// Prints the last run's metrics when `--metrics` asked for them.
+fn emit_metrics(analyzer: &Analyzer, out: &OutputOpts) {
+    match out.metrics {
+        Some(MetricsOut::Text) => {
+            println!("-- metrics --");
+            print!("{}", analyzer.last_metrics().render_text());
+        }
+        Some(MetricsOut::Json) => println!("{}", analyzer.last_metrics().to_json().render()),
+        None => {}
+    }
+}
+
+fn run_files(config: &AnalysisConfig, files: &[String], out: &OutputOpts) -> ExitCode {
     let mut fs = VirtualFs::new();
     for f in files {
         match std::fs::read_to_string(f) {
@@ -286,13 +360,7 @@ fn run_files(config: &AnalysisConfig, files: &[String], dot: bool) -> ExitCode {
     }
     let analyzer = Analyzer::new(config.clone());
     match analyzer.analyze_program(&files[0], &fs) {
-        Ok(result) => {
-            print!("{}", result.report.render(&result.sources));
-            if dot {
-                emit_dot(&result);
-            }
-            ExitCode::from(result.report.exit_code())
-        }
+        Ok(result) => emit_result(&analyzer, &result, out),
         Err(e) => {
             eprintln!("{e}");
             ExitCode::from(2)
@@ -309,16 +377,10 @@ fn emit_dot(result: &safeflow::AnalysisResult) {
     }
 }
 
-fn run_source(config: &AnalysisConfig, name: &str, src: &str, dot: bool) -> ExitCode {
+fn run_source(config: &AnalysisConfig, name: &str, src: &str, out: &OutputOpts) -> ExitCode {
     let analyzer = Analyzer::new(config.clone());
     match analyzer.analyze_source(name, src) {
-        Ok(result) => {
-            print!("{}", result.report.render(&result.sources));
-            if dot {
-                emit_dot(&result);
-            }
-            ExitCode::from(result.report.exit_code())
-        }
+        Ok(result) => emit_result(&analyzer, &result, out),
         Err(e) => {
             eprintln!("{e}");
             ExitCode::from(2)
@@ -328,7 +390,7 @@ fn run_source(config: &AnalysisConfig, name: &str, src: &str, dot: bool) -> Exit
 
 /// Regenerates Table 1: one row per corpus system, paper numbers alongside
 /// measured numbers.
-fn run_table1(config: &AnalysisConfig) -> ExitCode {
+fn run_table1(config: &AnalysisConfig, out: &OutputOpts) -> ExitCode {
     println!("Table 1: Applying SafeFlow to Control Systems (paper -> measured)\n");
     println!(
         "{:<16} {:>13} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
@@ -385,10 +447,10 @@ fn run_table1(config: &AnalysisConfig) -> ExitCode {
             }
         }
     }
-    println!(
-        "\nfinding counts {} the paper's Table 1",
-        if ok { "MATCH" } else { "DO NOT MATCH" }
-    );
+    println!("\nfinding counts {} the paper's Table 1", if ok { "MATCH" } else { "DO NOT MATCH" });
+    // With --metrics: the registry is per-run, so this shows the last
+    // corpus system analyzed — a representative sample for the demo.
+    emit_metrics(&analyzer, out);
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -399,10 +461,6 @@ fn run_table1(config: &AnalysisConfig) -> ExitCode {
 fn print_defects(system: &System, report: &safeflow::AnalysisReport) {
     for defect in &system.defects {
         let found = report.errors.iter().any(|e| e.critical == defect.critical);
-        println!(
-            "    defect {:<26} [{}]",
-            defect.id,
-            if found { "FOUND" } else { "MISSED" },
-        );
+        println!("    defect {:<26} [{}]", defect.id, if found { "FOUND" } else { "MISSED" },);
     }
 }

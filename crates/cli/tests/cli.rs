@@ -53,15 +53,9 @@ fn bad_inject_site_exits_2() {
 #[test]
 fn table1_matches_and_exits_zero() {
     for engine in ["context", "summary"] {
-        let out = safeflow()
-            .args(["--engine", engine, "--table1"])
-            .output()
-            .expect("runs");
+        let out = safeflow().args(["--engine", engine, "--table1"]).output().expect("runs");
         let text = String::from_utf8_lossy(&out.stdout);
-        assert!(
-            out.status.success(),
-            "--table1 with {engine} must match:\n{text}"
-        );
+        assert!(out.status.success(), "--table1 with {engine} must match:\n{text}");
         assert!(text.contains("finding counts MATCH"), "{text}");
         assert!(text.contains("[FOUND]"));
         assert!(!text.contains("[MISSED]"));
@@ -102,9 +96,99 @@ fn dot_flag_emits_graphviz() {
 }
 
 #[test]
-fn unknown_flag_exits_2() {
+fn unknown_flag_exits_2_and_prints_usage() {
     let out = safeflow().arg("--bogus").output().expect("runs");
     assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--bogus`"), "{err}");
+    assert!(err.contains("USAGE"), "argument errors must print usage:\n{err}");
+}
+
+#[test]
+fn jobs_zero_exits_2_and_prints_usage() {
+    let out = safeflow().args(["--jobs", "0", "--fig2"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn trailing_value_flags_exit_2_and_print_usage() {
+    for flag in ["--budget", "--inject", "--fault-seed", "--jobs", "--engine", "--format"] {
+        let out = safeflow().args(["--fig2", flag]).output().expect("runs");
+        assert_eq!(out.status.code(), Some(2), "trailing {flag} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("USAGE"), "trailing {flag} must print usage:\n{err}");
+    }
+}
+
+#[test]
+fn metrics_flag_appends_metrics_block() {
+    let out = safeflow().args(["--fig2", "--metrics"]).output().expect("runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("-- metrics --"), "{text}");
+    assert!(text.contains("counters.report.warnings"), "{text}");
+    assert!(text.contains("counters.taint.contexts"), "{text}");
+}
+
+#[test]
+fn metrics_json_flag_emits_sections() {
+    let out = safeflow()
+        .args(["--fig2", "--engine", "summary", "--metrics=json"])
+        .output()
+        .expect("runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for section in ["\"counters\"", "\"work\"", "\"sched\"", "\"dist\"", "\"timings_ns\""] {
+        assert!(text.contains(section), "missing {section} in:\n{text}");
+    }
+    assert!(text.contains("summary.cache_misses"), "{text}");
+}
+
+/// Drops the schedule-dependent `metrics` sections (`sched`, `dist`,
+/// `timings_ns`) from a rendered `safeflow-report-v1` document. The
+/// sections are objects at a fixed indent (4 spaces) of the pretty
+/// printer, so a line-based scan is exact.
+fn strip_volatile_sections(doc: &str) -> String {
+    let mut out = String::new();
+    let mut skipping = false;
+    for line in doc.lines() {
+        if skipping {
+            if line == "    }," || line == "    }" {
+                skipping = false;
+            }
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if line.starts_with("    \"")
+            && ["\"sched\":", "\"dist\":", "\"timings_ns\":"].iter().any(|s| trimmed.starts_with(s))
+        {
+            skipping = !trimmed.ends_with("{},") && !trimmed.ends_with("{}");
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn format_json_is_byte_identical_across_thread_counts() {
+    let run = |jobs: &str| {
+        let out = safeflow()
+            .args(["--fig2", "--engine", "summary", "--format", "json", "--jobs", jobs])
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "fig2 reports an error");
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(text.contains("\"schema\": \"safeflow-report-v1\""), "{text}");
+        strip_volatile_sections(&text)
+    };
+    let reference = run("1");
+    assert!(reference.contains("\"summary.cache_misses\""), "{reference}");
+    for jobs in ["4", "8"] {
+        assert_eq!(run(jobs), reference, "JSON report diverged at --jobs {jobs}");
+    }
 }
 
 #[test]

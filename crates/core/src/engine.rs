@@ -32,6 +32,7 @@ use crate::summary::Summary;
 use safeflow_ir::{CallGraph, FuncId, GlobalId, Module, Value};
 use safeflow_points_to::PointsTo;
 use safeflow_util::hash::Fnv64;
+use safeflow_util::metrics::{Class, Metrics};
 use std::collections::{BTreeSet, HashMap};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -89,6 +90,9 @@ impl SummaryCache {
 /// One content hash per SCC of `callgraph`, chained bottom-up: `deps` must
 /// be `callgraph.scc_dependencies()` (every dependency index precedes its
 /// dependent, which the bottom-up SCC order guarantees).
+///
+/// Records the Merkle-hashing wall-clock under `engine.scc_hash_ns` and
+/// the SCC/function totals as deterministic counters.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn scc_hashes(
     module: &Module,
@@ -100,21 +104,30 @@ pub(crate) fn scc_hashes(
     callgraph: &CallGraph,
     deps: &[Vec<usize>],
     assumed_of: &HashMap<FuncId, BTreeSet<RegionId>>,
+    metrics: &Metrics,
 ) -> Vec<u64> {
+    let t0 = std::time::Instant::now();
     let env = env_hash(module, regions, config, noncore_sockets);
     let mut out: Vec<u64> = Vec::with_capacity(callgraph.sccs.len());
+    let mut functions = 0u64;
     for (i, scc) in callgraph.sccs.iter().enumerate() {
         let mut h = Fnv64::new();
         h.write_u64(env);
         h.write_usize(scc.len());
         for &fid in scc {
             h.write_u64(function_sig(module, shm, pt, fid, assumed_of.get(&fid)));
+            functions += 1;
         }
         for &d in &deps[i] {
             h.write_u64(out[d]);
         }
         out.push(h.finish());
     }
+    metrics.add_many(
+        Class::Counter,
+        &[("engine.sccs_hashed", out.len() as u64), ("engine.functions_hashed", functions)],
+    );
+    metrics.record_ns("engine.scc_hash_ns", t0.elapsed().as_nanos() as u64);
     out
 }
 
@@ -255,7 +268,19 @@ mod tests {
         let config = AnalysisConfig::default();
         let deps = cg.scc_dependencies();
         let assumed: HashMap<FuncId, BTreeSet<RegionId>> = HashMap::new();
-        let hs = scc_hashes(&m, &regions, &shm, &pt, &config, &BTreeSet::new(), &cg, &deps, &assumed);
+        let metrics = Metrics::new();
+        let hs = scc_hashes(
+            &m,
+            &regions,
+            &shm,
+            &pt,
+            &config,
+            &BTreeSet::new(),
+            &cg,
+            &deps,
+            &assumed,
+            &metrics,
+        );
         let names = cg
             .sccs
             .iter()
@@ -306,14 +331,13 @@ mod tests {
     /// points-to solver's lazy `Obj::Field` interning.
     #[test]
     fn hashes_are_reproducible_with_loops_and_shm() {
-        let src = safeflow_corpus::synthetic::generate_wide(
-            safeflow_corpus::synthetic::WideParams {
+        let src =
+            safeflow_corpus::synthetic::generate_wide(safeflow_corpus::synthetic::WideParams {
                 families: 3,
                 depth: 2,
                 regions: 2,
                 branches: 2,
-            },
-        );
+            });
         let (names_a, a) = hashes_for(&src);
         let (names_b, b) = hashes_for(&src);
         assert_eq!(names_a, names_b);

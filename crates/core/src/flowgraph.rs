@@ -51,11 +51,7 @@ use safeflow_syntax::source::SourceMap;
 pub fn error_to_dot(error: &ErrorDependency, sources: &SourceMap) -> String {
     let mut out = String::from("digraph valueflow {\n");
     out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
-    let path = error
-        .flow
-        .as_ref()
-        .map(|f| f.path())
-        .unwrap_or_default();
+    let path = error.flow.as_ref().map(|f| f.path()).unwrap_or_default();
     if path.is_empty() {
         out.push_str(&format!(
             "  sink [label=\"{}\", style=filled, fillcolor=\"#ffdddd\"];\n",
@@ -71,11 +67,7 @@ pub fn error_to_dot(error: &ErrorDependency, sources: &SourceMap) -> String {
         } else {
             ""
         };
-        out.push_str(&format!(
-            "  n{i} [label=\"{}\\n{}\"{color}];\n",
-            escape(what),
-            escape(&loc)
-        ));
+        out.push_str(&format!("  n{i} [label=\"{}\\n{}\"{color}];\n", escape(what), escape(&loc)));
         if i > 0 {
             out.push_str(&format!("  n{} -> n{};\n", i - 1, i));
         }
@@ -107,8 +99,24 @@ pub fn report_flows(report: &AnalysisReport, sources: &SourceMap) -> String {
     out
 }
 
+/// Escapes a string for use inside a double-quoted DOT label: backslash,
+/// quote, and the common whitespace controls get escape sequences; any
+/// other control character would make the output invalid DOT, so it is
+/// dropped.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_control() => {}
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -142,9 +150,7 @@ mod tests {
 
     #[test]
     fn dot_contains_source_and_sink() {
-        let result = Analyzer::new(AnalysisConfig::default())
-            .analyze_source("t.c", SRC)
-            .unwrap();
+        let result = Analyzer::new(AnalysisConfig::default()).analyze_source("t.c", SRC).unwrap();
         let dot = error_to_dot(&result.report.errors[0], &result.sources);
         assert!(dot.contains("digraph valueflow"));
         assert!(dot.contains("non-core"), "{dot}");
@@ -154,25 +160,57 @@ mod tests {
 
     #[test]
     fn report_flows_lists_every_error() {
-        let result = Analyzer::new(AnalysisConfig::default())
-            .analyze_source("t.c", SRC)
-            .unwrap();
+        let result = Analyzer::new(AnalysisConfig::default()).analyze_source("t.c", SRC).unwrap();
         let text = report_flows(&result.report, &result.sources);
         assert!(text.contains("[1] critical `out`"));
         assert!(text.contains("unmonitored read"));
     }
 
+    /// Counts quote characters that actually delimit strings, honoring
+    /// backslash escapes (substring matching double-counts `\\"`, where
+    /// the backslash is itself escaped and the quote is a real delimiter).
+    fn delimiter_quotes(line: &str) -> usize {
+        let mut count = 0;
+        let mut escaped = false;
+        for c in line.chars() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                count += 1;
+            }
+        }
+        count
+    }
+
     #[test]
     fn dot_escapes_quotes() {
         // Labels contain backtick-quoted names; ensure output stays valid.
-        let result = Analyzer::new(AnalysisConfig::default())
-            .analyze_source("t.c", SRC)
-            .unwrap();
+        let result = Analyzer::new(AnalysisConfig::default()).analyze_source("t.c", SRC).unwrap();
         let dot = error_to_dot(&result.report.errors[0], &result.sources);
         // No raw unescaped quote inside a label.
         for line in dot.lines() {
-            let quotes = line.matches('"').count() - line.matches("\\\"").count();
-            assert!(quotes % 2 == 0, "unbalanced quotes in {line}");
+            assert!(delimiter_quotes(line).is_multiple_of(2), "unbalanced quotes in {line}");
         }
+    }
+
+    #[test]
+    fn escape_handles_control_characters() {
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\r\nb\tc"), "a\\r\\nb\\tc");
+        // Other control characters are dropped, not passed through.
+        assert_eq!(escape("a\u{7}b\u{1b}c"), "abc");
+        // The original cases still hold.
+        assert_eq!(escape(r#"a\"b"#), r#"a\\\"b"#);
+    }
+
+    #[test]
+    fn quote_counter_is_backslash_aware() {
+        // `\\"`: escaped backslash followed by a *real* delimiter quote —
+        // naive substring counting sees `\"` here and miscounts.
+        assert_eq!(delimiter_quotes(r#"label="a\\""#), 2);
+        assert_eq!(delimiter_quotes(r#""a\"b""#), 2);
+        assert_eq!(delimiter_quotes(r#""unterminated"#), 1);
     }
 }

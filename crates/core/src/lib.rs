@@ -81,10 +81,14 @@ pub use report::{
     RegionInfo, Restriction, RestrictionViolation, Warning,
 };
 pub use safeflow_util::fault::{FaultKind, FaultPlan, FaultSite};
+pub use safeflow_util::json::Json;
+pub use safeflow_util::metrics::MetricsSnapshot;
 
 use safeflow_ir::{build_module, CallGraph, Module};
 use safeflow_points_to::PointsTo;
 use safeflow_syntax::{Diagnostics, SourceMap, VirtualFs};
+use safeflow_util::metrics::{Class, Metrics};
+use std::sync::Mutex;
 
 /// A completed analysis: the report plus everything needed to render it.
 #[derive(Debug)]
@@ -145,12 +149,17 @@ impl std::error::Error for AnalysisError {}
 pub struct Analyzer {
     config: AnalysisConfig,
     cache: engine::SummaryCache,
+    last_metrics: Mutex<MetricsSnapshot>,
 }
 
 impl Analyzer {
     /// Creates an analyzer with `config`.
     pub fn new(config: AnalysisConfig) -> Analyzer {
-        Analyzer { config, cache: engine::SummaryCache::default() }
+        Analyzer {
+            config,
+            cache: engine::SummaryCache::default(),
+            last_metrics: Mutex::new(MetricsSnapshot::default()),
+        }
     }
 
     /// The active configuration.
@@ -170,6 +179,43 @@ impl Analyzer {
     /// the cache and never moves them).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The metrics recorded by the most recent [`Analyzer::analyze_module`]
+    /// run (empty before the first run). Each run starts from a fresh
+    /// registry, so `work`-class counters reflect that run's cache state
+    /// alone — see [`safeflow_util::metrics`] for the determinism classes.
+    pub fn last_metrics(&self) -> MetricsSnapshot {
+        self.last_metrics.lock().unwrap().clone()
+    }
+
+    /// Composes the full machine-readable report for `result` (which must
+    /// come from this analyzer's most recent run): findings, configured
+    /// budget limits, cumulative cache stats, and the run's metrics, in
+    /// one stable schema (`safeflow-report-v1`).
+    ///
+    /// Everything except the `metrics.sched`, `metrics.dist`, and
+    /// `metrics.timings_ns` sections is byte-identical across `--jobs`
+    /// counts; comparing cache-warm against cache-cold runs additionally
+    /// excludes `metrics.work` and `cache`.
+    pub fn report_json(&self, result: &AnalysisResult) -> Json {
+        let mut o = Json::obj();
+        o.set("schema", "safeflow-report-v1");
+        o.set("exit_code", u64::from(result.report.exit_code()));
+        o.set("report", result.report.to_json(&result.sources));
+        let mut budget = Json::obj();
+        budget.set("solver_steps", self.config.budget.solver_steps);
+        budget.set("fixpoint_rounds", self.config.budget.fixpoint_rounds);
+        budget.set("max_function_insts", self.config.budget.max_function_insts);
+        budget.set("deadline_ms", self.config.budget.deadline_ms);
+        o.set("budget", budget);
+        let cs = self.cache_stats();
+        let mut cache = Json::obj();
+        cache.set("hits", cs.hits);
+        cache.set("misses", cs.misses);
+        o.set("cache", cache);
+        o.set("metrics", self.last_metrics().to_json());
+        o
     }
 
     /// Analyzes a single self-contained source file.
@@ -217,6 +263,10 @@ impl Analyzer {
     /// and surface as [`Degradation`] entries on the report (see
     /// [`AnalysisReport::exit_code`]).
     pub fn analyze_module(&self, module: &Module, diags: &mut Diagnostics) -> AnalysisReport {
+        // Fresh registry per run: `work`-class counters must reflect this
+        // run's cache state alone (see `safeflow_util::metrics`).
+        let metrics = Metrics::new();
+        metrics.add_many(Class::Counter, &[("module.functions", module.functions.len() as u64)]);
         // One wall-clock deadline for the whole run (the only
         // machine-dependent budget; determinism tests never set it).
         let deadline = self
@@ -225,25 +275,29 @@ impl Analyzer {
             .deadline_ms
             .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
         // Region model + static InitCheck (§3.2.1).
-        let regions =
-            regions::extract_regions(module, &self.config.shm_attach_functions, diags);
+        let regions = metrics.time("phase.regions", || {
+            regions::extract_regions(module, &self.config.shm_attach_functions, diags)
+        });
         // Phase 1: shared-memory pointer identification.
-        let shm = shmptr::identify_shm_pointers(module, &regions);
+        let shm = metrics.time("phase.shmptr", || shmptr::identify_shm_pointers(module, &regions));
         // Phase 2: language restrictions.
-        let callgraph = CallGraph::build(module);
-        let (violations, mut degradations) = restrict::check_restrictions(
-            module,
-            &regions,
-            &shm,
-            &callgraph,
-            &self.config,
-            deadline,
-        );
+        let callgraph = metrics.time("phase.callgraph", || CallGraph::build(module));
+        let (violations, mut degradations) = metrics.time("phase.restrict", || {
+            restrict::check_restrictions(
+                module,
+                &regions,
+                &shm,
+                &callgraph,
+                &self.config,
+                deadline,
+                &metrics,
+            )
+        });
         // Phase 3: warnings + critical-data value flow.
-        let pt = PointsTo::analyze(module);
-        let results = match self.config.engine {
+        let pt = metrics.time("phase.points_to", || PointsTo::analyze(module));
+        let results = metrics.time("phase.value_flow", || match self.config.engine {
             Engine::ContextSensitive => {
-                taint::analyze_taint(module, &regions, &shm, &pt, &self.config, deadline)
+                taint::analyze_taint(module, &regions, &shm, &pt, &self.config, deadline, &metrics)
             }
             Engine::Summary => summary::analyze_summaries(
                 module,
@@ -253,16 +307,13 @@ impl Analyzer {
                 &self.config,
                 &self.cache,
                 deadline,
+                &metrics,
             ),
-        };
+        });
         degradations.extend(results.degradations.iter().cloned());
 
         // Count every annotation fact bound anywhere in the module.
-        let annotation_count = module
-            .functions
-            .iter()
-            .map(|f| f.annotations.len())
-            .sum::<usize>()
+        let annotation_count = module.functions.iter().map(|f| f.annotations.len()).sum::<usize>()
             + module
                 .functions
                 .iter()
@@ -292,6 +343,18 @@ impl Analyzer {
             degradations,
         };
         report.canonicalize();
+        // Report counts are covered by the byte-identity contract, so they
+        // are `Counter`-class by construction.
+        metrics.add_many(
+            Class::Counter,
+            &[
+                ("report.warnings", report.warnings.len() as u64),
+                ("report.errors", report.errors.len() as u64),
+                ("report.violations", report.violations.len() as u64),
+                ("report.degradations", report.degradations.len() as u64),
+            ],
+        );
+        *self.last_metrics.lock().unwrap() = metrics.snapshot();
         report
     }
 }

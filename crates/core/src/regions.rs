@@ -130,7 +130,10 @@ pub fn extract_regions(
                     continue;
                 };
                 let Some(size) = eval_ann_expr(module, size) else {
-                    diags.error(*span, format!("shmvar({ptr}, ...): size is not a compile-time constant"));
+                    diags.error(
+                        *span,
+                        format!("shmvar({ptr}, ...): size is not a compile-time constant"),
+                    );
                     continue;
                 };
                 if size <= 0 {
@@ -209,13 +212,14 @@ fn interpret_init(module: &Module, fid: FuncId, attach_functions: &[String], map
     let mut env: HashMap<InstId, AbsVal> = HashMap::new();
     let mut genv: HashMap<GlobalId, AbsVal> = HashMap::new();
 
-    let resolve = |v: &Value, env: &HashMap<InstId, AbsVal>, _genv: &HashMap<GlobalId, AbsVal>| -> AbsVal {
-        match v {
-            Value::ConstInt(c, _) => AbsVal::Int(*c),
-            Value::Inst(id) => env.get(id).cloned().unwrap_or(AbsVal::Other),
-            _ => AbsVal::Other,
-        }
-    };
+    let resolve =
+        |v: &Value, env: &HashMap<InstId, AbsVal>, _genv: &HashMap<GlobalId, AbsVal>| -> AbsVal {
+            match v {
+                Value::ConstInt(c, _) => AbsVal::Int(*c),
+                Value::Inst(id) => env.get(id).cloned().unwrap_or(AbsVal::Other),
+                _ => AbsVal::Other,
+            }
+        };
 
     // Walk blocks in straight-line order following unconditional branches
     // from the entry; stop at the first conditional (init functions are
@@ -252,11 +256,8 @@ fn interpret_init(module: &Module, fid: FuncId, attach_functions: &[String], map
                 InstKind::ElemAddr { base, index } => {
                     let b = resolve(base, &env, &genv);
                     let i = resolve(index, &env, &genv);
-                    let elem = inst
-                        .ty
-                        .pointee()
-                        .map(|t| module.types.size_of(t).max(1))
-                        .unwrap_or(1);
+                    let elem =
+                        inst.ty.pointee().map(|t| module.types.size_of(t).max(1)).unwrap_or(1);
                     match (b, i) {
                         (AbsVal::Seg(s, off), AbsVal::Int(k)) => {
                             env.insert(iid, AbsVal::Seg(s, off + k * elem as i64));
@@ -270,7 +271,8 @@ fn interpret_init(module: &Module, fid: FuncId, attach_functions: &[String], map
                     let b = resolve(base, &env, &genv);
                     match b {
                         AbsVal::Seg(s, off) => {
-                            let foff = module.types.layout(*struct_id).fields[*field as usize].offset;
+                            let foff =
+                                module.types.layout(*struct_id).fields[*field as usize].offset;
                             env.insert(iid, AbsVal::Seg(s, off + foff as i64));
                         }
                         _ => {
@@ -345,10 +347,12 @@ fn run_init_check(_module: &Module, map: &mut RegionMap) {
             }
         }
     }
-    if !map.regions.is_empty() && map.init_check.iter().all(|c| !c.starts_with("OVERLAP"))
-        && map.regions.iter().all(|r| r.offset.is_some()) {
-            map.init_check.push("all regions disjoint".to_string());
-        }
+    if !map.regions.is_empty()
+        && map.init_check.iter().all(|c| !c.starts_with("OVERLAP"))
+        && map.regions.iter().all(|r| r.offset.is_some())
+    {
+        map.init_check.push("all regions disjoint".to_string());
+    }
 }
 
 #[cfg(test)]
@@ -423,11 +427,7 @@ mod tests {
         // noncoreCtrl = feedback (same offset) → overlap.
         let src = FIG3.replace("noncoreCtrl = feedback + 1;", "noncoreCtrl = feedback + 0;");
         let (_, map, _) = regions_of(&src);
-        assert!(
-            map.init_check.iter().any(|c| c.starts_with("OVERLAP")),
-            "{:?}",
-            map.init_check
-        );
+        assert!(map.init_check.iter().any(|c| c.starts_with("OVERLAP")), "{:?}", map.init_check);
     }
 
     #[test]

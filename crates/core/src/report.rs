@@ -16,6 +16,7 @@
 use crate::regions::RegionId;
 use safeflow_syntax::source::SourceMap;
 use safeflow_syntax::span::Span;
+use safeflow_util::json::Json;
 use std::fmt;
 use std::sync::Arc;
 
@@ -294,6 +295,132 @@ impl AnalysisReport {
         self.degradations.dedup();
     }
 
+    /// Renders the findings as a JSON object with a stable schema and
+    /// ordering. The report is canonicalized before the analyzer returns
+    /// it, so this document is byte-identical for any worker count or
+    /// cache state — the machine-readable face of the same determinism
+    /// contract [`AnalysisReport::render`] honors.
+    pub fn to_json(&self, sources: &SourceMap) -> Json {
+        let loc = |span: Span| sources.describe(span);
+        let mut o = Json::obj();
+        let mut summary = Json::obj();
+        summary.set("regions", self.regions.len());
+        summary.set("warnings", self.warnings.len());
+        summary.set("errors", self.errors.len());
+        summary.set("data_errors", self.data_errors().count());
+        summary.set("control_only_errors", self.control_only_errors().count());
+        summary.set("violations", self.violations.len());
+        summary.set("degradations", self.degradations.len());
+        summary.set("annotations", self.annotation_count);
+        summary.set("contexts_analyzed", self.contexts_analyzed);
+        o.set("summary", summary);
+        o.set(
+            "regions",
+            self.regions
+                .iter()
+                .map(|r| {
+                    let mut j = Json::obj();
+                    j.set("name", r.name.as_str());
+                    j.set("size", r.size);
+                    j.set("noncore", r.noncore);
+                    j.set("offset", r.offset.map(Json::Int));
+                    j
+                })
+                .collect::<Vec<_>>(),
+        );
+        o.set(
+            "init_check",
+            self.init_check.iter().map(|c| Json::from(c.as_str())).collect::<Vec<_>>(),
+        );
+        o.set(
+            "warnings",
+            self.warnings
+                .iter()
+                .map(|w| {
+                    let mut j = Json::obj();
+                    j.set("function", w.function.as_str());
+                    j.set("region", w.region_name.as_str());
+                    j.set("location", loc(w.span));
+                    j
+                })
+                .collect::<Vec<_>>(),
+        );
+        o.set(
+            "violations",
+            self.violations
+                .iter()
+                .map(|v| {
+                    let mut j = Json::obj();
+                    j.set("restriction", v.restriction.to_string());
+                    j.set("function", v.function.as_str());
+                    j.set("message", v.message.as_str());
+                    j.set("location", loc(v.span));
+                    j
+                })
+                .collect::<Vec<_>>(),
+        );
+        o.set(
+            "errors",
+            self.errors
+                .iter()
+                .map(|e| {
+                    let mut j = Json::obj();
+                    j.set("critical", e.critical.as_str());
+                    j.set("function", e.function.as_str());
+                    j.set(
+                        "kind",
+                        match e.kind {
+                            DependencyKind::Data => "data",
+                            DependencyKind::ControlOnly => "control-only",
+                        },
+                    );
+                    j.set("location", loc(e.span));
+                    j.set(
+                        "flow",
+                        e.flow
+                            .as_ref()
+                            .map(|f| {
+                                f.path()
+                                    .into_iter()
+                                    .map(|(what, span)| {
+                                        let mut n = Json::obj();
+                                        n.set("what", what);
+                                        n.set("location", loc(span));
+                                        n
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                            .unwrap_or_default(),
+                    );
+                    j
+                })
+                .collect::<Vec<_>>(),
+        );
+        o.set(
+            "degradations",
+            self.degradations
+                .iter()
+                .map(|d| {
+                    let mut j = Json::obj();
+                    j.set(
+                        "kind",
+                        match d.kind {
+                            DegradationKind::BudgetExhausted => "budget-exhausted",
+                            DegradationKind::InternalError => "internal-error",
+                        },
+                    );
+                    j.set(
+                        "functions",
+                        d.functions.iter().map(|f| Json::from(f.as_str())).collect::<Vec<_>>(),
+                    );
+                    j.set("detail", d.detail.as_str());
+                    j
+                })
+                .collect::<Vec<_>>(),
+        );
+        o
+    }
+
     /// Renders the report against `sources` as a human-readable block.
     pub fn render(&self, sources: &SourceMap) -> String {
         let mut out = String::new();
@@ -400,13 +527,15 @@ mod tests {
             message: String::new(),
             span: sp(lo),
         };
-        let mut rep = AnalysisReport::default();
-        rep.violations = vec![
-            mk(Restriction::A1, 20, "b"),
-            mk(Restriction::P2, 5, "a"),
-            mk(Restriction::P1, 5, "a"),
-            mk(Restriction::A2, 20, "b"),
-        ];
+        let mut rep = AnalysisReport {
+            violations: vec![
+                mk(Restriction::A1, 20, "b"),
+                mk(Restriction::P2, 5, "a"),
+                mk(Restriction::P1, 5, "a"),
+                mk(Restriction::A2, 20, "b"),
+            ],
+            ..AnalysisReport::default()
+        };
         rep.canonicalize();
         let order: Vec<(u32, Restriction)> =
             rep.violations.iter().map(|v| (v.span.lo, v.restriction)).collect();

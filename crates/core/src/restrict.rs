@@ -23,12 +23,26 @@ use safeflow_ir::{
     loops::{find_loops, Loop},
     CallGraph, CastKind, Cfg, DomTree, FuncId, Function, InstId, InstKind, Module, Type, Value,
 };
-use safeflow_solver::{Entailment, LinExpr, SolverLimits, System, Var};
+use safeflow_solver::{Entailment, LinExpr, SolveStats, SolverLimits, System, Var};
 use safeflow_util::fault::FaultSite;
-use safeflow_util::pool::{panic_message, run_map};
+use safeflow_util::metrics::{Class, Metrics};
+use safeflow_util::pool::{panic_message, run_map_observed, PoolStats};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::time::Instant;
+
+/// Per-function check/solver tallies, merged in definition order after the
+/// parallel pass so the metrics totals are independent of `jobs`.
+#[derive(Debug, Default)]
+struct FnCheckStats {
+    /// Shared-array bounds obligations examined (A1/A2 sites).
+    bounds_obligations: u64,
+    /// Omega entailment queries issued (two per proven obligation).
+    solver_calls: u64,
+    /// Aggregated solver work counters.
+    solve: SolveStats,
+}
 
 /// Runs all restriction checks, returning the violations found plus any
 /// degradations (panicking or over-budget per-function scans).
@@ -52,6 +66,7 @@ pub fn check_restrictions(
     callgraph: &CallGraph,
     config: &AnalysisConfig,
     deadline: Option<Instant>,
+    metrics: &Metrics,
 ) -> (Vec<RestrictionViolation>, Vec<Degradation>) {
     let shminit_reachable = shminit_reachable(module, callgraph);
     let touches = shm_touching_functions(module, shm, callgraph);
@@ -70,16 +85,18 @@ pub fn check_restrictions(
     }
 
     let defs: Vec<FuncId> = module.definitions().collect();
-    let per_fn = run_map(config.jobs.max(1), defs.len(), |i| {
+    let pool_stats = PoolStats::default();
+    let per_fn = run_map_observed(config.jobs.max(1), defs.len(), &pool_stats, |i| {
         let fid = defs[i];
         catch_unwind(AssertUnwindSafe(|| {
             let mut vs = Vec::new();
             let mut budget_notes: Vec<String> = Vec::new();
+            let mut fs = FnCheckStats::default();
             if let Some(d) = deadline {
                 if Instant::now() >= d {
                     budget_notes
                         .push("wall-clock deadline exceeded before restriction checks".into());
-                    return (vs, budget_notes);
+                    return (vs, budget_notes, fs);
                 }
             }
             check_p1_in(
@@ -102,17 +119,29 @@ pub fn check_restrictions(
                 config,
                 &mut vs,
                 &mut budget_notes,
+                &mut fs,
             );
-            (vs, budget_notes)
+            (vs, budget_notes, fs)
         }))
         .map_err(|p| panic_message(&*p))
     });
 
+    // Merge in definition order (independent of the worker schedule); the
+    // tallies are flushed once, so they are too.
     let mut degradations = Vec::new();
+    let mut totals = FnCheckStats::default();
+    let mut scanned: u64 = 0;
     for (i, r) in per_fn.into_iter().enumerate() {
         let name = module.function(defs[i]).name.clone();
         match r {
-            Ok((vs, notes)) => {
+            Ok((vs, notes, fs)) => {
+                scanned += 1;
+                totals.bounds_obligations += fs.bounds_obligations;
+                totals.solver_calls += fs.solver_calls;
+                totals.solve.steps += fs.solve.steps;
+                totals.solve.eq_eliminations += fs.solve.eq_eliminations;
+                totals.solve.fm_eliminations += fs.solve.fm_eliminations;
+                totals.solve.early_exits += fs.solve.early_exits;
                 out.extend(vs);
                 for n in notes {
                     degradations.push(Degradation {
@@ -129,6 +158,27 @@ pub fn check_restrictions(
             }),
         }
     }
+    metrics.add_many(
+        Class::Counter,
+        &[
+            ("restrict.functions_checked", scanned),
+            ("restrict.bounds_obligations", totals.bounds_obligations),
+            ("restrict.solver_calls", totals.solver_calls),
+            ("solver.steps", totals.solve.steps),
+            ("solver.eq_eliminations", totals.solve.eq_eliminations),
+            ("solver.fm_eliminations", totals.solve.fm_eliminations),
+            ("solver.early_exits", totals.solve.early_exits),
+        ],
+    );
+    metrics.add_many(
+        Class::Sched,
+        &[
+            ("pool.restrict.tasks", pool_stats.tasks.load(Ordering::Relaxed)),
+            ("pool.restrict.steals", pool_stats.steals.load(Ordering::Relaxed)),
+            ("pool.restrict.max_queue_depth", pool_stats.max_queue_depth.load(Ordering::Relaxed)),
+        ],
+    );
+    metrics.record_ns("pool.restrict.busy_ns", pool_stats.busy_ns.load(Ordering::Relaxed));
     (out, degradations)
 }
 
@@ -304,9 +354,7 @@ fn check_p2_in(
                 return false;
             }
             match v {
-                Value::Global(g) => {
-                    !shm.global_regions(*g).is_empty()
-                }
+                Value::Global(g) => !shm.global_regions(*g).is_empty(),
                 Value::Inst(id) => shm_slots.contains(id),
                 _ => false,
             }
@@ -575,6 +623,7 @@ fn check_arrays_in(
     config: &AnalysisConfig,
     out: &mut Vec<RestrictionViolation>,
     budget_notes: &mut Vec<String>,
+    fs: &mut FnCheckStats,
 ) {
     if exempt.contains(&fid) {
         return;
@@ -597,7 +646,6 @@ fn check_arrays_in(
             limits.max_steps = 0;
         }
     }
-    let mut steps_used: u64 = 0;
     let mut exhausted = false;
     let cfg = Cfg::build(func);
     let dom = DomTree::build(&cfg);
@@ -623,19 +671,23 @@ fn check_arrays_in(
         let at = func.block_of(iid).unwrap_or(func.entry());
         let mut ctx = AffineCtx::new(func, &loops);
         ctx.add_loop_constraints(at);
+        fs.bounds_obligations += 1;
         let Some(idx) = ctx.as_affine(index, 0) else {
             out.push(RestrictionViolation {
                 restriction: Restriction::A2,
                 function: func.name.clone(),
-                message: "shared-array index is not an affine expression of loop induction variables".to_string(),
+                message:
+                    "shared-array index is not an affine expression of loop induction variables"
+                        .to_string(),
                 span: inst.span,
             });
             continue;
         };
         let full = idx + LinExpr::constant(base_offset);
-        let lower = ctx.sys.implies_ge_within(full.clone(), LinExpr::zero(), &limits, &mut steps_used);
+        fs.solver_calls += 2;
+        let lower = ctx.sys.implies_ge_stats(full.clone(), LinExpr::zero(), &limits, &mut fs.solve);
         let upper =
-            ctx.sys.implies_lt_within(full, LinExpr::constant(bound as i64), &limits, &mut steps_used);
+            ctx.sys.implies_lt_stats(full, LinExpr::constant(bound as i64), &limits, &mut fs.solve);
         let lower_ok = lower == Entailment::Proved;
         let upper_ok = upper == Entailment::Proved;
         let hit_budget =
@@ -731,7 +783,9 @@ mod tests {
         let shm = identify_shm_pointers(&m, &regions);
         let cg = CallGraph::build(&m);
         let config = AnalysisConfig::default();
-        let (vs, degradations) = check_restrictions(&m, &regions, &shm, &cg, &config, None);
+        let metrics = Metrics::new();
+        let (vs, degradations) =
+            check_restrictions(&m, &regions, &shm, &cg, &config, None, &metrics);
         assert!(degradations.is_empty(), "{degradations:?}");
         vs
     }
@@ -845,9 +899,7 @@ mod tests {
 
     #[test]
     fn p3_cast_to_int() {
-        let vs = violations(&format!(
-            "{PRELUDE}\nlong bad(void) {{ return (long) noncoreCtrl; }}"
-        ));
+        let vs = violations(&format!("{PRELUDE}\nlong bad(void) {{ return (long) noncoreCtrl; }}"));
         assert!(has(&vs, Restriction::P3), "{vs:?}");
     }
 
@@ -860,17 +912,15 @@ mod tests {
 
     #[test]
     fn a1_constant_out_of_bounds() {
-        let vs = violations(&format!(
-            "{PRELUDE}\nfloat bad(void) {{ return noncoreCtrl->arr[7]; }}"
-        ));
+        let vs =
+            violations(&format!("{PRELUDE}\nfloat bad(void) {{ return noncoreCtrl->arr[7]; }}"));
         assert!(has(&vs, Restriction::A1), "{vs:?}");
     }
 
     #[test]
     fn a1_constant_in_bounds_ok() {
-        let vs = violations(&format!(
-            "{PRELUDE}\nfloat ok(void) {{ return noncoreCtrl->arr[3]; }}"
-        ));
+        let vs =
+            violations(&format!("{PRELUDE}\nfloat ok(void) {{ return noncoreCtrl->arr[3]; }}"));
         assert!(!has(&vs, Restriction::A1), "{vs:?}");
     }
 
@@ -977,11 +1027,7 @@ mod tests {
             float bad(void) { return samples[16]; }
         "#;
         let vs = violations(src);
-        assert_eq!(
-            vs.iter().filter(|v| v.restriction == Restriction::A1).count(),
-            1,
-            "{vs:?}"
-        );
+        assert_eq!(vs.iter().filter(|v| v.restriction == Restriction::A1).count(), 1, "{vs:?}");
         assert!(vs.iter().all(|v| v.function == "bad"), "{vs:?}");
     }
 }

@@ -232,13 +232,12 @@ pub fn identify_shm_pointers(module: &Module, regions: &RegionMap) -> ShmPointer
                             changed = true;
                         }
                     }
-                    InstKind::Cast { value, .. }
-                        if inst.ty.is_ptr() => {
-                            let facts = sp.regions_of(fid, value);
-                            if !facts.is_empty() && sp.extend(this, facts) {
-                                changed = true;
-                            }
+                    InstKind::Cast { value, .. } if inst.ty.is_ptr() => {
+                        let facts = sp.regions_of(fid, value);
+                        if !facts.is_empty() && sp.extend(this, facts) {
+                            changed = true;
                         }
+                    }
                     InstKind::Phi { incoming } => {
                         let mut facts = BTreeSet::new();
                         for (_, v) in incoming {
@@ -253,8 +252,7 @@ pub fn identify_shm_pointers(module: &Module, regions: &RegionMap) -> ShmPointer
                     {
                         for (i, arg) in args.iter().enumerate() {
                             let facts = sp.regions_of(fid, arg);
-                            if !facts.is_empty()
-                                && sp.extend(Key::Param(*target, i as u32), facts)
+                            if !facts.is_empty() && sp.extend(Key::Param(*target, i as u32), facts)
                             {
                                 changed = true;
                             }
@@ -319,9 +317,8 @@ mod tests {
 
     #[test]
     fn load_of_region_global_is_region_ptr() {
-        let (m, regions, sp) = setup(&format!(
-            "{PRELUDE}\nfloat use(void) {{ return noncoreCtrl->control; }}"
-        ));
+        let (m, regions, sp) =
+            setup(&format!("{PRELUDE}\nfloat use(void) {{ return noncoreCtrl->control; }}"));
         let fid = m.function_by_name("use").unwrap();
         let f = m.function(fid);
         let nc = regions.iter().find(|r| r.name == "noncoreCtrl").unwrap();
@@ -408,9 +405,7 @@ mod tests {
 
     #[test]
     fn non_shm_pointers_have_no_facts() {
-        let (m, _, sp) = setup(&format!(
-            "{PRELUDE}\nint local_only(int *p) {{ return *p; }}"
-        ));
+        let (m, _, sp) = setup(&format!("{PRELUDE}\nint local_only(int *p) {{ return *p; }}"));
         let fid = m.function_by_name("local_only").unwrap();
         assert!(!sp.is_shm_ptr(fid, &Value::Param(0)));
     }

@@ -26,16 +26,16 @@ use crate::report::{
 };
 use crate::shmptr::ShmPointers;
 use crate::taint::TaintResults;
-use safeflow_ir::{
-    BlockId, CallGraph, Cfg, FuncId, InstId, InstKind, Module, Terminator, Value,
-};
 use safeflow_dataflow::{ControlDeps, PostDomTree};
+use safeflow_ir::{BlockId, CallGraph, Cfg, FuncId, InstId, InstKind, Module, Terminator, Value};
 use safeflow_points_to::{ObjId, PointsTo};
 use safeflow_syntax::annot::Annotation;
 use safeflow_syntax::span::Span;
 use safeflow_util::fault::FaultSite;
-use safeflow_util::pool::{run_dag_isolated, run_map};
+use safeflow_util::metrics::{Class, Metrics};
+use safeflow_util::pool::{run_dag_isolated_observed, run_map_observed, PoolStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -67,6 +67,11 @@ struct Fact {
 }
 
 type SymSet = BTreeSet<Fact>;
+
+/// Published result of one SCC task: the members' summaries (in SCC member
+/// order) plus whether a degraded dependency tainted them (tainted results
+/// are never cached).
+type SccSlot = OnceLock<(Arc<Vec<Summary>>, bool)>;
 
 fn promote_ctl(set: &SymSet) -> SymSet {
     set.iter().map(|f| Fact { sym: f.sym, ctl: true }).collect()
@@ -125,6 +130,7 @@ impl Summary {
 /// sites are re-collected conservatively from its IR, and the report
 /// carries a [`Degradation`] naming the affected functions. Degraded
 /// summaries are never written to the cache.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn analyze_summaries(
     module: &Module,
     regions: &RegionMap,
@@ -133,6 +139,7 @@ pub(crate) fn analyze_summaries(
     config: &AnalysisConfig,
     cache: &SummaryCache,
     deadline: Option<Instant>,
+    metrics: &Metrics,
 ) -> TaintResults {
     let callgraph = CallGraph::build(module);
     let noncore_sockets = find_noncore_sockets(module, regions);
@@ -163,15 +170,30 @@ pub(crate) fn analyze_summaries(
         &callgraph,
         &deps,
         &assumed_of,
+        metrics,
     );
-    let cached: Vec<Option<Arc<Vec<Summary>>>> = callgraph
-        .sccs
-        .iter()
-        .enumerate()
-        .map(|(i, scc)| cache.get(hashes[i], scc.len()))
-        .collect();
+    let cached: Vec<Option<Arc<Vec<Summary>>>> =
+        callgraph.sccs.iter().enumerate().map(|(i, scc)| cache.get(hashes[i], scc.len())).collect();
+    // Per-run cache effectiveness: probes are a pure function of the
+    // program (counter class); how they split into hits and misses moves
+    // with cache state (work class).
+    let (mut run_hits, mut run_misses) = (0u64, 0u64);
+    for (i, c) in cached.iter().enumerate() {
+        let members = callgraph.sccs[i].len() as u64;
+        match c {
+            Some(_) => run_hits += members,
+            None => run_misses += members,
+        }
+    }
+    metrics.add(Class::Counter, "summary.cache_probes", run_hits + run_misses);
+    metrics.add(Class::Counter, "summary.sccs", callgraph.sccs.len() as u64);
+    metrics.add_many(
+        Class::Work,
+        &[("summary.cache_hits", run_hits), ("summary.cache_misses", run_misses)],
+    );
 
     let jobs = config.jobs.max(1);
+    let pool_stats = PoolStats::default();
 
     // Per-function graphs are loop-invariant; build them concurrently, and
     // only for functions whose SCC actually needs recomputation — on a
@@ -187,7 +209,9 @@ pub(crate) fn analyze_summaries(
             func.is_definition && !func.is_shminit() && !func.blocks.is_empty()
         })
         .collect();
-    let built = run_map(jobs, need.len(), |i| build_fn_graphs(module, &assumed_of, need[i]));
+    let built = run_map_observed(jobs, need.len(), &pool_stats, |i| {
+        build_fn_graphs(module, &assumed_of, need[i])
+    });
     let graphs: HashMap<FuncId, FnGraphs> = need.iter().copied().zip(built).collect();
 
     // Bottom-up over SCCs on the dependency-DAG pool; independent SCCs run
@@ -201,14 +225,13 @@ pub(crate) fn analyze_summaries(
     // cannot tell a clean result from a degraded one. A slot left *unset*
     // means the task panicked (contained by `run_dag_isolated`); readers
     // substitute [`Summary::top`].
-    let slots: Vec<OnceLock<(Arc<Vec<Summary>>, bool)>> =
-        (0..callgraph.sccs.len()).map(|_| OnceLock::new()).collect();
+    let slots: Vec<SccSlot> = (0..callgraph.sccs.len()).map(|_| OnceLock::new()).collect();
     let publish_top = |i: usize| {
         let tops = Arc::new(vec![Summary::top(); callgraph.sccs[i].len()]);
         let _ = slots[i].set((tops, true));
     };
     let rounds_cap = config.budget.fixpoint_rounds.map(|r| r.max(1) as usize).unwrap_or(16);
-    let task_results = run_dag_isolated(jobs, &deps, |i| -> Option<String> {
+    let scc_body = |i: usize| -> Option<String> {
         let scc = &callgraph.sccs[i];
         // Injected faults: a panic is contained by the pool (slot stays
         // unset); a budget fault degrades the SCC like a real exhaustion.
@@ -238,8 +261,7 @@ pub(crate) fn analyze_summaries(
         // against the tops (never replay the cache — the cached value was
         // computed against clean callees and would make warm degraded runs
         // differ from cold ones) and keep the result out of the cache.
-        let dep_tainted =
-            deps[i].iter().any(|&d| slots[d].get().map(|(_, t)| *t).unwrap_or(true));
+        let dep_tainted = deps[i].iter().any(|&d| slots[d].get().map(|(_, t)| *t).unwrap_or(true));
         if !dep_tainted {
             if let Some(hit) = &cached[i] {
                 let _ = slots[i].set((hit.clone(), false));
@@ -250,6 +272,7 @@ pub(crate) fn analyze_summaries(
         let mut local_graphs: HashMap<FuncId, FnGraphs> = HashMap::new();
         let mut changed = true;
         let mut rounds = 0;
+        let mut summarize_calls = 0u64;
         let mut inner_converged = true;
         while changed && rounds < rounds_cap {
             changed = false;
@@ -270,12 +293,8 @@ pub(crate) fn analyze_summaries(
                         .entry(fid)
                         .or_insert_with(|| build_fn_graphs(module, &assumed_of, fid)),
                 };
-                let view = SummaryView {
-                    callgraph: &callgraph,
-                    slots: &slots,
-                    local: &local,
-                    own_scc: i,
-                };
+                let view =
+                    SummaryView { callgraph: &callgraph, slots: &slots, local: &local, own_scc: i };
                 let (s, converged) = summarize_function(
                     module,
                     regions,
@@ -288,6 +307,7 @@ pub(crate) fn analyze_summaries(
                     g,
                     rounds_cap,
                 );
+                summarize_calls += 1;
                 inner_converged &= converged;
                 let prev = local.get(&fid);
                 if prev.map(|p| !summary_eq(p, &s)).unwrap_or(true) {
@@ -296,13 +316,18 @@ pub(crate) fn analyze_summaries(
                 }
             }
         }
+        metrics.add_many(
+            Class::Work,
+            &[
+                ("summary.fixpoint_rounds", rounds as u64),
+                ("summary.summarize_calls", summarize_calls),
+            ],
+        );
         // Non-convergence only degrades under an *explicit* cap: the
         // built-in bound of 16 keeps its historical silent behavior.
         if config.budget.fixpoint_rounds.is_some() && (changed || !inner_converged) {
             publish_top(i);
-            return Some(format!(
-                "summary fixpoint did not converge within {rounds_cap} round(s)"
-            ));
+            return Some(format!("summary fixpoint did not converge within {rounds_cap} round(s)"));
         }
         let computed: Vec<Summary> =
             scc.iter().map(|fid| local.remove(fid).unwrap_or_default()).collect();
@@ -320,7 +345,22 @@ pub(crate) fn analyze_summaries(
         }
         let _ = slots[i].set((arc, dep_tainted));
         None
+    };
+    let task_results = run_dag_isolated_observed(jobs, &deps, &pool_stats, |i| {
+        let t0 = Instant::now();
+        let out = scc_body(i);
+        metrics.observe("summary.scc_ns", t0.elapsed().as_nanos() as u64);
+        out
     });
+    metrics.add_many(
+        Class::Sched,
+        &[
+            ("pool.summary.tasks", pool_stats.tasks.load(Ordering::Relaxed)),
+            ("pool.summary.steals", pool_stats.steals.load(Ordering::Relaxed)),
+            ("pool.summary.max_queue_depth", pool_stats.max_queue_depth.load(Ordering::Relaxed)),
+        ],
+    );
+    metrics.record_ns("pool.summary.busy_ns", pool_stats.busy_ns.load(Ordering::Relaxed));
 
     // Degradation records: one per SCC that panicked (contained) or ran
     // out of budget. These SCCs also get the conservative re-collection
@@ -395,31 +435,25 @@ pub(crate) fn analyze_summaries(
         for (_, inst) in module.function(fid).iter_insts() {
             let targets: Vec<&Value> = match &inst.kind {
                 InstKind::Store { ptr, .. } => vec![ptr],
-                InstKind::Call { callee, args } => {
-                    match module.external_callee_name(callee) {
-                        Some(name) => config
-                            .recv_functions
-                            .iter()
-                            .filter(|(rname, _, _)| rname == name)
-                            .filter_map(|(_, _, buf_i)| args.get(*buf_i))
-                            .collect(),
-                        None => Vec::new(),
-                    }
-                }
+                InstKind::Call { callee, args } => match module.external_callee_name(callee) {
+                    Some(name) => config
+                        .recv_functions
+                        .iter()
+                        .filter(|(rname, _, _)| rname == name)
+                        .filter_map(|(_, _, buf_i)| args.get(*buf_i))
+                        .collect(),
+                    None => Vec::new(),
+                },
                 _ => Vec::new(),
             };
             for ptr in targets {
                 for o in pt.points_to(fid, ptr) {
-                    obj_writes
-                        .entry(o)
-                        .or_default()
-                        .insert(Fact { sym: Sym::Unknown, ctl: false });
+                    obj_writes.entry(o).or_default().insert(Fact { sym: Sym::Unknown, ctl: false });
                 }
             }
         }
     }
-    let unsafe_region =
-        |r: RegionId| -> bool { regions.region(r).noncore };
+    let unsafe_region = |r: RegionId| -> bool { regions.region(r).noncore };
     let mut unsafe_objs: BTreeMap<ObjId, bool /* ctl-only */> = BTreeMap::new();
     let mut changed = true;
     let mut guard = 0;
@@ -491,14 +525,12 @@ pub(crate) fn analyze_summaries(
                 continue;
             }
             let region_name = regions.region(*rid).name.clone();
-            warnings
-                .entry((in_func.clone(), span.lo, span.hi, *rid))
-                .or_insert_with(|| Warning {
-                    function: in_func.clone(),
-                    region: *rid,
-                    region_name,
-                    span: *span,
-                });
+            warnings.entry((in_func.clone(), span.lo, span.hi, *rid)).or_insert_with(|| Warning {
+                function: in_func.clone(),
+                region: *rid,
+                region_name,
+                span: *span,
+            });
         }
         for sink in &s.sinks {
             // Parameters of roots are clean; other sources decide.
@@ -532,10 +564,9 @@ pub(crate) fn analyze_summaries(
                 let key =
                     (sink.function.clone(), sink.span.lo, sink.span.hi, sink.critical.clone());
                 let source_desc = match reg {
-                    Some(r) => format!(
-                        "unmonitored read of non-core region `{}`",
-                        regions.region(r).name
-                    ),
+                    Some(r) => {
+                        format!("unmonitored read of non-core region `{}`", regions.region(r).name)
+                    }
                     None => "unmonitored non-core input".to_string(),
                 };
                 let e = ErrorDependency {
@@ -784,7 +815,7 @@ fn build_fn_graphs(
 /// as bottom.
 struct SummaryView<'a> {
     callgraph: &'a CallGraph,
-    slots: &'a [OnceLock<(Arc<Vec<Summary>>, bool)>],
+    slots: &'a [SccSlot],
     local: &'a HashMap<FuncId, Summary>,
     /// Index of the SCC this view's task is computing.
     own_scc: usize,
@@ -841,11 +872,9 @@ fn summarize_function(
         .annotations
         .iter()
         .filter_map(|a| match a {
-            Annotation::AssumeCore { ptr, .. } => func
-                .params
-                .iter()
-                .position(|p| p.name == *ptr)
-                .map(|i| i as u32),
+            Annotation::AssumeCore { ptr, .. } => {
+                func.params.iter().position(|p| p.name == *ptr).map(|i| i as u32)
+            }
             _ => None,
         })
         .collect();
@@ -912,9 +941,7 @@ fn summarize_function(
                             derives_from_assumed_param(func, ptr, &local_assumed_params, 0);
                         for fact in shm.regions_of(fid, ptr) {
                             let region = regions.region(fact.region);
-                            if !region.noncore
-                                || assumed.contains(&fact.region)
-                                || locally_assumed
+                            if !region.noncore || assumed.contains(&fact.region) || locally_assumed
                             {
                                 continue;
                             }
@@ -988,10 +1015,10 @@ fn summarize_function(
                                     if sock_noncore {
                                         if let Some(buf) = args.get(*buf_i) {
                                             for o in pt.points_to(fid, buf) {
-                                                s.obj_writes.entry(o).or_default().insert(Fact {
-                                                    sym: Sym::Recv,
-                                                    ctl: false,
-                                                });
+                                                s.obj_writes
+                                                    .entry(o)
+                                                    .or_default()
+                                                    .insert(Fact { sym: Sym::Recv, ctl: false });
                                             }
                                         }
                                     }

@@ -19,14 +19,17 @@
 
 use crate::config::AnalysisConfig;
 use crate::regions::{RegionId, RegionMap};
-use crate::report::{Degradation, DegradationKind, DependencyKind, ErrorDependency, FlowNode, Warning};
+use crate::report::{
+    Degradation, DegradationKind, DependencyKind, ErrorDependency, FlowNode, Warning,
+};
 use crate::shmptr::ShmPointers;
+use safeflow_dataflow::{ControlDeps, PostDomTree};
 use safeflow_ir::{
     BlockId, Callee, Cfg, FuncId, Function, InstId, InstKind, Module, Terminator, Value,
 };
-use safeflow_dataflow::{ControlDeps, PostDomTree};
 use safeflow_points_to::{ObjId, PointsTo};
 use safeflow_syntax::annot::Annotation;
+use safeflow_util::metrics::{Class, Metrics};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
@@ -116,6 +119,7 @@ pub fn analyze_taint(
     pt: &PointsTo,
     config: &AnalysisConfig,
     deadline: Option<Instant>,
+    metrics: &Metrics,
 ) -> TaintResults {
     let mut eng = Engine {
         module,
@@ -132,6 +136,8 @@ pub fn analyze_taint(
         obj_dirty: false,
         deadline,
         degraded: BTreeMap::new(),
+        stat_function_rounds: 0,
+        stat_insts_visited: 0,
     };
 
     // Iterate to a module-level fixpoint: memory-object taints feed back
@@ -222,6 +228,15 @@ pub fn analyze_taint(
             detail: detail.clone(),
         })
         .collect();
+    metrics.add_many(
+        Class::Counter,
+        &[
+            ("taint.module_rounds", rounds as u64),
+            ("taint.contexts", eng.memo.len() as u64),
+            ("taint.function_rounds", eng.stat_function_rounds),
+            ("taint.vfg_nodes_visited", eng.stat_insts_visited),
+        ],
+    );
     TaintResults {
         warnings: warnings.into_values().collect(),
         errors: errors.into_values().collect(),
@@ -271,13 +286,24 @@ struct Engine<'a> {
     /// Functions whose analysis degraded, with why (keyed by name so the
     /// record survives the memo clears of the module-level fixpoint).
     degraded: BTreeMap<String, (DegradationKind, String)>,
+    /// Local fixpoint rounds run, across every `(function, context)` and
+    /// every module-level round (the engine is single-threaded, so this is
+    /// deterministic).
+    stat_function_rounds: u64,
+    /// Value-flow-graph nodes visited: one per instruction per local round.
+    stat_insts_visited: u64,
 }
 
 impl<'a> Engine<'a> {
     /// The context a function runs in, given the caller's assumed set and
     /// argument taints: its own `assume(core(...))` annotations extend the
     /// assumption scope (and apply recursively to callees, §3.1).
-    fn base_ctx(&mut self, fid: FuncId, inherited: &BTreeSet<RegionId>, params: &[TaintKind]) -> Ctx {
+    fn base_ctx(
+        &mut self,
+        fid: FuncId,
+        inherited: &BTreeSet<RegionId>,
+        params: &[TaintKind],
+    ) -> Ctx {
         let mut assumed = inherited.clone();
         let func = self.module.function(fid);
         for ann in &func.annotations {
@@ -414,11 +440,9 @@ impl<'a> Engine<'a> {
             .annotations
             .iter()
             .filter_map(|a| match a {
-                Annotation::AssumeCore { ptr, .. } => func
-                    .params
-                    .iter()
-                    .position(|p| p.name == *ptr)
-                    .map(|i| i as u32),
+                Annotation::AssumeCore { ptr, .. } => {
+                    func.params.iter().position(|p| p.name == *ptr).map(|i| i as u32)
+                }
                 _ => None,
             })
             .collect();
@@ -436,6 +460,7 @@ impl<'a> Engine<'a> {
         for _round in 0..rounds_cap {
             let mut changed = false;
             self.obj_dirty = false;
+            self.stat_function_rounds += 1;
             // Recompute control-taint of blocks from tainted branches.
             if self.config.track_control_dependence {
                 let (cfg, cd) = self.cfg_cache.get(&fid).unwrap();
@@ -483,6 +508,7 @@ impl<'a> Engine<'a> {
 
             for (bid, block) in func.iter_blocks() {
                 let ctl_here = block_ctl.get(&bid).cloned().unwrap_or_else(Taint::clean);
+                self.stat_insts_visited += block.insts.len() as u64;
                 for &iid in &block.insts {
                     let inst = func.inst(iid);
                     let mut t = Taint::clean();
@@ -589,7 +615,15 @@ impl<'a> Engine<'a> {
                         }
                         InstKind::Call { callee, args } => {
                             t = self.handle_call(
-                                fid, func, iid, callee, args, &taints, ctx, &ctl_here, &mut outcome,
+                                fid,
+                                func,
+                                iid,
+                                callee,
+                                args,
+                                &taints,
+                                ctx,
+                                &ctl_here,
+                                &mut outcome,
                             );
                         }
                         InstKind::AssertSafe { var, value } => {
@@ -682,8 +716,10 @@ impl<'a> Engine<'a> {
             format!("analysis of `{}` degraded; conservatively assumed unsafe", func.name),
             func.span,
         );
-        let mut outcome = Outcome::default();
-        outcome.ret = Some(Taint { kind: TaintKind::Data, origin: Some(origin.clone()) });
+        let mut outcome = Outcome {
+            ret: Some(Taint { kind: TaintKind::Data, origin: Some(origin.clone()) }),
+            ..Outcome::default()
+        };
         for (_, inst) in func.iter_insts() {
             match &inst.kind {
                 InstKind::Load { ptr } => {
@@ -703,8 +739,7 @@ impl<'a> Engine<'a> {
                 InstKind::Store { ptr, .. } => {
                     for o in self.pt.points_to(fid, ptr) {
                         let e = self.obj_taint.entry(o).or_insert_with(Taint::clean);
-                        if e.join(&Taint { kind: TaintKind::Data, origin: Some(origin.clone()) })
-                        {
+                        if e.join(&Taint { kind: TaintKind::Data, origin: Some(origin.clone()) }) {
                             self.obj_dirty = true;
                         }
                     }
@@ -747,10 +782,8 @@ impl<'a> Engine<'a> {
                             if rname == name {
                                 if let Some(buf) = args.get(*buf_i) {
                                     for o in self.pt.points_to(fid, buf) {
-                                        let e = self
-                                            .obj_taint
-                                            .entry(o)
-                                            .or_insert_with(Taint::clean);
+                                        let e =
+                                            self.obj_taint.entry(o).or_insert_with(Taint::clean);
                                         if e.join(&Taint {
                                             kind: TaintKind::Data,
                                             origin: Some(origin.clone()),
@@ -818,9 +851,9 @@ impl<'a> Engine<'a> {
             // (§3.4.3 extension).
             for (rname, sock_i, buf_i) in &self.config.recv_functions {
                 if *rname == name {
-                    let sock_noncore = args.get(*sock_i).is_some_and(|s| {
-                        self.socket_is_noncore(fid, func, s, taints)
-                    });
+                    let sock_noncore = args
+                        .get(*sock_i)
+                        .is_some_and(|s| self.socket_is_noncore(fid, func, s, taints));
                     if sock_noncore {
                         if let Some(buf) = args.get(*buf_i) {
                             let origin = FlowNode::source(
@@ -939,7 +972,10 @@ fn value_taint(v: &Value, taints: &HashMap<InstId, Taint>, ctx: &Ctx) -> Taint {
                 origin: if kind == TaintKind::Clean {
                     None
                 } else {
-                    Some(FlowNode::source(format!("tainted argument #{i}"), safeflow_syntax::span::Span::dummy()))
+                    Some(FlowNode::source(
+                        format!("tainted argument #{i}"),
+                        safeflow_syntax::span::Span::dummy(),
+                    ))
                 },
             }
         }

@@ -11,10 +11,7 @@
 use safeflow::{AnalysisConfig, Analyzer, DependencyKind, Engine};
 
 fn config_without_control_deps(engine: Engine) -> AnalysisConfig {
-    AnalysisConfig {
-        track_control_dependence: false,
-        ..AnalysisConfig::with_engine(engine)
-    }
+    AnalysisConfig { track_control_dependence: false, ..AnalysisConfig::with_engine(engine) }
 }
 
 /// Disabling control dependence removes every corpus false positive

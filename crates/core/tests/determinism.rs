@@ -67,10 +67,7 @@ fn warm_cache_reports_match_cold_at_every_thread_count() {
                     .analyze_source(&file, &src)
                     .unwrap_or_else(|e| panic!("{file} must analyze: {e}"))
                     .render();
-                assert_eq!(
-                    got, reference,
-                    "{file} warm run diverged at jobs={jobs} round={round}"
-                );
+                assert_eq!(got, reference, "{file} warm run diverged at jobs={jobs} round={round}");
             }
         }
     }

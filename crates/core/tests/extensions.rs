@@ -178,10 +178,7 @@ fn socket_annotation_controls_recv_taint() {
     // Same program without the noncore(socket) annotation: "Socket file
     // descriptors not annotated as non-core are assumed to communicate
     // with core components."
-    let clean_src = tainted_src.replace(
-        "/** SafeFlow Annotation assume(noncore(ncSock)) */",
-        "",
-    );
+    let clean_src = tainted_src.replace("/** SafeFlow Annotation assume(noncore(ncSock)) */", "");
     for (engine, result) in analyze_both(&clean_src) {
         assert!(
             result.report.errors.is_empty(),
@@ -230,17 +227,11 @@ fn received_buffer_monitored_through_parameter() {
     // Note: buffer-parameter monitoring is resolved per-function (the
     // extension's local-pointer form); the context-sensitive engine applies
     // it at the load site.
-    let result = Analyzer::new(AnalysisConfig::default())
-        .analyze_source("ext.c", src)
-        .unwrap();
+    let result = Analyzer::new(AnalysisConfig::default()).analyze_source("ext.c", src).unwrap();
     // The validate() reads are monitored through the parameter annotation,
     // so no data error on `out`.
     assert!(
-        result
-            .report
-            .errors
-            .iter()
-            .all(|e| e.kind != DependencyKind::Data),
+        result.report.errors.iter().all(|e| e.kind != DependencyKind::Data),
         "monitored received data must not be a data error:\n{}",
         result.render()
     );

@@ -149,13 +149,13 @@ fn poisoned_cache_entries_are_never_reused() {
 
     // 2. Degraded run against the warm cache: every SCC that computes a
     //    summary is forbidden from caching it, and SCC 0's task panics.
-    *analyzer.config_mut() = analyzer
-        .config()
-        .clone()
-        .with_fault_plan(
-            FaultPlan::panic_at(FaultSite::SccAnalysis, 0)
-                .with_fault(FaultSite::SummaryCache, None, FaultKind::Panic),
-        );
+    *analyzer.config_mut() = analyzer.config().clone().with_fault_plan(
+        FaultPlan::panic_at(FaultSite::SccAnalysis, 0).with_fault(
+            FaultSite::SummaryCache,
+            None,
+            FaultKind::Panic,
+        ),
+    );
     let degraded = analyzer.analyze_source("figure2.c", fig2).expect("analyzes");
     assert_eq!(degraded.report.exit_code(), 3);
     assert!(degraded.render().contains("DEGRADED RUN"));
@@ -170,10 +170,8 @@ fn poisoned_cache_entries_are_never_reused() {
     // 4. And a degraded run repeated against the (clean) warm cache must
     //    match the cold degraded run: cache hits for tainted dependents
     //    are forced to recompute, not replayed.
-    *analyzer.config_mut() = analyzer
-        .config()
-        .clone()
-        .with_fault_plan(FaultPlan::panic_at(FaultSite::SccAnalysis, 0));
+    *analyzer.config_mut() =
+        analyzer.config().clone().with_fault_plan(FaultPlan::panic_at(FaultSite::SccAnalysis, 0));
     let warm = analyzer.analyze_source("figure2.c", fig2).expect("analyzes").render();
     let cold = Analyzer::new(analyzer.config().clone())
         .analyze_source("figure2.c", fig2)
@@ -253,7 +251,13 @@ fn no_injected_fault_drops_a_clean_finding() {
             let degraded =
                 Analyzer::new(config).analyze_source(file, src).expect("analyzes").report;
             let excused = degraded_functions(&degraded);
-            assert_monotone(name, "warning", &warning_keys(clean), &warning_keys(&degraded), &excused);
+            assert_monotone(
+                name,
+                "warning",
+                &warning_keys(clean),
+                &warning_keys(&degraded),
+                &excused,
+            );
             assert_monotone(name, "error", &error_keys(clean), &error_keys(&degraded), &excused);
             assert_monotone(
                 name,
@@ -281,7 +285,13 @@ fn context_engine_budget_degradation_is_monotone() {
             .expect("analyzes")
             .report;
         let excused = degraded_functions(&degraded);
-        assert_monotone(&name, "warning", &warning_keys(&clean), &warning_keys(&degraded), &excused);
+        assert_monotone(
+            &name,
+            "warning",
+            &warning_keys(&clean),
+            &warning_keys(&degraded),
+            &excused,
+        );
         assert_monotone(&name, "error", &error_keys(&clean), &error_keys(&degraded), &excused);
     }
 }
@@ -323,9 +333,8 @@ fn check_degraded_golden(name: &str, config: &AnalysisConfig) {
         .analyze_source("figure2.c", figure2_example())
         .expect("fig2 analyzes")
         .render();
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(format!("{name}.txt"));
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"));
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(&path, &got).expect("write golden file");
         return;

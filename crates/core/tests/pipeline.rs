@@ -118,12 +118,7 @@ fn figure2_detects_feedback_dependency() {
 #[test]
 fn figure2_error_has_value_flow_path() {
     let result = analyze(FIGURE2);
-    let err = result
-        .report
-        .errors
-        .iter()
-        .find(|e| e.critical == "output")
-        .expect("output error");
+    let err = result.report.errors.iter().find(|e| e.critical == "output").expect("output error");
     let flow = err.flow.as_ref().expect("flow path present");
     let path = flow.path();
     assert!(path.len() >= 2, "path should have at least source and sink: {path:?}");
@@ -405,7 +400,8 @@ fn shared_helper_context_sensitivity() {
     for engine in [Engine::ContextSensitive, Engine::Summary] {
         let result = analyze_with(engine, src);
         let r = &result.report;
-        let data_errors: Vec<_> = r.errors.iter().filter(|e| e.kind == DependencyKind::Data).collect();
+        let data_errors: Vec<_> =
+            r.errors.iter().filter(|e| e.kind == DependencyKind::Data).collect();
         assert_eq!(
             data_errors.len(),
             1,

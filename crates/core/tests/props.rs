@@ -65,7 +65,9 @@ fn render_program(spec: &ProgramSpec) -> String {
         spec.regions
     ));
     for r in 0..spec.regions {
-        out.push_str(&format!("    reg{r} = (Blk *) cursor;\n    cursor = cursor + sizeof(Blk);\n"));
+        out.push_str(&format!(
+            "    reg{r} = (Blk *) cursor;\n    cursor = cursor + sizeof(Blk);\n"
+        ));
     }
     out.push_str("    /** SafeFlow Annotation\n");
     for r in 0..spec.regions {
@@ -111,22 +113,14 @@ fn render_program(spec: &ProgramSpec) -> String {
 /// Ground truth: expected warning count = reads in functions that read a
 /// noncore region without monitoring it.
 fn expected_warnings(spec: &ProgramSpec) -> usize {
-    spec.fns
-        .iter()
-        .filter(|f| spec.noncore[f.region] && !f.monitored)
-        .map(|f| f.reads)
-        .sum()
+    spec.fns.iter().filter(|f| spec.noncore[f.region] && !f.monitored).map(|f| f.reads).sum()
 }
 
 /// Ground truth: the assert errs iff some unmonitored noncore read flows
 /// into `total` — i.e., some unmonitored access function *returns* the
 /// value (or taints memory that main reads — our generator doesn't).
 fn expect_assert_error(spec: &ProgramSpec) -> bool {
-    spec.asserts
-        && spec
-            .fns
-            .iter()
-            .any(|f| spec.noncore[f.region] && !f.monitored && f.returns_it)
+    spec.asserts && spec.fns.iter().any(|f| spec.noncore[f.region] && !f.monitored && f.returns_it)
 }
 
 /// Warnings are exact: no false positives, no false negatives (§3.3).
@@ -218,9 +212,8 @@ fn cache_warm_reanalysis_is_identical_and_free() {
         let spec = gen_spec(g);
         let src = render_program(&spec);
         for jobs in [1, 4] {
-            let analyzer = Analyzer::new(
-                AnalysisConfig::with_engine(Engine::Summary).with_jobs(jobs),
-            );
+            let analyzer =
+                Analyzer::new(AnalysisConfig::with_engine(Engine::Summary).with_jobs(jobs));
             let cold = analyzer.analyze_source("gen.c", &src).expect("cold analyzes");
             let stats_cold = analyzer.cache_stats();
             assert_eq!(stats_cold.hits, 0, "first run over an empty cache has no hits");
@@ -233,8 +226,7 @@ fn cache_warm_reanalysis_is_identical_and_free() {
                 "warm run re-summarized a function (jobs = {jobs}) on:\n{src}"
             );
             assert_eq!(
-                stats_warm.hits,
-                stats_cold.misses,
+                stats_warm.hits, stats_cold.misses,
                 "warm run must hit once per summarized function (jobs = {jobs})"
             );
             assert_eq!(

@@ -5,9 +5,8 @@
 use safeflow::{AnalysisConfig, Analyzer, Restriction};
 
 fn violations(src: &str) -> (Vec<safeflow::RestrictionViolation>, String) {
-    let result = Analyzer::new(AnalysisConfig::default())
-        .analyze_source("edge.c", src)
-        .expect("analyzes");
+    let result =
+        Analyzer::new(AnalysisConfig::default()).analyze_source("edge.c", src).expect("analyzes");
     let rendered = result.render();
     (result.report.violations, rendered)
 }

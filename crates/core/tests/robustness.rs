@@ -150,12 +150,10 @@ fn switch_scrutinee_control_taints_cases() {
         }
     "#;
     for (engine, result) in analyze_both(src) {
-        let err = result
-            .report
-            .errors
-            .iter()
-            .find(|e| e.critical == "out")
-            .unwrap_or_else(|| panic!("{engine:?}: expected control error:\n{}", result.render()));
+        let err =
+            result.report.errors.iter().find(|e| e.critical == "out").unwrap_or_else(|| {
+                panic!("{engine:?}: expected control error:\n{}", result.render())
+            });
         assert_eq!(err.kind, DependencyKind::ControlOnly, "{engine:?}");
     }
 }

@@ -47,11 +47,8 @@ fn check_system(system: &System, engine: Engine) {
         );
     }
     // ... and the confirmed/false-positive split must match Table 1.
-    let confirmed = r
-        .errors
-        .iter()
-        .filter(|e| system.defects.iter().any(|d| d.critical == e.critical))
-        .count();
+    let confirmed =
+        r.errors.iter().filter(|e| system.defects.iter().any(|d| d.critical == e.critical)).count();
     let false_positives = r.errors.len() - confirmed;
     assert_eq!(
         confirmed,
@@ -168,9 +165,7 @@ fn corpus_print_round_trip_preserves_findings() {
         let parsed = safeflow_syntax::parse_source(system.core_file, system.core_source);
         assert!(!parsed.diags.has_errors());
         let printed = safeflow_syntax::printer::print_unit(&parsed.unit);
-        let original = analyzer
-            .analyze_source(system.core_file, system.core_source)
-            .unwrap();
+        let original = analyzer.analyze_source(system.core_file, system.core_source).unwrap();
         let reprinted = analyzer
             .analyze_source("printed.c", &printed)
             .unwrap_or_else(|e| panic!("{}: printed form fails to analyze:\n{e}", system.name));

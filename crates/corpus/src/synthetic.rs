@@ -48,9 +48,7 @@ pub fn generate_core(p: SyntheticParams) -> String {
     // Init function.
     out.push_str("void initShm(void)\n/** SafeFlow Annotation shminit */\n{\n");
     out.push_str("    char *cursor;\n    int shmid;\n");
-    out.push_str(&format!(
-        "    shmid = shmget(77, {regions} * sizeof(Blk), 0);\n"
-    ));
+    out.push_str(&format!("    shmid = shmget(77, {regions} * sizeof(Blk), 0);\n"));
     out.push_str("    cursor = (char *) shmat(shmid, 0, 0);\n");
     for r in 0..regions {
         out.push_str(&format!("    reg{r} = (Blk *) cursor;\n"));

@@ -122,10 +122,8 @@ mod tests {
 
     #[test]
     fn if_arms_depend_on_condition_block() {
-        let (m, fid, cd) = cdeps(
-            "int g(void); int f(int x) { int r = 0; if (x) r = g(); return r; }",
-            "f",
-        );
+        let (m, fid, cd) =
+            cdeps("int g(void); int f(int x) { int r = 0; if (x) r = g(); return r; }", "f");
         let f = m.function(fid);
         let cfg = Cfg::build(f);
         let entry = f.entry();
@@ -137,34 +135,22 @@ mod tests {
 
     #[test]
     fn join_not_dependent_on_branch() {
-        let (m, fid, cd) = cdeps(
-            "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }",
-            "f",
-        );
+        let (m, fid, cd) =
+            cdeps("int f(int x) { int r; if (x) r = 1; else r = 2; return r; }", "f");
         let f = m.function(fid);
         let cfg = Cfg::build(f);
-        let join = f
-            .iter_blocks()
-            .map(|(b, _)| b)
-            .find(|&b| cfg.preds_of(b).len() == 2)
-            .unwrap();
+        let join = f.iter_blocks().map(|(b, _)| b).find(|&b| cfg.preds_of(b).len() == 2).unwrap();
         // The join executes regardless of the branch: no control dependence.
         assert!(cd.controlling(join).is_empty());
     }
 
     #[test]
     fn loop_body_depends_on_header() {
-        let (m, fid, cd) = cdeps(
-            "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }",
-            "f",
-        );
+        let (m, fid, cd) =
+            cdeps("int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }", "f");
         let f = m.function(fid);
         let cfg = Cfg::build(f);
-        let header = f
-            .iter_blocks()
-            .map(|(b, _)| b)
-            .find(|&b| cfg.preds_of(b).len() == 2)
-            .unwrap();
+        let header = f.iter_blocks().map(|(b, _)| b).find(|&b| cfg.preds_of(b).len() == 2).unwrap();
         let body = cfg
             .succs_of(header)
             .iter()
@@ -191,9 +177,7 @@ mod tests {
         let call_block = f
             .iter_blocks()
             .find(|(_, blk)| {
-                blk.insts
-                    .iter()
-                    .any(|&i| matches!(f.inst(i).kind, InstKind::Call { .. }))
+                blk.insts.iter().any(|&i| matches!(f.inst(i).kind, InstKind::Call { .. }))
             })
             .map(|(b, _)| b)
             .unwrap();

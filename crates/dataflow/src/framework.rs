@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn forward_facts_accumulate_along_paths() {
-        let pr = parse_source(
-            "t.c",
-            "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }",
-        );
+        let pr = parse_source("t.c", "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }");
         let mut diags = Diagnostics::new();
         let m = build_module(&pr.unit, &mut diags);
         let f = m.function(m.function_by_name("f").unwrap());
@@ -164,22 +161,16 @@ mod tests {
 
     #[test]
     fn loop_reaches_fixpoint() {
-        let pr = parse_source(
-            "t.c",
-            "int f(int n) { int s = 0; while (n) { s += n; n--; } return s; }",
-        );
+        let pr =
+            parse_source("t.c", "int f(int n) { int s = 0; while (n) { s += n; n--; } return s; }");
         let mut diags = Diagnostics::new();
         let m = build_module(&pr.unit, &mut diags);
         let f = m.function(m.function_by_name("f").unwrap());
         let cfg = Cfg::build(f);
         let sol = solve(&ReachableBlocks, f, &cfg);
         // Loop header's entry fact contains the loop body (via back edge).
-        let header = cfg
-            .rpo
-            .iter()
-            .find(|b| cfg.preds_of(**b).len() >= 2)
-            .copied()
-            .expect("loop header");
+        let header =
+            cfg.rpo.iter().find(|b| cfg.preds_of(**b).len() >= 2).copied().expect("loop header");
         let body = cfg
             .preds_of(header)
             .iter()

@@ -77,7 +77,9 @@ pub fn dead_values(func: &Function) -> Vec<InstId> {
     }
     func.iter_insts()
         .filter(|(id, inst)| {
-            !used.contains(id) && !inst.kind.has_side_effects() && !matches!(inst.kind, InstKind::Alloca { .. })
+            !used.contains(id)
+                && !inst.kind.has_side_effects()
+                && !matches!(inst.kind, InstKind::Alloca { .. })
         })
         .map(|(id, _)| id)
         .collect()
@@ -110,7 +112,10 @@ mod tests {
             .find(|(_, i)| matches!(i.kind, InstKind::Bin { .. }))
             .map(|(id, _)| id)
             .unwrap();
-        assert!(live.entry[f.entry().0 as usize].contains(&mul) || live.exit[f.entry().0 as usize].contains(&mul));
+        assert!(
+            live.entry[f.entry().0 as usize].contains(&mul)
+                || live.exit[f.entry().0 as usize].contains(&mul)
+        );
     }
 
     #[test]

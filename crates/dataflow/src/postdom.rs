@@ -102,11 +102,8 @@ impl PostDomTree {
         }
 
         // Externalize: map virtual node n to VIRTUAL_EXIT.
-        let ipdom_out: Vec<Option<usize>> = (0..n)
-            .map(|b| {
-                ipdom[b].map(|d| if d == n { VIRTUAL_EXIT } else { d })
-            })
-            .collect();
+        let ipdom_out: Vec<Option<usize>> =
+            (0..n).map(|b| ipdom[b].map(|d| if d == n { VIRTUAL_EXIT } else { d })).collect();
         PostDomTree { ipdom: ipdom_out, n }
     }
 
@@ -176,18 +173,12 @@ mod tests {
 
     #[test]
     fn diamond_join_postdominates_arms() {
-        let (m, fid, p) = pdom_of(
-            "int f(int x) { int r; if (x) r = 1; else r = 2; return r; }",
-            "f",
-        );
+        let (m, fid, p) =
+            pdom_of("int f(int x) { int r; if (x) r = 1; else r = 2; return r; }", "f");
         let f = m.function(fid);
         let cfg = Cfg::build(f);
         // Find the join (the block with 2 preds).
-        let join = f
-            .iter_blocks()
-            .map(|(b, _)| b)
-            .find(|&b| cfg.preds_of(b).len() == 2)
-            .unwrap();
+        let join = f.iter_blocks().map(|(b, _)| b).find(|&b| cfg.preds_of(b).len() == 2).unwrap();
         for &arm in cfg.preds_of(join) {
             assert!(p.post_dominates(join, arm), "join must post-dominate arm {arm}");
         }
@@ -207,10 +198,8 @@ mod tests {
 
     #[test]
     fn loop_exit_postdominates_header() {
-        let (m, fid, p) = pdom_of(
-            "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }",
-            "f",
-        );
+        let (m, fid, p) =
+            pdom_of("int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }", "f");
         let f = m.function(fid);
         let cfg = Cfg::build(f);
         // Exit block = the one with Ret.
@@ -220,19 +209,10 @@ mod tests {
             .map(|(b, _)| b)
             .unwrap();
         // Header = the 2-pred block.
-        let header = f
-            .iter_blocks()
-            .map(|(b, _)| b)
-            .find(|&b| cfg.preds_of(b).len() == 2)
-            .unwrap();
+        let header = f.iter_blocks().map(|(b, _)| b).find(|&b| cfg.preds_of(b).len() == 2).unwrap();
         assert!(p.post_dominates(exit, header));
         // The loop body does not post-dominate the header.
-        let body = cfg
-            .succs_of(header)
-            .iter()
-            .copied()
-            .find(|&b| b != exit)
-            .unwrap();
+        let body = cfg.succs_of(header).iter().copied().find(|&b| b != exit).unwrap();
         assert!(!p.post_dominates(body, header));
     }
 }

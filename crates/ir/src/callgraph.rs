@@ -109,7 +109,9 @@ impl CallGraph {
     /// Whether `f` participates in recursion (self-loop or larger SCC).
     pub fn is_recursive(&self, f: FuncId) -> bool {
         match self.scc_of.get(&f) {
-            Some(&i) => self.sccs[i].len() > 1 || self.callees.get(&f).is_some_and(|c| c.contains(&f)),
+            Some(&i) => {
+                self.sccs[i].len() > 1 || self.callees.get(&f).is_some_and(|c| c.contains(&f))
+            }
             None => false,
         }
     }
@@ -142,7 +144,8 @@ fn tarjan(
         lowlink: u32,
         on_stack: bool,
     }
-    let mut state: HashMap<FuncId, NodeState> = nodes.iter().map(|&n| (n, NodeState::default())).collect();
+    let mut state: HashMap<FuncId, NodeState> =
+        nodes.iter().map(|&n| (n, NodeState::default())).collect();
     let mut index = 0u32;
     let mut stack: Vec<FuncId> = Vec::new();
     let mut sccs: Vec<Vec<FuncId>> = Vec::new();
@@ -274,9 +277,8 @@ mod tests {
 
     #[test]
     fn externals_and_prototypes_tracked() {
-        let (m, cg) = build(
-            "void sendControl(float v);\nvoid f(void) { sendControl(1.0); tickle(); }",
-        );
+        let (m, cg) =
+            build("void sendControl(float v);\nvoid f(void) { sendControl(1.0); tickle(); }");
         let f = m.function_by_name("f").unwrap();
         let mut ext = cg.externals[&f].clone();
         ext.sort();

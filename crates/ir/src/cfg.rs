@@ -119,7 +119,14 @@ mod tests {
     fn diamond_cfg() {
         // 0 -> 1, 2; 1 -> 3; 2 -> 3; 3 ret
         let f = func_with_blocks(vec![
-            block("entry", Terminator::CondBr { cond: Value::i32(1), then_bb: BlockId(1), else_bb: BlockId(2) }),
+            block(
+                "entry",
+                Terminator::CondBr {
+                    cond: Value::i32(1),
+                    then_bb: BlockId(1),
+                    else_bb: BlockId(2),
+                },
+            ),
             block("then", Terminator::Br(BlockId(3))),
             block("else", Terminator::Br(BlockId(3))),
             block("join", Terminator::Ret(None)),
@@ -148,7 +155,14 @@ mod tests {
         // 0 -> 1; 1 -> 2, 3; 2 -> 1; 3 ret   (while loop)
         let f = func_with_blocks(vec![
             block("entry", Terminator::Br(BlockId(1))),
-            block("cond", Terminator::CondBr { cond: Value::i32(1), then_bb: BlockId(2), else_bb: BlockId(3) }),
+            block(
+                "cond",
+                Terminator::CondBr {
+                    cond: Value::i32(1),
+                    then_bb: BlockId(2),
+                    else_bb: BlockId(3),
+                },
+            ),
             block("body", Terminator::Br(BlockId(1))),
             block("exit", Terminator::Ret(None)),
         ]);

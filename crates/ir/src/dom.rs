@@ -115,7 +115,12 @@ impl DomTree {
     }
 }
 
-fn intersect(idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
     while a != b {
         while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
             a = idom[a.0 as usize].expect("processed block has idom");
@@ -154,7 +159,11 @@ mod tests {
 
     fn diamond() -> Function {
         func(vec![
-            block(Terminator::CondBr { cond: Value::i32(1), then_bb: BlockId(1), else_bb: BlockId(2) }),
+            block(Terminator::CondBr {
+                cond: Value::i32(1),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            }),
             block(Terminator::Br(BlockId(3))),
             block(Terminator::Br(BlockId(3))),
             block(Terminator::Ret(None)),
@@ -191,7 +200,11 @@ mod tests {
         // entry(0) -> cond(1); cond -> body(2), exit(3); body -> cond.
         let f = func(vec![
             block(Terminator::Br(BlockId(1))),
-            block(Terminator::CondBr { cond: Value::i32(1), then_bb: BlockId(2), else_bb: BlockId(3) }),
+            block(Terminator::CondBr {
+                cond: Value::i32(1),
+                then_bb: BlockId(2),
+                else_bb: BlockId(3),
+            }),
             block(Terminator::Br(BlockId(1))),
             block(Terminator::Ret(None)),
         ]);

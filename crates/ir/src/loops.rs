@@ -264,40 +264,30 @@ mod tests {
         );
         assert_eq!(ls.len(), 2);
         // The inner loop body is a subset of the outer loop body.
-        let (outer, inner) = if ls[0].body.len() > ls[1].body.len() {
-            (&ls[0], &ls[1])
-        } else {
-            (&ls[1], &ls[0])
-        };
+        let (outer, inner) =
+            if ls[0].body.len() > ls[1].body.len() { (&ls[0], &ls[1]) } else { (&ls[1], &ls[0]) };
         assert!(inner.body.is_subset(&outer.body));
     }
 
     #[test]
     fn non_affine_update_not_an_iv() {
-        let (_, ls) = loops_of(
-            "int f(int n) { int i = 1; while (i < n) { i = i * 2; } return i; }",
-            "f",
-        );
+        let (_, ls) =
+            loops_of("int f(int n) { int i = 1; while (i < n) { i = i * 2; } return i; }", "f");
         assert_eq!(ls.len(), 1);
         assert!(ls[0].ivs.is_empty(), "i*2 is not a basic IV");
     }
 
     #[test]
     fn infinite_loop_has_no_exit_test() {
-        let (_, ls) = loops_of(
-            "void g(void); void f(void) { while (1) { g(); } }",
-            "f",
-        );
+        let (_, ls) = loops_of("void g(void); void f(void) { while (1) { g(); } }", "f");
         assert_eq!(ls.len(), 1);
         assert!(ls[0].exit_test.is_none());
     }
 
     #[test]
     fn do_while_latch_is_cond_block() {
-        let (_, ls) = loops_of(
-            "int f(int n) { int i = 0; do { i++; } while (i < n); return i; }",
-            "f",
-        );
+        let (_, ls) =
+            loops_of("int f(int n) { int i = 0; do { i++; } while (i < n); return i; }", "f");
         assert_eq!(ls.len(), 1);
         assert_eq!(ls[0].latches.len(), 1);
     }

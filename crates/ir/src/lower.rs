@@ -72,7 +72,10 @@ impl<'d> Lowerer<'d> {
                             Some(expr) => match self.const_eval(expr) {
                                 Some(v) => v,
                                 None => {
-                                    self.diags.error(*span, format!("enumerator `{name}` is not a constant expression"));
+                                    self.diags.error(
+                                        *span,
+                                        format!("enumerator `{name}` is not a constant expression"),
+                                    );
                                     next
                                 }
                             },
@@ -167,7 +170,10 @@ impl<'d> Lowerer<'d> {
                         }
                     },
                     None => {
-                        self.diags.error(te.span, "arrays must have an explicit constant size in the restricted subset");
+                        self.diags.error(
+                            te.span,
+                            "arrays must have an explicit constant size in the restricted subset",
+                        );
                         1
                     }
                 };
@@ -247,7 +253,11 @@ impl<'d> Lowerer<'d> {
         let mut fl = FnLower {
             lw: self,
             insts: Vec::new(),
-            blocks: vec![BasicBlock { insts: Vec::new(), terminator: Terminator::Unreachable, name: "entry".into() }],
+            blocks: vec![BasicBlock {
+                insts: Vec::new(),
+                terminator: Terminator::Unreachable,
+                name: "entry".into(),
+            }],
             cur: BlockId(0),
             terminated: false,
             scopes: vec![HashMap::new()],
@@ -272,7 +282,10 @@ impl<'d> Lowerer<'d> {
                 Type::Void,
                 f.span,
             );
-            fl.scopes.last_mut().unwrap().insert(p.name.clone(), LocalSlot { addr: slot, ty: p.ty.clone() });
+            fl.scopes
+                .last_mut()
+                .unwrap()
+                .insert(p.name.clone(), LocalSlot { addr: slot, ty: p.ty.clone() });
         }
 
         let body = f.body.as_ref().expect("definition");
@@ -426,7 +439,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 let exit_bb = self.new_block("while.end");
                 self.branch_to(cond_bb);
                 let c = self.lower_condition(cond);
-                self.set_terminator(Terminator::CondBr { cond: c, then_bb: body_bb, else_bb: exit_bb });
+                self.set_terminator(Terminator::CondBr {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit_bb,
+                });
                 self.switch_to(body_bb);
                 self.loops.push((cond_bb, exit_bb));
                 self.lower_stmt(body);
@@ -445,7 +462,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 self.set_terminator(Terminator::Br(cond_bb));
                 self.switch_to(cond_bb);
                 let c = self.lower_condition(cond);
-                self.set_terminator(Terminator::CondBr { cond: c, then_bb: body_bb, else_bb: exit_bb });
+                self.set_terminator(Terminator::CondBr {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit_bb,
+                });
                 self.switch_to(exit_bb);
             }
             SK::For { init, cond, step, body } => {
@@ -461,7 +482,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 match cond {
                     Some(c) => {
                         let cv = self.lower_condition(c);
-                        self.set_terminator(Terminator::CondBr { cond: cv, then_bb: body_bb, else_bb: exit_bb });
+                        self.set_terminator(Terminator::CondBr {
+                            cond: cv,
+                            then_bb: body_bb,
+                            else_bb: exit_bb,
+                        });
                     }
                     None => self.set_terminator(Terminator::Br(body_bb)),
                 }
@@ -509,7 +534,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 // current value of `var`.
                 match self.lookup(var) {
                     Some(slot) => {
-                        let v = self.emit(InstKind::Load { ptr: Value::Inst(slot.addr) }, slot.ty, span);
+                        let v = self.emit(
+                            InstKind::Load { ptr: Value::Inst(slot.addr) },
+                            slot.ty,
+                            span,
+                        );
                         self.emit(
                             InstKind::AssertSafe { var: var.clone(), value: Value::Inst(v) },
                             Type::Void,
@@ -521,17 +550,24 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         match self.lw.module.global_by_name(var) {
                             Some(gid) => {
                                 let gty = self.lw.module.global(gid).ty.clone();
-                                let v = self.emit(InstKind::Load { ptr: Value::Global(gid) }, gty, span);
+                                let v = self.emit(
+                                    InstKind::Load { ptr: Value::Global(gid) },
+                                    gty,
+                                    span,
+                                );
                                 self.emit(
-                                    InstKind::AssertSafe { var: var.clone(), value: Value::Inst(v) },
+                                    InstKind::AssertSafe {
+                                        var: var.clone(),
+                                        value: Value::Inst(v),
+                                    },
                                     Type::Void,
                                     span,
                                 );
                             }
-                            None => self
-                                .lw
-                                .diags
-                                .error(span, format!("assert(safe({var})): unknown variable `{var}`")),
+                            None => self.lw.diags.error(
+                                span,
+                                format!("assert(safe({var})): unknown variable `{var}`"),
+                            ),
                         }
                     }
                 }
@@ -559,7 +595,9 @@ impl<'a, 'd> FnLower<'a, 'd> {
             match &case.label {
                 Some(label) => match self.lw.const_eval(label) {
                     Some(v) => arms.push((v, case_blocks[i])),
-                    None => self.lw.diags.error(case.span, "case label must be a constant expression"),
+                    None => {
+                        self.lw.diags.error(case.span, "case label must be a constant expression")
+                    }
                 },
                 None => default = case_blocks[i],
             }
@@ -583,7 +621,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
 
     fn lower_local_decl(&mut self, d: &ast::VarDecl) {
         let ty = self.lw.resolve_type(&d.ty);
-        let slot = self.emit(InstKind::Alloca { ty: ty.clone(), name: d.name.clone() }, ty.ptr_to(), d.span);
+        let slot = self.emit(
+            InstKind::Alloca { ty: ty.clone(), name: d.name.clone() },
+            ty.ptr_to(),
+            d.span,
+        );
         self.scopes
             .last_mut()
             .unwrap()
@@ -621,7 +663,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 for (i, item) in items.iter().enumerate().take(layout.fields.len()) {
                     let fty = layout.fields[i].ty.clone();
                     let faddr = self.emit(
-                        InstKind::FieldAddr { base: addr.clone(), struct_id: *sid, field: i as u32 },
+                        InstKind::FieldAddr {
+                            base: addr.clone(),
+                            struct_id: *sid,
+                            field: i as u32,
+                        },
                         fty.ptr_to(),
                         *lspan,
                     );
@@ -647,11 +693,19 @@ impl<'a, 'd> FnLower<'a, 'd> {
             Type::Int { .. } => v,
             Type::Ptr(_) => {
                 let null = Value::ConstNull(ty.clone());
-                Value::Inst(self.emit(InstKind::Cmp { op: CmpOp::Ne, lhs: v, rhs: null }, Type::int32(), e.span))
+                Value::Inst(self.emit(
+                    InstKind::Cmp { op: CmpOp::Ne, lhs: v, rhs: null },
+                    Type::int32(),
+                    e.span,
+                ))
             }
             Type::Float { .. } => {
                 let zero = Value::ConstFloat(0.0, ty.clone());
-                Value::Inst(self.emit(InstKind::Cmp { op: CmpOp::Ne, lhs: v, rhs: zero }, Type::int32(), e.span))
+                Value::Inst(self.emit(
+                    InstKind::Cmp { op: CmpOp::Ne, lhs: v, rhs: zero },
+                    Type::int32(),
+                    e.span,
+                ))
             }
             _ => {
                 self.lw.diags.error(e.span, "condition must have scalar type");
@@ -701,7 +755,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         } else {
                             Value::ConstInt(0, ty.clone())
                         };
-                        let id = self.emit(InstKind::Bin { op: BinOp::Sub, lhs: zero, rhs: v }, ty.clone(), e.span);
+                        let id = self.emit(
+                            InstKind::Bin { op: BinOp::Sub, lhs: zero, rhs: v },
+                            ty.clone(),
+                            e.span,
+                        );
                         (Value::Inst(id), ty)
                     }
                     UnOp::Not => {
@@ -712,12 +770,20 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         } else {
                             Value::ConstInt(0, ty.clone())
                         };
-                        let id = self.emit(InstKind::Cmp { op: CmpOp::Eq, lhs: v, rhs: zero }, Type::int32(), e.span);
+                        let id = self.emit(
+                            InstKind::Cmp { op: CmpOp::Eq, lhs: v, rhs: zero },
+                            Type::int32(),
+                            e.span,
+                        );
                         (Value::Inst(id), Type::int32())
                     }
                     UnOp::BitNot => {
                         let m1 = Value::ConstInt(-1, ty.clone());
-                        let id = self.emit(InstKind::Bin { op: BinOp::Xor, lhs: v, rhs: m1 }, ty.clone(), e.span);
+                        let id = self.emit(
+                            InstKind::Bin { op: BinOp::Xor, lhs: v, rhs: m1 },
+                            ty.clone(),
+                            e.span,
+                        );
                         (Value::Inst(id), ty)
                     }
                     UnOp::Deref | UnOp::AddrOf => unreachable!("handled above"),
@@ -753,9 +819,16 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 let delta = if *inc { 1 } else { -1 };
                 match self.lower_lvalue(inner) {
                     Some(place) => {
-                        let (old, ty) = self.load_place(Place { addr: place.addr.clone(), ty: place.ty.clone() }, e.span);
+                        let (old, ty) = self.load_place(
+                            Place { addr: place.addr.clone(), ty: place.ty.clone() },
+                            e.span,
+                        );
                         let new_v = self.apply_incdec(old, &ty, delta, e.span);
-                        self.emit(InstKind::Store { ptr: place.addr, value: new_v.clone() }, Type::Void, e.span);
+                        self.emit(
+                            InstKind::Store { ptr: place.addr, value: new_v.clone() },
+                            Type::Void,
+                            e.span,
+                        );
                         (new_v, ty)
                     }
                     None => (Value::i32(0), Type::int32()),
@@ -765,9 +838,16 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 let delta = if *inc { 1 } else { -1 };
                 match self.lower_lvalue(inner) {
                     Some(place) => {
-                        let (old, ty) = self.load_place(Place { addr: place.addr.clone(), ty: place.ty.clone() }, e.span);
+                        let (old, ty) = self.load_place(
+                            Place { addr: place.addr.clone(), ty: place.ty.clone() },
+                            e.span,
+                        );
                         let new_v = self.apply_incdec(old.clone(), &ty, delta, e.span);
-                        self.emit(InstKind::Store { ptr: place.addr, value: new_v }, Type::Void, e.span);
+                        self.emit(
+                            InstKind::Store { ptr: place.addr, value: new_v },
+                            Type::Void,
+                            e.span,
+                        );
                         (old, ty)
                     }
                     None => (Value::i32(0), Type::int32()),
@@ -792,12 +872,14 @@ impl<'a, 'd> FnLower<'a, 'd> {
             }
             Type::Float { .. } => {
                 let one = Value::ConstFloat(delta as f64, ty.clone());
-                let id = self.emit(InstKind::Bin { op: BinOp::Add, lhs: v, rhs: one }, ty.clone(), span);
+                let id =
+                    self.emit(InstKind::Bin { op: BinOp::Add, lhs: v, rhs: one }, ty.clone(), span);
                 Value::Inst(id)
             }
             _ => {
                 let one = Value::ConstInt(delta, ty.clone());
-                let id = self.emit(InstKind::Bin { op: BinOp::Add, lhs: v, rhs: one }, ty.clone(), span);
+                let id =
+                    self.emit(InstKind::Bin { op: BinOp::Add, lhs: v, rhs: one }, ty.clone(), span);
                 Value::Inst(id)
             }
         }
@@ -829,10 +911,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 .lookup(n)
                 .map(|s| s.ty)
                 .or_else(|| {
-                    self.lw
-                        .module
-                        .global_by_name(n)
-                        .map(|g| self.lw.module.global(g).ty.clone())
+                    self.lw.module.global_by_name(n).map(|g| self.lw.module.global(g).ty.clone())
                 })
                 .unwrap_or_else(Type::int32),
             EK::Unary(UnOp::Deref, inner) => {
@@ -951,7 +1030,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                             Some(i) => {
                                 let fty = layout.fields[i].ty.clone();
                                 let id = self.emit(
-                                    InstKind::FieldAddr { base: base_addr, struct_id: sid, field: i as u32 },
+                                    InstKind::FieldAddr {
+                                        base: base_addr,
+                                        struct_id: sid,
+                                        field: i as u32,
+                                    },
                                     fty.ptr_to(),
                                     e.span,
                                 );
@@ -1001,7 +1084,13 @@ impl<'a, 'd> FnLower<'a, 'd> {
         }
     }
 
-    fn lower_binary(&mut self, op: ast::BinOp, l: &ast::Expr, r: &ast::Expr, span: Span) -> (Value, Type) {
+    fn lower_binary(
+        &mut self,
+        op: ast::BinOp,
+        l: &ast::Expr,
+        r: &ast::Expr,
+        span: Span,
+    ) -> (Value, Type) {
         use ast::BinOp as B;
         let (lv, lt) = self.lower_rvalue(l);
         let (rv, rt) = self.lower_rvalue(r);
@@ -1020,11 +1109,13 @@ impl<'a, 'd> FnLower<'a, 'd> {
                     } else {
                         rv
                     };
-                    let id = self.emit(InstKind::ElemAddr { base: lv, index: idx }, lt.clone(), span);
+                    let id =
+                        self.emit(InstKind::ElemAddr { base: lv, index: idx }, lt.clone(), span);
                     return (Value::Inst(id), lt);
                 }
                 (t, Type::Ptr(_)) if t.is_int() && op == B::Add => {
-                    let id = self.emit(InstKind::ElemAddr { base: rv, index: lv }, rt.clone(), span);
+                    let id =
+                        self.emit(InstKind::ElemAddr { base: rv, index: lv }, rt.clone(), span);
                     return (Value::Inst(id), rt);
                 }
                 (Type::Ptr(_), Type::Ptr(_)) if op == B::Sub => {
@@ -1041,7 +1132,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         span,
                     );
                     let id = self.emit(
-                        InstKind::Bin { op: BinOp::Sub, lhs: Value::Inst(li), rhs: Value::Inst(ri) },
+                        InstKind::Bin {
+                            op: BinOp::Sub,
+                            lhs: Value::Inst(li),
+                            rhs: Value::Inst(ri),
+                        },
                         Type::int64(),
                         span,
                     );
@@ -1086,7 +1181,13 @@ impl<'a, 'd> FnLower<'a, 'd> {
         (Value::Inst(id), common)
     }
 
-    fn lower_short_circuit(&mut self, l: &ast::Expr, r: &ast::Expr, is_and: bool, span: Span) -> (Value, Type) {
+    fn lower_short_circuit(
+        &mut self,
+        l: &ast::Expr,
+        r: &ast::Expr,
+        is_and: bool,
+        span: Span,
+    ) -> (Value, Type) {
         // Lower via a result slot; SSA promotion turns it into a phi.
         let slot = self.emit(
             InstKind::Alloca { ty: Type::int32(), name: "__sc".into() },
@@ -1095,13 +1196,25 @@ impl<'a, 'd> FnLower<'a, 'd> {
         );
         let lv = self.lower_condition(l);
         let lbool = self.normalize_bool(lv, span);
-        self.emit(InstKind::Store { ptr: Value::Inst(slot), value: lbool.clone() }, Type::Void, span);
+        self.emit(
+            InstKind::Store { ptr: Value::Inst(slot), value: lbool.clone() },
+            Type::Void,
+            span,
+        );
         let rhs_bb = self.new_block(if is_and { "and.rhs" } else { "or.rhs" });
         let merge_bb = self.new_block("sc.end");
         if is_and {
-            self.set_terminator(Terminator::CondBr { cond: lbool, then_bb: rhs_bb, else_bb: merge_bb });
+            self.set_terminator(Terminator::CondBr {
+                cond: lbool,
+                then_bb: rhs_bb,
+                else_bb: merge_bb,
+            });
         } else {
-            self.set_terminator(Terminator::CondBr { cond: lbool, then_bb: merge_bb, else_bb: rhs_bb });
+            self.set_terminator(Terminator::CondBr {
+                cond: lbool,
+                then_bb: merge_bb,
+                else_bb: rhs_bb,
+            });
         }
         self.switch_to(rhs_bb);
         let rv = self.lower_condition(r);
@@ -1123,7 +1236,13 @@ impl<'a, 'd> FnLower<'a, 'd> {
         Value::Inst(id)
     }
 
-    fn lower_ternary(&mut self, cond: &ast::Expr, then: &ast::Expr, els: &ast::Expr, span: Span) -> (Value, Type) {
+    fn lower_ternary(
+        &mut self,
+        cond: &ast::Expr,
+        then: &ast::Expr,
+        els: &ast::Expr,
+        span: Span,
+    ) -> (Value, Type) {
         let c = self.lower_condition(cond);
         let then_bb = self.new_block("sel.then");
         let else_bb = self.new_block("sel.else");
@@ -1189,7 +1308,11 @@ impl<'a, 'd> FnLower<'a, 'd> {
                     } else {
                         rv
                     };
-                    Value::Inst(self.emit(InstKind::ElemAddr { base: old, index: idx }, oty.clone(), span))
+                    Value::Inst(self.emit(
+                        InstKind::ElemAddr { base: old, index: idx },
+                        oty.clone(),
+                        span,
+                    ))
                 } else {
                     let common = common_type(&oty, &rt);
                     let a = self.coerce(old, &oty, &common, span);
@@ -1206,11 +1329,15 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         ast::BinOp::BitOr => BinOp::Or,
                         ast::BinOp::BitXor => BinOp::Xor,
                         other => {
-                            self.lw.diags.error(span, format!("invalid compound assignment operator {other:?}"));
+                            self.lw.diags.error(
+                                span,
+                                format!("invalid compound assignment operator {other:?}"),
+                            );
                             BinOp::Add
                         }
                     };
-                    let combined = self.emit(InstKind::Bin { op: bop, lhs: a, rhs: b }, common.clone(), span);
+                    let combined =
+                        self.emit(InstKind::Bin { op: bop, lhs: a, rhs: b }, common.clone(), span);
                     self.coerce(Value::Inst(combined), &common, &place.ty, span)
                 }
             }
@@ -1232,7 +1359,12 @@ impl<'a, 'd> FnLower<'a, 'd> {
                     f.varargs,
                 )
             }
-            None => (Callee::External(callee.to_string()), default_external_ret(callee), Vec::new(), true),
+            None => (
+                Callee::External(callee.to_string()),
+                default_external_ret(callee),
+                Vec::new(),
+                true,
+            ),
         };
         for (i, a) in args.iter().enumerate() {
             let (v, ty) = self.lower_rvalue(a);
@@ -1248,11 +1380,10 @@ impl<'a, 'd> FnLower<'a, 'd> {
             lowered.push(v);
         }
         if !varargs && lowered.len() < param_tys.len() {
-            self.lw
-                .diags
-                .warning(span, format!("too few arguments to `{callee}`"));
+            self.lw.diags.warning(span, format!("too few arguments to `{callee}`"));
         }
-        let id = self.emit(InstKind::Call { callee: callee_kind, args: lowered }, ret_ty.clone(), span);
+        let id =
+            self.emit(InstKind::Call { callee: callee_kind, args: lowered }, ret_ty.clone(), span);
         (Value::Inst(id), ret_ty)
     }
 
@@ -1332,7 +1463,13 @@ fn common_type(a: &Type, b: &Type) -> Type {
         (Type::Int { bits: x, signed: sx }, Type::Int { bits: y, signed: sy }) => {
             // Promote to at least int.
             let bits = (*x).max(*y).max(32);
-            let signed = if x == y { *sx && *sy } else if x > y { *sx } else { *sy };
+            let signed = if x == y {
+                *sx && *sy
+            } else if x > y {
+                *sx
+            } else {
+                *sy
+            };
             Type::Int { bits, signed }
         }
         (Type::Ptr(_), _) => a.clone(),
@@ -1406,7 +1543,8 @@ mod tests {
             "typedef struct { float control; int valid; } D;\nfloat get(D *d) { return d->control; }",
         );
         let f = m.function(m.function_by_name("get").unwrap());
-        let has_field_addr = f.insts.iter().any(|i| matches!(i.kind, InstKind::FieldAddr { field: 0, .. }));
+        let has_field_addr =
+            f.insts.iter().any(|i| matches!(i.kind, InstKind::FieldAddr { field: 0, .. }));
         assert!(has_field_addr);
     }
 
@@ -1414,24 +1552,22 @@ mod tests {
     fn lower_array_indexing() {
         let m = lower_ok("int sum(int *a, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += a[i]; return s; }");
         let f = m.function(m.function_by_name("sum").unwrap());
-        let elem_addrs = f.insts.iter().filter(|i| matches!(i.kind, InstKind::ElemAddr { .. })).count();
+        let elem_addrs =
+            f.insts.iter().filter(|i| matches!(i.kind, InstKind::ElemAddr { .. })).count();
         assert!(elem_addrs >= 1);
     }
 
     #[test]
     fn lower_pointer_arithmetic_to_elem_addr() {
-        let m = lower_ok(
-            "typedef struct { float c; } D;\nD *g;\nvoid f(void) { D *p = g + 1; }",
-        );
+        let m = lower_ok("typedef struct { float c; } D;\nD *g;\nvoid f(void) { D *p = g + 1; }");
         let f = m.function(m.function_by_name("f").unwrap());
         assert!(f.insts.iter().any(|i| matches!(i.kind, InstKind::ElemAddr { .. })));
     }
 
     #[test]
     fn lower_call_binds_local_and_external() {
-        let m = lower_ok(
-            "int helper(int x) { return x; }\nvoid f(void) { helper(1); unknown_fn(2); }",
-        );
+        let m =
+            lower_ok("int helper(int x) { return x; }\nvoid f(void) { helper(1); unknown_fn(2); }");
         let f = m.function(m.function_by_name("f").unwrap());
         let mut local = 0;
         let mut external = 0;
@@ -1494,20 +1630,15 @@ mod tests {
     fn enum_constants_fold() {
         let m = lower_ok("enum M { A, B = 7 };\nint f(void) { return B; }");
         let f = m.function(m.function_by_name("f").unwrap());
-        assert!(matches!(
-            f.blocks[0].terminator,
-            Terminator::Ret(Some(Value::ConstInt(7, _)))
-        ));
+        assert!(matches!(f.blocks[0].terminator, Terminator::Ret(Some(Value::ConstInt(7, _)))));
     }
 
     #[test]
     fn sizeof_folds_to_constant() {
-        let m = lower_ok("typedef struct { double a; int b; } T;\nlong f(void) { return sizeof(T); }");
+        let m =
+            lower_ok("typedef struct { double a; int b; } T;\nlong f(void) { return sizeof(T); }");
         let f = m.function(m.function_by_name("f").unwrap());
-        assert!(matches!(
-            f.blocks[0].terminator,
-            Terminator::Ret(Some(Value::ConstInt(16, _)))
-        ));
+        assert!(matches!(f.blocks[0].terminator, Terminator::Ret(Some(Value::ConstInt(16, _)))));
     }
 
     #[test]
@@ -1630,9 +1761,9 @@ mod tests {
             .iter()
             .any(|i| matches!(&i.kind, InstKind::AssertSafe { var, .. } if var == "output")));
         // The cast `(SHMData*) shmStart` must appear as a PtrToPtr cast.
-        assert!(main.insts.iter().any(|i| matches!(
-            &i.kind,
-            InstKind::Cast { kind: CastKind::PtrToPtr, .. }
-        )));
+        assert!(main
+            .insts
+            .iter()
+            .any(|i| matches!(&i.kind, InstKind::Cast { kind: CastKind::PtrToPtr, .. })));
     }
 }

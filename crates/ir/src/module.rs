@@ -254,10 +254,7 @@ impl InstKind {
 
     /// Whether this instruction has side effects (must not be removed).
     pub fn has_side_effects(&self) -> bool {
-        matches!(
-            self,
-            InstKind::Store { .. } | InstKind::Call { .. } | InstKind::AssertSafe { .. }
-        )
+        matches!(self, InstKind::Store { .. } | InstKind::Call { .. } | InstKind::AssertSafe { .. })
     }
 }
 
@@ -403,10 +400,7 @@ impl Function {
 
     /// Iterates all `(InstId, &Inst)` in block order.
     pub fn iter_insts(&self) -> impl Iterator<Item = (InstId, &Inst)> + '_ {
-        self.blocks
-            .iter()
-            .flat_map(|b| b.insts.iter())
-            .map(move |&id| (id, self.inst(id)))
+        self.blocks.iter().flat_map(|b| b.insts.iter()).map(move |&id| (id, self.inst(id)))
     }
 
     /// Which block contains instruction `id`.
@@ -532,9 +526,7 @@ impl Module {
     pub fn external_callee_name<'a>(&'a self, callee: &'a Callee) -> Option<&'a str> {
         match callee {
             Callee::External(n) => Some(n),
-            Callee::Local(f) if !self.function(*f).is_definition => {
-                Some(&self.function(*f).name)
-            }
+            Callee::Local(f) if !self.function(*f).is_definition => Some(&self.function(*f).name),
             _ => None,
         }
     }
@@ -644,8 +636,18 @@ mod tests {
     #[test]
     fn global_dedup() {
         let mut m = Module::new();
-        let g1 = m.add_global(Global { name: "x".into(), ty: Type::int32(), has_init: false, span: Span::dummy() });
-        let g2 = m.add_global(Global { name: "x".into(), ty: Type::int32(), has_init: true, span: Span::dummy() });
+        let g1 = m.add_global(Global {
+            name: "x".into(),
+            ty: Type::int32(),
+            has_init: false,
+            span: Span::dummy(),
+        });
+        let g2 = m.add_global(Global {
+            name: "x".into(),
+            ty: Type::int32(),
+            has_init: true,
+            span: Span::dummy(),
+        });
         assert_eq!(g1, g2);
         assert_eq!(m.globals.len(), 1);
     }

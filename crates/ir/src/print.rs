@@ -69,11 +69,7 @@ fn print_inst(module: &Module, func: &Function, iid: InstId) -> String {
         InstKind::Store { ptr, value } => format!("store {} -> {}", val(value), val(ptr)),
         InstKind::FieldAddr { base, struct_id, field } => {
             let layout = module.types.layout(*struct_id);
-            let fname = layout
-                .fields
-                .get(*field as usize)
-                .map(|f| f.name.as_str())
-                .unwrap_or("?");
+            let fname = layout.fields.get(*field as usize).map(|f| f.name.as_str()).unwrap_or("?");
             format!("%{} = fieldaddr {}.{}", iid.0, val(base), fname)
         }
         InstKind::ElemAddr { base, index } => {

@@ -118,7 +118,17 @@ pub fn promote_to_ssa(func: &mut Function) -> usize {
     }
     let entry = func.entry();
     let mut frames = vec![Frame { block: entry, child_idx: 0, pushed: Vec::new() }];
-    rename_block(func, &cfg, entry, &promotable, &phis, &mut stacks, &mut replace, &mut dead, &mut frames.last_mut().unwrap().pushed);
+    rename_block(
+        func,
+        &cfg,
+        entry,
+        &promotable,
+        &phis,
+        &mut stacks,
+        &mut replace,
+        &mut dead,
+        &mut frames.last_mut().unwrap().pushed,
+    );
 
     while !frames.is_empty() {
         let top = frames.len() - 1;
@@ -132,7 +142,17 @@ pub fn promote_to_ssa(func: &mut Function) -> usize {
                 continue;
             }
             let mut pushed = Vec::new();
-            rename_block(func, &cfg, child, &promotable, &phis, &mut stacks, &mut replace, &mut dead, &mut pushed);
+            rename_block(
+                func,
+                &cfg,
+                child,
+                &promotable,
+                &phis,
+                &mut stacks,
+                &mut replace,
+                &mut dead,
+                &mut pushed,
+            );
             frames.push(Frame { block: child, child_idx: 0, pushed });
         } else {
             // Pop: undo stack pushes.
@@ -226,7 +246,10 @@ fn rename_block(
         }
         match &func.insts[iid.0 as usize].kind {
             InstKind::Load { ptr: Value::Inst(a) } if promotable.contains(a) => {
-                let current = stacks[a].last().cloned().unwrap_or_else(|| undef_value(&func.insts[iid.0 as usize].ty));
+                let current = stacks[a]
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| undef_value(&func.insts[iid.0 as usize].ty));
                 replace.insert(iid, current);
                 dead.insert(iid);
             }
@@ -354,9 +377,8 @@ mod tests {
 
     #[test]
     fn diamond_inserts_phi() {
-        let m = lower_and_promote(
-            "int f(int x) { int r; if (x > 0) r = 1; else r = 2; return r; }",
-        );
+        let m =
+            lower_and_promote("int f(int x) { int r; if (x > 0) r = 1; else r = 2; return r; }");
         let f = func(&m, "f");
         assert!(count_kind(f, |k| matches!(k, InstKind::Phi { .. })) >= 1);
         // The return must flow from a phi.
@@ -374,9 +396,8 @@ mod tests {
 
     #[test]
     fn phi_incoming_matches_predecessors() {
-        let m = lower_and_promote(
-            "int f(int x) { int r; if (x > 0) r = 1; else r = 2; return r; }",
-        );
+        let m =
+            lower_and_promote("int f(int x) { int r; if (x > 0) r = 1; else r = 2; return r; }");
         let f = func(&m, "f");
         let cfg = Cfg::build(f);
         for (bid, block) in f.iter_blocks() {
@@ -405,9 +426,7 @@ mod tests {
 
     #[test]
     fn address_taken_local_not_promoted() {
-        let m = lower_and_promote(
-            "void g(int *p); int f(void) { int x = 1; g(&x); return x; }",
-        );
+        let m = lower_and_promote("void g(int *p); int f(void) { int x = 1; g(&x); return x; }");
         let f = func(&m, "f");
         // x's alloca must survive (its address escapes into g).
         assert_eq!(count_kind(f, |k| matches!(k, InstKind::Alloca { .. })), 1);

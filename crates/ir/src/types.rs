@@ -403,11 +403,8 @@ mod tests {
     #[test]
     fn field_index_lookup() {
         let mut t = TypeTable::new();
-        let id = t.define_struct(
-            "P",
-            vec![("x".into(), Type::f32()), ("y".into(), Type::f32())],
-            false,
-        );
+        let id =
+            t.define_struct("P", vec![("x".into(), Type::f32()), ("y".into(), Type::f32())], false);
         assert_eq!(t.layout(id).field_index("y"), Some(1));
         assert_eq!(t.layout(id).field_index("z"), None);
     }

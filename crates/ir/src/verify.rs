@@ -67,27 +67,24 @@ fn verify_function(module: &Module, func: &Function, errors: &mut Vec<VerifyErro
     // Operand sanity: instruction operands must reference in-range values;
     // params must be in range.
     let check_value = |v: &Value, ctx: &str, errors: &mut Vec<VerifyError>| match v {
-        Value::Inst(id)
-            if id.0 as usize >= func.insts.len() => {
-                errors.push(VerifyError {
-                    function: func.name.clone(),
-                    message: format!("{ctx}: operand {id} out of range"),
-                });
-            }
-        Value::Param(i)
-            if *i as usize >= func.params.len() => {
-                errors.push(VerifyError {
-                    function: func.name.clone(),
-                    message: format!("{ctx}: parameter index {i} out of range"),
-                });
-            }
-        Value::Global(g)
-            if g.0 as usize >= module.globals.len() => {
-                errors.push(VerifyError {
-                    function: func.name.clone(),
-                    message: format!("{ctx}: global {g:?} out of range"),
-                });
-            }
+        Value::Inst(id) if id.0 as usize >= func.insts.len() => {
+            errors.push(VerifyError {
+                function: func.name.clone(),
+                message: format!("{ctx}: operand {id} out of range"),
+            });
+        }
+        Value::Param(i) if *i as usize >= func.params.len() => {
+            errors.push(VerifyError {
+                function: func.name.clone(),
+                message: format!("{ctx}: parameter index {i} out of range"),
+            });
+        }
+        Value::Global(g) if g.0 as usize >= module.globals.len() => {
+            errors.push(VerifyError {
+                function: func.name.clone(),
+                message: format!("{ctx}: global {g:?} out of range"),
+            });
+        }
         _ => {}
     };
     for (bid, block) in func.iter_blocks() {
@@ -164,7 +161,10 @@ fn verify_function(module: &Module, func: &Function, errors: &mut Vec<VerifyErro
                                     );
                                 }
                             }
-                            None => fail(errors, format!("{bid}: phi {iid} references dead instruction {src}")),
+                            None => fail(
+                                errors,
+                                format!("{bid}: phi {iid} references dead instruction {src}"),
+                            ),
                         }
                     }
                 }
@@ -183,7 +183,9 @@ fn verify_function(module: &Module, func: &Function, errors: &mut Vec<VerifyErro
                                 fail(errors, format!("{bid}: use of {src} in {iid} not dominated by its definition"));
                             }
                         }
-                        None => fail(errors, format!("{bid}: {iid} references dead instruction {src}")),
+                        None => {
+                            fail(errors, format!("{bid}: {iid} references dead instruction {src}"))
+                        }
                     }
                 }
             }

@@ -404,11 +404,8 @@ impl Analyzer {
                 break; // defensive: should converge long before this
             }
             // Copy edges.
-            let edges: Vec<(VarKey, VarKey)> = self
-                .edges
-                .iter()
-                .flat_map(|(f, tos)| tos.iter().map(move |t| (*f, *t)))
-                .collect();
+            let edges: Vec<(VarKey, VarKey)> =
+                self.edges.iter().flat_map(|(f, tos)| tos.iter().map(move |t| (*f, *t))).collect();
             for (from, to) in edges {
                 let src = self.pt.sets.get(&from).cloned().unwrap_or_default();
                 if src.is_empty() {
@@ -532,9 +529,8 @@ mod tests {
 
     #[test]
     fn pointer_flows_through_call() {
-        let (m, pt) = analyze(
-            "int g;\nint *id(int *p) { return p; }\nint *f(void) { return id(&g); }",
-        );
+        let (m, pt) =
+            analyze("int g;\nint *id(int *p) { return p; }\nint *f(void) { return id(&g); }");
         let fid = m.function_by_name("f").unwrap();
         let ret = pt.return_points_to(fid);
         assert!(ret.iter().any(|&o| pt.describe(&m, o).contains("global `g`")));
@@ -612,9 +608,8 @@ mod tests {
 
     #[test]
     fn escaped_pointer_contents_unknown() {
-        let (m, pt) = analyze(
-            "void mystery(int **p);\nint *f(void) { int *q; mystery(&q); return q; }",
-        );
+        let (m, pt) =
+            analyze("void mystery(int **p);\nint *f(void) { int *q; mystery(&q); return q; }");
         let fid = m.function_by_name("f").unwrap();
         let ret = pt.return_points_to(fid);
         assert!(
@@ -641,9 +636,7 @@ mod tests {
             .unwrap();
         let roots: BTreeSet<ObjId> = std::iter::once(mid_obj).collect();
         let reach = pt.reachable(&roots);
-        assert!(reach
-            .iter()
-            .any(|&o| pt.describe(&m, o).contains("global `target`")));
+        assert!(reach.iter().any(|&o| pt.describe(&m, o).contains("global `target`")));
     }
 
     #[test]

@@ -416,8 +416,7 @@ mod tests {
     #[test]
     fn rigged_pid_kills_unsafe_core_but_not_safe_core() {
         let rig = Fault::RigPid { pid: 1000.0 };
-        let unsafe_cfg =
-            ExecutiveConfig { fault: rig, unsafe_core: true, ..Default::default() };
+        let unsafe_cfg = ExecutiveConfig { fault: rig, unsafe_core: true, ..Default::default() };
         let summary = SimplexExecutive::new(unsafe_cfg).run();
         assert!(summary.killed_self, "the kill-pid defect must fire on the unsafe core");
 

@@ -177,12 +177,7 @@ impl Mat {
 
     /// Frobenius norm of the difference to `other`.
     pub fn distance(&self, other: &Mat) -> f64 {
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// Quadratic form `x' M x` for a vector `x`.

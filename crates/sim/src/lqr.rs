@@ -45,11 +45,7 @@ pub fn dlqr(a: &Mat, b: &Mat, q: &Mat, r: f64, max_iter: usize) -> Option<LqrDes
         }
         let k = bt.mul(&p).mul(a).scale(1.0 / denom);
         // P' = A'PA - A'PB K + Q
-        let next = at
-            .mul(&p)
-            .mul(a)
-            .sub(&at.mul(&p).mul(b).mul(&k))
-            .add(q);
+        let next = at.mul(&p).mul(a).sub(&at.mul(&p).mul(b).mul(&k)).add(q);
         let delta = next.distance(&p);
         p = next;
         if delta < 1e-10 {

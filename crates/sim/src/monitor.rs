@@ -132,10 +132,7 @@ mod tests {
         let (m, _) = monitor_for_cartpole();
         let x = [0.0, 0.0, 0.0, 0.0];
         assert_eq!(m.check(&x, 12.0), Decision::Reject(RejectReason::RangeViolation));
-        assert_eq!(
-            m.check(&x, f64::NAN),
-            Decision::Reject(RejectReason::NotFinite)
-        );
+        assert_eq!(m.check(&x, f64::NAN), Decision::Reject(RejectReason::NotFinite));
     }
 
     #[test]

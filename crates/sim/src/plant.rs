@@ -75,8 +75,7 @@ impl CartPole {
         // Standard cart-pole equations (Barto et al. convention, theta
         // measured from upright).
         let tmp = (force + mp * l * theta_dot * theta_dot * sin) / total;
-        let theta_acc =
-            (g * sin - cos * tmp) / (l * (4.0 / 3.0 - mp * cos * cos / total));
+        let theta_acc = (g * sin - cos * tmp) / (l * (4.0 / 3.0 - mp * cos * cos / total));
         let x_acc = tmp - mp * l * theta_acc * cos / total;
         [s[1], x_acc, s[3], theta_acc]
     }

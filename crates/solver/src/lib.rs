@@ -29,4 +29,4 @@ pub mod expr;
 pub mod omega;
 
 pub use expr::{LinExpr, Var};
-pub use omega::{Entailment, Feasibility, SolverLimits, System};
+pub use omega::{Entailment, Feasibility, SolveStats, SolverLimits, System};

@@ -98,6 +98,25 @@ pub enum Entailment {
     BudgetExhausted,
 }
 
+/// Aggregate work counters for a (sequence of) solver invocations.
+///
+/// Like the step counter in [`System::check_within`], a `SolveStats` value
+/// is caller-owned and accumulates across calls, so one value can tally a
+/// whole run's solver work. All fields are deterministic functions of the
+/// queries issued (no wall-clock or scheduling influence).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Recursive `solve` activations — the currency of the step budget.
+    pub steps: u64,
+    /// Equalities eliminated (unit substitution or the modulo trick).
+    pub eq_eliminations: u64,
+    /// Variables eliminated by Fourier–Motzkin projection.
+    pub fm_eliminations: u64,
+    /// `Unknown` verdicts originated: budget/depth/size caps, arithmetic
+    /// overflow, or a malformed system with no eliminable variable.
+    pub early_exits: u64,
+}
+
 impl System {
     /// Creates an empty (trivially satisfiable) system.
     pub fn new() -> System {
@@ -157,8 +176,18 @@ impl System {
     /// `limits.max_steps` the check (and any later check sharing the
     /// counter) returns [`Feasibility::Unknown`].
     pub fn check_within(&self, limits: &SolverLimits, steps: &mut u64) -> Feasibility {
+        let mut stats = SolveStats { steps: *steps, ..SolveStats::default() };
+        let r = self.check_stats(limits, &mut stats);
+        *steps = stats.steps;
+        r
+    }
+
+    /// Feasibility check under explicit resource limits, accumulating the
+    /// full work counters (a superset of [`System::check_within`]'s step
+    /// counter) into the caller-owned `stats`.
+    pub fn check_stats(&self, limits: &SolverLimits, stats: &mut SolveStats) -> Feasibility {
         let mut next_var = self.names.len() as u32;
-        solve(self.constraints.clone(), &mut next_var, 0, limits, steps)
+        solve(self.constraints.clone(), &mut next_var, 0, limits, stats)
     }
 
     /// `true` unless the system is *provably* infeasible ([`Feasibility::Unknown`]
@@ -192,9 +221,10 @@ impl System {
         limits: &SolverLimits,
         steps: &mut u64,
     ) -> Entailment {
-        let mut neg = self.clone();
-        neg.add_lt(lhs, rhs);
-        entailment_of(neg.check_within(limits, steps), limits, *steps)
+        let mut stats = SolveStats { steps: *steps, ..SolveStats::default() };
+        let r = self.implies_ge_stats(lhs, rhs, limits, &mut stats);
+        *steps = stats.steps;
+        r
     }
 
     /// Budgeted form of [`System::implies_lt`].
@@ -205,9 +235,36 @@ impl System {
         limits: &SolverLimits,
         steps: &mut u64,
     ) -> Entailment {
+        let mut stats = SolveStats { steps: *steps, ..SolveStats::default() };
+        let r = self.implies_lt_stats(lhs, rhs, limits, &mut stats);
+        *steps = stats.steps;
+        r
+    }
+
+    /// [`System::implies_ge_within`] with full work counters.
+    pub fn implies_ge_stats(
+        &self,
+        lhs: LinExpr,
+        rhs: LinExpr,
+        limits: &SolverLimits,
+        stats: &mut SolveStats,
+    ) -> Entailment {
+        let mut neg = self.clone();
+        neg.add_lt(lhs, rhs);
+        entailment_of(neg.check_stats(limits, stats), limits, stats.steps)
+    }
+
+    /// [`System::implies_lt_within`] with full work counters.
+    pub fn implies_lt_stats(
+        &self,
+        lhs: LinExpr,
+        rhs: LinExpr,
+        limits: &SolverLimits,
+        stats: &mut SolveStats,
+    ) -> Entailment {
         let mut neg = self.clone();
         neg.add_ge(lhs, rhs);
-        entailment_of(neg.check_within(limits, steps), limits, *steps)
+        entailment_of(neg.check_stats(limits, stats), limits, stats.steps)
     }
 
     /// Verifies a satisfying assignment (testing hook).
@@ -242,13 +299,15 @@ fn solve(
     next_var: &mut u32,
     depth: usize,
     limits: &SolverLimits,
-    steps: &mut u64,
+    stats: &mut SolveStats,
 ) -> Feasibility {
-    *steps += 1;
-    if *steps > limits.max_steps {
+    stats.steps += 1;
+    if stats.steps > limits.max_steps {
+        stats.early_exits += 1;
         return Feasibility::Unknown;
     }
     if depth > limits.max_recursion || cs.len() > limits.max_constraints {
+        stats.early_exits += 1;
         return Feasibility::Unknown;
     }
 
@@ -320,7 +379,8 @@ fn solve(
                     C::Eq(e) => C::Eq(e.substitute(v, &replacement)),
                 })
                 .collect();
-            return solve(new_cs, next_var, depth + 1, limits, steps);
+            stats.eq_eliminations += 1;
+            return solve(new_cs, next_var, depth + 1, limits, stats);
         }
         // Pugh's modulo trick: shrink coefficients with a fresh variable.
         let (k, ak) = eq
@@ -351,7 +411,8 @@ fn solve(
             })
             .collect();
         new_cs.push(C::Eq(eq.substitute(k, &replacement)));
-        return solve(new_cs, next_var, depth + 1, limits, steps);
+        stats.eq_eliminations += 1;
+        return solve(new_cs, next_var, depth + 1, limits, stats);
     }
 
     // ---- only inequalities left: Fourier–Motzkin ---------------------------
@@ -370,32 +431,14 @@ fn solve(
         return Feasibility::Sat;
     }
 
-    // Choose the variable minimizing lowers×uppers.
-    let (&x, lowers, uppers) = {
-        let mut best: Option<(&Var, Vec<usize>, Vec<usize>)> = None;
-        for v in &vars {
-            let mut lo = Vec::new();
-            let mut hi = Vec::new();
-            for (i, c) in cs.iter().enumerate() {
-                let C::Ge(e) = c else { unreachable!() };
-                let cf = e.coeff(*v);
-                if cf > 0 {
-                    lo.push(i);
-                } else if cf < 0 {
-                    hi.push(i);
-                }
-            }
-            let cost = lo.len() * hi.len();
-            let better = match &best {
-                None => true,
-                Some((_, bl, bh)) => cost < bl.len() * bh.len(),
-            };
-            if better {
-                best = Some((v, lo, hi));
-            }
-        }
-        best.unwrap()
+    // Choose the variable minimizing lowers×uppers. A system with no
+    // eliminable candidate is malformed; degrade to Unknown (conservative
+    // top) rather than panicking into the containment layer.
+    let Some((x, lowers, uppers)) = choose_elimination_var(&vars, &cs) else {
+        stats.early_exits += 1;
+        return Feasibility::Unknown;
     };
+    stats.fm_eliminations += 1;
 
     // Unbounded on one side: drop all constraints involving x.
     if lowers.is_empty() || uppers.is_empty() {
@@ -407,7 +450,7 @@ fn solve(
             })
             .cloned()
             .collect();
-        return solve(rest, next_var, depth + 1, limits, steps);
+        return solve(rest, next_var, depth + 1, limits, stats);
     }
 
     // Shadows.
@@ -436,6 +479,7 @@ fn solve(
             e2.add_term(x, b);
             // Overflow guard on the products.
             if a.checked_mul(b).is_none() {
+                stats.early_exits += 1;
                 return Feasibility::Unknown;
             }
             // Real shadow: b·e1 + a·e2 >= 0.
@@ -451,16 +495,16 @@ fn solve(
     }
 
     if exact {
-        return solve(real, next_var, depth + 1, limits, steps);
+        return solve(real, next_var, depth + 1, limits, stats);
     }
 
     // Inexact: dark-shadow SAT ⇒ SAT; real-shadow UNSAT ⇒ UNSAT.
-    match solve(dark, next_var, depth + 1, limits, steps) {
+    match solve(dark, next_var, depth + 1, limits, stats) {
         Feasibility::Sat => return Feasibility::Sat,
         Feasibility::Unknown => return Feasibility::Unknown,
         Feasibility::Unsat => {}
     }
-    match solve(real.clone(), next_var, depth + 1, limits, steps) {
+    match solve(real.clone(), next_var, depth + 1, limits, stats) {
         Feasibility::Unsat => return Feasibility::Unsat,
         Feasibility::Unknown => return Feasibility::Unknown,
         Feasibility::Sat => {}
@@ -482,7 +526,7 @@ fn solve(
             let mut eqe = LinExpr::term(x, a) + e1.clone();
             eqe.add_constant(-i);
             splinter.push(C::Eq(eqe));
-            match solve(splinter, next_var, depth + 1, limits, steps) {
+            match solve(splinter, next_var, depth + 1, limits, stats) {
                 Feasibility::Sat => return Feasibility::Sat,
                 Feasibility::Unknown => return Feasibility::Unknown,
                 Feasibility::Unsat => {}
@@ -490,6 +534,36 @@ fn solve(
         }
     }
     Feasibility::Unsat
+}
+
+/// Picks the Fourier–Motzkin elimination variable minimizing the
+/// lowers×uppers product, returning it with the indices of its lower- and
+/// upper-bound constraints. `None` when there is no candidate to
+/// eliminate — callers must degrade to [`Feasibility::Unknown`].
+fn choose_elimination_var(vars: &[Var], cs: &[C]) -> Option<(Var, Vec<usize>, Vec<usize>)> {
+    let mut best: Option<(Var, Vec<usize>, Vec<usize>)> = None;
+    for &v in vars {
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for (i, c) in cs.iter().enumerate() {
+            let C::Ge(e) = c else { continue };
+            let cf = e.coeff(v);
+            if cf > 0 {
+                lo.push(i);
+            } else if cf < 0 {
+                hi.push(i);
+            }
+        }
+        let cost = lo.len() * hi.len();
+        let better = match &best {
+            None => true,
+            Some((_, bl, bh)) => cost < bl.len() * bh.len(),
+        };
+        if better {
+            best = Some((v, lo, hi));
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -535,10 +609,7 @@ mod tests {
     fn equality_gcd_infeasible() {
         // 2x + 4y == 3 has no integer solution.
         let (mut s, v) = var_sys(2);
-        s.add_eq(
-            LinExpr::term(v[0], 2) + LinExpr::term(v[1], 4),
-            LinExpr::constant(3),
-        );
+        s.add_eq(LinExpr::term(v[0], 2) + LinExpr::term(v[1], 4), LinExpr::constant(3));
         assert_eq!(s.check(), Feasibility::Unsat);
     }
 
@@ -560,10 +631,7 @@ mod tests {
     fn mod_trick_needed() {
         // 7x + 12y == 17 (all |coeff| > 1): solvable over Z (x = -1, y = 2).
         let (mut s, v) = var_sys(2);
-        s.add_eq(
-            LinExpr::term(v[0], 7) + LinExpr::term(v[1], 12),
-            LinExpr::constant(17),
-        );
+        s.add_eq(LinExpr::term(v[0], 7) + LinExpr::term(v[1], 12), LinExpr::constant(17));
         assert_eq!(s.check(), Feasibility::Sat);
     }
 
@@ -621,10 +689,7 @@ mod tests {
         s.add_ge(LinExpr::var(i), LinExpr::constant(0));
         s.add_lt(LinExpr::var(i), LinExpr::var(n));
         s.add_eq(LinExpr::var(n), LinExpr::constant(16));
-        assert!(!s.implies_lt(
-            LinExpr::var(i) + LinExpr::constant(1),
-            LinExpr::constant(16)
-        ));
+        assert!(!s.implies_lt(LinExpr::var(i) + LinExpr::constant(1), LinExpr::constant(16)));
     }
 
     #[test]
@@ -729,5 +794,52 @@ mod tests {
         s.add_lt(LinExpr::var(v[1]), LinExpr::var(v[2]));
         s.add_lt(LinExpr::var(v[2]), LinExpr::var(v[0]));
         assert_eq!(s.check(), Feasibility::Unsat);
+    }
+
+    #[test]
+    fn chooser_with_no_candidates_is_none() {
+        // Regression: the inlined chooser ended in `best.unwrap()`, which
+        // panics with no candidate variables; the extracted helper must
+        // report the case so `solve` can degrade to Unknown instead.
+        assert!(choose_elimination_var(&[], &[]).is_none());
+        let cs = [C::Ge(LinExpr::constant(1))];
+        assert!(choose_elimination_var(&[], &cs).is_none());
+    }
+
+    #[test]
+    fn stats_count_solver_work() {
+        let (mut s, v) = var_sys(2);
+        let (i, n) = (v[0], v[1]);
+        s.add_ge(LinExpr::var(i), LinExpr::constant(0));
+        s.add_lt(LinExpr::var(i), LinExpr::var(n));
+        s.add_eq(LinExpr::var(n), LinExpr::constant(16));
+        let mut stats = SolveStats::default();
+        assert_eq!(s.check_stats(&SolverLimits::default(), &mut stats), Feasibility::Sat);
+        assert!(stats.steps > 0);
+        assert!(stats.eq_eliminations > 0, "{stats:?}");
+        assert!(stats.fm_eliminations > 0, "{stats:?}");
+        assert_eq!(stats.early_exits, 0, "{stats:?}");
+        // The stats-based entailment agrees with the steps-based one and
+        // spends from the same pool.
+        let before = stats.steps;
+        assert_eq!(
+            s.implies_lt_stats(
+                LinExpr::var(i),
+                LinExpr::constant(16),
+                &SolverLimits::default(),
+                &mut stats
+            ),
+            Entailment::Proved
+        );
+        assert!(stats.steps > before);
+    }
+
+    #[test]
+    fn exhausted_budget_counts_as_early_exit() {
+        let (mut s, v) = var_sys(1);
+        s.add_ge(LinExpr::var(v[0]), LinExpr::constant(0));
+        let mut stats = SolveStats::default();
+        assert_eq!(s.check_stats(&SolverLimits::steps(0), &mut stats), Feasibility::Unknown);
+        assert_eq!(stats.early_exits, 1);
     }
 }

@@ -207,7 +207,11 @@ impl<'d> AnnParser<'d> {
         } else {
             self.diags.error(
                 self.span,
-                format!("malformed SafeFlow annotation: expected `{}`, found {}", p.as_str(), self.peek().describe()),
+                format!(
+                    "malformed SafeFlow annotation: expected `{}`, found {}",
+                    p.as_str(),
+                    self.peek().describe()
+                ),
             );
             false
         }
@@ -219,7 +223,10 @@ impl<'d> AnnParser<'d> {
             other => {
                 self.diags.error(
                     self.span,
-                    format!("malformed SafeFlow annotation: expected identifier, found {}", other.describe()),
+                    format!(
+                        "malformed SafeFlow annotation: expected identifier, found {}",
+                        other.describe()
+                    ),
                 );
                 None
             }
@@ -261,7 +268,9 @@ impl<'d> AnnParser<'d> {
             other => {
                 self.diags.error(
                     self.span,
-                    format!("unknown SafeFlow annotation `{other}` (expected assume/assert/shminit)"),
+                    format!(
+                        "unknown SafeFlow annotation `{other}` (expected assume/assert/shminit)"
+                    ),
                 );
                 None
             }
@@ -410,7 +419,10 @@ mod tests {
     #[test]
     fn parse_assert_safe() {
         let anns = parse_ok("assert(safe(output))");
-        assert_eq!(anns, vec![Annotation::AssertSafe { var: "output".into(), span: Span::dummy() }]);
+        assert_eq!(
+            anns,
+            vec![Annotation::AssertSafe { var: "output".into(), span: Span::dummy() }]
+        );
         assert!(!anns[0].is_function_level());
     }
 

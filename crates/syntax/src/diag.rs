@@ -47,12 +47,7 @@ impl Diagnostic {
 
     /// Creates a warning diagnostic.
     pub fn warning(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic {
-            severity: Severity::Warning,
-            span,
-            message: message.into(),
-            notes: Vec::new(),
-        }
+        Diagnostic { severity: Severity::Warning, span, message: message.into(), notes: Vec::new() }
     }
 
     /// Appends a secondary note.
@@ -63,13 +58,15 @@ impl Diagnostic {
 
     /// Renders the diagnostic against `sources` as a multi-line string.
     pub fn render(&self, sources: &SourceMap) -> String {
-        let mut out = format!("{}: {} [{}]", self.severity, self.message, sources.describe(self.span));
+        let mut out =
+            format!("{}: {} [{}]", self.severity, self.message, sources.describe(self.span));
         if !self.span.is_dummy() {
             let file = sources.file(self.span.file);
             let (line, col) = file.line_col(self.span.lo);
             let text = file.line_text(line);
             out.push_str(&format!("\n    {line:>4} | {text}"));
-            let caret_len = (self.span.len().max(1) as usize).min(text.len().saturating_sub(col as usize - 1).max(1));
+            let caret_len = (self.span.len().max(1) as usize)
+                .min(text.len().saturating_sub(col as usize - 1).max(1));
             out.push_str(&format!(
                 "\n         | {}{}",
                 " ".repeat(col as usize - 1),
@@ -137,11 +134,7 @@ impl Diagnostics {
 
     /// Renders all diagnostics against `sources`, one block per item.
     pub fn render_all(&self, sources: &SourceMap) -> String {
-        self.items
-            .iter()
-            .map(|d| d.render(sources))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.items.iter().map(|d| d.render(sources)).collect::<Vec<_>>().join("\n")
     }
 
     /// Consumes the sink, returning the diagnostics.

@@ -149,7 +149,8 @@ impl<'a, 'd> Lexer<'a, 'd> {
             if b == b'/' && self.peek2() == b'*' {
                 self.bump();
                 self.bump();
-                while self.pos < self.bytes.len() && !(self.peek() == b'*' && self.peek2() == b'/') {
+                while self.pos < self.bytes.len() && !(self.peek() == b'*' && self.peek2() == b'/')
+                {
                     self.bump();
                 }
                 self.bump();
@@ -242,7 +243,8 @@ impl<'a, 'd> Lexer<'a, 'd> {
         }
         if (self.peek() | 0x20) == b'e'
             && (self.peek2().is_ascii_digit()
-                || ((self.peek2() == b'+' || self.peek2() == b'-') && self.peek3().is_ascii_digit()))
+                || ((self.peek2() == b'+' || self.peek2() == b'-')
+                    && self.peek3().is_ascii_digit()))
         {
             is_float = true;
             self.bump();
@@ -432,10 +434,8 @@ impl<'a, 'd> Lexer<'a, 'd> {
         match p {
             Some(p) => Token::new(TokenKind::Punct(p), self.span_from(lo)),
             None => {
-                self.diags.error(
-                    self.span_from(lo),
-                    format!("unexpected character `{}`", a as char),
-                );
+                self.diags
+                    .error(self.span_from(lo), format!("unexpected character `{}`", a as char));
                 // Recover by producing a semicolon-ish token? No: just retry.
                 self.next_token()
             }
@@ -538,7 +538,8 @@ mod tests {
     #[test]
     fn annotation_comment_paper_syntax() {
         // Exactly the style of Figure 2 in the paper.
-        let src = "/***SafeFlow Annotation\n    assume(core(noncoreCtrl, 0, sizeof(SHMData))) /***/";
+        let src =
+            "/***SafeFlow Annotation\n    assume(core(noncoreCtrl, 0, sizeof(SHMData))) /***/";
         let toks = lex_ok(src);
         match &toks[0] {
             TokenKind::Annotation(body) => {

@@ -21,7 +21,11 @@ use std::collections::HashSet;
 ///
 /// Errors are reported to `diags`; the parser recovers at item boundaries so
 /// a best-effort AST is always returned.
-pub fn parse(tokens: Vec<Token>, sources: &mut SourceMap, diags: &mut Diagnostics) -> TranslationUnit {
+pub fn parse(
+    tokens: Vec<Token>,
+    sources: &mut SourceMap,
+    diags: &mut Diagnostics,
+) -> TranslationUnit {
     let mut parser = Parser {
         tokens,
         pos: 0,
@@ -323,11 +327,8 @@ impl<'a> Parser<'a> {
         let mut decl_name = name;
         let mut decl_span = declarator_span;
         loop {
-            let init = if self.eat_punct(Punct::Assign) {
-                Some(self.parse_initializer()?)
-            } else {
-                None
-            };
+            let init =
+                if self.eat_punct(Punct::Assign) { Some(self.parse_initializer()?) } else { None };
             items.push(Item::Global(VarDecl {
                 name: decl_name,
                 ty: decl_ty,
@@ -338,7 +339,8 @@ impl<'a> Parser<'a> {
             if self.eat_punct(Punct::Comma) {
                 let (t, n, sp) = self.parse_declarator(base.clone())?;
                 if self.pending_fn.take().is_some() {
-                    self.diags.error(sp, "function declarator in multi-declarator list is not supported");
+                    self.diags
+                        .error(sp, "function declarator in multi-declarator list is not supported");
                     return None;
                 }
                 decl_ty = t;
@@ -468,7 +470,10 @@ impl<'a> Parser<'a> {
                 loop {
                     let (fty, fname, fsp) = self.parse_declarator(base.clone())?;
                     if self.pending_fn.take().is_some() {
-                        self.diags.error(fsp, "function members are not supported in the restricted subset");
+                        self.diags.error(
+                            fsp,
+                            "function members are not supported in the restricted subset",
+                        );
                         return None;
                     }
                     fields.push(Field { name: fname, ty: fty, span: fsp });
@@ -549,14 +554,18 @@ impl<'a> Parser<'a> {
                         varargs = true;
                         break;
                     }
-                    if self.peek().is_keyword(Keyword::Void) && self.peek_nth(1) == &TokenKind::Punct(Punct::RParen) {
+                    if self.peek().is_keyword(Keyword::Void)
+                        && self.peek_nth(1) == &TokenKind::Punct(Punct::RParen)
+                    {
                         self.bump();
                         break;
                     }
                     let pbase = self.parse_type_specifier()?;
                     let mut pty = pbase;
                     while self.eat_punct(Punct::Star) {
-                        while self.eat_keyword(Keyword::Const) || self.eat_keyword(Keyword::Volatile) {}
+                        while self.eat_keyword(Keyword::Const)
+                            || self.eat_keyword(Keyword::Volatile)
+                        {}
                         pty = pty.ptr_to();
                     }
                     let (pname, psp) = if let TokenKind::Ident(s) = self.peek_kind() {
@@ -586,10 +595,7 @@ impl<'a> Parser<'a> {
             // (parse_item) consumes it via classify_declarator. We encode it
             // as Array with a marker is not workable — instead we wrap in a
             // synthetic struct carried through `FUNC_MARKER`.
-            let fn_ty = TypeExpr::new(
-                TypeExprKind::Struct(FUNC_MARKER.to_string()),
-                name_span,
-            );
+            let fn_ty = TypeExpr::new(TypeExprKind::Struct(FUNC_MARKER.to_string()), name_span);
             // Stash params/ret through the side channel.
             self.pending_fn = Some((ty, params, varargs));
             return Some((fn_ty, name, name_span));
@@ -747,11 +753,8 @@ impl<'a> Parser<'a> {
                     self.expect_punct(Punct::Semi);
                     Some(Box::new(Stmt { kind: StmtKind::Expr(e), span: start }))
                 };
-                let cond = if self.peek().is_punct(Punct::Semi) {
-                    None
-                } else {
-                    Some(self.parse_expr()?)
-                };
+                let cond =
+                    if self.peek().is_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
                 self.expect_punct(Punct::Semi);
                 let step = if self.peek().is_punct(Punct::RParen) {
                     None
@@ -774,7 +777,11 @@ impl<'a> Parser<'a> {
                         let label_span = start;
                         let label = self.parse_conditional_expr()?;
                         self.expect_punct(Punct::Colon);
-                        cases.push(SwitchCase { label: Some(label), stmts: Vec::new(), span: label_span });
+                        cases.push(SwitchCase {
+                            label: Some(label),
+                            stmts: Vec::new(),
+                            span: label_span,
+                        });
                     } else if self.eat_keyword(Keyword::Default) {
                         self.expect_punct(Punct::Colon);
                         cases.push(SwitchCase { label: None, stmts: Vec::new(), span: start });
@@ -783,7 +790,8 @@ impl<'a> Parser<'a> {
                         match cases.last_mut() {
                             Some(c) => c.stmts.push(s),
                             None => {
-                                self.diags.error(s.span, "statement in switch before any case label");
+                                self.diags
+                                    .error(s.span, "statement in switch before any case label");
                             }
                         }
                     }
@@ -793,11 +801,8 @@ impl<'a> Parser<'a> {
             }
             TokenKind::Keyword(Keyword::Return) => {
                 self.bump();
-                let value = if self.peek().is_punct(Punct::Semi) {
-                    None
-                } else {
-                    Some(self.parse_expr()?)
-                };
+                let value =
+                    if self.peek().is_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
                 self.expect_punct(Punct::Semi);
                 Some(Stmt { kind: StmtKind::Return(value), span: start })
             }
@@ -850,11 +855,8 @@ impl<'a> Parser<'a> {
                 self.pending_fn = None;
                 return None;
             }
-            let init = if self.eat_punct(Punct::Assign) {
-                Some(self.parse_initializer()?)
-            } else {
-                None
-            };
+            let init =
+                if self.eat_punct(Punct::Assign) { Some(self.parse_initializer()?) } else { None };
             decls.push(Stmt {
                 kind: StmtKind::Decl(VarDecl { name, ty, init, storage, span: sp }),
                 span: sp,
@@ -867,10 +869,7 @@ impl<'a> Parser<'a> {
         if decls.len() == 1 {
             decls.pop()
         } else {
-            Some(Stmt {
-                kind: StmtKind::Block(Block { items: decls, span: start }),
-                span: start,
-            })
+            Some(Stmt { kind: StmtKind::Block(Block { items: decls, span: start }), span: start })
         }
     }
 
@@ -922,7 +921,11 @@ impl<'a> Parser<'a> {
             let els = self.parse_conditional_expr()?;
             let span = cond.span.to(els.span);
             return Some(Expr::new(
-                ExprKind::Conditional { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) },
+                ExprKind::Conditional {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els: Box::new(els),
+                },
                 span,
             ));
         }
@@ -962,7 +965,9 @@ impl<'a> Parser<'a> {
             let rhs = self.parse_binary_expr(prec + 1)?;
             let span = lhs.span.to(rhs.span);
             lhs = match kind {
-                BinKind::Op(op) => Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span),
+                BinKind::Op(op) => {
+                    Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span)
+                }
                 BinKind::And => Expr::new(ExprKind::LogicalAnd(Box::new(lhs), Box::new(rhs)), span),
                 BinKind::Or => Expr::new(ExprKind::LogicalOr(Box::new(lhs), Box::new(rhs)), span),
             };
@@ -1084,7 +1089,10 @@ impl<'a> Parser<'a> {
                     self.bump();
                     let (field, fsp) = self.expect_ident();
                     let span = e.span.to(fsp);
-                    e = Expr::new(ExprKind::Member { base: Box::new(e), field, arrow: false }, span);
+                    e = Expr::new(
+                        ExprKind::Member { base: Box::new(e), field, arrow: false },
+                        span,
+                    );
                 }
                 TokenKind::Punct(Punct::Arrow) => {
                     self.bump();
@@ -1144,8 +1152,7 @@ impl<'a> Parser<'a> {
                 Some(e)
             }
             other => {
-                self.diags
-                    .error(start, format!("expected expression, found {}", other.describe()));
+                self.diags.error(start, format!("expected expression, found {}", other.describe()));
                 None
             }
         }

@@ -206,7 +206,10 @@ impl<'a> Preprocessor<'a> {
                     self.diags.error(span, "#define with no macro name");
                     return;
                 }
-                if body.starts_with('(') || rest.trim_start().len() > name.len() && rest.trim_start().as_bytes().get(name.len()) == Some(&b'(') {
+                if body.starts_with('(')
+                    || rest.trim_start().len() > name.len()
+                        && rest.trim_start().as_bytes().get(name.len()) == Some(&b'(')
+                {
                     self.diags.error(
                         span,
                         format!("function-like macro `{name}` is not supported by the restricted preprocessor"),
@@ -273,7 +276,8 @@ impl<'a> Preprocessor<'a> {
             }
             other => {
                 if active {
-                    self.diags.error(span, format!("unsupported preprocessor directive `#{other}`"));
+                    self.diags
+                        .error(span, format!("unsupported preprocessor directive `#{other}`"));
                 }
             }
         }
@@ -291,10 +295,7 @@ impl<'a> Preprocessor<'a> {
         {
             return self.macros.contains_key(inner.trim());
         }
-        if let Some(inner) = expr
-            .strip_prefix("!defined(")
-            .and_then(|r| r.strip_suffix(')'))
-        {
+        if let Some(inner) = expr.strip_prefix("!defined(").and_then(|r| r.strip_suffix(')')) {
             return !self.macros.contains_key(inner.trim());
         }
         // Fall back: a bare macro name that expands to an int.
@@ -303,8 +304,10 @@ impl<'a> Preprocessor<'a> {
                 return *v != 0;
             }
         }
-        self.diags
-            .error(span, format!("unsupported #if condition `{expr}` (only integers and defined() are allowed)"));
+        self.diags.error(
+            span,
+            format!("unsupported #if condition `{expr}` (only integers and defined() are allowed)"),
+        );
         false
     }
 }
@@ -365,20 +368,14 @@ mod tests {
 
     #[test]
     fn include_splices_file() {
-        let (toks, d) = run(
-            "main.c",
-            &[("main.c", "#include \"h.h\"\nint b;"), ("h.h", "int a;")],
-        );
+        let (toks, d) = run("main.c", &[("main.c", "#include \"h.h\"\nint b;"), ("h.h", "int a;")]);
         assert!(!d.has_errors());
         assert_eq!(idents(&toks), vec!["a", "b"]);
     }
 
     #[test]
     fn include_cycle_detected() {
-        let (_, d) = run(
-            "a.h",
-            &[("a.h", "#include \"b.h\""), ("b.h", "#include \"a.h\"")],
-        );
+        let (_, d) = run("a.h", &[("a.h", "#include \"b.h\""), ("b.h", "#include \"a.h\"")]);
         assert!(d.has_errors());
     }
 
@@ -445,17 +442,16 @@ mod tests {
         let h = "#ifndef H_H\n#define H_H 1\nint once;\n#endif";
         let main = "#include \"h.h\"\n#include \"h2.h\"";
         // h2.h includes h.h again; the guard must prevent a duplicate.
-        let (toks, d) = run(
-            "main.c",
-            &[("main.c", main), ("h.h", h), ("h2.h", "#include \"h.h\"")],
-        );
+        let (toks, d) =
+            run("main.c", &[("main.c", main), ("h.h", h), ("h2.h", "#include \"h.h\"")]);
         assert!(!d.has_errors(), "{d:?}");
         assert_eq!(idents(&toks), vec!["once"]);
     }
 
     #[test]
     fn macros_inactive_branch_not_defined() {
-        let src = "#ifdef NOPE\n#define HIDDEN 5\n#endif\n#ifdef HIDDEN\nint bad;\n#endif\nint good;";
+        let src =
+            "#ifdef NOPE\n#define HIDDEN 5\n#endif\n#ifdef HIDDEN\nint bad;\n#endif\nint good;";
         let (toks, d) = run("m.c", &[("m.c", src)]);
         assert!(!d.has_errors());
         assert_eq!(idents(&toks), vec!["good"]);

@@ -86,21 +86,14 @@ impl Printer {
                 let params = if f.params.is_empty() && !f.varargs {
                     "void".to_string()
                 } else {
-                    let mut ps: Vec<String> = f
-                        .params
-                        .iter()
-                        .map(|p| declarator(&p.ty, &p.name))
-                        .collect();
+                    let mut ps: Vec<String> =
+                        f.params.iter().map(|p| declarator(&p.ty, &p.name)).collect();
                     if f.varargs {
                         ps.push("...".to_string());
                     }
                     ps.join(", ")
                 };
-                let _ = write!(
-                    self.out,
-                    "{storage}{}({params})",
-                    declarator(&f.ret, &f.name)
-                );
+                let _ = write!(self.out, "{storage}{}({params})", declarator(&f.ret, &f.name));
                 if !f.annotations.is_empty() {
                     self.out.push('\n');
                     self.annotations(&f.annotations);
@@ -479,7 +472,11 @@ mod tests {
 
     fn round_trip(src: &str) {
         let first = parse_source("a.c", src);
-        assert!(!first.diags.has_errors(), "first parse:\n{}", first.diags.render_all(&first.sources));
+        assert!(
+            !first.diags.has_errors(),
+            "first parse:\n{}",
+            first.diags.render_all(&first.sources)
+        );
         let printed = print_unit(&first.unit);
         let second = parse_source("b.c", &printed);
         assert!(

@@ -34,21 +34,27 @@ impl SourceFile {
     }
 
     /// 1-based (line, column) of byte offset `pos`.
+    ///
+    /// The column counts *characters* from the line start, so positions on
+    /// lines containing multi-byte UTF-8 (e.g. `µ`/`°` in control-code
+    /// comments) render correctly in `file:line:col` descriptions.
     pub fn line_col(&self, pos: u32) -> (u32, u32) {
         let line = self.line_of(pos);
         let start = self.line_starts[(line - 1) as usize];
-        (line, pos - start + 1)
+        let col = match self.text.get(start as usize..pos as usize) {
+            Some(prefix) => prefix.chars().count() as u32,
+            // `pos` is past the end or inside a multi-byte sequence:
+            // fall back to the byte distance rather than panic.
+            None => pos.saturating_sub(start),
+        };
+        (line, col + 1)
     }
 
     /// The text of 1-based line `line`, without the trailing newline.
     pub fn line_text(&self, line: u32) -> &str {
         let i = (line - 1) as usize;
         let lo = self.line_starts[i] as usize;
-        let hi = self
-            .line_starts
-            .get(i + 1)
-            .map(|&h| h as usize)
-            .unwrap_or(self.text.len());
+        let hi = self.line_starts.get(i + 1).map(|&h| h as usize).unwrap_or(self.text.len());
         self.text[lo..hi].trim_end_matches(['\n', '\r'])
     }
 
@@ -157,6 +163,27 @@ mod tests {
         let f = SourceFile::new("t".into(), "ab\ncd\n".into());
         // Offset 2 is the '\n' itself: still line 1.
         assert_eq!(f.line_col(2), (1, 3));
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        // `µ` is 2 bytes in UTF-8: byte offset 6 (the `s`) is the 6th
+        // character on the line, not the 7th.
+        let f = SourceFile::new("t".into(), "int µs; /* °C */\nint y;\n".into());
+        assert_eq!(f.line_col(6), (1, 6));
+        // Second line is unaffected by multi-byte text on the first.
+        let second = f.text.find("int y").unwrap() as u32;
+        assert_eq!(f.line_col(second), (2, 1));
+    }
+
+    #[test]
+    fn describe_column_is_character_based() {
+        let mut sm = SourceMap::new();
+        // "µ° " is 5 bytes but 3 characters; `x` starts at byte 5, char 4.
+        let id = sm.add_file("u.c", "µ° x = 1;\n");
+        let span = Span::new(id, 5, 6);
+        assert_eq!(sm.describe(span), "u.c:1:4");
+        assert_eq!(sm.snippet(span), "x");
     }
 
     #[test]

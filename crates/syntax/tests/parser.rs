@@ -29,9 +29,8 @@ fn parse_globals_and_multi_declarators() {
 
 #[test]
 fn parse_struct_definition_and_reference() {
-    let tu = parse_ok(
-        "struct Point { int x; int y; };\nstruct Point origin;\nstruct Point pts[4];",
-    );
+    let tu =
+        parse_ok("struct Point { int x; int y; };\nstruct Point origin;\nstruct Point pts[4];");
     let s = tu.struct_def("Point").unwrap();
     assert_eq!(s.fields.len(), 2);
     assert!(!s.is_union);
@@ -78,9 +77,8 @@ fn parse_enum_definition() {
 
 #[test]
 fn parse_function_definition() {
-    let tu = parse_ok(
-        "int add(int a, int b) { return a + b; }\nvoid nop(void) { }\nfloat silent();",
-    );
+    let tu =
+        parse_ok("int add(int a, int b) { return a + b; }\nvoid nop(void) { }\nfloat silent();");
     let add = tu.function("add").unwrap();
     assert_eq!(add.params.len(), 2);
     assert!(add.body.is_some());
@@ -122,7 +120,10 @@ fn parse_control_flow_statements() {
     let body = f.body.as_ref().unwrap();
     assert!(body.items.len() >= 6);
     // Find the switch and check its arms.
-    let has_switch = body.items.iter().any(|s| matches!(&s.kind, StmtKind::Switch { cases, .. } if cases.len() == 4));
+    let has_switch = body
+        .items
+        .iter()
+        .any(|s| matches!(&s.kind, StmtKind::Switch { cases, .. } if cases.len() == 4));
     assert!(has_switch, "switch with 4 labels expected");
 }
 
@@ -230,7 +231,9 @@ fn header_annotation_attaches_to_function() {
     );
     let f = tu.function("decision").unwrap();
     assert_eq!(f.annotations.len(), 1);
-    assert!(matches!(&f.annotations[0], Annotation::AssumeCore { ptr, .. } if ptr == "noncoreCtrl"));
+    assert!(
+        matches!(&f.annotations[0], Annotation::AssumeCore { ptr, .. } if ptr == "noncoreCtrl")
+    );
 }
 
 #[test]
@@ -481,7 +484,9 @@ fn deeply_nested_expressions_do_not_overflow() {
 
 #[test]
 fn annotation_marker_inside_string_is_not_an_annotation() {
-    let tu = parse_ok(r#"void log2(char *s); void f(void) { log2("SafeFlow Annotation assert(safe(x))"); }"#);
+    let tu = parse_ok(
+        r#"void log2(char *s); void f(void) { log2("SafeFlow Annotation assert(safe(x))"); }"#,
+    );
     let f = tu.function("f").unwrap();
     // No annotation statement — the marker only counts inside comments.
     assert!(f
@@ -495,7 +500,8 @@ fn annotation_marker_inside_string_is_not_an_annotation() {
 
 #[test]
 fn comment_like_sequences_inside_strings() {
-    let tu = parse_ok(r#"void log2(char *s); void f(void) { log2("/* not a comment */ // neither"); }"#);
+    let tu =
+        parse_ok(r#"void log2(char *s); void f(void) { log2("/* not a comment */ // neither"); }"#);
     assert!(tu.function("f").is_some());
 }
 

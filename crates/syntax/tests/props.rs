@@ -37,9 +37,40 @@ fn parser_never_panics() {
 #[test]
 fn parser_never_panics_on_c_soup() {
     const VOCAB: &[&str] = &[
-        "int", "float", "struct", "typedef", "if", "else", "while", "for", "return", "(", ")",
-        "{", "}", "[", "]", ";", ",", "*", "&", "=", "==", "->", ".", "x", "y", "main", "42",
-        "3.5", "\"s\"", "'c'", "sizeof", "switch", "case", "default",
+        "int",
+        "float",
+        "struct",
+        "typedef",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        ",",
+        "*",
+        "&",
+        "=",
+        "==",
+        "->",
+        ".",
+        "x",
+        "y",
+        "main",
+        "42",
+        "3.5",
+        "\"s\"",
+        "'c'",
+        "sizeof",
+        "switch",
+        "case",
+        "default",
         "/** SafeFlow Annotation assert(safe(x)) */",
     ];
     run_cases(256, |g| {
@@ -64,8 +95,21 @@ fn annotation_parser_never_panics() {
 #[test]
 fn preprocessor_never_panics() {
     const LINES: &[&str] = &[
-        "#define A 1", "#define B A", "#undef A", "#ifdef A", "#ifndef B", "#else", "#endif",
-        "#if 1", "#if 0", "#elif 1", "#include \"x.h\"", "#pragma once", "int x;", "A", "B",
+        "#define A 1",
+        "#define B A",
+        "#undef A",
+        "#ifdef A",
+        "#ifndef B",
+        "#else",
+        "#endif",
+        "#if 1",
+        "#if 0",
+        "#elif 1",
+        "#include \"x.h\"",
+        "#pragma once",
+        "int x;",
+        "A",
+        "B",
     ];
     run_cases(256, |g| {
         let lines = g.vec_of(0, 30, |g| *g.pick(LINES));
@@ -91,12 +135,8 @@ fn int_literals_round_trip() {
 /// Identifiers round-trip through the lexer.
 #[test]
 fn identifiers_round_trip() {
-    const HEAD: &[char] = &[
-        'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Q', 'Z', '_',
-    ];
-    const TAIL: &[char] = &[
-        'a', 'e', 'k', 'p', 'w', 'B', 'R', 'X', '_', '0', '3', '7', '9',
-    ];
+    const HEAD: &[char] = &['a', 'b', 'c', 'x', 'y', 'z', 'A', 'Q', 'Z', '_'];
+    const TAIL: &[char] = &['a', 'e', 'k', 'p', 'w', 'B', 'R', 'X', '_', '0', '3', '7', '9'];
     run_cases(256, |g| {
         let mut name = String::new();
         name.push(*g.pick(HEAD));

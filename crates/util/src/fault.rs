@@ -104,7 +104,7 @@ impl FaultPlan {
     /// The fault (if any) this plan injects at `site` for `key`.
     pub fn fault_at(&self, site: FaultSite, key: u64) -> Option<FaultKind> {
         for r in &self.rules {
-            if r.site == site && r.key.map_or(true, |k| k == key) {
+            if r.site == site && r.key.is_none_or(|k| k == key) {
                 return Some(r.kind);
             }
         }
@@ -116,7 +116,11 @@ impl FaultPlan {
                 ^ key.wrapping_mul(0xA24B_AED4_963E_E407);
             let mut rng = SplitMix64::seed_from_u64(mix);
             if rng.chance(rate) {
-                return Some(if rng.bool() { FaultKind::Panic } else { FaultKind::BudgetExhaustion });
+                return Some(if rng.bool() {
+                    FaultKind::Panic
+                } else {
+                    FaultKind::BudgetExhaustion
+                });
             }
         }
         None

@@ -1,0 +1,240 @@
+//! A minimal JSON document model with a deterministic pretty-printer.
+//!
+//! The workspace is `std`-only (no serde), so machine-readable output is
+//! built from this small value type. Objects preserve **insertion order**,
+//! which makes the rendered text a pure function of construction order —
+//! the property the `--format json` byte-identity contract rests on.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (rendered without exponent).
+    Int(i64),
+    /// An unsigned integer (rendered without exponent).
+    UInt(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a member to an object; on any other variant this is a
+    /// logic error and panics.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Json>) {
+        match self {
+            Json::Obj(members) => members.push((key.into(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// Looks up a member of an object (testing convenience).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Removes a member of an object, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        match self {
+            Json::Obj(members) => {
+                let i = members.iter().position(|(k, _)| k == key)?;
+                Some(members.remove(i).1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, `\n`
+    /// separators, no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in members.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < members.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::from(7u64).render(), "7");
+        assert_eq!(Json::from("a\"b\\c\nd\u{1}").render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut o = Json::obj();
+        o.set("z", 1u64);
+        o.set("a", 2u64);
+        assert_eq!(o.render(), "{\n  \"z\": 1,\n  \"a\": 2\n}");
+        assert_eq!(o.get("a"), Some(&Json::UInt(2)));
+        assert_eq!(o.get("missing"), None);
+    }
+
+    #[test]
+    fn nested_pretty_printing() {
+        let mut inner = Json::obj();
+        inner.set("k", "v");
+        let mut o = Json::obj();
+        o.set("list", vec![Json::from(1u64), Json::from(2u64)]);
+        o.set("empty", Vec::<Json>::new());
+        o.set("obj", inner);
+        assert_eq!(
+            o.render(),
+            "{\n  \"list\": [\n    1,\n    2\n  ],\n  \"empty\": [],\n  \"obj\": {\n    \"k\": \"v\"\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn remove_drops_member() {
+        let mut o = Json::obj();
+        o.set("keep", 1u64);
+        o.set("drop", 2u64);
+        assert_eq!(o.remove("drop"), Some(Json::UInt(2)));
+        assert_eq!(o.remove("drop"), None);
+        assert_eq!(o.render(), "{\n  \"keep\": 1\n}");
+    }
+}

@@ -15,7 +15,12 @@
 //! * [`prop`] — a miniature deterministic property-test harness
 //!   (seeded-case loops with seed reporting on failure);
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) for
-//!   exercising the analyzer's degradation paths.
+//!   exercising the analyzer's degradation paths;
+//! * [`metrics`] — a lock-cheap metrics registry (counters, histograms,
+//!   wall-clock spans) whose entries are classified by determinism, so
+//!   observability output can participate in the byte-identity contract;
+//! * [`json`] — a minimal JSON document model + deterministic pretty
+//!   printer backing `--format json` and `--metrics=json`.
 //!
 //! Everything here is built on `std` only: the workspace builds and tests
 //! fully offline.
@@ -24,11 +29,15 @@
 
 pub mod fault;
 pub mod hash;
+pub mod json;
+pub mod metrics;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use hash::Fnv64;
-pub use pool::{run_dag, run_dag_isolated, run_map, PoolPolicy, TaskPanic};
+pub use json::Json;
+pub use metrics::{Class, Histogram, Metrics, MetricsSnapshot};
+pub use pool::{run_dag, run_dag_isolated, run_map, PoolPolicy, PoolStats, TaskPanic};
 pub use rng::SplitMix64;

@@ -26,8 +26,40 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Schedule-dependent execution statistics for pool runs.
+///
+/// A caller-owned `PoolStats` passed to the `_observed` entry points
+/// accumulates across runs. Every field here depends on thread timing and
+/// steal interleavings, so these numbers are **not** covered by the pool's
+/// determinism guarantee — they belong in a report's schedule-class
+/// metrics section, never in byte-compared output.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Tasks executed.
+    pub tasks: AtomicU64,
+    /// Successful steals (a worker taking a task from another's deque).
+    pub steals: AtomicU64,
+    /// High-water mark of any single worker's queue depth.
+    pub max_queue_depth: AtomicU64,
+    /// Total wall-clock nanoseconds spent inside task closures, summed
+    /// over all workers.
+    pub busy_ns: AtomicU64,
+}
+
+impl PoolStats {
+    fn note_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn record_task(&self, busy_ns: u64) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+    }
+}
 
 /// What the pool does when a task panics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,7 +114,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    run_dag_inner(jobs, deps, PoolPolicy::Propagate, task)
+    run_dag_inner(jobs, deps, PoolPolicy::Propagate, None, task)
         .into_iter()
         .map(|r| r.expect("Propagate policy re-raises panics before returning"))
         .collect()
@@ -107,13 +139,29 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    run_dag_inner(jobs, deps, PoolPolicy::Isolate, task)
+    run_dag_inner(jobs, deps, PoolPolicy::Isolate, None, task)
+}
+
+/// [`run_dag_isolated`] accumulating execution statistics into `stats`.
+/// The returned results are unaffected by observation.
+pub fn run_dag_isolated_observed<T, F>(
+    jobs: usize,
+    deps: &[Vec<usize>],
+    stats: &PoolStats,
+    task: F,
+) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_dag_inner(jobs, deps, PoolPolicy::Isolate, Some(stats), task)
 }
 
 fn run_dag_inner<T, F>(
     jobs: usize,
     deps: &[Vec<usize>],
     policy: PoolPolicy,
+    stats: Option<&PoolStats>,
     task: F,
 ) -> Vec<Result<T, TaskPanic>>
 where
@@ -131,15 +179,14 @@ where
     }
     let jobs = jobs.max(1).min(n);
     if jobs == 1 {
-        return run_sequential(deps, policy, task);
+        return run_sequential(deps, policy, stats, task);
     }
     // Workers park while waiting for dependencies; a cyclic "DAG" would
     // park them forever. Reject it up front (cheap Kahn pass).
     assert_acyclic(deps);
 
     let dependents = invert(deps);
-    let remaining: Vec<AtomicUsize> =
-        deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
+    let remaining: Vec<AtomicUsize> = deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
     let results: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
@@ -167,6 +214,7 @@ where
         wake: Condvar::new(),
         panic: Mutex::new(None),
         policy,
+        stats,
     };
 
     std::thread::scope(|scope| {
@@ -198,12 +246,30 @@ where
     run_dag(jobs, &vec![Vec::new(); n], task)
 }
 
+/// [`run_map`] accumulating execution statistics into `stats`. The
+/// returned results are unaffected by observation.
+pub fn run_map_observed<T, F>(jobs: usize, n: usize, stats: &PoolStats, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_dag_inner(jobs, &vec![Vec::new(); n], PoolPolicy::Propagate, Some(stats), task)
+        .into_iter()
+        .map(|r| r.expect("Propagate policy re-raises panics before returning"))
+        .collect()
+}
+
 /// A sensible default worker count for this machine.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
-fn run_sequential<T, F>(deps: &[Vec<usize>], policy: PoolPolicy, task: F) -> Vec<Result<T, TaskPanic>>
+fn run_sequential<T, F>(
+    deps: &[Vec<usize>],
+    policy: PoolPolicy,
+    stats: Option<&PoolStats>,
+    task: F,
+) -> Vec<Result<T, TaskPanic>>
 where
     F: Fn(usize) -> T,
 {
@@ -211,13 +277,15 @@ where
     let dependents = invert(deps);
     let mut remaining: Vec<usize> = deps.iter().map(Vec::len).collect();
     // Ready tasks processed in ascending index order (min-heap).
-    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-        .filter(|&i| remaining[i] == 0)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&i| remaining[i] == 0).map(std::cmp::Reverse).collect();
     let mut results: Vec<Option<Result<T, TaskPanic>>> = (0..n).map(|_| None).collect();
     let mut ran = 0usize;
     while let Some(std::cmp::Reverse(i)) = ready.pop() {
+        if let Some(s) = stats {
+            s.note_depth(ready.len() as u64 + 1);
+        }
+        let t0 = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| task(i))) {
             Ok(value) => results[i] = Some(Ok(value)),
             Err(payload) => match policy {
@@ -227,6 +295,9 @@ where
                         Some(Err(TaskPanic { index: i, message: panic_message(&*payload) }));
                 }
             },
+        }
+        if let Some(s) = stats {
+            s.record_task(t0.elapsed().as_nanos() as u64);
         }
         ran += 1;
         for &j in &dependents[i] {
@@ -279,6 +350,7 @@ struct Shared<'a, T> {
     wake: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     policy: PoolPolicy,
+    stats: Option<&'a PoolStats>,
 }
 
 impl<T> Shared<'_, T> {
@@ -317,6 +389,9 @@ where
             for k in 1..jobs {
                 let victim = (me + k) % jobs;
                 if let Some(i) = shared.queues[victim].lock().unwrap().pop_front() {
+                    if let Some(s) = shared.stats {
+                        s.steals.fetch_add(1, Ordering::Relaxed);
+                    }
                     next = Some(i);
                     break;
                 }
@@ -337,6 +412,7 @@ where
             continue;
         };
 
+        let t0 = Instant::now();
         let outcome = match catch_unwind(AssertUnwindSafe(|| task(i))) {
             Ok(value) => Ok(value),
             Err(payload) => match shared.policy {
@@ -349,6 +425,9 @@ where
                 }
             },
         };
+        if let Some(s) = shared.stats {
+            s.record_task(t0.elapsed().as_nanos() as u64);
+        }
         *shared.results[i].lock().unwrap() = Some(outcome);
         // Release dependents whose last dependency this was. Under Isolate
         // a panicked task still releases its dependents: they run and see
@@ -356,7 +435,12 @@ where
         let mut released = false;
         for &j in &shared.dependents[i] {
             if shared.remaining[j].fetch_sub(1, Ordering::AcqRel) == 1 {
-                shared.queues[me].lock().unwrap().push_back(j);
+                let mut q = shared.queues[me].lock().unwrap();
+                q.push_back(j);
+                if let Some(s) = shared.stats {
+                    s.note_depth(q.len() as u64);
+                }
+                drop(q);
                 released = true;
             }
         }
@@ -389,7 +473,8 @@ mod tests {
         // Chain 0 -> 1 -> 2 -> ... : each task observes its predecessor's
         // completion flag.
         let n = 64;
-        let deps: Vec<Vec<usize>> = (0..n).map(|i| if i == 0 { vec![] } else { vec![i - 1] }).collect();
+        let deps: Vec<Vec<usize>> =
+            (0..n).map(|i| if i == 0 { vec![] } else { vec![i - 1] }).collect();
         for jobs in [1, 3, 8] {
             let flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
             let out = run_dag(jobs, &deps, |i| {
@@ -417,9 +502,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let deps: Vec<Vec<usize>> = (0..50)
-            .map(|i| (0..i).filter(|d| i % (d + 2) == 0).collect())
-            .collect();
+        let deps: Vec<Vec<usize>> =
+            (0..50).map(|i| (0..i).filter(|d| i % (d + 2) == 0).collect()).collect();
         let seq = run_dag(1, &deps, |i| i * 3 + 1);
         for jobs in [2, 4, 7] {
             assert_eq!(run_dag(jobs, &deps, |i| i * 3 + 1), seq);
@@ -463,9 +547,8 @@ mod tests {
 
     #[test]
     fn isolated_results_independent_of_jobs() {
-        let deps: Vec<Vec<usize>> = (0..40)
-            .map(|i| (0..i).filter(|d| i % (d + 2) == 0).collect())
-            .collect();
+        let deps: Vec<Vec<usize>> =
+            (0..40).map(|i| (0..i).filter(|d| i % (d + 2) == 0).collect()).collect();
         let run = |jobs| {
             run_dag_isolated(jobs, &deps, |i| {
                 if i % 7 == 3 {
@@ -482,9 +565,7 @@ mod tests {
 
     #[test]
     fn isolated_nonstring_payload_is_normalized() {
-        let out = run_dag_isolated(1, &[vec![]], |_| -> usize {
-            std::panic::panic_any(42i32)
-        });
+        let out = run_dag_isolated(1, &[vec![]], |_| -> usize { std::panic::panic_any(42i32) });
         assert_eq!(out[0].as_ref().unwrap_err().message, "non-string panic payload");
     }
 

@@ -19,12 +19,8 @@ fn main() {
         let result = analyzer
             .analyze_source(system.core_file, system.core_source)
             .expect("corpus system analyzes");
-        let kill_errors: Vec<_> = result
-            .report
-            .errors
-            .iter()
-            .filter(|e| e.critical.starts_with("kill"))
-            .collect();
+        let kill_errors: Vec<_> =
+            result.report.errors.iter().filter(|e| e.critical.starts_with("kill")).collect();
         println!("{}:", system.name);
         for e in &kill_errors {
             println!(
@@ -36,11 +32,7 @@ fn main() {
             );
             assert_eq!(e.kind, DependencyKind::Data);
         }
-        assert!(
-            !kill_errors.is_empty(),
-            "{}: the kill-pid defect must be reported",
-            system.name
-        );
+        assert!(!kill_errors.is_empty(), "{}: the kill-pid defect must be reported", system.name);
     }
 
     println!("\n=== The attack at run time ===\n");

@@ -37,10 +37,7 @@ fn main() {
     }
     println!("- the assert(safe(output)) in main therefore fails — the paper's worked example:");
     for e in &result.report.errors {
-        println!(
-            "    error: `{}` in `{}` ({:?} dependency)",
-            e.critical, e.function, e.kind
-        );
+        println!("    error: `{}` in `{}` ({:?} dependency)", e.critical, e.function, e.kind);
         if let Some(flow) = &e.flow {
             for (i, (what, span)) in flow.path().iter().enumerate() {
                 println!(

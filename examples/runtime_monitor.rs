@@ -25,10 +25,7 @@ fn main() {
         &[0.0, 0.0, 0.0, 1.0],
     ]);
     let design = dlqr(&a, &b, &q, 0.5, 50_000).expect("LQR converges");
-    println!(
-        "LQR designed in {} Riccati iterations; envelope V(x) = x'Px",
-        design.iterations
-    );
+    println!("LQR designed in {} Riccati iterations; envelope V(x) = x'Px", design.iterations);
     let monitor = LyapunovMonitor::new(a, b, design.p, 50.0, 5.0);
 
     // Probe the monitor with proposals from various states.

@@ -12,9 +12,8 @@ fn static_findings_match_dynamic_exploits() {
     // Static: kill-pid flagged in every system.
     let analyzer = Analyzer::new(AnalysisConfig::default());
     for system in safeflow_corpus::systems() {
-        let result = analyzer
-            .analyze_source(system.core_file, system.core_source)
-            .expect("analyzes");
+        let result =
+            analyzer.analyze_source(system.core_file, system.core_source).expect("analyzes");
         assert!(result
             .report
             .errors
@@ -114,9 +113,8 @@ fn synthetic_context_sensitivity_shape() {
     // One monitor assuming reg0: the only path to helper is monitored → no
     // warnings and a clean assert.
     let src = generate_core(SyntheticParams { regions: 1, monitors: 1, depth: 3, branches: 1 });
-    let result = Analyzer::new(AnalysisConfig::default())
-        .analyze_source("syn.c", &src)
-        .expect("analyzes");
+    let result =
+        Analyzer::new(AnalysisConfig::default()).analyze_source("syn.c", &src).expect("analyzes");
     assert!(
         result.report.warnings.is_empty(),
         "single monitored path must not warn:\n{}",
@@ -126,9 +124,8 @@ fn synthetic_context_sensitivity_shape() {
     // Two monitors, the second assumes reg1 but the helper still reads
     // reg0 → unmonitored on that path.
     let src = generate_core(SyntheticParams { regions: 2, monitors: 2, depth: 3, branches: 1 });
-    let result = Analyzer::new(AnalysisConfig::default())
-        .analyze_source("syn.c", &src)
-        .expect("analyzes");
+    let result =
+        Analyzer::new(AnalysisConfig::default()).analyze_source("syn.c", &src).expect("analyzes");
     assert_eq!(
         result.report.warnings.len(),
         1,
@@ -166,12 +163,9 @@ fn original_variants_parse() {
 #[test]
 fn simulation_nominal_and_faulty_runs() {
     for fault in [Fault::None, Fault::GarbageCommands, Fault::Stale] {
-        let run = SimplexExecutive::new(ExecutiveConfig {
-            fault,
-            steps: 800,
-            ..Default::default()
-        })
-        .run();
+        let run =
+            SimplexExecutive::new(ExecutiveConfig { fault, steps: 800, ..Default::default() })
+                .run();
         assert!(!run.plant_failed, "{fault:?}: plant must survive");
     }
 }
