@@ -7,7 +7,7 @@
 CARGO ?= cargo
 SAFEFLOW = target/release/safeflow
 
-.PHONY: all build test lint bench smoke metrics-demo fuzz-smoke golden clean
+.PHONY: all build test lint bench smoke metrics-demo incremental-demo fuzz-smoke golden clean
 
 all: build
 
@@ -53,12 +53,52 @@ smoke: lint build test
 	$(SAFEFLOW) --engine summary --inject scc:0 --jobs 8 --fig2 > /tmp/safeflow-smoke-fault-j8.txt; \
 	  test $$? -eq 3
 	cmp /tmp/safeflow-smoke-fault-j1.txt /tmp/safeflow-smoke-fault-j8.txt
-	@echo "smoke OK: reports byte-identical at --jobs 1 and --jobs 8 (incl. fault-injected)"
+	# Incremental sessions: a warm no-change `check` run against a store
+	# must replay the cold run's report byte-for-byte at any --jobs.
+	rm -rf /tmp/safeflow-smoke-store /tmp/safeflow-smoke-src
+	mkdir -p /tmp/safeflow-smoke-src
+	cp examples/incremental/core.c examples/incremental/util.c /tmp/safeflow-smoke-src/
+	cd /tmp/safeflow-smoke-src && $(CURDIR)/$(SAFEFLOW) check core.c util.c \
+	  --store /tmp/safeflow-smoke-store --jobs 1 > /tmp/safeflow-smoke-cold.txt; test $$? -eq 2
+	cd /tmp/safeflow-smoke-src && $(CURDIR)/$(SAFEFLOW) check core.c util.c \
+	  --store /tmp/safeflow-smoke-store --jobs 8 > /tmp/safeflow-smoke-warm.txt; test $$? -eq 2
+	cmp /tmp/safeflow-smoke-cold.txt /tmp/safeflow-smoke-warm.txt
+	@echo "smoke OK: reports byte-identical at --jobs 1 and --jobs 8 (incl. fault-injected + warm replay)"
 
 # Reproduce the paper's Table 1 with the observability layer on: per-phase
 # timings, solver/taint counters, and summary-cache statistics.
 metrics-demo: build
 	$(SAFEFLOW) --table1 --metrics
+
+# Walk the incremental-session lifecycle on examples/incremental: a cold
+# run populates the store, editing one unit re-analyzes only the dirty
+# SCC region (cache hits + store invalidations in the metrics), and an
+# unchanged rerun replays the manifest without analyzing anything.
+incremental-demo: build
+	rm -rf /tmp/safeflow-demo-store /tmp/safeflow-demo-src
+	mkdir -p /tmp/safeflow-demo-src
+	cp examples/incremental/core.c examples/incremental/util.c /tmp/safeflow-demo-src/
+	@echo "== cold run: populates the store =="
+	cd /tmp/safeflow-demo-src && $(CURDIR)/$(SAFEFLOW) check core.c util.c \
+	  --store /tmp/safeflow-demo-store --metrics=json > /tmp/safeflow-demo-cold.txt; \
+	  test $$? -eq 2
+	grep -q '"store.manifest_misses": 1' /tmp/safeflow-demo-cold.txt
+	@grep -E '"(store|summary)\.[a-z_]+":' /tmp/safeflow-demo-cold.txt
+	@echo "== edit util.c: only the dirty SCC region re-analyzes =="
+	sed -i 's/x + 1/x + 2/' /tmp/safeflow-demo-src/util.c
+	cd /tmp/safeflow-demo-src && $(CURDIR)/$(SAFEFLOW) check core.c util.c \
+	  --store /tmp/safeflow-demo-store --metrics=json > /tmp/safeflow-demo-edit.txt; \
+	  test $$? -eq 2
+	grep -q '"summary.cache_hits": 2' /tmp/safeflow-demo-edit.txt
+	grep -q '"store.sccs_invalidated": 2' /tmp/safeflow-demo-edit.txt
+	@grep -E '"(store|summary)\.[a-z_]+":' /tmp/safeflow-demo-edit.txt
+	@echo "== unchanged rerun: whole-program replay, zero SCCs re-analyzed =="
+	cd /tmp/safeflow-demo-src && $(CURDIR)/$(SAFEFLOW) check core.c util.c \
+	  --store /tmp/safeflow-demo-store --metrics=json > /tmp/safeflow-demo-warm.txt; \
+	  test $$? -eq 2
+	grep -q '"store.manifest_hits": 1' /tmp/safeflow-demo-warm.txt
+	@grep -E '"(store|summary)\.[a-z_]+":' /tmp/safeflow-demo-warm.txt
+	@echo "incremental-demo OK: dirty-region re-analysis + whole-program replay"
 
 clean:
 	$(CARGO) clean

@@ -1,0 +1,58 @@
+//! Incremental-session speedup: a warm no-change `AnalysisSession` run
+//! against a persistent store must replay the whole-program manifest —
+//! zero SCCs re-analyzed — and come in at least 5× faster than the cold
+//! run that populated it.
+//!
+//! The workload is the wide synthetic component so the cold run has real
+//! parsing + summarization work to amortize. Cold and warm runs use
+//! separate sessions over the same store directory, so the warm path
+//! exercises the on-disk manifest (not the in-memory cache).
+
+use safeflow::{AnalysisConfig, AnalysisSession, Engine, SessionRun};
+use safeflow_bench::Harness;
+use safeflow_corpus::synthetic::{generate_wide, WideParams};
+use safeflow_syntax::VirtualFs;
+
+fn main() {
+    let h = Harness::from_args();
+    let src = generate_wide(WideParams { families: 48, depth: 3, regions: 8, branches: 4 });
+    let mut fs = VirtualFs::new();
+    fs.add("wide.c", src);
+
+    let dir =
+        std::env::temp_dir().join(format!("safeflow-bench-incremental-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || AnalysisConfig::builder().engine(Engine::Summary).build_config();
+
+    let mut cold_session = AnalysisSession::with_store(config(), &dir).expect("store opens");
+    let mut cold_outcome = None;
+    let cold = h.bench_once("incremental/cold", || {
+        cold_outcome = Some(cold_session.check("wide.c", &fs).expect("cold run analyzes"));
+    });
+    let cold_outcome = cold_outcome.expect("cold run ran");
+    assert_eq!(cold_outcome.run, SessionRun::Analyzed);
+
+    let mut warm_session = AnalysisSession::with_store(config(), &dir).expect("store reopens");
+    let mut warm_outcome = None;
+    let warm = h.bench_once("incremental/warm_no_change", || {
+        warm_outcome = Some(warm_session.check("wide.c", &fs).expect("warm run replays"));
+    });
+    let warm_outcome = warm_outcome.expect("warm run ran");
+    assert_eq!(warm_outcome.run, SessionRun::Replayed, "no-change run must replay");
+    assert_eq!(
+        warm_outcome.metrics.work.get("summary.summarize_calls"),
+        None,
+        "replay must re-analyze zero SCCs"
+    );
+    assert_eq!(warm_outcome.rendered, cold_outcome.rendered, "replay must be byte-identical");
+
+    if let (Some(cold), Some(warm)) = (cold, warm) {
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        println!("incremental/speedup: {speedup:.1}x (cold {cold:?} / warm {warm:?})");
+        assert!(
+            speedup >= 5.0,
+            "warm no-change run must be >=5x faster than cold (got {speedup:.1}x)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! safeflow FILE.c [FILE2.c ...]    analyze C sources (first file is the root)
+//! safeflow check FILES --store DIR incremental analysis against a summary store
 //! safeflow --table1                regenerate the paper's Table 1 on the corpus
 //! safeflow --fig2                  analyze the paper's Figure 2 running example
 //! safeflow --engine summary ...    use the ESP-style summary engine
@@ -17,7 +18,10 @@
 //! exhausted. Degraded runs still print every finding reached plus a
 //! `DEGRADED RUN` block naming the affected functions.
 
-use safeflow::{AnalysisConfig, Analyzer, Budget, Engine, FaultKind, FaultPlan, FaultSite};
+use safeflow::{
+    AnalysisConfig, AnalysisSession, Analyzer, Budget, CriticalCall, Engine, FaultKind, FaultPlan,
+    FaultSite, RecvSpec,
+};
 use safeflow_corpus::{systems, System};
 use safeflow_syntax::VirtualFs;
 use std::process::ExitCode;
@@ -64,7 +68,7 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 fn run() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut engine = Engine::ContextSensitive;
     let mut files: Vec<String> = Vec::new();
     let mut table1 = false;
@@ -74,6 +78,16 @@ fn run() -> ExitCode {
     let mut budget = Budget::unlimited();
     let mut injects: Vec<(FaultSite, Option<u64>, FaultKind)> = Vec::new();
     let mut fault_seed: Option<(u64, f64)> = None;
+    let mut criticals: Vec<CriticalCall> = Vec::new();
+    let mut recvs: Vec<RecvSpec> = Vec::new();
+    let mut store_dir: Option<String> = None;
+    let mut engine_set = false;
+
+    // `check` is a subcommand: it must come first, before any file.
+    let check_mode = args.first().map(String::as_str) == Some("check");
+    if check_mode {
+        args.remove(0);
+    }
 
     let mut i = 0;
     while i < args.len() {
@@ -125,8 +139,36 @@ fn run() -> ExitCode {
                     Err(e) => return usage_error(&format!("--fault-seed: {e}")),
                 }
             }
+            "--store" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => store_dir = Some(dir.clone()),
+                    None => return usage_error("--store requires a directory argument"),
+                }
+            }
+            "--critical-call" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    return usage_error("--critical-call requires an argument (NAME:ARG)");
+                };
+                match parse_critical(spec) {
+                    Ok(c) => criticals.push(c),
+                    Err(e) => return usage_error(&format!("--critical-call: {e}")),
+                }
+            }
+            "--recv" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    return usage_error("--recv requires an argument (NAME:SOCK_ARG:BUF_ARG)");
+                };
+                match parse_recv(spec) {
+                    Ok(r) => recvs.push(r),
+                    Err(e) => return usage_error(&format!("--recv: {e}")),
+                }
+            }
             "--engine" => {
                 i += 1;
+                engine_set = true;
                 match args.get(i).map(String::as_str) {
                     Some("summary") => engine = Engine::Summary,
                     Some("context") | Some("context-sensitive") => {
@@ -170,7 +212,19 @@ fn run() -> ExitCode {
         i += 1;
     }
 
-    let mut config = AnalysisConfig::with_engine(engine).with_jobs(jobs).with_budget(budget);
+    // `check` defaults to the summary engine: only it populates the
+    // per-SCC store. An explicit `--engine context` still works (the
+    // whole-program replay manifest is engine-agnostic).
+    if check_mode && !engine_set {
+        engine = Engine::Summary;
+    }
+    let mut builder = AnalysisConfig::builder().engine(engine).jobs(jobs).budget(budget);
+    for call in criticals {
+        builder = builder.critical_call(call);
+    }
+    for spec in recvs {
+        builder = builder.recv_function(spec);
+    }
     if fault_seed.is_some() || !injects.is_empty() {
         let mut plan = match fault_seed {
             Some((seed, rate)) => FaultPlan::seeded(seed, rate),
@@ -179,9 +233,13 @@ fn run() -> ExitCode {
         for (site, key, kind) in injects {
             plan = plan.with_fault(site, key, kind);
         }
-        config = config.with_fault_plan(plan);
+        builder = builder.fault_plan(plan);
     }
+    let config = builder.build_config();
 
+    if store_dir.is_some() && !check_mode {
+        return usage_error("--store only applies to the `check` subcommand");
+    }
     if table1 {
         return run_table1(&config, &out);
     }
@@ -192,7 +250,87 @@ fn run() -> ExitCode {
         print_help();
         return ExitCode::from(2);
     }
+    if check_mode {
+        return run_check(config, &files, store_dir, &out);
+    }
     run_files(&config, &files, &out)
+}
+
+/// Parses a `--critical-call` spec: `NAME:ARG` (zero-based argument index).
+fn parse_critical(spec: &str) -> Result<CriticalCall, String> {
+    let (name, arg) =
+        spec.split_once(':').ok_or_else(|| format!("`{spec}` is not of the form NAME:ARG"))?;
+    let arg = arg.parse::<usize>().map_err(|_| format!("`{arg}` is not an argument index"))?;
+    if name.is_empty() {
+        return Err("function name is empty".to_string());
+    }
+    Ok(CriticalCall::new(name, arg))
+}
+
+/// Parses a `--recv` spec: `NAME:SOCK_ARG:BUF_ARG` (zero-based indices).
+fn parse_recv(spec: &str) -> Result<RecvSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [name, sock, buf] = parts.as_slice() else {
+        return Err(format!("`{spec}` is not of the form NAME:SOCK_ARG:BUF_ARG"));
+    };
+    if name.is_empty() {
+        return Err("function name is empty".to_string());
+    }
+    let sock = sock.parse::<usize>().map_err(|_| format!("`{sock}` is not an argument index"))?;
+    let buf = buf.parse::<usize>().map_err(|_| format!("`{buf}` is not an argument index"))?;
+    Ok(RecvSpec::new(*name, sock, buf))
+}
+
+/// The `check` subcommand: one incremental session over the input files,
+/// replaying from or saving to the persistent store when `--store` is set.
+fn run_check(
+    config: AnalysisConfig,
+    files: &[String],
+    store_dir: Option<String>,
+    out: &OutputOpts,
+) -> ExitCode {
+    let mut session = match &store_dir {
+        Some(dir) => match AnalysisSession::with_store(config, std::path::Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("safeflow: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => AnalysisSession::new(config),
+    };
+    // DOT output needs a lowered module, which a replayed run never
+    // builds; keep the summary seeding, skip the manifest shortcut.
+    if out.dot {
+        session.set_replay(false);
+    }
+    match session.check_files(files) {
+        Ok(outcome) => {
+            if out.format_json {
+                println!("{}", outcome.report_json.render());
+            } else {
+                print!("{}", outcome.rendered);
+            }
+            if out.dot {
+                if let Some(result) = &outcome.result {
+                    emit_dot(result);
+                }
+            }
+            match out.metrics {
+                Some(MetricsOut::Text) => {
+                    println!("-- metrics --");
+                    print!("{}", outcome.metrics.render_text());
+                }
+                Some(MetricsOut::Json) => println!("{}", outcome.metrics.to_json().render()),
+                None => {}
+            }
+            ExitCode::from(outcome.exit_code)
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Parses a `--budget` spec (`key=value[,key=value...]`) into `budget`.
@@ -278,6 +416,7 @@ fn parse_fault_seed(spec: &str) -> Result<(u64, f64), String> {
 /// reporting (stderr).
 const USAGE: &str = "USAGE:\n\
      \x20 safeflow [OPTIONS] FILE.c [FILE2.c ...]\n\
+     \x20 safeflow check [OPTIONS] FILE.c [FILE2.c ...] [--store DIR]\n\
      \x20 safeflow --table1 | --fig2\n\
      (run `safeflow --help` for the full option list)";
 
@@ -287,10 +426,24 @@ fn print_help() {
          \n\
          USAGE:\n\
          \x20 safeflow [OPTIONS] FILE.c [FILE2.c ...]\n\
+         \x20 safeflow check [OPTIONS] FILE.c [FILE2.c ...] [--store DIR]\n\
          \x20 safeflow --table1 | --fig2\n\
          \n\
+         The `check` subcommand runs an incremental session: with --store,\n\
+         prior per-SCC summaries are loaded from DIR, only changed SCCs\n\
+         (plus their transitive callers) re-analyze, and an unchanged\n\
+         input replays the stored report without re-analyzing anything.\n\
+         `check` defaults to the summary engine.\n\
+         \n\
          OPTIONS:\n\
+         \x20 --store DIR                persistent summary store (check only);\n\
+         \x20                            a corrupt/mismatched store degrades to a\n\
+         \x20                            cold run, never a stale result\n\
          \x20 --engine summary|context   phase-3 engine (default: context)\n\
+         \x20 --critical-call NAME:ARG   treat argument ARG of external NAME as\n\
+         \x20                            implicitly critical (like kill's pid)\n\
+         \x20 --recv NAME:SOCK:BUF       treat external NAME as a receive call\n\
+         \x20                            (socket/buffer argument indices, §3.4.3)\n\
          \x20 --jobs N|auto, -j N        worker threads for the parallel phases\n\
          \x20                            (default: 1; reports are identical for any N)\n\
          \x20 --budget K=V[,K=V...]      resource budgets; exhaustion degrades the\n\

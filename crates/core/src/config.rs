@@ -39,6 +39,45 @@ impl Budget {
     }
 }
 
+/// An external call whose argument is implicitly critical (the paper
+/// treats the pid argument of `kill` this way, §3.1/§4): every value
+/// flowing into `args[arg]` at a call to `name` must be monitored, exactly
+/// as if it carried an `assert(safe(...))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalCall {
+    /// External function name.
+    pub name: String,
+    /// Zero-based index of the critical argument.
+    pub arg: usize,
+}
+
+impl CriticalCall {
+    /// A critical-call spec for argument `arg` of `name`.
+    pub fn new(name: impl Into<String>, arg: usize) -> CriticalCall {
+        CriticalCall { name: name.into(), arg }
+    }
+}
+
+/// A message-receive library call for the §3.4.3 extension: `recv(sock,
+/// buf, ...)`-shaped functions whose buffer is tainted when the descriptor
+/// argument reads from a non-core socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvSpec {
+    /// External function name (`recv`, `read`, ...).
+    pub name: String,
+    /// Zero-based index of the socket/descriptor argument.
+    pub sock_arg: usize,
+    /// Zero-based index of the buffer argument filled with received data.
+    pub buf_arg: usize,
+}
+
+impl RecvSpec {
+    /// A receive spec: `name(sock_arg .. buf_arg ..)`.
+    pub fn new(name: impl Into<String>, sock_arg: usize, buf_arg: usize) -> RecvSpec {
+        RecvSpec { name: name.into(), sock_arg, buf_arg }
+    }
+}
+
 /// Which phase-3 engine to run (paper §3.3, last two paragraphs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
@@ -60,18 +99,16 @@ pub enum Engine {
 pub struct AnalysisConfig {
     /// Phase-3 engine.
     pub engine: Engine,
-    /// External calls whose arguments are implicitly critical:
-    /// `(function name, argument index)`. The paper treats the pid argument
-    /// of `kill` this way (§3.1/§4).
-    pub implicit_critical_calls: Vec<(String, usize)>,
+    /// External calls whose arguments are implicitly critical. The paper
+    /// treats the pid argument of `kill` this way (§3.1/§4).
+    pub implicit_critical_calls: Vec<CriticalCall>,
     /// External functions that deallocate shared memory (restriction P1).
     pub dealloc_functions: Vec<String>,
     /// External functions that allocate/attach shared memory segments
     /// inside `shminit` functions.
     pub shm_attach_functions: Vec<String>,
-    /// Message-receive library calls for the §3.4.3 extension:
-    /// `(name, socket arg index, buffer arg index)`.
-    pub recv_functions: Vec<(String, usize, usize)>,
+    /// Message-receive library calls for the §3.4.3 extension.
+    pub recv_functions: Vec<RecvSpec>,
     /// Entry point used for reachability and P1 ("end of main").
     pub entry: String,
     /// Cap on distinct contexts analyzed *per function* before the
@@ -99,10 +136,10 @@ impl Default for AnalysisConfig {
     fn default() -> Self {
         AnalysisConfig {
             engine: Engine::ContextSensitive,
-            implicit_critical_calls: vec![("kill".to_string(), 0)],
+            implicit_critical_calls: vec![CriticalCall::new("kill", 0)],
             dealloc_functions: vec!["shmdt".to_string(), "shmctl".to_string()],
             shm_attach_functions: vec!["shmat".to_string()],
-            recv_functions: vec![("recv".to_string(), 0, 1), ("read".to_string(), 0, 1)],
+            recv_functions: vec![RecvSpec::new("recv", 0, 1), RecvSpec::new("read", 0, 1)],
             entry: "main".to_string(),
             max_contexts: 512,
             track_control_dependence: true,
@@ -114,6 +151,14 @@ impl Default for AnalysisConfig {
 }
 
 impl AnalysisConfig {
+    /// A builder over the default configuration — the documented way to
+    /// construct a non-default [`AnalysisConfig`]. The struct fields stay
+    /// public for compatibility, but new code should prefer the builder's
+    /// typed setters over bare struct mutation.
+    pub fn builder() -> AnalyzerBuilder {
+        AnalyzerBuilder::new()
+    }
+
     /// Default configuration with the given engine.
     pub fn with_engine(engine: Engine) -> Self {
         AnalysisConfig { engine, ..AnalysisConfig::default() }
@@ -140,6 +185,82 @@ impl AnalysisConfig {
     }
 }
 
+/// Typed, chainable construction of an [`AnalysisConfig`] (and, via
+/// [`AnalyzerBuilder::build`], an `Analyzer`). Obtained from
+/// [`AnalysisConfig::builder`]; every setter has the same semantics as the
+/// corresponding config field, with the clamping and defaulting rules
+/// applied at the point of the call.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzerBuilder {
+    config: AnalysisConfig,
+}
+
+impl AnalyzerBuilder {
+    /// A builder holding the default configuration.
+    pub fn new() -> AnalyzerBuilder {
+        AnalyzerBuilder { config: AnalysisConfig::default() }
+    }
+
+    /// Sets the phase-3 engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` is clamped to `1`).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Sets the entry-point function name.
+    pub fn entry(mut self, entry: impl Into<String>) -> Self {
+        self.config.entry = entry.into();
+        self
+    }
+
+    /// Sets the per-function context cap for the context-sensitive engine.
+    pub fn max_contexts(mut self, max: usize) -> Self {
+        self.config.max_contexts = max.max(1);
+        self
+    }
+
+    /// Enables or disables control-dependence taint tracking (§3.4.1).
+    pub fn track_control_dependence(mut self, track: bool) -> Self {
+        self.config.track_control_dependence = track;
+        self
+    }
+
+    /// Sets a deterministic fault-injection plan (testing hook).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
+    /// Adds an implicitly-critical external call.
+    pub fn critical_call(mut self, call: CriticalCall) -> Self {
+        self.config.implicit_critical_calls.push(call);
+        self
+    }
+
+    /// Adds a message-receive library call (§3.4.3 extension).
+    pub fn recv_function(mut self, spec: RecvSpec) -> Self {
+        self.config.recv_functions.push(spec);
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build_config(self) -> AnalysisConfig {
+        self.config
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,9 +269,28 @@ mod tests {
     fn default_matches_paper_conventions() {
         let c = AnalysisConfig::default();
         assert_eq!(c.engine, Engine::ContextSensitive);
-        assert!(c.implicit_critical_calls.contains(&("kill".to_string(), 0)));
+        assert!(c.implicit_critical_calls.contains(&CriticalCall::new("kill", 0)));
         assert!(c.dealloc_functions.iter().any(|f| f == "shmdt"));
         assert_eq!(c.entry, "main");
+    }
+
+    #[test]
+    fn builder_sets_typed_fields() {
+        let c = AnalysisConfig::builder()
+            .engine(Engine::Summary)
+            .jobs(0)
+            .entry("start")
+            .budget(Budget { fixpoint_rounds: Some(7), ..Budget::default() })
+            .critical_call(CriticalCall::new("reboot", 1))
+            .recv_function(RecvSpec::new("recvfrom", 0, 1))
+            .build_config();
+        assert_eq!(c.engine, Engine::Summary);
+        assert_eq!(c.jobs, 1, "jobs must clamp to 1");
+        assert_eq!(c.entry, "start");
+        assert_eq!(c.budget.fixpoint_rounds, Some(7));
+        assert!(c.implicit_critical_calls.contains(&CriticalCall::new("kill", 0)));
+        assert!(c.implicit_critical_calls.contains(&CriticalCall::new("reboot", 1)));
+        assert!(c.recv_functions.contains(&RecvSpec::new("recvfrom", 0, 1)));
     }
 
     #[test]

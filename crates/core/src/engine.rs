@@ -58,11 +58,47 @@ pub struct CacheStats {
 #[derive(Debug, Default)]
 pub(crate) struct SummaryCache {
     map: Mutex<HashMap<u64, Arc<Vec<Summary>>>>,
+    /// Keys of the most recent run's SCCs — the *live* set. The session
+    /// persists exactly these ([`SummaryCache::export_live`]); entries
+    /// outside it are history (stale content hashes) and are dropped from
+    /// the on-disk store at save time.
+    live: Mutex<Vec<u64>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
 impl SummaryCache {
+    /// Pre-populates the cache from a persistent store without touching
+    /// the hit/miss counters: seeded entries only count when a run
+    /// actually probes them.
+    pub(crate) fn seed(&self, entries: Vec<(u64, Arc<Vec<Summary>>)>) {
+        let mut map = self.map.lock().unwrap();
+        for (key, summaries) in entries {
+            map.entry(key).or_insert(summaries);
+        }
+    }
+
+    /// Declares the current run's SCC hash set as live (replacing the
+    /// previous set). Called once per summary-engine run.
+    pub(crate) fn set_live(&self, keys: &[u64]) {
+        *self.live.lock().unwrap() = keys.to_vec();
+    }
+
+    /// The cached entries for the live key set, in live-set order — what a
+    /// clean run may persist. SCCs whose computation degraded were never
+    /// inserted, so they are simply absent.
+    pub(crate) fn export_live(&self) -> Vec<(u64, Arc<Vec<Summary>>)> {
+        let map = self.map.lock().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        self.live
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|&&k| seen.insert(k))
+            .filter_map(|&k| map.get(&k).map(|v| (k, v.clone())))
+            .collect()
+    }
+
     /// Probes for an SCC's summaries, tallying `members` hits or misses.
     pub(crate) fn get(&self, key: u64, members: usize) -> Option<Arc<Vec<Summary>>> {
         let found = self.map.lock().unwrap().get(&key).cloned();
@@ -162,14 +198,14 @@ fn env_hash(
         h.write_str(&g.name);
     }
     h.write_u8(config.track_control_dependence as u8);
-    for (name, arg) in &config.implicit_critical_calls {
-        h.write_str(name);
-        h.write_usize(*arg);
+    for call in &config.implicit_critical_calls {
+        h.write_str(&call.name);
+        h.write_usize(call.arg);
     }
-    for (name, sock, buf) in &config.recv_functions {
-        h.write_str(name);
-        h.write_usize(*sock);
-        h.write_usize(*buf);
+    for spec in &config.recv_functions {
+        h.write_str(&spec.name);
+        h.write_usize(spec.sock_arg);
+        h.write_usize(spec.buf_arg);
     }
     h.write_str(&config.entry);
     h.finish()

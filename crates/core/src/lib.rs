@@ -69,11 +69,13 @@ pub mod flowgraph;
 pub mod regions;
 pub mod report;
 pub mod restrict;
+pub mod session;
 pub mod shmptr;
+mod store;
 pub mod summary;
 pub mod taint;
 
-pub use config::{AnalysisConfig, Budget, Engine};
+pub use config::{AnalysisConfig, AnalyzerBuilder, Budget, CriticalCall, Engine, RecvSpec};
 pub use engine::CacheStats;
 pub use regions::{Region, RegionId, RegionMap};
 pub use report::{
@@ -83,6 +85,7 @@ pub use report::{
 pub use safeflow_util::fault::{FaultKind, FaultPlan, FaultSite};
 pub use safeflow_util::json::Json;
 pub use safeflow_util::metrics::MetricsSnapshot;
+pub use session::{AnalysisSession, SessionOutcome, SessionRun};
 
 use safeflow_ir::{build_module, CallGraph, Module};
 use safeflow_points_to::PointsTo;
@@ -116,22 +119,116 @@ impl AnalysisResult {
     }
 }
 
-/// Errors aborting an analysis run.
+/// Errors aborting an analysis run or session operation.
+///
+/// Non-exhaustive: new variants may appear in future releases, so matches
+/// must carry a wildcard arm. Variants that wrap an underlying error expose
+/// it through [`std::error::Error::source`].
 #[derive(Debug)]
-pub struct AnalysisError {
-    /// Frontend/lowering diagnostics explaining the failure.
-    pub diags: Diagnostics,
-    /// Source map for rendering them.
-    pub sources: SourceMap,
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The source failed to parse or lower.
+    #[non_exhaustive]
+    Parse {
+        /// Frontend/lowering diagnostics explaining the failure.
+        diags: Diagnostics,
+        /// Source map for rendering them.
+        sources: SourceMap,
+    },
+    /// An input file could not be read (session entry points only).
+    #[non_exhaustive]
+    Io {
+        /// The file that failed.
+        path: std::path::PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The persistent summary store could not be written or created.
+    /// (A store that fails to *load* — corrupt, truncated, wrong version —
+    /// is not an error: the session degrades to a cold run instead.)
+    #[non_exhaustive]
+    Store {
+        /// What the store operation was doing.
+        context: String,
+        /// The underlying I/O error, when one exists.
+        source: Option<std::io::Error>,
+    },
+    /// A strict-mode session run degraded because a resource budget was
+    /// exhausted (exit code 3 territory).
+    #[non_exhaustive]
+    Budget {
+        /// The degradations the run reported.
+        degradations: Vec<Degradation>,
+    },
+    /// A strict-mode session run degraded because an analysis fault was
+    /// contained (exit code 4 territory).
+    #[non_exhaustive]
+    Fault {
+        /// The degradations the run reported.
+        degradations: Vec<Degradation>,
+    },
+}
+
+impl AnalysisError {
+    /// The frontend diagnostics, when this is a parse error.
+    pub fn diagnostics(&self) -> Option<&Diagnostics> {
+        match self {
+            AnalysisError::Parse { diags, .. } => Some(diags),
+            _ => None,
+        }
+    }
+
+    fn degradation_summary(degradations: &[Degradation]) -> String {
+        let mut kinds: Vec<String> = degradations.iter().map(|d| format!("{:?}", d.kind)).collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds.join(", ")
+    }
 }
 
 impl std::fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.diags.render_all(&self.sources))
+        match self {
+            AnalysisError::Parse { diags, sources } => {
+                write!(f, "{}", diags.render_all(sources))
+            }
+            AnalysisError::Io { path, source } => {
+                write!(f, "cannot read `{}`: {source}", path.display())
+            }
+            AnalysisError::Store { context, source } => match source {
+                Some(e) => write!(f, "summary store: {context}: {e}"),
+                None => write!(f, "summary store: {context}"),
+            },
+            AnalysisError::Budget { degradations } => write!(
+                f,
+                "analysis degraded: budget exhausted ({})",
+                AnalysisError::degradation_summary(degradations)
+            ),
+            AnalysisError::Fault { degradations } => write!(
+                f,
+                "analysis degraded: fault contained ({})",
+                AnalysisError::degradation_summary(degradations)
+            ),
+        }
     }
 }
 
-impl std::error::Error for AnalysisError {}
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Io { source, .. } => Some(source),
+            AnalysisError::Store { source: Some(e), .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl AnalyzerBuilder {
+    /// Finishes the builder into an [`Analyzer`] over the configuration.
+    pub fn build(self) -> Analyzer {
+        Analyzer::new(self.build_config())
+    }
+}
 
 /// The SafeFlow analyzer.
 ///
@@ -199,23 +296,51 @@ impl Analyzer {
     /// counts; comparing cache-warm against cache-cold runs additionally
     /// excludes `metrics.work` and `cache`.
     pub fn report_json(&self, result: &AnalysisResult) -> Json {
+        self.report_json_with(result, &self.last_metrics())
+    }
+
+    /// [`Analyzer::report_json`] with an explicit metrics snapshot —
+    /// sessions use this to fold their store bookkeeping into the
+    /// document's `metrics` object.
+    pub fn report_json_with(&self, result: &AnalysisResult, metrics: &MetricsSnapshot) -> Json {
         let mut o = Json::obj();
         o.set("schema", "safeflow-report-v1");
         o.set("exit_code", u64::from(result.report.exit_code()));
         o.set("report", result.report.to_json(&result.sources));
+        o.set("budget", self.budget_json());
+        o.set("cache", self.cache_json());
+        o.set("metrics", metrics.to_json());
+        o
+    }
+
+    /// The `budget` section of the report document.
+    pub(crate) fn budget_json(&self) -> Json {
         let mut budget = Json::obj();
         budget.set("solver_steps", self.config.budget.solver_steps);
         budget.set("fixpoint_rounds", self.config.budget.fixpoint_rounds);
         budget.set("max_function_insts", self.config.budget.max_function_insts);
         budget.set("deadline_ms", self.config.budget.deadline_ms);
-        o.set("budget", budget);
+        budget
+    }
+
+    /// The `cache` section of the report document (cumulative stats).
+    pub(crate) fn cache_json(&self) -> Json {
         let cs = self.cache_stats();
         let mut cache = Json::obj();
         cache.set("hits", cs.hits);
         cache.set("misses", cs.misses);
-        o.set("cache", cache);
-        o.set("metrics", self.last_metrics().to_json());
-        o
+        cache
+    }
+
+    /// Seeds the in-memory summary cache from a persistent store (no
+    /// effect on hit/miss stats until a run probes the entries).
+    pub(crate) fn cache_seed(&self, entries: Vec<(u64, std::sync::Arc<Vec<summary::Summary>>)>) {
+        self.cache.seed(entries);
+    }
+
+    /// Exports the most recent run's live summary entries for persistence.
+    pub(crate) fn cache_export_live(&self) -> Vec<(u64, std::sync::Arc<Vec<summary::Summary>>)> {
+        self.cache.export_live()
     }
 
     /// Analyzes a single self-contained source file.
@@ -243,15 +368,15 @@ impl Analyzer {
         let mut diags = parsed.diags;
         let sources = parsed.sources;
         if diags.has_errors() {
-            return Err(AnalysisError { diags, sources });
+            return Err(AnalysisError::Parse { diags, sources });
         }
         let module = build_module(&parsed.unit, &mut diags);
         if diags.has_errors() {
-            return Err(AnalysisError { diags, sources });
+            return Err(AnalysisError::Parse { diags, sources });
         }
         let report = self.analyze_module(&module, &mut diags);
         if diags.has_errors() {
-            return Err(AnalysisError { diags, sources });
+            return Err(AnalysisError::Parse { diags, sources });
         }
         Ok(AnalysisResult { report, sources, diags, module })
     }

@@ -1,0 +1,523 @@
+//! Persistent on-disk summary store for incremental analysis.
+//!
+//! One store directory holds one file, `safeflow-store.bin`, a versioned,
+//! checksummed, hand-rolled binary image with two tables:
+//!
+//! * **Replay manifests** — whole-program entries keyed by a hash over the
+//!   store version, the analysis configuration, the root file name, and
+//!   every input file's name + content hash. An exact match means *nothing*
+//!   changed, so the session replays the stored report (text, JSON subtree,
+//!   exit code, `Counter`-class metrics) without parsing a single file —
+//!   zero SCCs re-analyzed.
+//! * **SCC summaries** — per-SCC function-summary vectors keyed by the
+//!   engine's Merkle content hashes ([`crate::engine::scc_hashes`]). When
+//!   some inputs changed, the session seeds the in-memory
+//!   [`crate::engine::SummaryCache`] from this table before analyzing;
+//!   unchanged SCCs hit, the dirty region (the edited SCCs plus their
+//!   transitive dependents, whose chained hashes moved) recomputes.
+//!
+//! The invalidation rule is entirely carried by the keys: an edit changes a
+//! content hash, the stale entry simply never matches again and is dropped
+//! at the next save. Staleness is therefore impossible by construction;
+//! the failure mode of a damaged store is a **cold run**, never a wrong
+//! one. The reader is fully defensive: a bad magic, version, checksum, or
+//! any truncated/overlong field makes [`SummaryStore::open`] come up
+//! empty (and report `load_rejected`), while *writing* problems surface as
+//! [`AnalysisError::Store`].
+//!
+//! Degraded results (contained panics, exhausted budgets, injected faults)
+//! are never written: the summary engine already refuses to cache tainted
+//! SCCs, and the session skips the manifest save for any run whose exit
+//! code signals degradation.
+
+use crate::summary::Summary;
+use crate::AnalysisError;
+use safeflow_util::hash::Fnv64;
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Store format version; bumped on any encoding change. A file with a
+/// different version is ignored wholesale (everything invalidates).
+pub const STORE_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"SFSTORE\0";
+const STORE_FILE: &str = "safeflow-store.bin";
+
+/// Caps on table sizes, enforced on save so one store directory cannot
+/// grow without bound across alternating roots/configs.
+const MAX_MANIFESTS: usize = 64;
+
+/// A whole-program replay entry: everything needed to reproduce a cold
+/// run's user-visible output without re-analyzing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ReplayEntry {
+    /// The run's exit code (always `< 3`: degraded runs are not stored).
+    pub exit_code: u8,
+    /// The run's `Counter`-class metrics — cache-state-invariant by
+    /// definition, so replaying them verbatim preserves the warm/cold
+    /// metrics contract.
+    pub counters: BTreeMap<String, u64>,
+    /// The rendered `report` subtree of the `safeflow-report-v1` document.
+    pub report_json: String,
+    /// The rendered human-readable report.
+    pub rendered: String,
+}
+
+/// Statistics from the most recent [`SummaryStore::save`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SaveStats {
+    /// SCC entries written.
+    pub sccs_saved: usize,
+    /// Previously loaded SCC entries dropped because no longer live.
+    pub sccs_invalidated: usize,
+}
+
+/// The persistent store bound to one directory.
+#[derive(Debug)]
+pub(crate) struct SummaryStore {
+    path: PathBuf,
+    manifests: Vec<(u64, ReplayEntry)>,
+    sccs: Vec<(u64, Arc<Vec<Summary>>)>,
+    /// `true` when a store file existed but failed validation (bad magic /
+    /// version / checksum / truncation) and was ignored.
+    load_rejected: bool,
+}
+
+impl SummaryStore {
+    /// Opens (or initializes) the store in `dir`, creating the directory
+    /// if needed. A present-but-invalid store file is ignored — the
+    /// session degrades to a cold run — and only *directory creation*
+    /// failures are errors.
+    pub(crate) fn open(dir: &Path) -> Result<SummaryStore, AnalysisError> {
+        std::fs::create_dir_all(dir).map_err(|e| AnalysisError::Store {
+            context: format!("creating store directory `{}`", dir.display()),
+            source: Some(e),
+        })?;
+        let path = dir.join(STORE_FILE);
+        let mut store =
+            SummaryStore { path, manifests: Vec::new(), sccs: Vec::new(), load_rejected: false };
+        match std::fs::read(&store.path) {
+            Ok(bytes) => match decode_store(&bytes) {
+                Some((manifests, sccs)) => {
+                    store.manifests = manifests;
+                    store.sccs = sccs;
+                }
+                None => store.load_rejected = true,
+            },
+            // No file yet: a fresh store. Any other read error also
+            // degrades to cold rather than failing the run.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(_) => store.load_rejected = true,
+        }
+        Ok(store)
+    }
+
+    /// Whether an existing store file was ignored as invalid.
+    pub(crate) fn load_rejected(&self) -> bool {
+        self.load_rejected
+    }
+
+    /// Number of SCC entries loaded from disk.
+    pub(crate) fn scc_count(&self) -> usize {
+        self.sccs.len()
+    }
+
+    /// The replay entry under `key`, if any.
+    pub(crate) fn manifest(&self, key: u64) -> Option<&ReplayEntry> {
+        self.manifests.iter().find(|(k, _)| *k == key).map(|(_, e)| e)
+    }
+
+    /// All loaded SCC entries, for seeding the in-memory cache.
+    pub(crate) fn scc_entries(&self) -> Vec<(u64, Arc<Vec<Summary>>)> {
+        self.sccs.clone()
+    }
+
+    /// Records a finished clean run and writes the store file atomically
+    /// (temp file + rename). `live_sccs` is the current run's live summary
+    /// set — it *replaces* the SCC table, dropping entries the run no
+    /// longer reaches (the invalidation count in the returned stats).
+    pub(crate) fn save(
+        &mut self,
+        manifest_key: u64,
+        entry: ReplayEntry,
+        live_sccs: Vec<(u64, Arc<Vec<Summary>>)>,
+    ) -> Result<SaveStats, AnalysisError> {
+        let live: std::collections::HashSet<u64> = live_sccs.iter().map(|(k, _)| *k).collect();
+        let stats = SaveStats {
+            sccs_saved: live_sccs.len(),
+            sccs_invalidated: self.sccs.iter().filter(|(k, _)| !live.contains(k)).count(),
+        };
+        self.manifests.retain(|(k, _)| *k != manifest_key);
+        self.manifests.push((manifest_key, entry));
+        if self.manifests.len() > MAX_MANIFESTS {
+            let excess = self.manifests.len() - MAX_MANIFESTS;
+            self.manifests.drain(..excess);
+        }
+        self.sccs = live_sccs;
+
+        let bytes = encode_store(&self.manifests, &self.sccs);
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| AnalysisError::Store {
+            context: format!("writing `{}`", tmp.display()),
+            source: Some(e),
+        })?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| AnalysisError::Store {
+            context: format!("renaming into `{}`", self.path.display()),
+            source: Some(e),
+        })?;
+        Ok(stats)
+    }
+}
+
+// ------------------------------------------------------------------ keys
+
+/// Hash of every configuration knob that can change analysis *results*.
+/// `jobs` is deliberately excluded (reports are identical for every worker
+/// count — the byte-identity contract), as is `fault_plan` — the session
+/// disables the store entirely when a plan is armed, because injected
+/// faults make results non-reproducible.
+pub(crate) fn config_hash(config: &crate::AnalysisConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u32(STORE_VERSION);
+    h.write_u8(match config.engine {
+        crate::Engine::ContextSensitive => 0,
+        crate::Engine::Summary => 1,
+    });
+    h.write_str(&config.entry);
+    h.write_usize(config.max_contexts);
+    h.write_u8(config.track_control_dependence as u8);
+    for call in &config.implicit_critical_calls {
+        h.write_str(&call.name);
+        h.write_usize(call.arg);
+    }
+    for spec in &config.recv_functions {
+        h.write_str(&spec.name);
+        h.write_usize(spec.sock_arg);
+        h.write_usize(spec.buf_arg);
+    }
+    for name in &config.dealloc_functions {
+        h.write_str(name);
+    }
+    for name in &config.shm_attach_functions {
+        h.write_str(name);
+    }
+    let b = &config.budget;
+    h.write_u64(b.solver_steps.map(|v| v + 1).unwrap_or(0));
+    h.write_u64(b.fixpoint_rounds.map(|v| v as u64 + 1).unwrap_or(0));
+    h.write_u64(b.max_function_insts.map(|v| v as u64 + 1).unwrap_or(0));
+    h.write_u64(b.deadline_ms.map(|v| v + 1).unwrap_or(0));
+    h.finish()
+}
+
+/// Whole-program replay key: configuration + root + every input file's
+/// name and content. `files` need not be sorted — the key sorts by name.
+pub(crate) fn manifest_key(config_hash: u64, root: &str, files: &[(String, String)]) -> u64 {
+    let mut named: Vec<(&str, &str)> =
+        files.iter().map(|(n, c)| (n.as_str(), c.as_str())).collect();
+    named.sort();
+    let mut h = Fnv64::new();
+    h.write_u64(config_hash);
+    h.write_str(root);
+    h.write_usize(named.len());
+    for (name, content) in named {
+        h.write_str(name);
+        h.write_u64(safeflow_util::hash::hash_str(content));
+    }
+    h.finish()
+}
+
+// --------------------------------------------------------------- encoding
+
+/// Bounded cursor over an untrusted byte buffer. Every accessor returns
+/// `None` past the end — the store reader never panics on garbage.
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// A `u32` length that must be plausible against the remaining buffer,
+    /// for pre-allocating collections without trusting the wire.
+    pub(crate) fn len(&mut self) -> Option<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return None;
+        }
+        Some(n)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_store(manifests: &[(u64, ReplayEntry)], sccs: &[(u64, Arc<Vec<Summary>>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, STORE_VERSION);
+    put_u32(&mut out, manifests.len() as u32);
+    for (key, e) in manifests {
+        put_u64(&mut out, *key);
+        put_u8(&mut out, e.exit_code);
+        put_u32(&mut out, e.counters.len() as u32);
+        for (k, v) in &e.counters {
+            put_str(&mut out, k);
+            put_u64(&mut out, *v);
+        }
+        put_str(&mut out, &e.report_json);
+        put_str(&mut out, &e.rendered);
+    }
+    put_u32(&mut out, sccs.len() as u32);
+    for (key, summaries) in sccs {
+        put_u64(&mut out, *key);
+        put_u32(&mut out, summaries.len() as u32);
+        for s in summaries.iter() {
+            s.encode(&mut out);
+        }
+    }
+    let checksum = safeflow_util::hash::hash_bytes(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+type Tables = (Vec<(u64, ReplayEntry)>, Vec<(u64, Arc<Vec<Summary>>)>);
+
+fn decode_store(bytes: &[u8]) -> Option<Tables> {
+    // Checksum covers everything before the trailing 8 bytes.
+    if bytes.len() < MAGIC.len() + 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    if safeflow_util::hash::hash_bytes(body) != stored {
+        return None;
+    }
+    let mut r = ByteReader::new(body);
+    if r.take(MAGIC.len())? != MAGIC {
+        return None;
+    }
+    if r.u32()? != STORE_VERSION {
+        return None;
+    }
+    let mut manifests = Vec::new();
+    for _ in 0..r.len()? {
+        let key = r.u64()?;
+        let exit_code = r.u8()?;
+        let mut counters = BTreeMap::new();
+        for _ in 0..r.len()? {
+            let k = r.str()?;
+            let v = r.u64()?;
+            counters.insert(k, v);
+        }
+        let report_json = r.str()?;
+        let rendered = r.str()?;
+        manifests.push((key, ReplayEntry { exit_code, counters, report_json, rendered }));
+    }
+    let mut sccs = Vec::new();
+    for _ in 0..r.len()? {
+        let key = r.u64()?;
+        let members = r.len()?;
+        let mut vec = Vec::with_capacity(members);
+        for _ in 0..members {
+            vec.push(Summary::decode(&mut r)?);
+        }
+        sccs.push((key, Arc::new(vec)));
+    }
+    if !r.done() {
+        return None; // trailing garbage
+    }
+    Some((manifests, sccs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalysisConfig;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("safeflow-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_entry() -> ReplayEntry {
+        let mut counters = BTreeMap::new();
+        counters.insert("report.errors".to_string(), 2);
+        ReplayEntry {
+            exit_code: 2,
+            counters,
+            report_json: "{\"errors\": []}".to_string(),
+            rendered: "SafeFlow report\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = SummaryStore::open(&dir).unwrap();
+        assert!(!store.load_rejected());
+        assert_eq!(store.manifest(7), None);
+        store.save(7, sample_entry(), Vec::new()).unwrap();
+
+        let store2 = SummaryStore::open(&dir).unwrap();
+        assert!(!store2.load_rejected());
+        assert_eq!(store2.manifest(7), Some(&sample_entry()));
+        assert_eq!(store2.manifest(8), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_are_rejected_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let mut store = SummaryStore::open(&dir).unwrap();
+        store.save(7, sample_entry(), Vec::new()).unwrap();
+        let path = dir.join(STORE_FILE);
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip one byte anywhere: the checksum must catch it.
+        for i in [0usize, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[i] ^= 0x5a;
+            std::fs::write(&path, &bad).unwrap();
+            let s = SummaryStore::open(&dir).unwrap();
+            assert!(s.load_rejected(), "flipped byte {i} must reject");
+            assert_eq!(s.manifest(7), None);
+        }
+        // Truncations at every prefix length.
+        for cut in [0usize, 3, MAGIC.len(), good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            let s = SummaryStore::open(&dir).unwrap();
+            assert!(s.manifest(7).is_none(), "truncation to {cut} bytes must come up empty");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_invalidates_everything() {
+        let dir = tmp_dir("version");
+        let mut store = SummaryStore::open(&dir).unwrap();
+        store.save(7, sample_entry(), Vec::new()).unwrap();
+        let path = dir.join(STORE_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Patch the version field (right after the magic) and re-checksum
+        // so only the version differs.
+        let v = STORE_VERSION + 1;
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&v.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = safeflow_util::hash::hash_bytes(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let s = SummaryStore::open(&dir).unwrap();
+        assert!(s.load_rejected());
+        assert_eq!(s.manifest(7), None);
+        assert_eq!(s.scc_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_replaces_sccs_and_counts_invalidations() {
+        let dir = tmp_dir("invalidate");
+        let mut store = SummaryStore::open(&dir).unwrap();
+        let one = vec![(1u64, Arc::new(vec![Summary::default()]))];
+        store.save(7, sample_entry(), one).unwrap();
+
+        let mut store = SummaryStore::open(&dir).unwrap();
+        assert_eq!(store.scc_count(), 1);
+        let two = vec![
+            (2u64, Arc::new(vec![Summary::default()])),
+            (3u64, Arc::new(vec![Summary::default()])),
+        ];
+        let stats = store.save(8, sample_entry(), two).unwrap();
+        assert_eq!(stats.sccs_saved, 2);
+        assert_eq!(stats.sccs_invalidated, 1, "key 1 is no longer live");
+
+        let store = SummaryStore::open(&dir).unwrap();
+        assert_eq!(store.scc_count(), 2);
+        // Both manifests are retained (bounded by MAX_MANIFESTS).
+        assert!(store.manifest(7).is_some());
+        assert!(store.manifest(8).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_key_tracks_contents_and_config() {
+        let base = config_hash(&AnalysisConfig::default());
+        let files =
+            vec![("a.c".to_string(), "int x;".to_string()), ("b.h".to_string(), "".to_string())];
+        let k = manifest_key(base, "a.c", &files);
+        // Order-insensitive in the file list…
+        let mut rev = files.clone();
+        rev.reverse();
+        assert_eq!(k, manifest_key(base, "a.c", &rev));
+        // …but sensitive to contents, names, root, and config.
+        let edited =
+            vec![("a.c".to_string(), "int y;".to_string()), ("b.h".to_string(), "".to_string())];
+        assert_ne!(k, manifest_key(base, "a.c", &edited));
+        assert_ne!(k, manifest_key(base, "b.h", &files));
+        let other = config_hash(&AnalysisConfig::builder().entry("start").build_config());
+        assert_ne!(k, manifest_key(other, "a.c", &files));
+    }
+
+    #[test]
+    fn config_hash_ignores_jobs_but_sees_budget() {
+        let a = config_hash(&AnalysisConfig::default());
+        let b = config_hash(&AnalysisConfig::default().with_jobs(8));
+        assert_eq!(a, b, "jobs must not key the store (byte-identity across --jobs)");
+        let c = config_hash(
+            &AnalysisConfig::default()
+                .with_budget(crate::Budget { solver_steps: Some(10), ..Default::default() }),
+        );
+        assert_ne!(a, c);
+    }
+}

@@ -102,6 +102,106 @@ pub(crate) struct Summary {
 }
 
 impl Summary {
+    /// Serializes this summary for the persistent store (fixed-width
+    /// little-endian fields; see [`crate::store`] for the container
+    /// format). `decode` is the exact inverse; both live here because the
+    /// summary internals are private to this module.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        use crate::store::{put_str, put_u32, put_u8};
+        fn put_set(out: &mut Vec<u8>, set: &SymSet) {
+            put_u32(out, set.len() as u32);
+            for f in set {
+                let (tag, payload) = match f.sym {
+                    Sym::Param(i) => (0u8, i),
+                    Sym::Region(r) => (1, r.0),
+                    Sym::Obj(o) => (2, o.0),
+                    Sym::Recv => (3, 0),
+                    Sym::Unknown => (4, 0),
+                };
+                put_u8(out, tag);
+                put_u32(out, payload);
+                put_u8(out, f.ctl as u8);
+            }
+        }
+        fn put_span(out: &mut Vec<u8>, span: Span) {
+            put_u32(out, span.file.0);
+            put_u32(out, span.lo);
+            put_u32(out, span.hi);
+        }
+        put_set(out, &self.ret);
+        put_u32(out, self.region_reads.len() as u32);
+        for (span, region, func) in &self.region_reads {
+            put_span(out, *span);
+            put_u32(out, region.0);
+            put_str(out, func);
+        }
+        put_u32(out, self.sinks.len() as u32);
+        for sink in &self.sinks {
+            put_str(out, &sink.critical);
+            put_str(out, &sink.function);
+            put_span(out, sink.span);
+            put_set(out, &sink.sources);
+        }
+        put_u32(out, self.obj_writes.len() as u32);
+        for (obj, set) in &self.obj_writes {
+            put_u32(out, obj.0);
+            put_set(out, set);
+        }
+    }
+
+    /// Deserializes one summary; `None` on any malformed input (the store
+    /// reader treats that as a corrupt file and degrades to a cold run).
+    pub(crate) fn decode(r: &mut crate::store::ByteReader<'_>) -> Option<Summary> {
+        fn get_set(r: &mut crate::store::ByteReader<'_>) -> Option<SymSet> {
+            let mut set = SymSet::new();
+            for _ in 0..r.len()? {
+                let tag = r.u8()?;
+                let payload = r.u32()?;
+                let sym = match tag {
+                    0 => Sym::Param(payload),
+                    1 => Sym::Region(RegionId(payload)),
+                    2 => Sym::Obj(ObjId(payload)),
+                    3 => Sym::Recv,
+                    4 => Sym::Unknown,
+                    _ => return None,
+                };
+                set.insert(Fact { sym, ctl: r.u8()? != 0 });
+            }
+            Some(set)
+        }
+        fn get_span(r: &mut crate::store::ByteReader<'_>) -> Option<Span> {
+            let file = safeflow_syntax::span::FileId(r.u32()?);
+            let (lo, hi) = (r.u32()?, r.u32()?);
+            if lo > hi {
+                return None;
+            }
+            Some(Span { file, lo, hi })
+        }
+        let ret = get_set(r)?;
+        let mut region_reads = Vec::new();
+        for _ in 0..r.len()? {
+            let span = get_span(r)?;
+            let region = RegionId(r.u32()?);
+            let func = r.str()?;
+            region_reads.push((span, region, func));
+        }
+        let mut sinks = Vec::new();
+        for _ in 0..r.len()? {
+            let critical = r.str()?;
+            let function = r.str()?;
+            let span = get_span(r)?;
+            let sources = get_set(r)?;
+            sinks.push(Sink { critical, function, span, sources });
+        }
+        let mut obj_writes = BTreeMap::new();
+        for _ in 0..r.len()? {
+            let obj = ObjId(r.u32()?);
+            let set = get_set(r)?;
+            obj_writes.insert(obj, set);
+        }
+        Some(Summary { ret, region_reads, sinks, obj_writes })
+    }
+
     /// The conservative top summary substituted for a function whose
     /// analysis degraded: its return value depends on an unknown unsafe
     /// source. Its side effects (region reads, sinks, object writes) are
@@ -172,6 +272,7 @@ pub(crate) fn analyze_summaries(
         &assumed_of,
         metrics,
     );
+    cache.set_live(&hashes);
     let cached: Vec<Option<Arc<Vec<Summary>>>> =
         callgraph.sccs.iter().enumerate().map(|(i, scc)| cache.get(hashes[i], scc.len())).collect();
     // Per-run cache effectiveness: probes are a pure function of the
@@ -439,8 +540,8 @@ pub(crate) fn analyze_summaries(
                     Some(name) => config
                         .recv_functions
                         .iter()
-                        .filter(|(rname, _, _)| rname == name)
-                        .filter_map(|(_, _, buf_i)| args.get(*buf_i))
+                        .filter(|spec| spec.name == *name)
+                        .filter_map(|spec| args.get(spec.buf_arg))
                         .collect(),
                     None => Vec::new(),
                 },
@@ -648,7 +749,8 @@ pub(crate) fn analyze_summaries(
                 }
                 InstKind::Call { callee, args } => {
                     if let Some(name) = module.external_callee_name(callee) {
-                        for (cname, argi) in &config.implicit_critical_calls {
+                        for call in &config.implicit_critical_calls {
+                            let (cname, argi) = (&call.name, &call.arg);
                             if cname == name && args.get(*argi).is_some() {
                                 push_conservative_error(
                                     &mut errors,
@@ -991,7 +1093,8 @@ fn summarize_function(
                     InstKind::Call { callee, args } => {
                         if let Some(name) = module.external_callee_name(callee) {
                             let name = name.to_string();
-                            for (cname, argi) in &config.implicit_critical_calls {
+                            for call in &config.implicit_critical_calls {
+                                let (cname, argi) = (&call.name, &call.arg);
                                 if *cname == name {
                                     if let Some(arg) = args.get(*argi) {
                                         let mut aset = value_set(arg, &vals);
@@ -1007,13 +1110,13 @@ fn summarize_function(
                                     }
                                 }
                             }
-                            for (rname, sock_i, buf_i) in &config.recv_functions {
-                                if *rname == name {
-                                    let sock_noncore = args.get(*sock_i).is_some_and(|a| {
+                            for spec in &config.recv_functions {
+                                if spec.name == name {
+                                    let sock_noncore = args.get(spec.sock_arg).is_some_and(|a| {
                                         socket_is_noncore(func, a, noncore_sockets)
                                     });
                                     if sock_noncore {
-                                        if let Some(buf) = args.get(*buf_i) {
+                                        if let Some(buf) = args.get(spec.buf_arg) {
                                             for o in pt.points_to(fid, buf) {
                                                 s.obj_writes
                                                     .entry(o)

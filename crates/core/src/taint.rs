@@ -767,7 +767,8 @@ impl<'a> Engine<'a> {
                         }
                     }
                     if let Some(name) = self.module.external_callee_name(callee) {
-                        for (cname, argi) in &self.config.implicit_critical_calls {
+                        for call in &self.config.implicit_critical_calls {
+                            let (cname, argi) = (&call.name, &call.arg);
                             if cname == name && args.get(*argi).is_some() {
                                 outcome.errors.push(ErrorDependency {
                                     critical: format!("{name}:arg{argi}"),
@@ -778,9 +779,9 @@ impl<'a> Engine<'a> {
                                 });
                             }
                         }
-                        for (rname, _, buf_i) in &self.config.recv_functions {
-                            if rname == name {
-                                if let Some(buf) = args.get(*buf_i) {
+                        for spec in &self.config.recv_functions {
+                            if spec.name == *name {
+                                if let Some(buf) = args.get(spec.buf_arg) {
                                     for o in self.pt.points_to(fid, buf) {
                                         let e =
                                             self.obj_taint.entry(o).or_insert_with(Taint::clean);
@@ -820,7 +821,8 @@ impl<'a> Engine<'a> {
         if let Some(name) = self.module.external_callee_name(callee) {
             let name = name.to_string();
             // Implicit critical arguments (kill's pid).
-            for (cname, argi) in &self.config.implicit_critical_calls {
+            for call in &self.config.implicit_critical_calls {
+                let (cname, argi) = (&call.name, &call.arg);
                 if *cname == name {
                     if let Some(arg) = args.get(*argi) {
                         let mut at = value_taint(arg, taints, ctx);
@@ -849,13 +851,13 @@ impl<'a> Engine<'a> {
             }
             // recv-style calls over non-core sockets taint the buffer
             // (§3.4.3 extension).
-            for (rname, sock_i, buf_i) in &self.config.recv_functions {
-                if *rname == name {
+            for spec in &self.config.recv_functions {
+                if spec.name == name {
                     let sock_noncore = args
-                        .get(*sock_i)
+                        .get(spec.sock_arg)
                         .is_some_and(|s| self.socket_is_noncore(fid, func, s, taints));
                     if sock_noncore {
-                        if let Some(buf) = args.get(*buf_i) {
+                        if let Some(buf) = args.get(spec.buf_arg) {
                             let origin = FlowNode::source(
                                 format!("`{name}` received non-core data in `{}`", func.name),
                                 inst.span,

@@ -548,7 +548,9 @@ fn parse_errors_surface_as_analysis_error() {
     let err = Analyzer::new(AnalysisConfig::default())
         .analyze_source("bad.c", "int main( { return 0; }")
         .expect_err("must fail");
-    assert!(err.diags.has_errors());
+    let diags = err.diagnostics().expect("parse failures carry diagnostics");
+    assert!(diags.has_errors());
+    assert!(matches!(err, safeflow::AnalysisError::Parse { .. }));
 }
 
 /// Annotation counting: Table 1 reports annotation line counts; the report

@@ -1,0 +1,31 @@
+/* Root translation unit for the incremental-session demo
+ * (`make incremental-demo`). Contains a deliberate safe-value-flow
+ * violation: `main` forwards a raw shared-memory value to kill()'s pid
+ * argument through `helper` without monitoring it first (exit code 2). */
+
+#include "util.c"
+
+typedef struct { int control; } SHMData;
+SHMData *noncoreCtrl;
+void *shmat(int shmid, void *addr, int flags);
+void kill(int pid, int sig);
+
+void initComm(void)
+/** SafeFlow Annotation shminit */
+{
+    noncoreCtrl = (SHMData *) shmat(0, 0, 0);
+    /** SafeFlow Annotation
+        assume(shmvar(noncoreCtrl, sizeof(SHMData)))
+        assume(noncore(noncoreCtrl))
+    */
+}
+
+int main() {
+    int raw;
+    int pid;
+    initComm();
+    raw = noncoreCtrl->control;
+    pid = helper(raw);
+    kill(pid, 9);
+    return 0;
+}

@@ -1,0 +1,11 @@
+/* Utility translation unit for the incremental-session demo
+ * (`make incremental-demo`). Editing `helper` dirties only its SCC and
+ * its transitive callers; `monitorVal` replays from the store. */
+
+int monitorVal(int v) {
+    if (v > 100) { return 100; }
+    if (v < 0) { return 0; }
+    return v;
+}
+
+int helper(int x) { return x + 1; }
