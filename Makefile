@@ -7,7 +7,7 @@
 CARGO ?= cargo
 SAFEFLOW = target/release/safeflow
 
-.PHONY: all build test lint bench smoke metrics-demo incremental-demo fuzz-smoke golden clean
+.PHONY: all build test lint bench smoke oracle-smoke oracle-deep metrics-demo incremental-demo fuzz-smoke golden clean
 
 all: build
 
@@ -35,11 +35,27 @@ golden:
 fuzz-smoke:
 	FUZZ_CASES=2000 $(CARGO) test -q -p safeflow-syntax --test fuzz_smoke
 
+# Differential oracle, CI window: a fixed 32-seed sweep cross-checking
+# the parallel, warm-cache, store-replay, and incremental configurations
+# against the naive reference analyzer. Exit 0 = zero divergences; the
+# oracle's own output is byte-identical across runs and --jobs (locked by
+# crates/cli/tests/cli.rs).
+oracle-smoke: build
+	$(SAFEFLOW) oracle --seeds 0..32
+	@echo "oracle-smoke OK: 32 seeds, zero divergences"
+
+# Wider overnight sweep with minimization: any divergence is shrunk and
+# written under /tmp/safeflow-oracle-repros for triage (promote keepers
+# into tests/oracle-repros/).
+oracle-deep: build
+	$(SAFEFLOW) oracle --seeds 0..512 --minimize --repro-dir /tmp/safeflow-oracle-repros
+	@echo "oracle-deep OK: 512 seeds, zero divergences"
+
 # Lint + build + test + determinism at two thread counts: the summary
 # engine's corpus reports must be byte-identical at --jobs 1 and --jobs 8.
 # (The `--format json` byte-identity contract, with volatile metric
 # sections stripped, is covered by crates/core/tests/observability.rs.)
-smoke: lint build test
+smoke: lint build test oracle-smoke
 	$(SAFEFLOW) --engine summary --jobs 1 --fig2 > /tmp/safeflow-smoke-j1.txt || true
 	$(SAFEFLOW) --engine summary --jobs 8 --fig2 > /tmp/safeflow-smoke-j8.txt || true
 	cmp /tmp/safeflow-smoke-j1.txt /tmp/safeflow-smoke-j8.txt

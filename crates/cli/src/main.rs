@@ -3,6 +3,8 @@
 //! ```text
 //! safeflow FILE.c [FILE2.c ...]    analyze C sources (first file is the root)
 //! safeflow check FILES --store DIR incremental analysis against a summary store
+//! safeflow oracle --seeds A..B     differential oracle: cross-check optimized
+//!                                  engines against the reference analyzer
 //! safeflow --table1                regenerate the paper's Table 1 on the corpus
 //! safeflow --fig2                  analyze the paper's Figure 2 running example
 //! safeflow --engine summary ...    use the ESP-style summary engine
@@ -83,10 +85,15 @@ fn run() -> ExitCode {
     let mut store_dir: Option<String> = None;
     let mut engine_set = false;
 
-    // `check` is a subcommand: it must come first, before any file.
+    // `check` and `oracle` are subcommands: they must come first, before
+    // any file.
     let check_mode = args.first().map(String::as_str) == Some("check");
     if check_mode {
         args.remove(0);
+    }
+    if !check_mode && args.first().map(String::as_str) == Some("oracle") {
+        args.remove(0);
+        return run_oracle(&args);
     }
 
     let mut i = 0;
@@ -333,6 +340,84 @@ fn run_check(
     }
 }
 
+/// The `oracle` subcommand: generate seeded programs and cross-check every
+/// optimized engine configuration against the naive reference analyzer.
+/// Exit 0 = every configuration agreed, 2 = at least one divergence (or
+/// bad arguments).
+fn run_oracle(args: &[String]) -> ExitCode {
+    let mut opts = safeflow_oracle::OracleOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    return usage_error("--seeds requires an argument (e.g. 0..32)");
+                };
+                match parse_seed_range(spec) {
+                    Ok((lo, hi)) => {
+                        opts.seed_lo = lo;
+                        opts.seed_hi = hi;
+                    }
+                    Err(e) => return usage_error(&format!("--seeds: {e}")),
+                }
+            }
+            "--minimize" => opts.minimize = true,
+            "--repro-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => opts.repro_dir = Some(std::path::PathBuf::from(dir)),
+                    None => return usage_error("--repro-dir requires a directory argument"),
+                }
+            }
+            "--jobs" | "-j" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("auto") => opts.jobs = safeflow_util::pool::default_jobs(),
+                    Some(n) => match n.parse::<usize>() {
+                        Ok(n) if n >= 1 => opts.jobs = n,
+                        _ => {
+                            return usage_error(&format!(
+                                "--jobs takes a positive integer or `auto`, got {n:?}"
+                            ))
+                        }
+                    },
+                    None => {
+                        return usage_error(
+                            "--jobs requires an argument (a thread count or `auto`)",
+                        )
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("oracle: unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.seed_lo >= opts.seed_hi {
+        return usage_error("--seeds range is empty (use LO..HI with LO < HI)");
+    }
+    let report = safeflow_oracle::run(&opts);
+    print!("{}", report.render());
+    ExitCode::from(report.exit_code())
+}
+
+/// Parses a `--seeds` spec: `LO..HI` (half-open) or a single seed `N`
+/// (meaning `N..N+1`).
+fn parse_seed_range(spec: &str) -> Result<(u64, u64), String> {
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let lo = lo.parse::<u64>().map_err(|_| format!("`{lo}` is not a seed number"))?;
+        let hi = hi.parse::<u64>().map_err(|_| format!("`{hi}` is not a seed number"))?;
+        Ok((lo, hi))
+    } else {
+        let n = spec.parse::<u64>().map_err(|_| format!("`{spec}` is not a seed number"))?;
+        Ok((n, n + 1))
+    }
+}
+
 /// Parses a `--budget` spec (`key=value[,key=value...]`) into `budget`.
 /// Keys: `solver-steps`, `fixpoint-rounds`, `max-insts`, `deadline-ms`.
 fn parse_budget(spec: &str, budget: &mut Budget) -> Result<(), String> {
@@ -417,6 +502,7 @@ fn parse_fault_seed(spec: &str) -> Result<(u64, f64), String> {
 const USAGE: &str = "USAGE:\n\
      \x20 safeflow [OPTIONS] FILE.c [FILE2.c ...]\n\
      \x20 safeflow check [OPTIONS] FILE.c [FILE2.c ...] [--store DIR]\n\
+     \x20 safeflow oracle --seeds A..B [--minimize] [--repro-dir DIR] [--jobs N]\n\
      \x20 safeflow --table1 | --fig2\n\
      (run `safeflow --help` for the full option list)";
 
@@ -427,6 +513,7 @@ fn print_help() {
          USAGE:\n\
          \x20 safeflow [OPTIONS] FILE.c [FILE2.c ...]\n\
          \x20 safeflow check [OPTIONS] FILE.c [FILE2.c ...] [--store DIR]\n\
+         \x20 safeflow oracle --seeds A..B [--minimize] [--repro-dir DIR] [--jobs N]\n\
          \x20 safeflow --table1 | --fig2\n\
          \n\
          The `check` subcommand runs an incremental session: with --store,\n\
@@ -434,6 +521,14 @@ fn print_help() {
          (plus their transitive callers) re-analyze, and an unchanged\n\
          input replays the stored report without re-analyzing anything.\n\
          `check` defaults to the summary engine.\n\
+         \n\
+         The `oracle` subcommand generates seeded annotation-bearing\n\
+         programs and cross-checks the parallel, warm-cache, store-replay,\n\
+         and incremental engine configurations against the naive reference\n\
+         analyzer; any report difference (modulo the observability\n\
+         contract's stripped sections) is a divergence. --minimize shrinks\n\
+         divergent programs; --repro-dir writes them out. Exit 0 = all\n\
+         configurations agree, 2 = divergence.\n\
          \n\
          OPTIONS:\n\
          \x20 --store DIR                persistent summary store (check only);\n\

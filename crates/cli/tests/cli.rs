@@ -200,3 +200,44 @@ fn parse_error_exits_2() {
     let out = safeflow().arg(path.to_str().unwrap()).output().expect("runs");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn oracle_subcommand_agrees_and_is_byte_identical_across_runs_and_jobs() {
+    let run = |jobs: &str| {
+        let out =
+            safeflow().args(["oracle", "--seeds", "0..32", "--jobs", jobs]).output().expect("runs");
+        assert_eq!(out.status.code(), Some(0), "oracle found a divergence");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run("2");
+    assert!(first.contains("32 seed(s), 128 comparison(s), 0 divergence(s)"), "{first}");
+    // Byte-identical across repeated runs and across worker-thread counts:
+    // the oracle's own output participates in the determinism contract.
+    assert_eq!(run("2"), first, "oracle output changed between identical runs");
+    assert_eq!(run("8"), first, "oracle output changed with --jobs");
+}
+
+#[test]
+fn oracle_single_seed_and_minimize_flags_are_accepted() {
+    let out = safeflow().args(["oracle", "--seeds", "7", "--minimize"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("seeds 7..8"), "{text}");
+}
+
+#[test]
+fn oracle_rejects_bad_seed_ranges() {
+    for bad in [vec!["oracle", "--seeds", "9..3"], vec!["oracle", "--seeds", "x..y"]] {
+        let out = safeflow().args(&bad).output().expect("runs");
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("USAGE"), "{err}");
+    }
+}
+
+#[test]
+fn oracle_help_mentions_subcommand() {
+    let out = safeflow().arg("--help").output().expect("runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("safeflow oracle --seeds"), "{text}");
+}

@@ -43,7 +43,7 @@ impl Budget {
 /// treats the pid argument of `kill` this way, §3.1/§4): every value
 /// flowing into `args[arg]` at a call to `name` must be monitored, exactly
 /// as if it carried an `assert(safe(...))`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct CriticalCall {
     /// External function name.
     pub name: String,
@@ -61,7 +61,7 @@ impl CriticalCall {
 /// A message-receive library call for the §3.4.3 extension: `recv(sock,
 /// buf, ...)`-shaped functions whose buffer is tainted when the descriptor
 /// argument reads from a non-core socket.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct RecvSpec {
     /// External function name (`recv`, `read`, ...).
     pub name: String,
@@ -164,6 +164,36 @@ impl AnalysisConfig {
         AnalysisConfig { engine, ..AnalysisConfig::default() }
     }
 
+    /// The differential-oracle **reference** configuration: the summary
+    /// engine run in its most naive shape — single-threaded (`jobs = 1`),
+    /// unlimited budget, no fault plan. "Cache-free" and "store-free" are
+    /// usage conventions on top of this: oracle reference runs use a fresh
+    /// `Analyzer` per program (so the in-memory summary cache is always
+    /// cold) and never attach a persistent store. Every optimized
+    /// configuration (`--jobs N`, warm cache, store replay, dirty-region
+    /// incremental) must reproduce this configuration's report byte for
+    /// byte under the observability contract.
+    pub fn reference() -> Self {
+        AnalysisConfig::with_engine(Engine::Summary).normalized()
+    }
+
+    /// This configuration with its external-function lists sorted and
+    /// deduplicated. Two configurations that differ only in list *order*
+    /// are semantically identical; normalizing makes them structurally
+    /// identical too, so store manifest keys and summary content hashes
+    /// cannot diverge on flag order.
+    pub fn normalized(mut self) -> Self {
+        self.implicit_critical_calls.sort();
+        self.implicit_critical_calls.dedup();
+        self.dealloc_functions.sort();
+        self.dealloc_functions.dedup();
+        self.shm_attach_functions.sort();
+        self.shm_attach_functions.dedup();
+        self.recv_functions.sort();
+        self.recv_functions.dedup();
+        self
+    }
+
     /// This configuration with `jobs` worker threads (builder-style;
     /// `0` is clamped to `1`).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
@@ -255,9 +285,12 @@ impl AnalyzerBuilder {
         self
     }
 
-    /// The finished configuration.
+    /// The finished configuration, with external-function lists
+    /// sort-normalized (see [`AnalysisConfig::normalized`]) so the order
+    /// the setters were called in cannot leak into store manifest keys or
+    /// summary content hashes.
     pub fn build_config(self) -> AnalysisConfig {
-        self.config
+        self.config.normalized()
     }
 }
 
@@ -298,6 +331,56 @@ mod tests {
         let c = AnalysisConfig::with_engine(Engine::Summary);
         assert_eq!(c.engine, Engine::Summary);
         assert_eq!(c.entry, "main");
+    }
+
+    #[test]
+    fn builder_normalizes_list_order() {
+        let forward = AnalysisConfig::builder()
+            .critical_call(CriticalCall::new("reboot", 1))
+            .critical_call(CriticalCall::new("abort", 0))
+            .recv_function(RecvSpec::new("recvfrom", 0, 1))
+            .recv_function(RecvSpec::new("mq_receive", 0, 1))
+            .build_config();
+        let backward = AnalysisConfig::builder()
+            .recv_function(RecvSpec::new("mq_receive", 0, 1))
+            .recv_function(RecvSpec::new("recvfrom", 0, 1))
+            .critical_call(CriticalCall::new("abort", 0))
+            .critical_call(CriticalCall::new("reboot", 1))
+            .build_config();
+        assert_eq!(forward.implicit_critical_calls, backward.implicit_critical_calls);
+        assert_eq!(forward.recv_functions, backward.recv_functions);
+        let mut sorted = forward.implicit_critical_calls.clone();
+        sorted.sort();
+        assert_eq!(forward.implicit_critical_calls, sorted);
+    }
+
+    #[test]
+    fn normalized_sorts_and_dedups_every_list() {
+        let c = AnalysisConfig {
+            dealloc_functions: vec!["z".into(), "a".into(), "z".into()],
+            shm_attach_functions: vec!["shmat".into(), "attach2".into(), "attach2".into()],
+            implicit_critical_calls: vec![
+                CriticalCall::new("kill", 1),
+                CriticalCall::new("kill", 0),
+            ],
+            ..Default::default()
+        }
+        .normalized();
+        assert_eq!(c.dealloc_functions, vec!["a".to_string(), "z".to_string()]);
+        assert_eq!(c.shm_attach_functions, vec!["attach2".to_string(), "shmat".to_string()]);
+        assert_eq!(
+            c.implicit_critical_calls,
+            vec![CriticalCall::new("kill", 0), CriticalCall::new("kill", 1)]
+        );
+    }
+
+    #[test]
+    fn reference_is_single_threaded_summary() {
+        let c = AnalysisConfig::reference();
+        assert_eq!(c.engine, Engine::Summary);
+        assert_eq!(c.jobs, 1);
+        assert!(c.budget.is_unlimited());
+        assert!(c.fault_plan.is_none());
     }
 
     #[test]

@@ -198,11 +198,17 @@ fn env_hash(
         h.write_str(&g.name);
     }
     h.write_u8(config.track_control_dependence as u8);
-    for call in &config.implicit_critical_calls {
+    // Sorted: list order is not semantic, and summary content hashes must
+    // agree between configs that differ only in flag order.
+    let mut calls: Vec<_> = config.implicit_critical_calls.iter().collect();
+    calls.sort();
+    for call in calls {
         h.write_str(&call.name);
         h.write_usize(call.arg);
     }
-    for spec in &config.recv_functions {
+    let mut recvs: Vec<_> = config.recv_functions.iter().collect();
+    recvs.sort();
+    for spec in recvs {
         h.write_str(&spec.name);
         h.write_usize(spec.sock_arg);
         h.write_usize(spec.buf_arg);
@@ -392,5 +398,23 @@ mod tests {
         let a = env_hash(&m, &regions, &base, &BTreeSet::new());
         let b = env_hash(&m, &regions, &flipped, &BTreeSet::new());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn env_hash_ignores_list_order() {
+        // Same configuration, lists spelled in a different order: summary
+        // content hashes must agree or warm-cache runs recompute every SCC.
+        let pr = parse_source("t.c", PROG);
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        let regions = extract_regions(&m, &["shmat".to_string()], &mut diags);
+        let mut base = AnalysisConfig::default();
+        base.implicit_critical_calls.push(crate::CriticalCall::new("reboot", 1));
+        let mut shuffled = base.clone();
+        shuffled.implicit_critical_calls.reverse();
+        shuffled.recv_functions.reverse();
+        let a = env_hash(&m, &regions, &base, &BTreeSet::new());
+        let b = env_hash(&m, &regions, &shuffled, &BTreeSet::new());
+        assert_eq!(a, b);
     }
 }

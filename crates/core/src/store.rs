@@ -188,19 +188,31 @@ pub(crate) fn config_hash(config: &crate::AnalysisConfig) -> u64 {
     h.write_str(&config.entry);
     h.write_usize(config.max_contexts);
     h.write_u8(config.track_control_dependence as u8);
-    for call in &config.implicit_critical_calls {
+    // Hash the external-function lists in sorted order: configurations
+    // that differ only in list order are the same configuration, and a
+    // warm `safeflow check` must not miss replay over flag order. The
+    // builder normalizes too, but hand-built configs reach here unsorted.
+    let mut calls: Vec<_> = config.implicit_critical_calls.iter().collect();
+    calls.sort();
+    for call in calls {
         h.write_str(&call.name);
         h.write_usize(call.arg);
     }
-    for spec in &config.recv_functions {
+    let mut recvs: Vec<_> = config.recv_functions.iter().collect();
+    recvs.sort();
+    for spec in recvs {
         h.write_str(&spec.name);
         h.write_usize(spec.sock_arg);
         h.write_usize(spec.buf_arg);
     }
-    for name in &config.dealloc_functions {
+    let mut deallocs: Vec<_> = config.dealloc_functions.iter().collect();
+    deallocs.sort();
+    for name in deallocs {
         h.write_str(name);
     }
-    for name in &config.shm_attach_functions {
+    let mut attaches: Vec<_> = config.shm_attach_functions.iter().collect();
+    attaches.sort();
+    for name in attaches {
         h.write_str(name);
     }
     let b = &config.budget;
@@ -519,5 +531,29 @@ mod tests {
                 .with_budget(crate::Budget { solver_steps: Some(10), ..Default::default() }),
         );
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn config_hash_ignores_list_order() {
+        // Regression: external-function lists used to be hashed in the
+        // order given, so the same configuration spelled with flags in a
+        // different order missed warm replay.
+        use crate::{CriticalCall, RecvSpec};
+        let a = AnalysisConfig {
+            implicit_critical_calls: vec![CriticalCall::new("kill", 0), CriticalCall::new("rb", 1)],
+            recv_functions: vec![RecvSpec::new("recv", 0, 1), RecvSpec::new("read", 0, 1)],
+            dealloc_functions: vec!["shmdt".into(), "shmctl".into()],
+            shm_attach_functions: vec!["shmat".into(), "attach2".into()],
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        b.implicit_critical_calls.reverse();
+        b.recv_functions.reverse();
+        b.dealloc_functions.reverse();
+        b.shm_attach_functions.reverse();
+        assert_eq!(config_hash(&a), config_hash(&b), "list order must not key the store");
+        // Different *contents* still change the key.
+        b.implicit_critical_calls.push(CriticalCall::new("abort", 0));
+        assert_ne!(config_hash(&a), config_hash(&b));
     }
 }

@@ -129,6 +129,41 @@ fn warm_and_cold_runs_are_byte_identical_across_jobs() {
 }
 
 #[test]
+fn flag_order_does_not_affect_warm_hit_behavior_or_report_bytes() {
+    use safeflow::{CriticalCall, RecvSpec};
+    let dir = store_dir("flag-order");
+    let fs = two_unit_fs(UTIL_C);
+
+    // The same configuration, spelled with the list-valued flags in two
+    // different orders. A warm `safeflow check` must replay either way.
+    let forward = AnalysisConfig::builder()
+        .engine(Engine::Summary)
+        .critical_call(CriticalCall::new("reboot", 1))
+        .recv_function(RecvSpec::new("recvfrom", 0, 1))
+        .recv_function(RecvSpec::new("mq_receive", 0, 1))
+        .build_config();
+    let mut backward = AnalysisConfig::builder()
+        .engine(Engine::Summary)
+        .recv_function(RecvSpec::new("mq_receive", 0, 1))
+        .recv_function(RecvSpec::new("recvfrom", 0, 1))
+        .build_config();
+    // Insert the extra critical call *before* the default `kill` entry so
+    // even the pre-normalization vectors disagree on order.
+    backward.implicit_critical_calls.insert(0, CriticalCall::new("reboot", 1));
+    let backward = backward.normalized();
+
+    let cold = AnalysisSession::with_store(forward, &dir).unwrap().check("core.c", &fs).unwrap();
+    assert_eq!(cold.run, SessionRun::Analyzed);
+
+    let mut warm_session = AnalysisSession::with_store(backward, &dir).unwrap();
+    let warm = warm_session.check("core.c", &fs).unwrap();
+    assert_eq!(warm.run, SessionRun::Replayed, "flag order must not miss warm replay");
+    assert_eq!(warm.rendered, cold.rendered);
+    assert_eq!(stripped(&warm.report_json, true), stripped(&cold.report_json, true));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn warm_no_change_run_reanalyzes_zero_sccs() {
     let dir = store_dir("replay");
     let fs = two_unit_fs(UTIL_C);

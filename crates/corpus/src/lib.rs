@@ -25,6 +25,7 @@ mod fig2;
 mod generic;
 mod ip;
 pub mod noncore_gen;
+pub mod oracle_gen;
 pub mod synthetic;
 
 /// The paper's numbers for one Table 1 row.

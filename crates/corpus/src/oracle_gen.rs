@@ -1,0 +1,341 @@
+//! Seeded, annotation-bearing, multi-translation-unit program generator
+//! for the differential oracle (`crates/oracle`).
+//!
+//! Every program is derived from a single `u64` seed in two steps:
+//!
+//! 1. [`shape_for_seed`] draws an [`OracleShape`] — region count, helper
+//!    chain depth, monitor set, unit split, and which defect patterns to
+//!    include — from a [`Gen`] (the workspace's seeded property-test rng);
+//! 2. [`generate`] renders the shape to concrete C text, deterministically.
+//!
+//! Keeping the shape explicit (rather than generating text straight from
+//! the rng) is what makes divergence *minimization* possible: the oracle's
+//! minimizer shrinks a failing shape field by field via
+//! [`shrink_candidates`] and re-renders, instead of trying to edit C text.
+//!
+//! [`generate_variant`] renders the same shape with one helper constant
+//! changed — the "edited file" used to pre-populate a store so the oracle
+//! can exercise dirty-region incremental re-analysis.
+
+use safeflow_util::prop::Gen;
+
+/// One monitoring function in a generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleMonitor {
+    /// Index of the region this monitor reads.
+    pub region: usize,
+    /// Whether the monitor carries `assume(core(...))` for its region.
+    /// Unmonitored monitors produce warnings — and, through `main`'s
+    /// accumulator, unsafe critical data.
+    pub monitored: bool,
+}
+
+/// Shape of one generated oracle program. All fields are drawn from the
+/// seed; the minimizer shrinks them individually.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleShape {
+    /// Number of shared-memory regions (≥ 1).
+    pub regions: usize,
+    /// Depth of the shared helper call chain (≥ 1).
+    pub depth: usize,
+    /// Extra branches per helper (path-count pressure).
+    pub branches: usize,
+    /// The monitoring functions (≥ 1).
+    pub monitors: Vec<OracleMonitor>,
+    /// Whether `main` reads a region directly (an unmonitored read in the
+    /// entry function).
+    pub direct_read: bool,
+    /// Whether `main` passes region-derived data to `kill` (the paper's
+    /// implicit-critical-call pattern).
+    pub kill_call: bool,
+    /// Number of translation units (1–3): helpers and monitors move into
+    /// `#include`d files as the count grows.
+    pub units: usize,
+}
+
+impl OracleShape {
+    /// A deliberately tiny shape — the floor every [`shrink_candidates`]
+    /// chain terminates at.
+    pub fn minimal() -> OracleShape {
+        OracleShape {
+            regions: 1,
+            depth: 1,
+            branches: 0,
+            monitors: vec![OracleMonitor { region: 0, monitored: true }],
+            direct_read: false,
+            kill_call: false,
+            units: 1,
+        }
+    }
+}
+
+/// Draws the program shape for `seed`.
+pub fn shape_for_seed(seed: u64) -> OracleShape {
+    let mut g = Gen::new(seed ^ 0x0AC1_E5EE_D000);
+    let regions = g.usize(1, 5);
+    let depth = g.usize(1, 5);
+    let branches = g.usize(0, 4);
+    let monitors = (0..g.usize(1, 5))
+        .map(|_| OracleMonitor { region: g.usize(0, regions), monitored: g.chance(0.7) })
+        .collect();
+    OracleShape {
+        regions,
+        depth,
+        branches,
+        monitors,
+        direct_read: g.chance(0.4),
+        kill_call: g.chance(0.4),
+        units: g.usize(1, 4),
+    }
+}
+
+/// File names used by the generated program, root first.
+const ROOT: &str = "oracle_main.c";
+const UTIL: &str = "oracle_util.c";
+const MON: &str = "oracle_mon.c";
+
+/// Renders `shape` to its translation units (`(name, text)`, root first).
+pub fn generate(shape: &OracleShape) -> Vec<(String, String)> {
+    render(shape, false)
+}
+
+/// Renders `shape` with one helper constant changed — same file set and
+/// names, different content in the unit holding the helper chain. Checking
+/// the variant first and the [`generate`] output second against one store
+/// forces a dirty-region incremental re-analysis of the helpers and their
+/// transitive callers.
+pub fn generate_variant(shape: &OracleShape) -> Vec<(String, String)> {
+    render(shape, true)
+}
+
+/// Convenience: shape + render in one call.
+pub fn generate_for_seed(seed: u64) -> Vec<(String, String)> {
+    generate(&shape_for_seed(seed))
+}
+
+fn render(shape: &OracleShape, variant: bool) -> Vec<(String, String)> {
+    let regions = shape.regions.max(1);
+    let depth = shape.depth.max(1);
+    let units = shape.units.clamp(1, 3);
+    // The variant perturbs the helper chain's arithmetic only: one
+    // constant differs, everything else is byte-identical.
+    let mul = if variant { "1.046875" } else { "1.03125" };
+
+    let mut helpers = String::new();
+    for d in (0..depth).rev() {
+        helpers.push_str(&format!("float helper{d}(float x, int which) {{\n"));
+        helpers.push_str(&format!("    float acc;\n    acc = x * {mul} + 0.5;\n"));
+        for b in 0..shape.branches {
+            helpers.push_str(&format!(
+                "    if (which > {b}) {{ acc = acc + {b}.25; }} else {{ acc = acc - 0.125; }}\n"
+            ));
+        }
+        if d + 1 < depth {
+            helpers.push_str(&format!("    acc = acc + helper{}(acc, which + 1);\n", d + 1));
+        } else {
+            helpers.push_str("    acc = acc + reg0->v;\n");
+        }
+        helpers.push_str("    return acc;\n}\n\n");
+    }
+
+    let mut monitors = String::new();
+    for (m, mon) in shape.monitors.iter().enumerate() {
+        let r = mon.region.min(regions - 1);
+        monitors.push_str(&format!("float monitor{m}(float fallback)\n"));
+        if mon.monitored {
+            monitors.push_str(&format!(
+                "/** SafeFlow Annotation assume(core(reg{r}, 0, sizeof(Blk))) */\n"
+            ));
+        }
+        monitors.push_str("{\n");
+        monitors.push_str(&format!("    float v;\n    v = reg{r}->v;\n"));
+        monitors.push_str("    if (v > 5.0) return fallback;\n");
+        monitors.push_str("    if (v < 0.0 - 5.0) return fallback;\n");
+        monitors.push_str(&format!("    return v + helper0(v, {m});\n"));
+        monitors.push_str("}\n\n");
+    }
+
+    let mut root = String::new();
+    root.push_str("/* oracle-generated core component */\n");
+    root.push_str("typedef struct Blk { float v; int seq; int flag; int pad; } Blk;\n");
+    for r in 0..regions {
+        root.push_str(&format!("Blk *reg{r};\n"));
+    }
+    root.push_str("int shmget(int key, int size, int flags);\n");
+    root.push_str("void *shmat(int shmid, void *addr, int flags);\n");
+    root.push_str("void sink(float v);\n");
+    root.push_str("float source(void);\n");
+    if shape.kill_call {
+        root.push_str("void kill(int pid, int sig);\n");
+    }
+    root.push('\n');
+
+    root.push_str("void initShm(void)\n/** SafeFlow Annotation shminit */\n{\n");
+    root.push_str("    char *cursor;\n    int shmid;\n");
+    root.push_str(&format!("    shmid = shmget(77, {regions} * sizeof(Blk), 0);\n"));
+    root.push_str("    cursor = (char *) shmat(shmid, 0, 0);\n");
+    for r in 0..regions {
+        root.push_str(&format!("    reg{r} = (Blk *) cursor;\n"));
+        root.push_str("    cursor = cursor + sizeof(Blk);\n");
+    }
+    root.push_str("    /** SafeFlow Annotation\n");
+    for r in 0..regions {
+        root.push_str(&format!("        assume(shmvar(reg{r}, sizeof(Blk)))\n"));
+    }
+    for r in 0..regions {
+        root.push_str(&format!("        assume(noncore(reg{r}))\n"));
+    }
+    root.push_str("    */\n}\n\n");
+
+    let mut files: Vec<(String, String)> = Vec::new();
+    match units {
+        1 => {
+            root.push_str(&helpers);
+            root.push_str(&monitors);
+        }
+        2 => {
+            root.push_str(&format!("#include \"{UTIL}\"\n\n"));
+            let mut util = helpers;
+            util.push_str(&monitors);
+            files.push((UTIL.to_string(), util));
+        }
+        _ => {
+            root.push_str(&format!("#include \"{UTIL}\"\n"));
+            root.push_str(&format!("#include \"{MON}\"\n\n"));
+            files.push((UTIL.to_string(), helpers));
+            files.push((MON.to_string(), monitors));
+        }
+    }
+
+    root.push_str("int main() {\n    float u;\n    float s;\n");
+    if shape.kill_call {
+        root.push_str("    int pid;\n");
+    }
+    root.push_str("    initShm();\n    s = source();\n    u = 0.0;\n");
+    for m in 0..shape.monitors.len() {
+        root.push_str(&format!("    u = u + monitor{m}(s);\n"));
+    }
+    if shape.direct_read {
+        root.push_str(&format!("    u = u + reg{}->v;\n", regions - 1));
+    }
+    if shape.kill_call {
+        root.push_str(&format!("    pid = reg{}->seq;\n", regions - 1));
+        root.push_str("    kill(pid, 9);\n");
+    }
+    root.push_str("    /** SafeFlow Annotation assert(safe(u)) */\n");
+    root.push_str("    sink(u);\n    return 0;\n}\n");
+
+    files.insert(0, (ROOT.to_string(), root));
+    files
+}
+
+/// One-step-smaller shapes, in the deterministic order the minimizer tries
+/// them: structural shrinks (fewer units, shallower chain, fewer monitors,
+/// fewer regions, fewer branches) before feature removals.
+pub fn shrink_candidates(shape: &OracleShape) -> Vec<OracleShape> {
+    let mut out = Vec::new();
+    if shape.units > 1 {
+        out.push(OracleShape { units: shape.units - 1, ..shape.clone() });
+    }
+    if shape.depth > 1 {
+        out.push(OracleShape { depth: shape.depth - 1, ..shape.clone() });
+    }
+    if shape.monitors.len() > 1 {
+        let mut s = shape.clone();
+        s.monitors.pop();
+        out.push(s);
+    }
+    if shape.regions > 1 {
+        let mut s = shape.clone();
+        s.regions -= 1;
+        for m in &mut s.monitors {
+            m.region = m.region.min(s.regions - 1);
+        }
+        out.push(s);
+    }
+    if shape.branches > 0 {
+        out.push(OracleShape { branches: shape.branches - 1, ..shape.clone() });
+    }
+    if shape.direct_read {
+        out.push(OracleShape { direct_read: false, ..shape.clone() });
+    }
+    if shape.kill_call {
+        out.push(OracleShape { kill_call: false, ..shape.clone() });
+    }
+    if let Some(pos) = shape.monitors.iter().position(|m| !m.monitored) {
+        let mut s = shape.clone();
+        s.monitors[pos].monitored = true;
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_programs_are_deterministic() {
+        for seed in 0..64 {
+            assert_eq!(shape_for_seed(seed), shape_for_seed(seed));
+            assert_eq!(generate_for_seed(seed), generate_for_seed(seed));
+        }
+    }
+
+    #[test]
+    fn seeds_vary_the_shape() {
+        let shapes: Vec<OracleShape> = (0..32).map(shape_for_seed).collect();
+        assert!(shapes.iter().any(|s| s.units > 1), "some programs must be multi-TU");
+        assert!(shapes.iter().any(|s| s.units == 1));
+        assert!(shapes.iter().any(|s| s.kill_call));
+        assert!(shapes.iter().any(|s| s.monitors.iter().any(|m| !m.monitored)));
+    }
+
+    #[test]
+    fn unit_count_controls_file_set() {
+        let mut s = OracleShape::minimal();
+        assert_eq!(generate(&s).len(), 1);
+        s.units = 2;
+        let files = generate(&s);
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0].0, "oracle_main.c");
+        assert!(files[0].1.contains("#include \"oracle_util.c\""));
+        s.units = 3;
+        assert_eq!(generate(&s).len(), 3);
+    }
+
+    #[test]
+    fn variant_differs_only_in_the_helper_unit() {
+        let mut s = shape_for_seed(7);
+        s.units = 3;
+        let a = generate(&s);
+        let b = generate_variant(&s);
+        assert_eq!(a.len(), b.len());
+        for ((an, at), (bn, bt)) in a.iter().zip(&b) {
+            assert_eq!(an, bn);
+            if an == "oracle_util.c" {
+                assert_ne!(at, bt, "helper unit must differ");
+            } else {
+                assert_eq!(at, bt, "{an} must be identical");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller_and_terminate() {
+        let mut shape = shape_for_seed(3);
+        let mut steps = 0;
+        loop {
+            let cands = shrink_candidates(&shape);
+            match cands.into_iter().next() {
+                Some(next) => {
+                    shape = next;
+                    steps += 1;
+                    assert!(steps < 100, "shrinking must terminate");
+                }
+                None => break,
+            }
+        }
+        assert_eq!(shape, OracleShape::minimal());
+    }
+}

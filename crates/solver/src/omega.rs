@@ -383,10 +383,13 @@ fn solve(
             return solve(new_cs, next_var, depth + 1, limits, stats);
         }
         // Pugh's modulo trick: shrink coefficients with a fresh variable.
-        let (k, ak) = eq
-            .terms()
-            .min_by_key(|(_, c)| c.abs())
-            .expect("equality with no vars was handled in normalize");
+        let Some((k, ak)) = choose_modulo_pivot(&eq) else {
+            // A variable-free equality here means normalize was bypassed
+            // (e.g. substitution degenerated the system); degrade instead
+            // of panicking — Unknown is always a sound answer.
+            stats.early_exits += 1;
+            return Feasibility::Unknown;
+        };
         // Ensure positive pivot coefficient by negating if needed.
         let eq = if ak < 0 { eq.scaled(-1) } else { eq };
         let ak = eq.coeff(k);
@@ -534,6 +537,15 @@ fn solve(
         }
     }
     Feasibility::Unsat
+}
+
+/// Picks the pivot for Pugh's modulo trick: the variable of `eq` with the
+/// smallest |coefficient|. `None` when the equality has no variables left —
+/// callers must degrade to [`Feasibility::Unknown`] rather than assume
+/// `normalize` already removed the constraint (a degenerate equality can be
+/// produced by substitution after normalization ran).
+fn choose_modulo_pivot(eq: &LinExpr) -> Option<(Var, i64)> {
+    eq.terms().min_by_key(|(_, c)| c.abs())
 }
 
 /// Picks the Fourier–Motzkin elimination variable minimizing the
@@ -804,6 +816,35 @@ mod tests {
         assert!(choose_elimination_var(&[], &[]).is_none());
         let cs = [C::Ge(LinExpr::constant(1))];
         assert!(choose_elimination_var(&[], &cs).is_none());
+    }
+
+    #[test]
+    fn modulo_pivot_with_no_vars_is_none() {
+        // Regression: the equality-elimination pivot used to be
+        // `.expect("equality with no vars was handled in normalize")`,
+        // which panics on a variable-free equality; the extracted helper
+        // must report the case so `solve` degrades to Unknown instead.
+        assert!(choose_modulo_pivot(&LinExpr::constant(0)).is_none());
+        assert!(choose_modulo_pivot(&LinExpr::constant(7)).is_none());
+        let (k, ak) = choose_modulo_pivot(&LinExpr::term(Var(0), -3)).expect("has a var");
+        assert_eq!((k, ak), (Var(0), -3));
+    }
+
+    #[test]
+    fn degenerate_equalities_never_panic_solve() {
+        // Variable-free equalities anywhere in the system must be absorbed
+        // (0 = 0 is vacuous, 0 = c contradictory) — never routed into the
+        // modulo-pivot, which used to panic on them.
+        let mut next_var = 0u32;
+        let mut stats = SolveStats::default();
+        let cs = vec![C::Eq(LinExpr::constant(0)), C::Eq(LinExpr::term(Var(0), 2))];
+        let f = solve(cs, &mut next_var, 0, &SolverLimits::default(), &mut stats);
+        assert_eq!(f, Feasibility::Sat);
+
+        let cs = vec![C::Eq(LinExpr::constant(7))];
+        let f = solve(cs, &mut next_var, 0, &SolverLimits::default(), &mut stats);
+        assert_eq!(f, Feasibility::Unsat);
+        assert_eq!(stats.early_exits, 0, "{stats:?}");
     }
 
     #[test]

@@ -133,6 +133,16 @@ impl Annotation {
     pub fn is_function_level(&self) -> bool {
         !matches!(self, Annotation::AssertSafe { .. })
     }
+
+    fn set_span(&mut self, new: Span) {
+        match self {
+            Annotation::AssumeCore { span, .. }
+            | Annotation::AssertSafe { span, .. }
+            | Annotation::ShmInit { span }
+            | Annotation::ShmVar { span, .. }
+            | Annotation::Noncore { span, .. } => *span = new,
+        }
+    }
 }
 
 /// Parses the body of one annotation comment into its annotations.
@@ -160,8 +170,12 @@ pub fn parse_annotation_body(
         if parser.eat_punct(Punct::Semi) || parser.eat_punct(Punct::Comma) {
             continue;
         }
+        let start = parser.pos;
         match parser.parse_one() {
-            Some(a) => out.push(a),
+            Some(mut a) => {
+                a.set_span(parser.real_span(start));
+                out.push(a);
+            }
             None => break,
         }
     }
@@ -192,6 +206,36 @@ impl<'d> AnnParser<'d> {
         matches!(self.peek(), TokenKind::Eof)
     }
 
+    /// Maps a synthetic-file offset range back into the real source file.
+    ///
+    /// The sub-lexed body is a verbatim substring of the real file whose
+    /// first byte sits at `self.span.lo` (the lexer's annotation-token span
+    /// covers exactly the payload text), so the mapping is a plain offset
+    /// shift. Dummy base spans (unit tests parse bodies with no backing
+    /// file) stay dummy.
+    fn map_to_real(&self, lo: u32, hi: u32) -> Span {
+        if self.span.is_dummy() {
+            return self.span;
+        }
+        Span::new(self.span.file, self.span.lo + lo, (self.span.lo + hi).min(self.span.hi))
+    }
+
+    /// The real-file span of the annotation that started at token index
+    /// `start` and ran through the last consumed token.
+    fn real_span(&self, start: usize) -> Span {
+        let lo = self.tokens[start.min(self.tokens.len() - 1)].span.lo;
+        let last = self.pos.saturating_sub(1).max(start).min(self.tokens.len() - 1);
+        let hi = self.tokens[last].span.hi.max(lo);
+        self.map_to_real(lo, hi)
+    }
+
+    /// The real-file span of the current token — the anchor for syntax
+    /// errors inside the annotation body.
+    fn here(&self) -> Span {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        self.map_to_real(t.span.lo, t.span.hi)
+    }
+
     fn eat_punct(&mut self, p: Punct) -> bool {
         if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
             self.bump();
@@ -206,7 +250,7 @@ impl<'d> AnnParser<'d> {
             true
         } else {
             self.diags.error(
-                self.span,
+                self.here(),
                 format!(
                     "malformed SafeFlow annotation: expected `{}`, found {}",
                     p.as_str(),
@@ -218,11 +262,12 @@ impl<'d> AnnParser<'d> {
     }
 
     fn expect_ident(&mut self) -> Option<String> {
+        let at = self.here();
         match self.bump() {
             TokenKind::Ident(s) => Some(s),
             other => {
                 self.diags.error(
-                    self.span,
+                    at,
                     format!(
                         "malformed SafeFlow annotation: expected identifier, found {}",
                         other.describe()
@@ -247,7 +292,7 @@ impl<'d> AnnParser<'d> {
                 let inner = self.expect_ident()?;
                 if inner != "safe" {
                     self.diags.error(
-                        self.span,
+                        self.here(),
                         format!("assert annotations only support `safe(x)`, found `{inner}`"),
                     );
                     return None;
@@ -267,7 +312,7 @@ impl<'d> AnnParser<'d> {
             }
             other => {
                 self.diags.error(
-                    self.span,
+                    self.here(),
                     format!(
                         "unknown SafeFlow annotation `{other}` (expected assume/assert/shminit)"
                     ),
@@ -306,7 +351,7 @@ impl<'d> AnnParser<'d> {
             }
             other => {
                 self.diags.error(
-                    self.span,
+                    self.here(),
                     format!("unknown assumption `{other}` (expected core/shmvar/noncore)"),
                 );
                 None
@@ -369,7 +414,7 @@ impl<'d> AnnParser<'d> {
                     TokenKind::Keyword(k) => k.as_str().to_string(),
                     other => {
                         self.diags.error(
-                            self.span,
+                            self.here(),
                             format!("malformed sizeof in annotation: found {}", other.describe()),
                         );
                         return None;
@@ -381,7 +426,7 @@ impl<'d> AnnParser<'d> {
             TokenKind::Ident(s) => Some(AnnExpr::Ident(s)),
             other => {
                 self.diags.error(
-                    self.span,
+                    self.here(),
                     format!("malformed annotation expression: found {}", other.describe()),
                 );
                 None
@@ -499,5 +544,73 @@ mod tests {
     fn multiple_annotations_with_separators() {
         let anns = parse_ok("assume(noncore(a)); assume(noncore(b))");
         assert_eq!(anns.len(), 2);
+    }
+
+    /// Lexes `src` as a real file and parses its (single) annotation
+    /// comment, returning the annotations plus the source map holding the
+    /// real file — the end-to-end path the parser proper uses.
+    fn parse_from_source(src: &str) -> (Vec<Annotation>, SourceMap) {
+        let mut sources = SourceMap::new();
+        let file = sources.add_file("fixture.c", src.to_string());
+        let mut diags = Diagnostics::new();
+        let toks = lex(file, src, &mut diags);
+        let (body, span) = toks
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::Annotation(b) => Some((b.clone(), t.span)),
+                _ => None,
+            })
+            .expect("fixture must contain an annotation");
+        let anns = parse_annotation_body(&body, span, &mut sources, &mut diags);
+        assert!(!diags.has_errors(), "{diags:?}");
+        (anns, sources)
+    }
+
+    #[test]
+    fn each_annotation_gets_its_own_real_span() {
+        let src = "/** SafeFlow Annotation\n    shminit\n    assume(noncore(ptr))\n*/";
+        let (anns, _) = parse_from_source(src);
+        assert_eq!(anns.len(), 2);
+        let snip = |s: Span| &src[s.lo as usize..s.hi as usize];
+        assert_eq!(snip(anns[0].span()), "shminit");
+        assert_eq!(snip(anns[1].span()), "assume(noncore(ptr))");
+    }
+
+    #[test]
+    fn crlf_and_tab_sources_agree_with_line_col() {
+        // CRLF endings and tab indentation: the annotation's span must
+        // resolve to the line/column of the annotation text itself.
+        let src =
+            "int x;\r\n/** SafeFlow Annotation\r\n\tassume(noncore(ptr))\r\n\tassert(safe(x))\r\n*/\r\n";
+        let (anns, sources) = parse_from_source(src);
+        assert_eq!(anns.len(), 2);
+        let f = sources.file(anns[0].span().file);
+        assert_eq!(f.name, "fixture.c");
+        // `assume` starts right after the tab on line 3: character column 2.
+        assert_eq!(f.line_col(anns[0].span().lo), (3, 2));
+        assert_eq!(f.line_col(anns[1].span().lo), (4, 2));
+        assert_eq!(sources.describe(anns[1].span()), "fixture.c:4:2");
+    }
+
+    #[test]
+    fn annotation_syntax_errors_point_inside_the_annotation() {
+        let src = "/** SafeFlow Annotation\r\n\tassume(noncore(42))\r\n*/";
+        let mut sources = SourceMap::new();
+        let file = sources.add_file("bad.c", src.to_string());
+        let mut diags = Diagnostics::new();
+        let toks = lex(file, src, &mut diags);
+        let (body, span) = toks
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::Annotation(b) => Some((b.clone(), t.span)),
+                _ => None,
+            })
+            .unwrap();
+        let _ = parse_annotation_body(&body, span, &mut sources, &mut diags);
+        assert!(diags.has_errors());
+        let err = diags.iter().find(|d| d.severity == crate::diag::Severity::Error).unwrap();
+        // The anchor is the offending `42` token in the real file, not the
+        // comment opener: line 2, character column 17 (after the tab).
+        assert_eq!(sources.describe(err.span), "bad.c:2:17");
     }
 }

@@ -65,13 +65,19 @@ impl Diagnostic {
             let (line, col) = file.line_col(self.span.lo);
             let text = file.line_text(line);
             out.push_str(&format!("\n    {line:>4} | {text}"));
+            // The pad mirrors the line prefix character-for-character, with
+            // tabs kept as tabs, so the caret lines up however wide the
+            // terminal renders a tab — and `col` is a *character* column
+            // (see `line_col`), so the cap must count chars, not bytes.
+            let pad: String = text
+                .chars()
+                .take(col as usize - 1)
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            let line_chars = text.chars().count();
             let caret_len = (self.span.len().max(1) as usize)
-                .min(text.len().saturating_sub(col as usize - 1).max(1));
-            out.push_str(&format!(
-                "\n         | {}{}",
-                " ".repeat(col as usize - 1),
-                "^".repeat(caret_len)
-            ));
+                .min(line_chars.saturating_sub(col as usize - 1).max(1));
+            out.push_str(&format!("\n         | {pad}{}", "^".repeat(caret_len)));
         }
         for (span, note) in &self.notes {
             out.push_str(&format!("\n    note: {} [{}]", note, sources.describe(*span)));
@@ -179,6 +185,31 @@ mod tests {
             .with_note(Span::new(f, 2, 3), "secondary");
         let rendered = diag.render(&sm);
         assert!(rendered.contains("note: secondary"));
+    }
+
+    #[test]
+    fn caret_pad_preserves_tabs_and_counts_chars() {
+        let mut sm = SourceMap::new();
+        // "\tµ x = 1;" — a tab, a 2-byte char, then `x` at byte 4 / char
+        // column 4. The pad must replay the tab (so the caret stays under
+        // `x` at any tab width) and count the 2-byte `µ` as one column.
+        let f = sm.add_file("t.c", "\t\u{b5} x = 1;\n");
+        let diag = Diagnostic::error(Span::new(f, 4, 5), "msg");
+        let rendered = diag.render(&sm);
+        let caret_line = rendered.lines().last().unwrap();
+        assert!(caret_line.ends_with("| \t  ^"), "got {caret_line:?}");
+    }
+
+    #[test]
+    fn caret_on_crlf_line_is_capped_to_visible_text() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t.c", "int bad\r\nint y;\r\n");
+        // Span runs to the end of line 1 (including the `\r`): the caret
+        // must not extend past the visible text.
+        let diag = Diagnostic::error(Span::new(f, 4, 8), "msg");
+        let rendered = diag.render(&sm);
+        let caret_line = rendered.lines().last().unwrap();
+        assert!(caret_line.ends_with("|     ^^^"), "got {caret_line:?}");
     }
 
     #[test]

@@ -191,8 +191,19 @@ impl<'a, 'd> Lexer<'a, 'd> {
             // The paper's examples close annotations with `/***/`; when the
             // lexer sees `... /***/` the trailing `/*` of that close belongs
             // to the body. Strip any trailing '/', '*' noise.
-            let payload = rest.trim().trim_end_matches(['*', '/']).trim().to_string();
-            return Some(Token::new(TokenKind::Annotation(payload), self.span_from(lo)));
+            let payload = rest.trim().trim_end_matches(['*', '/']).trim();
+            // The token's span covers the payload *text*, not the whole
+            // comment, so diagnostics point at the annotation itself. The
+            // payload is a verbatim (trim-only) substring of the file, so
+            // its byte offsets are recoverable by pointer arithmetic —
+            // which also keeps CRLF/tab leading trivia out of the span.
+            let span = if payload.is_empty() {
+                self.span_from(lo)
+            } else {
+                let plo = payload.as_ptr() as usize - self.bytes.as_ptr() as usize;
+                Span::new(self.file, plo as u32, (plo + payload.len()) as u32)
+            };
+            return Some(Token::new(TokenKind::Annotation(payload.to_string()), span));
         }
         None
     }
@@ -554,6 +565,39 @@ mod tests {
         let src = "/** SafeFlow Annotation assert(safe(output)) */ int x;";
         let toks = lex_ok(src);
         assert_eq!(toks[0], TokenKind::Annotation("assert(safe(output))".into()));
+    }
+
+    #[test]
+    fn annotation_span_covers_payload_not_comment() {
+        let src = "int x; /** SafeFlow Annotation assert(safe(x)) */";
+        let mut diags = Diagnostics::new();
+        let toks = lex(FileId(0), src, &mut diags);
+        let tok = toks.iter().find(|t| matches!(t.kind, TokenKind::Annotation(_))).unwrap();
+        assert_eq!(&src[tok.span.lo as usize..tok.span.hi as usize], "assert(safe(x))");
+    }
+
+    #[test]
+    fn annotation_span_is_exact_on_crlf_and_tab_sources() {
+        // CRLF line endings and tab indentation inside the comment: the
+        // token span must still cover exactly the payload text, so
+        // downstream `line_col` (character columns) points at the
+        // annotation, not at comment trivia.
+        let src = "\tint x;\r\n\t/** SafeFlow Annotation\r\n\t\tassert(safe(x))\r\n\t*/\r\n";
+        let mut diags = Diagnostics::new();
+        let toks = lex(FileId(0), src, &mut diags);
+        assert!(!diags.has_errors(), "{diags:?}");
+        let tok = toks.iter().find(|t| matches!(t.kind, TokenKind::Annotation(_))).unwrap();
+        assert_eq!(&src[tok.span.lo as usize..tok.span.hi as usize], "assert(safe(x))");
+    }
+
+    #[test]
+    fn empty_annotation_keeps_comment_span() {
+        let src = "/** SafeFlow Annotation */ int x;";
+        let mut diags = Diagnostics::new();
+        let toks = lex(FileId(0), src, &mut diags);
+        let tok = &toks[0];
+        assert_eq!(tok.kind, TokenKind::Annotation(String::new()));
+        assert_eq!((tok.span.lo, tok.span.hi), (0, 26));
     }
 
     #[test]

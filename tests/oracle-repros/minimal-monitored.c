@@ -1,0 +1,51 @@
+/* oracle-generated core component */
+typedef struct Blk { float v; int seq; int flag; int pad; } Blk;
+Blk *reg0;
+int shmget(int key, int size, int flags);
+void *shmat(int shmid, void *addr, int flags);
+void sink(float v);
+float source(void);
+
+void initShm(void)
+/** SafeFlow Annotation shminit */
+{
+    char *cursor;
+    int shmid;
+    shmid = shmget(77, 1 * sizeof(Blk), 0);
+    cursor = (char *) shmat(shmid, 0, 0);
+    reg0 = (Blk *) cursor;
+    cursor = cursor + sizeof(Blk);
+    /** SafeFlow Annotation
+        assume(shmvar(reg0, sizeof(Blk)))
+        assume(noncore(reg0))
+    */
+}
+
+float helper0(float x, int which) {
+    float acc;
+    acc = x * 1.03125 + 0.5;
+    acc = acc + reg0->v;
+    return acc;
+}
+
+float monitor0(float fallback)
+/** SafeFlow Annotation assume(core(reg0, 0, sizeof(Blk))) */
+{
+    float v;
+    v = reg0->v;
+    if (v > 5.0) return fallback;
+    if (v < 0.0 - 5.0) return fallback;
+    return v + helper0(v, 0);
+}
+
+int main() {
+    float u;
+    float s;
+    initShm();
+    s = source();
+    u = 0.0;
+    u = u + monitor0(s);
+    /** SafeFlow Annotation assert(safe(u)) */
+    sink(u);
+    return 0;
+}
