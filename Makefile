@@ -7,7 +7,24 @@
 CARGO ?= cargo
 SAFEFLOW = target/release/safeflow
 
-.PHONY: all build test lint bench smoke oracle-smoke oracle-deep metrics-demo incremental-demo fuzz-smoke golden clean
+.PHONY: all help build test lint bench bench-frontend smoke oracle-smoke oracle-deep metrics-demo incremental-demo fuzz-smoke golden clean
+
+# One line per target; kept in sync by hand when targets change.
+help:
+	@echo "SafeFlow make targets:"
+	@echo "  build            release build of the whole workspace"
+	@echo "  test             cargo test -q (full suite)"
+	@echo "  lint             rustfmt --check + clippy -D warnings"
+	@echo "  bench            paper-evaluation benches (cargo bench)"
+	@echo "  bench-frontend   frontend LOC/sec trajectory -> BENCH_pr6.json"
+	@echo "  fuzz-smoke       long parser/lexer robustness fuzz run"
+	@echo "  oracle-smoke     32-seed differential oracle (CI gate)"
+	@echo "  oracle-deep      512-seed oracle sweep with minimization"
+	@echo "  smoke            pre-merge gate: lint+build+test+determinism"
+	@echo "  metrics-demo     Table 1 with the observability layer on"
+	@echo "  incremental-demo incremental-session store lifecycle walk"
+	@echo "  golden           regenerate golden report snapshots"
+	@echo "  clean            cargo clean"
 
 all: build
 
@@ -23,6 +40,14 @@ lint:
 
 bench:
 	$(CARGO) bench -q -p safeflow-bench
+
+# Frontend throughput trajectory: measures parse / parse+lower+SSA /
+# end-to-end LOC/sec over the corpus and rewrites the checked-in
+# BENCH_pr6.json artifact (schema locked by crates/bench/tests/
+# bench_schema.rs). Pass BENCH_ARGS="--baseline OLD.json" to embed a
+# prior artifact's numbers for a before/after comparison.
+bench-frontend:
+	$(CARGO) run --release -q -p safeflow-bench --bin bench-frontend -- $(BENCH_ARGS)
 
 # Regenerate the golden report snapshots (clean + degraded) after an
 # intentional change.

@@ -1,0 +1,200 @@
+//! Frontend throughput trajectory bench (`make bench-frontend`).
+//!
+//! Measures cold frontend throughput in LOC/sec over the deterministic
+//! `safeflow-corpus` generators at three depths — parse only, parse +
+//! AST→IR lowering + SSA, and the full end-to-end analysis — and emits the
+//! result as a checked-in `BENCH_pr*.json` trajectory artifact so every
+//! future PR can extend the recorded perf history.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-frontend [--out PATH] [--baseline PATH] [--samples N] [--label S]
+//! ```
+//!
+//! `--baseline` embeds a previously emitted artifact's stage timings under
+//! `"baseline"` (used here to record the pre-refactor numbers next to the
+//! post-refactor ones, per ISSUE 6). Timings are wall-clock and therefore
+//! schedule-class: the artifact's `determinism` block says so explicitly,
+//! and nothing in the byte-identity contract reads this file.
+
+use safeflow::{AnalysisConfig, Analyzer};
+use safeflow_ir::build_module;
+use safeflow_syntax::diag::Diagnostics;
+use safeflow_syntax::parse_source;
+use safeflow_util::Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    samples: usize,
+    label: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_pr6.json".to_string(),
+        baseline: None,
+        samples: 15,
+        label: "arena+interned frontend".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().expect("--out PATH"),
+            "--baseline" => args.baseline = Some(it.next().expect("--baseline PATH")),
+            "--samples" => args.samples = it.next().expect("--samples N").parse().expect("number"),
+            "--label" => args.label = it.next().expect("--label S"),
+            other => panic!("unknown argument `{other}` (try --out/--baseline/--samples/--label)"),
+        }
+    }
+    if std::env::var("SAFEFLOW_BENCH_QUICK").is_ok() {
+        args.samples = args.samples.min(3);
+    }
+    args
+}
+
+/// One corpus program: a name and its annotated source.
+fn workload() -> Vec<(String, String)> {
+    let mut programs: Vec<(String, String)> = safeflow_corpus::systems()
+        .into_iter()
+        .map(|s| (s.core_file.to_string(), s.core_source.to_string()))
+        .collect();
+    programs.push(("fig2.c".to_string(), safeflow_corpus::figure2_example().to_string()));
+    programs
+}
+
+/// Runs `f` over every program `samples` times and returns the median,
+/// minimum and maximum of the per-sample total wall-clock nanoseconds.
+fn measure(samples: usize, mut f: impl FnMut()) -> (u64, u64, u64) {
+    let mut ns: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    ns.sort_unstable();
+    (ns[ns.len() / 2], ns[0], ns[ns.len() - 1])
+}
+
+fn loc_per_sec(loc: usize, median_ns: u64) -> u64 {
+    (loc as u128 * 1_000_000_000 / median_ns.max(1) as u128) as u64
+}
+
+fn stage_json(loc: usize, (median, min, max): (u64, u64, u64)) -> Json {
+    // The workspace Json model is integer-only (floats are rejected by the
+    // store-replay parser), so rates are rounded to whole LOC/sec.
+    let mut j = Json::obj();
+    j.set("median_ns", median);
+    j.set("min_ns", min);
+    j.set("max_ns", max);
+    j.set("loc_per_sec", loc_per_sec(loc, median));
+    j
+}
+
+fn main() {
+    let args = parse_args();
+    let programs = workload();
+    let loc: usize = programs.iter().map(|(_, src)| safeflow_corpus::count_loc(src)).sum();
+    let raw_lines: usize = programs.iter().map(|(_, src)| src.lines().count()).sum();
+
+    // Stage 1: preprocess + lex + parse.
+    let parse = measure(args.samples, || {
+        for (name, src) in &programs {
+            let r = parse_source(name, black_box(src));
+            assert!(!r.diags.has_errors(), "corpus program {name} must parse");
+            black_box(&r.unit);
+        }
+    });
+
+    // Stage 2: parse + AST→IR lowering + SSA construction.
+    let lower = measure(args.samples, || {
+        for (name, src) in &programs {
+            let r = parse_source(name, black_box(src));
+            let mut diags = Diagnostics::new();
+            let module = build_module(&r.unit, &mut diags);
+            black_box(module.functions.len());
+        }
+    });
+
+    // Stage 3: cold end-to-end analysis (fresh analyzer per sample so the
+    // summary cache never warms across iterations).
+    let e2e = measure(args.samples, || {
+        for (name, src) in &programs {
+            let analyzer = Analyzer::new(AnalysisConfig::default());
+            let result = analyzer.analyze_source(name, black_box(src)).expect("analysis runs");
+            black_box(&result);
+        }
+    });
+
+    let mut stages = Json::obj();
+    stages.set("parse", stage_json(loc, parse));
+    stages.set("lower_ssa", stage_json(loc, lower));
+    stages.set("e2e", stage_json(loc, e2e));
+
+    let mut corpus = Json::obj();
+    corpus.set("programs", programs.len());
+    corpus.set("loc", loc);
+    corpus.set("raw_lines", raw_lines);
+
+    let mut determinism = Json::obj();
+    determinism.set("class", "Sched");
+    determinism.set(
+        "note",
+        "wall-clock timings; machine- and schedule-dependent, excluded from byte-identity",
+    );
+
+    let mut doc = Json::obj();
+    doc.set("schema", "safeflow-bench-trajectory-v1");
+    doc.set("pr", 6u64);
+    doc.set("bench", "frontend-e2e");
+    doc.set("label", args.label.as_str());
+    doc.set("samples", args.samples);
+    doc.set("corpus", corpus);
+    doc.set("determinism", determinism);
+    doc.set("stages", stages);
+
+    if let Some(path) = &args.baseline {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let mut base = Json::parse(&text).expect("baseline artifact parses");
+        // Embed only the comparable parts of the prior artifact.
+        let mut baseline = Json::obj();
+        for key in ["label", "stages", "corpus", "samples"] {
+            if let Some(v) = base.remove(key) {
+                baseline.set(key, v);
+            }
+        }
+        let median = |j: &Json| match j
+            .get("stages")
+            .and_then(|s| s.get("e2e"))
+            .and_then(|s| s.get("median_ns"))
+        {
+            Some(Json::UInt(v)) => Some(*v),
+            Some(Json::Int(v)) if *v > 0 => Some(*v as u64),
+            _ => None,
+        };
+        let speedup_pct = match (median(&baseline), median(&doc)) {
+            (Some(before), Some(after)) if after > 0 => Some(before * 100 / after),
+            _ => None,
+        };
+        doc.set("baseline", baseline);
+        if let Some(pct) = speedup_pct {
+            // 100 = parity, 150 = 1.5x faster end-to-end than the baseline.
+            doc.set("speedup_e2e_pct", pct);
+        }
+    }
+
+    let rendered = doc.render();
+    std::fs::write(&args.out, format!("{rendered}\n"))
+        .unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!(
+        "wrote {} ({} LOC, e2e {:.0} LOC/sec)",
+        args.out,
+        loc,
+        loc as f64 * 1e9 / e2e.0 as f64
+    );
+}

@@ -1,0 +1,104 @@
+//! Schema lock for the checked-in frontend perf-trajectory artifact
+//! (ISSUE 6 satellite).
+//!
+//! `BENCH_pr6.json` at the workspace root is the first entry in the
+//! recorded LOC/sec perf history (`make bench-frontend` regenerates it).
+//! Future PRs extend the trajectory with `BENCH_pr*.json` artifacts of the
+//! same shape, so the shape itself is locked here: required keys, integer
+//! timing fields, min ≤ median ≤ max ordering, and the embedded
+//! pre-refactor baseline with its e2e speedup ratio.
+
+use safeflow_util::Json;
+
+fn artifact() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} (run `make bench-frontend`)"));
+    Json::parse(&text).expect("artifact is valid workspace JSON")
+}
+
+fn uint(doc: &Json, path: &[&str]) -> u64 {
+    let mut cur = doc;
+    for key in path {
+        cur =
+            cur.get(key).unwrap_or_else(|| panic!("missing key `{}` in artifact", path.join(".")));
+    }
+    match cur {
+        Json::UInt(v) => *v,
+        Json::Int(v) if *v >= 0 => *v as u64,
+        other => panic!("`{}` is not an unsigned integer: {other:?}", path.join(".")),
+    }
+}
+
+fn string<'j>(doc: &'j Json, path: &[&str]) -> &'j str {
+    let mut cur = doc;
+    for key in path {
+        cur =
+            cur.get(key).unwrap_or_else(|| panic!("missing key `{}` in artifact", path.join(".")));
+    }
+    match cur {
+        Json::Str(s) => s.as_str(),
+        other => panic!("`{}` is not a string: {other:?}", path.join(".")),
+    }
+}
+
+/// Checks one stage object: integer timings, coherent ordering, a
+/// nonzero throughput consistent with the corpus LOC.
+fn check_stage(doc: &Json, stage_path: &[&str], loc: u64) {
+    let mut p: Vec<&str> = stage_path.to_vec();
+    p.push("median_ns");
+    let median = uint(doc, &p);
+    *p.last_mut().unwrap() = "min_ns";
+    let min = uint(doc, &p);
+    *p.last_mut().unwrap() = "max_ns";
+    let max = uint(doc, &p);
+    *p.last_mut().unwrap() = "loc_per_sec";
+    let rate = uint(doc, &p);
+    assert!(median > 0, "{stage_path:?}: zero median");
+    assert!(min <= median && median <= max, "{stage_path:?}: min/median/max out of order");
+    // loc_per_sec is derived from the median; recompute and compare.
+    let expected = (loc as u128 * 1_000_000_000 / median as u128) as u64;
+    assert_eq!(rate, expected, "{stage_path:?}: loc_per_sec inconsistent with median_ns");
+}
+
+#[test]
+fn trajectory_artifact_matches_schema() {
+    let doc = artifact();
+    assert_eq!(string(&doc, &["schema"]), "safeflow-bench-trajectory-v1");
+    assert_eq!(uint(&doc, &["pr"]), 6);
+    assert_eq!(string(&doc, &["bench"]), "frontend-e2e");
+    assert!(!string(&doc, &["label"]).is_empty());
+    assert!(uint(&doc, &["samples"]) > 0);
+
+    let loc = uint(&doc, &["corpus", "loc"]);
+    assert!(loc > 0, "corpus must have countable LOC");
+    assert!(uint(&doc, &["corpus", "programs"]) > 0);
+    assert!(uint(&doc, &["corpus", "raw_lines"]) >= loc);
+
+    // Wall-clock numbers are schedule-class by construction and must say so.
+    assert_eq!(string(&doc, &["determinism", "class"]), "Sched");
+
+    for stage in ["parse", "lower_ssa", "e2e"] {
+        check_stage(&doc, &["stages", stage], loc);
+    }
+}
+
+#[test]
+fn trajectory_artifact_records_pre_refactor_baseline_and_speedup() {
+    let doc = artifact();
+    // The PR-6 artifact embeds the pre-refactor run: same corpus, same
+    // stage shape, plus the end-to-end speedup ratio in whole percent
+    // (100 = parity). The refactor claim is that the arena + interning
+    // frontend is measurably faster, so the recorded ratio must exceed
+    // parity.
+    let base_loc = uint(&doc, &["baseline", "corpus", "loc"]);
+    assert_eq!(base_loc, uint(&doc, &["corpus", "loc"]), "baseline must use the same corpus");
+    for stage in ["parse", "lower_ssa", "e2e"] {
+        check_stage(&doc, &["baseline", "stages", stage], base_loc);
+    }
+    let speedup = uint(&doc, &["speedup_e2e_pct"]);
+    assert!(
+        speedup > 100,
+        "recorded e2e speedup must beat the pre-refactor baseline, got {speedup}%"
+    );
+}

@@ -364,7 +364,7 @@ impl Analyzer {
         main_name: &str,
         fs: &VirtualFs,
     ) -> Result<AnalysisResult, AnalysisError> {
-        let parsed = safeflow_syntax::parse_program(main_name, fs);
+        let parsed = safeflow_syntax::parse_program_jobs(main_name, fs, self.config.jobs.max(1));
         let mut diags = parsed.diags;
         let sources = parsed.sources;
         if diags.has_errors() {

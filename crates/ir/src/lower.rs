@@ -19,6 +19,7 @@ use safeflow_syntax::ast;
 use safeflow_syntax::ast::{TypeExprKind, UnOp};
 use safeflow_syntax::diag::Diagnostics;
 use safeflow_syntax::span::Span;
+use safeflow_util::Symbol;
 use std::collections::HashMap;
 
 /// Lowers a parsed translation unit to an IR module.
@@ -29,6 +30,7 @@ use std::collections::HashMap;
 pub fn lower(unit: &ast::TranslationUnit, diags: &mut Diagnostics) -> Module {
     let mut lw = Lowerer {
         module: Module::new(),
+        ast: &unit.ast,
         typedefs: HashMap::new(),
         enum_consts: HashMap::new(),
         diags,
@@ -36,20 +38,26 @@ pub fn lower(unit: &ast::TranslationUnit, diags: &mut Diagnostics) -> Module {
     };
     lw.register_declarations(unit);
     lw.lower_bodies(unit);
-    lw.module.typedefs = lw.typedefs;
-    lw.module.enum_consts = lw.enum_consts;
+    // The module keeps name-keyed tables (annotation expressions resolve
+    // against them by string); convert from the interned keys once here.
+    lw.module.typedefs =
+        lw.typedefs.into_iter().map(|(k, v)| (k.as_str().to_string(), v)).collect();
+    lw.module.enum_consts =
+        lw.enum_consts.into_iter().map(|(k, v)| (k.as_str().to_string(), v)).collect();
     lw.module
 }
 
-struct Lowerer<'d> {
+struct Lowerer<'u, 'd> {
     module: Module,
-    typedefs: HashMap<String, Type>,
-    enum_consts: HashMap<String, i64>,
+    /// Node arena of the unit being lowered.
+    ast: &'u ast::Ast,
+    typedefs: HashMap<Symbol, Type>,
+    enum_consts: HashMap<Symbol, i64>,
     diags: &'d mut Diagnostics,
     str_counter: u32,
 }
 
-impl<'d> Lowerer<'d> {
+impl<'u, 'd> Lowerer<'u, 'd> {
     // ---- pass 1: declarations ------------------------------------------
 
     fn register_declarations(&mut self, unit: &ast::TranslationUnit) {
@@ -57,19 +65,19 @@ impl<'d> Lowerer<'d> {
             match item {
                 ast::Item::Struct(s) => {
                     // Declare first so self-referential pointers resolve.
-                    self.module.types.declare_struct(&s.name, s.is_union);
+                    self.module.types.declare_struct(s.name.as_str(), s.is_union);
                     let fields: Vec<(String, Type)> = s
                         .fields
                         .iter()
-                        .map(|f| (f.name.clone(), self.resolve_type(&f.ty)))
+                        .map(|f| (f.name.as_str().to_string(), self.resolve_type(f.ty)))
                         .collect();
-                    self.module.types.define_struct(&s.name, fields, s.is_union);
+                    self.module.types.define_struct(s.name.as_str(), fields, s.is_union);
                 }
                 ast::Item::Enum(e) => {
                     let mut next = 0i64;
                     for (name, value, span) in &e.variants {
                         let v = match value {
-                            Some(expr) => match self.const_eval(expr) {
+                            Some(expr) => match self.const_eval(*expr) {
                                 Some(v) => v,
                                 None => {
                                     self.diags.error(
@@ -81,32 +89,35 @@ impl<'d> Lowerer<'d> {
                             },
                             None => next,
                         };
-                        self.enum_consts.insert(name.clone(), v);
+                        self.enum_consts.insert(*name, v);
                         next = v + 1;
                     }
                 }
                 ast::Item::Typedef(t) => {
-                    let ty = self.resolve_type(&t.ty);
-                    self.typedefs.insert(t.name.clone(), ty);
+                    let ty = self.resolve_type(t.ty);
+                    self.typedefs.insert(t.name, ty);
                 }
                 ast::Item::Global(g) => {
-                    let ty = self.resolve_type(&g.ty);
+                    let ty = self.resolve_type(g.ty);
                     self.module.add_global(Global {
-                        name: g.name.clone(),
+                        name: g.name.as_str().to_string(),
                         ty,
                         has_init: g.init.is_some(),
                         span: g.span,
                     });
                 }
                 ast::Item::Func(f) => {
-                    let ret = self.resolve_type(&f.ret);
+                    let ret = self.resolve_type(f.ret);
                     let params = f
                         .params
                         .iter()
-                        .map(|p| IrParam { name: p.name.clone(), ty: self.resolve_type(&p.ty) })
+                        .map(|p| IrParam {
+                            name: p.name.as_str().to_string(),
+                            ty: self.resolve_type(p.ty),
+                        })
                         .collect();
                     self.module.add_function(Function {
-                        name: f.name.clone(),
+                        name: f.name.as_str().to_string(),
                         ret,
                         params,
                         varargs: f.varargs,
@@ -133,27 +144,28 @@ impl<'d> Lowerer<'d> {
 
     // ---- type resolution -------------------------------------------------
 
-    fn resolve_type(&mut self, te: &ast::TypeExpr) -> Type {
-        match &te.kind {
+    fn resolve_type(&mut self, te: ast::TypeId) -> Type {
+        let node = *self.ast.type_expr(te);
+        match node.kind {
             TypeExprKind::Void => Type::Void,
-            TypeExprKind::Char(s) => Type::Int { bits: 8, signed: *s == ast::Signedness::Signed },
-            TypeExprKind::Short(s) => Type::Int { bits: 16, signed: *s == ast::Signedness::Signed },
-            TypeExprKind::Int(s) => Type::Int { bits: 32, signed: *s == ast::Signedness::Signed },
-            TypeExprKind::Long(s) => Type::Int { bits: 64, signed: *s == ast::Signedness::Signed },
+            TypeExprKind::Char(s) => Type::Int { bits: 8, signed: s == ast::Signedness::Signed },
+            TypeExprKind::Short(s) => Type::Int { bits: 16, signed: s == ast::Signedness::Signed },
+            TypeExprKind::Int(s) => Type::Int { bits: 32, signed: s == ast::Signedness::Signed },
+            TypeExprKind::Long(s) => Type::Int { bits: 64, signed: s == ast::Signedness::Signed },
             TypeExprKind::Float => Type::f32(),
             TypeExprKind::Double => Type::f64(),
-            TypeExprKind::Named(n) => match self.typedefs.get(n) {
+            TypeExprKind::Named(n) => match self.typedefs.get(&n) {
                 Some(t) => t.clone(),
                 None => {
-                    self.diags.error(te.span, format!("unknown type name `{n}`"));
+                    self.diags.error(node.span, format!("unknown type name `{n}`"));
                     Type::int32()
                 }
             },
             TypeExprKind::Struct(tag) | TypeExprKind::Union(tag) => {
-                let is_union = matches!(te.kind, TypeExprKind::Union(_));
-                let id = self.module.types.struct_by_name(tag).unwrap_or_else(|| {
+                let is_union = matches!(node.kind, TypeExprKind::Union(_));
+                let id = self.module.types.struct_by_name(tag.as_str()).unwrap_or_else(|| {
                     // Forward reference: declare the tag.
-                    self.module.types.declare_struct(tag, is_union)
+                    self.module.types.declare_struct(tag.as_str(), is_union)
                 });
                 Type::Struct(id)
             }
@@ -165,13 +177,14 @@ impl<'d> Lowerer<'d> {
                     Some(e) => match self.const_eval(e) {
                         Some(v) if v >= 0 => v as u64,
                         _ => {
-                            self.diags.error(te.span, "array size must be a nonnegative constant");
+                            self.diags
+                                .error(node.span, "array size must be a nonnegative constant");
                             1
                         }
                     },
                     None => {
                         self.diags.error(
-                            te.span,
+                            node.span,
                             "arrays must have an explicit constant size in the restricted subset",
                         );
                         1
@@ -184,17 +197,18 @@ impl<'d> Lowerer<'d> {
 
     // ---- constant evaluation ----------------------------------------------
 
-    fn const_eval(&mut self, e: &ast::Expr) -> Option<i64> {
+    fn const_eval(&mut self, e: ast::ExprId) -> Option<i64> {
         use ast::ExprKind as EK;
-        match &e.kind {
+        match &self.ast.expr(e).kind {
             EK::IntLit(v) => Some(*v),
             EK::CharLit(v) => Some(*v),
             EK::Ident(n) => self.enum_consts.get(n).copied(),
-            EK::Unary(UnOp::Neg, inner) => Some(-self.const_eval(inner)?),
-            EK::Unary(UnOp::Plus, inner) => self.const_eval(inner),
-            EK::Unary(UnOp::BitNot, inner) => Some(!self.const_eval(inner)?),
-            EK::Unary(UnOp::Not, inner) => Some(i64::from(self.const_eval(inner)? == 0)),
+            EK::Unary(UnOp::Neg, inner) => Some(-self.const_eval(*inner)?),
+            EK::Unary(UnOp::Plus, inner) => self.const_eval(*inner),
+            EK::Unary(UnOp::BitNot, inner) => Some(!self.const_eval(*inner)?),
+            EK::Unary(UnOp::Not, inner) => Some(i64::from(self.const_eval(*inner)? == 0)),
             EK::Binary(op, l, r) => {
+                let (l, r) = (*l, *r);
                 let a = self.const_eval(l)?;
                 let b = self.const_eval(r)?;
                 use ast::BinOp as B;
@@ -228,10 +242,11 @@ impl<'d> Lowerer<'d> {
                 })
             }
             EK::SizeofType(te) => {
-                let ty = self.resolve_type(te);
+                let ty = self.resolve_type(*te);
                 Some(self.module.types.size_of(&ty) as i64)
             }
             EK::Conditional { cond, then, els } => {
+                let (cond, then, els) = (*cond, *then, *els);
                 let c = self.const_eval(cond)?;
                 if c != 0 {
                     self.const_eval(then)
@@ -246,7 +261,7 @@ impl<'d> Lowerer<'d> {
     // ---- function body lowering -------------------------------------------
 
     fn lower_function(&mut self, f: &ast::FuncDef) {
-        let fid = self.module.function_by_name(&f.name).expect("registered in pass 1");
+        let fid = self.module.function_by_name(f.name.as_str()).expect("registered in pass 1");
         let ret = self.module.function(fid).ret.clone();
         let params = self.module.function(fid).params.clone();
 
@@ -285,7 +300,7 @@ impl<'d> Lowerer<'d> {
             fl.scopes
                 .last_mut()
                 .unwrap()
-                .insert(p.name.clone(), LocalSlot { addr: slot, ty: p.ty.clone() });
+                .insert(Symbol::intern(&p.name), LocalSlot { addr: slot, ty: p.ty.clone() });
         }
 
         let body = f.body.as_ref().expect("definition");
@@ -321,13 +336,13 @@ struct LocalSlot {
     ty: Type,
 }
 
-struct FnLower<'a, 'd> {
-    lw: &'a mut Lowerer<'d>,
+struct FnLower<'a, 'u, 'd> {
+    lw: &'a mut Lowerer<'u, 'd>,
     insts: Vec<Inst>,
     blocks: Vec<BasicBlock>,
     cur: BlockId,
     terminated: bool,
-    scopes: Vec<HashMap<String, LocalSlot>>,
+    scopes: Vec<HashMap<Symbol, LocalSlot>>,
     /// `(continue_target, break_target)` stack.
     loops: Vec<(BlockId, BlockId)>,
     /// Function-level annotations found in statement position (e.g. the
@@ -342,7 +357,7 @@ struct Place {
     ty: Type,
 }
 
-impl<'a, 'd> FnLower<'a, 'd> {
+impl<'a, 'u, 'd> FnLower<'a, 'u, 'd> {
     // ---- block/instruction plumbing ----
 
     fn emit(&mut self, kind: InstKind, ty: Type, span: Span) -> InstId {
@@ -385,9 +400,9 @@ impl<'a, 'd> FnLower<'a, 'd> {
         self.switch_to(b);
     }
 
-    fn lookup(&self, name: &str) -> Option<LocalSlot> {
+    fn lookup(&self, name: Symbol) -> Option<LocalSlot> {
         for scope in self.scopes.iter().rev() {
-            if let Some(s) = scope.get(name) {
+            if let Some(s) = scope.get(&name) {
                 return Some(s.clone());
             }
         }
@@ -403,21 +418,25 @@ impl<'a, 'd> FnLower<'a, 'd> {
     fn lower_block(&mut self, b: &ast::Block) {
         self.scopes.push(HashMap::new());
         for stmt in &b.items {
-            self.lower_stmt(stmt);
+            self.lower_stmt(*stmt);
         }
         self.scopes.pop();
     }
 
-    fn lower_stmt(&mut self, s: &ast::Stmt) {
+    fn lower_stmt(&mut self, s: ast::StmtId) {
         use ast::StmtKind as SK;
-        match &s.kind {
+        let ast = self.lw.ast;
+        let stmt = ast.stmt(s);
+        let span = stmt.span;
+        match &stmt.kind {
             SK::Empty => {}
             SK::Expr(e) => {
-                let _ = self.lower_rvalue(e);
+                let _ = self.lower_rvalue(*e);
             }
             SK::Decl(d) => self.lower_local_decl(d),
             SK::Block(b) => self.lower_block(b),
             SK::If { cond, then, els } => {
+                let (cond, then, els) = (*cond, *then, *els);
                 let c = self.lower_condition(cond);
                 let then_bb = self.new_block("if.then");
                 let merge_bb = self.new_block("if.end");
@@ -434,6 +453,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 self.switch_to(merge_bb);
             }
             SK::While { cond, body } => {
+                let (cond, body) = (*cond, *body);
                 let cond_bb = self.new_block("while.cond");
                 let body_bb = self.new_block("while.body");
                 let exit_bb = self.new_block("while.end");
@@ -452,6 +472,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 self.switch_to(exit_bb);
             }
             SK::DoWhile { body, cond } => {
+                let (body, cond) = (*body, *cond);
                 let body_bb = self.new_block("do.body");
                 let cond_bb = self.new_block("do.cond");
                 let exit_bb = self.new_block("do.end");
@@ -470,6 +491,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 self.switch_to(exit_bb);
             }
             SK::For { init, cond, step, body } => {
+                let (init, cond, step, body) = (*init, *cond, *step, *body);
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.lower_stmt(init);
@@ -503,13 +525,14 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 self.switch_to(exit_bb);
                 self.scopes.pop();
             }
-            SK::Switch { scrutinee, cases } => self.lower_switch(scrutinee, cases, s.span),
+            SK::Switch { scrutinee, cases } => self.lower_switch(*scrutinee, cases, span),
             SK::Return(value) => {
                 let v = match value {
                     Some(e) => {
+                        let e = *e;
                         let (v, ty) = self.lower_rvalue(e);
                         let ret_ty = self.ret_ty.clone();
-                        Some(self.coerce(v, &ty, &ret_ty, e.span))
+                        Some(self.coerce(v, &ty, &ret_ty, ast.expr(e).span))
                     }
                     None => None,
                 };
@@ -517,13 +540,13 @@ impl<'a, 'd> FnLower<'a, 'd> {
             }
             SK::Break => match self.loops.last() {
                 Some(&(_, brk)) => self.set_terminator(Terminator::Br(brk)),
-                None => self.lw.diags.error(s.span, "`break` outside of a loop or switch"),
+                None => self.lw.diags.error(span, "`break` outside of a loop or switch"),
             },
             SK::Continue => match self.loops.last() {
                 Some(&(cont, _)) => self.set_terminator(Terminator::Br(cont)),
-                None => self.lw.diags.error(s.span, "`continue` outside of a loop"),
+                None => self.lw.diags.error(span, "`continue` outside of a loop"),
             },
-            SK::Annotation(a) => self.lower_annotation(a, s.span),
+            SK::Annotation(a) => self.lower_annotation(a, span),
         }
     }
 
@@ -532,7 +555,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
             Annotation::AssertSafe { var, .. } => {
                 // Anchor the assertion at this program point with the
                 // current value of `var`.
-                match self.lookup(var) {
+                match self.lookup(Symbol::intern(var)) {
                     Some(slot) => {
                         let v = self.emit(
                             InstKind::Load { ptr: Value::Inst(slot.addr) },
@@ -580,7 +603,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
         }
     }
 
-    fn lower_switch(&mut self, scrutinee: &ast::Expr, cases: &[ast::SwitchCase], span: Span) {
+    fn lower_switch(&mut self, scrutinee: ast::ExprId, cases: &[ast::SwitchCase], span: Span) {
         let (scrut, sty) = self.lower_rvalue(scrutinee);
         let scrut = self.coerce(scrut, &sty, &Type::int64(), span);
         let exit_bb = self.new_block("switch.end");
@@ -593,7 +616,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
         let mut default = exit_bb;
         for (i, case) in cases.iter().enumerate() {
             match &case.label {
-                Some(label) => match self.lw.const_eval(label) {
+                Some(label) => match self.lw.const_eval(*label) {
                     Some(v) => arms.push((v, case_blocks[i])),
                     None => {
                         self.lw.diags.error(case.span, "case label must be a constant expression")
@@ -609,7 +632,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
         for (i, case) in cases.iter().enumerate() {
             self.switch_to(case_blocks[i]);
             for stmt in &case.stmts {
-                self.lower_stmt(stmt);
+                self.lower_stmt(*stmt);
             }
             // Fallthrough to the next case block, or exit.
             let next = case_blocks.get(i + 1).copied().unwrap_or(exit_bb);
@@ -620,26 +643,25 @@ impl<'a, 'd> FnLower<'a, 'd> {
     }
 
     fn lower_local_decl(&mut self, d: &ast::VarDecl) {
-        let ty = self.lw.resolve_type(&d.ty);
+        let ty = self.lw.resolve_type(d.ty);
         let slot = self.emit(
-            InstKind::Alloca { ty: ty.clone(), name: d.name.clone() },
+            InstKind::Alloca { ty: ty.clone(), name: d.name.as_str().to_string() },
             ty.ptr_to(),
             d.span,
         );
-        self.scopes
-            .last_mut()
-            .unwrap()
-            .insert(d.name.clone(), LocalSlot { addr: slot, ty: ty.clone() });
-        if let Some(init) = &d.init {
+        self.scopes.last_mut().unwrap().insert(d.name, LocalSlot { addr: slot, ty: ty.clone() });
+        if let Some(init) = d.init {
             self.lower_initializer(Value::Inst(slot), &ty, init, d.span);
         }
     }
 
-    fn lower_initializer(&mut self, addr: Value, ty: &Type, init: &ast::Initializer, span: Span) {
-        match (init, ty) {
+    fn lower_initializer(&mut self, addr: Value, ty: &Type, init: ast::InitId, span: Span) {
+        let ast = self.lw.ast;
+        match (ast.init(init), ty) {
             (ast::Initializer::Expr(e), _) => {
+                let e = *e;
                 let (v, vty) = self.lower_rvalue(e);
-                let v = self.coerce(v, &vty, ty, e.span);
+                let v = self.coerce(v, &vty, ty, ast.expr(e).span);
                 self.emit(InstKind::Store { ptr: addr, value: v }, Type::Void, span);
             }
             (ast::Initializer::List(items, lspan), Type::Array(elem, n)) => {
@@ -652,7 +674,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         (**elem).ptr_to(),
                         *lspan,
                     );
-                    self.lower_initializer(Value::Inst(eaddr), elem, item, *lspan);
+                    self.lower_initializer(Value::Inst(eaddr), elem, *item, *lspan);
                 }
             }
             (ast::Initializer::List(items, lspan), Type::Struct(sid)) => {
@@ -671,13 +693,13 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         fty.ptr_to(),
                         *lspan,
                     );
-                    self.lower_initializer(Value::Inst(faddr), &fty, item, *lspan);
+                    self.lower_initializer(Value::Inst(faddr), &fty, *item, *lspan);
                 }
             }
             (ast::Initializer::List(items, lspan), _) => {
                 // Scalar brace init: `int x = {3};`
                 match items.as_slice() {
-                    [single] => self.lower_initializer(addr, ty, single, span),
+                    [single] => self.lower_initializer(addr, ty, *single, span),
                     _ => self.lw.diags.error(*lspan, "brace initializer on scalar"),
                 }
             }
@@ -687,7 +709,8 @@ impl<'a, 'd> FnLower<'a, 'd> {
     // ---- expressions ----
 
     /// Lowers `e` as a condition: a scalar value tested against zero.
-    fn lower_condition(&mut self, e: &ast::Expr) -> Value {
+    fn lower_condition(&mut self, e: ast::ExprId) -> Value {
+        let span = self.lw.ast.expr(e).span;
         let (v, ty) = self.lower_rvalue(e);
         match ty {
             Type::Int { .. } => v,
@@ -696,7 +719,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 Value::Inst(self.emit(
                     InstKind::Cmp { op: CmpOp::Ne, lhs: v, rhs: null },
                     Type::int32(),
-                    e.span,
+                    span,
                 ))
             }
             Type::Float { .. } => {
@@ -704,41 +727,44 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 Value::Inst(self.emit(
                     InstKind::Cmp { op: CmpOp::Ne, lhs: v, rhs: zero },
                     Type::int32(),
-                    e.span,
+                    span,
                 ))
             }
             _ => {
-                self.lw.diags.error(e.span, "condition must have scalar type");
+                self.lw.diags.error(span, "condition must have scalar type");
                 Value::i32(0)
             }
         }
     }
 
     /// Lowers `e` as an rvalue, returning the value and its type.
-    fn lower_rvalue(&mut self, e: &ast::Expr) -> (Value, Type) {
+    fn lower_rvalue(&mut self, e: ast::ExprId) -> (Value, Type) {
         use ast::ExprKind as EK;
-        match &e.kind {
+        let ast = self.lw.ast;
+        let node = ast.expr(e);
+        let span = node.span;
+        match &node.kind {
             EK::IntLit(v) => (Value::ConstInt(*v, Type::int32()), Type::int32()),
             EK::CharLit(v) => (Value::ConstInt(*v, Type::int8()), Type::int8()),
             EK::FloatLit(v) => (Value::ConstFloat(*v, Type::f64()), Type::f64()),
-            EK::StrLit(s) => self.lower_string_literal(s, e.span),
+            EK::StrLit(s) => self.lower_string_literal(s.as_str(), span),
             EK::Ident(n) => {
                 // Enum constant?
                 if let Some(&v) = self.lw.enum_consts.get(n) {
                     return (Value::ConstInt(v, Type::int32()), Type::int32());
                 }
                 match self.lower_lvalue(e) {
-                    Some(place) => self.load_place(place, e.span),
+                    Some(place) => self.load_place(place, span),
                     None => (Value::i32(0), Type::int32()),
                 }
             }
             EK::Member { .. } | EK::Index(..) | EK::Unary(UnOp::Deref, _) => {
                 match self.lower_lvalue(e) {
-                    Some(place) => self.load_place(place, e.span),
+                    Some(place) => self.load_place(place, span),
                     None => (Value::i32(0), Type::int32()),
                 }
             }
-            EK::Unary(UnOp::AddrOf, inner) => match self.lower_lvalue(inner) {
+            EK::Unary(UnOp::AddrOf, inner) => match self.lower_lvalue(*inner) {
                 Some(place) => {
                     let ty = place.ty.ptr_to();
                     (place.addr, ty)
@@ -746,7 +772,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 None => (Value::ConstNull(Type::void_ptr()), Type::void_ptr()),
             },
             EK::Unary(op, inner) => {
-                let (v, ty) = self.lower_rvalue(inner);
+                let (v, ty) = self.lower_rvalue(*inner);
                 match op {
                     UnOp::Plus => (v, ty),
                     UnOp::Neg => {
@@ -758,7 +784,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         let id = self.emit(
                             InstKind::Bin { op: BinOp::Sub, lhs: zero, rhs: v },
                             ty.clone(),
-                            e.span,
+                            span,
                         );
                         (Value::Inst(id), ty)
                     }
@@ -773,7 +799,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         let id = self.emit(
                             InstKind::Cmp { op: CmpOp::Eq, lhs: v, rhs: zero },
                             Type::int32(),
-                            e.span,
+                            span,
                         );
                         (Value::Inst(id), Type::int32())
                     }
@@ -782,27 +808,27 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         let id = self.emit(
                             InstKind::Bin { op: BinOp::Xor, lhs: v, rhs: m1 },
                             ty.clone(),
-                            e.span,
+                            span,
                         );
                         (Value::Inst(id), ty)
                     }
                     UnOp::Deref | UnOp::AddrOf => unreachable!("handled above"),
                 }
             }
-            EK::Binary(op, l, r) => self.lower_binary(*op, l, r, e.span),
-            EK::LogicalAnd(l, r) => self.lower_short_circuit(l, r, true, e.span),
-            EK::LogicalOr(l, r) => self.lower_short_circuit(l, r, false, e.span),
-            EK::Assign { op, lhs, rhs } => self.lower_assign(op, lhs, rhs, e.span),
-            EK::Conditional { cond, then, els } => self.lower_ternary(cond, then, els, e.span),
-            EK::Call { callee, args } => self.lower_call(callee, args, e.span),
+            EK::Binary(op, l, r) => self.lower_binary(*op, *l, *r, span),
+            EK::LogicalAnd(l, r) => self.lower_short_circuit(*l, *r, true, span),
+            EK::LogicalOr(l, r) => self.lower_short_circuit(*l, *r, false, span),
+            EK::Assign { op, lhs, rhs } => self.lower_assign(op, *lhs, *rhs, span),
+            EK::Conditional { cond, then, els } => self.lower_ternary(*cond, *then, *els, span),
+            EK::Call { callee, args } => self.lower_call(callee.as_str(), args, span),
             EK::Cast(te, inner) => {
-                let to = self.lw.resolve_type(te);
-                let (v, from) = self.lower_rvalue(inner);
-                let v = self.cast_value(v, &from, &to, e.span);
+                let to = self.lw.resolve_type(*te);
+                let (v, from) = self.lower_rvalue(*inner);
+                let v = self.cast_value(v, &from, &to, span);
                 (v, to)
             }
             EK::SizeofType(te) => {
-                let ty = self.lw.resolve_type(te);
+                let ty = self.lw.resolve_type(*te);
                 let sz = self.types().size_of(&ty) as i64;
                 (Value::ConstInt(sz, Type::int64()), Type::int64())
             }
@@ -811,23 +837,23 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 // scratch throwaway? The restricted subset only needs the
                 // type, so lower and discard (safe: no side effects matter
                 // for sizeof in practice in the corpus).
-                let ty = self.type_of_expr(inner);
+                let ty = self.type_of_expr(*inner);
                 let sz = self.types().size_of(&ty) as i64;
                 (Value::ConstInt(sz, Type::int64()), Type::int64())
             }
             EK::PreIncDec(inner, inc) => {
                 let delta = if *inc { 1 } else { -1 };
-                match self.lower_lvalue(inner) {
+                match self.lower_lvalue(*inner) {
                     Some(place) => {
                         let (old, ty) = self.load_place(
                             Place { addr: place.addr.clone(), ty: place.ty.clone() },
-                            e.span,
+                            span,
                         );
-                        let new_v = self.apply_incdec(old, &ty, delta, e.span);
+                        let new_v = self.apply_incdec(old, &ty, delta, span);
                         self.emit(
                             InstKind::Store { ptr: place.addr, value: new_v.clone() },
                             Type::Void,
-                            e.span,
+                            span,
                         );
                         (new_v, ty)
                     }
@@ -836,17 +862,17 @@ impl<'a, 'd> FnLower<'a, 'd> {
             }
             EK::PostIncDec(inner, inc) => {
                 let delta = if *inc { 1 } else { -1 };
-                match self.lower_lvalue(inner) {
+                match self.lower_lvalue(*inner) {
                     Some(place) => {
                         let (old, ty) = self.load_place(
                             Place { addr: place.addr.clone(), ty: place.ty.clone() },
-                            e.span,
+                            span,
                         );
-                        let new_v = self.apply_incdec(old.clone(), &ty, delta, e.span);
+                        let new_v = self.apply_incdec(old.clone(), &ty, delta, span);
                         self.emit(
                             InstKind::Store { ptr: place.addr, value: new_v },
                             Type::Void,
-                            e.span,
+                            span,
                         );
                         (old, ty)
                     }
@@ -854,6 +880,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                 }
             }
             EK::Comma(l, r) => {
+                let (l, r) = (*l, *r);
                 let _ = self.lower_rvalue(l);
                 self.lower_rvalue(r)
             }
@@ -900,39 +927,43 @@ impl<'a, 'd> FnLower<'a, 'd> {
     }
 
     /// Best-effort static type of an expression (for `sizeof expr`).
-    fn type_of_expr(&mut self, e: &ast::Expr) -> Type {
+    fn type_of_expr(&mut self, e: ast::ExprId) -> Type {
         use ast::ExprKind as EK;
-        match &e.kind {
+        let ast = self.lw.ast;
+        match &ast.expr(e).kind {
             EK::IntLit(_) => Type::int32(),
             EK::FloatLit(_) => Type::f64(),
             EK::CharLit(_) => Type::int8(),
-            EK::StrLit(s) => Type::Array(Box::new(Type::int8()), s.len() as u64 + 1),
+            EK::StrLit(s) => Type::Array(Box::new(Type::int8()), s.as_str().len() as u64 + 1),
             EK::Ident(n) => self
-                .lookup(n)
+                .lookup(*n)
                 .map(|s| s.ty)
                 .or_else(|| {
-                    self.lw.module.global_by_name(n).map(|g| self.lw.module.global(g).ty.clone())
+                    self.lw
+                        .module
+                        .global_by_name(n.as_str())
+                        .map(|g| self.lw.module.global(g).ty.clone())
                 })
                 .unwrap_or_else(Type::int32),
             EK::Unary(UnOp::Deref, inner) => {
-                let t = self.type_of_expr(inner);
+                let t = self.type_of_expr(*inner);
                 t.pointee().cloned().unwrap_or_else(Type::int32)
             }
-            EK::Unary(UnOp::AddrOf, inner) => self.type_of_expr(inner).ptr_to(),
-            EK::Cast(te, _) => self.lw.resolve_type(te),
+            EK::Unary(UnOp::AddrOf, inner) => self.type_of_expr(*inner).ptr_to(),
+            EK::Cast(te, _) => self.lw.resolve_type(*te),
             EK::Member { base, field, arrow } => {
-                let bt = self.type_of_expr(base);
+                let bt = self.type_of_expr(*base);
                 let st = if *arrow { bt.pointee().cloned().unwrap_or(Type::Void) } else { bt };
                 if let Type::Struct(sid) = st {
                     let layout = self.types().layout(sid);
-                    if let Some(i) = layout.field_index(field) {
+                    if let Some(i) = layout.field_index(field.as_str()) {
                         return layout.fields[i].ty.clone();
                     }
                 }
                 Type::int32()
             }
             EK::Index(base, _) => {
-                let bt = self.type_of_expr(base);
+                let bt = self.type_of_expr(*base);
                 match bt {
                     Type::Array(e, _) => *e,
                     Type::Ptr(e) => *e,
@@ -964,69 +995,73 @@ impl<'a, 'd> FnLower<'a, 'd> {
     }
 
     /// Lowers `e` as an lvalue to an address.
-    fn lower_lvalue(&mut self, e: &ast::Expr) -> Option<Place> {
+    fn lower_lvalue(&mut self, e: ast::ExprId) -> Option<Place> {
         use ast::ExprKind as EK;
-        match &e.kind {
+        let ast = self.lw.ast;
+        let node = ast.expr(e);
+        let span = node.span;
+        match &node.kind {
             EK::Ident(n) => {
-                if let Some(slot) = self.lookup(n) {
+                if let Some(slot) = self.lookup(*n) {
                     return Some(Place { addr: Value::Inst(slot.addr), ty: slot.ty });
                 }
-                if let Some(gid) = self.lw.module.global_by_name(n) {
+                if let Some(gid) = self.lw.module.global_by_name(n.as_str()) {
                     let ty = self.lw.module.global(gid).ty.clone();
                     return Some(Place { addr: Value::Global(gid), ty });
                 }
-                self.lw.diags.error(e.span, format!("unknown variable `{n}`"));
+                self.lw.diags.error(span, format!("unknown variable `{n}`"));
                 None
             }
             EK::Unary(UnOp::Deref, inner) => {
-                let (v, ty) = self.lower_rvalue(inner);
+                let (v, ty) = self.lower_rvalue(*inner);
                 match ty.pointee() {
                     Some(p) => Some(Place { addr: v, ty: p.clone() }),
                     None => {
-                        self.lw.diags.error(e.span, "cannot dereference a non-pointer");
+                        self.lw.diags.error(span, "cannot dereference a non-pointer");
                         None
                     }
                 }
             }
             EK::Index(base, index) => {
+                let (base, index) = (*base, *index);
                 let (bv, bty) = self.lower_rvalue(base); // arrays decay here
                 let (iv, ity) = self.lower_rvalue(index);
-                let iv = self.coerce(iv, &ity, &Type::int64(), index.span);
+                let iv = self.coerce(iv, &ity, &Type::int64(), ast.expr(index).span);
                 match bty.pointee() {
                     Some(elem) => {
                         let elem = elem.clone();
                         let id = self.emit(
                             InstKind::ElemAddr { base: bv, index: iv },
                             elem.ptr_to(),
-                            e.span,
+                            span,
                         );
                         Some(Place { addr: Value::Inst(id), ty: elem })
                     }
                     None => {
-                        self.lw.diags.error(e.span, "indexing a non-pointer value");
+                        self.lw.diags.error(span, "indexing a non-pointer value");
                         None
                     }
                 }
             }
             EK::Member { base, field, arrow } => {
                 let (base_addr, struct_ty) = if *arrow {
-                    let (v, ty) = self.lower_rvalue(base);
+                    let (v, ty) = self.lower_rvalue(*base);
                     let p = ty.pointee().cloned();
                     match p {
                         Some(p) => (v, p),
                         None => {
-                            self.lw.diags.error(e.span, "`->` on a non-pointer");
+                            self.lw.diags.error(span, "`->` on a non-pointer");
                             return None;
                         }
                     }
                 } else {
-                    let place = self.lower_lvalue(base)?;
+                    let place = self.lower_lvalue(*base)?;
                     (place.addr, place.ty)
                 };
                 match struct_ty {
                     Type::Struct(sid) => {
                         let layout = self.types().layout(sid);
-                        match layout.field_index(field) {
+                        match layout.field_index(field.as_str()) {
                             Some(i) => {
                                 let fty = layout.fields[i].ty.clone();
                                 let id = self.emit(
@@ -1036,14 +1071,14 @@ impl<'a, 'd> FnLower<'a, 'd> {
                                         field: i as u32,
                                     },
                                     fty.ptr_to(),
-                                    e.span,
+                                    span,
                                 );
                                 Some(Place { addr: Value::Inst(id), ty: fty })
                             }
                             None => {
                                 let sname = self.types().layout(sid).name.clone();
                                 self.lw.diags.error(
-                                    e.span,
+                                    span,
                                     format!("struct `{sname}` has no field `{field}`"),
                                 );
                                 None
@@ -1051,7 +1086,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
                         }
                     }
                     _ => {
-                        self.lw.diags.error(e.span, "member access on a non-struct");
+                        self.lw.diags.error(span, "member access on a non-struct");
                         None
                     }
                 }
@@ -1059,26 +1094,26 @@ impl<'a, 'd> FnLower<'a, 'd> {
             EK::Cast(te, inner) => {
                 // `(T*)p` used as an lvalue base — lower the cast as rvalue
                 // and synthesize a place through the result.
-                let to = self.lw.resolve_type(te);
-                let (v, from) = self.lower_rvalue(inner);
-                let v = self.cast_value(v, &from, &to, e.span);
+                let to = self.lw.resolve_type(*te);
+                let (v, from) = self.lower_rvalue(*inner);
+                let v = self.cast_value(v, &from, &to, span);
                 match to.pointee() {
                     Some(_) => {
                         // The *place* here would be *(T*)p — only reachable
                         // via deref, which is handled above; a cast is not an
                         // lvalue in C.
                         let _ = v;
-                        self.lw.diags.error(e.span, "cast expressions are not lvalues");
+                        self.lw.diags.error(span, "cast expressions are not lvalues");
                         None
                     }
                     None => {
-                        self.lw.diags.error(e.span, "cast expressions are not lvalues");
+                        self.lw.diags.error(span, "cast expressions are not lvalues");
                         None
                     }
                 }
             }
             _ => {
-                self.lw.diags.error(e.span, "expression is not an lvalue");
+                self.lw.diags.error(span, "expression is not an lvalue");
                 None
             }
         }
@@ -1087,8 +1122,8 @@ impl<'a, 'd> FnLower<'a, 'd> {
     fn lower_binary(
         &mut self,
         op: ast::BinOp,
-        l: &ast::Expr,
-        r: &ast::Expr,
+        l: ast::ExprId,
+        r: ast::ExprId,
         span: Span,
     ) -> (Value, Type) {
         use ast::BinOp as B;
@@ -1183,8 +1218,8 @@ impl<'a, 'd> FnLower<'a, 'd> {
 
     fn lower_short_circuit(
         &mut self,
-        l: &ast::Expr,
-        r: &ast::Expr,
+        l: ast::ExprId,
+        r: ast::ExprId,
         is_and: bool,
         span: Span,
     ) -> (Value, Type) {
@@ -1238,9 +1273,9 @@ impl<'a, 'd> FnLower<'a, 'd> {
 
     fn lower_ternary(
         &mut self,
-        cond: &ast::Expr,
-        then: &ast::Expr,
-        els: &ast::Expr,
+        cond: ast::ExprId,
+        then: ast::ExprId,
+        els: ast::ExprId,
         span: Span,
     ) -> (Value, Type) {
         let c = self.lower_condition(cond);
@@ -1278,8 +1313,8 @@ impl<'a, 'd> FnLower<'a, 'd> {
     fn lower_assign(
         &mut self,
         op: &Option<ast::BinOp>,
-        lhs: &ast::Expr,
-        rhs: &ast::Expr,
+        lhs: ast::ExprId,
+        rhs: ast::ExprId,
         span: Span,
     ) -> (Value, Type) {
         let place = match self.lower_lvalue(lhs) {
@@ -1346,7 +1381,7 @@ impl<'a, 'd> FnLower<'a, 'd> {
         (value, place.ty)
     }
 
-    fn lower_call(&mut self, callee: &str, args: &[ast::Expr], span: Span) -> (Value, Type) {
+    fn lower_call(&mut self, callee: &str, args: &[ast::ExprId], span: Span) -> (Value, Type) {
         let mut lowered = Vec::with_capacity(args.len());
         let target = self.lw.module.function_by_name(callee);
         let (callee_kind, ret_ty, param_tys, varargs) = match target {
@@ -1367,12 +1402,14 @@ impl<'a, 'd> FnLower<'a, 'd> {
             ),
         };
         for (i, a) in args.iter().enumerate() {
+            let a = *a;
+            let aspan = self.lw.ast.expr(a).span;
             let (v, ty) = self.lower_rvalue(a);
             let v = match param_tys.get(i) {
-                Some(pt) => self.coerce(v, &ty, pt, a.span),
+                Some(pt) => self.coerce(v, &ty, pt, aspan),
                 None => {
                     if !varargs && !param_tys.is_empty() {
-                        self.lw.diags.warning(a.span, format!("too many arguments to `{callee}`"));
+                        self.lw.diags.warning(aspan, format!("too many arguments to `{callee}`"));
                     }
                     v
                 }

@@ -195,7 +195,7 @@ impl<'d> AnnParser<'d> {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind;
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -264,7 +264,7 @@ impl<'d> AnnParser<'d> {
     fn expect_ident(&mut self) -> Option<String> {
         let at = self.here();
         match self.bump() {
-            TokenKind::Ident(s) => Some(s),
+            TokenKind::Ident(s) => Some(s.as_str().to_string()),
             other => {
                 self.diags.error(
                     at,
@@ -407,7 +407,7 @@ impl<'d> AnnParser<'d> {
                 // Accept `sizeof(Name)`, `sizeof(struct Tag)`, and primitive
                 // type names.
                 let name = match self.bump() {
-                    TokenKind::Ident(s) => s,
+                    TokenKind::Ident(s) => s.as_str().to_string(),
                     TokenKind::Keyword(Keyword::Struct) | TokenKind::Keyword(Keyword::Union) => {
                         self.expect_ident()?
                     }
@@ -423,7 +423,7 @@ impl<'d> AnnParser<'d> {
                 self.expect_punct(Punct::RParen).then_some(())?;
                 Some(AnnExpr::Sizeof(name))
             }
-            TokenKind::Ident(s) => Some(AnnExpr::Ident(s)),
+            TokenKind::Ident(s) => Some(AnnExpr::Ident(s.as_str().to_string())),
             other => {
                 self.diags.error(
                     self.here(),
@@ -557,11 +557,11 @@ mod tests {
         let (body, span) = toks
             .iter()
             .find_map(|t| match &t.kind {
-                TokenKind::Annotation(b) => Some((b.clone(), t.span)),
+                TokenKind::Annotation(b) => Some((*b, t.span)),
                 _ => None,
             })
             .expect("fixture must contain an annotation");
-        let anns = parse_annotation_body(&body, span, &mut sources, &mut diags);
+        let anns = parse_annotation_body(body.as_str(), span, &mut sources, &mut diags);
         assert!(!diags.has_errors(), "{diags:?}");
         (anns, sources)
     }
@@ -602,11 +602,11 @@ mod tests {
         let (body, span) = toks
             .iter()
             .find_map(|t| match &t.kind {
-                TokenKind::Annotation(b) => Some((b.clone(), t.span)),
+                TokenKind::Annotation(b) => Some((*b, t.span)),
                 _ => None,
             })
             .unwrap();
-        let _ = parse_annotation_body(&body, span, &mut sources, &mut diags);
+        let _ = parse_annotation_body(body.as_str(), span, &mut sources, &mut diags);
         assert!(diags.has_errors());
         let err = diags.iter().find(|d| d.severity == crate::diag::Severity::Error).unwrap();
         // The anchor is the offending `42` token in the real file, not the

@@ -1,11 +1,107 @@
 //! Abstract syntax tree for the C subset.
 //!
-//! The tree is deliberately plain (boxed enums with spans) — the programs the
-//! paper analyzes are small core components, so arena cleverness buys
-//! nothing.
+//! Nodes live in `Vec`-backed tables inside [`Ast`] and reference each
+//! other through 4-byte ids ([`ExprId`], [`StmtId`], [`TypeId`],
+//! [`InitId`]) instead of per-node `Box`es; identifiers and literals are
+//! interned [`Symbol`]s instead of owned `String`s. One parse therefore
+//! performs a handful of `Vec` growths instead of one heap allocation per
+//! node, nodes are cache-dense, and ids are `Copy` — consumers walk the
+//! tree by indexing the arena owned by the [`TranslationUnit`].
+//!
+//! Id assignment is a pure function of parse order, so parsing the same
+//! token stream twice yields structurally identical (and `==`) arenas.
 
 use crate::annot::Annotation;
 use crate::span::Span;
+use safeflow_util::Symbol;
+
+/// Index of an expression node in the [`Ast`] expression table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+/// Index of a statement node in the [`Ast`] statement table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(u32);
+
+/// Index of a type-expression node in the [`Ast`] type table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(u32);
+
+/// Index of an initializer node in the [`Ast`] initializer table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InitId(u32);
+
+/// The node arena backing one translation unit: flat tables the id types
+/// index into. Allocation only ever appends, so ids are stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ast {
+    exprs: Vec<Expr>,
+    stmts: Vec<Stmt>,
+    types: Vec<TypeExpr>,
+    inits: Vec<Initializer>,
+}
+
+impl Ast {
+    /// The expression node behind `id`.
+    pub fn expr(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// The statement node behind `id`.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.stmts[id.0 as usize]
+    }
+
+    /// The type-expression node behind `id`.
+    pub fn type_expr(&self, id: TypeId) -> &TypeExpr {
+        &self.types[id.0 as usize]
+    }
+
+    /// The initializer node behind `id`.
+    pub fn init(&self, id: InitId) -> &Initializer {
+        &self.inits[id.0 as usize]
+    }
+
+    /// Appends an expression node.
+    pub fn alloc_expr(&mut self, e: Expr) -> ExprId {
+        self.exprs.push(e);
+        ExprId(self.exprs.len() as u32 - 1)
+    }
+
+    /// Appends a statement node.
+    pub fn alloc_stmt(&mut self, s: Stmt) -> StmtId {
+        self.stmts.push(s);
+        StmtId(self.stmts.len() as u32 - 1)
+    }
+
+    /// Appends a type-expression node.
+    pub fn alloc_type(&mut self, t: TypeExpr) -> TypeId {
+        self.types.push(t);
+        TypeId(self.types.len() as u32 - 1)
+    }
+
+    /// Appends an initializer node.
+    pub fn alloc_init(&mut self, i: Initializer) -> InitId {
+        self.inits.push(i);
+        InitId(self.inits.len() as u32 - 1)
+    }
+
+    /// Allocates `T*` for an existing type node (same span).
+    pub fn ptr_to(&mut self, inner: TypeId) -> TypeId {
+        let span = self.type_expr(inner).span;
+        self.alloc_type(TypeExpr::new(TypeExprKind::Ptr(inner), span))
+    }
+
+    /// Whether `id` is syntactically `void`.
+    pub fn is_void(&self, id: TypeId) -> bool {
+        self.type_expr(id).kind == TypeExprKind::Void
+    }
+
+    /// Total node count across all tables (arena size metric).
+    pub fn node_count(&self) -> usize {
+        self.exprs.len() + self.stmts.len() + self.types.len() + self.inits.len()
+    }
+}
 
 /// Whether an integer type is signed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,7 +113,7 @@ pub enum Signedness {
 }
 
 /// A syntactic type expression (before semantic resolution).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TypeExpr {
     /// The shape of the type.
     pub kind: TypeExprKind,
@@ -30,21 +126,10 @@ impl TypeExpr {
     pub fn new(kind: TypeExprKind, span: Span) -> Self {
         TypeExpr { kind, span }
     }
-
-    /// Convenience: `T*` for this type.
-    pub fn ptr_to(self) -> TypeExpr {
-        let span = self.span;
-        TypeExpr::new(TypeExprKind::Ptr(Box::new(self)), span)
-    }
-
-    /// Returns `true` if this is syntactically `void`.
-    pub fn is_void(&self) -> bool {
-        self.kind == TypeExprKind::Void
-    }
 }
 
 /// Type expression shapes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TypeExprKind {
     /// `void`.
     Void,
@@ -61,17 +146,17 @@ pub enum TypeExprKind {
     /// `double`.
     Double,
     /// A typedef name.
-    Named(String),
+    Named(Symbol),
     /// `struct Tag`.
-    Struct(String),
+    Struct(Symbol),
     /// `union Tag`.
-    Union(String),
+    Union(Symbol),
     /// `enum Tag`.
-    Enum(String),
+    Enum(Symbol),
     /// Pointer to another type.
-    Ptr(Box<TypeExpr>),
+    Ptr(TypeId),
     /// Array with an optional constant size expression.
-    Array(Box<TypeExpr>, Option<Box<Expr>>),
+    Array(TypeId, Option<ExprId>),
 }
 
 /// Storage class on a declaration.
@@ -89,12 +174,12 @@ pub enum Storage {
 }
 
 /// A struct/union field.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Field {
     /// Field name.
-    pub name: String,
+    pub name: Symbol,
     /// Field type.
-    pub ty: TypeExpr,
+    pub ty: TypeId,
     /// Source location.
     pub span: Span,
 }
@@ -103,7 +188,7 @@ pub struct Field {
 #[derive(Debug, Clone, PartialEq)]
 pub struct StructDef {
     /// Tag name (anonymous structs are given synthetic names by the parser).
-    pub name: String,
+    pub name: Symbol,
     /// Declared fields in order.
     pub fields: Vec<Field>,
     /// `true` for `union`.
@@ -116,20 +201,20 @@ pub struct StructDef {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnumDef {
     /// Tag name if present.
-    pub name: Option<String>,
+    pub name: Option<Symbol>,
     /// Enumerators with optional explicit values.
-    pub variants: Vec<(String, Option<Expr>, Span)>,
+    pub variants: Vec<(Symbol, Option<ExprId>, Span)>,
     /// Source location.
     pub span: Span,
 }
 
 /// A `typedef`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Typedef {
     /// New type name.
-    pub name: String,
+    pub name: Symbol,
     /// Aliased type.
-    pub ty: TypeExpr,
+    pub ty: TypeId,
     /// Source location.
     pub span: Span,
 }
@@ -138,30 +223,30 @@ pub struct Typedef {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Initializer {
     /// `= expr`.
-    Expr(Expr),
+    Expr(ExprId),
     /// `= { ... }`.
-    List(Vec<Initializer>, Span),
+    List(Vec<InitId>, Span),
 }
 
 impl Initializer {
     /// Source location of the initializer.
-    pub fn span(&self) -> Span {
+    pub fn span(&self, ast: &Ast) -> Span {
         match self {
-            Initializer::Expr(e) => e.span,
+            Initializer::Expr(e) => ast.expr(*e).span,
             Initializer::List(_, s) => *s,
         }
     }
 }
 
 /// A variable declaration (global or local).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VarDecl {
     /// Variable name.
-    pub name: String,
+    pub name: Symbol,
     /// Declared type.
-    pub ty: TypeExpr,
+    pub ty: TypeId,
     /// Optional initializer.
-    pub init: Option<Initializer>,
+    pub init: Option<InitId>,
     /// Storage class.
     pub storage: Storage,
     /// Source location.
@@ -169,12 +254,12 @@ pub struct VarDecl {
 }
 
 /// A function parameter.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Param {
-    /// Parameter name (empty string in prototypes without names).
-    pub name: String,
+    /// Parameter name (the empty symbol in prototypes without names).
+    pub name: Symbol,
     /// Parameter type.
-    pub ty: TypeExpr,
+    pub ty: TypeId,
     /// Source location.
     pub span: Span,
 }
@@ -183,9 +268,9 @@ pub struct Param {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuncDef {
     /// Function name.
-    pub name: String,
+    pub name: Symbol,
     /// Return type.
-    pub ret: TypeExpr,
+    pub ret: TypeId,
     /// Parameters in order.
     pub params: Vec<Param>,
     /// `true` if declared with a trailing `...`.
@@ -205,7 +290,7 @@ pub struct FuncDef {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Statements/declarations in order.
-    pub items: Vec<Stmt>,
+    pub items: Vec<StmtId>,
     /// Source location.
     pub span: Span,
 }
@@ -214,10 +299,10 @@ pub struct Block {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SwitchCase {
     /// Constant label; `None` is `default`.
-    pub label: Option<Expr>,
+    pub label: Option<ExprId>,
     /// Statements until the next label (fallthrough is represented by an
     /// empty tail and handled during lowering).
-    pub stmts: Vec<Stmt>,
+    pub stmts: Vec<StmtId>,
     /// Source location of the label.
     pub span: Span,
 }
@@ -235,7 +320,7 @@ pub struct Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// Expression statement.
-    Expr(Expr),
+    Expr(ExprId),
     /// Local variable declaration.
     Decl(VarDecl),
     /// Nested block.
@@ -243,46 +328,46 @@ pub enum StmtKind {
     /// `if (cond) then [else els]`.
     If {
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
         /// Then-branch.
-        then: Box<Stmt>,
+        then: StmtId,
         /// Optional else-branch.
-        els: Option<Box<Stmt>>,
+        els: Option<StmtId>,
     },
     /// `while (cond) body`.
     While {
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
         /// Loop body.
-        body: Box<Stmt>,
+        body: StmtId,
     },
     /// `do body while (cond);`.
     DoWhile {
         /// Loop body.
-        body: Box<Stmt>,
+        body: StmtId,
         /// Condition.
-        cond: Expr,
+        cond: ExprId,
     },
     /// `for (init; cond; step) body`.
     For {
         /// Init clause: declaration or expression.
-        init: Option<Box<Stmt>>,
+        init: Option<StmtId>,
         /// Optional condition.
-        cond: Option<Expr>,
+        cond: Option<ExprId>,
         /// Optional step expression.
-        step: Option<Expr>,
+        step: Option<ExprId>,
         /// Loop body.
-        body: Box<Stmt>,
+        body: StmtId,
     },
     /// `switch (scrutinee) { cases }`.
     Switch {
         /// Scrutinee expression.
-        scrutinee: Expr,
+        scrutinee: ExprId,
         /// Case arms in order.
         cases: Vec<SwitchCase>,
     },
     /// `return [expr];`.
-    Return(Option<Expr>),
+    Return(Option<ExprId>),
     /// `break;`.
     Break,
     /// `continue;`.
@@ -382,66 +467,66 @@ pub enum ExprKind {
     /// Character constant.
     CharLit(i64),
     /// String literal.
-    StrLit(String),
+    StrLit(Symbol),
     /// Variable / function reference.
-    Ident(String),
+    Ident(Symbol),
     /// Unary operation.
-    Unary(UnOp, Box<Expr>),
+    Unary(UnOp, ExprId),
     /// Arithmetic/relational/bitwise binary operation.
-    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Binary(BinOp, ExprId, ExprId),
     /// Short-circuit `&&`.
-    LogicalAnd(Box<Expr>, Box<Expr>),
+    LogicalAnd(ExprId, ExprId),
     /// Short-circuit `||`.
-    LogicalOr(Box<Expr>, Box<Expr>),
+    LogicalOr(ExprId, ExprId),
     /// Assignment; `op` is `Some` for compound forms like `+=`.
     Assign {
         /// Compound operator, if any.
         op: Option<BinOp>,
         /// Target lvalue.
-        lhs: Box<Expr>,
+        lhs: ExprId,
         /// Source value.
-        rhs: Box<Expr>,
+        rhs: ExprId,
     },
     /// Ternary conditional.
     Conditional {
         /// Condition.
-        cond: Box<Expr>,
+        cond: ExprId,
         /// Value if nonzero.
-        then: Box<Expr>,
+        then: ExprId,
         /// Value if zero.
-        els: Box<Expr>,
+        els: ExprId,
     },
     /// Function call. The restricted subset only allows direct calls, so the
     /// callee is a name.
     Call {
         /// Called function name.
-        callee: String,
+        callee: Symbol,
         /// Arguments in order.
-        args: Vec<Expr>,
+        args: Vec<ExprId>,
     },
     /// Array indexing `base[index]`.
-    Index(Box<Expr>, Box<Expr>),
+    Index(ExprId, ExprId),
     /// Member access; `arrow` distinguishes `->` from `.`.
     Member {
         /// Base expression.
-        base: Box<Expr>,
+        base: ExprId,
         /// Field name.
-        field: String,
+        field: Symbol,
         /// `true` for `->`.
         arrow: bool,
     },
     /// Type cast.
-    Cast(TypeExpr, Box<Expr>),
+    Cast(TypeId, ExprId),
     /// `sizeof(type)`.
-    SizeofType(TypeExpr),
+    SizeofType(TypeId),
     /// `sizeof expr`.
-    SizeofExpr(Box<Expr>),
+    SizeofExpr(ExprId),
     /// Pre-increment/decrement; `true` = increment.
-    PreIncDec(Box<Expr>, bool),
+    PreIncDec(ExprId, bool),
     /// Post-increment/decrement; `true` = increment.
-    PostIncDec(Box<Expr>, bool),
+    PostIncDec(ExprId, bool),
     /// Comma operator.
-    Comma(Box<Expr>, Box<Expr>),
+    Comma(ExprId, ExprId),
 }
 
 /// A top-level item.
@@ -474,20 +559,23 @@ impl Item {
     /// Declared name of the item, if it has one.
     pub fn name(&self) -> Option<&str> {
         match self {
-            Item::Struct(s) => Some(&s.name),
-            Item::Enum(e) => e.name.as_deref(),
-            Item::Typedef(t) => Some(&t.name),
-            Item::Global(g) => Some(&g.name),
-            Item::Func(f) => Some(&f.name),
+            Item::Struct(s) => Some(s.name.as_str()),
+            Item::Enum(e) => e.name.map(|n| n.as_str()),
+            Item::Typedef(t) => Some(t.name.as_str()),
+            Item::Global(g) => Some(g.name.as_str()),
+            Item::Func(f) => Some(f.name.as_str()),
         }
     }
 }
 
-/// A parsed translation unit (one preprocessed program).
+/// A parsed translation unit (one preprocessed program) together with the
+/// node arena its items index into.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TranslationUnit {
     /// Items in declaration order.
     pub items: Vec<Item>,
+    /// The node arena all item subtrees live in.
+    pub ast: Ast,
 }
 
 impl TranslationUnit {
@@ -538,18 +626,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn type_expr_helpers() {
-        let t = TypeExpr::new(TypeExprKind::Int(Signedness::Signed), Span::dummy());
-        assert!(!t.is_void());
-        let p = t.clone().ptr_to();
-        assert_eq!(p.kind, TypeExprKind::Ptr(Box::new(t)));
+    fn type_arena_helpers() {
+        let mut ast = Ast::default();
+        let t = ast.alloc_type(TypeExpr::new(TypeExprKind::Int(Signedness::Signed), Span::dummy()));
+        assert!(!ast.is_void(t));
+        let p = ast.ptr_to(t);
+        assert_eq!(ast.type_expr(p).kind, TypeExprKind::Ptr(t));
+        assert_eq!(ast.node_count(), 2);
     }
 
     #[test]
     fn translation_unit_lookup_prefers_definition() {
+        let mut ast = Ast::default();
+        let void = ast.alloc_type(TypeExpr::new(TypeExprKind::Void, Span::dummy()));
         let proto = FuncDef {
-            name: "f".into(),
-            ret: TypeExpr::new(TypeExprKind::Void, Span::dummy()),
+            name: Symbol::intern("f"),
+            ret: void,
             params: vec![],
             varargs: false,
             body: None,
@@ -559,7 +651,7 @@ mod tests {
         };
         let mut def = proto.clone();
         def.body = Some(Block { items: vec![], span: Span::dummy() });
-        let tu = TranslationUnit { items: vec![Item::Func(proto), Item::Func(def)] };
+        let tu = TranslationUnit { items: vec![Item::Func(proto), Item::Func(def)], ast };
         assert!(tu.function("f").unwrap().body.is_some());
         assert_eq!(tu.functions().count(), 1);
     }

@@ -118,6 +118,14 @@ impl Diagnostics {
         self.items.iter()
     }
 
+    /// Moves all diagnostics out of `other` into this sink, preserving
+    /// `other`'s emission order. Used to splice per-file lexer diagnostics
+    /// (collected off-thread under parallel parsing) into the main sink at
+    /// the point the file is first included.
+    pub fn append(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
     /// Whether any error-severity diagnostic was recorded.
     pub fn has_errors(&self) -> bool {
         self.items.iter().any(|d| d.severity == Severity::Error)

@@ -9,10 +9,21 @@
 //! * lines starting with `#` become [`TokenKind::Directive`] tokens holding
 //!   the directive text (with backslash-continuations folded), which the
 //!   preprocessor consumes.
+//!
+//! The lexer is **zero-copy**: identifiers, annotation bodies, plain
+//! string literals and plain directives are borrowed as `&str` slices of
+//! the source buffer and interned to [`safeflow_util::Symbol`]s — the only
+//! per-token copy is the one-time arena copy the first time a distinct
+//! string is seen. A transient `String` is built only when the token text
+//! cannot be a verbatim slice (escape sequences, folded continuations,
+//! comments inside directives). Every slice boundary sits on an ASCII
+//! delimiter the scanner just matched, so slicing can never split a
+//! multi-byte UTF-8 codepoint.
 
 use crate::diag::Diagnostics;
 use crate::span::{FileId, Span};
 use crate::token::{Keyword, Punct, Token, TokenKind};
+use safeflow_util::Symbol;
 
 /// Marker string that distinguishes SafeFlow annotations from ordinary
 /// comments (paper §3.1: "annotations are enclosed within C comments which
@@ -24,11 +35,13 @@ pub const ANNOTATION_MARKER: &str = "SafeFlow Annotation";
 /// Lexical errors are reported to `diags`; the offending bytes are skipped so
 /// lexing always terminates with a complete token stream.
 pub fn lex(file: FileId, text: &str, diags: &mut Diagnostics) -> Vec<Token> {
-    Lexer { file, bytes: text.as_bytes(), pos: 0, at_line_start: true, diags }.run()
+    Lexer { file, text, bytes: text.as_bytes(), pos: 0, at_line_start: true, diags }.run()
 }
 
 struct Lexer<'a, 'd> {
     file: FileId,
+    /// The source text; token payloads are sliced from here.
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
     at_line_start: bool,
@@ -121,32 +134,41 @@ impl<'a, 'd> Lexer<'a, 'd> {
     }
 
     /// Consumes a `#...` line (with `\` continuations) into a Directive token.
+    ///
+    /// The common case (no continuation, no embedded comment) is a verbatim
+    /// slice of the line; a transient buffer is built only when folding is
+    /// actually needed.
     fn lex_directive(&mut self) -> Token {
         let lo = self.pos;
         self.bump(); // '#'
-        let mut text = String::new();
+        let body_lo = self.pos;
+        // `folded` is Some as soon as the payload diverges from the raw
+        // slice; until then the slice `body_lo..body_end` is authoritative.
+        let mut folded: Option<String> = None;
+        let body_end;
         loop {
             let b = self.peek();
-            if b == 0 && self.pos >= self.bytes.len() {
+            if (b == 0 && self.pos >= self.bytes.len()) || b == b'\n' {
+                body_end = self.pos;
                 break;
             }
             if b == b'\\' && self.peek2() == b'\n' {
+                let buf = folded.get_or_insert_with(|| self.text[body_lo..self.pos].to_string());
                 self.bump();
                 self.bump();
-                text.push(' ');
+                buf.push(' ');
                 continue;
-            }
-            if b == b'\n' {
-                break;
             }
             // Strip comments inside directives.
             if b == b'/' && self.peek2() == b'/' {
+                body_end = self.pos;
                 while self.peek() != b'\n' && self.pos < self.bytes.len() {
                     self.bump();
                 }
                 break;
             }
             if b == b'/' && self.peek2() == b'*' {
+                let buf = folded.get_or_insert_with(|| self.text[body_lo..self.pos].to_string());
                 self.bump();
                 self.bump();
                 while self.pos < self.bytes.len() && !(self.peek() == b'*' && self.peek2() == b'/')
@@ -155,12 +177,19 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 }
                 self.bump();
                 self.bump();
-                text.push(' ');
+                buf.push(' ');
                 continue;
             }
-            text.push(self.bump() as char);
+            let c = self.bump();
+            if let Some(buf) = folded.as_mut() {
+                buf.push(c as char);
+            }
         }
-        Token::new(TokenKind::Directive(text.trim().to_string()), self.span_from(lo))
+        let payload = match &folded {
+            Some(buf) => Symbol::intern(buf.trim()),
+            None => Symbol::intern(self.text[body_lo..body_end].trim()),
+        };
+        Token::new(TokenKind::Directive(payload), self.span_from(lo))
     }
 
     /// Consumes `/* ... */`. Returns a token iff it is a SafeFlow annotation.
@@ -184,7 +213,7 @@ impl<'a, 'd> Lexer<'a, 'd> {
         } else {
             self.diags.error(self.span_from(lo), "unterminated block comment");
         }
-        let body = std::str::from_utf8(&self.bytes[body_start..body_end]).unwrap_or("");
+        let body = &self.text[body_start..body_end.min(self.text.len())];
         // Annotation comments may open with extra '*'s: `/***SafeFlow Annotation`.
         let trimmed = body.trim_start_matches('*').trim_start();
         if let Some(rest) = trimmed.strip_prefix(ANNOTATION_MARKER) {
@@ -203,7 +232,7 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 let plo = payload.as_ptr() as usize - self.bytes.as_ptr() as usize;
                 Span::new(self.file, plo as u32, (plo + payload.len()) as u32)
             };
-            return Some(Token::new(TokenKind::Annotation(payload.to_string()), span));
+            return Some(Token::new(TokenKind::Annotation(Symbol::intern(payload)), span));
         }
         None
     }
@@ -213,13 +242,13 @@ impl<'a, 'd> Lexer<'a, 'd> {
         while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
             self.bump();
         }
-        // The scanned bytes are ASCII alphanumerics/underscores, so this
-        // never allocates a replacement; `from_utf8_lossy` just avoids a
-        // panicking path in the hottest loop of the lexer.
-        let s = String::from_utf8_lossy(&self.bytes[lo..self.pos]).into_owned();
-        let kind = match Keyword::from_str(&s) {
+        // The scanned bytes are all ASCII alphanumerics/underscores, so the
+        // slice boundaries are char boundaries: borrow straight from the
+        // source buffer, no allocation.
+        let s = &self.text[lo..self.pos];
+        let kind = match Keyword::from_str(s) {
             Some(k) => TokenKind::Keyword(k),
-            None => TokenKind::Ident(s),
+            None => TokenKind::Ident(Symbol::intern(s)),
         };
         Token::new(kind, self.span_from(lo))
     }
@@ -234,8 +263,8 @@ impl<'a, 'd> Lexer<'a, 'd> {
             while self.peek().is_ascii_hexdigit() {
                 self.bump();
             }
-            let digits = String::from_utf8_lossy(&self.bytes[digits_lo..self.pos]);
-            let value = i64::from_str_radix(&digits, 16).unwrap_or_else(|_| {
+            let digits = &self.text[digits_lo..self.pos];
+            let value = i64::from_str_radix(digits, 16).unwrap_or_else(|_| {
                 self.diags.error(self.span_from(lo), "invalid hexadecimal constant");
                 0
             });
@@ -266,7 +295,7 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 self.bump();
             }
         }
-        let text = String::from_utf8_lossy(&self.bytes[lo..self.pos]);
+        let text = &self.text[lo..self.pos];
         if is_float || (self.peek() | 0x20) == b'f' && text.contains('.') {
             let value: f64 = text.parse().unwrap_or_else(|_| {
                 self.diags.error(self.span_from(lo), "invalid floating-point constant");
@@ -349,7 +378,31 @@ impl<'a, 'd> Lexer<'a, 'd> {
     fn lex_string(&mut self) -> Token {
         let lo = self.pos;
         self.bump(); // '"'
-        let mut s = String::new();
+        let content_lo = self.pos;
+        // Fast path: an all-ASCII literal with no escapes is a verbatim
+        // slice of the source. Escapes need decoding, and non-ASCII bytes
+        // keep the historical byte-as-char decoding, so either drops to the
+        // buffered slow path below.
+        loop {
+            let b = self.peek();
+            if b == 0 && self.pos >= self.bytes.len() {
+                self.diags.error(self.span_from(lo), "unterminated string literal");
+                let s = &self.text[content_lo..self.pos];
+                return Token::new(TokenKind::StrLit(Symbol::intern(s)), self.span_from(lo));
+            }
+            if b == b'"' {
+                let s = &self.text[content_lo..self.pos];
+                self.bump();
+                return Token::new(TokenKind::StrLit(Symbol::intern(s)), self.span_from(lo));
+            }
+            if b == b'\\' || !b.is_ascii() {
+                break;
+            }
+            self.bump();
+        }
+        // Slow path: everything scanned so far was clean ASCII; copy it and
+        // continue decoding byte by byte.
+        let mut s = self.text[content_lo..self.pos].to_string();
         loop {
             let b = self.peek();
             if b == 0 && self.pos >= self.bytes.len() {
@@ -368,7 +421,7 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 s.push(self.bump() as char);
             }
         }
-        Token::new(TokenKind::StrLit(s), self.span_from(lo))
+        Token::new(TokenKind::StrLit(Symbol::intern(&s)), self.span_from(lo))
     }
 
     fn lex_punct(&mut self) -> Token {
@@ -530,7 +583,7 @@ mod tests {
         assert_eq!(toks[1], TokenKind::CharLit('\n' as i64));
         assert_eq!(toks[2], TokenKind::CharLit(0x41));
         assert_eq!(toks[3], TokenKind::StrLit("hi\n".into()));
-        assert_eq!(toks[4], TokenKind::StrLit(String::new()));
+        assert_eq!(toks[4], TokenKind::StrLit("".into()));
     }
 
     #[test]
@@ -539,7 +592,7 @@ mod tests {
         let idents: Vec<_> = toks
             .iter()
             .filter_map(|t| match t {
-                TokenKind::Ident(s) => Some(s.clone()),
+                TokenKind::Ident(s) => Some(*s),
                 _ => None,
             })
             .collect();
@@ -596,7 +649,7 @@ mod tests {
         let mut diags = Diagnostics::new();
         let toks = lex(FileId(0), src, &mut diags);
         let tok = &toks[0];
-        assert_eq!(tok.kind, TokenKind::Annotation(String::new()));
+        assert_eq!(tok.kind, TokenKind::Annotation("".into()));
         assert_eq!((tok.span.lo, tok.span.hi), (0, 26));
     }
 

@@ -92,9 +92,43 @@ pub fn parse_source(name: &str, src: &str) -> ParseResult {
 /// assert!(result.is_ok());
 /// ```
 pub fn parse_program(main_name: &str, fs: &VirtualFs) -> ParseResult {
+    parse_program_jobs(main_name, fs, 1)
+}
+
+/// [`parse_program`] with `jobs` worker threads lexing the files of `fs`
+/// in parallel.
+///
+/// The result is byte-identical for every `jobs` value: `FileId`s are
+/// assigned by registering all files of `fs` in sorted-name order before
+/// any lexing happens (a pure function of the file set), and preprocessing
+/// — inclusion, conditional, and macro-expansion order, and therefore
+/// diagnostic order — replays sequentially over the pre-lexed token
+/// streams.
+pub fn parse_program_jobs(main_name: &str, fs: &VirtualFs, jobs: usize) -> ParseResult {
     let mut sources = SourceMap::new();
     let mut diags = Diagnostics::new();
-    let tokens = pp::preprocess(main_name, fs, &mut sources, &mut diags);
+
+    // Register every file up front, sorted by name, so FileIds do not
+    // depend on inclusion order or worker scheduling.
+    let names = fs.names();
+    let ids: Vec<FileId> = names
+        .iter()
+        .map(|n| sources.add_file(n.to_string(), fs.get(n).unwrap_or_default().to_string()))
+        .collect();
+
+    // Lex each file on the pool. Per-file diagnostics are collected
+    // separately and spliced in at the file's first inclusion, matching
+    // the sequential preprocessor's emission order.
+    let lexed = safeflow_util::pool::run_map(jobs.max(1), names.len(), |i| {
+        let mut file_diags = Diagnostics::new();
+        let tokens = lexer::lex(ids[i], fs.get(names[i]).unwrap_or_default(), &mut file_diags);
+        let diags = if file_diags.is_empty() { None } else { Some(file_diags) };
+        pp::LexedFile { tokens, diags }
+    });
+    let mut cache: std::collections::HashMap<String, pp::LexedFile> =
+        names.iter().map(|n| n.to_string()).zip(lexed).collect();
+
+    let tokens = pp::preprocess_with_cache(main_name, fs, &mut sources, &mut diags, &mut cache);
     let unit = parser::parse(tokens, &mut sources, &mut diags);
     ParseResult { unit, sources, diags }
 }

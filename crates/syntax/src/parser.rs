@@ -6,6 +6,10 @@
 //! top-level items, and attaches SafeFlow annotations to functions
 //! (header position) or statements (block-item position).
 //!
+//! Nodes are appended to the unit's [`Ast`] arena as they are reduced, so
+//! parsing allocates a handful of growing `Vec`s instead of one `Box` per
+//! node; names stay interned [`Symbol`]s straight from the lexer.
+//!
 //! The subset is the one the paper's language restrictions (§3.2) already
 //! demand: no function pointers, no `goto`, no K&R declarations.
 
@@ -15,6 +19,7 @@ use crate::diag::Diagnostics;
 use crate::source::SourceMap;
 use crate::span::Span;
 use crate::token::{Keyword, Punct, Token, TokenKind};
+use safeflow_util::Symbol;
 use std::collections::HashSet;
 
 /// Parses a preprocessed token stream into a translation unit.
@@ -31,6 +36,7 @@ pub fn parse(
         pos: 0,
         sources,
         diags,
+        ast: Ast::default(),
         typedefs: HashSet::new(),
         anon_counter: 0,
         hoisted: Vec::new(),
@@ -45,7 +51,9 @@ struct Parser<'a> {
     pos: usize,
     sources: &'a mut SourceMap,
     diags: &'a mut Diagnostics,
-    typedefs: HashSet<String>,
+    /// Node arena for the unit being built.
+    ast: Ast,
+    typedefs: HashSet<Symbol>,
     anon_counter: u32,
     /// Struct/enum definitions encountered inline, hoisted before the
     /// current item.
@@ -53,7 +61,7 @@ struct Parser<'a> {
     /// Side channel from `parse_declarator_suffix` to its callers: when a
     /// declarator turns out to be a function, its `(return type, params,
     /// varargs)` is stashed here and the returned type is a marker.
-    pending_fn: Option<(TypeExpr, Vec<Param>, bool)>,
+    pending_fn: Option<(TypeId, Vec<Param>, bool)>,
     /// Current expression nesting depth, bounded to keep recursive descent
     /// from overflowing the stack on adversarial input.
     expr_depth: u32,
@@ -82,7 +90,7 @@ impl<'a> Parser<'a> {
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)];
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -124,17 +132,30 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect_ident(&mut self) -> (String, Span) {
-        if let TokenKind::Ident(s) = self.peek_kind() {
-            let s = s.clone();
+    fn expect_ident(&mut self) -> (Symbol, Span) {
+        if let TokenKind::Ident(s) = *self.peek_kind() {
             let sp = self.bump().span;
             (s, sp)
         } else {
             let sp = self.span();
             self.diags
                 .error(sp, format!("expected identifier, found {}", self.peek_kind().describe()));
-            (String::from("<error>"), sp)
+            (Symbol::intern("<error>"), sp)
         }
+    }
+
+    // ----- arena plumbing -------------------------------------------------
+
+    fn alloc_expr(&mut self, kind: ExprKind, span: Span) -> ExprId {
+        self.ast.alloc_expr(Expr::new(kind, span))
+    }
+
+    fn alloc_stmt(&mut self, kind: StmtKind, span: Span) -> StmtId {
+        self.ast.alloc_stmt(Stmt { kind, span })
+    }
+
+    fn espan(&self, id: ExprId) -> Span {
+        self.ast.expr(id).span
     }
 
     /// Skips tokens until a likely item boundary (`;` or `}` at depth 0).
@@ -160,9 +181,9 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn fresh_anon_name(&mut self, what: &str) -> String {
+    fn fresh_anon_name(&mut self, what: &str) -> Symbol {
         self.anon_counter += 1;
-        format!("__anon_{what}_{}", self.anon_counter)
+        Symbol::intern(&format!("__anon_{what}_{}", self.anon_counter))
     }
 
     // ----- type recognition ----------------------------------------------
@@ -202,13 +223,12 @@ impl<'a> Parser<'a> {
     // ----- translation unit ----------------------------------------------
 
     fn parse_translation_unit(&mut self) -> TranslationUnit {
-        let mut tu = TranslationUnit::default();
+        let mut items = Vec::new();
         let mut pending_annotations: Vec<Annotation> = Vec::new();
         while !self.at_eof() {
-            if let TokenKind::Annotation(body) = self.peek_kind() {
-                let body = body.clone();
+            if let TokenKind::Annotation(body) = *self.peek_kind() {
                 let sp = self.bump().span;
-                let anns = parse_annotation_body(&body, sp, self.sources, self.diags);
+                let anns = parse_annotation_body(body.as_str(), sp, self.sources, self.diags);
                 pending_annotations.extend(anns);
                 continue;
             }
@@ -217,7 +237,7 @@ impl<'a> Parser<'a> {
             }
             let before = self.pos;
             match self.parse_item(std::mem::take(&mut pending_annotations)) {
-                Some(items) => tu.items.extend(items),
+                Some(new_items) => items.extend(new_items),
                 None => {
                     self.recover_to_item_boundary();
                 }
@@ -233,7 +253,7 @@ impl<'a> Parser<'a> {
                 "dangling SafeFlow annotation at end of file",
             );
         }
-        tu
+        TranslationUnit { items, ast: std::mem::take(&mut self.ast) }
     }
 
     /// Parses one top-level item (plus any hoisted inline definitions).
@@ -274,14 +294,14 @@ impl<'a> Parser<'a> {
                 return None;
             }
             self.expect_punct(Punct::Semi);
-            self.typedefs.insert(name.clone());
+            self.typedefs.insert(name);
             let mut items = std::mem::take(&mut self.hoisted);
             items.push(Item::Typedef(Typedef { name, ty, span: start }));
             return Some(items);
         }
 
         // First declarator decides function vs variable.
-        let (ty, name, declarator_span) = self.parse_declarator(base.clone())?;
+        let (ty, name, declarator_span) = self.parse_declarator(base)?;
 
         // Function definition or prototype: declarator parsed parameter list.
         if let Some((ret, params, varargs)) = self.pending_fn.take() {
@@ -289,10 +309,14 @@ impl<'a> Parser<'a> {
             let mut annotations = leading_annotations;
             // Header-position annotations (Figure 2 style: between the
             // declarator and the `{`).
-            while let TokenKind::Annotation(body) = self.peek_kind() {
-                let body = body.clone();
+            while let TokenKind::Annotation(body) = *self.peek_kind() {
                 let sp = self.bump().span;
-                annotations.extend(parse_annotation_body(&body, sp, self.sources, self.diags));
+                annotations.extend(parse_annotation_body(
+                    body.as_str(),
+                    sp,
+                    self.sources,
+                    self.diags,
+                ));
             }
             let body = if self.peek().is_punct(Punct::LBrace) {
                 Some(self.parse_block()?)
@@ -337,7 +361,7 @@ impl<'a> Parser<'a> {
                 span: decl_span,
             }));
             if self.eat_punct(Punct::Comma) {
-                let (t, n, sp) = self.parse_declarator(base.clone())?;
+                let (t, n, sp) = self.parse_declarator(base)?;
                 if self.pending_fn.take().is_some() {
                     self.diags
                         .error(sp, "function declarator in multi-declarator list is not supported");
@@ -357,7 +381,7 @@ impl<'a> Parser<'a> {
     // ----- types and declarators -----------------------------------------
 
     /// Parses decl-specifiers (without storage classes) into a base type.
-    fn parse_type_specifier(&mut self) -> Option<TypeExpr> {
+    fn parse_type_specifier(&mut self) -> Option<TypeId> {
         let start = self.span();
         // Skip qualifiers.
         while self.eat_keyword(Keyword::Const) || self.eat_keyword(Keyword::Volatile) {}
@@ -427,11 +451,10 @@ impl<'a> Parser<'a> {
 
         if base.is_none() && long_count == 0 && signed.is_none() {
             // Typedef name?
-            if let TokenKind::Ident(s) = self.peek_kind() {
-                if self.typedefs.contains(s) {
-                    let name = s.clone();
+            if let TokenKind::Ident(s) = *self.peek_kind() {
+                if self.typedefs.contains(&s) {
                     let sp = self.bump().span;
-                    return Some(TypeExpr::new(TypeExprKind::Named(name), sp));
+                    return Some(self.ast.alloc_type(TypeExpr::new(TypeExprKind::Named(s), sp)));
                 }
             }
             self.diags.error(
@@ -452,14 +475,14 @@ impl<'a> Parser<'a> {
                 Some(other) => other,
             }
         };
-        Some(TypeExpr::new(kind, start.to(self.span())))
+        let span = start.to(self.span());
+        Some(self.ast.alloc_type(TypeExpr::new(kind, span)))
     }
 
-    fn parse_struct_or_union_body(&mut self, is_union: bool, start: Span) -> Option<TypeExpr> {
-        let name = if let TokenKind::Ident(s) = self.peek_kind() {
-            let n = s.clone();
+    fn parse_struct_or_union_body(&mut self, is_union: bool, start: Span) -> Option<TypeId> {
+        let name = if let TokenKind::Ident(s) = *self.peek_kind() {
             self.bump();
-            n
+            s
         } else {
             self.fresh_anon_name(if is_union { "union" } else { "struct" })
         };
@@ -468,7 +491,7 @@ impl<'a> Parser<'a> {
             while !self.peek().is_punct(Punct::RBrace) && !self.at_eof() {
                 let base = self.parse_type_specifier()?;
                 loop {
-                    let (fty, fname, fsp) = self.parse_declarator(base.clone())?;
+                    let (fty, fname, fsp) = self.parse_declarator(base)?;
                     if self.pending_fn.take().is_some() {
                         self.diags.error(
                             fsp,
@@ -484,22 +507,16 @@ impl<'a> Parser<'a> {
                 self.expect_punct(Punct::Semi);
             }
             self.expect_punct(Punct::RBrace);
-            self.hoisted.push(Item::Struct(StructDef {
-                name: name.clone(),
-                fields,
-                is_union,
-                span: start,
-            }));
+            self.hoisted.push(Item::Struct(StructDef { name, fields, is_union, span: start }));
         }
         let kind = if is_union { TypeExprKind::Union(name) } else { TypeExprKind::Struct(name) };
-        Some(TypeExpr::new(kind, start))
+        Some(self.ast.alloc_type(TypeExpr::new(kind, start)))
     }
 
-    fn parse_enum_body(&mut self, start: Span) -> Option<TypeExpr> {
-        let name = if let TokenKind::Ident(s) = self.peek_kind() {
-            let n = s.clone();
+    fn parse_enum_body(&mut self, start: Span) -> Option<TypeId> {
+        let name = if let TokenKind::Ident(s) = *self.peek_kind() {
             self.bump();
-            Some(n)
+            Some(s)
         } else {
             None
         };
@@ -518,20 +535,20 @@ impl<'a> Parser<'a> {
                 }
             }
             self.expect_punct(Punct::RBrace);
-            self.hoisted.push(Item::Enum(EnumDef { name: name.clone(), variants, span: start }));
+            self.hoisted.push(Item::Enum(EnumDef { name, variants, span: start }));
         }
         let tag = name.unwrap_or_else(|| self.fresh_anon_name("enum"));
-        Some(TypeExpr::new(TypeExprKind::Enum(tag), start))
+        Some(self.ast.alloc_type(TypeExpr::new(TypeExprKind::Enum(tag), start)))
     }
 
     /// Parses `'*'* ident suffix*` against `base`, returning the full type,
     /// the declared name, and its span.
-    fn parse_declarator(&mut self, base: TypeExpr) -> Option<(TypeExpr, String, Span)> {
+    fn parse_declarator(&mut self, base: TypeId) -> Option<(TypeId, Symbol, Span)> {
         let mut ty = base;
         while self.eat_punct(Punct::Star) {
             // Qualifiers after '*' (e.g. `int * const p`).
             while self.eat_keyword(Keyword::Const) || self.eat_keyword(Keyword::Volatile) {}
-            ty = ty.ptr_to();
+            ty = self.ast.ptr_to(ty);
         }
         let (name, name_span) = self.expect_ident();
         self.parse_declarator_suffix(ty, name, name_span)
@@ -539,10 +556,10 @@ impl<'a> Parser<'a> {
 
     fn parse_declarator_suffix(
         &mut self,
-        mut ty: TypeExpr,
-        name: String,
+        mut ty: TypeId,
+        name: Symbol,
         name_span: Span,
-    ) -> Option<(TypeExpr, String, Span)> {
+    ) -> Option<(TypeId, Symbol, Span)> {
         // Function declarator.
         if self.peek().is_punct(Punct::LParen) {
             self.bump();
@@ -566,14 +583,13 @@ impl<'a> Parser<'a> {
                         while self.eat_keyword(Keyword::Const)
                             || self.eat_keyword(Keyword::Volatile)
                         {}
-                        pty = pty.ptr_to();
+                        pty = self.ast.ptr_to(pty);
                     }
-                    let (pname, psp) = if let TokenKind::Ident(s) = self.peek_kind() {
-                        let n = s.clone();
+                    let (pname, psp) = if let TokenKind::Ident(s) = *self.peek_kind() {
                         let sp = self.bump().span;
-                        (n, sp)
+                        (s, sp)
                     } else {
-                        (String::new(), self.span())
+                        (Symbol::intern(""), self.span())
                     };
                     // Array parameters decay to pointers.
                     while self.eat_punct(Punct::LBracket) {
@@ -582,7 +598,7 @@ impl<'a> Parser<'a> {
                             let _ = self.parse_conditional_expr()?;
                         }
                         self.expect_punct(Punct::RBracket);
-                        pty = pty.ptr_to();
+                        pty = self.ast.ptr_to(pty);
                     }
                     params.push(Param { name: pname, ty: pty, span: psp });
                     if !self.eat_punct(Punct::Comma) {
@@ -591,11 +607,12 @@ impl<'a> Parser<'a> {
                 }
             }
             self.expect_punct(Punct::RParen);
-            // Represent the function declarator by a sentinel: the caller
-            // (parse_item) consumes it via classify_declarator. We encode it
-            // as Array with a marker is not workable — instead we wrap in a
-            // synthetic struct carried through `FUNC_MARKER`.
-            let fn_ty = TypeExpr::new(TypeExprKind::Struct(FUNC_MARKER.to_string()), name_span);
+            // Represent the function declarator by a sentinel type node; the
+            // real signature travels through `pending_fn`.
+            let fn_ty = self.ast.alloc_type(TypeExpr::new(
+                TypeExprKind::Struct(Symbol::intern(FUNC_MARKER)),
+                name_span,
+            ));
             // Stash params/ret through the side channel.
             self.pending_fn = Some((ty, params, varargs));
             return Some((fn_ty, name, name_span));
@@ -606,19 +623,19 @@ impl<'a> Parser<'a> {
             let size = if self.peek().is_punct(Punct::RBracket) {
                 None
             } else {
-                Some(Box::new(self.parse_conditional_expr()?))
+                Some(self.parse_conditional_expr()?)
             };
             self.expect_punct(Punct::RBracket);
             dims.push(size);
         }
         for size in dims.into_iter().rev() {
-            let sp = ty.span;
-            ty = TypeExpr::new(TypeExprKind::Array(Box::new(ty), size), sp);
+            let sp = self.ast.type_expr(ty).span;
+            ty = self.ast.alloc_type(TypeExpr::new(TypeExprKind::Array(ty, size), sp));
         }
         Some((ty, name, name_span))
     }
 
-    fn parse_initializer(&mut self) -> Option<Initializer> {
+    fn parse_initializer(&mut self) -> Option<InitId> {
         if self.peek().is_punct(Punct::LBrace) {
             let start = self.bump().span;
             let mut items = Vec::new();
@@ -629,9 +646,10 @@ impl<'a> Parser<'a> {
                 }
             }
             let end = self.expect_punct(Punct::RBrace);
-            Some(Initializer::List(items, start.to(end)))
+            Some(self.ast.alloc_init(Initializer::List(items, start.to(end))))
         } else {
-            Some(Initializer::Expr(self.parse_assignment_expr()?))
+            let e = self.parse_assignment_expr()?;
+            Some(self.ast.alloc_init(Initializer::Expr(e)))
         }
     }
 
@@ -675,60 +693,56 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_stmt(&mut self) -> Option<Stmt> {
+    fn parse_stmt(&mut self) -> Option<StmtId> {
         let start = self.span();
-        match self.peek_kind().clone() {
+        match *self.peek_kind() {
             TokenKind::Annotation(body) => {
                 let sp = self.bump().span;
-                let anns = parse_annotation_body(&body, sp, self.sources, self.diags);
+                let anns = parse_annotation_body(body.as_str(), sp, self.sources, self.diags);
                 // Several annotations in one comment become several
                 // annotation statements; wrap in a block when needed.
-                let mut stmts: Vec<Stmt> = anns
+                let mut stmts: Vec<StmtId> = anns
                     .into_iter()
-                    .map(|a| Stmt { kind: StmtKind::Annotation(a), span: sp })
+                    .map(|a| self.alloc_stmt(StmtKind::Annotation(a), sp))
                     .collect();
                 match stmts.len() {
-                    0 => Some(Stmt { kind: StmtKind::Empty, span: sp }),
+                    0 => Some(self.alloc_stmt(StmtKind::Empty, sp)),
                     1 => Some(stmts.pop().unwrap()),
-                    _ => Some(Stmt {
-                        kind: StmtKind::Block(Block { items: stmts, span: sp }),
-                        span: sp,
-                    }),
+                    _ => {
+                        Some(self.alloc_stmt(StmtKind::Block(Block { items: stmts, span: sp }), sp))
+                    }
                 }
             }
             TokenKind::Punct(Punct::LBrace) => {
                 let b = self.parse_block()?;
                 let sp = b.span;
-                Some(Stmt { kind: StmtKind::Block(b), span: sp })
+                Some(self.alloc_stmt(StmtKind::Block(b), sp))
             }
             TokenKind::Punct(Punct::Semi) => {
                 self.bump();
-                Some(Stmt { kind: StmtKind::Empty, span: start })
+                Some(self.alloc_stmt(StmtKind::Empty, start))
             }
             TokenKind::Keyword(Keyword::If) => {
                 self.bump();
                 self.expect_punct(Punct::LParen);
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen);
-                let then = Box::new(self.parse_stmt()?);
-                let els = if self.eat_keyword(Keyword::Else) {
-                    Some(Box::new(self.parse_stmt()?))
-                } else {
-                    None
-                };
-                Some(Stmt { kind: StmtKind::If { cond, then, els }, span: start })
+                let then = self.parse_stmt()?;
+                let els =
+                    if self.eat_keyword(Keyword::Else) { Some(self.parse_stmt()?) } else { None };
+                Some(self.alloc_stmt(StmtKind::If { cond, then, els }, start))
             }
             TokenKind::Keyword(Keyword::While) => {
                 self.bump();
                 self.expect_punct(Punct::LParen);
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen);
-                let body = Box::new(self.parse_stmt()?);
-                Some(Stmt { kind: StmtKind::While { cond, body }, span: start })
+                let body = self.parse_stmt()?;
+                Some(self.alloc_stmt(StmtKind::While { cond, body }, start))
             }
             TokenKind::Keyword(Keyword::Do) => {
                 self.bump();
-                let body = Box::new(self.parse_stmt()?);
+                let body = self.parse_stmt()?;
                 if !self.eat_keyword(Keyword::While) {
                     self.diags.error(self.span(), "expected `while` after do-body");
                     return None;
@@ -737,7 +751,7 @@ impl<'a> Parser<'a> {
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen);
                 self.expect_punct(Punct::Semi);
-                Some(Stmt { kind: StmtKind::DoWhile { body, cond }, span: start })
+                Some(self.alloc_stmt(StmtKind::DoWhile { body, cond }, start))
             }
             TokenKind::Keyword(Keyword::For) => {
                 self.bump();
@@ -746,12 +760,11 @@ impl<'a> Parser<'a> {
                     self.bump();
                     None
                 } else if self.starts_type() {
-                    let d = self.parse_local_decl()?;
-                    Some(Box::new(d))
+                    Some(self.parse_local_decl()?)
                 } else {
                     let e = self.parse_expr()?;
                     self.expect_punct(Punct::Semi);
-                    Some(Box::new(Stmt { kind: StmtKind::Expr(e), span: start }))
+                    Some(self.alloc_stmt(StmtKind::Expr(e), start))
                 };
                 let cond =
                     if self.peek().is_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
@@ -762,8 +775,8 @@ impl<'a> Parser<'a> {
                     Some(self.parse_expr()?)
                 };
                 self.expect_punct(Punct::RParen);
-                let body = Box::new(self.parse_stmt()?);
-                Some(Stmt { kind: StmtKind::For { init, cond, step, body }, span: start })
+                let body = self.parse_stmt()?;
+                Some(self.alloc_stmt(StmtKind::For { init, cond, step, body }, start))
             }
             TokenKind::Keyword(Keyword::Switch) => {
                 self.bump();
@@ -790,31 +803,31 @@ impl<'a> Parser<'a> {
                         match cases.last_mut() {
                             Some(c) => c.stmts.push(s),
                             None => {
-                                self.diags
-                                    .error(s.span, "statement in switch before any case label");
+                                let sp = self.ast.stmt(s).span;
+                                self.diags.error(sp, "statement in switch before any case label");
                             }
                         }
                     }
                 }
                 self.expect_punct(Punct::RBrace);
-                Some(Stmt { kind: StmtKind::Switch { scrutinee, cases }, span: start })
+                Some(self.alloc_stmt(StmtKind::Switch { scrutinee, cases }, start))
             }
             TokenKind::Keyword(Keyword::Return) => {
                 self.bump();
                 let value =
                     if self.peek().is_punct(Punct::Semi) { None } else { Some(self.parse_expr()?) };
                 self.expect_punct(Punct::Semi);
-                Some(Stmt { kind: StmtKind::Return(value), span: start })
+                Some(self.alloc_stmt(StmtKind::Return(value), start))
             }
             TokenKind::Keyword(Keyword::Break) => {
                 self.bump();
                 self.expect_punct(Punct::Semi);
-                Some(Stmt { kind: StmtKind::Break, span: start })
+                Some(self.alloc_stmt(StmtKind::Break, start))
             }
             TokenKind::Keyword(Keyword::Continue) => {
                 self.bump();
                 self.expect_punct(Punct::Semi);
-                Some(Stmt { kind: StmtKind::Continue, span: start })
+                Some(self.alloc_stmt(StmtKind::Continue, start))
             }
             TokenKind::Keyword(Keyword::Goto) => {
                 self.diags.error(start, "`goto` is not part of the restricted C subset");
@@ -824,14 +837,14 @@ impl<'a> Parser<'a> {
             _ => {
                 let e = self.parse_expr()?;
                 self.expect_punct(Punct::Semi);
-                Some(Stmt { kind: StmtKind::Expr(e), span: start })
+                Some(self.alloc_stmt(StmtKind::Expr(e), start))
             }
         }
     }
 
     /// Parses a local declaration statement; multiple declarators become a
     /// block of single declarations.
-    fn parse_local_decl(&mut self) -> Option<Stmt> {
+    fn parse_local_decl(&mut self) -> Option<StmtId> {
         let start = self.span();
         let mut storage = Storage::None;
         loop {
@@ -849,18 +862,17 @@ impl<'a> Parser<'a> {
         let base = self.parse_type_specifier()?;
         let mut decls = Vec::new();
         loop {
-            let (ty, name, sp) = self.parse_declarator(base.clone())?;
-            if matches!(&ty.kind, TypeExprKind::Struct(s) if s == FUNC_MARKER) {
+            let (ty, name, sp) = self.parse_declarator(base)?;
+            if matches!(self.ast.type_expr(ty).kind, TypeExprKind::Struct(s) if s == FUNC_MARKER) {
                 self.diags.error(sp, "function declarations are not allowed inside functions");
                 self.pending_fn = None;
                 return None;
             }
             let init =
                 if self.eat_punct(Punct::Assign) { Some(self.parse_initializer()?) } else { None };
-            decls.push(Stmt {
-                kind: StmtKind::Decl(VarDecl { name, ty, init, storage, span: sp }),
-                span: sp,
-            });
+            decls.push(
+                self.alloc_stmt(StmtKind::Decl(VarDecl { name, ty, init, storage, span: sp }), sp),
+            );
             if !self.eat_punct(Punct::Comma) {
                 break;
             }
@@ -869,23 +881,23 @@ impl<'a> Parser<'a> {
         if decls.len() == 1 {
             decls.pop()
         } else {
-            Some(Stmt { kind: StmtKind::Block(Block { items: decls, span: start }), span: start })
+            Some(self.alloc_stmt(StmtKind::Block(Block { items: decls, span: start }), start))
         }
     }
 
     // ----- expressions -----------------------------------------------------
 
-    fn parse_expr(&mut self) -> Option<Expr> {
+    fn parse_expr(&mut self) -> Option<ExprId> {
         let mut lhs = self.parse_assignment_expr()?;
         while self.eat_punct(Punct::Comma) {
             let rhs = self.parse_assignment_expr()?;
-            let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Comma(Box::new(lhs), Box::new(rhs)), span);
+            let span = self.espan(lhs).to(self.espan(rhs));
+            lhs = self.alloc_expr(ExprKind::Comma(lhs, rhs), span);
         }
         Some(lhs)
     }
 
-    fn parse_assignment_expr(&mut self) -> Option<Expr> {
+    fn parse_assignment_expr(&mut self) -> Option<ExprId> {
         let lhs = self.parse_conditional_expr()?;
         let op = match self.peek_kind() {
             TokenKind::Punct(Punct::Assign) => Some(None),
@@ -904,37 +916,27 @@ impl<'a> Parser<'a> {
         if let Some(op) = op {
             self.bump();
             let rhs = self.parse_assignment_expr()?;
-            let span = lhs.span.to(rhs.span);
-            return Some(Expr::new(
-                ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
-                span,
-            ));
+            let span = self.espan(lhs).to(self.espan(rhs));
+            return Some(self.alloc_expr(ExprKind::Assign { op, lhs, rhs }, span));
         }
         Some(lhs)
     }
 
-    fn parse_conditional_expr(&mut self) -> Option<Expr> {
+    fn parse_conditional_expr(&mut self) -> Option<ExprId> {
         let cond = self.parse_binary_expr(0)?;
         if self.eat_punct(Punct::Question) {
             let then = self.parse_expr()?;
             self.expect_punct(Punct::Colon);
             let els = self.parse_conditional_expr()?;
-            let span = cond.span.to(els.span);
-            return Some(Expr::new(
-                ExprKind::Conditional {
-                    cond: Box::new(cond),
-                    then: Box::new(then),
-                    els: Box::new(els),
-                },
-                span,
-            ));
+            let span = self.espan(cond).to(self.espan(els));
+            return Some(self.alloc_expr(ExprKind::Conditional { cond, then, els }, span));
         }
         Some(cond)
     }
 
     /// Precedence climbing for binary operators. `min_prec` is the minimum
     /// binding power to accept.
-    fn parse_binary_expr(&mut self, min_prec: u8) -> Option<Expr> {
+    fn parse_binary_expr(&mut self, min_prec: u8) -> Option<ExprId> {
         let mut lhs = self.parse_cast_expr()?;
         loop {
             let (prec, kind) = match self.peek_kind() {
@@ -963,19 +965,17 @@ impl<'a> Parser<'a> {
             }
             self.bump();
             let rhs = self.parse_binary_expr(prec + 1)?;
-            let span = lhs.span.to(rhs.span);
+            let span = self.espan(lhs).to(self.espan(rhs));
             lhs = match kind {
-                BinKind::Op(op) => {
-                    Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span)
-                }
-                BinKind::And => Expr::new(ExprKind::LogicalAnd(Box::new(lhs), Box::new(rhs)), span),
-                BinKind::Or => Expr::new(ExprKind::LogicalOr(Box::new(lhs), Box::new(rhs)), span),
+                BinKind::Op(op) => self.alloc_expr(ExprKind::Binary(op, lhs, rhs), span),
+                BinKind::And => self.alloc_expr(ExprKind::LogicalAnd(lhs, rhs), span),
+                BinKind::Or => self.alloc_expr(ExprKind::LogicalOr(lhs, rhs), span),
             };
         }
         Some(lhs)
     }
 
-    fn parse_cast_expr(&mut self) -> Option<Expr> {
+    fn parse_cast_expr(&mut self) -> Option<ExprId> {
         if self.expr_depth >= MAX_EXPR_DEPTH {
             self.diags.error(self.span(), "expression nesting too deep");
             return None;
@@ -986,24 +986,24 @@ impl<'a> Parser<'a> {
         result
     }
 
-    fn parse_cast_expr_inner(&mut self) -> Option<Expr> {
+    fn parse_cast_expr_inner(&mut self) -> Option<ExprId> {
         // `( type ) expr` — lookahead: '(' followed by a type start.
         if self.peek().is_punct(Punct::LParen) && self.starts_type_at(1) {
             let start = self.bump().span; // '('
             let base = self.parse_type_specifier()?;
             let mut ty = base;
             while self.eat_punct(Punct::Star) {
-                ty = ty.ptr_to();
+                ty = self.ast.ptr_to(ty);
             }
             self.expect_punct(Punct::RParen);
             let inner = self.parse_cast_expr()?;
-            let span = start.to(inner.span);
-            return Some(Expr::new(ExprKind::Cast(ty, Box::new(inner)), span));
+            let span = start.to(self.espan(inner));
+            return Some(self.alloc_expr(ExprKind::Cast(ty, inner), span));
         }
         self.parse_unary_expr()
     }
 
-    fn parse_unary_expr(&mut self) -> Option<Expr> {
+    fn parse_unary_expr(&mut self) -> Option<ExprId> {
         let start = self.span();
         let un = match self.peek_kind() {
             TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
@@ -1017,18 +1017,18 @@ impl<'a> Parser<'a> {
         if let Some(op) = un {
             self.bump();
             let inner = self.parse_cast_expr()?;
-            let span = start.to(inner.span);
-            return Some(Expr::new(ExprKind::Unary(op, Box::new(inner)), span));
+            let span = start.to(self.espan(inner));
+            return Some(self.alloc_expr(ExprKind::Unary(op, inner), span));
         }
         if self.eat_punct(Punct::PlusPlus) {
             let inner = self.parse_unary_expr()?;
-            let span = start.to(inner.span);
-            return Some(Expr::new(ExprKind::PreIncDec(Box::new(inner), true), span));
+            let span = start.to(self.espan(inner));
+            return Some(self.alloc_expr(ExprKind::PreIncDec(inner, true), span));
         }
         if self.eat_punct(Punct::MinusMinus) {
             let inner = self.parse_unary_expr()?;
-            let span = start.to(inner.span);
-            return Some(Expr::new(ExprKind::PreIncDec(Box::new(inner), false), span));
+            let span = start.to(self.espan(inner));
+            return Some(self.alloc_expr(ExprKind::PreIncDec(inner, false), span));
         }
         if self.peek().is_keyword(Keyword::Sizeof) {
             self.bump();
@@ -1037,28 +1037,28 @@ impl<'a> Parser<'a> {
                 let base = self.parse_type_specifier()?;
                 let mut ty = base;
                 while self.eat_punct(Punct::Star) {
-                    ty = ty.ptr_to();
+                    ty = self.ast.ptr_to(ty);
                 }
                 let end = self.expect_punct(Punct::RParen);
-                return Some(Expr::new(ExprKind::SizeofType(ty), start.to(end)));
+                return Some(self.alloc_expr(ExprKind::SizeofType(ty), start.to(end)));
             }
             let inner = self.parse_unary_expr()?;
-            let span = start.to(inner.span);
-            return Some(Expr::new(ExprKind::SizeofExpr(Box::new(inner)), span));
+            let span = start.to(self.espan(inner));
+            return Some(self.alloc_expr(ExprKind::SizeofExpr(inner), span));
         }
         self.parse_postfix_expr()
     }
 
-    fn parse_postfix_expr(&mut self) -> Option<Expr> {
+    fn parse_postfix_expr(&mut self) -> Option<ExprId> {
         let mut e = self.parse_primary_expr()?;
         loop {
             match self.peek_kind() {
                 TokenKind::Punct(Punct::LParen) => {
-                    let callee = match &e.kind {
-                        ExprKind::Ident(name) => name.clone(),
+                    let callee = match &self.ast.expr(e).kind {
+                        ExprKind::Ident(name) => *name,
                         _ => {
                             self.diags.error(
-                                e.span,
+                                self.espan(e),
                                 "indirect calls are not part of the restricted C subset (no function pointers)",
                             );
                             return None;
@@ -1075,40 +1075,37 @@ impl<'a> Parser<'a> {
                         }
                     }
                     let end = self.expect_punct(Punct::RParen);
-                    let span = e.span.to(end);
-                    e = Expr::new(ExprKind::Call { callee, args }, span);
+                    let span = self.espan(e).to(end);
+                    e = self.alloc_expr(ExprKind::Call { callee, args }, span);
                 }
                 TokenKind::Punct(Punct::LBracket) => {
                     self.bump();
                     let idx = self.parse_expr()?;
                     let end = self.expect_punct(Punct::RBracket);
-                    let span = e.span.to(end);
-                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), span);
+                    let span = self.espan(e).to(end);
+                    e = self.alloc_expr(ExprKind::Index(e, idx), span);
                 }
                 TokenKind::Punct(Punct::Dot) => {
                     self.bump();
                     let (field, fsp) = self.expect_ident();
-                    let span = e.span.to(fsp);
-                    e = Expr::new(
-                        ExprKind::Member { base: Box::new(e), field, arrow: false },
-                        span,
-                    );
+                    let span = self.espan(e).to(fsp);
+                    e = self.alloc_expr(ExprKind::Member { base: e, field, arrow: false }, span);
                 }
                 TokenKind::Punct(Punct::Arrow) => {
                     self.bump();
                     let (field, fsp) = self.expect_ident();
-                    let span = e.span.to(fsp);
-                    e = Expr::new(ExprKind::Member { base: Box::new(e), field, arrow: true }, span);
+                    let span = self.espan(e).to(fsp);
+                    e = self.alloc_expr(ExprKind::Member { base: e, field, arrow: true }, span);
                 }
                 TokenKind::Punct(Punct::PlusPlus) => {
                     let end = self.bump().span;
-                    let span = e.span.to(end);
-                    e = Expr::new(ExprKind::PostIncDec(Box::new(e), true), span);
+                    let span = self.espan(e).to(end);
+                    e = self.alloc_expr(ExprKind::PostIncDec(e, true), span);
                 }
                 TokenKind::Punct(Punct::MinusMinus) => {
                     let end = self.bump().span;
-                    let span = e.span.to(end);
-                    e = Expr::new(ExprKind::PostIncDec(Box::new(e), false), span);
+                    let span = self.espan(e).to(end);
+                    e = self.alloc_expr(ExprKind::PostIncDec(e, false), span);
                 }
                 _ => break,
             }
@@ -1116,34 +1113,40 @@ impl<'a> Parser<'a> {
         Some(e)
     }
 
-    fn parse_primary_expr(&mut self) -> Option<Expr> {
+    fn parse_primary_expr(&mut self) -> Option<ExprId> {
         let start = self.span();
-        match self.peek_kind().clone() {
+        match *self.peek_kind() {
             TokenKind::IntLit(v) => {
                 self.bump();
-                Some(Expr::new(ExprKind::IntLit(v), start))
+                Some(self.alloc_expr(ExprKind::IntLit(v), start))
             }
             TokenKind::FloatLit(v) => {
                 self.bump();
-                Some(Expr::new(ExprKind::FloatLit(v), start))
+                Some(self.alloc_expr(ExprKind::FloatLit(v), start))
             }
             TokenKind::CharLit(v) => {
                 self.bump();
-                Some(Expr::new(ExprKind::CharLit(v), start))
+                Some(self.alloc_expr(ExprKind::CharLit(v), start))
             }
             TokenKind::StrLit(s) => {
                 self.bump();
-                // Adjacent string literals concatenate.
-                let mut full = s;
-                while let TokenKind::StrLit(next) = self.peek_kind() {
-                    full.push_str(next);
-                    self.bump();
-                }
-                Some(Expr::new(ExprKind::StrLit(full), start))
+                // Adjacent string literals concatenate; the common single-
+                // literal case reuses the lexer's symbol without copying.
+                let sym = if matches!(self.peek_kind(), TokenKind::StrLit(_)) {
+                    let mut full = s.as_str().to_string();
+                    while let TokenKind::StrLit(next) = *self.peek_kind() {
+                        full.push_str(next.as_str());
+                        self.bump();
+                    }
+                    Symbol::intern(&full)
+                } else {
+                    s
+                };
+                Some(self.alloc_expr(ExprKind::StrLit(sym), start))
             }
             TokenKind::Ident(name) => {
                 self.bump();
-                Some(Expr::new(ExprKind::Ident(name), start))
+                Some(self.alloc_expr(ExprKind::Ident(name), start))
             }
             TokenKind::Punct(Punct::LParen) => {
                 self.bump();

@@ -16,6 +16,7 @@ use crate::diag::Diagnostics;
 use crate::lexer::lex;
 use crate::source::SourceMap;
 use crate::token::{Token, TokenKind};
+use safeflow_util::Symbol;
 use std::collections::HashMap;
 
 /// Maximum `#include` nesting depth before the preprocessor assumes a cycle.
@@ -67,6 +68,15 @@ struct Macro {
     body: Vec<Token>,
 }
 
+/// A pre-lexed source file fed to [`preprocess_with_cache`]: its token
+/// stream (spans already carry the pre-registered `FileId`) and the lexer
+/// diagnostics for the file, surfaced once at first inclusion so emission
+/// order matches the sequential preprocessor exactly.
+pub(crate) struct LexedFile {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) diags: Option<Diagnostics>,
+}
+
 /// Runs the preprocessor on `main_name` (looked up in `fs`), returning the
 /// fully expanded token stream (ending in a single `Eof`).
 ///
@@ -78,10 +88,27 @@ pub fn preprocess(
     sources: &mut SourceMap,
     diags: &mut Diagnostics,
 ) -> Vec<Token> {
+    let mut cache = HashMap::new();
+    preprocess_with_cache(main_name, fs, sources, diags, &mut cache)
+}
+
+/// [`preprocess`] over pre-lexed files: any file present in `cache` reuses
+/// its registered `FileId` and token stream instead of being re-lexed at
+/// inclusion time. This is the hook parallel translation-unit parsing uses
+/// — lexing happens on the worker pool, while inclusion/expansion order
+/// (and therefore diagnostic order) stays exactly sequential.
+pub(crate) fn preprocess_with_cache(
+    main_name: &str,
+    fs: &VirtualFs,
+    sources: &mut SourceMap,
+    diags: &mut Diagnostics,
+    cache: &mut HashMap<String, LexedFile>,
+) -> Vec<Token> {
     let mut pp = Preprocessor {
         fs,
         sources,
         diags,
+        cache,
         macros: HashMap::new(),
         include_stack: Vec::new(),
         out: Vec::new(),
@@ -96,7 +123,8 @@ struct Preprocessor<'a> {
     fs: &'a VirtualFs,
     sources: &'a mut SourceMap,
     diags: &'a mut Diagnostics,
-    macros: HashMap<String, Macro>,
+    cache: &'a mut HashMap<String, LexedFile>,
+    macros: HashMap<Symbol, Macro>,
     include_stack: Vec<String>,
     out: Vec<Token>,
 }
@@ -122,26 +150,40 @@ impl<'a> Preprocessor<'a> {
             self.diags.error(include_span, "#include nesting too deep");
             return;
         }
-        let Some(text) = self.fs.get(name) else {
-            self.diags.error(include_span, format!("included file \"{name}\" not found"));
-            return;
+        // A cached file reuses its pre-registered FileId and token stream
+        // (taken and restored around processing — tokens are `Copy` but the
+        // vector itself must survive repeated inclusion); an uncached file
+        // is registered and lexed here, as the sequential path always did.
+        let (tokens, cached) = match self.cache.get_mut(name) {
+            Some(f) => {
+                if let Some(d) = f.diags.take() {
+                    self.diags.append(d);
+                }
+                (std::mem::take(&mut f.tokens), true)
+            }
+            None => {
+                let Some(text) = self.fs.get(name) else {
+                    self.diags.error(include_span, format!("included file \"{name}\" not found"));
+                    return;
+                };
+                let text = text.to_string();
+                let file_id = self.sources.add_file(name, text.clone());
+                (lex(file_id, &text, self.diags), false)
+            }
         };
-        let text = text.to_string();
-        let file_id = self.sources.add_file(name, text.clone());
         self.include_stack.push(name.to_string());
-        let tokens = lex(file_id, &text, self.diags);
 
         let mut conds: Vec<CondState> = Vec::new();
-        for tok in tokens {
+        for tok in tokens.iter().copied() {
             let active = conds.last().map(|c| c.active).unwrap_or(true);
-            match &tok.kind {
+            match tok.kind {
                 TokenKind::Directive(d) => {
-                    self.handle_directive(d, tok.span, &mut conds, active);
+                    self.handle_directive(d.as_str(), tok.span, &mut conds, active);
                 }
                 TokenKind::Eof => {}
                 TokenKind::Ident(name) if active => {
                     let mut in_progress = Vec::new();
-                    self.expand_ident(name.clone(), tok.clone(), &mut in_progress);
+                    self.expand_ident(name, tok, &mut in_progress);
                 }
                 _ if active => self.out.push(tok),
                 _ => {}
@@ -151,9 +193,14 @@ impl<'a> Preprocessor<'a> {
             self.diags.error(include_span, format!("unterminated #if/#ifdef in \"{name}\""));
         }
         self.include_stack.pop();
+        if cached {
+            if let Some(f) = self.cache.get_mut(name) {
+                f.tokens = tokens;
+            }
+        }
     }
 
-    fn expand_ident(&mut self, name: String, tok: Token, in_progress: &mut Vec<String>) {
+    fn expand_ident(&mut self, name: Symbol, tok: Token, in_progress: &mut Vec<Symbol>) {
         if in_progress.contains(&name) {
             self.out.push(tok);
             return;
@@ -164,10 +211,8 @@ impl<'a> Preprocessor<'a> {
         };
         in_progress.push(name);
         for body_tok in mac.body {
-            match &body_tok.kind {
-                TokenKind::Ident(inner) => {
-                    self.expand_ident(inner.clone(), body_tok.clone(), in_progress)
-                }
+            match body_tok.kind {
+                TokenKind::Ident(inner) => self.expand_ident(inner, body_tok, in_progress),
                 _ => self.out.push(body_tok),
             }
         }
@@ -219,16 +264,16 @@ impl<'a> Preprocessor<'a> {
                 let mini = self.sources.add_file(format!("<macro {name}>"), body.to_string());
                 let mut body_toks = lex(mini, body, self.diags);
                 body_toks.retain(|t| t.kind != TokenKind::Eof);
-                self.macros.insert(name.to_string(), Macro { body: body_toks });
+                self.macros.insert(Symbol::intern(name), Macro { body: body_toks });
             }
             "undef" => {
                 if !active {
                     return;
                 }
-                self.macros.remove(rest.trim());
+                self.macros.remove(&Symbol::intern(rest.trim()));
             }
             "ifdef" | "ifndef" => {
-                let defined = self.macros.contains_key(rest.trim());
+                let defined = self.macros.contains_key(&Symbol::intern(rest.trim()));
                 let cond = if word == "ifdef" { defined } else { !defined };
                 conds.push(CondState {
                     active: active && cond,
@@ -293,13 +338,13 @@ impl<'a> Preprocessor<'a> {
             .and_then(|r| r.strip_suffix(')'))
             .or_else(|| expr.strip_prefix("defined ").map(|r| r.trim()))
         {
-            return self.macros.contains_key(inner.trim());
+            return self.macros.contains_key(&Symbol::intern(inner.trim()));
         }
         if let Some(inner) = expr.strip_prefix("!defined(").and_then(|r| r.strip_suffix(')')) {
-            return !self.macros.contains_key(inner.trim());
+            return !self.macros.contains_key(&Symbol::intern(inner.trim()));
         }
         // Fall back: a bare macro name that expands to an int.
-        if let Some(mac) = self.macros.get(expr) {
+        if let Some(mac) = self.macros.get(&Symbol::intern(expr)) {
             if let Some(Token { kind: TokenKind::IntLit(v), .. }) = mac.body.first() {
                 return *v != 0;
             }
@@ -338,7 +383,7 @@ mod tests {
     fn idents(toks: &[TokenKind]) -> Vec<String> {
         toks.iter()
             .filter_map(|t| match t {
-                TokenKind::Ident(s) => Some(s.clone()),
+                TokenKind::Ident(s) => Some(s.as_str().to_string()),
                 _ => None,
             })
             .collect()

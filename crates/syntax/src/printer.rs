@@ -4,6 +4,11 @@
 //! property: printing a parsed program and reparsing it must yield an
 //! equivalent AST (modulo spans). Annotations are re-emitted as SafeFlow
 //! comment blocks so the round trip preserves them.
+//!
+//! All node references are arena ids, so every printing function threads
+//! the unit's [`Ast`]; interned names are resolved with [`Symbol::as_str`]
+//! at the last moment, keeping output byte-identical to the pre-arena
+//! printer.
 
 use crate::annot::{AnnExpr, Annotation};
 use crate::ast::*;
@@ -11,7 +16,7 @@ use std::fmt::Write as _;
 
 /// Renders a translation unit as compilable C-subset source.
 pub fn print_unit(unit: &TranslationUnit) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer { ast: &unit.ast, out: String::new(), indent: 0 };
     for item in &unit.items {
         p.item(item);
         p.out.push('\n');
@@ -19,12 +24,13 @@ pub fn print_unit(unit: &TranslationUnit) -> String {
     p.out
 }
 
-struct Printer {
+struct Printer<'a> {
+    ast: &'a Ast,
     out: String,
     indent: usize,
 }
 
-impl Printer {
+impl<'a> Printer<'a> {
     fn pad(&mut self) {
         for _ in 0..self.indent {
             self.out.push_str("    ");
@@ -38,7 +44,8 @@ impl Printer {
                 let _ = writeln!(self.out, "{kw} {} {{", s.name);
                 for f in &s.fields {
                     self.pad();
-                    let _ = writeln!(self.out, "    {};", declarator(&f.ty, &f.name));
+                    let _ =
+                        writeln!(self.out, "    {};", declarator(self.ast, f.ty, f.name.as_str()));
                 }
                 self.out.push_str("};\n");
             }
@@ -53,7 +60,7 @@ impl Printer {
                     self.pad();
                     match value {
                         Some(v) => {
-                            let _ = writeln!(self.out, "    {name} = {},", expr(v));
+                            let _ = writeln!(self.out, "    {name} = {},", expr(self.ast, *v));
                         }
                         None => {
                             let _ = writeln!(self.out, "    {name},");
@@ -63,21 +70,26 @@ impl Printer {
                 self.out.push_str("};\n");
             }
             Item::Typedef(t) => {
-                let _ = writeln!(self.out, "typedef {};", declarator(&t.ty, &t.name));
+                let _ =
+                    writeln!(self.out, "typedef {};", declarator(self.ast, t.ty, t.name.as_str()));
             }
             Item::Global(g) => {
                 let storage = storage_prefix(g.storage);
-                match &g.init {
+                match g.init {
                     Some(init) => {
                         let _ = writeln!(
                             self.out,
                             "{storage}{} = {};",
-                            declarator(&g.ty, &g.name),
-                            initializer(init)
+                            declarator(self.ast, g.ty, g.name.as_str()),
+                            initializer(self.ast, init)
                         );
                     }
                     None => {
-                        let _ = writeln!(self.out, "{storage}{};", declarator(&g.ty, &g.name));
+                        let _ = writeln!(
+                            self.out,
+                            "{storage}{};",
+                            declarator(self.ast, g.ty, g.name.as_str())
+                        );
                     }
                 }
             }
@@ -86,14 +98,21 @@ impl Printer {
                 let params = if f.params.is_empty() && !f.varargs {
                     "void".to_string()
                 } else {
-                    let mut ps: Vec<String> =
-                        f.params.iter().map(|p| declarator(&p.ty, &p.name)).collect();
+                    let mut ps: Vec<String> = f
+                        .params
+                        .iter()
+                        .map(|p| declarator(self.ast, p.ty, p.name.as_str()))
+                        .collect();
                     if f.varargs {
                         ps.push("...".to_string());
                     }
                     ps.join(", ")
                 };
-                let _ = write!(self.out, "{storage}{}({params})", declarator(&f.ret, &f.name));
+                let _ = write!(
+                    self.out,
+                    "{storage}{}({params})",
+                    declarator(self.ast, f.ret, f.name.as_str())
+                );
                 if !f.annotations.is_empty() {
                     self.out.push('\n');
                     self.annotations(&f.annotations);
@@ -103,7 +122,7 @@ impl Printer {
                         self.out.push_str(" {\n");
                         self.indent += 1;
                         for s in &b.items {
-                            self.stmt(s);
+                            self.stmt(*s);
                         }
                         self.indent -= 1;
                         self.out.push_str("}\n");
@@ -125,10 +144,10 @@ impl Printer {
 
     /// Prints a statement used as a brace-wrapped body: blocks are
     /// flattened one level so round-tripping does not accumulate braces.
-    fn body(&mut self, s: &Stmt) {
-        match &s.kind {
+    fn body(&mut self, s: StmtId) {
+        match &self.ast.stmt(s).kind {
             StmtKind::Block(b) => {
-                for inner in &b.items {
+                for inner in b.items.clone() {
                     self.stmt(inner);
                 }
             }
@@ -136,29 +155,30 @@ impl Printer {
         }
     }
 
-    fn stmt(&mut self, s: &Stmt) {
-        match &s.kind {
+    fn stmt(&mut self, s: StmtId) {
+        match &self.ast.stmt(s).kind {
             StmtKind::Empty => {
                 self.pad();
                 self.out.push_str(";\n");
             }
             StmtKind::Expr(e) => {
                 self.pad();
-                let _ = writeln!(self.out, "{};", expr(e));
+                let _ = writeln!(self.out, "{};", expr(self.ast, *e));
             }
             StmtKind::Decl(d) => {
                 self.pad();
-                match &d.init {
+                match d.init {
                     Some(init) => {
                         let _ = writeln!(
                             self.out,
                             "{} = {};",
-                            declarator(&d.ty, &d.name),
-                            initializer(init)
+                            declarator(self.ast, d.ty, d.name.as_str()),
+                            initializer(self.ast, init)
                         );
                     }
                     None => {
-                        let _ = writeln!(self.out, "{};", declarator(&d.ty, &d.name));
+                        let _ =
+                            writeln!(self.out, "{};", declarator(self.ast, d.ty, d.name.as_str()));
                     }
                 }
             }
@@ -166,7 +186,7 @@ impl Printer {
                 self.pad();
                 self.out.push_str("{\n");
                 self.indent += 1;
-                for inner in &b.items {
+                for inner in b.items.clone() {
                     self.stmt(inner);
                 }
                 self.indent -= 1;
@@ -174,8 +194,9 @@ impl Printer {
                 self.out.push_str("}\n");
             }
             StmtKind::If { cond, then, els } => {
+                let (cond, then, els) = (*cond, *then, *els);
                 self.pad();
-                let _ = writeln!(self.out, "if ({}) {{", expr(cond));
+                let _ = writeln!(self.out, "if ({}) {{", expr(self.ast, cond));
                 self.indent += 1;
                 self.body(then);
                 self.indent -= 1;
@@ -196,8 +217,9 @@ impl Printer {
                 }
             }
             StmtKind::While { cond, body } => {
+                let (cond, body) = (*cond, *body);
                 self.pad();
-                let _ = writeln!(self.out, "while ({}) {{", expr(cond));
+                let _ = writeln!(self.out, "while ({}) {{", expr(self.ast, cond));
                 self.indent += 1;
                 self.body(body);
                 self.indent -= 1;
@@ -205,28 +227,30 @@ impl Printer {
                 self.out.push_str("}\n");
             }
             StmtKind::DoWhile { body, cond } => {
+                let (body, cond) = (*body, *cond);
                 self.pad();
                 self.out.push_str("do {\n");
                 self.indent += 1;
                 self.body(body);
                 self.indent -= 1;
                 self.pad();
-                let _ = writeln!(self.out, "}} while ({});", expr(cond));
+                let _ = writeln!(self.out, "}} while ({});", expr(self.ast, cond));
             }
             StmtKind::For { init, cond, step, body } => {
+                let (init, cond, step, body) = (*init, *cond, *step, *body);
                 self.pad();
                 // The init clause is a statement; inline its text without
                 // the newline/indentation.
                 let init_text = match init {
                     Some(s) => {
-                        let mut sub = Printer { out: String::new(), indent: 0 };
+                        let mut sub = Printer { ast: self.ast, out: String::new(), indent: 0 };
                         sub.stmt(s);
                         sub.out.trim().trim_end_matches(';').to_string()
                     }
                     None => String::new(),
                 };
-                let cond_text = cond.as_ref().map(expr).unwrap_or_default();
-                let step_text = step.as_ref().map(expr).unwrap_or_default();
+                let cond_text = cond.map(|e| expr(self.ast, e)).unwrap_or_default();
+                let step_text = step.map(|e| expr(self.ast, e)).unwrap_or_default();
                 let _ = writeln!(self.out, "for ({init_text}; {cond_text}; {step_text}) {{");
                 self.indent += 1;
                 self.body(body);
@@ -235,19 +259,21 @@ impl Printer {
                 self.out.push_str("}\n");
             }
             StmtKind::Switch { scrutinee, cases } => {
+                let scrutinee = *scrutinee;
+                let cases = cases.clone();
                 self.pad();
-                let _ = writeln!(self.out, "switch ({}) {{", expr(scrutinee));
-                for case in cases {
+                let _ = writeln!(self.out, "switch ({}) {{", expr(self.ast, scrutinee));
+                for case in &cases {
                     self.pad();
-                    match &case.label {
+                    match case.label {
                         Some(l) => {
-                            let _ = writeln!(self.out, "case {}:", expr(l));
+                            let _ = writeln!(self.out, "case {}:", expr(self.ast, l));
                         }
                         None => self.out.push_str("default:\n"),
                     }
                     self.indent += 1;
                     for s in &case.stmts {
-                        self.stmt(s);
+                        self.stmt(*s);
                     }
                     self.indent -= 1;
                 }
@@ -255,10 +281,11 @@ impl Printer {
                 self.out.push_str("}\n");
             }
             StmtKind::Return(v) => {
+                let v = *v;
                 self.pad();
                 match v {
                     Some(e) => {
-                        let _ = writeln!(self.out, "return {};", expr(e));
+                        let _ = writeln!(self.out, "return {};", expr(self.ast, e));
                     }
                     None => self.out.push_str("return;\n"),
                 }
@@ -272,8 +299,9 @@ impl Printer {
                 self.out.push_str("continue;\n");
             }
             StmtKind::Annotation(a) => {
+                let text = annotation(a);
                 self.pad();
-                let _ = writeln!(self.out, "/** SafeFlow Annotation {} */", annotation(a));
+                let _ = writeln!(self.out, "/** SafeFlow Annotation {text} */");
             }
         }
     }
@@ -289,14 +317,14 @@ fn storage_prefix(s: Storage) -> &'static str {
 }
 
 /// Renders a type applied to a declarator name (`int *x`, `float v[8]`).
-fn declarator(ty: &TypeExpr, name: &str) -> String {
-    match &ty.kind {
-        TypeExprKind::Ptr(inner) => declarator(inner, &format!("*{name}")),
+fn declarator(ast: &Ast, ty: TypeId, name: &str) -> String {
+    match ast.type_expr(ty).kind {
+        TypeExprKind::Ptr(inner) => declarator(ast, inner, &format!("*{name}")),
         TypeExprKind::Array(inner, size) => {
-            let dim = size.as_ref().map(|e| expr(e)).unwrap_or_default();
-            declarator(inner, &format!("{name}[{dim}]"))
+            let dim = size.map(|e| expr(ast, e)).unwrap_or_default();
+            declarator(ast, inner, &format!("{name}[{dim}]"))
         }
-        base => format!("{} {name}", base_type(base)),
+        base => format!("{} {name}", base_type(&base)),
     }
 }
 
@@ -313,7 +341,7 @@ fn base_type(k: &TypeExprKind) -> String {
         TypeExprKind::Long(Signedness::Unsigned) => "unsigned long".into(),
         TypeExprKind::Float => "float".into(),
         TypeExprKind::Double => "double".into(),
-        TypeExprKind::Named(n) => n.clone(),
+        TypeExprKind::Named(n) => n.as_str().into(),
         TypeExprKind::Struct(n) => format!("struct {n}"),
         TypeExprKind::Union(n) => format!("union {n}"),
         TypeExprKind::Enum(n) => format!("enum {n}"),
@@ -321,11 +349,11 @@ fn base_type(k: &TypeExprKind) -> String {
     }
 }
 
-fn initializer(init: &Initializer) -> String {
-    match init {
-        Initializer::Expr(e) => expr(e),
+fn initializer(ast: &Ast, init: InitId) -> String {
+    match ast.init(init) {
+        Initializer::Expr(e) => expr(ast, *e),
         Initializer::List(items, _) => {
-            let inner: Vec<String> = items.iter().map(initializer).collect();
+            let inner: Vec<String> = items.iter().map(|i| initializer(ast, *i)).collect();
             format!("{{ {} }}", inner.join(", "))
         }
     }
@@ -333,8 +361,8 @@ fn initializer(init: &Initializer) -> String {
 
 /// Renders an expression, fully parenthesized (correct by construction;
 /// precedence-minimal output is not a goal).
-pub fn expr(e: &Expr) -> String {
-    match &e.kind {
+pub fn expr(ast: &Ast, e: ExprId) -> String {
+    match &ast.expr(e).kind {
         ExprKind::IntLit(v) => {
             if *v < 0 {
                 format!("({v})")
@@ -350,8 +378,8 @@ pub fn expr(e: &Expr) -> String {
             }
         }
         ExprKind::CharLit(v) => v.to_string(),
-        ExprKind::StrLit(s) => format!("{s:?}"),
-        ExprKind::Ident(n) => n.clone(),
+        ExprKind::StrLit(s) => format!("{:?}", s.as_str()),
+        ExprKind::Ident(n) => n.as_str().into(),
         ExprKind::Unary(op, inner) => {
             let o = match op {
                 UnOp::Neg => "-",
@@ -361,7 +389,7 @@ pub fn expr(e: &Expr) -> String {
                 UnOp::Deref => "*",
                 UnOp::AddrOf => "&",
             };
-            format!("({o}{})", expr(inner))
+            format!("({o}{})", expr(ast, *inner))
         }
         ExprKind::Binary(op, l, r) => {
             let o = match op {
@@ -382,10 +410,10 @@ pub fn expr(e: &Expr) -> String {
                 BinOp::BitXor => "^",
                 BinOp::BitOr => "|",
             };
-            format!("({} {o} {})", expr(l), expr(r))
+            format!("({} {o} {})", expr(ast, *l), expr(ast, *r))
         }
-        ExprKind::LogicalAnd(l, r) => format!("({} && {})", expr(l), expr(r)),
-        ExprKind::LogicalOr(l, r) => format!("({} || {})", expr(l), expr(r)),
+        ExprKind::LogicalAnd(l, r) => format!("({} && {})", expr(ast, *l), expr(ast, *r)),
+        ExprKind::LogicalOr(l, r) => format!("({} || {})", expr(ast, *l), expr(ast, *r)),
         ExprKind::Assign { op, lhs, rhs } => {
             let o = match op {
                 None => "=".to_string(),
@@ -406,36 +434,38 @@ pub fn expr(e: &Expr) -> String {
                     }
                 ),
             };
-            format!("{} {o} {}", expr(lhs), expr(rhs))
+            format!("{} {o} {}", expr(ast, *lhs), expr(ast, *rhs))
         }
         ExprKind::Conditional { cond, then, els } => {
-            format!("({} ? {} : {})", expr(cond), expr(then), expr(els))
+            format!("({} ? {} : {})", expr(ast, *cond), expr(ast, *then), expr(ast, *els))
         }
         ExprKind::Call { callee, args } => {
-            let a: Vec<String> = args.iter().map(expr).collect();
+            let a: Vec<String> = args.iter().map(|x| expr(ast, *x)).collect();
             format!("{callee}({})", a.join(", "))
         }
-        ExprKind::Index(base, idx) => format!("{}[{}]", expr(base), expr(idx)),
+        ExprKind::Index(base, idx) => format!("{}[{}]", expr(ast, *base), expr(ast, *idx)),
         ExprKind::Member { base, field, arrow } => {
-            format!("{}{}{field}", expr(base), if *arrow { "->" } else { "." })
+            format!("{}{}{field}", expr(ast, *base), if *arrow { "->" } else { "." })
         }
-        ExprKind::Cast(ty, inner) => format!("(({}) {})", cast_type(ty), expr(inner)),
-        ExprKind::SizeofType(ty) => format!("sizeof({})", cast_type(ty)),
-        ExprKind::SizeofExpr(inner) => format!("sizeof({})", expr(inner)),
-        ExprKind::PreIncDec(inner, true) => format!("(++{})", expr(inner)),
-        ExprKind::PreIncDec(inner, false) => format!("(--{})", expr(inner)),
-        ExprKind::PostIncDec(inner, true) => format!("({}++)", expr(inner)),
-        ExprKind::PostIncDec(inner, false) => format!("({}--)", expr(inner)),
-        ExprKind::Comma(l, r) => format!("({}, {})", expr(l), expr(r)),
+        ExprKind::Cast(ty, inner) => {
+            format!("(({}) {})", cast_type(ast, *ty), expr(ast, *inner))
+        }
+        ExprKind::SizeofType(ty) => format!("sizeof({})", cast_type(ast, *ty)),
+        ExprKind::SizeofExpr(inner) => format!("sizeof({})", expr(ast, *inner)),
+        ExprKind::PreIncDec(inner, true) => format!("(++{})", expr(ast, *inner)),
+        ExprKind::PreIncDec(inner, false) => format!("(--{})", expr(ast, *inner)),
+        ExprKind::PostIncDec(inner, true) => format!("({}++)", expr(ast, *inner)),
+        ExprKind::PostIncDec(inner, false) => format!("({}--)", expr(ast, *inner)),
+        ExprKind::Comma(l, r) => format!("({}, {})", expr(ast, *l), expr(ast, *r)),
     }
 }
 
 /// Abstract-declarator form of a type (for casts/sizeof).
-fn cast_type(ty: &TypeExpr) -> String {
-    match &ty.kind {
-        TypeExprKind::Ptr(inner) => format!("{} *", cast_type(inner)),
-        TypeExprKind::Array(inner, _) => format!("{} *", cast_type(inner)),
-        base => base_type(base),
+fn cast_type(ast: &Ast, ty: TypeId) -> String {
+    match ast.type_expr(ty).kind {
+        TypeExprKind::Ptr(inner) => format!("{} *", cast_type(ast, inner)),
+        TypeExprKind::Array(inner, _) => format!("{} *", cast_type(ast, inner)),
+        base => base_type(&base),
     }
 }
 

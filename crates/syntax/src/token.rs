@@ -1,6 +1,12 @@
 //! Token definitions for the C subset.
+//!
+//! Tokens are fully `Copy`: text payloads (identifiers, string literals,
+//! annotation bodies, directives) are interned [`Symbol`]s rather than
+//! owned `String`s, so the lexer never allocates per token and the parser
+//! and preprocessor move tokens around for free.
 
 use crate::span::Span;
+use safeflow_util::Symbol;
 use std::fmt;
 
 /// Keywords of the C subset.
@@ -225,10 +231,10 @@ impl Punct {
 }
 
 /// The kind of a lexed token.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TokenKind {
     /// Identifier (may later resolve to a typedef name in the parser).
-    Ident(String),
+    Ident(Symbol),
     /// Reserved word.
     Keyword(Keyword),
     /// Integer constant with its value (suffixes folded away).
@@ -237,16 +243,16 @@ pub enum TokenKind {
     FloatLit(f64),
     /// Character constant, value of the (possibly escaped) character.
     CharLit(i64),
-    /// String literal, unescaped contents.
-    StrLit(String),
-    /// Operator or punctuation.
-    Punct(Punct),
+    /// String literal, unescaped contents (interned).
+    StrLit(Symbol),
     /// A SafeFlow annotation comment; payload is the raw annotation body
     /// (text after the `SafeFlow Annotation` marker, before comment close).
-    Annotation(String),
+    Annotation(Symbol),
+    /// Operator or punctuation.
+    Punct(Punct),
     /// A preprocessor directive line (only surfaced by the raw lexer; the
     /// preprocessor consumes these). Payload excludes the leading `#`.
-    Directive(String),
+    Directive(Symbol),
     /// End of file.
     Eof,
 }
@@ -255,7 +261,7 @@ impl TokenKind {
     /// A short human-readable description used in parse errors.
     pub fn describe(&self) -> String {
         match self {
-            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Ident(s) => format!("identifier `{}`", s.as_str()),
             TokenKind::Keyword(k) => format!("keyword `{}`", k.as_str()),
             TokenKind::IntLit(v) => format!("integer `{v}`"),
             TokenKind::FloatLit(v) => format!("float `{v}`"),
@@ -263,14 +269,14 @@ impl TokenKind {
             TokenKind::StrLit(_) => "string literal".to_string(),
             TokenKind::Punct(p) => format!("`{}`", p.as_str()),
             TokenKind::Annotation(_) => "SafeFlow annotation".to_string(),
-            TokenKind::Directive(d) => format!("preprocessor directive `#{d}`"),
+            TokenKind::Directive(d) => format!("preprocessor directive `#{}`", d.as_str()),
             TokenKind::Eof => "end of file".to_string(),
         }
     }
 }
 
 /// A lexed token with location.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
@@ -298,15 +304,15 @@ impl Token {
 impl fmt::Display for TokenKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Ident(s) => write!(f, "{}", s.as_str()),
             TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
             TokenKind::IntLit(v) => write!(f, "{v}"),
             TokenKind::FloatLit(v) => write!(f, "{v}"),
             TokenKind::CharLit(v) => write!(f, "'{v}'"),
-            TokenKind::StrLit(s) => write!(f, "{s:?}"),
+            TokenKind::StrLit(s) => write!(f, "{:?}", s.as_str()),
             TokenKind::Punct(p) => write!(f, "{}", p.as_str()),
-            TokenKind::Annotation(a) => write!(f, "/*** SafeFlow Annotation {a} ***/"),
-            TokenKind::Directive(d) => write!(f, "#{d}"),
+            TokenKind::Annotation(a) => write!(f, "/*** SafeFlow Annotation {} ***/", a.as_str()),
+            TokenKind::Directive(d) => write!(f, "#{}", d.as_str()),
             TokenKind::Eof => write!(f, "<eof>"),
         }
     }
@@ -334,7 +340,7 @@ mod tests {
 
     #[test]
     fn describe_is_informative() {
-        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Ident(Symbol::intern("x")).describe(), "identifier `x`");
         assert_eq!(TokenKind::Punct(Punct::Arrow).describe(), "`->`");
     }
 }

@@ -12,7 +12,11 @@
 //! count up through `FUZZ_CASES`).
 
 use safeflow_corpus::{figure2_example, systems};
+use safeflow_syntax::diag::Diagnostics;
+use safeflow_syntax::lexer::lex;
 use safeflow_syntax::parse_source;
+use safeflow_syntax::span::FileId;
+use safeflow_syntax::token::TokenKind;
 use safeflow_util::prop::run_cases;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -95,6 +99,112 @@ fn mutated_corpus_programs_never_panic() {
         }
         let mutated = String::from_utf8_lossy(&bytes).into_owned();
         must_not_panic("mutated.c", &mutated);
+    });
+}
+
+/// Lexes `src` standalone (the zero-copy path: token text is sliced
+/// straight out of `src`) and asserts it terminates cleanly instead of
+/// panicking — a mid-codepoint slice in the lexer is a panic, so this
+/// doubles as the UTF-8-boundary safety check.
+fn lex_must_not_panic(src: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut diags = Diagnostics::new();
+        let toks = lex(FileId(0), src, &mut diags);
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::Eof));
+        toks.len()
+    }));
+    assert!(
+        outcome.is_ok(),
+        "lexer panicked (len {}): {:?}...",
+        src.len(),
+        src.chars().take(120).collect::<String>()
+    );
+}
+
+#[test]
+fn utf8_boundary_mutations_never_panic_or_split_codepoints() {
+    // Multibyte-heavy seeds: the zero-copy lexer slices identifier,
+    // literal, comment, and annotation text directly from the source
+    // buffer, so every slice boundary adjacent to a multibyte character
+    // is a potential mid-codepoint panic.
+    const SEEDS: &[&str] = &[
+        "int x = 0; /* café ≠ ASCII 中文 🦀 */ float y;",
+        "char *s = \"αβγ\\n中文🦀\"; // déjà vu\nint z;",
+        "/** SafeFlow Annotation assert(safe(ctrl)) — émitted 🛰 */ int ctrl;",
+        "int déjà = 1; // not an identifier in the subset, but must not panic",
+        "\u{feff}int bom = 0;",
+        "char c = '∞'; char d = '\u{10FFFF}';",
+    ];
+    run_cases(cases(), |gen| {
+        let src = *gen.pick(SEEDS);
+        let mut bytes = src.as_bytes().to_vec();
+        for _ in 0..gen.usize(1, 6) {
+            let at = gen.usize(0, bytes.len());
+            match gen.usize(0, 3) {
+                0 => bytes[at] = gen.usize(0, 256) as u8,
+                1 => bytes.insert(at, gen.usize(0, 256) as u8),
+                _ => {
+                    bytes.remove(at);
+                }
+            }
+        }
+        // Lossy re-decode: mutations may tear multibyte sequences; the
+        // replacement characters land next to surviving multibyte text,
+        // exercising slice boundaries on both sides.
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        lex_must_not_panic(&mutated);
+        must_not_panic("utf8.c", &mutated);
+    });
+}
+
+#[test]
+fn unterminated_comments_and_strings_never_panic() {
+    // Seeded truncation of sources that end inside a comment, string,
+    // char literal, or annotation body — the lexer's end-of-input
+    // recovery paths, where a past-the-end slice would panic.
+    const OPENERS: &[&str] = &[
+        "int a; /* tail comment with no close",
+        "int a; /** SafeFlow Annotation assert(safe(x",
+        "char *s = \"open string with escape \\",
+        "char c = 'x",
+        "int a; // line comment\r\nchar *s = \"二\\x4",
+        "/* nested /* looking */ int b; /* open again",
+    ];
+    run_cases(cases(), |gen| {
+        let base = *gen.pick(OPENERS);
+        let cut = gen.usize(0, base.len() + 1);
+        let truncated = String::from_utf8_lossy(&base.as_bytes()[..cut]);
+        lex_must_not_panic(&truncated);
+        must_not_panic("unterminated.c", &truncated);
+    });
+}
+
+#[test]
+fn crlf_and_tab_mixes_never_panic() {
+    // Line-ending and whitespace soup: CRLF vs bare CR vs LF, tabs inside
+    // directives/annotations/strings. Column accounting and directive
+    // line-splitting must cope with every mix.
+    const LINES: &[&str] = &[
+        "#define\tA 1",
+        "int\tx\t=\tA;",
+        "/* block",
+        "spanning */",
+        "/** SafeFlow Annotation\tassert(safe(x)) */",
+        "char *s = \"tab\there\";",
+        "#include \"x.h\"",
+        "int y = 2;",
+    ];
+    const ENDINGS: &[&str] = &["\n", "\r\n", "\r", "\t\n", " \r\n"];
+    run_cases(cases(), |gen| {
+        let mut src = String::new();
+        for _ in 0..gen.usize(0, 16) {
+            let line = *gen.pick(LINES);
+            let ending = *gen.pick(ENDINGS);
+            src.push_str(line);
+            src.push_str(ending);
+        }
+        lex_must_not_panic(&src);
+        must_not_panic("crlf.c", &src);
     });
 }
 

@@ -19,12 +19,12 @@ fn parse_err(src: &str) -> safeflow_syntax::Diagnostics {
 #[test]
 fn parse_globals_and_multi_declarators() {
     let tu = parse_ok("int a; float b = 1.5; int c, *d, e[10];");
-    let names: Vec<_> = tu.globals().map(|g| g.name.clone()).collect();
+    let names: Vec<_> = tu.globals().map(|g| g.name).collect();
     assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
     let d = tu.globals().find(|g| g.name == "d").unwrap();
-    assert!(matches!(d.ty.kind, TypeExprKind::Ptr(_)));
+    assert!(matches!(tu.ast.type_expr(d.ty).kind, TypeExprKind::Ptr(_)));
     let e = tu.globals().find(|g| g.name == "e").unwrap();
-    assert!(matches!(e.ty.kind, TypeExprKind::Array(..)));
+    assert!(matches!(tu.ast.type_expr(e.ty).kind, TypeExprKind::Array(..)));
 }
 
 #[test]
@@ -35,7 +35,7 @@ fn parse_struct_definition_and_reference() {
     assert_eq!(s.fields.len(), 2);
     assert!(!s.is_union);
     let g = tu.globals().find(|g| g.name == "origin").unwrap();
-    assert_eq!(g.ty.kind, TypeExprKind::Struct("Point".into()));
+    assert_eq!(tu.ast.type_expr(g.ty).kind, TypeExprKind::Struct("Point".into()));
 }
 
 #[test]
@@ -49,10 +49,10 @@ fn parse_typedef_struct_idiom() {
     });
     let td = td.expect("typedef present");
     assert_eq!(td.name, "SHMData");
-    assert!(matches!(td.ty.kind, TypeExprKind::Struct(_)));
+    assert!(matches!(tu.ast.type_expr(td.ty).kind, TypeExprKind::Struct(_)));
     // And the typedef name works as a type afterwards.
     let p = tu.globals().find(|g| g.name == "p").unwrap();
-    assert!(matches!(p.ty.kind, TypeExprKind::Ptr(_)));
+    assert!(matches!(tu.ast.type_expr(p.ty).kind, TypeExprKind::Ptr(_)));
 }
 
 #[test]
@@ -120,10 +120,9 @@ fn parse_control_flow_statements() {
     let body = f.body.as_ref().unwrap();
     assert!(body.items.len() >= 6);
     // Find the switch and check its arms.
-    let has_switch = body
-        .items
-        .iter()
-        .any(|s| matches!(&s.kind, StmtKind::Switch { cases, .. } if cases.len() == 4));
+    let has_switch = body.items.iter().any(
+        |s| matches!(&tu.ast.stmt(*s).kind, StmtKind::Switch { cases, .. } if cases.len() == 4),
+    );
     assert!(has_switch, "switch with 4 labels expected");
 }
 
@@ -133,8 +132,8 @@ fn parse_for_with_declaration_init() {
     let f = tu.function("g").unwrap();
     let body = f.body.as_ref().unwrap();
     let has_for_decl = body.items.iter().any(|s| {
-        matches!(&s.kind, StmtKind::For { init: Some(init), .. }
-            if matches!(init.kind, StmtKind::Decl(_)))
+        matches!(&tu.ast.stmt(*s).kind, StmtKind::For { init: Some(init), .. }
+            if matches!(tu.ast.stmt(*init).kind, StmtKind::Decl(_)))
     });
     assert!(has_for_decl);
 }
@@ -143,11 +142,11 @@ fn parse_for_with_declaration_init() {
 fn parse_expression_precedence() {
     let tu = parse_ok("int x = 2 + 3 * 4;");
     let g = tu.globals().next().unwrap();
-    match g.init.as_ref().unwrap() {
-        Initializer::Expr(e) => match &e.kind {
+    match tu.ast.init(g.init.unwrap()) {
+        Initializer::Expr(e) => match &tu.ast.expr(*e).kind {
             ExprKind::Binary(BinOp::Add, lhs, rhs) => {
-                assert!(matches!(lhs.kind, ExprKind::IntLit(2)));
-                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, ..)));
+                assert!(matches!(tu.ast.expr(*lhs).kind, ExprKind::IntLit(2)));
+                assert!(matches!(tu.ast.expr(*rhs).kind, ExprKind::Binary(BinOp::Mul, ..)));
             }
             other => panic!("expected Add at root, got {other:?}"),
         },
@@ -159,10 +158,10 @@ fn parse_expression_precedence() {
 fn parse_logical_operators_are_distinct() {
     let tu = parse_ok("int f(int a, int b) { return a && b || !a; }");
     let f = tu.function("f").unwrap();
-    let ret = &f.body.as_ref().unwrap().items[0];
-    match &ret.kind {
+    let ret = f.body.as_ref().unwrap().items[0];
+    match &tu.ast.stmt(ret).kind {
         StmtKind::Return(Some(e)) => {
-            assert!(matches!(e.kind, ExprKind::LogicalOr(..)));
+            assert!(matches!(tu.ast.expr(*e).kind, ExprKind::LogicalOr(..)));
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -174,10 +173,10 @@ fn parse_pointer_member_and_index_chain() {
         "typedef struct { float v[8]; } D;\nfloat get(D *d, int i) { return d->v[i + 1]; }",
     );
     let f = tu.function("get").unwrap();
-    match &f.body.as_ref().unwrap().items[0].kind {
-        StmtKind::Return(Some(e)) => match &e.kind {
+    match &tu.ast.stmt(f.body.as_ref().unwrap().items[0]).kind {
+        StmtKind::Return(Some(e)) => match &tu.ast.expr(*e).kind {
             ExprKind::Index(base, _) => {
-                assert!(matches!(&base.kind, ExprKind::Member { arrow: true, .. }));
+                assert!(matches!(&tu.ast.expr(*base).kind, ExprKind::Member { arrow: true, .. }));
             }
             other => panic!("expected index, got {other:?}"),
         },
@@ -250,7 +249,7 @@ fn statement_annotation_becomes_annotation_stmt() {
     let f = tu.function("step").unwrap();
     let items = &f.body.as_ref().unwrap().items;
     assert!(matches!(
-        &items[0].kind,
+        &tu.ast.stmt(items[0]).kind,
         StmtKind::Annotation(Annotation::AssertSafe { var, .. }) if var == "output"
     ));
 }
@@ -277,16 +276,16 @@ fn multiple_annotations_one_comment() {
     assert!(matches!(f.annotations[0], Annotation::ShmInit { .. }));
     // The three postconditions become a block of annotation statements.
     let items = &f.body.as_ref().unwrap().items;
-    let count = count_annotations(items);
+    let count = count_annotations(&tu.ast, items);
     assert_eq!(count, 3);
 }
 
-fn count_annotations(items: &[Stmt]) -> usize {
+fn count_annotations(ast: &Ast, items: &[StmtId]) -> usize {
     items
         .iter()
-        .map(|s| match &s.kind {
+        .map(|s| match &ast.stmt(*s).kind {
             StmtKind::Annotation(_) => 1,
-            StmtKind::Block(b) => count_annotations(&b.items),
+            StmtKind::Block(b) => count_annotations(ast, &b.items),
             _ => 0,
         })
         .sum()
@@ -385,16 +384,16 @@ fn static_and_extern_storage() {
 fn unsigned_and_long_types() {
     let tu = parse_ok("unsigned int a; unsigned char b; long c; unsigned long d; short e;");
     let a = tu.globals().find(|g| g.name == "a").unwrap();
-    assert_eq!(a.ty.kind, TypeExprKind::Int(Signedness::Unsigned));
+    assert_eq!(tu.ast.type_expr(a.ty).kind, TypeExprKind::Int(Signedness::Unsigned));
     let d = tu.globals().find(|g| g.name == "d").unwrap();
-    assert_eq!(d.ty.kind, TypeExprKind::Long(Signedness::Unsigned));
+    assert_eq!(tu.ast.type_expr(d.ty).kind, TypeExprKind::Long(Signedness::Unsigned));
 }
 
 #[test]
 fn array_initializer_list() {
     let tu = parse_ok("float gains[3] = { 1.0, 2.5, 0.0 };");
     let g = tu.globals().next().unwrap();
-    match g.init.as_ref().unwrap() {
+    match tu.ast.init(g.init.unwrap()) {
         Initializer::List(items, _) => assert_eq!(items.len(), 3),
         other => panic!("expected list, got {other:?}"),
     }
@@ -404,10 +403,10 @@ fn array_initializer_list() {
 fn nested_initializer_list() {
     let tu = parse_ok("float m[2][2] = { { 1.0, 0.0 }, { 0.0, 1.0 } };");
     let g = tu.globals().next().unwrap();
-    match g.init.as_ref().unwrap() {
+    match tu.ast.init(g.init.unwrap()) {
         Initializer::List(items, _) => {
             assert_eq!(items.len(), 2);
-            assert!(matches!(items[0], Initializer::List(..)));
+            assert!(matches!(tu.ast.init(items[0]), Initializer::List(..)));
         }
         other => panic!("expected list, got {other:?}"),
     }
@@ -423,10 +422,10 @@ fn preprocessor_macro_in_function() {
 fn string_concatenation() {
     let tu = parse_ok(r#"void log2(char *m); void f(void) { log2("a" "b"); }"#);
     let f = tu.function("f").unwrap();
-    match &f.body.as_ref().unwrap().items[0].kind {
-        StmtKind::Expr(e) => match &e.kind {
+    match &tu.ast.stmt(f.body.as_ref().unwrap().items[0]).kind {
+        StmtKind::Expr(e) => match &tu.ast.expr(*e).kind {
             ExprKind::Call { args, .. } => {
-                assert!(matches!(&args[0].kind, ExprKind::StrLit(s) if s == "ab"));
+                assert!(matches!(&tu.ast.expr(args[0]).kind, ExprKind::StrLit(s) if *s == "ab"));
             }
             other => panic!("unexpected {other:?}"),
         },
@@ -495,7 +494,7 @@ fn annotation_marker_inside_string_is_not_an_annotation() {
         .unwrap()
         .items
         .iter()
-        .all(|s| !matches!(s.kind, StmtKind::Annotation(_))));
+        .all(|s| !matches!(tu.ast.stmt(*s).kind, StmtKind::Annotation(_))));
 }
 
 #[test]

@@ -1,0 +1,119 @@
+//! Parse-equivalence snapshot tests (ISSUE 6 satellite).
+//!
+//! The arena/interning frontend overhaul must be observationally invisible:
+//! for every checked-in fixture and `tests/oracle-repros/*.c`, the printed
+//! AST (`printer::print_unit`) and rendered diagnostics must stay
+//! byte-identical to goldens captured with the pre-refactor boxed-`String`
+//! frontend. Corpus generator output rides along as extra coverage because
+//! the generators are deterministic.
+//!
+//! Regenerate with `UPDATE_GOLDENS=1 cargo test -p safeflow-syntax --test
+//! printer_goldens` — but only when an *intentional* grammar or printer
+//! change lands; a diff here during a pure refactor is a bug.
+
+use safeflow_corpus::{figure2_example, systems};
+use safeflow_syntax::{parse_source, printer};
+use std::fs;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// Parses `src` and renders the full observable frontend output: printed
+/// AST, then (if any) rendered diagnostics. Both halves participate in the
+/// byte-identity contract.
+fn snapshot(name: &str, src: &str) -> String {
+    let parsed = parse_source(name, src);
+    let mut out = printer::print_unit(&parsed.unit);
+    let diags = parsed.diags.render_all(&parsed.sources);
+    if !diags.is_empty() {
+        out.push_str("=== diagnostics ===\n");
+        out.push_str(&diags);
+    }
+    out
+}
+
+/// All fixture sources: every checked-in `.c` file plus the deterministic
+/// corpus generators. Names double as golden file stems.
+fn fixtures() -> Vec<(String, String)> {
+    let root = repo_root();
+    let mut out = Vec::new();
+    let mut checked_in: Vec<PathBuf> = Vec::new();
+    for dir in ["tests/oracle-repros", "examples/incremental"] {
+        let mut files: Vec<_> = fs::read_dir(root.join(dir))
+            .unwrap_or_else(|e| panic!("read {dir}: {e}"))
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "c"))
+            .collect();
+        files.sort();
+        checked_in.extend(files);
+    }
+    for path in checked_in {
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let src = fs::read_to_string(&path).unwrap();
+        out.push((stem, src));
+    }
+    out.push(("corpus-fig2".to_string(), figure2_example().to_string()));
+    for sys in systems() {
+        out.push((format!("corpus-{}", sys.name), sys.core_source.to_string()));
+    }
+    out
+}
+
+#[test]
+fn printer_output_matches_pre_refactor_goldens() {
+    let dir = goldens_dir();
+    let bless = std::env::var("UPDATE_GOLDENS").is_ok();
+    if bless {
+        fs::create_dir_all(&dir).unwrap();
+    }
+    let mut failures = Vec::new();
+    for (stem, src) in fixtures() {
+        let got = snapshot(&format!("{stem}.c"), &src);
+        let golden_path = dir.join(format!("{stem}.golden"));
+        if bless {
+            fs::write(&golden_path, &got).unwrap();
+            continue;
+        }
+        let want = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+        if got != want {
+            // Show the first diverging line so the failure is actionable
+            // without a diff tool.
+            let line = got
+                .lines()
+                .zip(want.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or_else(|| got.lines().count().min(want.lines().count()) + 1);
+            failures.push(format!("{stem}: first divergence at line {line}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "printer output drifted from pre-refactor goldens:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn diagnostics_rendering_matches_goldens_on_crlf_and_tab_source() {
+    // Directed snapshot for the PR 6 span regressions: CRLF line endings
+    // and hard tabs before an annotation must render the same line/col and
+    // caret as before the zero-copy lexer.
+    let src = "int x;\r\n\t/** SafeFlow Annotation assume(shmvar(p, sizeof(Missing))) */\r\nfloat bad = ;\r\n";
+    let got = snapshot("crlf-diag.c", src);
+    let golden_path = goldens_dir().join("crlf-diag.golden");
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        fs::create_dir_all(goldens_dir()).unwrap();
+        fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(got, want, "CRLF/tab diagnostic rendering drifted");
+}

@@ -147,6 +147,6 @@ fn identifiers_round_trip() {
         let mut diags = Diagnostics::new();
         let toks = lex(FileId(0), &name, &mut diags);
         assert!(!diags.has_errors());
-        assert_eq!(toks[0].kind, safeflow_syntax::token::TokenKind::Ident(name));
+        assert_eq!(toks[0].kind, safeflow_syntax::token::TokenKind::Ident(name.as_str().into()));
     });
 }

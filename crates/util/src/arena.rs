@@ -1,0 +1,145 @@
+//! A hand-rolled bump arena for byte/string allocation.
+//!
+//! [`Bump`] hands out slices carved from large chunks instead of one heap
+//! allocation per string. Chunks are append-only and never reallocated or
+//! freed while the arena lives, so every returned slice stays valid for
+//! the arena's lifetime — that stability is what lets the interner build
+//! its lookup table over slices of its own storage.
+//!
+//! This is deliberately minimal: byte and `str` allocation only, no typed
+//! allocation and no `Drop` bookkeeping. The AST uses index arenas
+//! (`Vec`-backed node tables with `u32` ids) rather than lifetime-threaded
+//! `&'arena` references; the bump arena's job in this workspace is string
+//! storage behind [`crate::intern`].
+
+use std::cell::RefCell;
+
+/// First chunk size; later chunks double up to [`MAX_CHUNK`].
+const MIN_CHUNK: usize = 4 * 1024;
+/// Chunk growth cap, so a long parse does not balloon allocation sizes.
+const MAX_CHUNK: usize = 512 * 1024;
+
+/// A bump allocator for bytes and strings.
+///
+/// Not `Sync`: share across threads by wrapping in a `Mutex` (as the
+/// global interner does).
+///
+/// # Examples
+///
+/// ```
+/// use safeflow_util::arena::Bump;
+///
+/// let arena = Bump::new();
+/// let a = arena.alloc_str("feedback");
+/// let b = arena.alloc_str("noncoreCtrl");
+/// assert_eq!(a, "feedback");
+/// assert_eq!(b, "noncoreCtrl");
+/// assert_eq!(arena.allocated_bytes(), "feedback".len() + "noncoreCtrl".len());
+/// ```
+#[derive(Debug, Default)]
+pub struct Bump {
+    state: RefCell<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Filled chunks plus the currently-open last chunk. Each `Vec` is
+    /// created with its final capacity and only ever extended within it,
+    /// so chunk buffers never move.
+    chunks: Vec<Vec<u8>>,
+    /// Total payload bytes handed out (excludes chunk slack).
+    allocated: usize,
+}
+
+impl Bump {
+    /// Creates an empty arena (no chunk is allocated until first use).
+    pub fn new() -> Bump {
+        Bump::default()
+    }
+
+    /// Copies `bytes` into the arena and returns the stable copy.
+    pub fn alloc_bytes(&self, bytes: &[u8]) -> &[u8] {
+        let mut st = self.state.borrow_mut();
+        let need = bytes.len();
+        let fits = st.chunks.last().is_some_and(|c| c.capacity() - c.len() >= need);
+        if !fits {
+            let grown = (MIN_CHUNK << st.chunks.len().min(7)).min(MAX_CHUNK);
+            st.chunks.push(Vec::with_capacity(need.max(grown)));
+        }
+        let chunk = st.chunks.last_mut().expect("chunk ensured above");
+        let start = chunk.len();
+        chunk.extend_from_slice(bytes);
+        let ptr = unsafe { chunk.as_ptr().add(start) };
+        st.allocated += need;
+        // SAFETY: the chunk buffer was created with enough capacity and is
+        // only extended within it (never reallocated), chunks are never
+        // removed or shrunk, and the arena is not `Sync` — so the returned
+        // slice is stable and disjoint from every other allocation for as
+        // long as `self` lives.
+        unsafe { std::slice::from_raw_parts(ptr, need) }
+    }
+
+    /// Copies `s` into the arena and returns the stable copy.
+    pub fn alloc_str(&self, s: &str) -> &str {
+        let bytes = self.alloc_bytes(s.as_bytes());
+        // SAFETY: `bytes` is a verbatim copy of a valid `&str`.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
+    }
+
+    /// Total payload bytes allocated (excludes unused chunk capacity).
+    pub fn allocated_bytes(&self) -> usize {
+        self.state.borrow().allocated
+    }
+
+    /// Number of chunks backing the arena.
+    pub fn chunk_count(&self) -> usize {
+        self.state.borrow().chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_content() {
+        let arena = Bump::new();
+        let s = arena.alloc_str("assert(safe(output))");
+        assert_eq!(s, "assert(safe(output))");
+        let b = arena.alloc_bytes(&[0, 159, 146, 150]);
+        assert_eq!(b, &[0, 159, 146, 150]);
+    }
+
+    #[test]
+    fn survives_chunk_boundaries() {
+        let arena = Bump::new();
+        // Allocate well past several chunk boundaries, keeping every
+        // returned slice, then verify none was invalidated by later growth.
+        let strings: Vec<String> =
+            (0..4000).map(|i| format!("ident_{i}_{}", "x".repeat(i % 97))).collect();
+        let held: Vec<&str> = strings.iter().map(|s| arena.alloc_str(s)).collect();
+        assert!(arena.chunk_count() > 1, "test must actually cross chunks");
+        for (want, got) in strings.iter().zip(&held) {
+            assert_eq!(want, got);
+        }
+    }
+
+    #[test]
+    fn oversized_allocation_gets_its_own_chunk() {
+        let arena = Bump::new();
+        let big = "y".repeat(3 * MAX_CHUNK);
+        let kept = arena.alloc_str(&big);
+        assert_eq!(kept.len(), big.len());
+        let after = arena.alloc_str("small");
+        assert_eq!(after, "small");
+    }
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let arena = Bump::new();
+        let a = arena.alloc_str("aaaa");
+        let b = arena.alloc_str("bbbb");
+        let ar = a.as_ptr() as usize..a.as_ptr() as usize + a.len();
+        assert!(!ar.contains(&(b.as_ptr() as usize)));
+    }
+}

@@ -8,6 +8,11 @@
 //! * [`hash`] — a stable 64-bit FNV-1a hasher used for content-addressed
 //!   summary caching (stability across processes matters, which rules out
 //!   the randomly-keyed std hasher);
+//! * [`arena`] — a hand-rolled bump arena for string storage (backs the
+//!   interner; chunks never move, so handed-out slices are stable);
+//! * [`intern`] — `Symbol(u32)` string interning for the zero-copy
+//!   frontend (owned deterministic [`intern::Interner`] plus a
+//!   process-global instance behind [`intern::Symbol::intern`]);
 //! * [`pool`] — a work-stealing thread pool with dependency-DAG
 //!   scheduling, used by the parallel analysis engine to run call-graph
 //!   SCCs concurrently, with per-task panic containment
@@ -27,16 +32,20 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod fault;
 pub mod hash;
+pub mod intern;
 pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
+pub use arena::Bump;
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use hash::Fnv64;
+pub use intern::{Interner, Symbol};
 pub use json::Json;
 pub use metrics::{Class, Histogram, Metrics, MetricsSnapshot};
 pub use pool::{run_dag, run_dag_isolated, run_map, PoolPolicy, PoolStats, TaskPanic};
