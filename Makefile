@@ -7,7 +7,7 @@
 CARGO ?= cargo
 SAFEFLOW = target/release/safeflow
 
-.PHONY: all help build test lint bench bench-frontend smoke oracle-smoke oracle-deep metrics-demo incremental-demo fuzz-smoke golden clean
+.PHONY: all help build test lint bench bench-frontend bench-serve smoke serve-smoke require-release oracle-smoke oracle-deep metrics-demo incremental-demo fuzz-smoke golden clean
 
 # One line per target; kept in sync by hand when targets change.
 help:
@@ -17,9 +17,12 @@ help:
 	@echo "  lint             rustfmt --check + clippy -D warnings"
 	@echo "  bench            paper-evaluation benches (cargo bench)"
 	@echo "  bench-frontend   frontend LOC/sec trajectory -> BENCH_pr6.json"
+	@echo "  bench-serve      daemon latency + overload drill -> BENCH_serve.json"
 	@echo "  fuzz-smoke       long parser/lexer robustness fuzz run"
 	@echo "  oracle-smoke     32-seed differential oracle (CI gate)"
 	@echo "  oracle-deep      512-seed oracle sweep with minimization"
+	@echo "  serve-smoke      daemon drill: 32 concurrent clients, injected"
+	@echo "                   fault, byte-identity vs one-shot CLI, SIGKILL"
 	@echo "  smoke            pre-merge gate: lint+build+test+determinism"
 	@echo "  metrics-demo     Table 1 with the observability layer on"
 	@echo "  incremental-demo incremental-session store lifecycle walk"
@@ -49,6 +52,32 @@ bench:
 bench-frontend:
 	$(CARGO) run --release -q -p safeflow-bench --bin bench-frontend -- $(BENCH_ARGS)
 
+# Daemon latency trajectory: warm-path (store replay) vs cold-path p50/p99
+# over loopback, plus a 4x-overload shedding drill against a bounded
+# queue. Rewrites the checked-in BENCH_serve.json artifact (schema locked
+# by crates/bench/tests/bench_schema.rs).
+bench-serve:
+	$(CARGO) run --release -q -p safeflow-bench --bin bench-serve -- $(BENCH_ARGS)
+
+# Run-only targets must never fall back to a silent debug rebuild: they
+# fail fast with instructions when the release binaries are missing.
+require-release:
+	@test -x $(SAFEFLOW) || { \
+	  echo "error: $(SAFEFLOW) is missing or stale — run \`make build\` first"; \
+	  echo "       (smoke's determinism and warm-replay checks must run the"; \
+	  echo "        release build, never an implicit debug rebuild)"; \
+	  exit 1; }
+
+# Process-level daemon drill: start a release daemon with one injected
+# protocol fault, drive 32 concurrent clients, assert every report is
+# byte-identical to the one-shot CLI, SIGKILL it, restart warm from the
+# store, and drain cleanly. The harness is crates/serve/src/bin/serve-smoke.rs.
+serve-smoke: require-release
+	@test -x target/release/serve-smoke || { \
+	  echo "error: target/release/serve-smoke is missing — run \`make build\` first"; \
+	  exit 1; }
+	target/release/serve-smoke $(SAFEFLOW)
+
 # Regenerate the golden report snapshots (clean + degraded) after an
 # intentional change.
 golden:
@@ -65,14 +94,14 @@ fuzz-smoke:
 # against the naive reference analyzer. Exit 0 = zero divergences; the
 # oracle's own output is byte-identical across runs and --jobs (locked by
 # crates/cli/tests/cli.rs).
-oracle-smoke: build
+oracle-smoke: require-release
 	$(SAFEFLOW) oracle --seeds 0..32
 	@echo "oracle-smoke OK: 32 seeds, zero divergences"
 
 # Wider overnight sweep with minimization: any divergence is shrunk and
 # written under /tmp/safeflow-oracle-repros for triage (promote keepers
 # into tests/oracle-repros/).
-oracle-deep: build
+oracle-deep: require-release
 	$(SAFEFLOW) oracle --seeds 0..512 --minimize --repro-dir /tmp/safeflow-oracle-repros
 	@echo "oracle-deep OK: 512 seeds, zero divergences"
 
@@ -80,7 +109,8 @@ oracle-deep: build
 # engine's corpus reports must be byte-identical at --jobs 1 and --jobs 8.
 # (The `--format json` byte-identity contract, with volatile metric
 # sections stripped, is covered by crates/core/tests/observability.rs.)
-smoke: lint build test oracle-smoke
+smoke: lint build test oracle-smoke serve-smoke
+	@$(MAKE) --no-print-directory require-release
 	$(SAFEFLOW) --engine summary --jobs 1 --fig2 > /tmp/safeflow-smoke-j1.txt || true
 	$(SAFEFLOW) --engine summary --jobs 8 --fig2 > /tmp/safeflow-smoke-j8.txt || true
 	cmp /tmp/safeflow-smoke-j1.txt /tmp/safeflow-smoke-j8.txt
@@ -108,14 +138,14 @@ smoke: lint build test oracle-smoke
 
 # Reproduce the paper's Table 1 with the observability layer on: per-phase
 # timings, solver/taint counters, and summary-cache statistics.
-metrics-demo: build
+metrics-demo: require-release
 	$(SAFEFLOW) --table1 --metrics
 
 # Walk the incremental-session lifecycle on examples/incremental: a cold
 # run populates the store, editing one unit re-analyzes only the dirty
 # SCC region (cache hits + store invalidations in the metrics), and an
 # unchanged rerun replays the manifest without analyzing anything.
-incremental-demo: build
+incremental-demo: require-release
 	rm -rf /tmp/safeflow-demo-store /tmp/safeflow-demo-src
 	mkdir -p /tmp/safeflow-demo-src
 	cp examples/incremental/core.c examples/incremental/util.c /tmp/safeflow-demo-src/

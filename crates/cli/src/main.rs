@@ -28,6 +28,8 @@ use safeflow_corpus::{systems, System};
 use safeflow_syntax::VirtualFs;
 use std::process::ExitCode;
 
+mod serve_cmd;
+
 fn main() -> ExitCode {
     // Last-resort containment: anything that escapes the analyzer's own
     // panic isolation still maps onto the exit-code contract (3 =
@@ -94,6 +96,10 @@ fn run() -> ExitCode {
     if !check_mode && args.first().map(String::as_str) == Some("oracle") {
         args.remove(0);
         return run_oracle(&args);
+    }
+    if !check_mode && args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        return serve_cmd::run_serve(&args);
     }
 
     let mut i = 0;
@@ -231,6 +237,11 @@ fn run() -> ExitCode {
     }
     for spec in recvs {
         builder = builder.recv_function(spec);
+    }
+    if injects.iter().any(|(s, ..)| matches!(s, FaultSite::ServeRequest | FaultSite::ServeFrame)) {
+        return usage_error(
+            "serve-request/serve-frame injection sites only apply to the `serve` subcommand",
+        );
     }
     if fault_seed.is_some() || !injects.is_empty() {
         let mut plan = match fault_seed {
@@ -448,16 +459,22 @@ fn parse_budget(spec: &str, budget: &mut Budget) -> Result<(), String> {
 }
 
 /// Parses an `--inject` spec: `SITE[:KEY][:KIND]` where SITE is
-/// `scc`/`solver`/`cache`, KEY a number (omitted or `*` = every key), and
-/// KIND `panic` (default) or `budget`.
+/// `scc`/`solver`/`cache` (engine sites) or `serve-request`/`serve-frame`
+/// (protocol sites, `serve` subcommand only), KEY a number (omitted or
+/// `*` = every key), and KIND `panic` (default) or `budget`.
 fn parse_inject(spec: &str) -> Result<(FaultSite, Option<u64>, FaultKind), String> {
     let mut parts = spec.split(':');
     let site = match parts.next() {
         Some("scc") => FaultSite::SccAnalysis,
         Some("solver") => FaultSite::Solver,
         Some("cache") => FaultSite::SummaryCache,
+        Some("serve-request") => FaultSite::ServeRequest,
+        Some("serve-frame") => FaultSite::ServeFrame,
         other => {
-            return Err(format!("unknown site {other:?} (use scc, solver, or cache)"));
+            return Err(format!(
+                "unknown site {other:?} \
+                 (use scc, solver, cache, serve-request, or serve-frame)"
+            ));
         }
     };
     let mut key = None;
@@ -502,6 +519,8 @@ fn parse_fault_seed(spec: &str) -> Result<(u64, f64), String> {
 const USAGE: &str = "USAGE:\n\
      \x20 safeflow [OPTIONS] FILE.c [FILE2.c ...]\n\
      \x20 safeflow check [OPTIONS] FILE.c [FILE2.c ...] [--store DIR]\n\
+     \x20 safeflow serve [--listen ADDR] [--store DIR] [--watch[=MS]] ...\n\
+     \x20 safeflow serve --connect ADDR FILE.c ... | --ping | --shutdown\n\
      \x20 safeflow oracle --seeds A..B [--minimize] [--repro-dir DIR] [--jobs N]\n\
      \x20 safeflow --table1 | --fig2\n\
      (run `safeflow --help` for the full option list)";
@@ -513,6 +532,8 @@ fn print_help() {
          USAGE:\n\
          \x20 safeflow [OPTIONS] FILE.c [FILE2.c ...]\n\
          \x20 safeflow check [OPTIONS] FILE.c [FILE2.c ...] [--store DIR]\n\
+         \x20 safeflow serve [--listen ADDR] [--store DIR] [--watch[=MS]] ...\n\
+         \x20 safeflow serve --connect ADDR FILE.c ... | --ping | --shutdown\n\
          \x20 safeflow oracle --seeds A..B [--minimize] [--repro-dir DIR] [--jobs N]\n\
          \x20 safeflow --table1 | --fig2\n\
          \n\
@@ -521,6 +542,26 @@ fn print_help() {
          (plus their transitive callers) re-analyze, and an unchanged\n\
          input replays the stored report without re-analyzing anything.\n\
          `check` defaults to the summary engine.\n\
+         \n\
+         The `serve` subcommand keeps analysis sessions resident in a\n\
+         loopback daemon so repeat checks answer at warm-path latency:\n\
+         \x20 --listen ADDR:PORT      bind address (default 127.0.0.1:0)\n\
+         \x20 --port-file PATH        write the bound address atomically\n\
+         \x20 --workers N             request workers (default 2)\n\
+         \x20 --queue N               admission queue bound (default 32);\n\
+         \x20                         a full queue sheds with `Overloaded`\n\
+         \x20 --deadline-ms N         default per-request deadline; overruns\n\
+         \x20                         degrade (exit-4 path), never hang\n\
+         \x20 --io-timeout-ms N       socket timeout / slow-client guard\n\
+         \x20 --watch[=MS]            re-check served roots on file changes\n\
+         \x20 --metrics               dump serve.* metrics after the drain\n\
+         \x20 --inject serve-request[:KEY][:KIND] | serve-frame[:KEY]\n\
+         \x20                         protocol-layer fault drills (testing)\n\
+         Client mode: `serve --connect ADDR FILES...` checks via a running\n\
+         daemon (statuses 0-4 map onto the exit codes below; a timeout\n\
+         exits 4, overload/draining exit 2); `--ping`, `--metrics`, and\n\
+         `--shutdown` (graceful drain) are also available. The daemon\n\
+         drains on SIGTERM/SIGINT and restarts warm from its --store.\n\
          \n\
          The `oracle` subcommand generates seeded annotation-bearing\n\
          programs and cross-checks the parallel, warm-cache, store-replay,\n\

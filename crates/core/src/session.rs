@@ -114,6 +114,26 @@ impl AnalysisSession {
         self.strict = on;
     }
 
+    /// Sets (or clears) the wall-clock deadline for subsequent checks.
+    ///
+    /// This is the per-request deadline hook used by `safeflow serve`: a
+    /// check that overruns degrades conservatively through the budget
+    /// machinery (exit code 4) instead of hanging. Deadlines never key the
+    /// store — they can only degrade a run, and degraded runs are not
+    /// persisted — so varying this between checks cannot defeat warm
+    /// replay.
+    pub fn set_deadline_ms(&mut self, ms: Option<u64>) {
+        self.analyzer.config_mut().budget.deadline_ms = ms;
+    }
+
+    /// Whether another live process held the store's writer lock when this
+    /// session opened it. A lock-busy store is detached: the session runs
+    /// cold and persists nothing, rather than racing the concurrent writer
+    /// (typically a resident `safeflow serve` daemon).
+    pub fn store_lock_busy(&self) -> bool {
+        self.store.as_ref().is_some_and(|s| s.lock_busy())
+    }
+
     /// The wrapped analyzer.
     pub fn analyzer(&self) -> &Analyzer {
         &self.analyzer
@@ -154,7 +174,7 @@ impl AnalysisSession {
     /// for degraded runs.
     pub fn check(&mut self, root: &str, fs: &VirtualFs) -> Result<SessionOutcome, AnalysisError> {
         let t0 = Instant::now();
-        let usable = self.store_usable() && self.store.is_some();
+        let usable = self.store_usable() && self.store.is_some() && !self.store_lock_busy();
         let key = usable.then(|| {
             let files: Vec<(String, String)> = fs
                 .names()
@@ -192,6 +212,10 @@ impl AnalysisSession {
                     metrics.work.insert("store.load_rejected".to_string(), 1);
                 }
             }
+        } else if self.store_lock_busy() {
+            // A concurrent writer owns the store directory: this run was
+            // deliberately cold (no replay, no seed, no save).
+            metrics.work.insert("store.lock_busy".to_string(), 1);
         }
 
         // 3. Persist clean results (degraded ones are never stored: their

@@ -38,12 +38,17 @@ use std::hash::Hasher;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+// Binary encoding helpers live in `safeflow_util::wire` (shared with the
+// `safeflow serve` protocol); re-exported here for the summary codec.
+pub(crate) use safeflow_util::wire::{put_str, put_u32, put_u64, put_u8, ByteReader};
+
 /// Store format version; bumped on any encoding change. A file with a
 /// different version is ignored wholesale (everything invalidates).
 pub const STORE_VERSION: u32 = 1;
 
 const MAGIC: &[u8; 8] = b"SFSTORE\0";
 const STORE_FILE: &str = "safeflow-store.bin";
+const LOCK_FILE: &str = "safeflow-store.lock";
 
 /// Caps on table sizes, enforced on save so one store directory cannot
 /// grow without bound across alternating roots/configs.
@@ -83,6 +88,11 @@ pub(crate) struct SummaryStore {
     /// `true` when a store file existed but failed validation (bad magic /
     /// version / checksum / truncation) and was ignored.
     load_rejected: bool,
+    /// Advisory writer lock on the directory, held for the store's
+    /// lifetime (released by the OS on drop *and* on process death, so a
+    /// SIGKILLed daemon never leaves a stale lock). `None` means another
+    /// live process holds it — this store is detached.
+    lock: Option<std::fs::File>,
 }
 
 impl SummaryStore {
@@ -90,14 +100,34 @@ impl SummaryStore {
     /// if needed. A present-but-invalid store file is ignored — the
     /// session degrades to a cold run — and only *directory creation*
     /// failures are errors.
+    ///
+    /// An exclusive advisory lock is taken on `dir`'s lock file before
+    /// reading. If another live process (a resident `safeflow serve`
+    /// daemon, a concurrent `check`) already holds it, the store comes up
+    /// **detached**: empty tables, [`SummaryStore::lock_busy`] set, and
+    /// every save a no-op — the caller degrades to a cold run instead of
+    /// racing the writer.
     pub(crate) fn open(dir: &Path) -> Result<SummaryStore, AnalysisError> {
         std::fs::create_dir_all(dir).map_err(|e| AnalysisError::Store {
             context: format!("creating store directory `{}`", dir.display()),
             source: Some(e),
         })?;
         let path = dir.join(STORE_FILE);
-        let mut store =
-            SummaryStore { path, manifests: Vec::new(), sccs: Vec::new(), load_rejected: false };
+        let lock = acquire_lock(&dir.join(LOCK_FILE));
+        let mut store = SummaryStore {
+            path,
+            manifests: Vec::new(),
+            sccs: Vec::new(),
+            load_rejected: false,
+            lock,
+        };
+        if store.lock_busy() {
+            // A concurrent writer owns the directory: do not even read the
+            // file (a torn read is impossible — writes are atomic renames —
+            // but replaying while the owner invalidates is still a
+            // coherence hazard). Detached = cold.
+            return Ok(store);
+        }
         match std::fs::read(&store.path) {
             Ok(bytes) => match decode_store(&bytes) {
                 Some((manifests, sccs)) => {
@@ -117,6 +147,12 @@ impl SummaryStore {
     /// Whether an existing store file was ignored as invalid.
     pub(crate) fn load_rejected(&self) -> bool {
         self.load_rejected
+    }
+
+    /// Whether another live process held the directory lock at open time
+    /// (this store is detached: reads came up empty, saves are no-ops).
+    pub(crate) fn lock_busy(&self) -> bool {
+        self.lock.is_none()
     }
 
     /// Number of SCC entries loaded from disk.
@@ -144,6 +180,12 @@ impl SummaryStore {
         entry: ReplayEntry,
         live_sccs: Vec<(u64, Arc<Vec<Summary>>)>,
     ) -> Result<SaveStats, AnalysisError> {
+        if self.lock_busy() {
+            // Detached store: another live process owns the directory.
+            // Persisting here would race its atomic rename; skip silently
+            // (the caller's run was cold anyway).
+            return Ok(SaveStats::default());
+        }
         let live: std::collections::HashSet<u64> = live_sccs.iter().map(|(k, _)| *k).collect();
         let stats = SaveStats {
             sccs_saved: live_sccs.len(),
@@ -171,13 +213,35 @@ impl SummaryStore {
     }
 }
 
+/// Tries to take an exclusive advisory lock on `path` without blocking.
+///
+/// `Some(file)` = this process owns the store directory until the handle
+/// drops. `None` = another live process holds the lock (a daemon or a
+/// concurrent `check`); the caller must treat the store as detached.
+/// Filesystems without lock support fall back to "acquired": the lock is
+/// a coherence optimization, and the checksummed reader plus atomic
+/// renames already make torn reads impossible.
+fn acquire_lock(path: &Path) -> Option<std::fs::File> {
+    let file = std::fs::OpenOptions::new().create(true).append(true).open(path).ok()?;
+    match file.try_lock() {
+        Ok(()) => Some(file),
+        Err(std::fs::TryLockError::WouldBlock) => None,
+        // Unsupported filesystem etc.: proceed unlocked (best effort).
+        Err(std::fs::TryLockError::Error(_)) => Some(file),
+    }
+}
+
 // ------------------------------------------------------------------ keys
 
 /// Hash of every configuration knob that can change analysis *results*.
 /// `jobs` is deliberately excluded (reports are identical for every worker
 /// count — the byte-identity contract), as is `fault_plan` — the session
 /// disables the store entirely when a plan is armed, because injected
-/// faults make results non-reproducible.
+/// faults make results non-reproducible. `budget.deadline_ms` is also
+/// excluded: a deadline can only *degrade* a run, degraded runs are never
+/// persisted, so every stored entry is identical to the unlimited-deadline
+/// result — and `safeflow serve` varies the deadline per request, which
+/// must not defeat warm replay.
 pub(crate) fn config_hash(config: &crate::AnalysisConfig) -> u64 {
     let mut h = Fnv64::new();
     h.write_u32(STORE_VERSION);
@@ -219,7 +283,7 @@ pub(crate) fn config_hash(config: &crate::AnalysisConfig) -> u64 {
     h.write_u64(b.solver_steps.map(|v| v + 1).unwrap_or(0));
     h.write_u64(b.fixpoint_rounds.map(|v| v as u64 + 1).unwrap_or(0));
     h.write_u64(b.max_function_insts.map(|v| v as u64 + 1).unwrap_or(0));
-    h.write_u64(b.deadline_ms.map(|v| v + 1).unwrap_or(0));
+    // b.deadline_ms deliberately not hashed — see the doc comment.
     h.finish()
 }
 
@@ -241,76 +305,6 @@ pub(crate) fn manifest_key(config_hash: u64, root: &str, files: &[(String, Strin
 }
 
 // --------------------------------------------------------------- encoding
-
-/// Bounded cursor over an untrusted byte buffer. Every accessor returns
-/// `None` past the end — the store reader never panics on garbage.
-#[derive(Debug)]
-pub(crate) struct ByteReader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> ByteReader<'a> {
-        ByteReader { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.pos.checked_add(n)?;
-        let slice = self.buf.get(self.pos..end)?;
-        self.pos = end;
-        Some(slice)
-    }
-
-    pub(crate) fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|b| b[0])
-    }
-
-    pub(crate) fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
-    }
-
-    pub(crate) fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-    }
-
-    pub(crate) fn str(&mut self) -> Option<String> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).ok()
-    }
-
-    /// A `u32` length that must be plausible against the remaining buffer,
-    /// for pre-allocating collections without trusting the wire.
-    pub(crate) fn len(&mut self) -> Option<usize> {
-        let n = self.u32()? as usize;
-        if n > self.buf.len().saturating_sub(self.pos) {
-            return None;
-        }
-        Some(n)
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-}
-
-pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
-    out.push(v);
-}
-
-pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
 
 fn encode_store(manifests: &[(u64, ReplayEntry)], sccs: &[(u64, Arc<Vec<Summary>>)]) -> Vec<u8> {
     let mut out = Vec::new();
@@ -361,11 +355,11 @@ fn decode_store(bytes: &[u8]) -> Option<Tables> {
         return None;
     }
     let mut manifests = Vec::new();
-    for _ in 0..r.len()? {
+    for _ in 0..r.seq_len()? {
         let key = r.u64()?;
         let exit_code = r.u8()?;
         let mut counters = BTreeMap::new();
-        for _ in 0..r.len()? {
+        for _ in 0..r.seq_len()? {
             let k = r.str()?;
             let v = r.u64()?;
             counters.insert(k, v);
@@ -375,9 +369,9 @@ fn decode_store(bytes: &[u8]) -> Option<Tables> {
         manifests.push((key, ReplayEntry { exit_code, counters, report_json, rendered }));
     }
     let mut sccs = Vec::new();
-    for _ in 0..r.len()? {
+    for _ in 0..r.seq_len()? {
         let key = r.u64()?;
-        let members = r.len()?;
+        let members = r.seq_len()?;
         let mut vec = Vec::with_capacity(members);
         for _ in 0..members {
             vec.push(Summary::decode(&mut r)?);
@@ -420,6 +414,7 @@ mod tests {
         assert!(!store.load_rejected());
         assert_eq!(store.manifest(7), None);
         store.save(7, sample_entry(), Vec::new()).unwrap();
+        drop(store); // release the writer lock before reopening
 
         let store2 = SummaryStore::open(&dir).unwrap();
         assert!(!store2.load_rejected());
@@ -433,6 +428,7 @@ mod tests {
         let dir = tmp_dir("corrupt");
         let mut store = SummaryStore::open(&dir).unwrap();
         store.save(7, sample_entry(), Vec::new()).unwrap();
+        drop(store); // release the writer lock before reopening
         let path = dir.join(STORE_FILE);
         let good = std::fs::read(&path).unwrap();
 
@@ -459,6 +455,7 @@ mod tests {
         let dir = tmp_dir("version");
         let mut store = SummaryStore::open(&dir).unwrap();
         store.save(7, sample_entry(), Vec::new()).unwrap();
+        drop(store); // release the writer lock before reopening
         let path = dir.join(STORE_FILE);
         let mut bytes = std::fs::read(&path).unwrap();
         // Patch the version field (right after the magic) and re-checksum
@@ -483,6 +480,7 @@ mod tests {
         let mut store = SummaryStore::open(&dir).unwrap();
         let one = vec![(1u64, Arc::new(vec![Summary::default()]))];
         store.save(7, sample_entry(), one).unwrap();
+        drop(store); // release the writer lock before reopening
 
         let mut store = SummaryStore::open(&dir).unwrap();
         assert_eq!(store.scc_count(), 1);
@@ -493,6 +491,7 @@ mod tests {
         let stats = store.save(8, sample_entry(), two).unwrap();
         assert_eq!(stats.sccs_saved, 2);
         assert_eq!(stats.sccs_invalidated, 1, "key 1 is no longer live");
+        drop(store); // release the writer lock before reopening
 
         let store = SummaryStore::open(&dir).unwrap();
         assert_eq!(store.scc_count(), 2);
@@ -531,6 +530,44 @@ mod tests {
                 .with_budget(crate::Budget { solver_steps: Some(10), ..Default::default() }),
         );
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn config_hash_ignores_deadline() {
+        // Per-request deadlines (safeflow serve) can only degrade a run,
+        // and degraded runs are never persisted — so two configs differing
+        // only in deadline must share stored entries (warm replay).
+        let a = config_hash(&AnalysisConfig::default());
+        let b = config_hash(
+            &AnalysisConfig::default()
+                .with_budget(crate::Budget { deadline_ms: Some(50), ..Default::default() }),
+        );
+        assert_eq!(a, b, "deadline_ms must not key the store");
+    }
+
+    #[test]
+    fn second_opener_detaches_while_lock_held() {
+        let dir = tmp_dir("lock");
+        let mut owner = SummaryStore::open(&dir).unwrap();
+        assert!(!owner.lock_busy());
+        owner.save(7, sample_entry(), Vec::new()).unwrap();
+
+        // Same process, second open file description: the advisory lock
+        // is still exclusive, so the racer comes up detached and cold.
+        let mut racer = SummaryStore::open(&dir).unwrap();
+        assert!(racer.lock_busy(), "concurrent opener must detect the held lock");
+        assert_eq!(racer.manifest(7), None, "detached store reads nothing");
+        assert_eq!(racer.scc_count(), 0);
+        // Detached saves are silent no-ops: the owner's file is untouched.
+        let stats = racer.save(8, sample_entry(), Vec::new()).unwrap();
+        assert_eq!(stats, SaveStats::default());
+
+        drop(owner);
+        let reopened = SummaryStore::open(&dir).unwrap();
+        assert!(!reopened.lock_busy(), "lock must release with the owner");
+        assert_eq!(reopened.manifest(7), Some(&sample_entry()));
+        assert_eq!(reopened.manifest(8), None, "the detached save must not have landed");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

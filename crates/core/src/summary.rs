@@ -154,7 +154,7 @@ impl Summary {
     pub(crate) fn decode(r: &mut crate::store::ByteReader<'_>) -> Option<Summary> {
         fn get_set(r: &mut crate::store::ByteReader<'_>) -> Option<SymSet> {
             let mut set = SymSet::new();
-            for _ in 0..r.len()? {
+            for _ in 0..r.seq_len()? {
                 let tag = r.u8()?;
                 let payload = r.u32()?;
                 let sym = match tag {
@@ -179,14 +179,14 @@ impl Summary {
         }
         let ret = get_set(r)?;
         let mut region_reads = Vec::new();
-        for _ in 0..r.len()? {
+        for _ in 0..r.seq_len()? {
             let span = get_span(r)?;
             let region = RegionId(r.u32()?);
             let func = r.str()?;
             region_reads.push((span, region, func));
         }
         let mut sinks = Vec::new();
-        for _ in 0..r.len()? {
+        for _ in 0..r.seq_len()? {
             let critical = r.str()?;
             let function = r.str()?;
             let span = get_span(r)?;
@@ -194,7 +194,7 @@ impl Summary {
             sinks.push(Sink { critical, function, span, sources });
         }
         let mut obj_writes = BTreeMap::new();
-        for _ in 0..r.len()? {
+        for _ in 0..r.seq_len()? {
             let obj = ObjId(r.u32()?);
             let set = get_set(r)?;
             obj_writes.insert(obj, set);

@@ -1,0 +1,129 @@
+//! Concurrent use of [`AnalysisSession`]s (ISSUE 7): the serialization
+//! contract the `safeflow serve` daemon leans on.
+//!
+//! A session is `&mut self`-only, so concurrent users share it behind a
+//! mutex. These tests pin down what that buys:
+//!
+//! * checks from many threads serialize — every outcome is byte-identical
+//!   to the single-threaded reference, and the store ends in a state a
+//!   fresh session replays from (no interleaved/torn writes);
+//! * two live sessions on one store directory never race: the second
+//!   opener sees the writer lock, detaches, and degrades to cold runs
+//!   (reported via the `store.lock_busy` work metric) instead of
+//!   corrupting or replaying the owner's state.
+
+use safeflow::{AnalysisConfig, AnalysisSession, Engine, SessionRun};
+use safeflow_syntax::VirtualFs;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier, Mutex};
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("safeflow-concurrent-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> AnalysisConfig {
+    AnalysisConfig::with_engine(Engine::Summary).normalized()
+}
+
+/// Two distinct programs the threads alternate between (distinct manifest
+/// keys, shared store).
+fn program(variant: usize) -> (String, VirtualFs) {
+    let src = format!("// variant {variant}\n{}", safeflow_corpus::figure2_example());
+    let mut fs = VirtualFs::new();
+    fs.add("prog.c", src);
+    ("prog.c".to_string(), fs)
+}
+
+#[test]
+fn concurrent_checks_serialize_and_never_tear_the_store() {
+    let dir = store_dir("barrier");
+    // Single-threaded reference outputs, one per variant.
+    let reference: Vec<String> = (0..2)
+        .map(|v| {
+            let mut s = AnalysisSession::new(config());
+            let (root, fs) = program(v);
+            s.check(&root, &fs).unwrap().rendered
+        })
+        .collect();
+
+    let session = Arc::new(Mutex::new(AnalysisSession::with_store(config(), &dir).unwrap()));
+    let threads = 4;
+    let rounds = 3;
+    // All threads release at once, every round, to maximize contention on
+    // the session mutex deterministically.
+    let barrier = Arc::new(Barrier::new(threads));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                for r in 0..rounds {
+                    barrier.wait();
+                    let variant = (t + r) % 2;
+                    let (root, fs) = program(variant);
+                    let outcome =
+                        session.lock().unwrap().check(&root, &fs).expect("check succeeds");
+                    assert_eq!(
+                        outcome.rendered, reference[variant],
+                        "thread {t} round {r}: interleaved state leaked into a report"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no thread may panic");
+    }
+    drop(session); // release the store lock
+
+    // The store survived the contention in a replayable state: a fresh
+    // session replays both variants without analyzing anything.
+    let mut fresh = AnalysisSession::with_store(config(), &dir).unwrap();
+    for (v, expected) in reference.iter().enumerate() {
+        let (root, fs) = program(v);
+        let outcome = fresh.check(&root, &fs).unwrap();
+        assert_eq!(outcome.run, SessionRun::Replayed, "variant {v} must replay");
+        assert_eq!(&outcome.rendered, expected);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_session_on_a_locked_store_degrades_to_cold() {
+    let dir = store_dir("locked");
+    let (root, fs) = program(0);
+
+    // The owner (think: resident daemon) analyzes and holds the lock.
+    let mut owner = AnalysisSession::with_store(config(), &dir).unwrap();
+    assert!(!owner.store_lock_busy());
+    let owned = owner.check(&root, &fs).unwrap();
+    assert_eq!(owned.run, SessionRun::Analyzed);
+
+    // A racing CLI `check --store` on the same directory: detached, cold,
+    // correct.
+    let mut racer = AnalysisSession::with_store(config(), &dir).unwrap();
+    assert!(racer.store_lock_busy(), "second opener must see the writer lock");
+    let raced = racer.check(&root, &fs).unwrap();
+    assert_eq!(raced.run, SessionRun::Analyzed, "lock-busy store must not replay");
+    assert_eq!(raced.rendered, owned.rendered, "cold run still answers correctly");
+    assert_eq!(
+        raced.metrics.work.get("store.lock_busy").copied(),
+        Some(1),
+        "the degradation must be observable"
+    );
+
+    // The racer persisted nothing; the owner's state is intact and warm.
+    drop(racer);
+    drop(owner);
+    let mut fresh = AnalysisSession::with_store(config(), &dir).unwrap();
+    assert!(!fresh.store_lock_busy());
+    let replay = fresh.check(&root, &fs).unwrap();
+    assert_eq!(replay.run, SessionRun::Replayed);
+    assert_eq!(replay.rendered, owned.rendered);
+    let _ = std::fs::remove_dir_all(&dir);
+}

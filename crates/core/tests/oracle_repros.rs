@@ -93,6 +93,7 @@ fn store_replay_matches_reference_on_every_repro() {
         let mut cold =
             AnalysisSession::with_store(AnalysisConfig::reference(), &dir).expect("store opens");
         cold.check(&name, &fs).expect("cold run analyzes");
+        drop(cold); // release the store's writer lock before reopening
         let mut warm =
             AnalysisSession::with_store(AnalysisConfig::reference(), &dir).expect("store reopens");
         let outcome = warm.check(&name, &fs).expect("replay runs");
@@ -116,6 +117,7 @@ fn incremental_reanalysis_matches_reference_on_every_repro() {
         let mut seed =
             AnalysisSession::with_store(AnalysisConfig::reference(), &dir).expect("store opens");
         seed.check(&name, &fs_of(&name, &variant)).expect("variant analyzes");
+        drop(seed); // release the store's writer lock before reopening
         let mut incr =
             AnalysisSession::with_store(AnalysisConfig::reference(), &dir).expect("store reopens");
         let outcome = incr.check(&name, &fs_of(&name, &src)).expect("incremental run analyzes");

@@ -105,6 +105,7 @@ fn warm_and_cold_runs_are_byte_identical_across_jobs() {
     let cold = cold_session.check("core.c", &fs).unwrap();
     assert_eq!(cold.run, SessionRun::Analyzed);
     assert_eq!(cold.exit_code, 2, "program has a real error");
+    drop(cold_session); // release the store's writer lock before reopening
 
     for jobs in [1usize, 4, 8] {
         let mut warm_session = AnalysisSession::with_store(config(jobs), &dir).unwrap();
@@ -188,6 +189,7 @@ fn editing_one_unit_reanalyzes_only_the_dirty_region() {
     let before = cold.check("core.c", &two_unit_fs(UTIL_C)).unwrap();
     let total = before.metrics.work["summary.cache_misses"];
     assert!(total >= 4, "expected at least 4 SCCs, got {total}");
+    drop(cold); // release the store's writer lock before reopening
 
     // Edit `helper` only: its SCC and its caller `main` are dirty;
     // `monitorVal` and `initComm` must replay from the on-disk table in a

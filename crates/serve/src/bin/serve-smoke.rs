@@ -1,0 +1,229 @@
+//! `serve-smoke` — the process-level daemon drill behind `make serve-smoke`.
+//!
+//! Everything the in-process tests cannot exercise with real processes:
+//!
+//! 1. start a release `safeflow serve` daemon (with one injected
+//!    protocol fault armed);
+//! 2. drive 32 concurrent client requests over a generated workload,
+//!    asserting every rendered report is **byte-identical** to the
+//!    one-shot `safeflow check` output for the same input, and that the
+//!    one faulted request answers status 3 without harming its neighbors;
+//! 3. SIGKILL the daemon mid-life, restart it on the same store, and
+//!    assert the first request replays warm (crash-safe sessions);
+//! 4. drain the second daemon with a shutdown frame and assert it exits 0.
+//!
+//! Usage: `serve-smoke path/to/safeflow` (the release CLI binary).
+//! Exits nonzero with a message on the first violated invariant.
+
+use safeflow_serve::{paths_key, Client, RunKind, Status};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const REQUESTS: usize = 32;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve-smoke FAILED: {msg}");
+    std::process::exit(1);
+}
+
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new() -> TempTree {
+        let root =
+            std::env::temp_dir().join(format!("safeflow-serve-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("src")).expect("create temp tree");
+        std::fs::create_dir_all(root.join("store")).expect("create temp tree");
+        TempTree { root }
+    }
+    fn src(&self, name: &str) -> PathBuf {
+        self.root.join("src").join(name)
+    }
+    fn store(&self) -> PathBuf {
+        self.root.join("store")
+    }
+    fn port_file(&self) -> PathBuf {
+        self.root.join("port")
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// The workload: figure 2 plus three content variants (distinct manifest
+/// keys, same verdicts) and one extra program reserved for the injected
+/// fault.
+fn write_workload(tree: &TempTree) -> Vec<PathBuf> {
+    let fig2 = safeflow_corpus::figure2_example();
+    let mut paths = Vec::new();
+    for v in 0..4 {
+        let p = tree.src(&format!("prog{v}.c"));
+        std::fs::write(&p, format!("// workload variant {v}\n{fig2}")).expect("write program");
+        paths.push(p);
+    }
+    let faulted = tree.src("faulted.c");
+    std::fs::write(&faulted, format!("// faulted request\n{fig2}")).expect("write program");
+    paths.push(faulted);
+    paths
+}
+
+/// One-shot `safeflow check FILE` (no store): the byte-identity reference.
+fn one_shot(safeflow: &Path, file: &Path) -> String {
+    let out = Command::new(safeflow)
+        .arg("check")
+        .arg(file)
+        .output()
+        .unwrap_or_else(|e| fail(&format!("cannot run one-shot CLI: {e}")));
+    String::from_utf8(out.stdout)
+        .unwrap_or_else(|e| fail(&format!("one-shot CLI wrote non-UTF-8 output: {e}")))
+}
+
+fn start_daemon(safeflow: &Path, tree: &TempTree, inject: Option<&str>) -> (Child, String) {
+    let _ = std::fs::remove_file(tree.port_file());
+    let mut cmd = Command::new(safeflow);
+    cmd.arg("serve")
+        .arg("--store")
+        .arg(tree.store())
+        .arg("--port-file")
+        .arg(tree.port_file())
+        .args(["--workers", "4", "--queue", "16"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    if let Some(spec) = inject {
+        cmd.args(["--inject", spec]);
+    }
+    let child = cmd.spawn().unwrap_or_else(|e| fail(&format!("cannot spawn daemon: {e}")));
+
+    // The daemon writes its bound address atomically once listening.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(tree.port_file()) {
+            let s = s.trim().to_string();
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        if Instant::now() > deadline {
+            fail("daemon never wrote its port file");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    (child, addr)
+}
+
+fn main() {
+    let safeflow = PathBuf::from(
+        std::env::args().nth(1).unwrap_or_else(|| fail("usage: serve-smoke path/to/safeflow")),
+    );
+    if !safeflow.is_file() {
+        fail(&format!("{} is not a file (run `make build` first)", safeflow.display()));
+    }
+
+    let tree = TempTree::new();
+    let programs = write_workload(&tree);
+    let faulted = programs.last().unwrap().clone();
+    let workload: Vec<PathBuf> = programs[..programs.len() - 1].to_vec();
+
+    // Byte-identity references from the one-shot CLI.
+    let references: Vec<String> = workload.iter().map(|p| one_shot(&safeflow, p)).collect();
+
+    // Phase 1: daemon with one protocol fault armed — a mid-request panic
+    // aimed at exactly the `faulted.c` request key.
+    let faulted_key = paths_key(&[faulted.to_string_lossy().to_string()]);
+    let inject = format!("serve-request:{faulted_key}:panic");
+    let (mut child, addr) = start_daemon(&safeflow, &tree, Some(&inject));
+
+    let mut threads = Vec::new();
+    for i in 0..REQUESTS {
+        let addr = addr.clone();
+        let path = workload[i % workload.len()].clone();
+        let expect = references[i % workload.len()].clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, 60_000)
+                .unwrap_or_else(|e| fail(&format!("request {i}: connect: {e}")));
+            let resp = c
+                .check_paths(&[path.to_string_lossy().to_string()], 0)
+                .unwrap_or_else(|e| fail(&format!("request {i}: transport: {e}")));
+            if !resp.status.is_report() {
+                fail(&format!("request {i}: unexpected status {:?}", resp.status));
+            }
+            if resp.rendered != expect {
+                fail(&format!(
+                    "request {i} ({}): daemon report differs from one-shot CLI\n\
+                     --- daemon ---\n{}\n--- one-shot ---\n{}",
+                    path.display(),
+                    resp.rendered,
+                    expect
+                ));
+            }
+        }));
+    }
+    // The faulted request rides along with the storm.
+    let fault_thread = {
+        let addr = addr.clone();
+        let path = faulted.to_string_lossy().to_string();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, 60_000)
+                .unwrap_or_else(|e| fail(&format!("faulted request: connect: {e}")));
+            let resp = c
+                .check_paths(&[path], 0)
+                .unwrap_or_else(|e| fail(&format!("faulted request: transport: {e}")));
+            if resp.status != Status::DegradedFault {
+                fail(&format!(
+                    "faulted request: expected DegradedFault (3), got {:?}",
+                    resp.status
+                ));
+            }
+        })
+    };
+    for t in threads {
+        if t.join().is_err() {
+            fail("a client thread panicked");
+        }
+    }
+    if fault_thread.join().is_err() {
+        fail("the faulted client thread panicked");
+    }
+    println!(
+        "serve-smoke: {REQUESTS} concurrent requests byte-identical to one-shot CLI, \
+         injected panic contained"
+    );
+
+    // Phase 2: SIGKILL (no drain, no goodbye) and restart on the same
+    // store. The first request of the new daemon must replay warm: the
+    // store's atomic writes survived the kill, and the OS released the
+    // writer lock with the process.
+    child.kill().unwrap_or_else(|e| fail(&format!("cannot SIGKILL daemon: {e}")));
+    let _ = child.wait();
+    let (mut child2, addr2) = start_daemon(&safeflow, &tree, None);
+    let mut c = Client::connect(&addr2, 60_000)
+        .unwrap_or_else(|e| fail(&format!("restarted daemon: connect: {e}")));
+    let resp = c
+        .check_paths(&[workload[0].to_string_lossy().to_string()], 0)
+        .unwrap_or_else(|e| fail(&format!("restarted daemon: transport: {e}")));
+    if resp.run != RunKind::Replayed {
+        fail(&format!("restart after SIGKILL was not warm: run = {:?}", resp.run));
+    }
+    if resp.rendered != references[0] {
+        fail("restarted daemon served a report that differs from the one-shot CLI");
+    }
+    println!("serve-smoke: warm replay after SIGKILL restart");
+
+    // Phase 3: graceful drain via the protocol; the process must exit 0.
+    let resp = c.shutdown().unwrap_or_else(|e| fail(&format!("shutdown frame: {e}")));
+    if resp.status != Status::ShuttingDown {
+        fail(&format!("shutdown frame answered {:?}", resp.status));
+    }
+    let status = child2.wait().unwrap_or_else(|e| fail(&format!("waiting for daemon: {e}")));
+    if !status.success() {
+        fail(&format!("drained daemon exited with {status}"));
+    }
+    println!("serve-smoke OK: byte-identity, fault containment, SIGKILL warm restart, clean drain");
+}

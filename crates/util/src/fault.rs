@@ -29,6 +29,15 @@ pub enum FaultSite {
     Solver,
     /// The summary cache (key: SCC index).
     SummaryCache,
+    /// A `safeflow serve` request being executed (key: the request's
+    /// stable coalescing hash). A panic here exercises the daemon's
+    /// per-request containment; budget exhaustion forces the request onto
+    /// the degraded path.
+    ServeRequest,
+    /// A `safeflow serve` response frame being written (key: the request's
+    /// stable coalescing hash). Injection truncates the frame mid-write —
+    /// the client-visible version of a torn wire.
+    ServeFrame,
 }
 
 /// What kind of fault to inject.
@@ -63,6 +72,8 @@ fn site_salt(site: FaultSite) -> u64 {
         FaultSite::SccAnalysis => 0x5CC0_0001,
         FaultSite::Solver => 0x501F_0002,
         FaultSite::SummaryCache => 0xCAC8_0003,
+        FaultSite::ServeRequest => 0x5E4E_0004,
+        FaultSite::ServeFrame => 0xF4A3_0005,
     }
 }
 

@@ -25,7 +25,10 @@
 //!   wall-clock spans) whose entries are classified by determinism, so
 //!   observability output can participate in the byte-identity contract;
 //! * [`json`] — a minimal JSON document model + deterministic pretty
-//!   printer backing `--format json` and `--metrics=json`.
+//!   printer backing `--format json` and `--metrics=json`;
+//! * [`wire`] — little-endian binary encoding helpers with a panic-free
+//!   bounded reader, shared by the persistent summary store and the
+//!   `safeflow serve` socket protocol.
 //!
 //! Everything here is built on `std` only: the workspace builds and tests
 //! fully offline.
@@ -41,6 +44,7 @@ pub mod metrics;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod wire;
 
 pub use arena::Bump;
 pub use fault::{FaultKind, FaultPlan, FaultSite};
