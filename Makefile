@@ -16,10 +16,11 @@ help:
 	@echo "  test             cargo test -q (full suite)"
 	@echo "  lint             rustfmt --check + clippy -D warnings"
 	@echo "  bench            paper-evaluation benches (cargo bench)"
-	@echo "  bench-frontend   frontend LOC/sec trajectory -> BENCH_pr6.json"
+	@echo "  bench-frontend   frontend LOC/sec trajectory -> BENCH_pr9.json"
+	@echo "                   (incl. monorepo corpus column; BENCH_ARGS overrides)"
 	@echo "  bench-serve      daemon latency + overload drill -> BENCH_serve.json"
 	@echo "  fuzz-smoke       long parser/lexer robustness fuzz run"
-	@echo "  oracle-smoke     32-seed differential oracle (CI gate)"
+	@echo "  oracle-smoke     64-seed differential oracle (CI gate)"
 	@echo "  oracle-deep      512-seed oracle sweep with minimization"
 	@echo "  serve-smoke      daemon drill: 32 concurrent clients, injected"
 	@echo "                   fault, byte-identity vs one-shot CLI, SIGKILL"
@@ -45,12 +46,15 @@ bench:
 	$(CARGO) bench -q -p safeflow-bench
 
 # Frontend throughput trajectory: measures parse / parse+lower+SSA /
-# end-to-end LOC/sec over the corpus and rewrites the checked-in
-# BENCH_pr6.json artifact (schema locked by crates/bench/tests/
-# bench_schema.rs). Pass BENCH_ARGS="--baseline OLD.json" to embed a
-# prior artifact's numbers for a before/after comparison.
+# end-to-end LOC/sec over the classic corpus plus the monorepo corpus
+# (146 TUs / 180k+ LOC through the conforming preprocessor) and rewrites
+# the checked-in BENCH_pr9.json artifact (schema locked by crates/bench/
+# tests/bench_schema.rs). Later flags win, so BENCH_ARGS can override the
+# output path, label, pr number, or sample count.
 bench-frontend:
-	$(CARGO) run --release -q -p safeflow-bench --bin bench-frontend -- $(BENCH_ARGS)
+	$(CARGO) run --release -q -p safeflow-bench --bin bench-frontend -- \
+	  --out BENCH_pr9.json --pr 9 --monorepo \
+	  --label "conforming preprocessor + monorepo corpus" $(BENCH_ARGS)
 
 # Daemon latency trajectory: warm-path (store replay) vs cold-path p50/p99
 # over loopback, plus a 4x-overload shedding drill against a bounded
@@ -89,14 +93,15 @@ golden:
 fuzz-smoke:
 	FUZZ_CASES=2000 $(CARGO) test -q -p safeflow-syntax --test fuzz_smoke
 
-# Differential oracle, CI window: a fixed 32-seed sweep cross-checking
+# Differential oracle, CI window: a fixed 64-seed sweep cross-checking
 # the parallel, warm-cache, store-replay, and incremental configurations
-# against the naive reference analyzer. Exit 0 = zero divergences; the
-# oracle's own output is byte-identical across runs and --jobs (locked by
-# crates/cli/tests/cli.rs).
+# against the naive reference analyzer. Seeds draw macro-enabled shapes
+# (function-like macros, config conditionals) since ISSUE 8. Exit 0 =
+# zero divergences; the oracle's own output is byte-identical across runs
+# and --jobs (locked by crates/cli/tests/cli.rs).
 oracle-smoke: require-release
-	$(SAFEFLOW) oracle --seeds 0..32
-	@echo "oracle-smoke OK: 32 seeds, zero divergences"
+	$(SAFEFLOW) oracle --seeds 0..64
+	@echo "oracle-smoke OK: 64 seeds (incl. macro-enabled shapes), zero divergences"
 
 # Wider overnight sweep with minimization: any divergence is shrunk and
 # written under /tmp/safeflow-oracle-repros for triage (promote keepers

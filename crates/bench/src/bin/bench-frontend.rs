@@ -19,9 +19,11 @@
 //! and nothing in the byte-identity contract reads this file.
 
 use safeflow::{AnalysisConfig, Analyzer};
+use safeflow_corpus::monorepo::{generate_monorepo, total_loc, MonorepoParams};
 use safeflow_ir::build_module;
 use safeflow_syntax::diag::Diagnostics;
-use safeflow_syntax::parse_source;
+use safeflow_syntax::pp::VirtualFs;
+use safeflow_syntax::{parse_program_jobs, parse_source};
 use safeflow_util::Json;
 use std::hint::black_box;
 use std::time::Instant;
@@ -31,6 +33,8 @@ struct Args {
     baseline: Option<String>,
     samples: usize,
     label: String,
+    pr: u64,
+    monorepo: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +43,8 @@ fn parse_args() -> Args {
         baseline: None,
         samples: 15,
         label: "arena+interned frontend".to_string(),
+        pr: 6,
+        monorepo: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -47,7 +53,11 @@ fn parse_args() -> Args {
             "--baseline" => args.baseline = Some(it.next().expect("--baseline PATH")),
             "--samples" => args.samples = it.next().expect("--samples N").parse().expect("number"),
             "--label" => args.label = it.next().expect("--label S"),
-            other => panic!("unknown argument `{other}` (try --out/--baseline/--samples/--label)"),
+            "--pr" => args.pr = it.next().expect("--pr N").parse().expect("number"),
+            "--monorepo" => args.monorepo = true,
+            other => panic!(
+                "unknown argument `{other}` (try --out/--baseline/--samples/--label/--pr/--monorepo)"
+            ),
         }
     }
     if std::env::var("SAFEFLOW_BENCH_QUICK").is_ok() {
@@ -92,6 +102,54 @@ fn stage_json(loc: usize, (median, min, max): (u64, u64, u64)) -> Json {
     j.set("min_ns", min);
     j.set("max_ns", max);
     j.set("loc_per_sec", loc_per_sec(loc, median));
+    j
+}
+
+/// Measures the monorepo corpus (ISSUE 8): preprocess + parallel parse at
+/// one and eight workers, and cold end-to-end analysis. The monorepo flows
+/// through `parse_program_jobs`/`analyze_program` (VirtualFs, includes,
+/// config macros) rather than `parse_source`, so this column exercises the
+/// preprocessor under monorepo traffic — guarded headers included ~300
+/// times, function-like config macros expanded throughout.
+fn monorepo_json(samples: usize) -> Json {
+    let files = generate_monorepo(MonorepoParams::bench());
+    let loc = total_loc(&files);
+    let raw_lines: usize = files.iter().map(|(_, t)| t.lines().count()).sum();
+    let tus = files.iter().filter(|(n, _)| n.ends_with(".c")).count();
+    let file_count = files.len();
+    let mut fs = VirtualFs::new();
+    for (name, text) in files {
+        fs.add(name, text);
+    }
+
+    let parse_at = |jobs: usize, samples: usize| {
+        measure(samples, || {
+            let r = parse_program_jobs("main.c", &fs, jobs);
+            assert!(!r.diags.has_errors(), "monorepo corpus must parse");
+            black_box(&r.unit);
+        })
+    };
+    let parse_j1 = parse_at(1, samples);
+    let parse_j8 = parse_at(8, samples);
+    let e2e = measure(samples, || {
+        let analyzer = Analyzer::new(AnalysisConfig::default().with_jobs(8));
+        let result = analyzer.analyze_program("main.c", &fs).expect("monorepo analysis runs");
+        black_box(&result);
+    });
+
+    let mut stages = Json::obj();
+    stages.set("parse_j1", stage_json(loc, parse_j1));
+    stages.set("parse_j8", stage_json(loc, parse_j8));
+    stages.set("e2e", stage_json(loc, e2e));
+
+    let mut j = Json::obj();
+    j.set("tus", tus);
+    j.set("files", file_count);
+    j.set("loc", loc);
+    j.set("raw_lines", raw_lines);
+    j.set("stages", stages);
+    // 100 = parity; >100 means the 8-worker parse beat the 1-worker parse.
+    j.set("parallel_parse_speedup_pct", parse_j1.0 * 100 / parse_j8.0.max(1));
     j
 }
 
@@ -149,13 +207,16 @@ fn main() {
 
     let mut doc = Json::obj();
     doc.set("schema", "safeflow-bench-trajectory-v1");
-    doc.set("pr", 6u64);
+    doc.set("pr", args.pr);
     doc.set("bench", "frontend-e2e");
     doc.set("label", args.label.as_str());
     doc.set("samples", args.samples);
     doc.set("corpus", corpus);
     doc.set("determinism", determinism);
     doc.set("stages", stages);
+    if args.monorepo {
+        doc.set("monorepo", monorepo_json(args.samples));
+    }
 
     if let Some(path) = &args.baseline {
         let text =

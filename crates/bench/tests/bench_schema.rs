@@ -17,6 +17,13 @@ fn artifact() -> Json {
     Json::parse(&text).expect("artifact is valid workspace JSON")
 }
 
+fn pr9_artifact() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} (run `make bench-frontend`)"));
+    Json::parse(&text).expect("artifact is valid workspace JSON")
+}
+
 fn serve_artifact() -> Json {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     let text = std::fs::read_to_string(path)
@@ -108,6 +115,47 @@ fn trajectory_artifact_records_pre_refactor_baseline_and_speedup() {
         speedup > 100,
         "recorded e2e speedup must beat the pre-refactor baseline, got {speedup}%"
     );
+}
+
+#[test]
+fn pr9_artifact_continues_the_trajectory() {
+    let doc = pr9_artifact();
+    assert_eq!(string(&doc, &["schema"]), "safeflow-bench-trajectory-v1");
+    assert_eq!(uint(&doc, &["pr"]), 9);
+    assert_eq!(string(&doc, &["bench"]), "frontend-e2e");
+    assert!(!string(&doc, &["label"]).is_empty());
+    assert_eq!(string(&doc, &["determinism", "class"]), "Sched");
+
+    // The classic-corpus stages stay comparable with the PR 7 artifact.
+    let loc = uint(&doc, &["corpus", "loc"]);
+    assert!(loc > 0);
+    for stage in ["parse", "lower_ssa", "e2e"] {
+        check_stage(&doc, &["stages", stage], loc);
+    }
+}
+
+#[test]
+fn pr9_artifact_records_the_monorepo_column() {
+    let doc = pr9_artifact();
+    // The ISSUE 8 acceptance floor: a >=100-TU, >=100k-LOC monorepo run
+    // completed under `make bench-frontend`.
+    let tus = uint(&doc, &["monorepo", "tus"]);
+    assert!(tus >= 100, "monorepo column needs >=100 TUs, recorded {tus}");
+    let loc = uint(&doc, &["monorepo", "loc"]);
+    assert!(loc >= 100_000, "monorepo column needs >=100k LOC, recorded {loc}");
+    assert!(uint(&doc, &["monorepo", "files"]) >= tus);
+    assert!(uint(&doc, &["monorepo", "raw_lines"]) >= loc);
+    for stage in ["parse_j1", "parse_j8", "e2e"] {
+        check_stage(&doc, &["monorepo", "stages", stage], loc);
+    }
+    // The ratio is recorded (it may honestly sit below parity: the
+    // monorepo is one root TU, so workers only parallelize lexing while
+    // inclusion and macro expansion replay sequentially).
+    let ratio = uint(&doc, &["monorepo", "parallel_parse_speedup_pct"]);
+    assert!(ratio > 0);
+    let j1 = uint(&doc, &["monorepo", "stages", "parse_j1", "median_ns"]);
+    let j8 = uint(&doc, &["monorepo", "stages", "parse_j8", "median_ns"]);
+    assert_eq!(ratio, j1 * 100 / j8.max(1), "ratio inconsistent with recorded medians");
 }
 
 /// Checks one latency-stats object: nonzero, coherent percentiles.

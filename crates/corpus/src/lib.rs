@@ -24,6 +24,7 @@ mod double_ip;
 mod fig2;
 mod generic;
 mod ip;
+pub mod monorepo;
 pub mod noncore_gen;
 pub mod oracle_gen;
 pub mod synthetic;

@@ -51,6 +51,15 @@ pub struct OracleShape {
     /// Number of translation units (1–3): helpers and monitors move into
     /// `#include`d files as the count grows.
     pub units: usize,
+    /// Whether the helper arithmetic and monitor clamps go through
+    /// function-like macros (`HSCALE(x)`, `MLIM`) instead of literal
+    /// expressions — same post-expansion program shape, but the optimized
+    /// configs must agree on macro-heavy inputs too.
+    pub fn_macros: bool,
+    /// Whether `main` gains a config-conditional block (`#define CFG_MODE`
+    /// + `#if`/`#elif`/`#else`) selecting an extra unmonitored region read
+    ///   — conditional evaluation changes the analyzed program.
+    pub config_macros: bool,
 }
 
 impl OracleShape {
@@ -65,6 +74,8 @@ impl OracleShape {
             direct_read: false,
             kill_call: false,
             units: 1,
+            fn_macros: false,
+            config_macros: false,
         }
     }
 }
@@ -86,6 +97,11 @@ pub fn shape_for_seed(seed: u64) -> OracleShape {
         direct_read: g.chance(0.4),
         kill_call: g.chance(0.4),
         units: g.usize(1, 4),
+        // Drawn after every pre-existing field so old seeds keep their
+        // historical region/monitor/unit shapes (checked-in repros and
+        // minimized divergences stay reproducible).
+        fn_macros: g.chance(0.5),
+        config_macros: g.chance(0.5),
     }
 }
 
@@ -122,9 +138,19 @@ fn render(shape: &OracleShape, variant: bool) -> Vec<(String, String)> {
     let mul = if variant { "1.046875" } else { "1.03125" };
 
     let mut helpers = String::new();
+    if shape.fn_macros {
+        // The variant's constant lives inside the macro body, so the
+        // edited-unit contract (only the helper unit's text differs)
+        // holds for macro-using shapes too.
+        helpers.push_str(&format!("#define HSCALE(x) ((x) * {mul} + 0.5)\n\n"));
+    }
     for d in (0..depth).rev() {
         helpers.push_str(&format!("float helper{d}(float x, int which) {{\n"));
-        helpers.push_str(&format!("    float acc;\n    acc = x * {mul} + 0.5;\n"));
+        if shape.fn_macros {
+            helpers.push_str("    float acc;\n    acc = HSCALE(x);\n");
+        } else {
+            helpers.push_str(&format!("    float acc;\n    acc = x * {mul} + 0.5;\n"));
+        }
         for b in 0..shape.branches {
             helpers.push_str(&format!(
                 "    if (which > {b}) {{ acc = acc + {b}.25; }} else {{ acc = acc - 0.125; }}\n"
@@ -139,6 +165,9 @@ fn render(shape: &OracleShape, variant: bool) -> Vec<(String, String)> {
     }
 
     let mut monitors = String::new();
+    if shape.fn_macros {
+        monitors.push_str("#define MLIM 5.0\n\n");
+    }
     for (m, mon) in shape.monitors.iter().enumerate() {
         let r = mon.region.min(regions - 1);
         monitors.push_str(&format!("float monitor{m}(float fallback)\n"));
@@ -149,14 +178,22 @@ fn render(shape: &OracleShape, variant: bool) -> Vec<(String, String)> {
         }
         monitors.push_str("{\n");
         monitors.push_str(&format!("    float v;\n    v = reg{r}->v;\n"));
-        monitors.push_str("    if (v > 5.0) return fallback;\n");
-        monitors.push_str("    if (v < 0.0 - 5.0) return fallback;\n");
+        if shape.fn_macros {
+            monitors.push_str("    if (v > MLIM) return fallback;\n");
+            monitors.push_str("    if (v < 0.0 - MLIM) return fallback;\n");
+        } else {
+            monitors.push_str("    if (v > 5.0) return fallback;\n");
+            monitors.push_str("    if (v < 0.0 - 5.0) return fallback;\n");
+        }
         monitors.push_str(&format!("    return v + helper0(v, {m});\n"));
         monitors.push_str("}\n\n");
     }
 
     let mut root = String::new();
     root.push_str("/* oracle-generated core component */\n");
+    if shape.config_macros {
+        root.push_str(&format!("#define CFG_MODE {regions}\n"));
+    }
     root.push_str("typedef struct Blk { float v; int seq; int flag; int pad; } Blk;\n");
     for r in 0..regions {
         root.push_str(&format!("Blk *reg{r};\n"));
@@ -222,6 +259,18 @@ fn render(shape: &OracleShape, variant: bool) -> Vec<(String, String)> {
         root.push_str(&format!("    pid = reg{}->seq;\n", regions - 1));
         root.push_str("    kill(pid, 9);\n");
     }
+    if shape.config_macros {
+        // The conditional selects real program text: on multi-region
+        // shapes the taken branch adds an unmonitored read, so the
+        // evaluator's verdict is visible in every config's report.
+        root.push_str("#if CFG_MODE >= 2 && !defined(CFG_MINIMAL)\n");
+        root.push_str("    u = u + reg0->v;\n");
+        root.push_str("#elif CFG_MODE == 1\n");
+        root.push_str("    u = u * 1.0;\n");
+        root.push_str("#else\n");
+        root.push_str("    u = u + 0.0;\n");
+        root.push_str("#endif\n");
+    }
     root.push_str("    /** SafeFlow Annotation assert(safe(u)) */\n");
     root.push_str("    sink(u);\n    return 0;\n}\n");
 
@@ -262,6 +311,12 @@ pub fn shrink_candidates(shape: &OracleShape) -> Vec<OracleShape> {
     if shape.kill_call {
         out.push(OracleShape { kill_call: false, ..shape.clone() });
     }
+    if shape.fn_macros {
+        out.push(OracleShape { fn_macros: false, ..shape.clone() });
+    }
+    if shape.config_macros {
+        out.push(OracleShape { config_macros: false, ..shape.clone() });
+    }
     if let Some(pos) = shape.monitors.iter().position(|m| !m.monitored) {
         let mut s = shape.clone();
         s.monitors[pos].monitored = true;
@@ -289,6 +344,28 @@ mod tests {
         assert!(shapes.iter().any(|s| s.units == 1));
         assert!(shapes.iter().any(|s| s.kill_call));
         assert!(shapes.iter().any(|s| s.monitors.iter().any(|m| !m.monitored)));
+        assert!(shapes.iter().any(|s| s.fn_macros), "some shapes must use function-like macros");
+        assert!(shapes.iter().any(|s| s.config_macros), "some shapes must use config conditionals");
+        assert!(shapes.iter().any(|s| !s.fn_macros && !s.config_macros));
+    }
+
+    #[test]
+    fn macro_shapes_render_macro_text() {
+        let mut s = OracleShape::minimal();
+        s.fn_macros = true;
+        s.config_macros = true;
+        s.regions = 2;
+        let files = generate(&s);
+        let all: String = files.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(all.contains("#define HSCALE(x)"));
+        assert!(all.contains("HSCALE(x)"));
+        assert!(all.contains("#define MLIM"));
+        assert!(all.contains("#define CFG_MODE 2"));
+        assert!(all.contains("#if CFG_MODE >= 2"));
+        // The plain shape renders none of it.
+        let plain: String =
+            generate(&OracleShape::minimal()).iter().map(|(_, t)| t.as_str()).collect();
+        assert!(!plain.contains("#define"));
     }
 
     #[test]
@@ -308,6 +385,9 @@ mod tests {
     fn variant_differs_only_in_the_helper_unit() {
         let mut s = shape_for_seed(7);
         s.units = 3;
+        // Macro shapes keep the contract too: the variant constant lives
+        // inside HSCALE's body, which is defined in the helper unit.
+        s.fn_macros = true;
         let a = generate(&s);
         let b = generate_variant(&s);
         assert_eq!(a.len(), b.len());

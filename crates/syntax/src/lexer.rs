@@ -145,6 +145,9 @@ impl<'a, 'd> Lexer<'a, 'd> {
         // `folded` is Some as soon as the payload diverges from the raw
         // slice; until then the slice `body_lo..body_end` is authoritative.
         let mut folded: Option<String> = None;
+        // Comment stripping must not fire inside string/char literals, or
+        // `#define PATH "http://x"` truncates at the `//`.
+        let mut quote: Option<u8> = None;
         let body_end;
         loop {
             let b = self.peek();
@@ -157,6 +160,30 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 self.bump();
                 self.bump();
                 buf.push(' ');
+                continue;
+            }
+            if let Some(q) = quote {
+                // Inside a literal: honor escapes, watch for the close quote.
+                if b == b'\\' && self.pos + 1 < self.bytes.len() && self.peek2() != b'\n' {
+                    let c = self.bump();
+                    if let Some(buf) = folded.as_mut() {
+                        buf.push(c as char);
+                    }
+                } else if b == q {
+                    quote = None;
+                }
+                let c = self.bump();
+                if let Some(buf) = folded.as_mut() {
+                    buf.push(c as char);
+                }
+                continue;
+            }
+            if b == b'"' || b == b'\'' {
+                quote = Some(b);
+                let c = self.bump();
+                if let Some(buf) = folded.as_mut() {
+                    buf.push(c as char);
+                }
                 continue;
             }
             // Strip comments inside directives.
@@ -664,6 +691,27 @@ mod tests {
     fn directive_continuation_folded() {
         let toks = lex_ok("#define BIG \\\n 42\nint x;");
         assert_eq!(toks[0], TokenKind::Directive("define BIG   42".into()));
+    }
+
+    #[test]
+    fn directive_trailing_comments_stripped() {
+        let toks = lex_ok("#undef FOO /* why */\n#ifdef FOO // note\n#endif\nint x;");
+        assert_eq!(toks[0], TokenKind::Directive("undef FOO".into()));
+        assert_eq!(toks[1], TokenKind::Directive("ifdef FOO".into()));
+        assert_eq!(toks[2], TokenKind::Directive("endif".into()));
+    }
+
+    #[test]
+    fn directive_comment_stripping_is_quote_aware() {
+        // `//` inside a string literal is not a comment...
+        let toks = lex_ok("#define PATH \"http://x\"\nint x;");
+        assert_eq!(toks[0], TokenKind::Directive("define PATH \"http://x\"".into()));
+        // ...nor is `/*` inside a char constant; a real trailing comment
+        // after the literal still strips, and escaped quotes don't close
+        // the literal early.
+        let toks = lex_ok("#define S \"a /* b\" // c\n#define Q \"x\\\"y//z\"\nint x;");
+        assert_eq!(toks[0], TokenKind::Directive("define S \"a /* b\"".into()));
+        assert_eq!(toks[1], TokenKind::Directive("define Q \"x\\\"y//z\"".into()));
     }
 
     #[test]

@@ -209,6 +209,64 @@ fn crlf_and_tab_mixes_never_panic() {
 }
 
 #[test]
+fn directive_heavy_mutations_never_panic() {
+    // Random directive soup over the conforming preprocessor (ISSUE 8):
+    // function-like defines (recursive, variadic, paste-using, malformed),
+    // unbalanced conditional nesting, hostile `#if` expressions, self- and
+    // missing-includes, invocations torn by truncation. Everything must
+    // come back as diagnostics — and rendering them (`must_not_panic`
+    // renders all diagnostics) proves every span still anchors in a
+    // registered file.
+    const LINES: &[&str] = &[
+        "#define F(x) ((x) * F(x))",
+        "#define A B",
+        "#define B A",
+        "#define P(a, b) a ## b",
+        "#define V(a, ...) (a)",
+        "#define G(",
+        "#define DEEP(x) DEEP(DEEP(x))",
+        "#define WIDE(x) x x x x x x x x",
+        "#define  ",
+        "#if defined (X) && X > 1/0",
+        "#if (1 << 62) + 1",
+        "#if 0x7fffffffffffffff * 2",
+        "#if 1 ? 2 :",
+        "#elif UNDEF(",
+        "#ifdef X",
+        "#ifndef X",
+        "#else",
+        "#endif",
+        "#undef F /* tail */",
+        "#undef",
+        "#include \"missing.h\"",
+        "#include \"directives.c\"",
+        "#include <",
+        "#error boom",
+        "#pragma once",
+        "#if 0",
+        "#garbage directive",
+        "int x = F(F(1), 2);",
+        "int y = A + WIDE(B);",
+        "int z = DEEP(3);",
+        "int w = F(1",
+    ];
+    const ENDINGS: &[&str] = &["\n", "\r\n", " \\\n", "\n\n"];
+    run_cases(cases(), |gen| {
+        let mut src = String::new();
+        for _ in 0..gen.usize(0, 24) {
+            src.push_str(gen.pick::<&str>(LINES));
+            src.push_str(gen.pick::<&str>(ENDINGS));
+        }
+        // Occasionally tear the result mid-byte like the other mutators.
+        if gen.chance(0.3) && !src.is_empty() {
+            let cut = gen.usize(0, src.len() + 1);
+            src = String::from_utf8_lossy(&src.as_bytes()[..cut]).into_owned();
+        }
+        must_not_panic("directives.c", &src);
+    });
+}
+
+#[test]
 fn pathological_literals_never_panic() {
     // Directed cases for historically panic-prone lexer paths: overlong
     // hex escapes (i64 overflow), unterminated constructs, bare prefixes.

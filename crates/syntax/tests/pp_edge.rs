@@ -1,0 +1,227 @@
+//! Preprocessor edge-case suite (ISSUE 8 satellite).
+//!
+//! Locks the three directive-handling bugs the ISSUE names as
+//! integration-level regressions (they also have unit repros in pp.rs),
+//! plus the conformance behaviors around them: nested `#elif` chains,
+//! function-like macro recursion and arity diagnostics, diagnostic
+//! anchoring inside included files, and the parallel-replay contract —
+//! diagnostics and AST byte-identical at every `--jobs` value on
+//! macro-heavy multi-file programs.
+
+use safeflow_syntax::pp::VirtualFs;
+use safeflow_syntax::printer::print_unit;
+use safeflow_syntax::{parse_program, parse_program_jobs, parse_source, ParseResult};
+
+fn fs(files: &[(&str, &str)]) -> VirtualFs {
+    let mut fs = VirtualFs::new();
+    for (n, t) in files {
+        fs.add(*n, *t);
+    }
+    fs
+}
+
+fn rendered_diags(r: &ParseResult) -> String {
+    r.diags.render_all(&r.sources)
+}
+
+// --- Repro 1: skipped groups must not evaluate nested conditions. ---
+
+#[test]
+fn disabled_block_with_unsupported_condition_is_silent() {
+    // The inner condition uses a form the evaluator rejects; inside
+    // `#if 0` it must never be evaluated, so the program is clean.
+    let src = "#if 0\n#if SOME_TARGET_ONLY_FORM(v2,\n#error not for this target\n#endif\n#endif\nint ok;\n";
+    let r = parse_source("skip.c", src);
+    assert!(!r.diags.has_errors(), "{}", rendered_diags(&r));
+    assert_eq!(print_unit(&r.unit).matches("ok").count(), 1);
+}
+
+#[test]
+fn disabled_block_does_not_define_or_include() {
+    let files = [
+        ("main.c", "#ifdef NOPE\n#include \"missing.h\"\n#define HIDDEN 1\n#endif\n#ifdef HIDDEN\nint bad;\n#endif\nint good;\n"),
+    ];
+    let r = parse_program("main.c", &fs(&files));
+    assert!(!r.diags.has_errors(), "{}", rendered_diags(&r));
+    let printed = print_unit(&r.unit);
+    assert!(printed.contains("good"));
+    assert!(!printed.contains("bad"));
+}
+
+// --- Repro 2: trailing comments on directive lines. ---
+
+#[test]
+fn undef_with_trailing_block_comment_takes_effect() {
+    let src = "#define FOO 1\n#undef FOO /* retired: see note */\n#ifdef FOO\nint stale;\n#endif\nint fresh;\n";
+    let r = parse_source("undef.c", src);
+    assert!(!r.diags.has_errors(), "{}", rendered_diags(&r));
+    let printed = print_unit(&r.unit);
+    assert!(printed.contains("fresh"));
+    assert!(!printed.contains("stale"));
+}
+
+#[test]
+fn ifdef_with_trailing_line_comment_matches() {
+    let src = "#define FOO 1\n#ifdef FOO // enabled on all targets\nint yes;\n#endif\n";
+    let r = parse_source("ifdef.c", src);
+    assert!(!r.diags.has_errors(), "{}", rendered_diags(&r));
+    assert!(print_unit(&r.unit).contains("yes"));
+}
+
+// --- Repro 3: `defined (X)` with whitespace before the paren. ---
+
+#[test]
+fn defined_with_space_before_paren_sees_the_macro() {
+    let src =
+        "#define HAVE_SHM 1\n#if defined (HAVE_SHM)\nint with;\n#else\nint without;\n#endif\n";
+    let r = parse_source("defined.c", src);
+    assert!(!r.diags.has_errors(), "{}", rendered_diags(&r));
+    let printed = print_unit(&r.unit);
+    assert!(printed.contains("with"));
+    assert!(!printed.contains("without"));
+}
+
+// --- Nested #elif chains. ---
+
+#[test]
+fn nested_elif_chains_select_exactly_one_branch() {
+    let src = "\
+#define TARGET 3
+#if TARGET == 1
+int t1;
+#elif TARGET == 2
+int t2;
+#elif TARGET == 3
+#if defined(VARIANT)
+int t3v;
+#elif TARGET * 2 == 6
+int t3;
+#else
+int t3d;
+#endif
+#elif TARGET == 4
+int t4;
+#else
+int td;
+#endif
+";
+    let r = parse_source("elif.c", src);
+    assert!(!r.diags.has_errors(), "{}", rendered_diags(&r));
+    let printed = print_unit(&r.unit);
+    for sym in ["t1", "t2", "t3v", "t3d", "t4", "td"] {
+        assert!(!printed.contains(&format!("{sym};")), "branch {sym} must not be taken");
+    }
+    assert!(printed.contains("t3;"));
+}
+
+#[test]
+fn elif_chain_stops_evaluating_after_taken_branch() {
+    // Conditions after the taken branch are dead: even a malformed one
+    // must not diagnose (C skips them entirely).
+    let src = "#if 1\nint a;\n#elif 1 +\nint b;\n#elif )(\nint c;\n#endif\n";
+    let r = parse_source("dead.c", src);
+    assert!(!r.diags.has_errors(), "{}", rendered_diags(&r));
+    assert!(print_unit(&r.unit).contains("a;"));
+}
+
+// --- Function-like macro recursion and arity diagnostics. ---
+
+#[test]
+fn recursive_function_macros_diagnose_nothing_and_terminate() {
+    let src = "#define LOOP(x) LOOP(x)\n#define PING(x) PONG(x)\n#define PONG(x) PING(x)\nint a = LOOP(1);\nint b = PING(2);\n";
+    let r = parse_source("recur.c", src);
+    // Blue-painted recursive names survive as plain identifiers; the
+    // parser then sees calls to undeclared functions, which the subset
+    // parses fine (diagnosis happens later, in analysis).
+    assert!(!r.diags.has_errors(), "{}", rendered_diags(&r));
+    let printed = print_unit(&r.unit);
+    assert!(printed.contains("LOOP"));
+    assert!(printed.contains("PING") || printed.contains("PONG"));
+}
+
+#[test]
+fn arity_errors_are_diagnosed_with_the_macro_name() {
+    let src = "#define CLAMP(v, lo, hi) ((v) < (lo) ? (lo) : (v))\nint a = CLAMP(1);\nint b = CLAMP(1, 2, 3, 4);\n";
+    let r = parse_source("arity.c", src);
+    assert!(r.diags.has_errors());
+    let text = rendered_diags(&r);
+    assert!(text.contains("CLAMP"), "{text}");
+    assert!(text.contains("expects 3 argument(s), got 1"), "{text}");
+    assert!(text.contains("expects 3 argument(s), got 4"), "{text}");
+}
+
+#[test]
+fn unterminated_invocation_is_an_error_not_a_hang() {
+    let src = "#define F(a, b) ((a) + (b))\nint x = F(1,\n";
+    let r = parse_source("unterm.c", src);
+    assert!(r.diags.has_errors());
+    assert!(rendered_diags(&r).contains("unterminated invocation"), "{}", rendered_diags(&r));
+}
+
+// --- Include-diagnostic anchoring. ---
+
+#[test]
+fn errors_in_included_files_anchor_in_the_included_file() {
+    let files = [
+        ("main.c", "#include \"inner.h\"\nint after;\n"),
+        ("inner.h", "int ok;\n#if 1 /\nint bad;\n#endif\n"),
+    ];
+    let r = parse_program("main.c", &fs(&files));
+    assert!(r.diags.has_errors());
+    let text = rendered_diags(&r);
+    // The malformed-condition error must point into inner.h, not main.c.
+    assert!(text.contains("inner.h"), "{text}");
+}
+
+#[test]
+fn macro_use_site_errors_anchor_at_the_use_site_file() {
+    let files = [
+        ("main.c", "#define ADD(a, b) ((a) + (b))\n#include \"user.c\"\n"),
+        ("user.c", "int y = ADD(1);\n"),
+    ];
+    let r = parse_program("main.c", &fs(&files));
+    assert!(r.diags.has_errors());
+    let text = rendered_diags(&r);
+    assert!(text.contains("user.c"), "arity error must anchor at the use site: {text}");
+}
+
+#[test]
+fn error_directive_reports_its_message_and_file() {
+    let files = [
+        ("main.c", "#include \"cfg.h\"\nint x;\n"),
+        ("cfg.h", "#ifndef MODE\n#error MODE must be defined by the build\n#endif\n"),
+    ];
+    let r = parse_program("main.c", &fs(&files));
+    assert!(r.diags.has_errors());
+    let text = rendered_diags(&r);
+    assert!(text.contains("MODE must be defined"), "{text}");
+    assert!(text.contains("cfg.h"), "{text}");
+}
+
+// --- Parallel-replay byte identity on macro-heavy programs. ---
+
+#[test]
+fn macro_heavy_program_is_byte_identical_at_every_jobs_value() {
+    // A program leaning on everything new at once: function-like macros
+    // crossing file boundaries, config conditionals, guarded headers,
+    // plus a deliberate arity error so the diagnostic path is covered
+    // by the byte-identity check too.
+    let files = [
+        (
+            "main.c",
+            "#include \"cfg.h\"\n#include \"lib.c\"\nint main() { int u; u = STEP(BASE, 2); u = STEP(u);\n#if MODE >= 2 && defined(EXTRA)\n u = u + 1;\n#endif\n return u; }\n",
+        ),
+        ("cfg.h", "#ifndef CFG_H\n#define CFG_H\n#define MODE 3\n#define BASE (MODE * 10)\n#define EXTRA 1\n#endif\n"),
+        ("lib.c", "#include \"cfg.h\"\n#define STEP(x, k) ((x) + (k) * MODE)\nint helper(int v) { return STEP(v, 1); }\n"),
+    ];
+    let vfs = fs(&files);
+    let reference = parse_program("main.c", &vfs);
+    assert!(reference.diags.has_errors(), "the one-arg STEP use must diagnose");
+    let ref_printed = print_unit(&reference.unit);
+    let ref_diags = rendered_diags(&reference);
+    for jobs in [1usize, 2, 8] {
+        let got = parse_program_jobs("main.c", &vfs, jobs);
+        assert_eq!(print_unit(&got.unit), ref_printed, "AST diverged at jobs={jobs}");
+        assert_eq!(rendered_diags(&got), ref_diags, "diagnostics diverged at jobs={jobs}");
+    }
+}
