@@ -7,7 +7,7 @@
 CARGO ?= cargo
 SAFEFLOW = target/release/safeflow
 
-.PHONY: all help build test lint bench bench-frontend bench-serve smoke serve-smoke require-release oracle-smoke oracle-deep metrics-demo incremental-demo fuzz-smoke golden clean
+.PHONY: all help build test lint bench bench-frontend bench-serve smoke serve-smoke policy-smoke require-release oracle-smoke oracle-deep metrics-demo incremental-demo fuzz-smoke golden clean
 
 # One line per target; kept in sync by hand when targets change.
 help:
@@ -24,6 +24,8 @@ help:
 	@echo "  oracle-deep      512-seed oracle sweep with minimization"
 	@echo "  serve-smoke      daemon drill: 32 concurrent clients, injected"
 	@echo "                   fault, byte-identity vs one-shot CLI, SIGKILL"
+	@echo "  policy-smoke     3-label mixed-criticality example through all"
+	@echo "                   implicit-flow modes, diffed against goldens"
 	@echo "  smoke            pre-merge gate: lint+build+test+determinism"
 	@echo "  metrics-demo     Table 1 with the observability layer on"
 	@echo "  incremental-demo incremental-session store lifecycle walk"
@@ -110,11 +112,37 @@ oracle-deep: require-release
 	$(SAFEFLOW) oracle --seeds 0..512 --minimize --repro-dir /tmp/safeflow-oracle-repros
 	@echo "oracle-deep OK: 512 seeds, zero divergences"
 
+# Label-lattice policy gate: the 3-label mixed-criticality example runs
+# under every --implicit-flow mode and must match its checked-in golden
+# byte-for-byte (strict promotes the control-only finding, taint-only
+# drops it, report-separately keeps it distinct). The JSON run pins the
+# safeflow-report-v2 schema with per-finding label/flow_kind fields; its
+# trailing metrics block is volatile (timings, pool scheduling) and is
+# stripped before the diff, per the observability contract.
+# Goldens live in tests/policy-goldens/; regenerate by re-running the
+# same commands by hand after an intentional report change.
+policy-smoke: require-release
+	$(SAFEFLOW) --implicit-flow strict examples/policy/mixed_criticality.c \
+	  > /tmp/safeflow-policy-strict.txt; test $$? -eq 2
+	cmp /tmp/safeflow-policy-strict.txt tests/policy-goldens/strict.txt
+	$(SAFEFLOW) --implicit-flow taint-only examples/policy/mixed_criticality.c \
+	  > /tmp/safeflow-policy-taint-only.txt; test $$? -eq 2
+	cmp /tmp/safeflow-policy-taint-only.txt tests/policy-goldens/taint-only.txt
+	$(SAFEFLOW) --implicit-flow report-separately examples/policy/mixed_criticality.c \
+	  > /tmp/safeflow-policy-separate.txt; test $$? -eq 2
+	cmp /tmp/safeflow-policy-separate.txt tests/policy-goldens/report-separately.txt
+	$(SAFEFLOW) --implicit-flow report-separately --format json \
+	  examples/policy/mixed_criticality.c \
+	  | sed '/^  "metrics": {$$/,$$d' \
+	  > /tmp/safeflow-policy-separate.json
+	cmp /tmp/safeflow-policy-separate.json tests/policy-goldens/report-separately.json
+	@echo "policy-smoke OK: all three implicit-flow modes match their goldens"
+
 # Lint + build + test + determinism at two thread counts: the summary
 # engine's corpus reports must be byte-identical at --jobs 1 and --jobs 8.
 # (The `--format json` byte-identity contract, with volatile metric
 # sections stripped, is covered by crates/core/tests/observability.rs.)
-smoke: lint build test oracle-smoke serve-smoke
+smoke: lint build test oracle-smoke serve-smoke policy-smoke
 	@$(MAKE) --no-print-directory require-release
 	$(SAFEFLOW) --engine summary --jobs 1 --fig2 > /tmp/safeflow-smoke-j1.txt || true
 	$(SAFEFLOW) --engine summary --jobs 8 --fig2 > /tmp/safeflow-smoke-j8.txt || true

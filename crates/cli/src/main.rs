@@ -22,7 +22,7 @@
 
 use safeflow::{
     AnalysisConfig, AnalysisSession, Analyzer, Budget, CriticalCall, Engine, FaultKind, FaultPlan,
-    FaultSite, RecvSpec,
+    FaultSite, ImplicitFlowMode, RecvSpec,
 };
 use safeflow_corpus::{systems, System};
 use safeflow_syntax::VirtualFs;
@@ -86,6 +86,7 @@ fn run() -> ExitCode {
     let mut recvs: Vec<RecvSpec> = Vec::new();
     let mut store_dir: Option<String> = None;
     let mut engine_set = false;
+    let mut implicit_flow: Option<ImplicitFlowMode> = None;
 
     // `check` and `oracle` are subcommands: they must come first, before
     // any file.
@@ -162,11 +163,31 @@ fn run() -> ExitCode {
             "--critical-call" => {
                 i += 1;
                 let Some(spec) = args.get(i) else {
-                    return usage_error("--critical-call requires an argument (NAME:ARG)");
+                    return usage_error("--critical-call requires an argument (NAME:ARG[:LABEL])");
                 };
                 match parse_critical(spec) {
                     Ok(c) => criticals.push(c),
                     Err(e) => return usage_error(&format!("--critical-call: {e}")),
+                }
+            }
+            "--implicit-flow" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some(mode) => match ImplicitFlowMode::parse(mode) {
+                        Some(m) => implicit_flow = Some(m),
+                        None => {
+                            return usage_error(&format!(
+                                "unknown implicit-flow mode `{mode}` \
+                                 (use strict, taint-only, or report-separately)"
+                            ))
+                        }
+                    },
+                    None => {
+                        return usage_error(
+                            "--implicit-flow requires an argument \
+                             (strict, taint-only, or report-separately)",
+                        )
+                    }
                 }
             }
             "--recv" => {
@@ -232,6 +253,9 @@ fn run() -> ExitCode {
         engine = Engine::Summary;
     }
     let mut builder = AnalysisConfig::builder().engine(engine).jobs(jobs).budget(budget);
+    if let Some(mode) = implicit_flow {
+        builder = builder.implicit_flow(mode);
+    }
     for call in criticals {
         builder = builder.critical_call(call);
     }
@@ -274,15 +298,29 @@ fn run() -> ExitCode {
     run_files(&config, &files, &out)
 }
 
-/// Parses a `--critical-call` spec: `NAME:ARG` (zero-based argument index).
+/// Parses a `--critical-call` spec: `NAME:ARG[:LABEL]` (zero-based
+/// argument index, optional clearance label from the declared policy).
 fn parse_critical(spec: &str) -> Result<CriticalCall, String> {
-    let (name, arg) =
-        spec.split_once(':').ok_or_else(|| format!("`{spec}` is not of the form NAME:ARG"))?;
-    let arg = arg.parse::<usize>().map_err(|_| format!("`{arg}` is not an argument index"))?;
+    let (name, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("`{spec}` is not of the form NAME:ARG[:LABEL]"))?;
     if name.is_empty() {
         return Err("function name is empty".to_string());
     }
-    Ok(CriticalCall::new(name, arg))
+    let (arg, clearance) = match rest.split_once(':') {
+        Some((a, label)) => {
+            if label.is_empty() {
+                return Err("clearance label is empty".to_string());
+            }
+            (a, Some(label))
+        }
+        None => (rest, None),
+    };
+    let arg = arg.parse::<usize>().map_err(|_| format!("`{arg}` is not an argument index"))?;
+    Ok(match clearance {
+        Some(label) => CriticalCall::with_clearance(name, arg, label),
+        None => CriticalCall::new(name, arg),
+    })
 }
 
 /// Parses a `--recv` spec: `NAME:SOCK_ARG:BUF_ARG` (zero-based indices).
@@ -576,8 +614,15 @@ fn print_help() {
          \x20                            a corrupt/mismatched store degrades to a\n\
          \x20                            cold run, never a stale result\n\
          \x20 --engine summary|context   phase-3 engine (default: context)\n\
-         \x20 --critical-call NAME:ARG   treat argument ARG of external NAME as\n\
-         \x20                            implicitly critical (like kill's pid)\n\
+         \x20 --critical-call NAME:ARG[:LABEL]\n\
+         \x20                            treat argument ARG of external NAME as\n\
+         \x20                            implicitly critical (like kill's pid);\n\
+         \x20                            an optional LABEL from the declared\n\
+         \x20                            policy clears flows at or below it\n\
+         \x20 --implicit-flow MODE       control-dependence policy: strict\n\
+         \x20                            (promote to errors), taint-only (track,\n\
+         \x20                            don't report), report-separately\n\
+         \x20                            (default; distinct control-only kind)\n\
          \x20 --recv NAME:SOCK:BUF       treat external NAME as a receive call\n\
          \x20                            (socket/buffer argument indices, §3.4.3)\n\
          \x20 --jobs N|auto, -j N        worker threads for the parallel phases\n\
@@ -591,6 +636,8 @@ fn print_help() {
          \x20 --fault-seed SEED[:RATE]   seeded random fault plan (testing)\n\
          \x20 --format json|text         report format (default: text); json emits\n\
          \x20                            the stable `safeflow-report-v1` document\n\
+         \x20                            (v2 when the source declares a label\n\
+         \x20                            policy: adds per-finding label/flow_kind)\n\
          \x20 --metrics[=json]           append the run's observability metrics\n\
          \x20                            (counters/work/sched/dist/timings sections)\n\
          \x20 --dot                      emit Graphviz value-flow graphs for errors\n\

@@ -1,5 +1,6 @@
 //! Analysis configuration.
 
+use crate::policy::{ImplicitFlowMode, Policy};
 use safeflow_util::fault::FaultPlan;
 
 /// Resource budgets for one analysis run.
@@ -49,12 +50,27 @@ pub struct CriticalCall {
     pub name: String,
     /// Zero-based index of the critical argument.
     pub arg: usize,
+    /// Clearance label: the highest label the argument may carry without
+    /// an error. `None` (the default, and the paper's behavior) means
+    /// `trusted` — any labeled value is an error.
+    pub clearance: Option<String>,
 }
 
 impl CriticalCall {
-    /// A critical-call spec for argument `arg` of `name`.
+    /// A critical-call spec for argument `arg` of `name`, cleared only
+    /// for `trusted` values (the paper's behavior).
     pub fn new(name: impl Into<String>, arg: usize) -> CriticalCall {
-        CriticalCall { name: name.into(), arg }
+        CriticalCall { name: name.into(), arg, clearance: None }
+    }
+
+    /// A critical-call spec whose argument is cleared up to the given
+    /// policy label.
+    pub fn with_clearance(
+        name: impl Into<String>,
+        arg: usize,
+        clearance: impl Into<String>,
+    ) -> CriticalCall {
+        CriticalCall { name: name.into(), arg, clearance: Some(clearance.into()) }
     }
 }
 
@@ -130,6 +146,9 @@ pub struct AnalysisConfig {
     /// Deterministic fault injection for testing the degradation paths;
     /// `None` (the default) injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// The label-lattice policy. The default empty policy is the paper's
+    /// two-point monitored/unmonitored scheme; see [`Policy`].
+    pub policy: Policy,
 }
 
 impl Default for AnalysisConfig {
@@ -146,6 +165,7 @@ impl Default for AnalysisConfig {
             jobs: 1,
             budget: Budget::default(),
             fault_plan: None,
+            policy: Policy::default(),
         }
     }
 }
@@ -191,6 +211,7 @@ impl AnalysisConfig {
         self.shm_attach_functions.dedup();
         self.recv_functions.sort();
         self.recv_functions.dedup();
+        self.policy = self.policy.normalized();
         self
     }
 
@@ -282,6 +303,19 @@ impl AnalyzerBuilder {
     /// Adds a message-receive library call (§3.4.3 extension).
     pub fn recv_function(mut self, spec: RecvSpec) -> Self {
         self.config.recv_functions.push(spec);
+        self
+    }
+
+    /// Sets the label-lattice policy (see [`Policy::builder`]).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the policy's implicit-flow handling mode without replacing
+    /// the rest of the policy.
+    pub fn implicit_flow(mut self, mode: ImplicitFlowMode) -> Self {
+        self.config.policy.implicit_flow = mode;
         self
     }
 
@@ -381,6 +415,37 @@ mod tests {
         assert_eq!(c.jobs, 1);
         assert!(c.budget.is_unlimited());
         assert!(c.fault_plan.is_none());
+    }
+
+    #[test]
+    fn builder_sets_policy_and_implicit_flow() {
+        let c = AnalysisConfig::builder()
+            .policy(Policy::builder().label("sensor_b").label("sensor_a").build())
+            .implicit_flow(ImplicitFlowMode::Strict)
+            .build_config();
+        assert!(!c.policy.is_default());
+        assert_eq!(c.policy.implicit_flow, ImplicitFlowMode::Strict);
+        assert_eq!(c.policy.labels[0].name, "sensor_a");
+        assert!(AnalysisConfig::default().policy.is_default());
+        assert!(AnalysisConfig::reference().policy.is_default());
+    }
+
+    #[test]
+    fn normalized_sorts_the_policy() {
+        let c = AnalysisConfig {
+            policy: Policy {
+                labels: vec![
+                    crate::policy::LabelDecl::new("z"),
+                    crate::policy::LabelDecl::new("a"),
+                ],
+                declassifiers: vec![("z".into(), "a".into()), ("a".into(), "trusted".into())],
+                implicit_flow: ImplicitFlowMode::default(),
+            },
+            ..Default::default()
+        }
+        .normalized();
+        assert_eq!(c.policy.labels[0].name, "a");
+        assert_eq!(c.policy.declassifiers[0], ("a".to_string(), "trusted".to_string()));
     }
 
     #[test]

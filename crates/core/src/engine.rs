@@ -33,7 +33,7 @@ use safeflow_ir::{CallGraph, FuncId, GlobalId, Module, Value};
 use safeflow_points_to::PointsTo;
 use safeflow_util::hash::Fnv64;
 use safeflow_util::metrics::{Class, Metrics};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -139,7 +139,7 @@ pub(crate) fn scc_hashes(
     noncore_sockets: &BTreeSet<GlobalId>,
     callgraph: &CallGraph,
     deps: &[Vec<usize>],
-    assumed_of: &HashMap<FuncId, BTreeSet<RegionId>>,
+    assumed_of: &HashMap<FuncId, BTreeMap<RegionId, u64>>,
     metrics: &Metrics,
 ) -> Vec<u64> {
     let t0 = std::time::Instant::now();
@@ -187,6 +187,7 @@ fn env_hash(
         h.write_u64(r.elem_size);
         h.write_u64(r.len);
         h.write_u8(r.noncore as u8);
+        h.write_str(r.label.as_deref().unwrap_or(""));
         h.write_i64(r.offset.unwrap_or(i64::MIN));
     }
     for g in noncore_sockets {
@@ -205,6 +206,7 @@ fn env_hash(
     for call in calls {
         h.write_str(&call.name);
         h.write_usize(call.arg);
+        h.write_str(call.clearance.as_deref().unwrap_or(""));
     }
     let mut recvs: Vec<_> = config.recv_functions.iter().collect();
     recvs.sort();
@@ -213,6 +215,12 @@ fn env_hash(
         h.write_usize(spec.sock_arg);
         h.write_usize(spec.buf_arg);
     }
+    // The normalized label policy: declaration order is not semantic, but
+    // the compiled lattice (and therefore every summary) depends on the
+    // label set, the declassifier pairs, and the implicit-flow mode.
+    let mut policy_bytes = Vec::new();
+    config.policy.clone().normalized().encode_into(&mut policy_bytes);
+    h.write(&policy_bytes);
     h.write_str(&config.entry);
     h.finish()
 }
@@ -226,7 +234,7 @@ fn function_sig(
     shm: &ShmPointers,
     pt: &PointsTo,
     fid: FuncId,
-    assumed: Option<&BTreeSet<RegionId>>,
+    assumed: Option<&BTreeMap<RegionId, u64>>,
 ) -> u64 {
     let func = module.function(fid);
     let mut h = Fnv64::new();
@@ -241,8 +249,9 @@ fn function_sig(
         h.write_str(&format!("{ann:?}"));
     }
     if let Some(assumed) = assumed {
-        for r in assumed {
+        for (r, mask) in assumed {
             h.write_u32(r.0);
+            h.write_u64(*mask);
         }
     }
     // Per-value analysis facts for parameters...
@@ -309,7 +318,7 @@ mod tests {
         let cg = CallGraph::build(&m);
         let config = AnalysisConfig::default();
         let deps = cg.scc_dependencies();
-        let assumed: HashMap<FuncId, BTreeSet<RegionId>> = HashMap::new();
+        let assumed: HashMap<FuncId, BTreeMap<RegionId, u64>> = HashMap::new();
         let metrics = Metrics::new();
         let hs = scc_hashes(
             &m,
@@ -416,5 +425,24 @@ mod tests {
         let a = env_hash(&m, &regions, &base, &BTreeSet::new());
         let b = env_hash(&m, &regions, &shuffled, &BTreeSet::new());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn env_hash_sees_policy_but_not_its_declaration_order() {
+        use crate::policy::Policy;
+        let pr = parse_source("t.c", PROG);
+        let mut diags = Diagnostics::new();
+        let m = build_module(&pr.unit, &mut diags);
+        let regions = extract_regions(&m, &["shmat".to_string()], &mut diags);
+        let base = AnalysisConfig::default();
+        let mut labeled = base.clone();
+        labeled.policy = Policy::builder().label("sensor_a").label("sensor_b").build();
+        let mut reordered = base.clone();
+        reordered.policy = Policy::builder().label("sensor_b").label("sensor_a").build();
+        let a = env_hash(&m, &regions, &base, &BTreeSet::new());
+        let b = env_hash(&m, &regions, &labeled, &BTreeSet::new());
+        let c = env_hash(&m, &regions, &reordered, &BTreeSet::new());
+        assert_ne!(a, b, "a declared policy must invalidate summaries");
+        assert_eq!(b, c, "declaration order must not");
     }
 }

@@ -66,6 +66,7 @@
 pub mod config;
 pub mod engine;
 pub mod flowgraph;
+pub mod policy;
 pub mod regions;
 pub mod report;
 pub mod restrict;
@@ -77,6 +78,7 @@ pub mod taint;
 
 pub use config::{AnalysisConfig, AnalyzerBuilder, Budget, CriticalCall, Engine, RecvSpec};
 pub use engine::CacheStats;
+pub use policy::{ImplicitFlowMode, LabelDecl, LabelTable, Policy, PolicyBuilder, MAX_LABELS};
 pub use regions::{Region, RegionId, RegionMap};
 pub use report::{
     AnalysisReport, Degradation, DegradationKind, DependencyKind, ErrorDependency, FlowNode,
@@ -289,7 +291,9 @@ impl Analyzer {
     /// Composes the full machine-readable report for `result` (which must
     /// come from this analyzer's most recent run): findings, configured
     /// budget limits, cumulative cache stats, and the run's metrics, in
-    /// one stable schema (`safeflow-report-v1`).
+    /// one stable schema — `safeflow-report-v1` for default-policy runs
+    /// (frozen), `safeflow-report-v2` when a label policy is in effect
+    /// (see [`AnalysisReport::schema`]).
     ///
     /// Everything except the `metrics.sched`, `metrics.dist`, and
     /// `metrics.timings_ns` sections is byte-identical across `--jobs`
@@ -304,7 +308,7 @@ impl Analyzer {
     /// document's `metrics` object.
     pub fn report_json_with(&self, result: &AnalysisResult, metrics: &MetricsSnapshot) -> Json {
         let mut o = Json::obj();
-        o.set("schema", "safeflow-report-v1");
+        o.set("schema", result.report.schema());
         o.set("exit_code", u64::from(result.report.exit_code()));
         o.set("report", result.report.to_json(&result.sources));
         o.set("budget", self.budget_json());
@@ -403,6 +407,55 @@ impl Analyzer {
         let regions = metrics.time("phase.regions", || {
             regions::extract_regions(module, &self.config.shm_attach_functions, diags)
         });
+        // Compile the label policy: config-declared labels merged with
+        // annotation-declared ones (`label(...)` / `declassifier(...)`
+        // facts), then bind `channel(...)` region labels and critical-call
+        // clearances. The default two-point policy compiles to the empty
+        // table, under which every path below reduces to the historical
+        // monitored/unmonitored behavior byte-for-byte.
+        let (table, mut policy_notes) = metrics.time("phase.policy", || {
+            use safeflow_syntax::annot::Annotation;
+            let mut extra_labels: Vec<LabelDecl> = Vec::new();
+            let mut extra_declass: Vec<(String, String)> = Vec::new();
+            for f in &module.functions {
+                for ann in &f.annotations {
+                    match ann {
+                        Annotation::Label { name, below, .. } => extra_labels.push(match below {
+                            Some(b) => LabelDecl::above(name.clone(), vec![b.clone()]),
+                            None => LabelDecl::new(name.clone()),
+                        }),
+                        Annotation::Declassifier { from, to, .. } => {
+                            extra_declass.push((from.clone(), to.clone()));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let (mut table, mut notes) =
+                self.config.policy.compile(&extra_labels, &extra_declass);
+            for r in regions.iter() {
+                if let Some(label) = &r.label {
+                    match table.mask_of(label) {
+                        Some(mask) => table.set_region_label(r.id.0, mask),
+                        None => notes.push(format!(
+                            "channel({}, ...) names undeclared label `{label}`; region treated as untrusted",
+                            r.name
+                        )),
+                    }
+                }
+            }
+            for call in &self.config.implicit_critical_calls {
+                if let Some(clearance) = &call.clearance {
+                    if table.mask_of(clearance).is_none() {
+                        notes.push(format!(
+                            "critical call `{}` names undeclared clearance label `{clearance}`; treated as trusted",
+                            call.name
+                        ));
+                    }
+                }
+            }
+            (table, notes)
+        });
         // Phase 1: shared-memory pointer identification.
         let shm = metrics.time("phase.shmptr", || shmptr::identify_shm_pointers(module, &regions));
         // Phase 2: language restrictions.
@@ -421,15 +474,23 @@ impl Analyzer {
         // Phase 3: warnings + critical-data value flow.
         let pt = metrics.time("phase.points_to", || PointsTo::analyze(module));
         let results = metrics.time("phase.value_flow", || match self.config.engine {
-            Engine::ContextSensitive => {
-                taint::analyze_taint(module, &regions, &shm, &pt, &self.config, deadline, &metrics)
-            }
+            Engine::ContextSensitive => taint::analyze_taint(
+                module,
+                &regions,
+                &shm,
+                &pt,
+                &self.config,
+                &table,
+                deadline,
+                &metrics,
+            ),
             Engine::Summary => summary::analyze_summaries(
                 module,
                 &regions,
                 &shm,
                 &pt,
                 &self.config,
+                &table,
                 &self.cache,
                 deadline,
                 &metrics,
@@ -447,7 +508,29 @@ impl Analyzer {
                 .count();
 
         let mut init_check = regions.init_check.clone();
+        policy_notes.sort();
+        policy_notes.dedup();
+        init_check.extend(policy_notes);
         init_check.extend(results.notes.iter().cloned());
+
+        // Per-policy implicit-flow handling (post-engine so both engines —
+        // and their caches — share one implementation): `strict` treats
+        // control-only dependencies as definite errors, `taint-only` drops
+        // them, `report-separately` (the default, the paper's behavior)
+        // keeps them flagged as false-positive candidates.
+        let mut errors = results.errors;
+        match table.mode() {
+            ImplicitFlowMode::Strict => {
+                for e in &mut errors {
+                    e.kind = DependencyKind::Data;
+                }
+            }
+            ImplicitFlowMode::TaintOnly => {
+                errors.retain(|e| e.kind != DependencyKind::ControlOnly);
+            }
+            ImplicitFlowMode::ReportSeparately => {}
+        }
+
         let mut report = AnalysisReport {
             regions: regions
                 .iter()
@@ -460,12 +543,13 @@ impl Analyzer {
                 })
                 .collect(),
             warnings: results.warnings,
-            errors: results.errors,
+            errors,
             violations,
             init_check,
             annotation_count,
             contexts_analyzed: results.contexts_analyzed,
             degradations,
+            labeled: !table.is_default(),
         };
         report.canonicalize();
         // Report counts are covered by the byte-identity contract, so they

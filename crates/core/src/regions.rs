@@ -41,6 +41,10 @@ pub struct Region {
     pub len: u64,
     /// Whether a non-core component may write this region.
     pub noncore: bool,
+    /// Declared channel label, when the region was minted by a
+    /// `channel(ptr, size, label)` fact (label-lattice policies).
+    /// Unlabeled non-core regions carry the implicit `untrusted` label.
+    pub label: Option<String>,
     /// The `shminit` function that declared it.
     pub init_fn: FuncId,
     /// Segment identity: the attach call-site whose result this region's
@@ -114,34 +118,43 @@ pub fn extract_regions(
             continue;
         }
         map.annotation_count += func.annotations.len();
-        // First pass: shmvar facts mint regions.
+        // First pass: shmvar facts mint regions; channel facts mint
+        // labeled non-core regions (the labeled generalization of
+        // `shmvar` + `noncore`).
         for ann in &func.annotations {
-            if let Annotation::ShmVar { ptr, size, span } = ann {
+            let (fact, ptr, size, label, span) = match ann {
+                Annotation::ShmVar { ptr, size, span } => ("shmvar", ptr, size, None, span),
+                Annotation::Channel { ptr, size, label, span } => {
+                    ("channel", ptr, size, Some(label.clone()), span)
+                }
+                _ => continue,
+            };
+            {
                 let Some(gid) = module.global_by_name(ptr) else {
                     diags.error(
                         *span,
-                        format!("shmvar({ptr}, ...): `{ptr}` is not a global pointer variable"),
+                        format!("{fact}({ptr}, ...): `{ptr}` is not a global pointer variable"),
                     );
                     continue;
                 };
                 let gty = &module.global(gid).ty;
                 let Some(pointee) = gty.pointee() else {
-                    diags.error(*span, format!("shmvar({ptr}, ...): `{ptr}` is not a pointer"));
+                    diags.error(*span, format!("{fact}({ptr}, ...): `{ptr}` is not a pointer"));
                     continue;
                 };
                 let Some(size) = eval_ann_expr(module, size) else {
                     diags.error(
                         *span,
-                        format!("shmvar({ptr}, ...): size is not a compile-time constant"),
+                        format!("{fact}({ptr}, ...): size is not a compile-time constant"),
                     );
                     continue;
                 };
                 if size <= 0 {
-                    diags.error(*span, format!("shmvar({ptr}, ...): size must be positive"));
+                    diags.error(*span, format!("{fact}({ptr}, ...): size must be positive"));
                     continue;
                 }
                 if map.by_global.contains_key(&gid) {
-                    diags.error(*span, format!("shmvar({ptr}, ...): region already declared"));
+                    diags.error(*span, format!("{fact}({ptr}, ...): region already declared"));
                     continue;
                 }
                 let elem_size = match pointee {
@@ -156,7 +169,8 @@ pub fn extract_regions(
                     size: size as u64,
                     elem_size,
                     len: (size as u64 / elem_size).max(1),
-                    noncore: false,
+                    noncore: label.is_some(),
+                    label,
                     init_fn: fid,
                     segment: None,
                     offset: None,
@@ -473,6 +487,36 @@ mod tests {
         let (_, map, _) = regions_of(FIG3);
         // shminit + 2×shmvar + 1×noncore = 4 facts on the function.
         assert_eq!(map.annotation_count, 4);
+    }
+
+    #[test]
+    fn channel_fact_mints_labeled_noncore_region() {
+        let src = r#"
+            typedef struct { float control; float track; float angle; } SHMData;
+            SHMData *gyro;
+            SHMData *cmd;
+            void *shmat(int shmid, void *addr, int flags);
+            void init(void)
+            /** SafeFlow Annotation shminit */
+            {
+                gyro = (SHMData *) shmat(0, 0, 0);
+                cmd = gyro + 1;
+                /** SafeFlow Annotation
+                    assume(channel(gyro, sizeof(SHMData), sensor_a))
+                    assume(shmvar(cmd, sizeof(SHMData)))
+                */
+            }
+        "#;
+        let (_, map, d) = regions_of(src);
+        assert!(!d.has_errors(), "{d:?}");
+        assert_eq!(map.len(), 2);
+        let g = map.iter().find(|r| r.name == "gyro").unwrap();
+        let c = map.iter().find(|r| r.name == "cmd").unwrap();
+        assert!(g.noncore, "channel endpoints are non-core");
+        assert_eq!(g.label.as_deref(), Some("sensor_a"));
+        assert_eq!(g.size, 12);
+        assert!(!c.noncore);
+        assert_eq!(c.label, None);
     }
 
     #[test]

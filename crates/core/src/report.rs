@@ -67,6 +67,9 @@ pub struct Warning {
     pub region_name: String,
     /// Location of the access.
     pub span: Span,
+    /// The policy label the read carries — `None` under the default
+    /// two-point policy (which keeps v1 reports byte-identical).
+    pub label: Option<String>,
 }
 
 /// How critical data depends on an unsafe value.
@@ -92,6 +95,9 @@ pub struct ErrorDependency {
     pub span: Span,
     /// Data vs control-only.
     pub kind: DependencyKind,
+    /// The policy label that leaked past the sink's clearance — `None`
+    /// under the default two-point policy.
+    pub label: Option<String>,
     /// Value-flow path from the unmonitored access to the critical datum
     /// (the triage aid the paper's users inspected manually).
     pub flow: Option<Arc<FlowNode>>,
@@ -205,6 +211,11 @@ pub struct AnalysisReport {
     /// run. A non-empty list means "verified as far as possible", not
     /// "verified safe" — the CLI maps it to a distinct exit code.
     pub degradations: Vec<Degradation>,
+    /// Whether the run used a non-default label policy. Drives the JSON
+    /// schema choice: labeled runs emit `safeflow-report-v2` (per-finding
+    /// `label` and `flow_kind` members); default-policy runs keep emitting
+    /// `safeflow-report-v1` byte-for-byte.
+    pub labeled: bool,
 }
 
 impl AnalysisReport {
@@ -226,6 +237,19 @@ impl AnalysisReport {
             && self.errors.is_empty()
             && self.violations.is_empty()
             && self.degradations.is_empty()
+    }
+
+    /// The JSON schema identifier this report's [`AnalysisReport::to_json`]
+    /// document conforms to. v1 is frozen; v2 is a strict superset adding
+    /// per-finding `label` and `flow_kind` members. A report is v2 exactly
+    /// when a non-default policy (declared labels, declassifiers, or a
+    /// non-default implicit-flow mode) was in effect.
+    pub fn schema(&self) -> &'static str {
+        if self.labeled {
+            "safeflow-report-v2"
+        } else {
+            "safeflow-report-v1"
+        }
     }
 
     /// The documented CLI exit code for this report:
@@ -340,6 +364,9 @@ impl AnalysisReport {
                     let mut j = Json::obj();
                     j.set("function", w.function.as_str());
                     j.set("region", w.region_name.as_str());
+                    if self.labeled {
+                        j.set("label", w.label.as_deref().map(Json::from));
+                    }
                     j.set("location", loc(w.span));
                     j
                 })
@@ -374,6 +401,16 @@ impl AnalysisReport {
                             DependencyKind::ControlOnly => "control-only",
                         },
                     );
+                    if self.labeled {
+                        j.set(
+                            "flow_kind",
+                            match e.kind {
+                                DependencyKind::Data => "explicit",
+                                DependencyKind::ControlOnly => "implicit",
+                            },
+                        );
+                        j.set("label", e.label.as_deref().map(Json::from));
+                    }
                     j.set("location", loc(e.span));
                     j.set(
                         "flow",
@@ -467,12 +504,21 @@ impl AnalysisReport {
             out.push_str(&format!("  init-check: {c}\n"));
         }
         for w in &self.warnings {
-            out.push_str(&format!(
-                "  warning: unmonitored read of non-core region `{}` in `{}` [{}]\n",
-                w.region_name,
-                w.function,
-                sources.describe(w.span)
-            ));
+            match &w.label {
+                Some(label) => out.push_str(&format!(
+                    "  warning: read of non-core region `{}` (label `{}`) in `{}` [{}]\n",
+                    w.region_name,
+                    label,
+                    w.function,
+                    sources.describe(w.span)
+                )),
+                None => out.push_str(&format!(
+                    "  warning: unmonitored read of non-core region `{}` in `{}` [{}]\n",
+                    w.region_name,
+                    w.function,
+                    sources.describe(w.span)
+                )),
+            }
         }
         for v in &self.violations {
             out.push_str(&format!(
@@ -484,17 +530,27 @@ impl AnalysisReport {
             ));
         }
         for e in &self.errors {
-            out.push_str(&format!(
-                "  ERROR: critical `{}` in `{}` {} on unmonitored non-core value [{}]\n",
-                e.critical,
-                e.function,
-                match e.kind {
-                    DependencyKind::Data => "is data-dependent",
-                    DependencyKind::ControlOnly =>
-                        "is control-dependent (false-positive candidate)",
-                },
-                sources.describe(e.span)
-            ));
+            let dep = match e.kind {
+                DependencyKind::Data => "is data-dependent",
+                DependencyKind::ControlOnly => "is control-dependent (false-positive candidate)",
+            };
+            match &e.label {
+                Some(label) => out.push_str(&format!(
+                    "  ERROR: critical `{}` in `{}` {} on value labeled `{}` [{}]\n",
+                    e.critical,
+                    e.function,
+                    dep,
+                    label,
+                    sources.describe(e.span)
+                )),
+                None => out.push_str(&format!(
+                    "  ERROR: critical `{}` in `{}` {} on unmonitored non-core value [{}]\n",
+                    e.critical,
+                    e.function,
+                    dep,
+                    sources.describe(e.span)
+                )),
+            }
             if let Some(flow) = &e.flow {
                 for (i, (what, span)) in flow.path().iter().enumerate() {
                     out.push_str(&format!(
@@ -570,6 +626,7 @@ mod tests {
             function: "main".into(),
             span: Span::dummy(),
             kind: DependencyKind::Data,
+            label: None,
             flow: None,
         });
         r.errors.push(ErrorDependency {
@@ -577,6 +634,7 @@ mod tests {
             function: "main".into(),
             span: Span::dummy(),
             kind: DependencyKind::ControlOnly,
+            label: None,
             flow: None,
         });
         assert_eq!(r.data_errors().count(), 1);
@@ -593,6 +651,7 @@ mod tests {
             region: RegionId(0),
             region_name: "n".into(),
             span: Span::dummy(),
+            label: None,
         });
         assert_eq!(r.exit_code(), 1);
         r.errors.push(ErrorDependency {
@@ -600,6 +659,7 @@ mod tests {
             function: "main".into(),
             span: Span::dummy(),
             kind: DependencyKind::Data,
+            label: None,
             flow: None,
         });
         assert_eq!(r.exit_code(), 2);
@@ -655,6 +715,7 @@ mod tests {
             region: RegionId(0),
             region_name: "noncoreCtrl".into(),
             span: Span::dummy(),
+            label: None,
         });
         let sm = SourceMap::new();
         let text = r.render(&sm);

@@ -46,7 +46,8 @@ pub struct SessionOutcome {
     pub exit_code: u8,
     /// The rendered human-readable report.
     pub rendered: String,
-    /// The full `safeflow-report-v1` document.
+    /// The full report document (`safeflow-report-v1` under the default
+    /// two-point policy, `safeflow-report-v2` when labels are declared).
     pub report_json: Json,
     /// The run's metrics (including `store.*` bookkeeping in the `work`
     /// section when a store is attached).
@@ -227,6 +228,7 @@ impl AnalysisSession {
                     counters: metrics.counters.clone(),
                     report_json: result.report.to_json(&result.sources).render(),
                     rendered: result.render(),
+                    schema: result.report.schema().to_string(),
                 };
                 let stats = store.save(key, entry, self.analyzer.cache_export_live())?;
                 metrics.work.insert("store.sccs_saved".to_string(), stats.sccs_saved as u64);
@@ -267,7 +269,7 @@ impl AnalysisSession {
         metrics.timings_ns.insert("session.check_ns".to_string(), t0.elapsed().as_nanos() as u64);
 
         let mut doc = Json::obj();
-        doc.set("schema", "safeflow-report-v1");
+        doc.set("schema", entry.schema.as_str());
         doc.set("exit_code", u64::from(entry.exit_code));
         doc.set("report", report);
         doc.set("budget", self.analyzer.budget_json());

@@ -44,7 +44,10 @@ pub(crate) use safeflow_util::wire::{put_str, put_u32, put_u64, put_u8, ByteRead
 
 /// Store format version; bumped on any encoding change. A file with a
 /// different version is ignored wholesale (everything invalidates).
-pub const STORE_VERSION: u32 = 1;
+/// v2: label-lattice policies — summary facts carry relabel masks,
+/// replay manifests carry the report schema, and the config hash covers
+/// the normalized policy and critical-call clearances.
+pub const STORE_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"SFSTORE\0";
 const STORE_FILE: &str = "safeflow-store.bin";
@@ -64,10 +67,14 @@ pub(crate) struct ReplayEntry {
     /// definition, so replaying them verbatim preserves the warm/cold
     /// metrics contract.
     pub counters: BTreeMap<String, u64>,
-    /// The rendered `report` subtree of the `safeflow-report-v1` document.
+    /// The rendered `report` subtree of the report document.
     pub report_json: String,
     /// The rendered human-readable report.
     pub rendered: String,
+    /// The schema identifier of the stored document (`safeflow-report-v1`
+    /// or `safeflow-report-v2`): per program, not per config — annotations
+    /// can declare labels — so replay must restore it verbatim.
+    pub schema: String,
 }
 
 /// Statistics from the most recent [`SummaryStore::save`].
@@ -261,6 +268,7 @@ pub(crate) fn config_hash(config: &crate::AnalysisConfig) -> u64 {
     for call in calls {
         h.write_str(&call.name);
         h.write_usize(call.arg);
+        h.write_str(call.clearance.as_deref().unwrap_or(""));
     }
     let mut recvs: Vec<_> = config.recv_functions.iter().collect();
     recvs.sort();
@@ -269,6 +277,12 @@ pub(crate) fn config_hash(config: &crate::AnalysisConfig) -> u64 {
         h.write_usize(spec.sock_arg);
         h.write_usize(spec.buf_arg);
     }
+    // The label policy, in normalized form: two policies differing only in
+    // declaration order are the same policy and must warm-replay against
+    // each other's stored entries (the flag-order rule, extended).
+    let mut policy_bytes = Vec::new();
+    config.policy.clone().normalized().encode_into(&mut policy_bytes);
+    h.write(&policy_bytes);
     let mut deallocs: Vec<_> = config.dealloc_functions.iter().collect();
     deallocs.sort();
     for name in deallocs {
@@ -321,6 +335,7 @@ fn encode_store(manifests: &[(u64, ReplayEntry)], sccs: &[(u64, Arc<Vec<Summary>
         }
         put_str(&mut out, &e.report_json);
         put_str(&mut out, &e.rendered);
+        put_str(&mut out, &e.schema);
     }
     put_u32(&mut out, sccs.len() as u32);
     for (key, summaries) in sccs {
@@ -366,7 +381,8 @@ fn decode_store(bytes: &[u8]) -> Option<Tables> {
         }
         let report_json = r.str()?;
         let rendered = r.str()?;
-        manifests.push((key, ReplayEntry { exit_code, counters, report_json, rendered }));
+        let schema = r.str()?;
+        manifests.push((key, ReplayEntry { exit_code, counters, report_json, rendered, schema }));
     }
     let mut sccs = Vec::new();
     for _ in 0..r.seq_len()? {
@@ -404,6 +420,7 @@ mod tests {
             counters,
             report_json: "{\"errors\": []}".to_string(),
             rendered: "SafeFlow report\n".to_string(),
+            schema: "safeflow-report-v1".to_string(),
         }
     }
 
@@ -592,5 +609,59 @@ mod tests {
         // Different *contents* still change the key.
         b.implicit_critical_calls.push(CriticalCall::new("abort", 0));
         assert_ne!(config_hash(&a), config_hash(&b));
+    }
+
+    #[test]
+    fn config_hash_ignores_policy_declaration_order() {
+        // Same rule as the flag-order regression above, extended to the
+        // label policy: two policies differing only in the order labels or
+        // declassifier pairs were declared are the same policy, and must
+        // warm-replay against each other's stored entries.
+        use crate::policy::Policy;
+        let a = AnalysisConfig {
+            policy: Policy::builder()
+                .label("sensor_a")
+                .label("sensor_b")
+                .declassifier("sensor_a", "trusted")
+                .declassifier("sensor_b", "trusted")
+                .build(),
+            ..Default::default()
+        };
+        let b = AnalysisConfig {
+            policy: Policy::builder()
+                .label("sensor_b")
+                .label("sensor_a")
+                .declassifier("sensor_b", "trusted")
+                .declassifier("sensor_a", "trusted")
+                .build(),
+            ..Default::default()
+        };
+        assert_eq!(
+            config_hash(&a),
+            config_hash(&b),
+            "policy declaration order must not key the store"
+        );
+        // A genuinely different policy still changes the key.
+        let c = AnalysisConfig {
+            policy: Policy::builder().label("sensor_a").build(),
+            ..Default::default()
+        };
+        assert_ne!(config_hash(&a), config_hash(&c));
+        // And the default (two-point) policy differs from any declared one.
+        assert_ne!(config_hash(&c), config_hash(&AnalysisConfig::default()));
+    }
+
+    #[test]
+    fn config_hash_sees_critical_call_clearance() {
+        use crate::CriticalCall;
+        let a = AnalysisConfig {
+            implicit_critical_calls: vec![CriticalCall::new("kill", 0)],
+            ..Default::default()
+        };
+        let b = AnalysisConfig {
+            implicit_critical_calls: vec![CriticalCall::with_clearance("kill", 0, "fused")],
+            ..Default::default()
+        };
+        assert_ne!(config_hash(&a), config_hash(&b), "clearance must key the store");
     }
 }

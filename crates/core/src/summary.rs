@@ -17,15 +17,24 @@
 //! Must agree with [`crate::taint`] on findings; the integration suite and
 //! the `engine_scaling` bench compare them. Value-flow paths reported here
 //! are coarser (source → sink only) than the context-sensitive engine's.
+//!
+//! Label-lattice policies generalize the summaries without changing their
+//! shape: region facts carry an optional *relabel* mask recording the
+//! label a caller's `assume(declassify(...))` scope lowered them to, and
+//! the root evaluation checks leaked masks against per-sink clearances.
+//! Under the default two-point policy declassification always lowers to ⊥
+//! (the fact is dropped, exactly the historical behavior) and every
+//! clearance is ⊥, so summaries and findings are byte-identical.
 
 use crate::config::AnalysisConfig;
 use crate::engine::SummaryCache;
+use crate::policy::LabelTable;
 use crate::regions::{RegionId, RegionMap};
 use crate::report::{
     Degradation, DegradationKind, DependencyKind, ErrorDependency, FlowNode, Warning,
 };
 use crate::shmptr::ShmPointers;
-use crate::taint::TaintResults;
+use crate::taint::{TaintResults, TaintVal};
 use safeflow_dataflow::{ControlDeps, PostDomTree};
 use safeflow_ir::{BlockId, CallGraph, Cfg, FuncId, InstId, InstKind, Module, Terminator, Value};
 use safeflow_points_to::{ObjId, PointsTo};
@@ -64,6 +73,11 @@ enum Sym {
 struct Fact {
     sym: Sym,
     ctl: bool,
+    /// The label mask a caller's `assume(declassify(...))` scope lowered a
+    /// region source to; `None` keeps the region's declared label. Always
+    /// `None` under the default policy, where declassification lowers to ⊥
+    /// and drops the fact instead.
+    relabel: Option<u64>,
 }
 
 type SymSet = BTreeSet<Fact>;
@@ -74,7 +88,12 @@ type SymSet = BTreeSet<Fact>;
 type SccSlot = OnceLock<(Arc<Vec<Summary>>, bool)>;
 
 fn promote_ctl(set: &SymSet) -> SymSet {
-    set.iter().map(|f| Fact { sym: f.sym, ctl: true }).collect()
+    set.iter().map(|f| Fact { ctl: true, ..*f }).collect()
+}
+
+/// A data-flow fact with no relabel — the overwhelmingly common case.
+fn data_fact(sym: Sym) -> Fact {
+    Fact { sym, ctl: false, relabel: None }
 }
 
 /// A recorded sink (assert or critical call argument) with the sources
@@ -92,9 +111,11 @@ struct Sink {
 pub(crate) struct Summary {
     /// Sources flowing to the return value.
     ret: SymSet,
-    /// Unmonitored region reads: `(site span, region)` — already filtered
-    /// by this function's own assume scope.
-    region_reads: Vec<(Span, RegionId, String)>,
+    /// Unmonitored region reads: `(site span, region, function, relabel)`
+    /// — already filtered by this function's own assume scope; `relabel`
+    /// carries the declassified-to mask when a scope lowered (but did not
+    /// clear) the read's label.
+    region_reads: Vec<(Span, RegionId, String, Option<u64>)>,
     /// Sinks observed in this function or inlined from callees.
     sinks: Vec<Sink>,
     /// Sources written into memory objects.
@@ -107,7 +128,16 @@ impl Summary {
     /// format). `decode` is the exact inverse; both live here because the
     /// summary internals are private to this module.
     pub(crate) fn encode(&self, out: &mut Vec<u8>) {
-        use crate::store::{put_str, put_u32, put_u8};
+        use crate::store::{put_str, put_u32, put_u64, put_u8};
+        fn put_relabel(out: &mut Vec<u8>, relabel: Option<u64>) {
+            match relabel {
+                None => put_u8(out, 0),
+                Some(m) => {
+                    put_u8(out, 1);
+                    put_u64(out, m);
+                }
+            }
+        }
         fn put_set(out: &mut Vec<u8>, set: &SymSet) {
             put_u32(out, set.len() as u32);
             for f in set {
@@ -121,6 +151,7 @@ impl Summary {
                 put_u8(out, tag);
                 put_u32(out, payload);
                 put_u8(out, f.ctl as u8);
+                put_relabel(out, f.relabel);
             }
         }
         fn put_span(out: &mut Vec<u8>, span: Span) {
@@ -130,10 +161,11 @@ impl Summary {
         }
         put_set(out, &self.ret);
         put_u32(out, self.region_reads.len() as u32);
-        for (span, region, func) in &self.region_reads {
+        for (span, region, func, relabel) in &self.region_reads {
             put_span(out, *span);
             put_u32(out, region.0);
             put_str(out, func);
+            put_relabel(out, *relabel);
         }
         put_u32(out, self.sinks.len() as u32);
         for sink in &self.sinks {
@@ -152,6 +184,13 @@ impl Summary {
     /// Deserializes one summary; `None` on any malformed input (the store
     /// reader treats that as a corrupt file and degrades to a cold run).
     pub(crate) fn decode(r: &mut crate::store::ByteReader<'_>) -> Option<Summary> {
+        fn get_relabel(r: &mut crate::store::ByteReader<'_>) -> Option<Option<u64>> {
+            match r.u8()? {
+                0 => Some(None),
+                1 => Some(Some(r.u64()?)),
+                _ => None,
+            }
+        }
         fn get_set(r: &mut crate::store::ByteReader<'_>) -> Option<SymSet> {
             let mut set = SymSet::new();
             for _ in 0..r.seq_len()? {
@@ -165,7 +204,9 @@ impl Summary {
                     4 => Sym::Unknown,
                     _ => return None,
                 };
-                set.insert(Fact { sym, ctl: r.u8()? != 0 });
+                let ctl = r.u8()? != 0;
+                let relabel = get_relabel(r)?;
+                set.insert(Fact { sym, ctl, relabel });
             }
             Some(set)
         }
@@ -183,7 +224,8 @@ impl Summary {
             let span = get_span(r)?;
             let region = RegionId(r.u32()?);
             let func = r.str()?;
-            region_reads.push((span, region, func));
+            let relabel = get_relabel(r)?;
+            region_reads.push((span, region, func, relabel));
         }
         let mut sinks = Vec::new();
         for _ in 0..r.seq_len()? {
@@ -208,10 +250,7 @@ impl Summary {
     /// recovered separately by the degraded-scope sweep, which scans the
     /// raw IR instead of trusting a summary that was never computed.
     fn top() -> Summary {
-        Summary {
-            ret: std::iter::once(Fact { sym: Sym::Unknown, ctl: false }).collect(),
-            ..Summary::default()
-        }
+        Summary { ret: std::iter::once(data_fact(Sym::Unknown)).collect(), ..Summary::default() }
     }
 }
 
@@ -237,6 +276,7 @@ pub(crate) fn analyze_summaries(
     shm: &ShmPointers,
     pt: &PointsTo,
     config: &AnalysisConfig,
+    table: &LabelTable,
     cache: &SummaryCache,
     deadline: Option<Instant>,
     metrics: &Metrics,
@@ -248,13 +288,13 @@ pub(crate) fn analyze_summaries(
     // Assume scopes first, sequentially in definition order: they feed the
     // report's init-check notes on *every* run (cache-warm included) and
     // are part of each function's cache key.
-    let mut assumed_of: HashMap<FuncId, BTreeSet<RegionId>> = HashMap::new();
+    let mut assumed_of: HashMap<FuncId, BTreeMap<RegionId, u64>> = HashMap::new();
     for fid in module.definitions() {
         let func = module.function(fid);
         if func.is_shminit() || func.blocks.is_empty() {
             continue;
         }
-        assumed_of.insert(fid, own_assumed(module, regions, shm, fid, &mut notes));
+        assumed_of.insert(fid, own_declass(module, regions, shm, table, fid, &mut notes));
     }
 
     // Content hashes chained bottom-up over the SCC DAG, then one cache
@@ -402,6 +442,7 @@ pub(crate) fn analyze_summaries(
                     shm,
                     pt,
                     config,
+                    table,
                     &noncore_sockets,
                     &view,
                     fid,
@@ -549,47 +590,64 @@ pub(crate) fn analyze_summaries(
             };
             for ptr in targets {
                 for o in pt.points_to(fid, ptr) {
-                    obj_writes.entry(o).or_default().insert(Fact { sym: Sym::Unknown, ctl: false });
+                    obj_writes.entry(o).or_default().insert(data_fact(Sym::Unknown));
                 }
             }
         }
     }
-    let unsafe_region = |r: RegionId| -> bool { regions.region(r).noncore };
-    let mut unsafe_objs: BTreeMap<ObjId, bool /* ctl-only */> = BTreeMap::new();
+    // Per-source label evaluation shared between the object fixpoint and
+    // the sink checks below: a fact's value is its (possibly declassified)
+    // label mask as explicit taint, demoted to implicit when the flow is
+    // control-only. Under the default policy every surviving source reads
+    // as the two-point ⊤, reproducing the historical unsafe/ctl-only pair.
+    let declared_mask =
+        |r: RegionId| -> u64 { table.region_source_mask(r.0, regions.region(r).noncore) };
+    let source_val = |f: &Fact, objs: &BTreeMap<ObjId, TaintVal>| -> TaintVal {
+        let v = match f.sym {
+            Sym::Region(r) => TaintVal::explicit_at(f.relabel.unwrap_or_else(|| declared_mask(r))),
+            Sym::Recv | Sym::Unknown => TaintVal::explicit_at(table.top()),
+            Sym::Obj(src) => objs.get(&src).copied().unwrap_or_default(),
+            Sym::Param(_) => TaintVal::bot(),
+        };
+        if f.ctl {
+            v.as_implicit()
+        } else {
+            v
+        }
+    };
+    let mut unsafe_objs: BTreeMap<ObjId, TaintVal> = BTreeMap::new();
     let mut changed = true;
     let mut guard = 0;
     while changed && guard < 64 {
         changed = false;
         guard += 1;
         for (o, set) in &obj_writes {
+            let mut v = unsafe_objs.get(o).copied().unwrap_or_default();
             for f in set {
-                let (is_unsafe, src_ctl) = match f.sym {
-                    Sym::Region(r) => (unsafe_region(r), false),
-                    Sym::Recv | Sym::Unknown => (true, false),
-                    Sym::Obj(src) => match unsafe_objs.get(&src) {
-                        Some(&ctl) => (true, ctl),
-                        None => (false, false),
-                    },
-                    Sym::Param(_) => (false, false),
-                };
-                if is_unsafe {
-                    let ctl = f.ctl || src_ctl;
-                    match unsafe_objs.get_mut(o) {
-                        Some(existing) => {
-                            if *existing && !ctl {
-                                *existing = false; // data beats control
-                                changed = true;
-                            }
-                        }
-                        None => {
-                            unsafe_objs.insert(*o, ctl);
-                            changed = true;
-                        }
-                    }
-                }
+                v = v.join(source_val(f, &unsafe_objs));
+            }
+            if v.is_bot() {
+                continue;
+            }
+            if unsafe_objs.get(o).copied().unwrap_or_default() != v {
+                unsafe_objs.insert(*o, v);
+                changed = true;
             }
         }
     }
+
+    // Per-sink clearance masks: flows at or below a critical call's
+    // declared clearance label are permitted to reach it. Assert anchors
+    // always have clearance ⊥ (their key is the asserted variable name,
+    // never present in this map).
+    let clearance_of: BTreeMap<String, u64> = config
+        .implicit_critical_calls
+        .iter()
+        .map(|c| {
+            let mask = c.clearance.as_deref().and_then(|n| table.mask_of(n)).unwrap_or(0);
+            (format!("{}:arg{}", c.name, c.arg), mask)
+        })
+        .collect();
 
     // Evaluate sinks and collect warnings at *roots* only: the entry point
     // plus every defined function not reachable from it. Sites inside
@@ -621,8 +679,9 @@ pub(crate) fn analyze_summaries(
         // Warnings: only count from "root" summaries (the function itself);
         // inlined callee reads are attributed to the callee's own summary,
         // so iterate every function rather than only entry roots.
-        for (span, rid, in_func) in &s.region_reads {
-            if !unsafe_region(*rid) {
+        for (span, rid, in_func, relabel) in &s.region_reads {
+            let effective = relabel.unwrap_or_else(|| declared_mask(*rid));
+            if effective == 0 {
                 continue;
             }
             let region_name = regions.region(*rid).name.clone();
@@ -631,42 +690,50 @@ pub(crate) fn analyze_summaries(
                 region: *rid,
                 region_name,
                 span: *span,
+                label: finding_label(table, effective),
             });
         }
         for sink in &s.sinks {
             // Parameters of roots are clean; other sources decide.
-            let mut worst: Option<(bool, Option<RegionId>)> = None; // (ctl_only, region)
+            let clear = clearance_of.get(&sink.critical).copied().unwrap_or(0);
+            let mut worst: Option<(bool, Option<RegionId>, u64)> = None; // (ctl_only, region, leak)
             for f in &sink.sources {
-                let (is_unsafe, extra_ctl, reg) = match f.sym {
-                    Sym::Region(r) => (unsafe_region(r), false, Some(r)),
-                    Sym::Recv | Sym::Unknown => (true, false, None),
-                    Sym::Obj(o) => match unsafe_objs.get(&o) {
-                        Some(&ctl) => (true, ctl, None),
-                        None => (false, false, None),
-                    },
-                    Sym::Param(_) => (false, false, None),
-                };
-                if !is_unsafe {
+                let v = source_val(f, &unsafe_objs);
+                let leak = TaintVal::new(v.explicit() & !clear, v.implicit() & !clear);
+                if leak.is_bot() {
                     continue;
                 }
-                let ctl_only = f.ctl || extra_ctl;
+                let ctl_only = leak.explicit() == 0;
+                let reg = match f.sym {
+                    Sym::Region(r) => Some(r),
+                    _ => None,
+                };
+                let mask = leak.explicit() | leak.implicit();
                 worst = Some(match worst {
-                    None => (ctl_only, reg),
-                    Some((prev_ctl, prev_reg)) => {
+                    None => (ctl_only, reg, mask),
+                    Some((prev_ctl, prev_reg, prev_mask)) => {
                         if prev_ctl && !ctl_only {
-                            (false, reg)
+                            (false, reg, mask)
                         } else {
-                            (prev_ctl, prev_reg)
+                            (prev_ctl, prev_reg, prev_mask)
                         }
                     }
                 });
             }
-            if let Some((ctl_only, reg)) = worst {
+            if let Some((ctl_only, reg, leak_mask)) = worst {
                 let key =
                     (sink.function.clone(), sink.span.lo, sink.span.hi, sink.critical.clone());
                 let source_desc = match reg {
                     Some(r) => {
-                        format!("unmonitored read of non-core region `{}`", regions.region(r).name)
+                        let name = &regions.region(r).name;
+                        if table.is_default() {
+                            format!("unmonitored read of non-core region `{name}`")
+                        } else {
+                            format!(
+                                "read of non-core region `{name}` (label `{}`)",
+                                table.name_of(declared_mask(r))
+                            )
+                        }
                     }
                     None => "unmonitored non-core input".to_string(),
                 };
@@ -675,6 +742,7 @@ pub(crate) fn analyze_summaries(
                     function: sink.function.clone(),
                     span: sink.span,
                     kind: if ctl_only { DependencyKind::ControlOnly } else { DependencyKind::Data },
+                    label: finding_label(table, leak_mask),
                     flow: Some(FlowNode::step(
                         format!("reaches critical `{}`", sink.critical),
                         sink.span,
@@ -717,7 +785,7 @@ pub(crate) fn analyze_summaries(
             .annotations
             .iter()
             .filter_map(|a| match a {
-                Annotation::AssumeCore { ptr, .. } => {
+                Annotation::AssumeCore { ptr, .. } | Annotation::AssumeDeclassify { ptr, .. } => {
                     func.params.iter().position(|p| p.name == *ptr).map(|i| i as u32)
                 }
                 _ => None,
@@ -731,7 +799,10 @@ pub(crate) fn analyze_summaries(
                     }
                     for fact in shm.regions_of(fid, ptr) {
                         let region = regions.region(fact.region);
-                        if !region.noncore || assumed.contains(&fact.region) {
+                        let declared = table.region_source_mask(fact.region.0, region.noncore);
+                        let effective =
+                            assumed.get(&fact.region).map(|&m| declared & m).unwrap_or(declared);
+                        if effective == 0 {
                             continue;
                         }
                         warnings
@@ -741,22 +812,40 @@ pub(crate) fn analyze_summaries(
                                 region: fact.region,
                                 region_name: region.name.clone(),
                                 span: inst.span,
+                                label: finding_label(table, effective),
                             });
                     }
                 }
                 InstKind::AssertSafe { var, .. } => {
-                    push_conservative_error(&mut errors, var.clone(), func, inst.span);
+                    push_conservative_error(
+                        &mut errors,
+                        var.clone(),
+                        func,
+                        inst.span,
+                        finding_label(table, table.top()),
+                    );
                 }
                 InstKind::Call { callee, args } => {
                     if let Some(name) = module.external_callee_name(callee) {
                         for call in &config.implicit_critical_calls {
                             let (cname, argi) = (&call.name, &call.arg);
                             if cname == name && args.get(*argi).is_some() {
+                                // Even conservative top is no leak when the
+                                // sink's clearance covers the whole lattice.
+                                let clear = clearance_of
+                                    .get(&format!("{cname}:arg{argi}"))
+                                    .copied()
+                                    .unwrap_or(0);
+                                let leak = table.top() & !clear;
+                                if leak == 0 {
+                                    continue;
+                                }
                                 push_conservative_error(
                                     &mut errors,
                                     format!("{name}:arg{argi}"),
                                     func,
                                     inst.span,
+                                    finding_label(table, leak),
                                 );
                             }
                         }
@@ -786,6 +875,7 @@ fn push_conservative_error(
     critical: String,
     func: &safeflow_ir::Function,
     span: Span,
+    label: Option<String>,
 ) {
     let key = (func.name.clone(), span.lo, span.hi, critical.clone());
     let e = ErrorDependency {
@@ -793,6 +883,7 @@ fn push_conservative_error(
         function: func.name.clone(),
         span,
         kind: DependencyKind::Data,
+        label,
         flow: Some(FlowNode::source(
             format!("analysis of `{}` (or a function it reaches) degraded; conservatively assumed unsafe", func.name),
             span,
@@ -837,66 +928,112 @@ fn find_noncore_sockets(module: &Module, regions: &RegionMap) -> BTreeSet<safefl
     out
 }
 
-/// The regions a function's own `assume(core(...))` annotations cover.
-fn own_assumed(
+/// Label attached to report findings: `None` under the default two-point
+/// policy (keeps the v1 report byte-identical), the mask's joined label
+/// name otherwise.
+fn finding_label(table: &LabelTable, mask: u64) -> Option<String> {
+    if table.is_default() {
+        None
+    } else {
+        Some(table.name_of(mask))
+    }
+}
+
+/// The declassification scope a function's own `assume(core(...))` and
+/// `assume(declassify(...))` annotations establish: region → the mask its
+/// reads carry inside this scope (`0` = fully monitored). Multiple
+/// annotations on one region meet (`&`) — monitoring only ever narrows.
+/// Must stay in lock-step with `Engine::base_ctx` in [`crate::taint`]:
+/// note strings and licensing checks feed both engines' reports.
+fn own_declass(
     module: &Module,
     regions: &RegionMap,
     shm: &ShmPointers,
+    table: &LabelTable,
     fid: FuncId,
     notes: &mut Vec<String>,
-) -> BTreeSet<RegionId> {
-    let mut assumed = BTreeSet::new();
+) -> BTreeMap<RegionId, u64> {
+    let mut declass = BTreeMap::new();
     let func = module.function(fid);
     for ann in &func.annotations {
-        if let Annotation::AssumeCore { ptr, offset, size, .. } = ann {
-            let mut rids: BTreeSet<RegionId> = BTreeSet::new();
-            if let Some(g) = module.global_by_name(ptr) {
-                if let Some(r) = regions.by_global(g) {
-                    rids.insert(r);
-                } else {
-                    rids.extend(shm.global_regions(g).into_iter().map(|p| p.region));
+        let (fact, ptr, offset, size, to) = match ann {
+            Annotation::AssumeCore { ptr, offset, size, .. } => ("core", ptr, offset, size, None),
+            Annotation::AssumeDeclassify { ptr, offset, size, to, .. } => {
+                ("declassify", ptr, offset, size, Some(to.as_str()))
+            }
+            _ => continue,
+        };
+        let mut rids: BTreeSet<RegionId> = BTreeSet::new();
+        if let Some(g) = module.global_by_name(ptr) {
+            if let Some(r) = regions.by_global(g) {
+                rids.insert(r);
+            } else {
+                rids.extend(shm.global_regions(g).into_iter().map(|p| p.region));
+            }
+        } else if let Some(i) = func.params.iter().position(|p| p.name == *ptr) {
+            rids.extend(shm.regions_of(fid, &Value::Param(i as u32)).into_iter().map(|p| p.region));
+        }
+        if rids.is_empty() {
+            notes.push(format!(
+                "assume({fact}({ptr}, ...)) in `{}` names no known shared-memory pointer; ignored",
+                func.name
+            ));
+            continue;
+        }
+        let to_mask = match to {
+            None => 0,
+            Some(name) => match table.mask_of(name) {
+                Some(m) => m,
+                None => {
+                    notes.push(format!(
+                        "assume(declassify({ptr}, ..., {name})) in `{}` names unknown label `{name}`; ignored",
+                        func.name
+                    ));
+                    continue;
                 }
-            } else if let Some(i) = func.params.iter().position(|p| p.name == *ptr) {
-                rids.extend(
-                    shm.regions_of(fid, &Value::Param(i as u32)).into_iter().map(|p| p.region),
-                );
-            }
-            if rids.is_empty() {
-                notes.push(format!(
-                    "assume(core({ptr}, ...)) in `{}` names no known shared-memory pointer; ignored",
-                    func.name
-                ));
-                continue;
-            }
-            let off = crate::regions::eval_ann_expr(module, offset);
-            let sz = crate::regions::eval_ann_expr(module, size);
-            for rid in rids {
-                let region = regions.region(rid);
-                match (off, sz) {
-                    (Some(0), Some(s)) if s as u64 == region.size => {
-                        assumed.insert(rid);
+            },
+        };
+        let off = crate::regions::eval_ann_expr(module, offset);
+        let sz = crate::regions::eval_ann_expr(module, size);
+        for rid in rids {
+            let region = regions.region(rid);
+            match (off, sz) {
+                (Some(0), Some(s)) if s as u64 == region.size => {
+                    let from = table.region_source_mask(rid.0, region.noncore);
+                    let licensed = region.label.is_none() && to_mask == 0
+                        || table.may_declassify(from, to_mask);
+                    if !licensed {
+                        notes.push(format!(
+                            "assume({fact}({ptr}, ...)) in `{}`: policy has no declassifier({}, {}); annotation is ineffective",
+                            func.name,
+                            table.name_of(from),
+                            table.name_of(to_mask)
+                        ));
+                        continue;
                     }
-                    _ => notes.push(format!(
-                        "assume(core({ptr}, ...)) in `{}` does not span the whole region `{}` ({} bytes); annotation is ineffective",
-                        func.name, region.name, region.size
-                    )),
+                    let e = declass.entry(rid).or_insert(to_mask);
+                    *e &= to_mask;
                 }
+                _ => notes.push(format!(
+                    "assume({fact}({ptr}, ...)) in `{}` does not span the whole region `{}` ({} bytes); annotation is ineffective",
+                    func.name, region.name, region.size
+                )),
             }
         }
     }
-    assumed
+    declass
 }
 
 /// Loop-invariant per-function inputs to summarization.
 struct FnGraphs {
     cfg: Cfg,
     cd: ControlDeps,
-    assumed: BTreeSet<RegionId>,
+    assumed: BTreeMap<RegionId, u64>,
 }
 
 fn build_fn_graphs(
     module: &Module,
-    assumed_of: &HashMap<FuncId, BTreeSet<RegionId>>,
+    assumed_of: &HashMap<FuncId, BTreeMap<RegionId, u64>>,
     fid: FuncId,
 ) -> FnGraphs {
     let func = module.function(fid);
@@ -955,6 +1092,7 @@ fn summarize_function(
     shm: &ShmPointers,
     pt: &PointsTo,
     config: &AnalysisConfig,
+    table: &LabelTable,
     noncore_sockets: &BTreeSet<safeflow_ir::GlobalId>,
     summaries: &SummaryView<'_>,
     fid: FuncId,
@@ -968,13 +1106,14 @@ fn summarize_function(
     }
     let FnGraphs { cfg, cd, assumed } = graphs;
 
-    // Parameters covered by a local assume(core(param, ...)) — §3.4.3's
-    // received-buffer monitoring form: loads through them are monitored.
+    // Parameters covered by a local assume(core(param, ...)) or
+    // assume(declassify(param, ...)) — §3.4.3's received-buffer monitoring
+    // form: loads through them are monitored.
     let local_assumed_params: BTreeSet<u32> = func
         .annotations
         .iter()
         .filter_map(|a| match a {
-            Annotation::AssumeCore { ptr, .. } => {
+            Annotation::AssumeCore { ptr, .. } | Annotation::AssumeDeclassify { ptr, .. } => {
                 func.params.iter().position(|p| p.name == *ptr).map(|i| i as u32)
             }
             _ => None,
@@ -987,7 +1126,7 @@ fn summarize_function(
     let value_set = |v: &Value, vals: &HashMap<InstId, SymSet>| -> SymSet {
         match v {
             Value::Inst(id) => vals.get(id).cloned().unwrap_or_default(),
-            Value::Param(i) => std::iter::once(Fact { sym: Sym::Param(*i), ctl: false }).collect(),
+            Value::Param(i) => std::iter::once(data_fact(Sym::Param(*i))).collect(),
             _ => SymSet::new(),
         }
     };
@@ -1043,20 +1182,33 @@ fn summarize_function(
                             derives_from_assumed_param(func, ptr, &local_assumed_params, 0);
                         for fact in shm.regions_of(fid, ptr) {
                             let region = regions.region(fact.region);
-                            if !region.noncore || assumed.contains(&fact.region) || locally_assumed
-                            {
+                            let declared = table.region_source_mask(fact.region.0, region.noncore);
+                            if declared == 0 || locally_assumed {
                                 continue;
                             }
-                            s.region_reads.push((inst.span, fact.region, func.name.clone()));
-                            set.insert(Fact { sym: Sym::Region(fact.region), ctl: false });
+                            let effective = assumed
+                                .get(&fact.region)
+                                .map(|&m| declared & m)
+                                .unwrap_or(declared);
+                            if effective == 0 {
+                                continue;
+                            }
+                            let relabel = (effective != declared).then_some(effective);
+                            s.region_reads.push((
+                                inst.span,
+                                fact.region,
+                                func.name.clone(),
+                                relabel,
+                            ));
+                            set.insert(Fact { sym: Sym::Region(fact.region), ctl: false, relabel });
                         }
                         set.extend(value_set(ptr, &vals));
                         if !locally_assumed {
                             for o in pt.points_to(fid, ptr) {
-                                set.insert(Fact { sym: Sym::Obj(o), ctl: false });
+                                set.insert(data_fact(Sym::Obj(o)));
                                 let base = pt.base_of(o);
                                 if base != o {
-                                    set.insert(Fact { sym: Sym::Obj(base), ctl: false });
+                                    set.insert(data_fact(Sym::Obj(base)));
                                 }
                             }
                         }
@@ -1121,7 +1273,7 @@ fn summarize_function(
                                                 s.obj_writes
                                                     .entry(o)
                                                     .or_default()
-                                                    .insert(Fact { sym: Sym::Recv, ctl: false });
+                                                    .insert(data_fact(Sym::Recv));
                                             }
                                         }
                                     }
@@ -1133,6 +1285,23 @@ fn summarize_function(
                             // (bottom seed); a poisoned dependency comes
                             // back as `Summary::top()` from the view.
                             let callee_sum = summaries.get(*target).unwrap_or_default();
+                            // Meets a region fact's label with the mask the
+                            // caller's assume scope declassifies it to;
+                            // `None` when nothing survives (fully monitored).
+                            let scope_relabel = |r: RegionId, relabel: Option<u64>| {
+                                let m = match assumed.get(&r) {
+                                    Some(&m) => m,
+                                    None => return Some(relabel),
+                                };
+                                let declared =
+                                    table.region_source_mask(r.0, regions.region(r).noncore);
+                                let eff = relabel.unwrap_or(declared) & m;
+                                if eff == 0 {
+                                    None
+                                } else {
+                                    Some((eff != declared).then_some(eff))
+                                }
+                            };
                             let subst = |set: &SymSet| -> SymSet {
                                 let mut out = SymSet::new();
                                 for f in set {
@@ -1140,28 +1309,29 @@ fn summarize_function(
                                         Sym::Param(i) => {
                                             if let Some(arg) = args.get(i as usize) {
                                                 for af in value_set(arg, &vals) {
-                                                    out.insert(Fact {
-                                                        sym: af.sym,
-                                                        ctl: af.ctl || f.ctl,
-                                                    });
+                                                    out.insert(Fact { ctl: af.ctl || f.ctl, ..af });
                                                 }
                                             }
                                         }
-                                        Sym::Region(r) if assumed.contains(&r) => {
-                                            // Monitored by this caller's
-                                            // assume scope (recursive, §3.1).
+                                        // Monitored or declassified by this
+                                        // caller's assume scope (recursive,
+                                        // §3.1).
+                                        Sym::Region(r) => {
+                                            if let Some(relabel) = scope_relabel(r, f.relabel) {
+                                                out.insert(Fact { relabel, ..*f });
+                                            }
                                         }
-                                        other => {
-                                            out.insert(Fact { sym: other, ctl: f.ctl });
+                                        _ => {
+                                            out.insert(*f);
                                         }
                                     }
                                 }
                                 out
                             };
                             // Region reads surviving this caller's scope.
-                            for (span, r, in_func) in &callee_sum.region_reads {
-                                if !assumed.contains(r) {
-                                    s.region_reads.push((*span, *r, in_func.clone()));
+                            for (span, r, in_func, relabel) in &callee_sum.region_reads {
+                                if let Some(relabel) = scope_relabel(*r, *relabel) {
+                                    s.region_reads.push((*span, *r, in_func.clone(), relabel));
                                 }
                             }
                             // Note: the call site's own control dependence

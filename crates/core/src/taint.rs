@@ -1,23 +1,30 @@
 //! Phase 3: unmonitored-access warnings and the interprocedural,
 //! context-sensitive value-flow analysis of critical data (paper §3.3,
-//! third phase).
+//! third phase) — generalized over a label-lattice policy.
 //!
-//! * Reads of non-core shared memory outside an `assume(core(...))` context
-//!   produce **warnings** — exact, per the paper ("without any false
-//!   positives or false negatives").
-//! * `unsafe` taints propagate along SSA edges, through memory objects
-//!   (via the points-to analysis), across calls (context-sensitively: the
-//!   assumed-core region set and parameter taints form the context, so a
+//! * Reads of non-core shared memory outside an `assume(core(...))` /
+//!   `assume(declassify(...))` context produce **warnings** — exact, per
+//!   the paper ("without any false positives or false negatives").
+//! * Labels propagate along SSA edges, through memory objects (via the
+//!   points-to analysis), across calls (context-sensitively: the
+//!   declassification scope and parameter labels form the context, so a
 //!   callee shared by a monitor and a non-monitor is analyzed separately
 //!   for each — the paper's "analyzed multiple times for different call
 //!   sequences", with its exponential worst case), and through **control
-//!   dependence** (branches over unsafe values taint what they control —
-//!   the paper's false-positive source, reported as `ControlOnly`).
+//!   dependence** (branches over labeled values taint what they control
+//!   — tracked separately as *implicit* flow, the paper's false-positive
+//!   source, reported as `ControlOnly`).
 //! * `assert(safe(x))` anchors and implicitly-critical call arguments
-//!   (e.g. `kill`'s pid) produce **errors** when tainted, each carrying a
-//!   value-flow path for manual triage.
+//!   (e.g. `kill`'s pid) produce **errors** when a label above the sink's
+//!   clearance reaches them, each carrying a value-flow path for manual
+//!   triage.
+//!
+//! Under the default two-point policy every label is `untrusted` (⊤) and
+//! every clearance is `trusted` (⊥), which collapses [`TaintVal`] to the
+//! paper's three-point `Clean < Control < Data` lattice byte-for-byte.
 
-use crate::config::AnalysisConfig;
+use crate::config::{AnalysisConfig, CriticalCall};
+use crate::policy::LabelTable;
 use crate::regions::{RegionId, RegionMap};
 use crate::report::{
     Degradation, DegradationKind, DependencyKind, ErrorDependency, FlowNode, Warning,
@@ -34,7 +41,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Taint lattice: `Clean < Control < Data`.
+/// The historical two-point taint lattice: `Clean < Control < Data`.
+/// Kept as a compatibility view of [`TaintVal`]; the engine itself now
+/// tracks label masks.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TaintKind {
     /// Not influenced by unmonitored non-core values.
@@ -45,24 +55,129 @@ pub enum TaintKind {
     Data,
 }
 
+/// A point of the label lattice with explicit and implicit flow tracked
+/// separately: `explicit` is the join of labels that flowed into the
+/// value through data edges, `implicit` the join of labels that only
+/// steered control deciding it. Normalized so `implicit` never repeats
+/// an atom already in `explicit` ("data beats control"); under the
+/// two-point default policy the reachable values are exactly
+/// `Clean = (0,0) < Control = (0,⊤) < Data = (⊤,0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaintVal {
+    explicit: u64,
+    implicit: u64,
+}
+
+impl TaintVal {
+    /// ⊥ — no label influence at all.
+    pub fn bot() -> TaintVal {
+        TaintVal::default()
+    }
+
+    /// A normalized value from explicit and implicit label masks.
+    pub fn new(explicit: u64, implicit: u64) -> TaintVal {
+        TaintVal { explicit, implicit: implicit & !explicit }
+    }
+
+    /// Data-dependence on the given label mask.
+    pub fn explicit_at(mask: u64) -> TaintVal {
+        TaintVal { explicit: mask, implicit: 0 }
+    }
+
+    /// Control-dependence-only on the given label mask.
+    pub fn implicit_at(mask: u64) -> TaintVal {
+        TaintVal { explicit: 0, implicit: mask }
+    }
+
+    /// The explicit (data-flow) label mask.
+    pub fn explicit(&self) -> u64 {
+        self.explicit
+    }
+
+    /// The implicit (control-flow) label mask.
+    pub fn implicit(&self) -> u64 {
+        self.implicit
+    }
+
+    /// `true` iff ⊥.
+    pub fn is_bot(&self) -> bool {
+        self.explicit == 0 && self.implicit == 0
+    }
+
+    /// Pointwise join (bitwise OR, then re-normalize).
+    pub fn join(self, other: TaintVal) -> TaintVal {
+        TaintVal::new(self.explicit | other.explicit, self.implicit | other.implicit)
+    }
+
+    /// This value demoted to pure implicit flow: the label of a value
+    /// used as a branch condition, as seen by what the branch controls.
+    pub fn as_implicit(self) -> TaintVal {
+        TaintVal { explicit: 0, implicit: self.explicit | self.implicit }
+    }
+
+    /// The two-point compatibility view.
+    pub fn kind(&self) -> TaintKind {
+        if self.explicit != 0 {
+            TaintKind::Data
+        } else if self.implicit != 0 {
+            TaintKind::Control
+        } else {
+            TaintKind::Clean
+        }
+    }
+
+    /// The two-point embedding of a [`TaintKind`] (⊤ = the untrusted
+    /// atom of the default policy).
+    #[deprecated(note = "use `TaintVal::explicit_at` / `TaintVal::implicit_at` with policy masks")]
+    pub fn from_kind(kind: TaintKind) -> TaintVal {
+        match kind {
+            TaintKind::Clean => TaintVal::bot(),
+            TaintKind::Control => TaintVal::implicit_at(1),
+            TaintKind::Data => TaintVal::explicit_at(1),
+        }
+    }
+}
+
 /// A taint fact with provenance.
 #[derive(Debug, Clone)]
 pub struct Taint {
-    /// Lattice level.
-    pub kind: TaintKind,
-    /// Value-flow provenance (present when `kind != Clean`).
+    /// Label-lattice value.
+    pub val: TaintVal,
+    /// Value-flow provenance (present when `val` is not ⊥).
     pub origin: Option<Arc<FlowNode>>,
 }
 
 impl Taint {
     fn clean() -> Taint {
-        Taint { kind: TaintKind::Clean, origin: None }
+        Taint { val: TaintVal::bot(), origin: None }
     }
 
+    fn at(val: TaintVal, origin: Option<Arc<FlowNode>>) -> Taint {
+        Taint { val, origin }
+    }
+
+    /// The two-point compatibility view of the value.
+    pub fn kind(&self) -> TaintKind {
+        self.val.kind()
+    }
+
+    /// A two-point taint fact (⊤ = the default policy's untrusted atom).
+    #[deprecated(note = "use label-mask constructors via `TaintVal`")]
+    pub fn of_kind(kind: TaintKind, origin: Option<Arc<FlowNode>>) -> Taint {
+        #[allow(deprecated)]
+        Taint { val: TaintVal::from_kind(kind), origin }
+    }
+
+    /// Joins `other` in, replacing the origin only when `other` strictly
+    /// dominates the current value (preserving the historical
+    /// worst-origin-wins provenance of the two-point engine).
     fn join(&mut self, other: &Taint) -> bool {
-        if other.kind > self.kind {
-            self.kind = other.kind;
+        let joined = self.val.join(other.val);
+        if other.val > self.val {
             self.origin = other.origin.clone();
+        }
+        if joined != self.val {
+            self.val = joined;
             true
         } else {
             false
@@ -73,11 +188,12 @@ impl Taint {
 /// Analysis context: what makes two analyses of the same function differ.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct Ctx {
-    /// Regions assumed core (monitoring scope), per §3.1.
-    assumed: BTreeSet<RegionId>,
-    /// Taint of each parameter (kinds only; origins are kept separately to
-    /// keep the memo key small and the fixpoint monotone).
-    params: Vec<TaintKind>,
+    /// Declassification scope, per §3.1 generalized: region → the label
+    /// mask reads of it carry inside this scope (`0` = assumed core).
+    declass: BTreeMap<RegionId, u64>,
+    /// Label value of each parameter (masks only; origins are kept
+    /// separately to keep the memo key small and the fixpoint monotone).
+    params: Vec<TaintVal>,
 }
 
 /// Result of analyzing one `(function, context)` pair.
@@ -105,19 +221,22 @@ pub struct TaintResults {
     pub degradations: Vec<Degradation>,
 }
 
-/// Runs the context-sensitive phase-3 engine.
+/// Runs the context-sensitive phase-3 engine under the compiled policy
+/// `table`.
 ///
 /// When `config.budget` sets explicit bounds (fixpoint rounds, function
 /// size, or the wall-clock `deadline`), scopes exceeding them degrade
 /// conservatively: their non-core reads all become warnings, their sinks
 /// all become `Data` errors, their stores taint the written objects, and
 /// the result carries a [`Degradation`] naming them.
+#[allow(clippy::too_many_arguments)]
 pub fn analyze_taint(
     module: &Module,
     regions: &RegionMap,
     shm: &ShmPointers,
     pt: &PointsTo,
     config: &AnalysisConfig,
+    table: &LabelTable,
     deadline: Option<Instant>,
     metrics: &Metrics,
 ) -> TaintResults {
@@ -127,6 +246,7 @@ pub fn analyze_taint(
         shm,
         pt,
         config,
+        table,
         memo: HashMap::new(),
         in_progress: BTreeSet::new(),
         obj_taint: BTreeMap::new(),
@@ -142,11 +262,14 @@ pub fn analyze_taint(
 
     // Iterate to a module-level fixpoint: memory-object taints feed back
     // into function analyses.
+    // Per-function fixpoint signature: (func, ret explicit mask, ret
+    // implicit mask, warning count, error count).
+    type FnSig = (u32, u64, u64, usize, usize);
     let mut rounds = 0;
-    let mut prev_sig: Option<Vec<(u32, usize, usize, usize)>> = None;
+    let mut prev_sig: Option<Vec<FnSig>> = None;
     loop {
         rounds += 1;
-        let before: Vec<TaintKind> = eng.obj_taint.values().map(|t| t.kind).collect();
+        let before: Vec<TaintVal> = eng.obj_taint.values().map(|t| t.val).collect();
         eng.memo.clear();
 
         // Roots: entry function plus every defined function not reachable
@@ -155,7 +278,7 @@ pub fn analyze_taint(
         let mut analyzed_roots: BTreeSet<FuncId> = BTreeSet::new();
         if let Some(e) = entry {
             if module.function(e).is_definition {
-                let ctx = eng.base_ctx(e, &BTreeSet::new(), &[]);
+                let ctx = eng.base_ctx(e, &BTreeMap::new(), &[]);
                 eng.analyze(e, ctx);
                 analyzed_roots.insert(e);
             }
@@ -167,22 +290,18 @@ pub fn analyze_taint(
             let already = eng.memo.keys().any(|(f, _)| *f == fid);
             if !already {
                 let nparams = module.function(fid).params.len();
-                let ctx = eng.base_ctx(fid, &BTreeSet::new(), &vec![TaintKind::Clean; nparams]);
+                let ctx = eng.base_ctx(fid, &BTreeMap::new(), &vec![TaintVal::bot(); nparams]);
                 eng.analyze(fid, ctx);
             }
         }
 
-        let after: Vec<TaintKind> = eng.obj_taint.values().map(|t| t.kind).collect();
-        let mut sig: Vec<(u32, usize, usize, usize)> = eng
+        let after: Vec<TaintVal> = eng.obj_taint.values().map(|t| t.val).collect();
+        let mut sig: Vec<FnSig> = eng
             .memo
             .iter()
             .map(|((f, _), o)| {
-                (
-                    f.0,
-                    o.ret.as_ref().map(|t| t.kind as usize).unwrap_or(0),
-                    o.warnings.len(),
-                    o.errors.len(),
-                )
+                let ret = o.ret.as_ref().map(|t| t.val).unwrap_or_default();
+                (f.0, ret.explicit(), ret.implicit(), o.warnings.len(), o.errors.len())
             })
             .collect();
         sig.sort_unstable();
@@ -270,6 +389,7 @@ struct Engine<'a> {
     shm: &'a ShmPointers,
     pt: &'a PointsTo,
     config: &'a AnalysisConfig,
+    table: &'a LabelTable,
     memo: HashMap<(FuncId, Ctx), Outcome>,
     in_progress: BTreeSet<FuncId>,
     /// Module-wide memory-object taint (flow-insensitive, like the paper's
@@ -295,48 +415,117 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// The context a function runs in, given the caller's assumed set and
-    /// argument taints: its own `assume(core(...))` annotations extend the
-    /// assumption scope (and apply recursively to callees, §3.1).
+    /// The clearance mask of an implicitly-critical call argument:
+    /// `trusted` (0) unless the config names a declared label. Unknown
+    /// names resolve to `trusted` — the most conservative clearance —
+    /// and are reported as notes at policy-compile time.
+    fn clearance_mask(&self, call: &CriticalCall) -> u64 {
+        call.clearance.as_deref().and_then(|n| self.table.mask_of(n)).unwrap_or(0)
+    }
+
+    /// The label a finding reports, under non-default policies only (the
+    /// default two-point policy keeps label-free findings for byte
+    /// identity with historical reports).
+    fn finding_label(&self, mask: u64) -> Option<String> {
+        if self.table.is_default() {
+            None
+        } else {
+            Some(self.table.name_of(mask))
+        }
+    }
+
+    /// The flow-path source description for a region read at `mask`.
+    fn read_source_desc(&self, region_name: &str, func_name: &str, mask: u64) -> String {
+        if self.table.is_default() {
+            format!("unmonitored read of non-core region `{region_name}` in `{func_name}`")
+        } else {
+            format!(
+                "read of non-core region `{region_name}` (label `{}`) in `{func_name}`",
+                self.table.name_of(mask)
+            )
+        }
+    }
+
+    /// The context a function runs in, given the caller's declassification
+    /// scope and argument labels: its own `assume(core(...))` /
+    /// `assume(declassify(...))` annotations extend the scope (and apply
+    /// recursively to callees, §3.1).
     fn base_ctx(
         &mut self,
         fid: FuncId,
-        inherited: &BTreeSet<RegionId>,
-        params: &[TaintKind],
+        inherited: &BTreeMap<RegionId, u64>,
+        params: &[TaintVal],
     ) -> Ctx {
-        let mut assumed = inherited.clone();
+        let mut declass = inherited.clone();
         let func = self.module.function(fid);
         for ann in &func.annotations {
-            if let Annotation::AssumeCore { ptr, offset, size, span: _ } = ann {
-                let Some(rids) = self.resolve_regions_for_name(fid, ptr) else {
-                    self.notes.push(format!(
-                        "assume(core({ptr}, ...)) in `{}` names no known shared-memory pointer; ignored",
-                        func.name
-                    ));
-                    continue;
-                };
-                // Extent must span the whole region, else ineffective
-                // (§3.1: "Offset and size values should span an entire
-                // array ... otherwise, the annotation becomes ineffective").
-                let off = crate::regions::eval_ann_expr(self.module, offset);
-                let sz = crate::regions::eval_ann_expr(self.module, size);
-                for rid in rids {
-                    let region = self.regions.region(rid);
-                    match (off, sz) {
-                        (Some(0), Some(s)) if s as u64 == region.size => {
-                            assumed.insert(rid);
-                        }
-                        _ => {
+            let (fact, ptr, offset, size, to) = match ann {
+                Annotation::AssumeCore { ptr, offset, size, span: _ } => {
+                    ("core", ptr, offset, size, None)
+                }
+                Annotation::AssumeDeclassify { ptr, offset, size, to, span: _ } => {
+                    ("declassify", ptr, offset, size, Some(to.as_str()))
+                }
+                _ => continue,
+            };
+            let Some(rids) = self.resolve_regions_for_name(fid, ptr) else {
+                self.notes.push(format!(
+                    "assume({fact}({ptr}, ...)) in `{}` names no known shared-memory pointer; ignored",
+                    func.name
+                ));
+                continue;
+            };
+            let to_mask = match to {
+                None => 0,
+                Some(name) => match self.table.mask_of(name) {
+                    Some(m) => m,
+                    None => {
+                        self.notes.push(format!(
+                            "assume(declassify({ptr}, ..., {name})) in `{}` names unknown label `{name}`; ignored",
+                            func.name
+                        ));
+                        continue;
+                    }
+                },
+            };
+            // Extent must span the whole region, else ineffective
+            // (§3.1: "Offset and size values should span an entire
+            // array ... otherwise, the annotation becomes ineffective").
+            let off = crate::regions::eval_ann_expr(self.module, offset);
+            let sz = crate::regions::eval_ann_expr(self.module, size);
+            for rid in rids {
+                let region = self.regions.region(rid);
+                match (off, sz) {
+                    (Some(0), Some(s)) if s as u64 == region.size => {
+                        // A declassification of a *labeled* region must be
+                        // licensed by a declared declassifier pair; the
+                        // paper's `assume(core(...))` on unlabeled regions
+                        // is always allowed.
+                        let from = self.table.region_source_mask(rid.0, region.noncore);
+                        let licensed = region.label.is_none() && to_mask == 0
+                            || self.table.may_declassify(from, to_mask);
+                        if !licensed {
                             self.notes.push(format!(
-                                "assume(core({ptr}, ...)) in `{}` does not span the whole region `{}` ({} bytes); annotation is ineffective",
-                                func.name, region.name, region.size
+                                "assume({fact}({ptr}, ...)) in `{}`: policy has no declassifier({}, {}); annotation is ineffective",
+                                func.name,
+                                self.table.name_of(from),
+                                self.table.name_of(to_mask)
                             ));
+                            continue;
                         }
+                        let e = declass.entry(rid).or_insert(to_mask);
+                        *e &= to_mask;
+                    }
+                    _ => {
+                        self.notes.push(format!(
+                            "assume({fact}({ptr}, ...)) in `{}` does not span the whole region `{}` ({} bytes); annotation is ineffective",
+                            func.name, region.name, region.size
+                        ));
                     }
                 }
             }
         }
-        Ctx { assumed, params: params.to_vec() }
+        Ctx { declass, params: params.to_vec() }
     }
 
     /// Regions a pointer name refers to inside `fid`: a region global, a
@@ -383,7 +572,8 @@ impl<'a> Engine<'a> {
         let per_fn = self.memo.keys().filter(|(f, _)| *f == fid).count();
         if per_fn >= self.config.max_contexts {
             let nparams = self.module.function(fid).params.len();
-            let merged = self.base_ctx(fid, &BTreeSet::new(), &vec![TaintKind::Data; nparams]);
+            let top = TaintVal::explicit_at(self.table.top());
+            let merged = self.base_ctx(fid, &BTreeMap::new(), &vec![top; nparams]);
             if merged != ctx {
                 return self.analyze(fid, merged);
             }
@@ -433,14 +623,14 @@ impl<'a> Engine<'a> {
             (cfg, cd)
         });
 
-        // Locally-assumed objects for the §3.4.3 extension: assume core on
-        // a *local/param* pointer exempts loads through it in this function
-        // only.
+        // Locally-assumed objects for the §3.4.3 extension: assume core
+        // (or declassify) on a *local/param* pointer exempts loads through
+        // it in this function only.
         let local_assumed_params: BTreeSet<u32> = func
             .annotations
             .iter()
             .filter_map(|a| match a {
-                Annotation::AssumeCore { ptr, .. } => {
+                Annotation::AssumeCore { ptr, .. } | Annotation::AssumeDeclassify { ptr, .. } => {
                     func.params.iter().position(|p| p.name == *ptr).map(|i| i as u32)
                 }
                 _ => None,
@@ -477,7 +667,7 @@ impl<'a> Engine<'a> {
                     let Some(cond) = cond else { continue };
                     let t = value_taint(cond, &taints, ctx);
                     let t_all = join2(&t, block_ctl.get(&bid));
-                    if t_all.kind == TaintKind::Clean {
+                    if t_all.val.is_bot() {
                         continue;
                     }
                     let branch_span = match cond {
@@ -485,7 +675,7 @@ impl<'a> Engine<'a> {
                         _ => func.span,
                     };
                     let ctl = Taint {
-                        kind: TaintKind::Control,
+                        val: t_all.val.as_implicit(),
                         origin: Some(FlowNode::step(
                             format!("branch in `{}` decided by unsafe value", func.name),
                             branch_span,
@@ -519,25 +709,30 @@ impl<'a> Engine<'a> {
                             // Region source?
                             for fact in self.shm.regions_of(fid, ptr) {
                                 let region = self.regions.region(fact.region);
-                                if !region.noncore {
+                                let declared =
+                                    self.table.region_source_mask(fact.region.0, region.noncore);
+                                if declared == 0 {
                                     continue;
                                 }
-                                if ctx.assumed.contains(&fact.region) || locally_assumed {
-                                    continue; // monitored: safe (§2 rules)
+                                let effective = if locally_assumed {
+                                    0
+                                } else {
+                                    ctx.declass.get(&fact.region).copied().unwrap_or(declared)
+                                };
+                                if effective == 0 {
+                                    continue; // monitored / declassified to ⊥ (§2 rules)
                                 }
                                 outcome.warnings.push(Warning {
                                     function: func.name.clone(),
                                     region: fact.region,
                                     region_name: region.name.clone(),
                                     span: inst.span,
+                                    label: self.finding_label(effective),
                                 });
                                 t.join(&Taint {
-                                    kind: TaintKind::Data,
+                                    val: TaintVal::explicit_at(effective),
                                     origin: Some(FlowNode::source(
-                                        format!(
-                                            "unmonitored read of non-core region `{}` in `{}`",
-                                            region.name, func.name
-                                        ),
+                                        self.read_source_desc(&region.name, &func.name, effective),
                                         inst.span,
                                     )),
                                 });
@@ -568,12 +763,12 @@ impl<'a> Engine<'a> {
                         InstKind::Store { ptr, value } => {
                             let mut vt = value_taint(value, &taints, ctx);
                             vt.join(&ctl_here);
-                            if vt.kind != TaintKind::Clean {
+                            if !vt.val.is_bot() {
                                 for o in self.pt.points_to(fid, ptr) {
                                     let desc = self.pt.describe(self.module, o);
                                     let e = self.obj_taint.entry(o).or_insert_with(Taint::clean);
                                     if e.join(&Taint {
-                                        kind: vt.kind,
+                                        val: vt.val,
                                         origin: vt.origin.clone().map(|orig| {
                                             FlowNode::step(
                                                 format!("stored to {desc}"),
@@ -629,16 +824,18 @@ impl<'a> Engine<'a> {
                         InstKind::AssertSafe { var, value } => {
                             let mut vt = value_taint(value, &taints, ctx);
                             vt.join(&ctl_here);
-                            if vt.kind != TaintKind::Clean {
+                            if !vt.val.is_bot() {
+                                let leak = vt.val.explicit() | vt.val.implicit();
                                 outcome.errors.push(ErrorDependency {
                                     critical: var.clone(),
                                     function: func.name.clone(),
                                     span: inst.span,
-                                    kind: if vt.kind == TaintKind::Data {
+                                    kind: if vt.val.explicit() != 0 {
                                         DependencyKind::Data
                                     } else {
                                         DependencyKind::ControlOnly
                                     },
+                                    label: self.finding_label(leak),
                                     flow: vt.origin.map(|orig| {
                                         FlowNode::step(
                                             format!("assert(safe({var})) reached"),
@@ -651,7 +848,7 @@ impl<'a> Engine<'a> {
                         }
                         InstKind::Alloca { .. } => {}
                     }
-                    if t.kind != TaintKind::Clean {
+                    if !t.val.is_bot() {
                         let e = taints.entry(iid).or_insert_with(Taint::clean);
                         if e.join(&t) {
                             changed = true;
@@ -705,8 +902,8 @@ impl<'a> Engine<'a> {
     /// The degraded result for a function whose analysis ran out of
     /// budget: every unmonitored non-core read is a warning, every sink is
     /// a `Data` error, every store (and configured receive buffer) taints
-    /// its memory objects, and the return value is `Data`-tainted — a
-    /// strict superset of anything the full analysis could report.
+    /// its memory objects, and the return value is ⊤-tainted — a strict
+    /// superset of anything the full analysis could report.
     fn conservative_outcome(&mut self, fid: FuncId, ctx: &Ctx, reason: String) -> Outcome {
         let func = self.module.function(fid);
         self.degraded
@@ -716,8 +913,9 @@ impl<'a> Engine<'a> {
             format!("analysis of `{}` degraded; conservatively assumed unsafe", func.name),
             func.span,
         );
+        let top = self.table.top();
         let mut outcome = Outcome {
-            ret: Some(Taint { kind: TaintKind::Data, origin: Some(origin.clone()) }),
+            ret: Some(Taint::at(TaintVal::explicit_at(top), Some(origin.clone()))),
             ..Outcome::default()
         };
         for (_, inst) in func.iter_insts() {
@@ -725,7 +923,12 @@ impl<'a> Engine<'a> {
                 InstKind::Load { ptr } => {
                     for fact in self.shm.regions_of(fid, ptr) {
                         let region = self.regions.region(fact.region);
-                        if !region.noncore || ctx.assumed.contains(&fact.region) {
+                        let declared = self.table.region_source_mask(fact.region.0, region.noncore);
+                        if declared == 0 {
+                            continue;
+                        }
+                        let effective = ctx.declass.get(&fact.region).copied().unwrap_or(declared);
+                        if effective == 0 {
                             continue;
                         }
                         outcome.warnings.push(Warning {
@@ -733,13 +936,14 @@ impl<'a> Engine<'a> {
                             region: fact.region,
                             region_name: region.name.clone(),
                             span: inst.span,
+                            label: self.finding_label(effective),
                         });
                     }
                 }
                 InstKind::Store { ptr, .. } => {
                     for o in self.pt.points_to(fid, ptr) {
                         let e = self.obj_taint.entry(o).or_insert_with(Taint::clean);
-                        if e.join(&Taint { kind: TaintKind::Data, origin: Some(origin.clone()) }) {
+                        if e.join(&Taint::at(TaintVal::explicit_at(top), Some(origin.clone()))) {
                             self.obj_dirty = true;
                         }
                     }
@@ -750,6 +954,7 @@ impl<'a> Engine<'a> {
                         function: func.name.clone(),
                         span: inst.span,
                         kind: DependencyKind::Data,
+                        label: self.finding_label(top),
                         flow: Some(origin.clone()),
                     });
                 }
@@ -761,20 +966,25 @@ impl<'a> Engine<'a> {
                     if let Callee::Local(target) = callee {
                         if self.module.function(*target).is_definition {
                             let n = self.module.function(*target).params.len();
-                            let worst =
-                                self.base_ctx(*target, &BTreeSet::new(), &vec![TaintKind::Data; n]);
+                            let worst = self.base_ctx(
+                                *target,
+                                &BTreeMap::new(),
+                                &vec![TaintVal::explicit_at(top); n],
+                            );
                             self.analyze(*target, worst);
                         }
                     }
                     if let Some(name) = self.module.external_callee_name(callee) {
                         for call in &self.config.implicit_critical_calls {
                             let (cname, argi) = (&call.name, &call.arg);
-                            if cname == name && args.get(*argi).is_some() {
+                            let leak = top & !self.clearance_mask(call);
+                            if cname == name && args.get(*argi).is_some() && leak != 0 {
                                 outcome.errors.push(ErrorDependency {
                                     critical: format!("{name}:arg{argi}"),
                                     function: func.name.clone(),
                                     span: inst.span,
                                     kind: DependencyKind::Data,
+                                    label: self.finding_label(leak),
                                     flow: Some(origin.clone()),
                                 });
                             }
@@ -785,10 +995,10 @@ impl<'a> Engine<'a> {
                                     for o in self.pt.points_to(fid, buf) {
                                         let e =
                                             self.obj_taint.entry(o).or_insert_with(Taint::clean);
-                                        if e.join(&Taint {
-                                            kind: TaintKind::Data,
-                                            origin: Some(origin.clone()),
-                                        }) {
+                                        if e.join(&Taint::at(
+                                            TaintVal::explicit_at(top),
+                                            Some(origin.clone()),
+                                        )) {
                                             self.obj_dirty = true;
                                         }
                                     }
@@ -820,23 +1030,28 @@ impl<'a> Engine<'a> {
         // External (or prototype-only) call?
         if let Some(name) = self.module.external_callee_name(callee) {
             let name = name.to_string();
-            // Implicit critical arguments (kill's pid).
+            // Implicit critical arguments (kill's pid), checked against
+            // the call's clearance label (`trusted` by default).
             for call in &self.config.implicit_critical_calls {
                 let (cname, argi) = (&call.name, &call.arg);
                 if *cname == name {
                     if let Some(arg) = args.get(*argi) {
                         let mut at = value_taint(arg, taints, ctx);
                         at.join(ctl_here);
-                        if at.kind != TaintKind::Clean {
+                        let clear = self.clearance_mask(call);
+                        let leak_e = at.val.explicit() & !clear;
+                        let leak_i = at.val.implicit() & !clear;
+                        if leak_e | leak_i != 0 {
                             outcome.errors.push(ErrorDependency {
                                 critical: format!("{name}:arg{argi}"),
                                 function: func.name.clone(),
                                 span: inst.span,
-                                kind: if at.kind == TaintKind::Data {
+                                kind: if leak_e != 0 {
                                     DependencyKind::Data
                                 } else {
                                     DependencyKind::ControlOnly
                                 },
+                                label: self.finding_label(leak_e | leak_i),
                                 flow: at.origin.map(|orig| {
                                     FlowNode::step(
                                         format!("passed as critical argument {argi} of `{name}`"),
@@ -864,10 +1079,10 @@ impl<'a> Engine<'a> {
                             );
                             for o in self.pt.points_to(fid, buf) {
                                 let e = self.obj_taint.entry(o).or_insert_with(Taint::clean);
-                                if e.join(&Taint {
-                                    kind: TaintKind::Data,
-                                    origin: Some(origin.clone()),
-                                }) {
+                                if e.join(&Taint::at(
+                                    TaintVal::explicit_at(self.table.top()),
+                                    Some(origin.clone()),
+                                )) {
                                     self.obj_dirty = true;
                                 }
                             }
@@ -881,25 +1096,25 @@ impl<'a> Engine<'a> {
         }
         // Local call: context-sensitive descent.
         let Callee::Local(target) = callee else { unreachable!() };
-        let mut param_kinds = Vec::with_capacity(args.len());
+        let mut param_vals = Vec::with_capacity(args.len());
         let mut worst_arg = Taint::clean();
         for arg in args {
             let mut at = value_taint(arg, taints, ctx);
             at.join(ctl_here);
-            if at.kind > worst_arg.kind {
+            if at.val > worst_arg.val {
                 worst_arg = at.clone();
             }
-            param_kinds.push(at.kind);
+            param_vals.push(at.val);
         }
-        let callee_ctx = self.base_ctx(*target, &ctx.assumed, &param_kinds);
+        let callee_ctx = self.base_ctx(*target, &ctx.declass, &param_vals);
         let ret = self.analyze(*target, callee_ctx);
         let mut t = ret;
         // Returned taint with no better provenance inherits the worst
         // argument's origin for path reconstruction.
-        if t.kind != TaintKind::Clean && t.origin.is_none() {
+        if !t.val.is_bot() && t.origin.is_none() {
             t.origin = worst_arg.origin.clone();
         }
-        if t.kind != TaintKind::Clean {
+        if !t.val.is_bot() {
             t.origin = Some(match t.origin {
                 Some(orig) => FlowNode::step(
                     format!("returned from `{}`", self.module.function(*target).name),
@@ -968,10 +1183,10 @@ fn value_taint(v: &Value, taints: &HashMap<InstId, Taint>, ctx: &Ctx) -> Taint {
     match v {
         Value::Inst(id) => taints.get(id).cloned().unwrap_or_else(Taint::clean),
         Value::Param(i) => {
-            let kind = ctx.params.get(*i as usize).copied().unwrap_or(TaintKind::Clean);
+            let val = ctx.params.get(*i as usize).copied().unwrap_or_default();
             Taint {
-                kind,
-                origin: if kind == TaintKind::Clean {
+                val,
+                origin: if val.is_bot() {
                     None
                 } else {
                     Some(FlowNode::source(
@@ -991,4 +1206,70 @@ fn join2(a: &Taint, b: Option<&Taint>) -> Taint {
         t.join(b);
     }
     t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taintval_collapses_to_the_two_point_lattice() {
+        let clean = TaintVal::bot();
+        let control = TaintVal::implicit_at(1);
+        let data = TaintVal::explicit_at(1);
+        assert!(clean < control && control < data);
+        assert_eq!(clean.kind(), TaintKind::Clean);
+        assert_eq!(control.kind(), TaintKind::Control);
+        assert_eq!(data.kind(), TaintKind::Data);
+        // data beats control: joining normalizes the implicit mask away.
+        assert_eq!(control.join(data), data);
+        assert_eq!(data.join(control), data);
+        assert_eq!(clean.join(control), control);
+    }
+
+    #[test]
+    fn taintval_join_is_pointwise_over_labels() {
+        let a = TaintVal::explicit_at(0b010);
+        let b = TaintVal::explicit_at(0b100);
+        let j = a.join(b);
+        assert_eq!(j.explicit(), 0b110);
+        assert_eq!(j.implicit(), 0);
+        let c = TaintVal::implicit_at(0b010);
+        // implicit atoms already explicit are normalized away.
+        assert_eq!(j.join(c), j);
+        let d = TaintVal::implicit_at(0b001);
+        let jd = j.join(d);
+        assert_eq!(jd.explicit(), 0b110);
+        assert_eq!(jd.implicit(), 0b001);
+        assert_eq!(jd.as_implicit(), TaintVal::implicit_at(0b111));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_two_point_constructors_still_work() {
+        assert_eq!(TaintVal::from_kind(TaintKind::Data), TaintVal::explicit_at(1));
+        assert_eq!(TaintVal::from_kind(TaintKind::Control), TaintVal::implicit_at(1));
+        assert_eq!(TaintVal::from_kind(TaintKind::Clean), TaintVal::bot());
+        let t = Taint::of_kind(TaintKind::Data, None);
+        assert_eq!(t.kind(), TaintKind::Data);
+    }
+
+    #[test]
+    fn taint_join_keeps_worst_origin() {
+        let mut a = Taint::at(
+            TaintVal::implicit_at(1),
+            Some(FlowNode::source("ctl", safeflow_syntax::span::Span::dummy())),
+        );
+        let b = Taint::at(
+            TaintVal::explicit_at(1),
+            Some(FlowNode::source("data", safeflow_syntax::span::Span::dummy())),
+        );
+        assert!(a.join(&b));
+        assert_eq!(a.val, TaintVal::explicit_at(1));
+        assert_eq!(a.origin.as_ref().unwrap().what, "data");
+        // Joining something smaller changes nothing.
+        let c = Taint::at(TaintVal::implicit_at(1), None);
+        assert!(!a.join(&c));
+        assert_eq!(a.origin.as_ref().unwrap().what, "data");
+    }
 }

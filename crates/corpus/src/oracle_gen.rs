@@ -60,6 +60,17 @@ pub struct OracleShape {
     /// + `#if`/`#elif`/`#else`) selecting an extra unmonitored region read
     ///   — conditional evaluation changes the analyzed program.
     pub config_macros: bool,
+    /// Number of declared lattice labels (0 = default two-point policy).
+    /// The first `labels` regions bind to `lab0..` via `channel(...)`
+    /// annotations and each label gets a `declassifier(labN, trusted)` so
+    /// the monitors' `assume(core(...))` scopes stay licensed. Reports
+    /// switch to the v2 schema — every optimized configuration must agree
+    /// on the labeled documents too.
+    pub labels: usize,
+    /// Whether monitored monitors over labeled regions use the
+    /// `assume(declassify(..., trusted))` spelling instead of
+    /// `assume(core(...))` — same semantics, different annotation path.
+    pub declassify_ann: bool,
 }
 
 impl OracleShape {
@@ -76,6 +87,8 @@ impl OracleShape {
             units: 1,
             fn_macros: false,
             config_macros: false,
+            labels: 0,
+            declassify_ann: false,
         }
     }
 }
@@ -102,6 +115,9 @@ pub fn shape_for_seed(seed: u64) -> OracleShape {
         // minimized divergences stay reproducible).
         fn_macros: g.chance(0.5),
         config_macros: g.chance(0.5),
+        // Policy fields drawn last, same reasoning.
+        labels: if g.chance(0.35) { g.usize(1, 4) } else { 0 },
+        declassify_ann: g.chance(0.5),
     }
 }
 
@@ -133,6 +149,8 @@ fn render(shape: &OracleShape, variant: bool) -> Vec<(String, String)> {
     let regions = shape.regions.max(1);
     let depth = shape.depth.max(1);
     let units = shape.units.clamp(1, 3);
+    // Labeled shapes bind the first `labeled` regions to declared labels.
+    let labeled = shape.labels.min(3).min(regions);
     // The variant perturbs the helper chain's arithmetic only: one
     // constant differs, everything else is byte-identical.
     let mul = if variant { "1.046875" } else { "1.03125" };
@@ -172,9 +190,15 @@ fn render(shape: &OracleShape, variant: bool) -> Vec<(String, String)> {
         let r = mon.region.min(regions - 1);
         monitors.push_str(&format!("float monitor{m}(float fallback)\n"));
         if mon.monitored {
-            monitors.push_str(&format!(
-                "/** SafeFlow Annotation assume(core(reg{r}, 0, sizeof(Blk))) */\n"
-            ));
+            if shape.declassify_ann && r < labeled {
+                monitors.push_str(&format!(
+                    "/** SafeFlow Annotation assume(declassify(reg{r}, 0, sizeof(Blk), trusted)) */\n"
+                ));
+            } else {
+                monitors.push_str(&format!(
+                    "/** SafeFlow Annotation assume(core(reg{r}, 0, sizeof(Blk))) */\n"
+                ));
+            }
         }
         monitors.push_str("{\n");
         monitors.push_str(&format!("    float v;\n    v = reg{r}->v;\n"));
@@ -216,10 +240,21 @@ fn render(shape: &OracleShape, variant: bool) -> Vec<(String, String)> {
         root.push_str("    cursor = cursor + sizeof(Blk);\n");
     }
     root.push_str("    /** SafeFlow Annotation\n");
-    for r in 0..regions {
-        root.push_str(&format!("        assume(shmvar(reg{r}, sizeof(Blk)))\n"));
+    for l in 0..labeled {
+        root.push_str(&format!("        assume(label(lab{l}))\n"));
+    }
+    for l in 0..labeled {
+        root.push_str(&format!("        assume(declassifier(lab{l}, trusted))\n"));
     }
     for r in 0..regions {
+        if r < labeled {
+            // A channel endpoint is a labeled non-core region in one fact.
+            root.push_str(&format!("        assume(channel(reg{r}, sizeof(Blk), lab{r}))\n"));
+        } else {
+            root.push_str(&format!("        assume(shmvar(reg{r}, sizeof(Blk)))\n"));
+        }
+    }
+    for r in labeled..regions {
         root.push_str(&format!("        assume(noncore(reg{r}))\n"));
     }
     root.push_str("    */\n}\n\n");
@@ -317,6 +352,12 @@ pub fn shrink_candidates(shape: &OracleShape) -> Vec<OracleShape> {
     if shape.config_macros {
         out.push(OracleShape { config_macros: false, ..shape.clone() });
     }
+    if shape.labels > 0 {
+        out.push(OracleShape { labels: shape.labels - 1, ..shape.clone() });
+    }
+    if shape.declassify_ann {
+        out.push(OracleShape { declassify_ann: false, ..shape.clone() });
+    }
     if let Some(pos) = shape.monitors.iter().position(|m| !m.monitored) {
         let mut s = shape.clone();
         s.monitors[pos].monitored = true;
@@ -347,6 +388,33 @@ mod tests {
         assert!(shapes.iter().any(|s| s.fn_macros), "some shapes must use function-like macros");
         assert!(shapes.iter().any(|s| s.config_macros), "some shapes must use config conditionals");
         assert!(shapes.iter().any(|s| !s.fn_macros && !s.config_macros));
+        assert!(shapes.iter().any(|s| s.labels > 0), "some shapes must declare label policies");
+        assert!(shapes.iter().any(|s| s.labels == 0), "some shapes must stay two-point");
+    }
+
+    #[test]
+    fn labeled_shapes_render_policy_annotations() {
+        let mut s = OracleShape::minimal();
+        s.labels = 2;
+        s.regions = 3;
+        s.declassify_ann = true;
+        let all: String = generate(&s).iter().map(|(_, t)| t.as_str()).collect();
+        assert!(all.contains("assume(label(lab0))"));
+        assert!(all.contains("assume(label(lab1))"));
+        assert!(all.contains("assume(declassifier(lab0, trusted))"));
+        assert!(all.contains("assume(channel(reg0, sizeof(Blk), lab0))"));
+        assert!(all.contains("assume(channel(reg1, sizeof(Blk), lab1))"));
+        // The unlabeled region keeps the historical shmvar/noncore pair.
+        assert!(all.contains("assume(shmvar(reg2, sizeof(Blk)))"));
+        assert!(all.contains("assume(noncore(reg2))"));
+        // Monitored monitor over the labeled region 0 uses the declassify
+        // spelling when asked to.
+        assert!(all.contains("assume(declassify(reg0, 0, sizeof(Blk), trusted))"));
+        // The plain shape renders no policy text at all.
+        let plain: String =
+            generate(&OracleShape::minimal()).iter().map(|(_, t)| t.as_str()).collect();
+        assert!(!plain.contains("label"));
+        assert!(!plain.contains("channel"));
     }
 
     #[test]

@@ -10,9 +10,20 @@
 //! fact       := 'core'    '(' ident ',' aexpr ',' aexpr ')'
 //!             | 'shmvar'  '(' ident ',' aexpr ')'
 //!             | 'noncore' '(' ident ')'
+//!             | 'label'   '(' ident [',' ident] ')'
+//!             | 'declassifier' '(' ident ',' ident ')'
+//!             | 'channel' '(' ident ',' aexpr ',' ident ')'
+//!             | 'declassify' '(' ident ',' aexpr ',' aexpr ',' ident ')'
 //! aexpr      := integer | 'sizeof' '(' type-name ')' | ident
 //!             | aexpr ('+'|'-'|'*'|'/') aexpr | '(' aexpr ')'
 //! ```
+//!
+//! The `label`/`declassifier`/`channel`/`declassify` facts belong to the
+//! label-lattice policy extension: `label` declares a policy label
+//! (optionally above another), `declassifier` allows monitors to relabel
+//! between a declared pair, `channel` declares a non-core shared-memory
+//! channel endpoint carrying a declared label, and `assume(declassify(...))`
+//! is the labeled generalization of `assume(core(...))`.
 //!
 //! Multiple annotations may share a comment block. Size expressions are kept
 //! symbolic ([`AnnExpr`]) and evaluated later against the program's type
@@ -114,6 +125,57 @@ pub enum Annotation {
         /// Source location.
         span: Span,
     },
+    /// `label(name)` / `label(name, below)` — declares a policy label,
+    /// optionally directly above `below` in the lattice order (the
+    /// label-lattice policy extension).
+    Label {
+        /// Declared label name.
+        name: String,
+        /// Label this one sits directly above, if any.
+        below: Option<String>,
+        /// Source location.
+        span: Span,
+    },
+    /// `declassifier(from, to)` — monitors may relabel `from`-labeled
+    /// data to `to`.
+    Declassifier {
+        /// Source label name.
+        from: String,
+        /// Target label name.
+        to: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `channel(ptr, size, label)` — post-condition of an initializing
+    /// function: `ptr` addresses `size` bytes of non-core shared memory
+    /// carrying the declared `label` (a labeled channel endpoint; the
+    /// labeled generalization of `shmvar` + `noncore`).
+    Channel {
+        /// Shared-memory pointer name.
+        ptr: String,
+        /// Total byte size addressed through the pointer.
+        size: AnnExpr,
+        /// Declared channel label.
+        label: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `assume(declassify(ptr, offset, size, to))` — within the annotated
+    /// function and its callees, reads of the region extent are relabeled
+    /// to `to` (the labeled generalization of `assume(core(...))`; needs a
+    /// matching `declassifier` in the policy).
+    AssumeDeclassify {
+        /// Shared-memory pointer name (local or global).
+        ptr: String,
+        /// Byte offset of the declassified extent.
+        offset: AnnExpr,
+        /// Byte length of the declassified extent.
+        size: AnnExpr,
+        /// Target label.
+        to: String,
+        /// Source location.
+        span: Span,
+    },
 }
 
 impl Annotation {
@@ -124,7 +186,11 @@ impl Annotation {
             | Annotation::AssertSafe { span, .. }
             | Annotation::ShmInit { span }
             | Annotation::ShmVar { span, .. }
-            | Annotation::Noncore { span, .. } => *span,
+            | Annotation::Noncore { span, .. }
+            | Annotation::Label { span, .. }
+            | Annotation::Declassifier { span, .. }
+            | Annotation::Channel { span, .. }
+            | Annotation::AssumeDeclassify { span, .. } => *span,
         }
     }
 
@@ -140,7 +206,11 @@ impl Annotation {
             | Annotation::AssertSafe { span, .. }
             | Annotation::ShmInit { span }
             | Annotation::ShmVar { span, .. }
-            | Annotation::Noncore { span, .. } => *span = new,
+            | Annotation::Noncore { span, .. }
+            | Annotation::Label { span, .. }
+            | Annotation::Declassifier { span, .. }
+            | Annotation::Channel { span, .. }
+            | Annotation::AssumeDeclassify { span, .. } => *span = new,
         }
     }
 }
@@ -306,7 +376,7 @@ impl<'d> AnnParser<'d> {
             "shminit" => Some(Annotation::ShmInit { span: self.span }),
             // Tolerate writing the facts without the assume() wrapper, which
             // the paper's Figure 3 uses for post-conditions.
-            "core" | "shmvar" | "noncore" => {
+            "core" | "shmvar" | "noncore" | "label" | "declassifier" | "channel" | "declassify" => {
                 self.pos -= 1;
                 self.parse_fact()
             }
@@ -349,10 +419,51 @@ impl<'d> AnnParser<'d> {
                 self.expect_punct(Punct::RParen).then_some(())?;
                 Some(Annotation::Noncore { target, span: self.span })
             }
+            "label" => {
+                self.expect_punct(Punct::LParen).then_some(())?;
+                let name = self.expect_ident()?;
+                let below =
+                    if self.eat_punct(Punct::Comma) { Some(self.expect_ident()?) } else { None };
+                self.expect_punct(Punct::RParen).then_some(())?;
+                Some(Annotation::Label { name, below, span: self.span })
+            }
+            "declassifier" => {
+                self.expect_punct(Punct::LParen).then_some(())?;
+                let from = self.expect_ident()?;
+                self.expect_punct(Punct::Comma).then_some(())?;
+                let to = self.expect_ident()?;
+                self.expect_punct(Punct::RParen).then_some(())?;
+                Some(Annotation::Declassifier { from, to, span: self.span })
+            }
+            "channel" => {
+                self.expect_punct(Punct::LParen).then_some(())?;
+                let ptr = self.expect_ident()?;
+                self.expect_punct(Punct::Comma).then_some(())?;
+                let size = self.parse_expr()?;
+                self.expect_punct(Punct::Comma).then_some(())?;
+                let label = self.expect_ident()?;
+                self.expect_punct(Punct::RParen).then_some(())?;
+                Some(Annotation::Channel { ptr, size, label, span: self.span })
+            }
+            "declassify" => {
+                self.expect_punct(Punct::LParen).then_some(())?;
+                let ptr = self.expect_ident()?;
+                self.expect_punct(Punct::Comma).then_some(())?;
+                let offset = self.parse_expr()?;
+                self.expect_punct(Punct::Comma).then_some(())?;
+                let size = self.parse_expr()?;
+                self.expect_punct(Punct::Comma).then_some(())?;
+                let to = self.expect_ident()?;
+                self.expect_punct(Punct::RParen).then_some(())?;
+                Some(Annotation::AssumeDeclassify { ptr, offset, size, to, span: self.span })
+            }
             other => {
                 self.diags.error(
                     self.here(),
-                    format!("unknown assumption `{other}` (expected core/shmvar/noncore)"),
+                    format!(
+                        "unknown assumption `{other}` (expected core/shmvar/noncore/label/\
+                         declassifier/channel/declassify)"
+                    ),
                 );
                 None
             }
@@ -512,6 +623,58 @@ mod tests {
         match &anns[0] {
             Annotation::AssumeCore { size, .. } => {
                 assert_eq!(*size, AnnExpr::Sizeof("Data".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_policy_label_declarations() {
+        let anns =
+            parse_ok("label(sensor_a)\nlabel(fused, sensor_a)\ndeclassifier(fused, trusted)");
+        assert_eq!(anns.len(), 3);
+        assert!(
+            matches!(&anns[0], Annotation::Label { name, below: None, .. } if name == "sensor_a")
+        );
+        match &anns[1] {
+            Annotation::Label { name, below, .. } => {
+                assert_eq!(name, "fused");
+                assert_eq!(below.as_deref(), Some("sensor_a"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &anns[2] {
+            Annotation::Declassifier { from, to, .. } => {
+                assert_eq!(from, "fused");
+                assert_eq!(to, "trusted");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(anns.iter().all(|a| a.is_function_level()));
+    }
+
+    #[test]
+    fn parse_labeled_channel_endpoint() {
+        let anns = parse_ok("assume(channel(gyro, sizeof(SHMData), sensor_a))");
+        match &anns[0] {
+            Annotation::Channel { ptr, size, label, .. } => {
+                assert_eq!(ptr, "gyro");
+                assert_eq!(*size, AnnExpr::Sizeof("SHMData".into()));
+                assert_eq!(label, "sensor_a");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_assume_declassify() {
+        let anns = parse_ok("assume(declassify(gyro, 0, sizeof(SHMData), fused))");
+        match &anns[0] {
+            Annotation::AssumeDeclassify { ptr, offset, size, to, .. } => {
+                assert_eq!(ptr, "gyro");
+                assert_eq!(*offset, AnnExpr::Int(0));
+                assert_eq!(*size, AnnExpr::Sizeof("SHMData".into()));
+                assert_eq!(to, "fused");
             }
             other => panic!("unexpected {other:?}"),
         }

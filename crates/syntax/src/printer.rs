@@ -480,6 +480,19 @@ fn annotation(a: &Annotation) -> String {
             format!("assume(shmvar({ptr}, {}))", ann_expr(size))
         }
         Annotation::Noncore { target, .. } => format!("assume(noncore({target}))"),
+        Annotation::Label { name, below: Some(b), .. } => {
+            format!("assume(label({name}, {b}))")
+        }
+        Annotation::Label { name, below: None, .. } => format!("assume(label({name}))"),
+        Annotation::Declassifier { from, to, .. } => {
+            format!("assume(declassifier({from}, {to}))")
+        }
+        Annotation::Channel { ptr, size, label, .. } => {
+            format!("assume(channel({ptr}, {}, {label}))", ann_expr(size))
+        }
+        Annotation::AssumeDeclassify { ptr, offset, size, to, .. } => {
+            format!("assume(declassify({ptr}, {}, {}, {to}))", ann_expr(offset), ann_expr(size))
+        }
     }
 }
 

@@ -1,0 +1,103 @@
+/* Mixed-criticality fusion component: a three-label lattice demo.
+ *
+ * Three shared-memory channels feed a core actuation loop:
+ *
+ *   regA  -- labeled sensor_a; its monitor is a licensed declassifier
+ *            (declassifier(sensor_a, trusted)), so monitored reads are
+ *            fully cleared and the actuation below is safe.
+ *   regB  -- labeled sensor_b; read raw with no monitor, so its value
+ *            flow to the assert is a definite (Data) error.
+ *   regF  -- labeled fused, which sits above both sensors in the
+ *            declared order; its monitor only lowers data to sensor_b
+ *            (declassifier(fused, sensor_b)), so the result is still
+ *            labeled and the downstream assert still fails.
+ *
+ * The final branch taints `cmd` only through control dependence on an
+ * unmonitored sensor_a read: under --implicit-flow strict it is a
+ * definite error, under taint-only it is dropped, and under
+ * report-separately (the default) it is kept as a distinct
+ * control-dependence-only finding. `make policy-smoke` pins the report
+ * for all three modes.
+ */
+typedef struct Blk { float v; int seq; int flag; int pad; } Blk;
+Blk *regA;
+Blk *regB;
+Blk *regF;
+int shmget(int key, int size, int flags);
+void *shmat(int shmid, void *addr, int flags);
+void sink(float v);
+void actuate(float v);
+
+void initShm(void)
+/** SafeFlow Annotation shminit */
+{
+    char *cursor;
+    int shmid;
+    shmid = shmget(77, 3 * sizeof(Blk), 0);
+    cursor = (char *) shmat(shmid, 0, 0);
+    regA = (Blk *) cursor;
+    cursor = cursor + sizeof(Blk);
+    regB = (Blk *) cursor;
+    cursor = cursor + sizeof(Blk);
+    regF = (Blk *) cursor;
+    cursor = cursor + sizeof(Blk);
+    /** SafeFlow Annotation
+        assume(label(sensor_a))
+        assume(label(sensor_b))
+        assume(label(fused, sensor_a))
+        assume(label(fused, sensor_b))
+        assume(declassifier(sensor_a, trusted))
+        assume(declassifier(fused, sensor_b))
+        assume(channel(regA, sizeof(Blk), sensor_a))
+        assume(channel(regB, sizeof(Blk), sensor_b))
+        assume(channel(regF, sizeof(Blk), fused))
+    */
+}
+
+float monitorA(float fallback)
+/** SafeFlow Annotation assume(core(regA, 0, sizeof(Blk))) */
+{
+    float v;
+    v = regA->v;
+    if (v > 100.0) return fallback;
+    if (v < 0.0 - 100.0) return fallback;
+    return v;
+}
+
+float monitorF(float fallback)
+/** SafeFlow Annotation assume(declassify(regF, 0, sizeof(Blk), sensor_b)) */
+{
+    float v;
+    v = regF->v;
+    if (v > 10.0) return fallback;
+    if (v < 0.0 - 10.0) return fallback;
+    return v;
+}
+
+int main() {
+    float safe_a;
+    float part;
+    float raw;
+    float cmd;
+    initShm();
+
+    safe_a = monitorA(0.0);
+    /** SafeFlow Annotation assert(safe(safe_a)) */
+    actuate(safe_a);
+
+    part = monitorF(0.0);
+    /** SafeFlow Annotation assert(safe(part)) */
+    actuate(part);
+
+    raw = regB->v;
+    /** SafeFlow Annotation assert(safe(raw)) */
+    sink(raw);
+
+    cmd = 1.0;
+    if (regA->v > 0.0) {
+        cmd = 2.0;
+    }
+    /** SafeFlow Annotation assert(safe(cmd)) */
+    actuate(cmd);
+    return 0;
+}
