@@ -71,6 +71,7 @@ pub mod regions;
 pub mod report;
 pub mod restrict;
 pub mod session;
+pub mod shard;
 pub mod shmptr;
 mod store;
 pub mod summary;
@@ -223,6 +224,63 @@ impl std::error::Error for AnalysisError {
             _ => None,
         }
     }
+}
+
+/// Compiles the label policy for `module`: config-declared labels merged
+/// with annotation-declared ones (`label(...)` / `declassifier(...)`
+/// facts), then `channel(...)` region labels and critical-call clearances
+/// bound. The default two-point policy compiles to the empty table, under
+/// which everything downstream reduces to the historical
+/// monitored/unmonitored behavior byte-for-byte.
+///
+/// The table is a pure function of `(config, module, regions)`, so shard
+/// workers compiling it independently (see [`crate::shard`]) get exactly
+/// the table the coordinator's final in-process run uses.
+pub(crate) fn compile_policy(
+    config: &AnalysisConfig,
+    module: &Module,
+    regions: &RegionMap,
+) -> (LabelTable, Vec<String>) {
+    use safeflow_syntax::annot::Annotation;
+    let mut extra_labels: Vec<LabelDecl> = Vec::new();
+    let mut extra_declass: Vec<(String, String)> = Vec::new();
+    for f in &module.functions {
+        for ann in &f.annotations {
+            match ann {
+                Annotation::Label { name, below, .. } => extra_labels.push(match below {
+                    Some(b) => LabelDecl::above(name.clone(), vec![b.clone()]),
+                    None => LabelDecl::new(name.clone()),
+                }),
+                Annotation::Declassifier { from, to, .. } => {
+                    extra_declass.push((from.clone(), to.clone()));
+                }
+                _ => {}
+            }
+        }
+    }
+    let (mut table, mut notes) = config.policy.compile(&extra_labels, &extra_declass);
+    for r in regions.iter() {
+        if let Some(label) = &r.label {
+            match table.mask_of(label) {
+                Some(mask) => table.set_region_label(r.id.0, mask),
+                None => notes.push(format!(
+                    "channel({}, ...) names undeclared label `{label}`; region treated as untrusted",
+                    r.name
+                )),
+            }
+        }
+    }
+    for call in &config.implicit_critical_calls {
+        if let Some(clearance) = &call.clearance {
+            if table.mask_of(clearance).is_none() {
+                notes.push(format!(
+                    "critical call `{}` names undeclared clearance label `{clearance}`; treated as trusted",
+                    call.name
+                ));
+            }
+        }
+    }
+    (table, notes)
 }
 
 impl AnalyzerBuilder {
@@ -407,55 +465,8 @@ impl Analyzer {
         let regions = metrics.time("phase.regions", || {
             regions::extract_regions(module, &self.config.shm_attach_functions, diags)
         });
-        // Compile the label policy: config-declared labels merged with
-        // annotation-declared ones (`label(...)` / `declassifier(...)`
-        // facts), then bind `channel(...)` region labels and critical-call
-        // clearances. The default two-point policy compiles to the empty
-        // table, under which every path below reduces to the historical
-        // monitored/unmonitored behavior byte-for-byte.
-        let (table, mut policy_notes) = metrics.time("phase.policy", || {
-            use safeflow_syntax::annot::Annotation;
-            let mut extra_labels: Vec<LabelDecl> = Vec::new();
-            let mut extra_declass: Vec<(String, String)> = Vec::new();
-            for f in &module.functions {
-                for ann in &f.annotations {
-                    match ann {
-                        Annotation::Label { name, below, .. } => extra_labels.push(match below {
-                            Some(b) => LabelDecl::above(name.clone(), vec![b.clone()]),
-                            None => LabelDecl::new(name.clone()),
-                        }),
-                        Annotation::Declassifier { from, to, .. } => {
-                            extra_declass.push((from.clone(), to.clone()));
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            let (mut table, mut notes) =
-                self.config.policy.compile(&extra_labels, &extra_declass);
-            for r in regions.iter() {
-                if let Some(label) = &r.label {
-                    match table.mask_of(label) {
-                        Some(mask) => table.set_region_label(r.id.0, mask),
-                        None => notes.push(format!(
-                            "channel({}, ...) names undeclared label `{label}`; region treated as untrusted",
-                            r.name
-                        )),
-                    }
-                }
-            }
-            for call in &self.config.implicit_critical_calls {
-                if let Some(clearance) = &call.clearance {
-                    if table.mask_of(clearance).is_none() {
-                        notes.push(format!(
-                            "critical call `{}` names undeclared clearance label `{clearance}`; treated as trusted",
-                            call.name
-                        ));
-                    }
-                }
-            }
-            (table, notes)
-        });
+        let (table, mut policy_notes) =
+            metrics.time("phase.policy", || compile_policy(&self.config, module, &regions));
         // Phase 1: shared-memory pointer identification.
         let shm = metrics.time("phase.shmptr", || shmptr::identify_shm_pointers(module, &regions));
         // Phase 2: language restrictions.

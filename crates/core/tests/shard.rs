@@ -1,0 +1,200 @@
+//! Sharded cross-process analysis (ISSUE 10): byte-identity and failure
+//! containment for `check --shards N`'s building blocks.
+//!
+//! The worker pipeline ([`safeflow::shard::run_worker`]) runs in-process
+//! here — it is exactly the code the `shard-worker` subcommand executes,
+//! minus the process boundary (which `make shard-smoke` drills with real
+//! processes and a SIGKILL). The invariants under test:
+//!
+//! * sharded output is byte-identical to unsharded output at every
+//!   `--jobs` level, cold and warm;
+//! * corrupt, truncated, or garbage segment files degrade to recomputation
+//!   of the lost entries, never to wrong or missing findings;
+//! * workers interleaving concurrently never tear the store;
+//! * a worker that never ran (killed, crashed) only costs recomputation;
+//! * the final exclusive save compacts dead segments away.
+
+use safeflow::shard::run_worker;
+use safeflow::{AnalysisConfig, AnalysisSession, Engine, SessionRun};
+use safeflow_corpus::monorepo::{generate_monorepo, MonorepoParams};
+use safeflow_syntax::pp::VirtualFs;
+use std::path::{Path, PathBuf};
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("safeflow-shard-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(jobs: usize) -> AnalysisConfig {
+    AnalysisConfig::builder().engine(Engine::Summary).jobs(jobs).build_config()
+}
+
+fn corpus() -> (String, VirtualFs) {
+    let files = generate_monorepo(MonorepoParams::small());
+    let root = files[0].0.clone();
+    let mut fs = VirtualFs::new();
+    for (name, text) in &files {
+        fs.add(name.as_str(), text.clone());
+    }
+    (root, fs)
+}
+
+/// The unsharded reference: a storeless session, always a cold analysis.
+fn reference_rendered(jobs: usize) -> String {
+    let (root, fs) = corpus();
+    let mut s = AnalysisSession::new(config(jobs));
+    s.check(&root, &fs).expect("reference check succeeds").rendered
+}
+
+/// Runs `shards` workers (sequentially) into `dir`, then the coordinator's
+/// final session check. Returns (rendered, run kind).
+fn sharded_check(dir: &Path, jobs: usize, shards: usize) -> (String, SessionRun) {
+    let (root, fs) = corpus();
+    for k in 0..shards {
+        run_worker(&config(jobs), &root, &fs, dir, k, shards).expect("worker succeeds");
+    }
+    let mut s = AnalysisSession::with_store(config(jobs), dir).expect("session opens");
+    let outcome = s.check(&root, &fs).expect("final check succeeds");
+    (outcome.rendered, outcome.run)
+}
+
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".bin"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+#[test]
+fn sharded_matches_unsharded_at_every_jobs_level_cold_and_warm() {
+    let reference = reference_rendered(1);
+    for jobs in [1usize, 2, 8] {
+        assert_eq!(reference_rendered(jobs), reference, "unsharded jobs={jobs} must not drift");
+        for shards in [2usize, 4] {
+            let dir = store_dir(&format!("ident-{jobs}-{shards}"));
+            let (cold, run) = sharded_check(&dir, jobs, shards);
+            assert_eq!(run, SessionRun::Analyzed);
+            assert_eq!(cold, reference, "sharded cold (jobs={jobs}, shards={shards}) diverged");
+            // Warm: a fresh session over the saved store replays.
+            let (root, fs) = corpus();
+            let mut warm = AnalysisSession::with_store(config(jobs), &dir).unwrap();
+            let outcome = warm.check(&root, &fs).unwrap();
+            assert_eq!(outcome.run, SessionRun::Replayed);
+            assert_eq!(
+                outcome.rendered, reference,
+                "sharded warm (jobs={jobs}, shards={shards}) diverged"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn corrupt_and_garbage_segments_degrade_to_recomputation() {
+    let reference = reference_rendered(1);
+    let dir = store_dir("corrupt");
+    let (root, fs) = corpus();
+    for k in 0..3 {
+        run_worker(&config(1), &root, &fs, &dir, k, 3).expect("worker succeeds");
+    }
+    let segs = segment_files(&dir);
+    assert!(!segs.is_empty(), "workers must have published segments");
+    // Flip a byte deep in the first segment's record area (past the
+    // 12-byte header): its checksum no longer matches, killing that record
+    // and everything after it in the file.
+    let mut bytes = std::fs::read(&segs[0]).unwrap();
+    if bytes.len() > 40 {
+        bytes[40] ^= 0xFF;
+        std::fs::write(&segs[0], &bytes).unwrap();
+    }
+    // A garbage file wearing the segment naming scheme.
+    std::fs::write(dir.join("seg-99999-0.bin"), b"not a segment at all").unwrap();
+    // Another valid segment truncated mid-record (a SIGKILLed writer).
+    if let Some(victim) = segs.get(1) {
+        let bytes = std::fs::read(victim).unwrap();
+        std::fs::write(victim, &bytes[..bytes.len().saturating_sub(5)]).unwrap();
+    }
+
+    let mut s = AnalysisSession::with_store(config(1), &dir).unwrap();
+    let outcome = s.check(&root, &fs).unwrap();
+    assert_eq!(outcome.run, SessionRun::Analyzed);
+    assert_eq!(outcome.rendered, reference, "corrupt segments must only cost recomputation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_workers_never_tear_the_store() {
+    let reference = reference_rendered(2);
+    let dir = store_dir("race");
+    let (root, fs) = corpus();
+    let shards = 4;
+    // All workers run simultaneously: segment appends, peer polls, and
+    // fetch adoptions genuinely interleave.
+    std::thread::scope(|scope| {
+        for k in 0..shards {
+            let dir = dir.clone();
+            let root = root.clone();
+            let fs = &fs;
+            scope.spawn(move || {
+                run_worker(&config(2), &root, fs, &dir, k, shards).expect("worker succeeds");
+            });
+        }
+    });
+    let mut s = AnalysisSession::with_store(config(2), &dir).unwrap();
+    let outcome = s.check(&root, &fs).unwrap();
+    assert_eq!(outcome.rendered, reference, "interleaved workers must not affect the report");
+    drop(s);
+    // And the merged store replays cleanly afterwards.
+    let mut fresh = AnalysisSession::with_store(config(2), &dir).unwrap();
+    let replay = fresh.check(&root, &fs).unwrap();
+    assert_eq!(replay.run, SessionRun::Replayed);
+    assert_eq!(replay.rendered, reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_workers_only_cost_recomputation() {
+    let reference = reference_rendered(1);
+    let dir = store_dir("killed");
+    let (root, fs) = corpus();
+    // Shards 1 and 2 of 3 never ran (crashed before opening the store).
+    run_worker(&config(1), &root, &fs, &dir, 0, 3).expect("worker succeeds");
+    let mut s = AnalysisSession::with_store(config(1), &dir).unwrap();
+    let outcome = s.check(&root, &fs).unwrap();
+    assert_eq!(outcome.run, SessionRun::Analyzed);
+    assert_eq!(outcome.rendered, reference, "missing shards must only cost recomputation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn final_save_compacts_dead_segments() {
+    let dir = store_dir("compact");
+    let (root, fs) = corpus();
+    for k in 0..2 {
+        run_worker(&config(1), &root, &fs, &dir, k, 2).expect("worker succeeds");
+    }
+    assert!(!segment_files(&dir).is_empty(), "workers must have left segments behind");
+    let mut s = AnalysisSession::with_store(config(1), &dir).unwrap();
+    let outcome = s.check(&root, &fs).unwrap();
+    assert!(outcome.exit_code < 3);
+    drop(s);
+    assert!(
+        segment_files(&dir).is_empty(),
+        "the exclusive save must compact absorbed segments away"
+    );
+    // Everything the segments carried now lives in the main store file.
+    let mut fresh = AnalysisSession::with_store(config(1), &dir).unwrap();
+    assert_eq!(fresh.check(&root, &fs).unwrap().run, SessionRun::Replayed);
+    let _ = std::fs::remove_dir_all(&dir);
+}

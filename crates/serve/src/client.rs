@@ -32,7 +32,9 @@ impl Client {
     }
 
     fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
-        proto::write_frame(&mut self.stream, &proto::encode_request(req))?;
+        let body = proto::encode_request(req)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        proto::write_frame(&mut self.stream, &body)?;
         let body = proto::read_frame(&mut self.stream)?;
         proto::decode_response(&body)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response frame"))

@@ -513,7 +513,16 @@ fn write_response(
     key: u64,
     resp: &Response,
 ) -> std::io::Result<()> {
-    let body = proto::encode_response(resp);
+    // An un-encodable response (a report too large for the wire's length
+    // fields) degrades to a short BadRequest message rather than a frame
+    // with silently wrapped lengths.
+    let body = proto::encode_response(resp).unwrap_or_else(|e| {
+        proto::encode_response(&Response::message(
+            Status::BadRequest,
+            format!("unsendable response: {e}"),
+        ))
+        .expect("short message response always encodes")
+    });
     let fault = shared
         .opts
         .fault_plan

@@ -37,6 +37,68 @@ pub const PROTO_VERSION: u32 = 1;
 /// OOM on a hostile length field.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
 
+/// Upper bound on the file/path count of one check request. Far above any
+/// real program (the monorepo stress corpus is 146 translation units) but
+/// low enough that a hostile count can neither balloon an allocation nor
+/// wrap the wire's `u32` length fields.
+pub const MAX_FILES: usize = 4096;
+
+/// A message that cannot be encoded without corrupting the wire: a length
+/// exceeds the format's `u32` field (or the [`MAX_FILES`] cap), so the
+/// bare `as u32` cast would silently wrap into a well-formed frame with
+/// truncated contents. Callers refuse to send — the server side answers
+/// [`Status::BadRequest`] — instead of emitting the malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A string field longer than `u32::MAX` bytes.
+    TooLong {
+        /// Which field overflowed.
+        what: &'static str,
+        /// Its length in bytes.
+        len: usize,
+    },
+    /// A sequence with more entries than [`MAX_FILES`].
+    TooMany {
+        /// Which sequence overflowed.
+        what: &'static str,
+        /// Its entry count.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::TooLong { what, len } => {
+                write!(f, "{what} is {len} bytes, which exceeds the u32 wire limit")
+            }
+            EncodeError::TooMany { what, count } => {
+                write!(f, "{what} has {count} entries, which exceeds the {MAX_FILES} cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// [`put_str`] with the length checked instead of silently wrapped.
+fn put_checked_str(out: &mut Vec<u8>, what: &'static str, s: &str) -> Result<(), EncodeError> {
+    if s.len() > u32::MAX as usize {
+        return Err(EncodeError::TooLong { what, len: s.len() });
+    }
+    put_str(out, s);
+    Ok(())
+}
+
+/// A sequence length checked against [`MAX_FILES`] before the cast.
+fn put_checked_len(out: &mut Vec<u8>, what: &'static str, n: usize) -> Result<(), EncodeError> {
+    if n > MAX_FILES {
+        return Err(EncodeError::TooMany { what, count: n });
+    }
+    put_u32(out, n as u32);
+    Ok(())
+}
+
 /// Response status (see the module docs for the full table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(u8)]
@@ -194,25 +256,31 @@ const KIND_METRICS: u8 = 3;
 const KIND_SHUTDOWN: u8 = 4;
 
 /// Encodes `req` as a frame body (no length prefix).
-pub fn encode_request(req: &Request) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`EncodeError`] when a length exceeds the wire's `u32` fields or the
+/// file count exceeds [`MAX_FILES`] — the cases a bare cast used to wrap
+/// silently into a truncated frame.
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, EncodeError> {
     let mut out = Vec::new();
     put_u32(&mut out, PROTO_VERSION);
     match req {
         Request::Check { root, files, deadline_ms } => {
             put_u8(&mut out, KIND_CHECK);
-            put_str(&mut out, root);
-            put_u32(&mut out, files.len() as u32);
+            put_checked_str(&mut out, "root name", root)?;
+            put_checked_len(&mut out, "file set", files.len())?;
             for (name, content) in files {
-                put_str(&mut out, name);
-                put_str(&mut out, content);
+                put_checked_str(&mut out, "file name", name)?;
+                put_checked_str(&mut out, "file content", content)?;
             }
             put_u64(&mut out, *deadline_ms);
         }
         Request::CheckPaths { paths, deadline_ms } => {
             put_u8(&mut out, KIND_CHECK_PATHS);
-            put_u32(&mut out, paths.len() as u32);
+            put_checked_len(&mut out, "path set", paths.len())?;
             for p in paths {
-                put_str(&mut out, p);
+                put_checked_str(&mut out, "path", p)?;
             }
             put_u64(&mut out, *deadline_ms);
         }
@@ -220,7 +288,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Metrics => put_u8(&mut out, KIND_METRICS),
         Request::Shutdown => put_u8(&mut out, KIND_SHUTDOWN),
     }
-    out
+    Ok(out)
 }
 
 /// Decodes a request frame body. `None` = malformed or wrong version
@@ -234,6 +302,9 @@ pub fn decode_request(body: &[u8]) -> Option<Request> {
         KIND_CHECK => {
             let root = r.str()?;
             let n = r.seq_len()?;
+            if n > MAX_FILES {
+                return None;
+            }
             let mut files = Vec::with_capacity(n);
             for _ in 0..n {
                 files.push((r.str()?, r.str()?));
@@ -242,6 +313,9 @@ pub fn decode_request(body: &[u8]) -> Option<Request> {
         }
         KIND_CHECK_PATHS => {
             let n = r.seq_len()?;
+            if n > MAX_FILES {
+                return None;
+            }
             let mut paths = Vec::with_capacity(n);
             for _ in 0..n {
                 paths.push(r.str()?);
@@ -260,16 +334,22 @@ pub fn decode_request(body: &[u8]) -> Option<Request> {
 }
 
 /// Encodes `resp` as a frame body (no length prefix).
-pub fn encode_response(resp: &Response) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`EncodeError::TooLong`] when a rendered report exceeds the wire's
+/// `u32` length fields (the server substitutes a short error response
+/// rather than sending a silently truncated one).
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, EncodeError> {
     let mut out = Vec::new();
     put_u32(&mut out, PROTO_VERSION);
     put_u8(&mut out, resp.status as u8);
-    put_str(&mut out, &resp.rendered);
-    put_str(&mut out, &resp.report_json);
+    put_checked_str(&mut out, "rendered report", &resp.rendered)?;
+    put_checked_str(&mut out, "report JSON", &resp.report_json)?;
     put_u8(&mut out, resp.run as u8);
     put_u64(&mut out, resp.queue_ns);
     put_u64(&mut out, resp.run_ns);
-    out
+    Ok(out)
 }
 
 /// Decodes a response frame body. `None` = malformed or wrong version.
@@ -321,7 +401,19 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Vec<u8>> {
 }
 
 /// Writes `body` as one length-prefixed frame.
+///
+/// # Errors
+///
+/// `InvalidData` when `body` exceeds [`MAX_FRAME_LEN`] — the cast to the
+/// `u32` prefix would otherwise wrap and emit a torn frame the peer
+/// misparses at some arbitrary boundary.
 pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    if body.len() > MAX_FRAME_LEN as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap", body.len()),
+        ));
+    }
     let mut frame = Vec::with_capacity(4 + body.len());
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
     frame.extend_from_slice(body);
@@ -335,6 +427,12 @@ pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> std::io::Result<()> 
 /// client-visible version of a torn wire — used to prove clients detect
 /// torn responses and the daemon survives writing them.
 pub fn write_truncated_frame(stream: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    if body.len() > MAX_FRAME_LEN as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap", body.len()),
+        ));
+    }
     let mut frame = Vec::with_capacity(4 + body.len() / 2);
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
     frame.extend_from_slice(&body[..body.len() / 2]);
@@ -347,7 +445,7 @@ mod tests {
     use super::*;
 
     fn round_trip_request(req: Request) {
-        let body = encode_request(&req);
+        let body = encode_request(&req).unwrap();
         assert_eq!(decode_request(&body).as_ref(), Some(&req));
         // Every truncation must fail cleanly, never panic.
         for cut in 0..body.len() {
@@ -381,7 +479,7 @@ mod tests {
             queue_ns: 12,
             run_ns: 34,
         };
-        let body = encode_response(&resp);
+        let body = encode_response(&resp).unwrap();
         assert_eq!(decode_response(&body).as_ref(), Some(&resp));
         for cut in 0..body.len() {
             let _ = decode_response(&body[..cut]);
@@ -390,19 +488,72 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let mut body = encode_request(&Request::Ping);
+        let mut body = encode_request(&Request::Ping).unwrap();
         body[0] ^= 1;
         assert_eq!(decode_request(&body), None);
-        let mut body = encode_response(&Response::message(Status::Clean, "ok"));
+        let mut body = encode_response(&Response::message(Status::Clean, "ok")).unwrap();
         body[0] ^= 1;
         assert_eq!(decode_response(&body), None);
     }
 
     #[test]
     fn trailing_garbage_is_rejected() {
-        let mut body = encode_request(&Request::Ping);
+        let mut body = encode_request(&Request::Ping).unwrap();
         body.push(0);
         assert_eq!(decode_request(&body), None);
+    }
+
+    /// Regression: `files.len() as u32` used to wrap silently. An
+    /// over-the-cap file set must be an [`EncodeError::TooMany`] on the
+    /// encode side and a clean `None` (→ `BadRequest`) on the decode side.
+    #[test]
+    fn oversized_file_set_is_rejected_both_ways() {
+        let files: Vec<(String, String)> =
+            (0..MAX_FILES + 1).map(|i| (format!("f{i}.c"), String::new())).collect();
+        let req = Request::Check { root: "f0.c".into(), files, deadline_ms: 0 };
+        assert_eq!(
+            encode_request(&req),
+            Err(EncodeError::TooMany { what: "file set", count: MAX_FILES + 1 })
+        );
+        let paths: Vec<String> = (0..MAX_FILES + 1).map(|i| format!("/p/{i}.c")).collect();
+        let req = Request::CheckPaths { paths, deadline_ms: 0 };
+        let err = encode_request(&req).unwrap_err();
+        assert!(matches!(err, EncodeError::TooMany { what: "path set", .. }), "{err}");
+
+        // A hand-built frame claiming an over-the-cap count (with a body
+        // large enough that `seq_len`'s plausibility bound passes) must
+        // decode to None, never allocate-and-truncate.
+        let mut body = Vec::new();
+        put_u32(&mut body, PROTO_VERSION);
+        put_u8(&mut body, 1); // KIND_CHECK_PATHS
+        put_u32(&mut body, (MAX_FILES + 1) as u32);
+        body.resize(body.len() + MAX_FILES + 2, 0);
+        assert_eq!(decode_request(&body), None);
+    }
+
+    #[test]
+    fn encode_error_renders_both_variants() {
+        let long = EncodeError::TooLong { what: "file content", len: usize::MAX };
+        assert!(long.to_string().contains("file content"));
+        assert!(long.to_string().contains("u32"));
+        let many = EncodeError::TooMany { what: "file set", count: 5000 };
+        assert!(many.to_string().contains("5000"));
+        assert!(many.to_string().contains(&MAX_FILES.to_string()));
+    }
+
+    /// Regression: `body.len() as u32` in the frame writers used to wrap
+    /// for >4GiB bodies and emit a torn frame. Anything over the (much
+    /// smaller) frame cap is now refused before a byte hits the wire.
+    #[test]
+    fn over_cap_frame_body_is_refused_by_writers() {
+        let body = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &body).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "no partial frame may be written");
+        let err = write_truncated_frame(&mut sink, &body).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(sink.is_empty());
     }
 
     #[test]

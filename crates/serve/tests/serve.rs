@@ -279,7 +279,7 @@ fn malformed_and_mismatched_frames_answer_bad_request() {
     assert_eq!(resp.status, Status::BadRequest);
 
     // Wrong protocol version: same answer.
-    let mut good = proto::encode_request(&Request::Ping);
+    let mut good = proto::encode_request(&Request::Ping).unwrap();
     good[0] = (proto::PROTO_VERSION + 1) as u8;
     let mut s2 = TcpStream::connect(handle.addr()).unwrap();
     proto::write_frame(&mut s2, &good).unwrap();

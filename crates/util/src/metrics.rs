@@ -108,6 +108,15 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Locks the registry, recovering from poisoning. A contained panic
+    /// elsewhere (an isolated SCC fault, a shedding serve worker) must not
+    /// take down metrics reporting on drain: every map here is a plain
+    /// accumulator, so the worst a poisoned lock hides is the one
+    /// increment that panicked mid-flush.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Adds `n` to the counter `key` in `class`.
     pub fn add(&self, class: Class, key: &str, n: u64) {
         self.add_many(class, &[(key, n)]);
@@ -116,7 +125,7 @@ impl Metrics {
     /// Adds a batch of counter increments under one lock acquisition —
     /// the preferred shape for per-task flushes from pool workers.
     pub fn add_many(&self, class: Class, entries: &[(&str, u64)]) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         let map = match class {
             Class::Counter => &mut inner.counters,
             Class::Work => &mut inner.work,
@@ -130,13 +139,13 @@ impl Metrics {
     /// Records one observation into the histogram `key` (the `dist`
     /// section; excluded from determinism comparisons).
     pub fn observe(&self, key: &str, value: u64) {
-        self.inner.lock().unwrap().dist.entry(key.to_string()).or_default().observe(value);
+        self.locked().dist.entry(key.to_string()).or_default().observe(value);
     }
 
     /// Adds `ns` nanoseconds to the span `key` (the `timings_ns`
     /// section; excluded from determinism comparisons).
     pub fn record_ns(&self, key: &str, ns: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         *inner.timings_ns.entry(key.to_string()).or_insert(0) += ns;
     }
 
@@ -150,7 +159,7 @@ impl Metrics {
 
     /// An immutable copy of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         MetricsSnapshot {
             counters: inner.counters.clone(),
             work: inner.work.clone(),
@@ -278,6 +287,30 @@ mod tests {
         let Json::Obj(members) = &json else { panic!() };
         let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, ["counters", "work", "sched", "dist", "timings_ns"]);
+    }
+
+    /// Regression: a panic raised while the registry lock was held used
+    /// to poison it, and every later `add`/`snapshot` then panicked on
+    /// `unwrap()` — so a single contained fault silenced all metrics
+    /// reporting on drain. The registry must recover and keep rendering.
+    #[test]
+    fn poisoned_registry_still_records_and_renders() {
+        let m = Metrics::new();
+        m.add(Class::Counter, "before", 1);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.inner.lock().unwrap();
+            panic!("injected fault while holding the registry lock");
+        }));
+        assert!(m.inner.is_poisoned());
+        m.add(Class::Counter, "after", 2);
+        m.observe("d", 3);
+        m.record_ns("t", 5);
+        let s = m.snapshot();
+        assert_eq!(s.counters["before"], 1);
+        assert_eq!(s.counters["after"], 2);
+        assert_eq!(s.dist["d"].count, 1);
+        assert!(s.render_text().contains("counters.after  2"));
+        assert!(s.to_json().render().contains("\"after\""));
     }
 
     #[test]

@@ -83,6 +83,17 @@ pub struct TaskPanic {
     pub message: String,
 }
 
+/// Locks `m`, recovering the guard when a panicking task poisoned it.
+///
+/// The pool's mutexes guard plain scheduling state (deques of task
+/// indices, result slots, the park token): a panic while one is held
+/// cannot leave that state logically torn, and panic containment
+/// ([`PoolPolicy::Isolate`]) requires every other worker to keep draining
+/// the run rather than cascade the poison into its own `unwrap`.
+fn lock_recover<U>(m: &Mutex<U>) -> std::sync::MutexGuard<'_, U> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Renders a panic payload as a deterministic string: `&str` / `String`
 /// payloads are preserved verbatim, anything else becomes a fixed
 /// placeholder. Exposed so other crates containing panics themselves
@@ -197,7 +208,7 @@ where
         let mut w = 0;
         for (i, ds) in deps.iter().enumerate() {
             if ds.is_empty() {
-                queues[w].lock().unwrap().push_back(i);
+                lock_recover(&queues[w]).push_back(i);
                 w = (w + 1) % jobs;
             }
         }
@@ -225,14 +236,18 @@ where
         }
     });
 
-    if let Some(payload) = shared.panic.into_inner().unwrap() {
+    if let Some(payload) = shared.panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
         resume_unwind(payload);
     }
     let completed = shared.done.load(Ordering::SeqCst);
     assert_eq!(completed, n, "run_dag: dependency cycle ({completed}/{n} tasks ran)");
     results
         .into_iter()
-        .map(|cell| cell.into_inner().unwrap().expect("completed task has a result"))
+        .map(|cell| {
+            cell.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("completed task has a result")
+        })
         .collect()
 }
 
@@ -360,14 +375,14 @@ impl<T> Shared<'_, T> {
 
     /// Records a task panic and releases every worker.
     fn abort(&self, payload: Box<dyn std::any::Any + Send>) {
-        let mut slot = self.panic.lock().unwrap();
+        let mut slot = lock_recover(&self.panic);
         if slot.is_none() {
             *slot = Some(payload);
         }
         drop(slot);
         // Drain: mark the run complete so workers exit their loops.
         self.done.store(self.total, Ordering::SeqCst);
-        let _g = self.idle.lock().unwrap();
+        let _g = lock_recover(&self.idle);
         self.wake.notify_all();
     }
 }
@@ -383,12 +398,12 @@ where
         }
         // 1. Own deque, newest first (locality: tasks this worker just
         //    unblocked are hot in cache).
-        let mut next = shared.queues[me].lock().unwrap().pop_back();
+        let mut next = lock_recover(&shared.queues[me]).pop_back();
         // 2. Steal oldest work from the other workers.
         if next.is_none() {
             for k in 1..jobs {
                 let victim = (me + k) % jobs;
-                if let Some(i) = shared.queues[victim].lock().unwrap().pop_front() {
+                if let Some(i) = lock_recover(&shared.queues[victim]).pop_front() {
                     if let Some(s) = shared.stats {
                         s.steals.fetch_add(1, Ordering::Relaxed);
                     }
@@ -401,13 +416,12 @@ where
             // 3. Park until new work is enqueued or the run finishes. The
             //    re-check under the idle lock closes the lost-wakeup race:
             //    every enqueue acquires this lock before notifying.
-            let mut guard = shared.idle.lock().unwrap();
+            let mut guard = lock_recover(&shared.idle);
             loop {
-                if shared.finished() || shared.queues.iter().any(|q| !q.lock().unwrap().is_empty())
-                {
+                if shared.finished() || shared.queues.iter().any(|q| !lock_recover(q).is_empty()) {
                     break;
                 }
-                guard = shared.wake.wait(guard).unwrap();
+                guard = shared.wake.wait(guard).unwrap_or_else(|e| e.into_inner());
             }
             continue;
         };
@@ -428,14 +442,14 @@ where
         if let Some(s) = shared.stats {
             s.record_task(t0.elapsed().as_nanos() as u64);
         }
-        *shared.results[i].lock().unwrap() = Some(outcome);
+        *lock_recover(&shared.results[i]) = Some(outcome);
         // Release dependents whose last dependency this was. Under Isolate
         // a panicked task still releases its dependents: they run and see
         // the `Err` slot instead of being silently abandoned.
         let mut released = false;
         for &j in &shared.dependents[i] {
             if shared.remaining[j].fetch_sub(1, Ordering::AcqRel) == 1 {
-                let mut q = shared.queues[me].lock().unwrap();
+                let mut q = lock_recover(&shared.queues[me]);
                 q.push_back(j);
                 if let Some(s) = shared.stats {
                     s.note_depth(q.len() as u64);
@@ -446,7 +460,7 @@ where
         }
         let now_done = shared.done.fetch_add(1, Ordering::SeqCst) + 1;
         if released || now_done >= shared.total {
-            let _g = shared.idle.lock().unwrap();
+            let _g = lock_recover(&shared.idle);
             shared.wake.notify_all();
         }
     }
@@ -590,5 +604,81 @@ mod tests {
     #[should_panic(expected = "cycle")]
     fn cycle_detected_parallel() {
         let _ = run_dag(4, &[vec![1], vec![0], vec![]], |i| i);
+    }
+
+    /// Poisons `m` the way a real fault would: a panic raised while the
+    /// lock is held.
+    fn poison<U>(m: &Mutex<U>) {
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("injected fault while holding the lock");
+        }));
+        assert!(m.is_poisoned());
+    }
+
+    #[test]
+    fn lock_recover_survives_poisoning() {
+        let q: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::from([7]));
+        poison(&q);
+        assert_eq!(lock_recover(&q).pop_back(), Some(7));
+        lock_recover(&q).push_back(9);
+        assert_eq!(lock_recover(&q).pop_front(), Some(9));
+    }
+
+    /// Regression: a poisoned queue mutex used to cascade — the next
+    /// worker to probe it panicked on `unwrap()`, poisoning the idle lock
+    /// and taking down every parked worker instead of the PR 2
+    /// conservative-top degradation. A worker facing a poisoned victim
+    /// queue must recover the guard, steal the task, and drain the DAG.
+    #[test]
+    fn worker_drains_despite_poisoned_queue() {
+        let deps: Vec<Vec<usize>> = vec![vec![], vec![0]];
+        let dependents = invert(&deps);
+        let remaining: Vec<AtomicUsize> = deps.iter().map(|d| AtomicUsize::new(d.len())).collect();
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..2).map(|_| Mutex::new(VecDeque::new())).collect();
+        // The ready task sits in worker 1's deque, which a fault poisons
+        // before worker 0 gets to steal from it.
+        queues[1].lock().unwrap().push_back(0);
+        poison(&queues[1]);
+        let results: Vec<Mutex<Option<Result<usize, TaskPanic>>>> =
+            (0..2).map(|_| Mutex::new(None)).collect();
+        let shared = Shared {
+            dependents: &dependents,
+            remaining: &remaining,
+            queues: &queues,
+            results: &results,
+            done: AtomicUsize::new(0),
+            total: 2,
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            panic: Mutex::new(None),
+            policy: PoolPolicy::Isolate,
+            stats: None,
+        };
+        worker(0, 2, &shared, &|i| i * 10);
+        assert_eq!(lock_recover(&results[0]).take(), Some(Ok(0)));
+        assert_eq!(lock_recover(&results[1]).take(), Some(Ok(10)));
+    }
+
+    /// Many concurrent panicking tasks at several worker counts: the
+    /// containment machinery (abort/notify, result publication, dependent
+    /// release) must fill every slot without a poisoning cascade.
+    #[test]
+    fn panic_storm_fills_every_slot() {
+        let deps: Vec<Vec<usize>> =
+            (0..64).map(|i| (0..i).filter(|d| i % (d + 2) == 0).collect()).collect();
+        for jobs in [2, 4, 8] {
+            let out = run_dag_isolated(jobs, &deps, |i| {
+                if i % 2 == 0 {
+                    panic!("task {i} down");
+                }
+                i
+            });
+            assert_eq!(out.len(), 64, "jobs = {jobs}");
+            for (i, r) in out.iter().enumerate() {
+                assert_eq!(r.is_err(), i % 2 == 0, "jobs = {jobs}, task {i}");
+            }
+        }
     }
 }
